@@ -1,0 +1,47 @@
+// Ablation A2: local distance choice. The paper notes the algorithm is
+// independent of the tick-to-tick distance (squared vs absolute). This
+// bench confirms the per-tick cost is essentially identical for both, so
+// the choice is purely semantic.
+
+#include <benchmark/benchmark.h>
+
+#include "core/spring.h"
+#include "dtw/local_distance.h"
+#include "gen/masked_chirp.h"
+
+namespace springdtw {
+namespace {
+
+void RunDistanceBench(benchmark::State& state,
+                      dtw::LocalDistance distance) {
+  gen::MaskedChirpOptions options;
+  options.length = 50000;
+  const auto data = GenerateMaskedChirp(options, 256);
+
+  core::SpringOptions spring_options;
+  spring_options.epsilon = 100.0;
+  spring_options.local_distance = distance;
+  core::SpringMatcher matcher(data.query.values(), spring_options);
+  core::Match match;
+
+  int64_t t = 0;
+  for (auto _ : state) {
+    matcher.Update(data.stream[t % data.stream.size()], &match);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SpringTickSquaredDistance(benchmark::State& state) {
+  RunDistanceBench(state, dtw::LocalDistance::kSquared);
+}
+
+void BM_SpringTickAbsoluteDistance(benchmark::State& state) {
+  RunDistanceBench(state, dtw::LocalDistance::kAbsolute);
+}
+
+BENCHMARK(BM_SpringTickSquaredDistance);
+BENCHMARK(BM_SpringTickAbsoluteDistance);
+
+}  // namespace
+}  // namespace springdtw

@@ -1,0 +1,53 @@
+// Ablation A3: monitor-engine scaling with the number of simultaneous
+// queries per stream. Matchers are independent, so cost per Push should be
+// linear in the query count (and in each query's m).
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "gen/masked_chirp.h"
+#include "monitor/engine.h"
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace {
+
+void BM_MonitorPushVsQueryCount(benchmark::State& state) {
+  const auto num_queries = static_cast<int64_t>(state.range(0));
+  gen::MaskedChirpOptions options;
+  options.length = 50000;
+  const auto data = GenerateMaskedChirp(options, 128);
+
+  monitor::MonitorEngine engine;
+  const int64_t stream = engine.AddStream("s");
+  for (int64_t q = 0; q < num_queries; ++q) {
+    // Slightly perturbed copies so matchers do real, distinct work.
+    std::vector<double> query = data.query.values();
+    for (double& y : query) y += 1e-3 * static_cast<double>(q);
+    core::SpringOptions spring_options;
+    spring_options.epsilon = 100.0;
+    const auto added =
+        engine.AddQuery(stream,
+                        util::StrFormat("q%lld", static_cast<long long>(q)),
+                        std::move(query), spring_options);
+    if (!added.ok()) {
+      state.SkipWithError("AddQuery failed");
+      return;
+    }
+  }
+
+  int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.Push(stream, data.stream[t % data.stream.size()]));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * num_queries);
+  state.counters["queries"] = static_cast<double>(num_queries);
+}
+
+BENCHMARK(BM_MonitorPushVsQueryCount)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace springdtw

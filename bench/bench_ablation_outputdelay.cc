@@ -1,0 +1,59 @@
+// Ablation A8: the paper remarks (Table 2 discussion) that "the output
+// time does not depend on threshold epsilon" — a match is committed as soon
+// as no live path can beat it, which is a property of the data, not of the
+// threshold. This bench sweeps epsilon across an order of magnitude and
+// reports the mean output delay (report_time - end) of the planted
+// episodes' matches.
+//
+//   ./bench_ablation_outputdelay [--length=30000]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/spring.h"
+#include "core/subsequence_scan.h"
+#include "eval/detection.h"
+#include "gen/masked_chirp.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace springdtw;
+  util::FlagParser flags(argc, argv);
+  gen::MaskedChirpOptions data_options;
+  data_options.length = flags.GetInt64("length", 30000);
+  data_options.num_episodes = 5;
+  const auto data = GenerateMaskedChirp(data_options, 2048);
+
+  // Baseline epsilon: just admits every planted episode.
+  const double base = core::CalibrateEpsilon(
+      data.stream, data.query,
+      bench::EventRegions(data.events, data.stream.size(), 100), 1.05);
+
+  bench::PrintHeader(
+      "Ablation A8 — output delay vs epsilon (paper: output time does not "
+      "depend on epsilon)");
+  std::printf("%-12s %-10s %-10s %-18s %-18s\n", "epsilon", "matches",
+              "recall", "mean_delay_ticks", "max_delay_ticks");
+
+  for (const double scale : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+    const double epsilon = base * scale;
+    const std::vector<core::Match> matches =
+        core::DisjointMatches(data.stream, data.query, epsilon);
+    const eval::DetectionScore score =
+        eval::ScoreMatches(data.events, matches);
+    double max_delay = 0.0;
+    for (const core::Match& m : matches) {
+      max_delay = std::max(
+          max_delay, static_cast<double>(m.report_time - m.end));
+    }
+    std::printf("%-12.4g %-10zu %-10.2f %-18.0f %-18.0f\n", epsilon,
+                matches.size(), score.recall(),
+                score.output_delay.mean(), max_delay);
+  }
+  std::printf(
+      "\nlarger epsilons admit extra (weaker) matches, but the delay with\n"
+      "which each episode's optimum is committed stays in the same range —\n"
+      "it is governed by when competing paths die out, not by epsilon.\n");
+  return 0;
+}

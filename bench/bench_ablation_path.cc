@@ -1,0 +1,58 @@
+// Ablation A5: overhead of warping-path tracking. SPRING(path) pays a
+// ref-counted arena node per cell per tick on top of SPRING's O(m) update
+// (DESIGN.md design-choice: path tracking is opt-in via a separate class
+// precisely because of this cost).
+
+#include <benchmark/benchmark.h>
+
+#include "core/spring.h"
+#include "core/spring_path.h"
+#include "gen/masked_chirp.h"
+
+namespace springdtw {
+namespace {
+
+const gen::MaskedChirpData& Data() {
+  static const gen::MaskedChirpData* data = [] {
+    gen::MaskedChirpOptions options;
+    options.length = 50000;
+    return new gen::MaskedChirpData(GenerateMaskedChirp(options, 256));
+  }();
+  return *data;
+}
+
+void BM_SpringTickNoPath(benchmark::State& state) {
+  const auto& data = Data();
+  core::SpringOptions options;
+  options.epsilon = 100.0;
+  core::SpringMatcher matcher(data.query.values(), options);
+  core::Match match;
+  int64_t t = 0;
+  for (auto _ : state) {
+    matcher.Update(data.stream[t % data.stream.size()], &match);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SpringTickWithPath(benchmark::State& state) {
+  const auto& data = Data();
+  core::SpringOptions options;
+  options.epsilon = 100.0;
+  core::SpringPathMatcher matcher(data.query.values(), options);
+  core::PathMatch match;
+  int64_t t = 0;
+  for (auto _ : state) {
+    matcher.Update(data.stream[t % data.stream.size()], &match);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["live_nodes"] =
+      static_cast<double>(matcher.live_nodes());
+}
+
+BENCHMARK(BM_SpringTickNoPath);
+BENCHMARK(BM_SpringTickWithPath);
+
+}  // namespace
+}  // namespace springdtw

@@ -1,0 +1,46 @@
+// Ablation A1: per-tick cost of SPRING versus query length m. Lemma 4 says
+// O(m) per tick — the series should be linear in m, independent of how much
+// stream has already been consumed.
+
+#include <benchmark/benchmark.h>
+
+#include "core/spring.h"
+#include "gen/masked_chirp.h"
+
+namespace springdtw {
+namespace {
+
+void BM_SpringTickVsQueryLength(benchmark::State& state) {
+  const auto m = static_cast<int64_t>(state.range(0));
+  gen::MaskedChirpOptions options;
+  options.length = 50000;
+  const auto data = GenerateMaskedChirp(options, m);
+
+  core::SpringOptions spring_options;
+  spring_options.epsilon = 100.0;
+  core::SpringMatcher matcher(data.query.values(), spring_options);
+  core::Match match;
+
+  int64_t t = 0;
+  for (auto _ : state) {
+    matcher.Update(data.stream[t % data.stream.size()], &match);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["m"] = static_cast<double>(m);
+  state.counters["ns_per_query_elem"] = benchmark::Counter(
+      static_cast<double>(m) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_SpringTickVsQueryLength)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096);
+
+}  // namespace
+}  // namespace springdtw

@@ -1,0 +1,58 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace springdtw {
+namespace bench {
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+std::vector<std::pair<int64_t, int64_t>> EventRegions(
+    const std::vector<gen::PlantedEvent>& events, int64_t stream_size,
+    int64_t margin) {
+  std::vector<std::pair<int64_t, int64_t>> regions;
+  regions.reserve(events.size());
+  for (const gen::PlantedEvent& e : events) {
+    regions.emplace_back(std::max<int64_t>(0, e.start - margin),
+                         std::min<int64_t>(stream_size - 1, e.end() + margin));
+  }
+  return regions;
+}
+
+void PrintTable2Block(const std::string& dataset, double epsilon,
+                      int64_t query_length,
+                      const std::vector<core::Match>& matches) {
+  std::printf("%-13s query_len=%-6lld epsilon=%-10.4g\n", dataset.c_str(),
+              static_cast<long long>(query_length), epsilon);
+  std::printf("  %-12s %-9s %-12s %-11s\n", "start_pos", "length",
+              "distance", "output_time");
+  for (const core::Match& m : matches) {
+    std::printf("  %-12lld %-9lld %-12.6g %-11lld\n",
+                static_cast<long long>(m.start),
+                static_cast<long long>(m.length()), m.distance,
+                static_cast<long long>(m.report_time));
+  }
+  if (matches.empty()) std::printf("  (no matches)\n");
+}
+
+int64_t CountDetected(const std::vector<gen::PlantedEvent>& events,
+                      const std::vector<core::Match>& matches) {
+  int64_t detected = 0;
+  for (const gen::PlantedEvent& e : events) {
+    for (const core::Match& m : matches) {
+      if (gen::IntervalsOverlap(e.start, e.end(), m.start, m.end)) {
+        ++detected;
+        break;
+      }
+    }
+  }
+  return detected;
+}
+
+}  // namespace bench
+}  // namespace springdtw

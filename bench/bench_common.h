@@ -1,0 +1,38 @@
+#ifndef SPRINGDTW_BENCH_BENCH_COMMON_H_
+#define SPRINGDTW_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/match.h"
+#include "gen/planted.h"
+#include "ts/series.h"
+
+namespace springdtw {
+namespace bench {
+
+/// Prints a horizontal rule and a centered section title.
+void PrintHeader(const std::string& title);
+
+/// Converts planted events to (first, last) regions with a margin, clamped
+/// to the stream bounds — input for core::CalibrateEpsilon.
+std::vector<std::pair<int64_t, int64_t>> EventRegions(
+    const std::vector<gen::PlantedEvent>& events, int64_t stream_size,
+    int64_t margin);
+
+/// Prints one Table-2-style row block: the threshold, query length, and the
+/// matches with starting position / length / distance / output time.
+void PrintTable2Block(const std::string& dataset, double epsilon,
+                      int64_t query_length,
+                      const std::vector<core::Match>& matches);
+
+/// How many of `events` overlap at least one match (detection score).
+int64_t CountDetected(const std::vector<gen::PlantedEvent>& events,
+                      const std::vector<core::Match>& matches);
+
+}  // namespace bench
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,128 @@
+// Word spotting: find a spoken keyword in an "audio envelope" stream where
+// speakers talk at different rates — the classic DTW application the paper
+// cites from speech recognition, on a synthetic amplitude-envelope signal.
+//
+// Words are rendered as characteristic loudness envelopes (one bump per
+// syllable); the same word spoken faster or slower is a time-rescaled
+// version of the same envelope. SPRING spots every utterance of the keyword
+// regardless of the speaking rate and ignores the other words.
+//
+//   ./word_spotting [--utterances=40] [--seed=7]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/spring.h"
+#include "gen/signal.h"
+#include "ts/series.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace springdtw;
+
+// A "word" is a fixed syllable-amplitude signature. Rendering concatenates
+// one Hann bump per syllable, scaled by the syllable's amplitude, then
+// resamples to the utterance length (speaking rate).
+struct Word {
+  std::string text;
+  std::vector<double> syllable_amplitudes;
+};
+
+std::vector<double> RenderWord(const Word& word, int64_t length,
+                               util::Rng& rng, double noise_sigma) {
+  const int64_t canonical_syllable = 80;
+  std::vector<double> canonical;
+  for (const double amp : word.syllable_amplitudes) {
+    std::vector<double> bump = gen::HannWindow(canonical_syllable);
+    for (double& b : bump) b *= amp;
+    canonical.insert(canonical.end(), bump.begin(), bump.end());
+  }
+  std::vector<double> rendered = gen::Resample(canonical, length);
+  gen::AddGaussianNoise(rng, rendered, noise_sigma);
+  return rendered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  const int64_t utterances = flags.GetInt64("utterances", 40);
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt64("seed", 7)));
+
+  const std::vector<Word> vocabulary = {
+      {"data", {0.9, 0.5}},
+      {"stream", {1.0}},
+      {"monitoring", {0.7, 0.9, 0.4, 0.6}},
+      {"warping", {0.8, 0.35}},   // The keyword.
+      {"distance", {0.5, 0.95, 0.4}},
+  };
+  const Word& keyword = vocabulary[3];
+
+  // Build the stream: random words at random speaking rates, separated by
+  // silence gaps; remember where the keyword landed.
+  ts::Series stream;
+  std::vector<std::pair<int64_t, int64_t>> keyword_spans;
+  for (int64_t u = 0; u < utterances; ++u) {
+    const int64_t silence = rng.UniformInt(40, 160);
+    for (int64_t s = 0; s < silence; ++s) {
+      stream.Append(rng.Gaussian(0.0, 0.02));
+    }
+    const Word& word =
+        vocabulary[static_cast<size_t>(rng.UniformInt(0, 4))];
+    const auto canonical_len = static_cast<int64_t>(
+        80 * word.syllable_amplitudes.size());
+    const int64_t length = static_cast<int64_t>(
+        static_cast<double>(canonical_len) / rng.Uniform(0.7, 1.4));
+    const int64_t start = stream.size();
+    for (const double x : RenderWord(word, length, rng, 0.02)) {
+      stream.Append(x);
+    }
+    if (word.text == keyword.text) {
+      keyword_spans.emplace_back(start, stream.size() - 1);
+    }
+  }
+
+  // The query: the keyword at its canonical rate, clean.
+  util::Rng query_rng = rng.Fork(99);
+  const std::vector<double> query = RenderWord(
+      keyword,
+      static_cast<int64_t>(80 * keyword.syllable_amplitudes.size()),
+      query_rng, 0.005);
+
+  // Genuine keyword utterances score ~0.04 here; the closest impostor word
+  // ("data", whose two-syllable envelope resembles the keyword's) scores
+  // ~0.45, so 0.2 separates them cleanly.
+  core::SpringOptions options;
+  options.epsilon = 0.2;
+  core::SpringMatcher matcher(query, options);
+
+  std::printf(
+      "stream: %lld ticks, %zu keyword utterances hidden among %lld words\n",
+      static_cast<long long>(stream.size()), keyword_spans.size(),
+      static_cast<long long>(utterances));
+
+  std::vector<core::Match> hits;
+  core::Match match;
+  for (int64_t t = 0; t < stream.size(); ++t) {
+    if (matcher.Update(stream[t], &match)) hits.push_back(match);
+  }
+  if (matcher.Flush(&match)) hits.push_back(match);
+
+  int64_t true_positives = 0;
+  for (const core::Match& m : hits) {
+    bool is_keyword = false;
+    for (const auto& [a, b] : keyword_spans) {
+      if (m.start <= b && a <= m.end) is_keyword = true;
+    }
+    std::printf("  spotted %s  %s\n", m.ToString().c_str(),
+                is_keyword ? "(keyword)" : "(FALSE ALARM)");
+    if (is_keyword) ++true_positives;
+  }
+  std::printf("\nrecall: %lld / %zu utterances of '%s'\n",
+              static_cast<long long>(true_positives), keyword_spans.size(),
+              keyword.text.c_str());
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "core/match.h"
+
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace core {
+
+std::string Match::ToString() const {
+  return util::StrFormat(
+      "X[%lld:%lld] dist=%.6g len=%lld reported@%lld",
+      static_cast<long long>(start), static_cast<long long>(end), distance,
+      static_cast<long long>(length()), static_cast<long long>(report_time));
+}
+
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,42 @@
+#ifndef SPRINGDTW_CORE_MATCH_H_
+#define SPRINGDTW_CORE_MATCH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace springdtw {
+namespace core {
+
+/// A reported subsequence match: the stream subsequence X[start : end]
+/// (0-based, both inclusive) whose DTW distance to the query is `distance`.
+///
+/// `report_time` is the tick at which the matcher *committed* to the match —
+/// for disjoint queries that is the first tick at which no upcoming
+/// overlapping subsequence can beat it (the paper's "output time", Table 2).
+/// `group_start`/`group_end` bound the whole group of overlapping qualifying
+/// subsequences the match was the optimum of (the paper's Section 5.3
+/// modification); for a lone match they equal start/end.
+struct Match {
+  int64_t start = 0;
+  int64_t end = 0;
+  double distance = 0.0;
+  int64_t report_time = 0;
+  int64_t group_start = 0;
+  int64_t group_end = 0;
+
+  /// Number of ticks covered, end - start + 1.
+  int64_t length() const { return end - start + 1; }
+
+  /// True if [start, end] intersects [other.start, other.end].
+  bool Overlaps(const Match& other) const {
+    return start <= other.end && other.start <= end;
+  }
+
+  /// "X[start:end] dist=... len=... reported@..." for logs and tables.
+  std::string ToString() const;
+};
+
+}  // namespace core
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_CORE_MATCH_H_

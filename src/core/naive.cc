@@ -1,0 +1,242 @@
+#include "core/naive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "dtw/dtw.h"
+#include "util/logging.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+NaiveMatcher::NaiveMatcher(std::vector<double> query, SpringOptions options)
+    : query_(std::move(query)), options_(options) {
+  SPRINGDTW_CHECK(!query_.empty()) << "naive matcher needs a non-empty query";
+  dmin_ = kInf;
+  const size_t rows = query_.size() + 1;
+  row_min_.assign(rows, kInf);
+  row_argmin_.assign(rows, -1);
+}
+
+bool NaiveMatcher::Update(double x, Match* match) {
+  const int64_t m = static_cast<int64_t>(query_.size());
+  const int64_t t = t_;
+
+  // A new matrix starts at every tick (Figure 2 of the paper). Its rolling
+  // column is in the "previous column of k = 0" state: f(0, 0) = 0,
+  // f(0, i) = inf.
+  columns_.emplace_back(static_cast<size_t>(m + 1), kInf);
+  columns_.back()[0] = 0.0;
+
+  // Advance every matrix by one column (k grows by one) and reduce, per
+  // query row i, the minimum distance over all start positions together
+  // with its arg-min — i.e., recompute the STWM cells d(t, i) / s(t, i)
+  // the expensive way.
+  std::fill(row_min_.begin(), row_min_.end(), kInf);
+  std::fill(row_argmin_.begin(), row_argmin_.end(), int64_t{-1});
+  for (size_t p = 0; p < columns_.size(); ++p) {
+    std::vector<double>& col = columns_[p];
+    // In-place column update; `diag` walks the previous column one step
+    // behind the write position.
+    double diag = col[0];  // f(k-1, 0)
+    col[0] = kInf;         // f(k, 0) = inf for k >= 1.
+    for (int64_t i = 1; i <= m; ++i) {
+      const double up = col[static_cast<size_t>(i)];        // f(k-1, i)
+      const double left = col[static_cast<size_t>(i - 1)];  // f(k, i-1)
+      double best = left;
+      if (up < best) best = up;
+      if (diag < best) best = diag;
+      const double local = dtw::PointDistance(
+          options_.local_distance, x, query_[static_cast<size_t>(i - 1)]);
+      col[static_cast<size_t>(i)] = best == kInf ? kInf : local + best;
+      diag = up;
+      if (col[static_cast<size_t>(i)] < row_min_[static_cast<size_t>(i)]) {
+        row_min_[static_cast<size_t>(i)] = col[static_cast<size_t>(i)];
+        row_argmin_[static_cast<size_t>(i)] = static_cast<int64_t>(p);
+      }
+    }
+  }
+
+  const double dm = row_min_[static_cast<size_t>(m)];
+  const int64_t sm = row_argmin_[static_cast<size_t>(m)];
+
+  // Best-match tracking.
+  if (sm >= 0 && (!has_best_ || dm < best_.distance)) {
+    has_best_ = true;
+    best_.start = sm;
+    best_.end = t;
+    best_.distance = dm;
+    best_.report_time = t;
+    best_.group_start = sm;
+    best_.group_end = t;
+  }
+
+  // Disjoint-query logic on the reconstructed STWM row, mirroring the
+  // paper's Figure 4 exactly (and therefore SpringMatcher tick for tick).
+  bool reported = false;
+  if (has_candidate_ && dmin_ <= options_.epsilon) {
+    bool can_report = true;
+    for (int64_t i = 1; i <= m; ++i) {
+      if (row_min_[static_cast<size_t>(i)] < dmin_ &&
+          row_argmin_[static_cast<size_t>(i)] <= te_) {
+        can_report = false;
+        break;
+      }
+    }
+    if (can_report) {
+      if (match != nullptr) {
+        match->start = ts_;
+        match->end = te_;
+        match->distance = dmin_;
+        match->report_time = t;
+        match->group_start = group_start_;
+        match->group_end = group_end_;
+      }
+      reported = true;
+      dmin_ = kInf;
+      has_candidate_ = false;
+      // Cell-level kill: an STWM cell whose optimal path starts inside the
+      // reported group dies for *every* start position (any path through it
+      // is subsumed by the reported group, Lemma 2). Also retire whole
+      // matrices that start inside the group — their surviving cells are
+      // dominated by later-start matrices anyway. Columns stay resident and
+      // keep being updated (inf stays inf), preserving the O(n*m) per-tick
+      // time and O(n*m) space of the paper's Lemma 3.
+      for (int64_t i = 1; i <= m; ++i) {
+        if (row_argmin_[static_cast<size_t>(i)] <= te_) {
+          for (std::vector<double>& col : columns_) {
+            col[static_cast<size_t>(i)] = kInf;
+          }
+          row_min_[static_cast<size_t>(i)] = kInf;
+          row_argmin_[static_cast<size_t>(i)] = -1;
+        }
+      }
+      for (size_t p = 0;
+           p <= static_cast<size_t>(te_) && p < columns_.size(); ++p) {
+        std::fill(columns_[p].begin(), columns_[p].end(), kInf);
+      }
+    }
+  }
+
+  const double dm_after = row_min_[static_cast<size_t>(m)];
+  const int64_t sm_after = row_argmin_[static_cast<size_t>(m)];
+  if (sm_after >= 0 && dm_after <= options_.epsilon) {
+    if (dm_after < dmin_) {
+      dmin_ = dm_after;
+      ts_ = sm_after;
+      te_ = t;
+      if (!has_candidate_) {
+        group_start_ = sm_after;
+        group_end_ = t;
+      }
+      has_candidate_ = true;
+    }
+    if (has_candidate_) {
+      group_start_ = std::min(group_start_, sm_after);
+      group_end_ = std::max(group_end_, t);
+    }
+  }
+
+  ++t_;
+  return reported;
+}
+
+bool NaiveMatcher::Flush(Match* match) {
+  if (!has_candidate_ || dmin_ > options_.epsilon) return false;
+  if (match != nullptr) {
+    match->start = ts_;
+    match->end = te_;
+    match->distance = dmin_;
+    match->report_time = t_;
+    match->group_start = group_start_;
+    match->group_end = group_end_;
+  }
+  has_candidate_ = false;
+  dmin_ = kInf;
+  for (int64_t i = 1; i <= static_cast<int64_t>(query_.size()); ++i) {
+    if (row_argmin_[static_cast<size_t>(i)] <= te_) {
+      for (std::vector<double>& col : columns_) {
+        col[static_cast<size_t>(i)] = kInf;
+      }
+    }
+  }
+  return true;
+}
+
+util::MemoryFootprint NaiveMatcher::Footprint() const {
+  util::MemoryFootprint fp;
+  fp.Add("query", util::VectorBytes(query_));
+  int64_t column_bytes = util::VectorBytes(columns_);
+  for (const std::vector<double>& col : columns_) {
+    column_bytes += util::VectorBytes(col);
+  }
+  fp.Add("matrices", column_bytes);
+  fp.Add("row_reduction",
+         util::VectorBytes(row_min_) + util::VectorBytes(row_argmin_));
+  return fp;
+}
+
+void NaiveMatcher::PrewarmForBenchmark(int64_t ticks, double fill) {
+  const size_t rows = query_.size() + 1;
+  columns_.reserve(columns_.size() + static_cast<size_t>(ticks));
+  for (int64_t i = 0; i < ticks; ++i) {
+    columns_.emplace_back(rows, fill);
+  }
+  t_ += ticks;
+}
+
+int64_t NaiveMatcher::ModelBytes(int64_t n, int64_t m) {
+  // The paper's accounting (Lemma 3): each of the n matrices keeps two
+  // arrays of m (+1 boundary) numbers.
+  return n * 2 * (m + 1) * static_cast<int64_t>(sizeof(double));
+}
+
+std::vector<std::vector<double>> AllSubsequenceDistances(
+    const ts::Series& stream, const ts::Series& query,
+    dtw::LocalDistance local_distance) {
+  const int64_t n = stream.size();
+  std::vector<std::vector<double>> out(static_cast<size_t>(n));
+  dtw::DtwOptions options;
+  options.local_distance = local_distance;
+  for (int64_t a = 0; a < n; ++a) {
+    out[static_cast<size_t>(a)].resize(static_cast<size_t>(n - a));
+    for (int64_t b = a; b < n; ++b) {
+      const ts::Series sub = stream.Slice(a, b - a + 1);
+      out[static_cast<size_t>(a)][static_cast<size_t>(b - a)] =
+          dtw::DtwDistance(sub.values(), query.values(), options);
+    }
+  }
+  return out;
+}
+
+Match SuperNaiveBestMatch(const ts::Series& stream, const ts::Series& query,
+                          dtw::LocalDistance local_distance) {
+  const std::vector<std::vector<double>> all =
+      AllSubsequenceDistances(stream, query, local_distance);
+  Match best;
+  best.distance = kInf;
+  // Scan in end-then-start order so ties resolve to the earliest end and,
+  // within an end, the earliest start — SPRING's reporting order.
+  for (int64_t b = 0; b < stream.size(); ++b) {
+    for (int64_t a = 0; a <= b; ++a) {
+      const double d = all[static_cast<size_t>(a)][static_cast<size_t>(b - a)];
+      if (d < best.distance) {
+        best.start = a;
+        best.end = b;
+        best.distance = d;
+        best.report_time = b;
+        best.group_start = a;
+        best.group_end = b;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace springdtw

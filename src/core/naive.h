@@ -1,0 +1,98 @@
+#ifndef SPRINGDTW_CORE_NAIVE_H_
+#define SPRINGDTW_CORE_NAIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/match.h"
+#include "core/spring.h"
+#include "dtw/local_distance.h"
+#include "ts/series.h"
+#include "util/memory.h"
+
+namespace springdtw {
+namespace core {
+
+/// The paper's "Naive" baseline (Section 3.1.3): one time-warping matrix per
+/// starting position, each advanced by one column per tick — O(n*m) time and
+/// O(n*m) space per tick, where n is the stream length so far. Functionally
+/// equivalent to SpringMatcher (same matches, same report times); exists as
+/// the comparison subject of Figures 7 and 8 and as an independent oracle in
+/// tests.
+class NaiveMatcher {
+ public:
+  /// Same contract as SpringMatcher.
+  NaiveMatcher(std::vector<double> query, SpringOptions options);
+
+  /// Processes one value; O(n*m). Returns true when a disjoint-query match
+  /// is reported, mirroring SpringMatcher::Update exactly.
+  bool Update(double x, Match* match);
+
+  /// Reports a still-pending candidate at stream end (see SpringMatcher).
+  bool Flush(Match* match);
+
+  bool has_best() const { return has_best_; }
+  Match best() const { return best_; }
+  int64_t ticks_processed() const { return t_; }
+  bool has_pending_candidate() const { return has_candidate_; }
+
+  /// Working-set bytes: grows linearly with the stream (Figure 8's top
+  /// curve).
+  util::MemoryFootprint Footprint() const;
+
+  /// The exact byte count the live data structures would occupy after `n`
+  /// ticks with query length `m` — used by the Figure 8 bench to plot the
+  /// naive curve past the sizes that fit in RAM (the paper's testbed could
+  /// not hold them either; the curve is the same straight line).
+  static int64_t ModelBytes(int64_t n, int64_t m);
+
+  /// Benchmark-only: installs `ticks` synthetic matrices (columns filled
+  /// with `fill`) as if that many values had been consumed, without paying
+  /// the O(n^2 * m) replay cost. The next Update() then performs exactly
+  /// the per-tick work of a stream of that length, which is what Figures 7
+  /// and 8 measure. Do not mix with correctness-sensitive use: the
+  /// fabricated history matches no real stream.
+  void PrewarmForBenchmark(int64_t ticks, double fill);
+
+ private:
+  std::vector<double> query_;
+  SpringOptions options_;
+
+  // One rolling column per start position; column index i in [0, m] where
+  // row 0 is the f(k, 0) boundary (0 before the first update, inf after).
+  std::vector<std::vector<double>> columns_;
+
+  // Per-tick reconstruction of the STWM row: row_min_[i] = d(t, i) =
+  // min over start positions p of f_p(., i); row_argmin_[i] = s(t, i).
+  std::vector<double> row_min_;
+  std::vector<int64_t> row_argmin_;
+
+  int64_t t_ = 0;
+  bool has_candidate_ = false;
+  double dmin_ = 0.0;
+  int64_t ts_ = 0;
+  int64_t te_ = 0;
+  int64_t group_start_ = 0;
+  int64_t group_end_ = 0;
+  bool has_best_ = false;
+  Match best_;
+};
+
+/// Brute-force oracle ("Super-Naive", Section 3.1.3): the DTW distance of
+/// every subsequence X[a : b] to the query, computed independently with the
+/// classic full DTW. O(n^3 * m) — tiny inputs only; used as ground truth in
+/// tests. Entry [a][b - a] is D(X[a : b], Y).
+std::vector<std::vector<double>> AllSubsequenceDistances(
+    const ts::Series& stream, const ts::Series& query,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared);
+
+/// Brute-force best match over all subsequences (ties broken by earlier end,
+/// then earlier start, matching SPRING's reporting order).
+Match SuperNaiveBestMatch(
+    const ts::Series& stream, const ts::Series& query,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared);
+
+}  // namespace core
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_CORE_NAIVE_H_

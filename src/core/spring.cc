@@ -1,0 +1,312 @@
+#include "core/spring.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/codec.h"
+#include "util/logging.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+SpringMatcher::SpringMatcher(std::vector<double> query, SpringOptions options)
+    : query_(std::move(query)), options_(options) {
+  SPRINGDTW_CHECK(!query_.empty()) << "SPRING needs a non-empty query";
+  const size_t rows = query_.size() + 1;  // +1 for the star-padding row.
+  d_.assign(rows, kInf);
+  d_prev_.assign(rows, kInf);
+  s_.assign(rows, 0);
+  s_prev_.assign(rows, 0);
+  Reset();
+}
+
+void SpringMatcher::Reset() {
+  std::fill(d_.begin(), d_.end(), kInf);
+  std::fill(d_prev_.begin(), d_prev_.end(), kInf);
+  std::fill(s_.begin(), s_.end(), int64_t{0});
+  std::fill(s_prev_.begin(), s_prev_.end(), int64_t{0});
+  // Star-padding row: d(t, 0) = 0 for every t, including the virtual t = -1
+  // column the first tick reads as "previous".
+  d_prev_[0] = 0.0;
+  s_prev_[0] = 0;
+  t_ = 0;
+  has_candidate_ = false;
+  dmin_ = kInf;
+  ts_ = te_ = 0;
+  group_start_ = group_end_ = 0;
+  has_best_ = false;
+  best_ = Match{};
+}
+
+bool SpringMatcher::Update(double x, Match* match) {
+  switch (options_.local_distance) {
+    case dtw::LocalDistance::kSquared:
+      return UpdateImpl(x, match, dtw::SquaredDistance());
+    case dtw::LocalDistance::kAbsolute:
+      return UpdateImpl(x, match, dtw::AbsoluteDistance());
+  }
+  return UpdateImpl(x, match, dtw::SquaredDistance());
+}
+
+template <typename Dist>
+bool SpringMatcher::UpdateImpl(double x, Match* match, Dist dist) {
+  const int64_t m = query_length();
+  const int64_t t = t_;
+
+  // --- STWM column update: Equations (7) and (8) of the paper. ---
+  // Star-padding row: a subsequence may start here for free.
+  d_[0] = 0.0;
+  s_[0] = t;
+  for (int64_t i = 1; i <= m; ++i) {
+    const double d_here = d_[static_cast<size_t>(i - 1)];      // d(t, i-1)
+    const double d_up = d_prev_[static_cast<size_t>(i)];       // d(t-1, i)
+    const double d_diag = d_prev_[static_cast<size_t>(i - 1)]; // d(t-1, i-1)
+    double dbest = d_here;
+    if (d_up < dbest) dbest = d_up;
+    if (d_diag < dbest) dbest = d_diag;
+
+    d_[static_cast<size_t>(i)] =
+        dist(x, query_[static_cast<size_t>(i - 1)]) + dbest;
+    // Tie-break order follows Equation (8): (t, i-1), (t-1, i), (t-1, i-1).
+    if (d_here == dbest) {
+      s_[static_cast<size_t>(i)] = s_[static_cast<size_t>(i - 1)];
+    } else if (d_up == dbest) {
+      s_[static_cast<size_t>(i)] = s_prev_[static_cast<size_t>(i)];
+    } else {
+      s_[static_cast<size_t>(i)] = s_prev_[static_cast<size_t>(i - 1)];
+    }
+    // Length-constraint extension: prune warping paths that already span
+    // more stream ticks than any admissible match may.
+    if (options_.max_match_length > 0 &&
+        t - s_[static_cast<size_t>(i)] + 1 > options_.max_match_length) {
+      d_[static_cast<size_t>(i)] = kInf;
+    }
+  }
+
+  const double dm = d_[static_cast<size_t>(m)];
+  const int64_t sm = s_[static_cast<size_t>(m)];
+  const bool long_enough =
+      options_.min_match_length <= 0 ||
+      t - sm + 1 >= options_.min_match_length;
+
+  // --- Best-match tracking (Problem 1 / Theorem 1). ---
+  if (long_enough && (!has_best_ || dm < best_.distance)) {
+    has_best_ = true;
+    best_.start = sm;
+    best_.end = t;
+    best_.distance = dm;
+    best_.report_time = t;
+    best_.group_start = sm;
+    best_.group_end = t;
+  }
+
+  // --- Disjoint-query algorithm (the paper's Figure 4), verbatim order:
+  // first the report check against the *current* arrays, then the candidate
+  // update with this tick's d_m. ---
+  bool reported = false;
+  if (has_candidate_ && dmin_ <= options_.epsilon) {
+    bool can_report = true;
+    for (int64_t i = 1; i <= m; ++i) {
+      if (d_[static_cast<size_t>(i)] < dmin_ &&
+          s_[static_cast<size_t>(i)] <= te_) {
+        can_report = false;
+        break;
+      }
+    }
+    if (can_report) {
+      if (match != nullptr) {
+        match->start = ts_;
+        match->end = te_;
+        match->distance = dmin_;
+        match->report_time = t;
+        match->group_start = group_start_;
+        match->group_end = group_end_;
+      }
+      reported = true;
+      // Reset d_min and kill every cell whose path started inside the
+      // reported group, so upcoming candidates are disjoint from it.
+      dmin_ = kInf;
+      has_candidate_ = false;
+      for (int64_t i = 1; i <= m; ++i) {
+        if (s_[static_cast<size_t>(i)] <= te_) {
+          d_[static_cast<size_t>(i)] = kInf;
+        }
+      }
+    }
+  }
+
+  // Candidate capture / replacement. Note d_[m] may have just been reset.
+  const double dm_after = d_[static_cast<size_t>(m)];
+  if (dm_after <= options_.epsilon && long_enough) {
+    if (dm_after < dmin_) {
+      dmin_ = dm_after;
+      ts_ = sm;
+      te_ = t;
+      if (!has_candidate_) {
+        group_start_ = sm;
+        group_end_ = t;
+      }
+      has_candidate_ = true;
+    }
+    // Track the group of *all* qualifying overlapping subsequences
+    // (Section 5.3 extension: report the range of the group).
+    if (has_candidate_) {
+      group_start_ = std::min(group_start_, sm);
+      group_end_ = std::max(group_end_, t);
+    }
+  }
+
+  std::swap(d_, d_prev_);
+  std::swap(s_, s_prev_);
+  ++t_;
+  return reported;
+}
+
+bool SpringMatcher::Flush(Match* match) {
+  if (!has_candidate_ || dmin_ > options_.epsilon) return false;
+  if (match != nullptr) {
+    match->start = ts_;
+    match->end = te_;
+    match->distance = dmin_;
+    match->report_time = t_;
+    match->group_start = group_start_;
+    match->group_end = group_end_;
+  }
+  has_candidate_ = false;
+  dmin_ = kInf;
+  // Kill cells belonging to the flushed group, mirroring the report path,
+  // so resuming the stream cannot re-report overlapping subsequences.
+  for (size_t i = 1; i < d_prev_.size(); ++i) {
+    if (s_prev_[i] <= te_) d_prev_[i] = kInf;
+  }
+  return true;
+}
+
+namespace {
+
+// Snapshot format magic + version. Bump the version on layout changes.
+constexpr uint32_t kSnapshotMagic = 0x53505231;  // "SPR1"
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> SpringMatcher::SerializeState() const {
+  util::ByteWriter writer;
+  writer.WriteU32(kSnapshotMagic);
+  writer.WriteU32(kSnapshotVersion);
+  writer.WriteDouble(options_.epsilon);
+  writer.WriteU8(static_cast<uint8_t>(options_.local_distance));
+  writer.WriteI64(options_.max_match_length);
+  writer.WriteI64(options_.min_match_length);
+  writer.WriteDoubleVector(query_);
+  // Only the "previous" rows carry live state between ticks; the working
+  // rows are scratch.
+  writer.WriteDoubleVector(d_prev_);
+  writer.WriteInt64Vector(s_prev_);
+  writer.WriteI64(t_);
+  writer.WriteBool(has_candidate_);
+  writer.WriteDouble(dmin_);
+  writer.WriteI64(ts_);
+  writer.WriteI64(te_);
+  writer.WriteI64(group_start_);
+  writer.WriteI64(group_end_);
+  writer.WriteBool(has_best_);
+  writer.WriteI64(best_.start);
+  writer.WriteI64(best_.end);
+  writer.WriteDouble(best_.distance);
+  writer.WriteI64(best_.report_time);
+  writer.WriteI64(best_.group_start);
+  writer.WriteI64(best_.group_end);
+  return writer.Take();
+}
+
+util::StatusOr<SpringMatcher> SpringMatcher::DeserializeState(
+    std::span<const uint8_t> bytes) {
+  util::ByteReader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  reader.ReadU32(&magic);
+  reader.ReadU32(&version);
+  if (!reader.ok() || magic != kSnapshotMagic) {
+    return util::InvalidArgumentError("not a SpringMatcher snapshot");
+  }
+  if (version != kSnapshotVersion) {
+    return util::InvalidArgumentError("unsupported snapshot version");
+  }
+
+  SpringOptions options;
+  uint8_t distance = 0;
+  reader.ReadDouble(&options.epsilon);
+  reader.ReadU8(&distance);
+  reader.ReadI64(&options.max_match_length);
+  reader.ReadI64(&options.min_match_length);
+  if (distance > static_cast<uint8_t>(dtw::LocalDistance::kAbsolute)) {
+    return util::InvalidArgumentError("snapshot has unknown local distance");
+  }
+  options.local_distance = static_cast<dtw::LocalDistance>(distance);
+
+  std::vector<double> query;
+  if (!reader.ReadDoubleVector(&query) || query.empty()) {
+    return util::InvalidArgumentError("snapshot query missing or empty");
+  }
+
+  SpringMatcher matcher(std::move(query), options);
+  if (!reader.ReadDoubleVector(&matcher.d_prev_) ||
+      !reader.ReadInt64Vector(&matcher.s_prev_)) {
+    return util::InvalidArgumentError("snapshot rows truncated");
+  }
+  if (matcher.d_prev_.size() != matcher.query_.size() + 1 ||
+      matcher.s_prev_.size() != matcher.query_.size() + 1) {
+    return util::InvalidArgumentError("snapshot row size mismatch");
+  }
+  reader.ReadI64(&matcher.t_);
+  reader.ReadBool(&matcher.has_candidate_);
+  reader.ReadDouble(&matcher.dmin_);
+  reader.ReadI64(&matcher.ts_);
+  reader.ReadI64(&matcher.te_);
+  reader.ReadI64(&matcher.group_start_);
+  reader.ReadI64(&matcher.group_end_);
+  reader.ReadBool(&matcher.has_best_);
+  reader.ReadI64(&matcher.best_.start);
+  reader.ReadI64(&matcher.best_.end);
+  reader.ReadDouble(&matcher.best_.distance);
+  reader.ReadI64(&matcher.best_.report_time);
+  reader.ReadI64(&matcher.best_.group_start);
+  reader.ReadI64(&matcher.best_.group_end);
+  if (!reader.ok()) {
+    return util::InvalidArgumentError("snapshot truncated");
+  }
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError("snapshot has trailing bytes");
+  }
+  if (matcher.t_ < 0) {
+    return util::InvalidArgumentError("snapshot has negative tick counter");
+  }
+  return matcher;
+}
+
+util::MemoryFootprint SpringMatcher::Footprint() const {
+  util::MemoryFootprint fp;
+  fp.Add("query", util::VectorBytes(query_));
+  fp.Add("stwm_distances",
+         util::VectorBytes(d_) + util::VectorBytes(d_prev_));
+  fp.Add("stwm_starts", util::VectorBytes(s_) + util::VectorBytes(s_prev_));
+  return fp;
+}
+
+std::span<const double> SpringMatcher::LastRowDistances() const {
+  // Rows were swapped at the end of Update(); the latest row is in prev_.
+  return std::span<const double>(d_prev_.data(), d_prev_.size());
+}
+
+std::span<const int64_t> SpringMatcher::LastRowStarts() const {
+  return std::span<const int64_t>(s_prev_.data(), s_prev_.size());
+}
+
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,167 @@
+#ifndef SPRINGDTW_CORE_SPRING_H_
+#define SPRINGDTW_CORE_SPRING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/match.h"
+#include "dtw/local_distance.h"
+#include "util/memory.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace core {
+
+/// Options shared by the SPRING matchers.
+struct SpringOptions {
+  /// Disjoint-query threshold epsilon. Subsequences with DTW distance
+  /// <= epsilon qualify. Irrelevant for pure best-match use (set anything);
+  /// set to +infinity to make every subsequence qualify.
+  double epsilon = 0.0;
+  /// Tick-to-tick distance; the paper's default is the squared difference.
+  dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared;
+  /// Extension (not in the paper): if > 0, warping paths spanning more than
+  /// this many stream ticks are pruned, bounding how far a match may
+  /// stretch relative to the query (akin to a global constraint for the
+  /// subsequence case). 0 means unlimited, the paper's semantics. Matches
+  /// and best-match results then never exceed this length.
+  int64_t max_match_length = 0;
+  /// Extension (not in the paper): matches whose *optimal* alignment spans
+  /// fewer than this many stream ticks do not qualify for disjoint-query
+  /// reporting (best-match tracking also skips them). This is a report
+  /// filter, not a constrained search: if a shorter alignment dominates the
+  /// STWM cell, a longer-but-worse alignment of the same region is not
+  /// resurrected. 0 means no minimum. Useful to suppress degenerate
+  /// few-tick matches under loose epsilons.
+  int64_t min_match_length = 0;
+};
+
+/// SPRING: streaming subsequence matching under the DTW distance
+/// (Sakurai, Faloutsos, Yamamuro, ICDE 2007).
+///
+/// Feed the stream one value per tick with Update(); the matcher maintains
+/// the star-padded subsequence time warping matrix (STWM) in O(m) space and
+/// O(m) time per tick (m = query length), and
+///  * reports disjoint-query matches (Problem 2) exactly per the paper's
+///    Figure 4 algorithm: every group of overlapping qualifying subsequences
+///    yields its local-minimum subsequence, reported as early as the
+///    optimality can be guaranteed, with no false dismissals;
+///  * tracks the running best-match (Problem 1) at no extra cost.
+///
+/// A subtlety of the published algorithm that callers should know: after a
+/// report, the STWM cells of the reported group are killed, so a *later*
+/// match whose isolated-optimal alignment would have routed through the
+/// killed group reports a distance that can slightly exceed the DTW distance
+/// of its interval computed in isolation (never undercut it, and never
+/// above epsilon). Positions and the no-false-dismissal guarantees are
+/// unaffected.
+///
+/// The hot path performs no heap allocation and never throws.
+///
+/// Example:
+///   SpringMatcher matcher(query, {.epsilon = 100.0});
+///   Match match;
+///   for (double x : stream) {
+///     if (matcher.Update(x, &match)) Report(match);
+///   }
+///   if (matcher.Flush(&match)) Report(match);  // Finite streams only.
+class SpringMatcher {
+ public:
+  /// `query` is Y = (y_1 .. y_m), m >= 1 (the star-padding y_0 is implicit).
+  SpringMatcher(std::vector<double> query, SpringOptions options);
+
+  SpringMatcher(const SpringMatcher&) = default;
+  SpringMatcher& operator=(const SpringMatcher&) = default;
+  SpringMatcher(SpringMatcher&&) = default;
+  SpringMatcher& operator=(SpringMatcher&&) = default;
+
+  /// Processes the next stream value. Returns true if a disjoint-query match
+  /// is reported at this tick, filling `*match` (match may be null if the
+  /// caller only wants best-match tracking). O(m), allocation-free.
+  bool Update(double x, Match* match);
+
+  /// If a qualifying candidate is still pending (its group never closed
+  /// because the stream ended), reports it. Only meaningful for finite
+  /// streams; a semi-infinite stream never calls this.
+  bool Flush(Match* match);
+
+  /// Number of ticks consumed so far.
+  int64_t ticks_processed() const { return t_; }
+
+  /// Best-match tracking (Problem 1): true once any subsequence exists.
+  bool has_best() const { return has_best_; }
+  /// The minimum-distance subsequence seen so far. Requires has_best().
+  Match best() const { return best_; }
+
+  /// True if a qualifying candidate is currently captured but not reported.
+  bool has_pending_candidate() const { return has_candidate_; }
+
+  /// Query length m.
+  int64_t query_length() const {
+    return static_cast<int64_t>(query_.size());
+  }
+  const std::vector<double>& query() const { return query_; }
+  const SpringOptions& options() const { return options_; }
+
+  /// Discards all stream state (keeps the query); the next Update() is
+  /// tick 0 again.
+  void Reset();
+
+  /// Working-set bytes (the quantity of the paper's Figure 8).
+  util::MemoryFootprint Footprint() const;
+
+  /// Serializes the matcher's complete state — query, options, DP rows,
+  /// pending candidate, best-match — into a versioned byte snapshot, so a
+  /// monitoring process can checkpoint and resume a stream after a restart
+  /// without replaying history. O(m) bytes.
+  std::vector<uint8_t> SerializeState() const;
+
+  /// Reconstructs a matcher from SerializeState() output. Feeding the
+  /// restored matcher the remainder of the stream yields byte-for-byte the
+  /// same reports the original would have produced. Fails on truncated,
+  /// corrupt, or version-mismatched input.
+  static util::StatusOr<SpringMatcher> DeserializeState(
+      std::span<const uint8_t> bytes);
+
+  /// Diagnostics / testing: the STWM row produced by the last Update() —
+  /// index i in [0, m] holds d(t, i) / s(t, i) of the star-padded matrix
+  /// (i = 0 is the star row: d = 0, s = t). Valid until the next Update().
+  std::span<const double> LastRowDistances() const;
+  std::span<const int64_t> LastRowStarts() const;
+
+ private:
+  template <typename Dist>
+  bool UpdateImpl(double x, Match* match, Dist dist);
+
+  std::vector<double> query_;
+  SpringOptions options_;
+
+  // DP rows, index 0 is the star-padding row. After Update() returns, the
+  // freshly computed row lives in prev_* (rows are swapped at the end of
+  // each tick so the next tick reads them as "previous").
+  std::vector<double> d_;
+  std::vector<double> d_prev_;
+  std::vector<int64_t> s_;
+  std::vector<int64_t> s_prev_;
+
+  int64_t t_ = 0;  // Next tick index == number of ticks consumed.
+
+  // Captured disjoint-query candidate (the paper's d_min, t_s, t_e).
+  bool has_candidate_ = false;
+  double dmin_ = 0.0;
+  int64_t ts_ = 0;
+  int64_t te_ = 0;
+  // Extent of the current group of overlapping qualifying subsequences.
+  int64_t group_start_ = 0;
+  int64_t group_end_ = 0;
+
+  // Best-match tracking.
+  bool has_best_ = false;
+  Match best_;
+};
+
+}  // namespace core
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_CORE_SPRING_H_

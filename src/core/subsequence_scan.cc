@@ -1,0 +1,125 @@
+#include "core/subsequence_scan.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/vector_spring.h"
+#include "dtw/dtw.h"
+#include "util/logging.h"
+
+namespace springdtw {
+namespace core {
+
+Match BestSubsequence(const ts::Series& series, const ts::Series& query,
+                      dtw::LocalDistance local_distance) {
+  SpringOptions options;
+  // Distances are non-negative, so a negative threshold disables the
+  // disjoint-query machinery entirely; only best-match tracking runs.
+  options.epsilon = -1.0;
+  options.local_distance = local_distance;
+  SpringMatcher matcher(query.values(), options);
+  for (int64_t t = 0; t < series.size(); ++t) {
+    matcher.Update(series[t], nullptr);
+  }
+  SPRINGDTW_CHECK(matcher.has_best());
+  return matcher.best();
+}
+
+std::vector<Match> DisjointMatches(const ts::Series& series,
+                                   const ts::Series& query, double epsilon,
+                                   dtw::LocalDistance local_distance,
+                                   bool flush) {
+  SpringOptions options;
+  options.epsilon = epsilon;
+  options.local_distance = local_distance;
+  SpringMatcher matcher(query.values(), options);
+  std::vector<Match> matches;
+  Match match;
+  for (int64_t t = 0; t < series.size(); ++t) {
+    if (matcher.Update(series[t], &match)) matches.push_back(match);
+  }
+  if (flush && matcher.Flush(&match)) matches.push_back(match);
+  return matches;
+}
+
+std::vector<PathMatch> DisjointPathMatches(const ts::Series& series,
+                                           const ts::Series& query,
+                                           double epsilon,
+                                           dtw::LocalDistance local_distance,
+                                           bool flush) {
+  SpringOptions options;
+  options.epsilon = epsilon;
+  options.local_distance = local_distance;
+  SpringPathMatcher matcher(query.values(), options);
+  std::vector<PathMatch> matches;
+  PathMatch match;
+  for (int64_t t = 0; t < series.size(); ++t) {
+    if (matcher.Update(series[t], &match)) matches.push_back(match);
+  }
+  if (flush && matcher.Flush(&match)) matches.push_back(match);
+  return matches;
+}
+
+std::vector<Match> DisjointVectorMatches(const ts::VectorSeries& series,
+                                         const ts::VectorSeries& query,
+                                         double epsilon,
+                                         dtw::LocalDistance local_distance,
+                                         bool flush) {
+  SpringOptions options;
+  options.epsilon = epsilon;
+  options.local_distance = local_distance;
+  VectorSpringMatcher matcher(query, options);
+  std::vector<Match> matches;
+  Match match;
+  for (int64_t t = 0; t < series.size(); ++t) {
+    if (matcher.Update(series.Row(t), &match)) matches.push_back(match);
+  }
+  if (flush && matcher.Flush(&match)) matches.push_back(match);
+  return matches;
+}
+
+std::vector<Match> TopKDisjointMatches(const ts::Series& series,
+                                       const ts::Series& query, int64_t k,
+                                       dtw::LocalDistance local_distance) {
+  SPRINGDTW_CHECK_GE(k, 1);
+  std::vector<Match> matches =
+      DisjointMatches(series, query,
+                      std::numeric_limits<double>::infinity(),
+                      local_distance, /*flush=*/true);
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.end < b.end;
+            });
+  if (static_cast<int64_t>(matches.size()) > k) {
+    matches.resize(static_cast<size_t>(k));
+  }
+  return matches;
+}
+
+double SubsequenceDtwDistance(const ts::Series& series, int64_t start,
+                              int64_t end, const ts::Series& query,
+                              dtw::LocalDistance local_distance) {
+  SPRINGDTW_CHECK(start >= 0 && end >= start && end < series.size());
+  const ts::Series sub = series.Slice(start, end - start + 1);
+  dtw::DtwOptions options;
+  options.local_distance = local_distance;
+  return dtw::DtwDistance(sub.values(), query.values(), options);
+}
+
+double CalibrateEpsilon(
+    const ts::Series& series, const ts::Series& query,
+    const std::vector<std::pair<int64_t, int64_t>>& regions, double slack,
+    dtw::LocalDistance local_distance) {
+  SPRINGDTW_CHECK(!regions.empty());
+  double worst = 0.0;
+  for (const auto& [first, last] : regions) {
+    const ts::Series region = series.Slice(first, last - first + 1);
+    const Match best = BestSubsequence(region, query, local_distance);
+    worst = std::max(worst, best.distance);
+  }
+  return worst * slack;
+}
+
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,82 @@
+#ifndef SPRINGDTW_CORE_SUBSEQUENCE_SCAN_H_
+#define SPRINGDTW_CORE_SUBSEQUENCE_SCAN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/match.h"
+#include "core/spring.h"
+#include "core/spring_path.h"
+#include "ts/series.h"
+#include "ts/vector_series.h"
+
+namespace springdtw {
+namespace core {
+
+/// Stored-sequence conveniences built on the streaming matchers. The paper
+/// notes (Section 6) that SPRING "can obviously be applied to stored
+/// sequence sets, too" — these wrappers are that workflow.
+
+/// The minimum-DTW-distance subsequence of `series` w.r.t. `query`
+/// (Problem 1), found in one O(n*m) SPRING pass.
+Match BestSubsequence(
+    const ts::Series& series, const ts::Series& query,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared);
+
+/// All disjoint-query matches of `query` in `series` at threshold `epsilon`
+/// (Problem 2), in report order. When `flush` is true (default for stored
+/// sequences) a candidate still pending at the end of the series is emitted
+/// too.
+std::vector<Match> DisjointMatches(
+    const ts::Series& series, const ts::Series& query, double epsilon,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared,
+    bool flush = true);
+
+/// Like DisjointMatches, but each match carries its optimal warping path.
+std::vector<PathMatch> DisjointPathMatches(
+    const ts::Series& series, const ts::Series& query, double epsilon,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared,
+    bool flush = true);
+
+/// All disjoint-query matches of a k-dimensional query in a k-dimensional
+/// series (Section 5.3 workflow).
+std::vector<Match> DisjointVectorMatches(
+    const ts::VectorSeries& series, const ts::VectorSeries& query,
+    double epsilon,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared,
+    bool flush = true);
+
+/// The k best *disjoint* subsequence matches of `query` in `series`,
+/// sorted by ascending distance. Computed as one SPRING pass with an
+/// unbounded threshold (every overlap group yields its local optimum),
+/// then keeping the k smallest — the natural streaming generalization of
+/// best-match to "top k non-overlapping". Fewer than k are returned when
+/// the stream has fewer disjoint groups. Requires k >= 1.
+std::vector<Match> TopKDisjointMatches(
+    const ts::Series& series, const ts::Series& query, int64_t k,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared);
+
+/// The DTW distance of the specific subsequence series[start : end] (both
+/// inclusive) to `query`, computed with the classic full DTW — an
+/// independent oracle for tests and epsilon calibration.
+double SubsequenceDtwDistance(
+    const ts::Series& series, int64_t start, int64_t end,
+    const ts::Series& query,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared);
+
+/// Chooses a disjoint-query threshold that admits every region in `regions`
+/// (pairs of first/last tick of a known episode): for each region the best
+/// subsequence distance within it is measured with a SPRING pass, and the
+/// maximum is scaled by `slack` (> 1 leaves noise headroom). This mirrors
+/// how thresholds are picked empirically per dataset in the paper's Table 2.
+double CalibrateEpsilon(
+    const ts::Series& series, const ts::Series& query,
+    const std::vector<std::pair<int64_t, int64_t>>& regions,
+    double slack = 1.1,
+    dtw::LocalDistance local_distance = dtw::LocalDistance::kSquared);
+
+}  // namespace core
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_CORE_SUBSEQUENCE_SCAN_H_

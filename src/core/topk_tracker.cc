@@ -1,0 +1,59 @@
+#include "core/topk_tracker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+// Max-heap comparator on distance (worst match at the front).
+bool HeapLess(const Match& a, const Match& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.end > b.end;  // Among equals, the later end is "worse".
+}
+
+}  // namespace
+
+TopKTracker::TopKTracker(int64_t k) : k_(k) {
+  SPRINGDTW_CHECK_GE(k, 1);
+  heap_.reserve(static_cast<size_t>(k));
+}
+
+double TopKTracker::admission_threshold() const {
+  return size() < k_ ? std::numeric_limits<double>::infinity()
+                     : heap_.front().distance;
+}
+
+bool TopKTracker::Offer(const Match& match) {
+  ++offered_;
+  if (size() < k_) {
+    heap_.push_back(match);
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+    return true;
+  }
+  if (!HeapLess(match, heap_.front())) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  heap_.back() = match;
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+  return true;
+}
+
+std::vector<Match> TopKTracker::Snapshot() const {
+  std::vector<Match> out = heap_;
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.end < b.end;
+  });
+  return out;
+}
+
+void TopKTracker::Clear() {
+  heap_.clear();
+  offered_ = 0;
+}
+
+}  // namespace core
+}  // namespace springdtw

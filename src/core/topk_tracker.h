@@ -1,0 +1,56 @@
+#ifndef SPRINGDTW_CORE_TOPK_TRACKER_H_
+#define SPRINGDTW_CORE_TOPK_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/match.h"
+
+namespace springdtw {
+namespace core {
+
+/// Maintains the k best (smallest-distance) disjoint matches of a stream
+/// *online*: feed it every match a SpringMatcher reports (reports are
+/// already pairwise disjoint, so no overlap resolution is needed) and ask
+/// for the current top k at any tick. O(log k) per offer via a max-heap on
+/// distance; O(k log k) per snapshot.
+///
+/// This is the streaming counterpart of core::TopKDisjointMatches: run the
+/// matcher with epsilon = +infinity (every group reports its optimum) and
+/// offer every report.
+class TopKTracker {
+ public:
+  /// Tracks the `k` smallest-distance matches; k >= 1.
+  explicit TopKTracker(int64_t k);
+
+  /// Accounts one reported match. Returns true if it entered the top k
+  /// (possibly evicting the current worst).
+  bool Offer(const Match& match);
+
+  /// Current number of tracked matches (<= k).
+  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+
+  /// Largest tracked distance; +infinity while fewer than k are tracked
+  /// (anything would still be accepted).
+  double admission_threshold() const;
+
+  /// The tracked matches, sorted by ascending distance (ties by earlier
+  /// end). O(k log k).
+  std::vector<Match> Snapshot() const;
+
+  /// Total matches offered so far (accepted or not).
+  int64_t offered() const { return offered_; }
+
+  void Clear();
+
+ private:
+  int64_t k_;
+  int64_t offered_ = 0;
+  // Max-heap on distance: heap_.front() is the current worst.
+  std::vector<Match> heap_;
+};
+
+}  // namespace core
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_CORE_TOPK_TRACKER_H_

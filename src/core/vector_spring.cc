@@ -1,0 +1,283 @@
+#include "core/vector_spring.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "dtw/local_distance.h"
+#include "util/codec.h"
+#include "util/logging.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+VectorSpringMatcher::VectorSpringMatcher(ts::VectorSeries query,
+                                         SpringOptions options)
+    : query_(std::move(query)), options_(options) {
+  SPRINGDTW_CHECK_GT(query_.size(), 0)
+      << "vector SPRING needs a non-empty query";
+  const size_t rows = static_cast<size_t>(query_.size()) + 1;
+  d_.assign(rows, kInf);
+  d_prev_.assign(rows, kInf);
+  s_.assign(rows, 0);
+  s_prev_.assign(rows, 0);
+  Reset();
+}
+
+void VectorSpringMatcher::Reset() {
+  std::fill(d_.begin(), d_.end(), kInf);
+  std::fill(d_prev_.begin(), d_prev_.end(), kInf);
+  std::fill(s_.begin(), s_.end(), int64_t{0});
+  std::fill(s_prev_.begin(), s_prev_.end(), int64_t{0});
+  d_prev_[0] = 0.0;
+  t_ = 0;
+  has_candidate_ = false;
+  dmin_ = kInf;
+  ts_ = te_ = 0;
+  group_start_ = group_end_ = 0;
+  has_best_ = false;
+  best_ = Match{};
+}
+
+bool VectorSpringMatcher::Update(std::span<const double> row, Match* match) {
+  SPRINGDTW_DCHECK(static_cast<int64_t>(row.size()) == dims());
+  const int64_t m = query_length();
+  const int64_t t = t_;
+
+  d_[0] = 0.0;
+  s_[0] = t;
+  for (int64_t i = 1; i <= m; ++i) {
+    const double d_here = d_[static_cast<size_t>(i - 1)];
+    const double d_up = d_prev_[static_cast<size_t>(i)];
+    const double d_diag = d_prev_[static_cast<size_t>(i - 1)];
+    double dbest = d_here;
+    if (d_up < dbest) dbest = d_up;
+    if (d_diag < dbest) dbest = d_diag;
+
+    d_[static_cast<size_t>(i)] =
+        dtw::VectorPointDistance(options_.local_distance, row,
+                                 query_.Row(i - 1)) +
+        dbest;
+    if (d_here == dbest) {
+      s_[static_cast<size_t>(i)] = s_[static_cast<size_t>(i - 1)];
+    } else if (d_up == dbest) {
+      s_[static_cast<size_t>(i)] = s_prev_[static_cast<size_t>(i)];
+    } else {
+      s_[static_cast<size_t>(i)] = s_prev_[static_cast<size_t>(i - 1)];
+    }
+    if (options_.max_match_length > 0 &&
+        t - s_[static_cast<size_t>(i)] + 1 > options_.max_match_length) {
+      d_[static_cast<size_t>(i)] = kInf;
+    }
+  }
+
+  const double dm = d_[static_cast<size_t>(m)];
+  const int64_t sm = s_[static_cast<size_t>(m)];
+  const bool long_enough =
+      options_.min_match_length <= 0 ||
+      t - sm + 1 >= options_.min_match_length;
+
+  if (long_enough && (!has_best_ || dm < best_.distance)) {
+    has_best_ = true;
+    best_.start = sm;
+    best_.end = t;
+    best_.distance = dm;
+    best_.report_time = t;
+    best_.group_start = sm;
+    best_.group_end = t;
+  }
+
+  bool reported = false;
+  if (has_candidate_ && dmin_ <= options_.epsilon) {
+    bool can_report = true;
+    for (int64_t i = 1; i <= m; ++i) {
+      if (d_[static_cast<size_t>(i)] < dmin_ &&
+          s_[static_cast<size_t>(i)] <= te_) {
+        can_report = false;
+        break;
+      }
+    }
+    if (can_report) {
+      if (match != nullptr) {
+        match->start = ts_;
+        match->end = te_;
+        match->distance = dmin_;
+        match->report_time = t;
+        match->group_start = group_start_;
+        match->group_end = group_end_;
+      }
+      reported = true;
+      dmin_ = kInf;
+      has_candidate_ = false;
+      for (int64_t i = 1; i <= m; ++i) {
+        if (s_[static_cast<size_t>(i)] <= te_) {
+          d_[static_cast<size_t>(i)] = kInf;
+        }
+      }
+    }
+  }
+
+  const double dm_after = d_[static_cast<size_t>(m)];
+  if (dm_after <= options_.epsilon && long_enough) {
+    if (dm_after < dmin_) {
+      dmin_ = dm_after;
+      ts_ = sm;
+      te_ = t;
+      if (!has_candidate_) {
+        group_start_ = sm;
+        group_end_ = t;
+      }
+      has_candidate_ = true;
+    }
+    if (has_candidate_) {
+      group_start_ = std::min(group_start_, sm);
+      group_end_ = std::max(group_end_, t);
+    }
+  }
+
+  std::swap(d_, d_prev_);
+  std::swap(s_, s_prev_);
+  ++t_;
+  return reported;
+}
+
+bool VectorSpringMatcher::Flush(Match* match) {
+  if (!has_candidate_ || dmin_ > options_.epsilon) return false;
+  if (match != nullptr) {
+    match->start = ts_;
+    match->end = te_;
+    match->distance = dmin_;
+    match->report_time = t_;
+    match->group_start = group_start_;
+    match->group_end = group_end_;
+  }
+  has_candidate_ = false;
+  dmin_ = kInf;
+  for (size_t i = 1; i < d_prev_.size(); ++i) {
+    if (s_prev_[i] <= te_) d_prev_[i] = kInf;
+  }
+  return true;
+}
+
+namespace {
+
+constexpr uint32_t kVectorSnapshotMagic = 0x53505632;  // "SPV2"
+constexpr uint32_t kVectorSnapshotVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> VectorSpringMatcher::SerializeState() const {
+  util::ByteWriter writer;
+  writer.WriteU32(kVectorSnapshotMagic);
+  writer.WriteU32(kVectorSnapshotVersion);
+  writer.WriteDouble(options_.epsilon);
+  writer.WriteU8(static_cast<uint8_t>(options_.local_distance));
+  writer.WriteI64(options_.max_match_length);
+  writer.WriteI64(options_.min_match_length);
+  writer.WriteI64(query_.dims());
+  writer.WriteString(query_.name());
+  writer.WriteDoubleVector(query_.data());
+  writer.WriteDoubleVector(d_prev_);
+  writer.WriteInt64Vector(s_prev_);
+  writer.WriteI64(t_);
+  writer.WriteBool(has_candidate_);
+  writer.WriteDouble(dmin_);
+  writer.WriteI64(ts_);
+  writer.WriteI64(te_);
+  writer.WriteI64(group_start_);
+  writer.WriteI64(group_end_);
+  writer.WriteBool(has_best_);
+  writer.WriteI64(best_.start);
+  writer.WriteI64(best_.end);
+  writer.WriteDouble(best_.distance);
+  writer.WriteI64(best_.report_time);
+  writer.WriteI64(best_.group_start);
+  writer.WriteI64(best_.group_end);
+  return writer.Take();
+}
+
+util::StatusOr<VectorSpringMatcher> VectorSpringMatcher::DeserializeState(
+    std::span<const uint8_t> bytes) {
+  util::ByteReader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  reader.ReadU32(&magic);
+  reader.ReadU32(&version);
+  if (!reader.ok() || magic != kVectorSnapshotMagic) {
+    return util::InvalidArgumentError("not a VectorSpringMatcher snapshot");
+  }
+  if (version != kVectorSnapshotVersion) {
+    return util::InvalidArgumentError("unsupported snapshot version");
+  }
+
+  SpringOptions options;
+  uint8_t distance = 0;
+  reader.ReadDouble(&options.epsilon);
+  reader.ReadU8(&distance);
+  reader.ReadI64(&options.max_match_length);
+  reader.ReadI64(&options.min_match_length);
+  if (distance > static_cast<uint8_t>(dtw::LocalDistance::kAbsolute)) {
+    return util::InvalidArgumentError("snapshot has unknown local distance");
+  }
+  options.local_distance = static_cast<dtw::LocalDistance>(distance);
+
+  int64_t dims = 0;
+  std::string name;
+  std::vector<double> data;
+  reader.ReadI64(&dims);
+  reader.ReadString(&name);
+  if (!reader.ReadDoubleVector(&data) || !reader.ok() || dims < 1 ||
+      data.empty() || static_cast<int64_t>(data.size()) % dims != 0) {
+    return util::InvalidArgumentError("snapshot query corrupt");
+  }
+  ts::VectorSeries query(dims, std::move(name));
+  for (size_t offset = 0; offset < data.size();
+       offset += static_cast<size_t>(dims)) {
+    query.AppendRow(std::span<const double>(data.data() + offset,
+                                            static_cast<size_t>(dims)));
+  }
+
+  VectorSpringMatcher matcher(std::move(query), options);
+  if (!reader.ReadDoubleVector(&matcher.d_prev_) ||
+      !reader.ReadInt64Vector(&matcher.s_prev_) ||
+      matcher.d_prev_.size() !=
+          static_cast<size_t>(matcher.query_length()) + 1 ||
+      matcher.s_prev_.size() !=
+          static_cast<size_t>(matcher.query_length()) + 1) {
+    return util::InvalidArgumentError("snapshot rows corrupt");
+  }
+  reader.ReadI64(&matcher.t_);
+  reader.ReadBool(&matcher.has_candidate_);
+  reader.ReadDouble(&matcher.dmin_);
+  reader.ReadI64(&matcher.ts_);
+  reader.ReadI64(&matcher.te_);
+  reader.ReadI64(&matcher.group_start_);
+  reader.ReadI64(&matcher.group_end_);
+  reader.ReadBool(&matcher.has_best_);
+  reader.ReadI64(&matcher.best_.start);
+  reader.ReadI64(&matcher.best_.end);
+  reader.ReadDouble(&matcher.best_.distance);
+  reader.ReadI64(&matcher.best_.report_time);
+  reader.ReadI64(&matcher.best_.group_start);
+  reader.ReadI64(&matcher.best_.group_end);
+  if (!reader.ok() || !reader.AtEnd() || matcher.t_ < 0) {
+    return util::InvalidArgumentError("snapshot truncated or corrupt");
+  }
+  return matcher;
+}
+
+util::MemoryFootprint VectorSpringMatcher::Footprint() const {
+  util::MemoryFootprint fp;
+  fp.Add("query", util::VectorBytes(query_.data()));
+  fp.Add("stwm_distances",
+         util::VectorBytes(d_) + util::VectorBytes(d_prev_));
+  fp.Add("stwm_starts", util::VectorBytes(s_) + util::VectorBytes(s_prev_));
+  return fp;
+}
+
+}  // namespace core
+}  // namespace springdtw

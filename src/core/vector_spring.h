@@ -1,0 +1,86 @@
+#ifndef SPRINGDTW_CORE_VECTOR_SPRING_H_
+#define SPRINGDTW_CORE_VECTOR_SPRING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/match.h"
+#include "core/spring.h"
+#include "ts/vector_series.h"
+#include "util/memory.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace core {
+
+/// SPRING over "vector streams" (paper Section 5.3): every tick carries k
+/// numbers and the query is a k-dimensional sequence of m ticks. The local
+/// distance is summed over channels (squared L2 by default), which leaves
+/// the STWM recurrences — and all of SPRING's guarantees — unchanged.
+///
+/// Per the paper's motion-capture modification, the reported Match also
+/// carries the start/end of the whole range of overlapping qualifying
+/// subsequences (group_start / group_end), which is what the mocap
+/// experiment displays per motion.
+///
+/// Complexity: O(k*m) time per tick, O(m) extra space beyond the query.
+class VectorSpringMatcher {
+ public:
+  /// `query` has m >= 1 ticks of k >= 1 channels each.
+  VectorSpringMatcher(ts::VectorSeries query, SpringOptions options);
+
+  /// Processes the next tick, a span of exactly dims() values. Returns true
+  /// when a disjoint-query match is reported into `*match`.
+  bool Update(std::span<const double> row, Match* match);
+
+  /// Reports a still-pending candidate at stream end.
+  bool Flush(Match* match);
+
+  bool has_best() const { return has_best_; }
+  Match best() const { return best_; }
+  int64_t ticks_processed() const { return t_; }
+  bool has_pending_candidate() const { return has_candidate_; }
+
+  int64_t dims() const { return query_.dims(); }
+  int64_t query_length() const { return query_.size(); }
+  const SpringOptions& options() const { return options_; }
+
+  /// Discards all stream state (keeps the query).
+  void Reset();
+
+  util::MemoryFootprint Footprint() const;
+
+  /// Serializes the complete state into a versioned byte snapshot (see
+  /// SpringMatcher::SerializeState). O(k*m) bytes.
+  std::vector<uint8_t> SerializeState() const;
+
+  /// Reconstructs a matcher from SerializeState() output; the restored
+  /// matcher continues the stream identically.
+  static util::StatusOr<VectorSpringMatcher> DeserializeState(
+      std::span<const uint8_t> bytes);
+
+ private:
+  ts::VectorSeries query_;
+  SpringOptions options_;
+
+  std::vector<double> d_;
+  std::vector<double> d_prev_;
+  std::vector<int64_t> s_;
+  std::vector<int64_t> s_prev_;
+
+  int64_t t_ = 0;
+  bool has_candidate_ = false;
+  double dmin_ = 0.0;
+  int64_t ts_ = 0;
+  int64_t te_ = 0;
+  int64_t group_start_ = 0;
+  int64_t group_end_ = 0;
+  bool has_best_ = false;
+  Match best_;
+};
+
+}  // namespace core
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_CORE_VECTOR_SPRING_H_

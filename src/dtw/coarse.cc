@@ -1,0 +1,139 @@
+#include "dtw/coarse.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "dtw/dtw.h"
+#include "dtw/lower_bounds.h"
+#include "util/logging.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Separation between the value ranges of two segments; 0 when they overlap.
+double RangeGap(const ts::PaaSegment& a, const ts::PaaSegment& b) {
+  if (a.min > b.max) return a.min - b.max;
+  if (b.min > a.max) return b.min - a.max;
+  return 0.0;
+}
+
+// Shared rolling DP over segment pairs. `cost(i, j)` supplies the block
+// cost.
+template <typename CostFn>
+double SegmentDtw(const std::vector<ts::PaaSegment>& sx,
+                  const std::vector<ts::PaaSegment>& sy, CostFn cost) {
+  const int64_t n = static_cast<int64_t>(sx.size());
+  const int64_t m = static_cast<int64_t>(sy.size());
+  std::vector<double> prev(static_cast<size_t>(m), kInf);
+  std::vector<double> curr(static_cast<size_t>(m), kInf);
+  for (int64_t t = 0; t < n; ++t) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    for (int64_t i = 0; i < m; ++i) {
+      double best;
+      if (t == 0 && i == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, curr[static_cast<size_t>(i - 1)]);
+        if (t > 0) best = std::min(best, prev[static_cast<size_t>(i)]);
+        if (t > 0 && i > 0) {
+          best = std::min(best, prev[static_cast<size_t>(i - 1)]);
+        }
+      }
+      curr[static_cast<size_t>(i)] = cost(t, i) + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[static_cast<size_t>(m - 1)];
+}
+
+}  // namespace
+
+double CoarseDtwLowerBound(std::span<const double> x,
+                           std::span<const double> y, int64_t segment_size,
+                           LocalDistance distance) {
+  SPRINGDTW_CHECK(!x.empty() && !y.empty());
+  const std::vector<ts::PaaSegment> sx = ts::PaaReduce(x, segment_size);
+  const std::vector<ts::PaaSegment> sy = ts::PaaReduce(y, segment_size);
+  return SegmentDtw(sx, sy, [&](int64_t t, int64_t i) {
+    return PointDistance(distance,
+                         RangeGap(sx[static_cast<size_t>(t)],
+                                  sy[static_cast<size_t>(i)]),
+                         0.0);
+  });
+}
+
+double CoarseDtwApproximation(std::span<const double> x,
+                              std::span<const double> y,
+                              int64_t segment_size, LocalDistance distance) {
+  SPRINGDTW_CHECK(!x.empty() && !y.empty());
+  const std::vector<ts::PaaSegment> sx = ts::PaaReduce(x, segment_size);
+  const std::vector<ts::PaaSegment> sy = ts::PaaReduce(y, segment_size);
+  return SegmentDtw(sx, sy, [&](int64_t t, int64_t i) {
+    const ts::PaaSegment& a = sx[static_cast<size_t>(t)];
+    const ts::PaaSegment& b = sy[static_cast<size_t>(i)];
+    const double weight =
+        0.5 * static_cast<double>(a.length + b.length);
+    return weight * PointDistance(distance, a.mean, b.mean);
+  });
+}
+
+util::StatusOr<NnResult> NearestNeighborDtwCoarse(
+    const std::vector<ts::Series>& candidates, const ts::Series& query,
+    int64_t segment_size, const DtwOptions& options) {
+  if (candidates.empty()) {
+    return util::InvalidArgumentError(
+        "NearestNeighborDtwCoarse: no candidates");
+  }
+  if (query.empty()) {
+    return util::InvalidArgumentError(
+        "NearestNeighborDtwCoarse: empty query");
+  }
+  for (const ts::Series& c : candidates) {
+    if (c.empty()) {
+      return util::InvalidArgumentError(
+          "NearestNeighborDtwCoarse: empty candidate");
+    }
+  }
+
+  NnResult result;
+  double best = kInf;
+  for (int64_t idx = 0; idx < static_cast<int64_t>(candidates.size());
+       ++idx) {
+    const ts::Series& candidate = candidates[static_cast<size_t>(idx)];
+    if (LbKim(candidate.values(), query.values(), options.local_distance) >=
+        best) {
+      ++result.pruned_by_kim;
+      continue;
+    }
+    if (LbYi(candidate.values(), query.values(), options.local_distance) >=
+        best) {
+      ++result.pruned_by_yi;
+      continue;
+    }
+    if (CoarseDtwLowerBound(candidate.values(), query.values(), segment_size,
+                            options.local_distance) >= best) {
+      ++result.pruned_by_coarse;
+      continue;
+    }
+    ++result.full_computations;
+    const double d =
+        DtwDistance(candidate.values(), query.values(), options);
+    if (d < best) {
+      best = d;
+      result.best_index = idx;
+      result.best_distance = d;
+    }
+  }
+  if (result.best_index < 0) {
+    return util::FailedPreconditionError(
+        "NearestNeighborDtwCoarse: no candidate admits a warping path");
+  }
+  return result;
+}
+
+}  // namespace dtw
+}  // namespace springdtw

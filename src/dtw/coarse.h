@@ -1,0 +1,52 @@
+#ifndef SPRINGDTW_DTW_COARSE_H_
+#define SPRINGDTW_DTW_COARSE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dtw/local_distance.h"
+#include "dtw/nn_search.h"
+#include "ts/paa.h"
+#include "ts/series.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace dtw {
+
+/// Coarse-granularity DTW lower bound in the spirit of FTW (Sakurai,
+/// Yoshikawa, Faloutsos, PODS 2005 — reference [17] of the SPRING paper):
+/// both sequences are PAA-reduced to [min, max] range segments of
+/// `segment_size` ticks and a DTW-style DP runs over segment pairs with
+/// cost = local distance of the *gap* between the two ranges (0 when they
+/// overlap).
+///
+/// Guarantee: CoarseDtwLowerBound(x, y, L, d) <= DtwDistance(x, y, d) for
+/// every L >= 1 and both local distances. (Proof sketch: project the
+/// optimal fine warping path onto segment blocks; the projection is a
+/// valid coarse path, and each of its blocks contains at least one fine
+/// cell whose cost is at least the block's range gap.) Cost: O(n*m / L^2).
+double CoarseDtwLowerBound(std::span<const double> x,
+                           std::span<const double> y, int64_t segment_size,
+                           LocalDistance distance = LocalDistance::kSquared);
+
+/// Fast DTW *estimate* (not a bound): DTW over the PAA means, each step
+/// weighted by the average of the two segment lengths. Useful for ranking
+/// candidates cheaply; error shrinks as segment_size -> 1 (at 1 it is the
+/// exact distance).
+double CoarseDtwApproximation(
+    std::span<const double> x, std::span<const double> y,
+    int64_t segment_size,
+    LocalDistance distance = LocalDistance::kSquared);
+
+/// Exact 1-NN search like NearestNeighborDtw, with the coarse lower bound
+/// inserted into the pruning cascade after LB_Kim/LB_Yi and before the
+/// full DTW. `NnResult::pruned_by_coarse` counts its extra prunes.
+util::StatusOr<NnResult> NearestNeighborDtwCoarse(
+    const std::vector<ts::Series>& candidates, const ts::Series& query,
+    int64_t segment_size, const DtwOptions& options = {});
+
+}  // namespace dtw
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_DTW_COARSE_H_

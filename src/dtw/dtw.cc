@@ -1,0 +1,205 @@
+#include "dtw/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+const char* GlobalConstraintName(GlobalConstraint constraint) {
+  switch (constraint) {
+    case GlobalConstraint::kNone:
+      return "none";
+    case GlobalConstraint::kSakoeChiba:
+      return "sakoe-chiba";
+    case GlobalConstraint::kItakura:
+      return "itakura";
+  }
+  return "unknown";
+}
+
+bool CellAllowed(const DtwOptions& options, int64_t t, int64_t i, int64_t n,
+                 int64_t m) {
+  switch (options.constraint) {
+    case GlobalConstraint::kNone:
+      return true;
+    case GlobalConstraint::kSakoeChiba: {
+      // Band around the (length-scaled) diagonal.
+      const double diag = static_cast<double>(t) * static_cast<double>(m - 1) /
+                          std::max<double>(1.0, static_cast<double>(n - 1));
+      return std::fabs(static_cast<double>(i) - diag) <=
+             static_cast<double>(options.band_radius);
+    }
+    case GlobalConstraint::kItakura: {
+      // Parallelogram with slopes in [1/2, 2] anchored at both corners.
+      // Degenerate single-point sequences admit everything on their axis.
+      if (n == 1 || m == 1) return true;
+      const double td = static_cast<double>(t);
+      const double id = static_cast<double>(i);
+      const double nd = static_cast<double>(n - 1);
+      const double md = static_cast<double>(m - 1);
+      return id <= 2.0 * td && td <= 2.0 * id &&
+             (md - id) <= 2.0 * (nd - td) && (nd - td) <= 2.0 * (md - id);
+    }
+  }
+  return true;
+}
+
+double DtwDistance(std::span<const double> x, std::span<const double> y,
+                   const DtwOptions& options) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  const int64_t m = static_cast<int64_t>(y.size());
+  SPRINGDTW_CHECK_GT(n, 0);
+  SPRINGDTW_CHECK_GT(m, 0);
+
+  // Rolling two-column DP over t; each column is indexed by i in [0, m).
+  std::vector<double> prev(static_cast<size_t>(m), kInf);
+  std::vector<double> curr(static_cast<size_t>(m), kInf);
+
+  for (int64_t t = 0; t < n; ++t) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    for (int64_t i = 0; i < m; ++i) {
+      if (!CellAllowed(options, t, i, n, m)) continue;
+      const double cost = PointDistance(options.local_distance,
+                                        x[static_cast<size_t>(t)],
+                                        y[static_cast<size_t>(i)]);
+      double best;
+      if (t == 0 && i == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, curr[static_cast<size_t>(i - 1)]);
+        if (t > 0) best = std::min(best, prev[static_cast<size_t>(i)]);
+        if (t > 0 && i > 0) {
+          best = std::min(best, prev[static_cast<size_t>(i - 1)]);
+        }
+        if (best == kInf) continue;  // Unreachable under the constraint.
+      }
+      curr[static_cast<size_t>(i)] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[static_cast<size_t>(m - 1)];
+}
+
+util::StatusOr<DtwAlignment> DtwAlign(std::span<const double> x,
+                                      std::span<const double> y,
+                                      const DtwOptions& options) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  const int64_t m = static_cast<int64_t>(y.size());
+  if (n == 0 || m == 0) {
+    return util::InvalidArgumentError("DtwAlign: empty sequence");
+  }
+
+  // Full matrix, row-major over t.
+  std::vector<double> cost(static_cast<size_t>(n * m), kInf);
+  auto at = [&](int64_t t, int64_t i) -> double& {
+    return cost[static_cast<size_t>(t * m + i)];
+  };
+
+  for (int64_t t = 0; t < n; ++t) {
+    for (int64_t i = 0; i < m; ++i) {
+      if (!CellAllowed(options, t, i, n, m)) continue;
+      const double local = PointDistance(options.local_distance,
+                                         x[static_cast<size_t>(t)],
+                                         y[static_cast<size_t>(i)]);
+      double best;
+      if (t == 0 && i == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, at(t, i - 1));
+        if (t > 0) best = std::min(best, at(t - 1, i));
+        if (t > 0 && i > 0) best = std::min(best, at(t - 1, i - 1));
+        if (best == kInf) continue;
+      }
+      at(t, i) = local + best;
+    }
+  }
+  if (at(n - 1, m - 1) == kInf) {
+    return util::FailedPreconditionError(
+        "DtwAlign: constraint admits no warping path");
+  }
+
+  DtwAlignment alignment;
+  alignment.distance = at(n - 1, m - 1);
+  // Backtrack from the end corner, preferring the predecessor that actually
+  // produced the cell (any optimal predecessor yields an optimal path).
+  int64_t t = n - 1;
+  int64_t i = m - 1;
+  alignment.path.emplace_back(t, i);
+  while (t > 0 || i > 0) {
+    double best = kInf;
+    int64_t bt = t;
+    int64_t bi = i;
+    if (t > 0 && i > 0 && at(t - 1, i - 1) < best) {
+      best = at(t - 1, i - 1);
+      bt = t - 1;
+      bi = i - 1;
+    }
+    if (t > 0 && at(t - 1, i) < best) {
+      best = at(t - 1, i);
+      bt = t - 1;
+      bi = i;
+    }
+    if (i > 0 && at(t, i - 1) < best) {
+      best = at(t, i - 1);
+      bt = t;
+      bi = i - 1;
+    }
+    SPRINGDTW_CHECK(best < kInf) << "backtracking escaped the matrix";
+    t = bt;
+    i = bi;
+    alignment.path.emplace_back(t, i);
+  }
+  std::reverse(alignment.path.begin(), alignment.path.end());
+  return alignment;
+}
+
+double DtwDistanceMultivariate(const ts::VectorSeries& x,
+                               const ts::VectorSeries& y,
+                               const DtwOptions& options) {
+  const int64_t n = x.size();
+  const int64_t m = y.size();
+  SPRINGDTW_CHECK_GT(n, 0);
+  SPRINGDTW_CHECK_GT(m, 0);
+  SPRINGDTW_CHECK_EQ(x.dims(), y.dims());
+
+  std::vector<double> prev(static_cast<size_t>(m), kInf);
+  std::vector<double> curr(static_cast<size_t>(m), kInf);
+  for (int64_t t = 0; t < n; ++t) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const auto xt = x.Row(t);
+    for (int64_t i = 0; i < m; ++i) {
+      if (!CellAllowed(options, t, i, n, m)) continue;
+      const double cost =
+          VectorPointDistance(options.local_distance, xt, y.Row(i));
+      double best;
+      if (t == 0 && i == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, curr[static_cast<size_t>(i - 1)]);
+        if (t > 0) best = std::min(best, prev[static_cast<size_t>(i)]);
+        if (t > 0 && i > 0) {
+          best = std::min(best, prev[static_cast<size_t>(i - 1)]);
+        }
+        if (best == kInf) continue;
+      }
+      curr[static_cast<size_t>(i)] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[static_cast<size_t>(m - 1)];
+}
+
+}  // namespace dtw
+}  // namespace springdtw

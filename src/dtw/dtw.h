@@ -1,0 +1,77 @@
+#ifndef SPRINGDTW_DTW_DTW_H_
+#define SPRINGDTW_DTW_DTW_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dtw/local_distance.h"
+#include "ts/vector_series.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace dtw {
+
+/// Global path constraints for stored-sequence DTW (Rabiner & Juang; used by
+/// the indexing literature the paper cites — Keogh 2002, Zhu & Shasha 2003).
+enum class GlobalConstraint {
+  /// Unconstrained warping (the paper's Equation 1).
+  kNone = 0,
+  /// Sakoe-Chiba band: |i - t*m/n| <= band_radius.
+  kSakoeChiba = 1,
+  /// Itakura parallelogram: path slope confined to [1/2, 2].
+  kItakura = 2,
+};
+
+/// Stable display name for a constraint.
+const char* GlobalConstraintName(GlobalConstraint constraint);
+
+/// Options for the classic whole-sequence DTW routines.
+struct DtwOptions {
+  LocalDistance local_distance = LocalDistance::kSquared;
+  GlobalConstraint constraint = GlobalConstraint::kNone;
+  /// Sakoe-Chiba band radius in ticks (ignored for other constraints).
+  int64_t band_radius = 0;
+};
+
+/// One step of a warping path: (index into X, index into Y), 0-based.
+using PathStep = std::pair<int64_t, int64_t>;
+
+/// Result of a full alignment: distance plus the optimal warping path from
+/// (0, 0) to (n-1, m-1), in increasing order.
+struct DtwAlignment {
+  double distance = 0.0;
+  std::vector<PathStep> path;
+};
+
+/// Whole-sequence DTW distance (Equation 1 of the paper) with O(m) memory.
+/// Returns +infinity if the constraint admits no path (e.g. an extreme
+/// length ratio under Itakura, or a band narrower than the length gap).
+/// Requires both sequences non-empty.
+double DtwDistance(std::span<const double> x, std::span<const double> y,
+                   const DtwOptions& options = {});
+
+/// Whole-sequence DTW with full-matrix backtracking; returns the distance
+/// and one optimal warping path. O(n*m) memory.
+util::StatusOr<DtwAlignment> DtwAlign(std::span<const double> x,
+                                      std::span<const double> y,
+                                      const DtwOptions& options = {});
+
+/// Multivariate whole-sequence DTW: ticks are k-dimensional rows; the local
+/// distance is summed over channels. Requires equal dims() and both
+/// sequences non-empty.
+double DtwDistanceMultivariate(const ts::VectorSeries& x,
+                               const ts::VectorSeries& y,
+                               const DtwOptions& options = {});
+
+/// True if matrix cell (t, i) — 0-based positions into sequences of length
+/// n and m — is admitted by `options`' global constraint. Exposed for tests
+/// and for the lower-bound envelopes.
+bool CellAllowed(const DtwOptions& options, int64_t t, int64_t i, int64_t n,
+                 int64_t m);
+
+}  // namespace dtw
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_DTW_DTW_H_

@@ -1,0 +1,52 @@
+#include "dtw/envelope.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace dtw {
+
+Envelope ComputeEnvelope(std::span<const double> y, int64_t radius) {
+  SPRINGDTW_CHECK_GE(radius, 0);
+  const int64_t n = static_cast<int64_t>(y.size());
+  Envelope env;
+  env.upper.resize(y.size());
+  env.lower.resize(y.size());
+
+  // Monotonic deques over the sliding window [i - radius, i + radius].
+  std::deque<int64_t> max_idx;
+  std::deque<int64_t> min_idx;
+  for (int64_t j = 0; j < n + radius; ++j) {
+    if (j < n) {
+      // Push y[j], evicting dominated tail entries.
+      while (!max_idx.empty() &&
+             y[static_cast<size_t>(max_idx.back())] <=
+                 y[static_cast<size_t>(j)]) {
+        max_idx.pop_back();
+      }
+      max_idx.push_back(j);
+      while (!min_idx.empty() &&
+             y[static_cast<size_t>(min_idx.back())] >=
+                 y[static_cast<size_t>(j)]) {
+        min_idx.pop_back();
+      }
+      min_idx.push_back(j);
+    }
+    const int64_t i = j - radius;  // Window now covers position i fully.
+    if (i < 0 || i >= n) continue;
+    // Evict entries that left the window on the left.
+    while (!max_idx.empty() && max_idx.front() < i - radius) {
+      max_idx.pop_front();
+    }
+    while (!min_idx.empty() && min_idx.front() < i - radius) {
+      min_idx.pop_front();
+    }
+    env.upper[static_cast<size_t>(i)] = y[static_cast<size_t>(max_idx.front())];
+    env.lower[static_cast<size_t>(i)] = y[static_cast<size_t>(min_idx.front())];
+  }
+  return env;
+}
+
+}  // namespace dtw
+}  // namespace springdtw

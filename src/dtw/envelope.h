@@ -1,0 +1,26 @@
+#ifndef SPRINGDTW_DTW_ENVELOPE_H_
+#define SPRINGDTW_DTW_ENVELOPE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace springdtw {
+namespace dtw {
+
+/// Upper/lower envelope of a sequence under a Sakoe-Chiba band of radius r:
+/// upper[i] = max(y[i-r .. i+r]), lower[i] = min(y[i-r .. i+r]).
+/// Used by LB_Keogh (Keogh, VLDB 2002).
+struct Envelope {
+  std::vector<double> upper;
+  std::vector<double> lower;
+};
+
+/// Computes the envelope in O(n) with the Lemire streaming min/max algorithm.
+/// Requires radius >= 0.
+Envelope ComputeEnvelope(std::span<const double> y, int64_t radius);
+
+}  // namespace dtw
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_DTW_ENVELOPE_H_

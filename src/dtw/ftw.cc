@@ -1,0 +1,94 @@
+#include "dtw/ftw.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "dtw/coarse.h"
+
+namespace springdtw {
+namespace dtw {
+
+util::StatusOr<FtwResult> MultiResolutionNearestNeighbor(
+    const std::vector<ts::Series>& candidates, const ts::Series& query,
+    const FtwOptions& options) {
+  if (candidates.empty()) {
+    return util::InvalidArgumentError(
+        "MultiResolutionNearestNeighbor: no candidates");
+  }
+  if (query.empty()) {
+    return util::InvalidArgumentError(
+        "MultiResolutionNearestNeighbor: empty query");
+  }
+  if (options.granularities.empty()) {
+    return util::InvalidArgumentError("need at least one granularity");
+  }
+  for (size_t g = 0; g < options.granularities.size(); ++g) {
+    if (options.granularities[g] < 1) {
+      return util::InvalidArgumentError("granularities must be >= 1");
+    }
+    if (g > 0 &&
+        options.granularities[g] >= options.granularities[g - 1]) {
+      return util::InvalidArgumentError(
+          "granularities must be strictly decreasing");
+    }
+  }
+  for (const ts::Series& c : candidates) {
+    if (c.empty()) {
+      return util::InvalidArgumentError(
+          "MultiResolutionNearestNeighbor: empty candidate");
+    }
+  }
+
+  FtwResult result;
+  result.pruned_at_level.assign(options.granularities.size(), 0);
+
+  // Level-0 bounds for every candidate; refine in ascending-bound order so
+  // the most promising candidates run (and tighten best) first.
+  const int64_t coarsest = options.granularities.front();
+  std::vector<double> level0(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    level0[i] = CoarseDtwLowerBound(candidates[i].values(), query.values(),
+                                    coarsest, options.dtw.local_distance);
+  }
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return level0[a] < level0[b]; });
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const size_t idx : order) {
+    const ts::Series& candidate = candidates[idx];
+    bool pruned = false;
+    for (size_t g = 0; g < options.granularities.size(); ++g) {
+      const double bound =
+          g == 0 ? level0[idx]
+                 : CoarseDtwLowerBound(candidate.values(), query.values(),
+                                       options.granularities[g],
+                                       options.dtw.local_distance);
+      if (bound >= best) {
+        ++result.pruned_at_level[g];
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) continue;
+    ++result.full_computations;
+    const double d =
+        DtwDistance(candidate.values(), query.values(), options.dtw);
+    if (d < best) {
+      best = d;
+      result.best_index = static_cast<int64_t>(idx);
+      result.best_distance = d;
+    }
+  }
+  if (result.best_index < 0) {
+    return util::FailedPreconditionError(
+        "MultiResolutionNearestNeighbor: no candidate admits a warping "
+        "path");
+  }
+  return result;
+}
+
+}  // namespace dtw
+}  // namespace springdtw

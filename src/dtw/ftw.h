@@ -1,0 +1,51 @@
+#ifndef SPRINGDTW_DTW_FTW_H_
+#define SPRINGDTW_DTW_FTW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dtw/dtw.h"
+#include "ts/series.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace dtw {
+
+/// Options for the multi-resolution ("FTW"-style) exact nearest-neighbour
+/// search — the successive coarse-to-fine refinement scheme of Sakurai,
+/// Yoshikawa, Faloutsos (PODS 2005), reference [17] of the SPRING paper,
+/// built here on the segment-range lower bound of dtw/coarse.h.
+struct FtwOptions {
+  /// Strictly decreasing PAA segment sizes; the bound tightens (and costs
+  /// more) at each level. A final full-DTW confirmation always runs for
+  /// whatever survives.
+  std::vector<int64_t> granularities = {32, 8, 2};
+  /// Local distance / global constraint of the exact computation.
+  DtwOptions dtw;
+};
+
+/// Result of a multi-resolution search.
+struct FtwResult {
+  int64_t best_index = -1;
+  double best_distance = 0.0;
+  /// pruned_at_level[g] = candidates eliminated by the bound at
+  /// granularities[g].
+  std::vector<int64_t> pruned_at_level;
+  /// Candidates that survived every level and paid full DTW.
+  int64_t full_computations = 0;
+};
+
+/// Exact 1-NN under DTW with successive refinement: candidates are first
+/// ranked by the coarsest bound (so a likely-good candidate tightens the
+/// best-so-far early), then each candidate climbs the granularity ladder,
+/// abandoned at the first level whose lower bound already exceeds the best
+/// distance found so far. Returns the same winner as brute force.
+/// Errors on empty inputs or non-decreasing granularity ladders.
+util::StatusOr<FtwResult> MultiResolutionNearestNeighbor(
+    const std::vector<ts::Series>& candidates, const ts::Series& query,
+    const FtwOptions& options = {});
+
+}  // namespace dtw
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_DTW_FTW_H_

@@ -1,0 +1,17 @@
+#include "dtw/local_distance.h"
+
+namespace springdtw {
+namespace dtw {
+
+const char* LocalDistanceName(LocalDistance distance) {
+  switch (distance) {
+    case LocalDistance::kSquared:
+      return "squared";
+    case LocalDistance::kAbsolute:
+      return "absolute";
+  }
+  return "unknown";
+}
+
+}  // namespace dtw
+}  // namespace springdtw

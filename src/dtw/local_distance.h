@@ -1,0 +1,70 @@
+#ifndef SPRINGDTW_DTW_LOCAL_DISTANCE_H_
+#define SPRINGDTW_DTW_LOCAL_DISTANCE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace springdtw {
+namespace dtw {
+
+/// Tick-to-tick ("local") distance between two scalar values. The paper uses
+/// the squared difference by default and notes the algorithms are independent
+/// of this choice (e.g. absolute difference works equally); all matchers in
+/// this library accept either.
+enum class LocalDistance {
+  /// (x - y)^2 — the paper's default.
+  kSquared = 0,
+  /// |x - y|.
+  kAbsolute = 1,
+};
+
+/// Stable display name ("squared" / "absolute").
+const char* LocalDistanceName(LocalDistance distance);
+
+/// Functor form of the squared local distance (hot-path inlinable).
+struct SquaredDistance {
+  double operator()(double x, double y) const {
+    const double d = x - y;
+    return d * d;
+  }
+};
+
+/// Functor form of the absolute local distance.
+struct AbsoluteDistance {
+  double operator()(double x, double y) const { return std::fabs(x - y); }
+};
+
+/// Evaluates the selected local distance. Prefer the functor forms inside
+/// templated inner loops; this switch form is for boundary code.
+inline double PointDistance(LocalDistance distance, double x, double y) {
+  switch (distance) {
+    case LocalDistance::kSquared:
+      return SquaredDistance()(x, y);
+    case LocalDistance::kAbsolute:
+      return AbsoluteDistance()(x, y);
+  }
+  return SquaredDistance()(x, y);
+}
+
+/// Local distance between two k-dimensional ticks: sum over channels of the
+/// scalar local distance (squared L2 for kSquared, L1 for kAbsolute).
+inline double VectorPointDistance(LocalDistance distance,
+                                  std::span<const double> x,
+                                  std::span<const double> y) {
+  double total = 0.0;
+  if (distance == LocalDistance::kSquared) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - y[i];
+      total += d * d;
+    }
+  } else {
+    for (size_t i = 0; i < x.size(); ++i) total += std::fabs(x[i] - y[i]);
+  }
+  return total;
+}
+
+}  // namespace dtw
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_DTW_LOCAL_DISTANCE_H_

@@ -1,0 +1,86 @@
+#include "dtw/lower_bounds.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+// Extreme features of a sequence.
+struct MinMax {
+  double min;
+  double max;
+};
+
+MinMax FindMinMax(std::span<const double> v) {
+  MinMax mm{v[0], v[0]};
+  for (const double x : v) {
+    mm.min = std::min(mm.min, x);
+    mm.max = std::max(mm.max, x);
+  }
+  return mm;
+}
+
+// One-directional LB_Yi sum: cost of x's excursions outside [lo, hi].
+double YiSum(std::span<const double> x, double lo, double hi,
+             LocalDistance distance) {
+  double total = 0.0;
+  for (const double v : x) {
+    if (v > hi) {
+      total += PointDistance(distance, v, hi);
+    } else if (v < lo) {
+      total += PointDistance(distance, v, lo);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double LbKim(std::span<const double> x, std::span<const double> y,
+             LocalDistance distance) {
+  SPRINGDTW_CHECK(!x.empty() && !y.empty());
+  const double first = PointDistance(distance, x.front(), y.front());
+  const double last = PointDistance(distance, x.back(), y.back());
+  const MinMax mx = FindMinMax(x);
+  const MinMax my = FindMinMax(y);
+  const double max_feature = PointDistance(distance, mx.max, my.max);
+  const double min_feature = PointDistance(distance, mx.min, my.min);
+
+  double bound = std::max({first, last, max_feature, min_feature});
+  // With at least two elements on each side, the first and last alignments
+  // are distinct path cells, so their costs add.
+  if (x.size() >= 2 && y.size() >= 2) {
+    bound = std::max(bound, first + last);
+  }
+  return bound;
+}
+
+double LbYi(std::span<const double> x, std::span<const double> y,
+            LocalDistance distance) {
+  SPRINGDTW_CHECK(!x.empty() && !y.empty());
+  const MinMax mx = FindMinMax(x);
+  const MinMax my = FindMinMax(y);
+  return std::max(YiSum(x, my.min, my.max, distance),
+                  YiSum(y, mx.min, mx.max, distance));
+}
+
+double LbKeogh(std::span<const double> x, const Envelope& query_envelope,
+               LocalDistance distance) {
+  SPRINGDTW_CHECK_EQ(x.size(), query_envelope.upper.size());
+  double total = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double v = x[i];
+    if (v > query_envelope.upper[i]) {
+      total += PointDistance(distance, v, query_envelope.upper[i]);
+    } else if (v < query_envelope.lower[i]) {
+      total += PointDistance(distance, v, query_envelope.lower[i]);
+    }
+  }
+  return total;
+}
+
+}  // namespace dtw
+}  // namespace springdtw

@@ -1,0 +1,36 @@
+#ifndef SPRINGDTW_DTW_LOWER_BOUNDS_H_
+#define SPRINGDTW_DTW_LOWER_BOUNDS_H_
+
+#include <span>
+
+#include "dtw/envelope.h"
+#include "dtw/local_distance.h"
+
+namespace springdtw {
+namespace dtw {
+
+/// LB_Kim-style constant-time lower bound on the (unconstrained) DTW
+/// distance, from boundary and extreme features (Kim, Park, Chu, ICDE 2001):
+/// the first elements must align, the last elements must align, and each
+/// sequence's global max/min must align to something no more extreme in the
+/// other. Requires both sequences non-empty.
+double LbKim(std::span<const double> x, std::span<const double> y,
+             LocalDistance distance = LocalDistance::kSquared);
+
+/// LB_Yi linear-time lower bound (Yi, Jagadish, Faloutsos, ICDE 1998):
+/// every element of x above max(y) costs at least its distance to max(y),
+/// and symmetrically below min(y); plus the same with roles swapped, taking
+/// the larger of the two sums. Requires both sequences non-empty.
+double LbYi(std::span<const double> x, std::span<const double> y,
+            LocalDistance distance = LocalDistance::kSquared);
+
+/// LB_Keogh lower bound (Keogh, VLDB 2002) on the *Sakoe-Chiba banded* DTW
+/// distance with the band radius used to build `query_envelope`. Requires
+/// x.size() == envelope size. Tighter than LB_Kim/LB_Yi.
+double LbKeogh(std::span<const double> x, const Envelope& query_envelope,
+               LocalDistance distance = LocalDistance::kSquared);
+
+}  // namespace dtw
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_DTW_LOWER_BOUNDS_H_

@@ -1,0 +1,81 @@
+#include "dtw/nn_search.h"
+
+#include <limits>
+
+#include "dtw/envelope.h"
+#include "dtw/lower_bounds.h"
+
+namespace springdtw {
+namespace dtw {
+
+util::StatusOr<NnResult> NearestNeighborDtw(
+    const std::vector<ts::Series>& candidates, const ts::Series& query,
+    const DtwOptions& options) {
+  if (candidates.empty()) {
+    return util::InvalidArgumentError("NearestNeighborDtw: no candidates");
+  }
+  if (query.empty()) {
+    return util::InvalidArgumentError("NearestNeighborDtw: empty query");
+  }
+  for (const ts::Series& c : candidates) {
+    if (c.empty()) {
+      return util::InvalidArgumentError(
+          "NearestNeighborDtw: empty candidate");
+    }
+  }
+
+  // LB_Keogh needs equal lengths and a band; check applicability once.
+  bool keogh_applicable = options.constraint == GlobalConstraint::kSakoeChiba;
+  for (const ts::Series& c : candidates) {
+    if (c.size() != query.size()) {
+      keogh_applicable = false;
+      break;
+    }
+  }
+  Envelope envelope;
+  if (keogh_applicable) {
+    envelope = ComputeEnvelope(query.values(), options.band_radius);
+  }
+
+  NnResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (int64_t idx = 0; idx < static_cast<int64_t>(candidates.size());
+       ++idx) {
+    const ts::Series& candidate = candidates[static_cast<size_t>(idx)];
+    if (LbKim(candidate.values(), query.values(), options.local_distance) >=
+        best) {
+      ++result.pruned_by_kim;
+      continue;
+    }
+    if (LbYi(candidate.values(), query.values(), options.local_distance) >=
+        best) {
+      ++result.pruned_by_yi;
+      continue;
+    }
+    if (keogh_applicable &&
+        LbKeogh(candidate.values(), envelope, options.local_distance) >=
+            best) {
+      ++result.pruned_by_keogh;
+      continue;
+    }
+    ++result.full_computations;
+    const double d =
+        DtwDistance(candidate.values(), query.values(), options);
+    if (d < best) {
+      best = d;
+      result.best_index = idx;
+      result.best_distance = d;
+    }
+  }
+  if (result.best_index < 0) {
+    // All candidates pruned against an infinite best can't happen (the first
+    // candidate always reaches full DTW), but an unconstrained-path failure
+    // can leave best at infinity.
+    return util::FailedPreconditionError(
+        "NearestNeighborDtw: no candidate admits a warping path");
+  }
+  return result;
+}
+
+}  // namespace dtw
+}  // namespace springdtw

@@ -1,0 +1,47 @@
+#ifndef SPRINGDTW_DTW_NN_SEARCH_H_
+#define SPRINGDTW_DTW_NN_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dtw/dtw.h"
+#include "ts/series.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace dtw {
+
+/// Result of a whole-sequence nearest-neighbour search.
+struct NnResult {
+  /// Index of the best candidate in the input collection.
+  int64_t best_index = -1;
+  /// Its DTW distance to the query.
+  double best_distance = 0.0;
+  /// Candidates discarded by LB_Kim before any O(n*m) work.
+  int64_t pruned_by_kim = 0;
+  /// Candidates discarded by LB_Yi.
+  int64_t pruned_by_yi = 0;
+  /// Candidates discarded by LB_Keogh (only under a Sakoe-Chiba band).
+  int64_t pruned_by_keogh = 0;
+  /// Candidates discarded by the coarse (PAA range) lower bound — only
+  /// populated by NearestNeighborDtwCoarse (see dtw/coarse.h).
+  int64_t pruned_by_coarse = 0;
+  /// Candidates that needed a full DTW computation.
+  int64_t full_computations = 0;
+};
+
+/// Exact 1-NN search of `query` over `candidates` under DTW, with the
+/// classic cascading lower-bound pruning (LB_Kim -> LB_Yi -> LB_Keogh ->
+/// full DTW). LB_Keogh participates only when options.constraint is
+/// kSakoeChiba and every candidate has the query's length (its validity
+/// conditions). Returns an error if `candidates` is empty or any sequence
+/// is empty. This is the "stored data set" workflow the paper contrasts
+/// itself with (Section 2.1) — and which SPRING complements (Section 6).
+util::StatusOr<NnResult> NearestNeighborDtw(
+    const std::vector<ts::Series>& candidates, const ts::Series& query,
+    const DtwOptions& options = {});
+
+}  // namespace dtw
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_DTW_NN_SEARCH_H_

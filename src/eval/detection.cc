@@ -1,0 +1,108 @@
+#include "eval/detection.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace eval {
+
+double IntervalIou(int64_t a_start, int64_t a_end, int64_t b_start,
+                   int64_t b_end) {
+  const int64_t inter_start = std::max(a_start, b_start);
+  const int64_t inter_end = std::min(a_end, b_end);
+  if (inter_end < inter_start) return 0.0;
+  const int64_t intersection = inter_end - inter_start + 1;
+  const int64_t union_size =
+      (a_end - a_start + 1) + (b_end - b_start + 1) - intersection;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+double DetectionScore::precision() const {
+  const int64_t denom = true_positives + false_positives;
+  return denom > 0 ? static_cast<double>(true_positives) /
+                         static_cast<double>(denom)
+                   : 0.0;
+}
+
+double DetectionScore::recall() const {
+  const int64_t denom = true_positives + false_negatives;
+  return denom > 0 ? static_cast<double>(true_positives) /
+                         static_cast<double>(denom)
+                   : 0.0;
+}
+
+double DetectionScore::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+std::string DetectionScore::ToString() const {
+  return util::StrFormat(
+      "P=%.3f R=%.3f F1=%.3f (tp=%lld fp=%lld fn=%lld mean_iou=%.3f "
+      "mean_delay=%.0f)",
+      precision(), recall(), f1(), static_cast<long long>(true_positives),
+      static_cast<long long>(false_positives),
+      static_cast<long long>(false_negatives), iou.mean(),
+      output_delay.mean());
+}
+
+DetectionScore ScoreMatches(const std::vector<gen::PlantedEvent>& events,
+                            const std::vector<core::Match>& matches,
+                            const DetectionOptions& options) {
+  // Collect the events in scope.
+  std::vector<const gen::PlantedEvent*> scoped;
+  for (const gen::PlantedEvent& e : events) {
+    if (options.event_label_filter.empty() ||
+        e.label == options.event_label_filter) {
+      scoped.push_back(&e);
+    }
+  }
+
+  DetectionScore score;
+  std::vector<bool> match_claimed(matches.size(), false);
+
+  // Greedy one-to-one: process events by their best achievable IoU, so a
+  // match is not stolen by a worse-fitting event. For the sizes involved
+  // (a handful of events per workload) the quadratic pass is fine.
+  std::vector<const gen::PlantedEvent*> remaining = scoped;
+  while (!remaining.empty()) {
+    double best_iou = -1.0;
+    size_t best_event = 0;
+    int64_t best_match = -1;
+    for (size_t e = 0; e < remaining.size(); ++e) {
+      for (size_t m = 0; m < matches.size(); ++m) {
+        if (match_claimed[m]) continue;
+        const double iou =
+            IntervalIou(remaining[e]->start, remaining[e]->end(),
+                        matches[m].start, matches[m].end);
+        if (iou > best_iou) {
+          best_iou = iou;
+          best_event = e;
+          best_match = static_cast<int64_t>(m);
+        }
+      }
+    }
+    if (best_match < 0 || best_iou < options.min_iou || best_iou <= 0.0) {
+      // No assignable pair left above the threshold: the rest are misses.
+      score.false_negatives += static_cast<int64_t>(remaining.size());
+      break;
+    }
+    match_claimed[static_cast<size_t>(best_match)] = true;
+    ++score.true_positives;
+    score.iou.Add(best_iou);
+    const core::Match& m = matches[static_cast<size_t>(best_match)];
+    score.output_delay.Add(static_cast<double>(m.report_time - m.end));
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best_event));
+  }
+
+  for (const bool claimed : match_claimed) {
+    if (!claimed) ++score.false_positives;
+  }
+  return score;
+}
+
+}  // namespace eval
+}  // namespace springdtw

@@ -1,0 +1,62 @@
+#ifndef SPRINGDTW_EVAL_DETECTION_H_
+#define SPRINGDTW_EVAL_DETECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/match.h"
+#include "gen/planted.h"
+#include "util/stats.h"
+
+namespace springdtw {
+namespace eval {
+
+/// Interval intersection-over-union of [a_start, a_end] and
+/// [b_start, b_end] (inclusive ticks). 0 when disjoint; 1 when identical.
+double IntervalIou(int64_t a_start, int64_t a_end, int64_t b_start,
+                   int64_t b_end);
+
+/// Options for scoring reported matches against planted ground truth.
+struct DetectionOptions {
+  /// An (event, match) pair counts as a hit when their IoU reaches this.
+  /// 0 degenerates to "any overlap".
+  double min_iou = 0.0;
+  /// When non-empty, only events with this label participate in scoring —
+  /// e.g. score the "walking" query's matches against walking segments
+  /// only (everything the query matched elsewhere then counts as a false
+  /// positive).
+  std::string event_label_filter;
+};
+
+/// Detection quality of a match list versus planted events, under greedy
+/// one-to-one assignment (each event claims the best-IoU unclaimed match).
+struct DetectionScore {
+  int64_t true_positives = 0;
+  /// Matches not claimed by any event.
+  int64_t false_positives = 0;
+  /// Events left unclaimed.
+  int64_t false_negatives = 0;
+  /// IoU distribution over the true positives.
+  util::RunningStats iou;
+  /// Output delay (report_time - end) distribution over the matched pairs.
+  util::RunningStats output_delay;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  /// "P=.. R=.. F1=.. (tp=.. fp=.. fn=.. mean_iou=..)".
+  std::string ToString() const;
+};
+
+/// Scores `matches` against `events` per `options`. Events and matches may
+/// be in any order.
+DetectionScore ScoreMatches(const std::vector<gen::PlantedEvent>& events,
+                            const std::vector<core::Match>& matches,
+                            const DetectionOptions& options = {});
+
+}  // namespace eval
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_EVAL_DETECTION_H_

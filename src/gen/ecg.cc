@@ -1,0 +1,121 @@
+#include "gen/ecg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/signal.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Gaussian bump helper: amplitude * exp(-(x - center)^2 / (2 width^2)).
+double Bump(double x, double center, double width, double amplitude) {
+  const double d = (x - center) / width;
+  return amplitude * std::exp(-0.5 * d * d);
+}
+
+// One beat sampled at `length` ticks. Phase in [0, 1): P wave ~0.18,
+// QRS ~0.4 (Q dip, R spike, S dip), T wave ~0.62.
+// An anomalous ("ectopic") beat has no P wave and a wide, weak R.
+std::vector<double> RenderBeat(int64_t length, double r_amplitude,
+                               bool anomalous) {
+  std::vector<double> beat(static_cast<size_t>(length), 0.0);
+  for (int64_t t = 0; t < length; ++t) {
+    const double phase =
+        static_cast<double>(t) / static_cast<double>(length);
+    double v = 0.0;
+    if (!anomalous) {
+      v += Bump(phase, 0.18, 0.035, 0.18 * r_amplitude);   // P
+      v += Bump(phase, 0.385, 0.012, -0.22 * r_amplitude); // Q
+      v += Bump(phase, 0.40, 0.009, r_amplitude);          // R
+      v += Bump(phase, 0.415, 0.012, -0.28 * r_amplitude); // S
+      v += Bump(phase, 0.62, 0.055, 0.32 * r_amplitude);   // T
+    } else {
+      v += Bump(phase, 0.40, 0.045, 0.55 * r_amplitude);   // Wide weak R.
+      v += Bump(phase, 0.47, 0.030, -0.30 * r_amplitude);  // Deep S.
+      v += Bump(phase, 0.66, 0.070, -0.25 * r_amplitude);  // Inverted T.
+    }
+    beat[static_cast<size_t>(t)] = v;
+  }
+  return beat;
+}
+
+}  // namespace
+
+EcgData GenerateEcg(const EcgOptions& options) {
+  SPRINGDTW_CHECK_GE(options.length, 10);
+  SPRINGDTW_CHECK_GT(options.beat_period, 10.0);
+  util::Rng rng(options.seed);
+  EcgData data;
+
+  // Decide which beat ordinals are anomalous (spread across the stream,
+  // never the first few so the rhythm establishes itself).
+  const auto approx_beats = static_cast<int64_t>(
+      static_cast<double>(options.length) / options.beat_period);
+  std::vector<int64_t> anomaly_beats;
+  for (int64_t a = 0; a < options.num_anomalies; ++a) {
+    const int64_t slot = approx_beats / std::max<int64_t>(
+        options.num_anomalies, 1);
+    anomaly_beats.push_back(
+        std::min(approx_beats - 2,
+                 3 + a * slot + rng.UniformInt(0, std::max<int64_t>(
+                                                       1, slot - 4))));
+  }
+
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(options.length));
+  // Smooth heart-rate variability: a slowly varying rate factor.
+  double rate_phase = rng.Uniform(0.0, kTwoPi);
+  int64_t beat_index = 0;
+  while (static_cast<int64_t>(values.size()) < options.length) {
+    const double rate =
+        1.0 + options.rate_variability *
+                  std::sin(rate_phase + 0.7 * static_cast<double>(
+                                                  beat_index));
+    const auto beat_length = std::max<int64_t>(
+        20, static_cast<int64_t>(options.beat_period * rate));
+    const bool anomalous =
+        std::find(anomaly_beats.begin(), anomaly_beats.end(), beat_index) !=
+        anomaly_beats.end();
+    const std::vector<double> beat =
+        RenderBeat(beat_length, options.r_amplitude, anomalous);
+    if (anomalous) {
+      data.anomalies.push_back(PlantedEvent{
+          static_cast<int64_t>(values.size()), beat_length, "ectopic"});
+    }
+    values.insert(values.end(), beat.begin(), beat.end());
+    ++beat_index;
+  }
+  values.resize(static_cast<size_t>(options.length));
+
+  // Baseline wander + measurement noise.
+  for (size_t t = 0; t < values.size(); ++t) {
+    values[t] += options.wander_amplitude *
+                 std::sin(kTwoPi * static_cast<double>(t) /
+                          (17.3 * options.beat_period));
+  }
+  AddGaussianNoise(rng, values, options.noise_sigma);
+  data.stream = ts::Series(std::move(values), "ecg");
+  // Drop anomalies that fell off the truncated end.
+  while (!data.anomalies.empty() &&
+         data.anomalies.back().end() >= options.length) {
+    data.anomalies.pop_back();
+  }
+
+  const auto nominal = static_cast<int64_t>(options.beat_period);
+  data.normal_beat = ts::Series(
+      RenderBeat(nominal, options.r_amplitude, /*anomalous=*/false),
+      "ecg_normal_beat");
+  data.anomalous_beat = ts::Series(
+      RenderBeat(nominal, options.r_amplitude, /*anomalous=*/true),
+      "ecg_ectopic_beat");
+  return data;
+}
+
+}  // namespace gen
+}  // namespace springdtw

@@ -1,0 +1,54 @@
+#ifndef SPRINGDTW_GEN_ECG_H_
+#define SPRINGDTW_GEN_ECG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/planted.h"
+#include "ts/series.h"
+
+namespace springdtw {
+namespace gen {
+
+/// Synthetic ECG-like signal generator, for the bio-medical monitoring
+/// application the paper's abstract motivates (EKG/ECG). Each heartbeat is
+/// a stylized P-QRS-T morphology; the inter-beat interval varies smoothly
+/// (heart-rate variability), which is exactly the time-axis scaling DTW
+/// absorbs. Optionally plants "anomalous" beats — widened, low-amplitude
+/// QRS complexes resembling ectopic beats — as ground-truth events.
+struct EcgOptions {
+  /// Total stream length in ticks (~250 ticks/s nominal).
+  int64_t length = 30000;
+  /// Nominal beat period in ticks and its smooth variability (fraction).
+  double beat_period = 220.0;
+  double rate_variability = 0.15;
+  /// QRS spike amplitude (R peak); P and T waves scale off it.
+  double r_amplitude = 1.0;
+  /// Measurement noise sigma.
+  double noise_sigma = 0.02;
+  /// Baseline wander amplitude (slow sinusoidal drift).
+  double wander_amplitude = 0.05;
+  /// Number of anomalous (ectopic-like) beats to plant.
+  int64_t num_anomalies = 3;
+  /// PRNG seed.
+  uint64_t seed = 6;
+};
+
+struct EcgData {
+  ts::Series stream;
+  /// Query: one clean normal beat at the nominal period.
+  ts::Series normal_beat;
+  /// Query: one clean anomalous beat.
+  ts::Series anomalous_beat;
+  /// Where the anomalous beats sit (label "ectopic"); normal beats are not
+  /// listed individually (there are hundreds).
+  std::vector<PlantedEvent> anomalies;
+};
+
+/// Generates the stream plus one query per beat type.
+EcgData GenerateEcg(const EcgOptions& options);
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_ECG_H_

@@ -1,0 +1,82 @@
+#include "gen/masked_chirp.h"
+
+#include <algorithm>
+
+#include "gen/signal.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+// Renders one "sound" episode: Hann-enveloped sine of the given period.
+std::vector<double> RenderEpisode(int64_t length, double period,
+                                  double amplitude) {
+  std::vector<double> episode = Sine(length, period, amplitude);
+  MultiplyInPlace(episode, HannWindow(length));
+  return episode;
+}
+
+}  // namespace
+
+MaskedChirpData GenerateMaskedChirp(const MaskedChirpOptions& options,
+                                    int64_t query_length) {
+  SPRINGDTW_CHECK_GE(options.num_episodes, 0);
+  SPRINGDTW_CHECK_GE(options.min_episode_length, 2);
+  SPRINGDTW_CHECK_LE(options.min_episode_length, options.max_episode_length);
+  SPRINGDTW_CHECK_GT(options.min_period, 0.0);
+  SPRINGDTW_CHECK_LE(options.min_period, options.max_period);
+
+  util::Rng rng(options.seed);
+  MaskedChirpData data;
+  data.stream = ts::Series(std::vector<double>(
+                               static_cast<size_t>(options.length), 0.0),
+                           "masked_chirp");
+
+  // Choose non-overlapping episode placements by dividing the stream into
+  // num_episodes equal slots and placing one episode per slot with jitter.
+  // This matches the paper's picture: well-separated sound regions.
+  const int64_t slots = std::max<int64_t>(options.num_episodes, 1);
+  const int64_t slot_width = options.length / slots;
+  for (int64_t e = 0; e < options.num_episodes; ++e) {
+    const int64_t max_len =
+        std::min(options.max_episode_length, slot_width - 2);
+    if (max_len < options.min_episode_length) {
+      SPRINGDTW_LOG(Warning) << "slot too small for episode " << e
+                             << "; skipping";
+      continue;
+    }
+    const int64_t length =
+        rng.UniformInt(options.min_episode_length, max_len);
+    const int64_t slot_begin = e * slot_width;
+    const int64_t start =
+        slot_begin + rng.UniformInt(0, slot_width - length - 1);
+    const double period = rng.Uniform(options.min_period, options.max_period);
+
+    const std::vector<double> episode =
+        RenderEpisode(length, period, options.amplitude);
+    for (int64_t t = 0; t < length; ++t) {
+      data.stream[start + t] += episode[static_cast<size_t>(t)];
+    }
+    data.events.push_back(PlantedEvent{
+        start, length, util::StrFormat("sine(period=%.1f)", period)});
+  }
+
+  // White noise over the whole stream ("flat and noisy parts").
+  AddGaussianNoise(rng, data.stream.values(), options.noise_sigma);
+
+  // Query: an independently rendered episode at the mid period, with its own
+  // light noise, so it is similar to — but not a copy of — any planted one.
+  const double query_period = 0.5 * (options.min_period + options.max_period);
+  std::vector<double> query =
+      RenderEpisode(query_length, query_period, options.amplitude);
+  util::Rng query_rng = rng.Fork(0x71);
+  AddGaussianNoise(query_rng, query, options.noise_sigma);
+  data.query = ts::Series(std::move(query), "masked_chirp_query");
+  return data;
+}
+
+}  // namespace gen
+}  // namespace springdtw

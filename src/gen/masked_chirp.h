@@ -1,0 +1,55 @@
+#ifndef SPRINGDTW_GEN_MASKED_CHIRP_H_
+#define SPRINGDTW_GEN_MASKED_CHIRP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/planted.h"
+#include "ts/series.h"
+
+namespace springdtw {
+namespace gen {
+
+/// Parameters for the MaskedChirp synthetic workload (paper Section 5.1):
+/// "discontinuous sine waves with white noise", where "the period of each
+/// disjoint sine wave" varies. Flat noisy stretches ("silence") separate the
+/// sine episodes ("sound"), mimicking voice data.
+struct MaskedChirpOptions {
+  /// Total stream length in ticks.
+  int64_t length = 20000;
+  /// Number of sine episodes to plant.
+  int64_t num_episodes = 4;
+  /// Episode length is drawn uniformly from [min, max] ticks.
+  int64_t min_episode_length = 2000;
+  int64_t max_episode_length = 4000;
+  /// Sine period (ticks per cycle) is drawn uniformly from [min, max], so
+  /// episodes are time-stretched versions of each other.
+  double min_period = 150.0;
+  double max_period = 450.0;
+  /// Sine amplitude.
+  double amplitude = 1.0;
+  /// Standard deviation of the additive white noise (everywhere).
+  double noise_sigma = 0.05;
+  /// PRNG seed.
+  uint64_t seed = 1;
+};
+
+/// A generated MaskedChirp dataset: the stream, the query sequence (one
+/// clean-period sine episode, independently rendered), and where the sound
+/// episodes were planted.
+struct MaskedChirpData {
+  ts::Series stream;
+  ts::Series query;
+  std::vector<PlantedEvent> events;
+};
+
+/// Generates the dataset. Episode placement is deterministic in the seed.
+/// The query is `query_length` ticks of a mid-range-period sine with the same
+/// amplitude and a light noise floor, Hann-enveloped like the episodes.
+MaskedChirpData GenerateMaskedChirp(const MaskedChirpOptions& options,
+                                    int64_t query_length = 2048);
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_MASKED_CHIRP_H_

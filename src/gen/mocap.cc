@@ -1,0 +1,150 @@
+#include "gen/mocap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/signal.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Base gait frequency (cycles per canonical pattern) per archetype. These
+// differ enough that archetypes are mutually dissimilar under DTW.
+double BaseCycles(Motion motion) {
+  switch (motion) {
+    case Motion::kWalking:
+      return 4.0;
+    case Motion::kJumping:
+      return 2.0;
+    case Motion::kPunching:
+      return 6.0;
+    case Motion::kKicking:
+      return 3.0;
+  }
+  return 4.0;
+}
+
+// Renders the canonical pattern of `motion` for one channel. The per-channel
+// harmonic mixture is a deterministic function of (seed, motion, channel),
+// so every instance of the archetype shares the same underlying trajectory.
+std::vector<double> CanonicalChannel(uint64_t seed, Motion motion,
+                                     int64_t channel, int64_t length) {
+  util::Rng rng(seed ^ (static_cast<uint64_t>(motion) * 0x9e3779b97f4a7c15ULL)
+                ^ (static_cast<uint64_t>(channel) * 0xbf58476d1ce4e5b9ULL));
+  const double cycles = BaseCycles(motion);
+  std::vector<double> out(static_cast<size_t>(length), 0.0);
+  // Three harmonics with channel-specific amplitudes and phases.
+  for (int h = 1; h <= 3; ++h) {
+    const double amp = rng.Uniform(0.2, 1.0) / static_cast<double>(h);
+    const double phase = rng.Uniform(0.0, kTwoPi);
+    for (int64_t t = 0; t < length; ++t) {
+      out[static_cast<size_t>(t)] +=
+          amp * std::sin(kTwoPi * cycles * static_cast<double>(h) *
+                             static_cast<double>(t) /
+                             static_cast<double>(length) +
+                         phase);
+    }
+  }
+  // Transient motions get a Hann envelope (burst); walking stays cyclic.
+  if (motion != Motion::kWalking) {
+    MultiplyInPlace(out, HannWindow(length));
+  }
+  return out;
+}
+
+// Renders one instance of `motion`: canonical pattern time-rescaled by
+// `speed` and re-noised, across all channels.
+ts::VectorSeries RenderInstance(const MocapOptions& options, Motion motion,
+                                double speed, util::Rng& noise_rng) {
+  const auto length = std::max<int64_t>(
+      2, static_cast<int64_t>(
+             static_cast<double>(options.canonical_length) / speed));
+  // Build per-channel resampled trajectories, then interleave into rows.
+  std::vector<std::vector<double>> channels(
+      static_cast<size_t>(options.dims));
+  for (int64_t c = 0; c < options.dims; ++c) {
+    std::vector<double> canonical = CanonicalChannel(
+        options.seed, motion, c, options.canonical_length);
+    channels[static_cast<size_t>(c)] = Resample(canonical, length);
+    AddGaussianNoise(noise_rng, channels[static_cast<size_t>(c)],
+                     options.noise_sigma);
+  }
+  ts::VectorSeries out(options.dims, MotionName(motion));
+  out.Reserve(length);
+  std::vector<double> row(static_cast<size_t>(options.dims));
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t c = 0; c < options.dims; ++c) {
+      row[static_cast<size_t>(c)] =
+          channels[static_cast<size_t>(c)][static_cast<size_t>(t)];
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* MotionName(Motion motion) {
+  switch (motion) {
+    case Motion::kWalking:
+      return "walking";
+    case Motion::kJumping:
+      return "jumping";
+    case Motion::kPunching:
+      return "punching";
+    case Motion::kKicking:
+      return "kicking";
+  }
+  return "unknown";
+}
+
+std::vector<Motion> DefaultMotionScript() {
+  return {Motion::kWalking, Motion::kJumping,  Motion::kWalking,
+          Motion::kPunching, Motion::kWalking, Motion::kKicking,
+          Motion::kPunching};
+}
+
+MocapData GenerateMocap(const MocapOptions& options,
+                        std::vector<Motion> script) {
+  SPRINGDTW_CHECK_GE(options.dims, 1);
+  SPRINGDTW_CHECK_GE(options.canonical_length, 4);
+  if (script.empty()) script = DefaultMotionScript();
+
+  util::Rng rng(options.seed);
+  MocapData data;
+  data.stream = ts::VectorSeries(options.dims, "mocap");
+
+  for (const Motion motion : script) {
+    const double speed = rng.Uniform(options.min_speed, options.max_speed);
+    util::Rng noise_rng = rng.Fork(rng.NextUint64());
+    const ts::VectorSeries instance =
+        RenderInstance(options, motion, speed, noise_rng);
+    const int64_t start = data.stream.size();
+    for (int64_t t = 0; t < instance.size(); ++t) {
+      data.stream.AppendRow(instance.Row(t));
+    }
+    data.events.push_back(
+        PlantedEvent{start, instance.size(), MotionName(motion)});
+  }
+
+  // One query per archetype in the script, in first-appearance order, each
+  // rendered with its own speed and noise (so it is not a stream snippet).
+  std::vector<Motion> seen;
+  for (const Motion motion : script) {
+    if (std::find(seen.begin(), seen.end(), motion) != seen.end()) continue;
+    seen.push_back(motion);
+    const double speed = rng.Uniform(options.min_speed, options.max_speed);
+    util::Rng noise_rng = rng.Fork(rng.NextUint64());
+    data.queries.emplace_back(
+        MotionName(motion), RenderInstance(options, motion, speed, noise_rng));
+  }
+  return data;
+}
+
+}  // namespace gen
+}  // namespace springdtw

@@ -1,0 +1,63 @@
+#ifndef SPRINGDTW_GEN_MOCAP_H_
+#define SPRINGDTW_GEN_MOCAP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/planted.h"
+#include "ts/vector_series.h"
+
+namespace springdtw {
+namespace gen {
+
+/// Motion archetypes of the paper's Section 5.3 mocap experiment.
+enum class Motion { kWalking = 0, kJumping = 1, kPunching = 2, kKicking = 3 };
+
+/// Stable display name ("walking", ...).
+const char* MotionName(Motion motion);
+
+/// The 7-motion script of the paper's Figure 9:
+/// walking, jumping, walking, punching, walking, kicking, punching.
+std::vector<Motion> DefaultMotionScript();
+
+/// Surrogate for the CMU motion-capture data: k-dimensional streams where
+/// each motion archetype has a characteristic multi-channel trajectory.
+/// Instances of the same archetype are time-rescaled (speed factor) and
+/// re-noised renditions of a canonical pattern, so matching them requires
+/// exactly the time-warping robustness the experiment demonstrates.
+struct MocapOptions {
+  /// Number of channels (the paper uses k = 62 marker velocities).
+  int64_t dims = 62;
+  /// Canonical pattern length in ticks (~4 s at 60 samples/s).
+  int64_t canonical_length = 240;
+  /// Each rendered instance's speed factor is drawn from [min, max]; the
+  /// instance length is canonical_length / speed.
+  double min_speed = 0.8;
+  double max_speed = 1.3;
+  /// Additive per-channel Gaussian noise sigma.
+  double noise_sigma = 0.05;
+  /// PRNG seed.
+  uint64_t seed = 5;
+};
+
+struct MocapData {
+  /// One continuous multi-channel sequence containing the scripted motions.
+  ts::VectorSeries stream;
+  /// One query per archetype (independently rendered instance), keyed by
+  /// MotionName().
+  std::vector<std::pair<std::string, ts::VectorSeries>> queries;
+  /// Where each scripted motion sits in the stream; label = MotionName().
+  std::vector<PlantedEvent> events;
+};
+
+/// Generates the stream for `script` (defaults to DefaultMotionScript()
+/// when empty) plus one query per archetype appearing in the script.
+MocapData GenerateMocap(const MocapOptions& options,
+                        std::vector<Motion> script = {});
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_MOCAP_H_

@@ -1,0 +1,35 @@
+#ifndef SPRINGDTW_GEN_PLANTED_H_
+#define SPRINGDTW_GEN_PLANTED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace springdtw {
+namespace gen {
+
+/// Ground-truth record of an episode a generator planted in its output
+/// stream. Tests and benches use these to verify that the matcher finds
+/// every planted episode (and nothing wildly off).
+struct PlantedEvent {
+  /// First tick of the episode (0-based, inclusive).
+  int64_t start = 0;
+  /// Number of ticks.
+  int64_t length = 0;
+  /// Generator-specific label (e.g. the motion archetype, or the episode's
+  /// sine period rendered as text).
+  std::string label;
+
+  int64_t end() const { return start + length - 1; }
+};
+
+/// True if [a_start, a_end] and [b_start, b_end] (inclusive) overlap.
+inline bool IntervalsOverlap(int64_t a_start, int64_t a_end, int64_t b_start,
+                             int64_t b_end) {
+  return a_start <= b_end && b_start <= a_end;
+}
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_PLANTED_H_

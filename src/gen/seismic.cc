@@ -1,0 +1,100 @@
+#include "gen/seismic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/signal.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Adds one decaying-oscillation spike ("ringdown") into `values` at `start`.
+void AddSpike(std::vector<double>& values, int64_t start, double amplitude,
+              double ring_period, double decay_ticks) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  const auto extent = static_cast<int64_t>(6.0 * decay_ticks);
+  for (int64_t t = 0; t < extent && start + t < n; ++t) {
+    if (start + t < 0) continue;
+    const double dt = static_cast<double>(t);
+    values[static_cast<size_t>(start + t)] +=
+        amplitude * std::exp(-dt / decay_ticks) *
+        std::sin(kTwoPi * dt / ring_period);
+  }
+}
+
+// Renders an event (spike train) into `values` beginning at `start`.
+// `interval_scale[k]` stretches the gap before spike k (index 0 unused).
+void RenderEvent(std::vector<double>& values, int64_t start,
+                 const SeismicOptions& options,
+                 const std::vector<double>& interval_scales) {
+  const int64_t nominal_gap =
+      options.event_length / std::max<int64_t>(options.spikes_per_event, 1);
+  int64_t pos = start;
+  double amplitude = options.peak_amplitude;
+  for (int64_t k = 0; k < options.spikes_per_event; ++k) {
+    AddSpike(values, pos, amplitude, options.ring_period,
+             options.ring_decay_ticks);
+    const double scale =
+        k + 1 < static_cast<int64_t>(interval_scales.size())
+            ? interval_scales[static_cast<size_t>(k + 1)]
+            : 1.0;
+    pos += static_cast<int64_t>(static_cast<double>(nominal_gap) * scale);
+    amplitude *= options.spike_decay;
+  }
+}
+
+}  // namespace
+
+SeismicData GenerateSeismic(const SeismicOptions& options) {
+  SPRINGDTW_CHECK_GE(options.num_events, 0);
+  SPRINGDTW_CHECK_GT(options.event_length, 0);
+  util::Rng rng(options.seed);
+  SeismicData data;
+
+  // Query: nominal intervals (all scales 1.0), light noise.
+  {
+    std::vector<double> query(static_cast<size_t>(options.event_length), 0.0);
+    const std::vector<double> nominal(
+        static_cast<size_t>(options.spikes_per_event + 1), 1.0);
+    RenderEvent(query, 0, options, nominal);
+    util::Rng query_rng = rng.Fork(0x73);
+    AddGaussianNoise(query_rng, query, options.background_sigma);
+    data.query = ts::Series(std::move(query), "seismic_query");
+  }
+
+  // Stream: background noise + jittered-interval copies of the event.
+  std::vector<double> values(static_cast<size_t>(options.length), 0.0);
+  const int64_t slots = std::max<int64_t>(options.num_events, 1);
+  const int64_t slot_width = options.length / slots;
+  for (int64_t e = 0; e < options.num_events; ++e) {
+    // The jittered event can be up to (1 + jitter) times the nominal length.
+    const auto max_span = static_cast<int64_t>(
+        static_cast<double>(options.event_length) *
+        (1.0 + options.interval_jitter)) + 1;
+    if (slot_width <= max_span + 2) {
+      SPRINGDTW_LOG(Warning) << "slot too small for seismic event " << e;
+      continue;
+    }
+    const int64_t start =
+        e * slot_width + rng.UniformInt(0, slot_width - max_span - 1);
+    std::vector<double> scales(
+        static_cast<size_t>(options.spikes_per_event + 1), 1.0);
+    for (double& s : scales) {
+      s = rng.Uniform(1.0 - options.interval_jitter,
+                      1.0 + options.interval_jitter);
+    }
+    RenderEvent(values, start, options, scales);
+    data.events.push_back(PlantedEvent{start, max_span, "explosion"});
+  }
+  AddGaussianNoise(rng, values, options.background_sigma);
+  data.stream = ts::Series(std::move(values), "seismic");
+  return data;
+}
+
+}  // namespace gen
+}  // namespace springdtw

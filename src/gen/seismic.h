@@ -1,0 +1,57 @@
+#ifndef SPRINGDTW_GEN_SEISMIC_H_
+#define SPRINGDTW_GEN_SEISMIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/planted.h"
+#include "ts/series.h"
+
+namespace springdtw {
+namespace gen {
+
+/// Surrogate for the paper's *Kursk* seismic recordings (Fig. 6(c)): a quiet
+/// background with one (or a few) explosion events, each a train of large
+/// decaying-oscillation spikes whose inter-spike intervals differ slightly
+/// between recordings ("due to differences in environmental conditions").
+struct SeismicOptions {
+  /// Total stream length in ticks.
+  int64_t length = 50000;
+  /// Background noise sigma (instrument noise).
+  double background_sigma = 120.0;
+  /// Number of explosion events planted in the stream.
+  int64_t num_events = 1;
+  /// Event length in ticks (the paper's matched event spans ~4000 ticks).
+  int64_t event_length = 4000;
+  /// Number of large spikes per event.
+  int64_t spikes_per_event = 3;
+  /// Peak amplitude of the first (largest) spike.
+  double peak_amplitude = 9000.0;
+  /// Each subsequent spike is scaled by this factor (echoes decay).
+  double spike_decay = 0.65;
+  /// Oscillation period of each spike's ringdown, in ticks.
+  double ring_period = 40.0;
+  /// Exponential decay constant of each spike's envelope, in ticks.
+  double ring_decay_ticks = 200.0;
+  /// Relative jitter applied to inter-spike intervals in the stream event
+  /// versus the query (the property SPRING must be robust to).
+  double interval_jitter = 0.15;
+  /// PRNG seed.
+  uint64_t seed = 3;
+};
+
+struct SeismicData {
+  ts::Series stream;
+  /// Query: the canonical event (nominal inter-spike intervals).
+  ts::Series query;
+  std::vector<PlantedEvent> events;
+};
+
+/// Generates the dataset. The planted event(s) reuse the query's spike
+/// pattern but with jittered inter-spike intervals and fresh noise.
+SeismicData GenerateSeismic(const SeismicOptions& options);
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_SEISMIC_H_

@@ -1,0 +1,111 @@
+#include "gen/signal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+std::vector<double> Sine(int64_t length, double period, double amplitude,
+                         double phase) {
+  SPRINGDTW_CHECK_GT(period, 0.0);
+  std::vector<double> out(static_cast<size_t>(length));
+  for (int64_t t = 0; t < length; ++t) {
+    out[static_cast<size_t>(t)] =
+        amplitude * std::sin(kTwoPi * static_cast<double>(t) / period + phase);
+  }
+  return out;
+}
+
+std::vector<double> GaussianNoise(util::Rng& rng, int64_t length,
+                                  double sigma) {
+  std::vector<double> out(static_cast<size_t>(length));
+  for (double& x : out) x = rng.Gaussian(0.0, sigma);
+  return out;
+}
+
+void AddGaussianNoise(util::Rng& rng, std::vector<double>& values,
+                      double sigma) {
+  for (double& x : values) x += rng.Gaussian(0.0, sigma);
+}
+
+std::vector<double> RandomWalk(util::Rng& rng, int64_t length, double start,
+                               double step_sigma) {
+  std::vector<double> out(static_cast<size_t>(length));
+  double x = start;
+  for (int64_t t = 0; t < length; ++t) {
+    out[static_cast<size_t>(t)] = x;
+    x += rng.Gaussian(0.0, step_sigma);
+  }
+  return out;
+}
+
+std::vector<double> MovingAverage(const std::vector<double>& values,
+                                  int64_t half_window) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<double> out(values.size());
+  // Prefix sums for O(n) averaging.
+  std::vector<double> prefix(values.size() + 1, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    prefix[static_cast<size_t>(i + 1)] =
+        prefix[static_cast<size_t>(i)] + values[static_cast<size_t>(i)];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = std::max<int64_t>(0, i - half_window);
+    const int64_t hi = std::min<int64_t>(n - 1, i + half_window);
+    out[static_cast<size_t>(i)] =
+        (prefix[static_cast<size_t>(hi + 1)] - prefix[static_cast<size_t>(lo)]) /
+        static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> Resample(const std::vector<double>& values,
+                             int64_t new_length) {
+  SPRINGDTW_CHECK_GE(static_cast<int64_t>(values.size()), 2);
+  SPRINGDTW_CHECK_GE(new_length, 2);
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<double> out(static_cast<size_t>(new_length));
+  const double step =
+      static_cast<double>(n - 1) / static_cast<double>(new_length - 1);
+  for (int64_t i = 0; i < new_length; ++i) {
+    const double pos = static_cast<double>(i) * step;
+    const auto lo = static_cast<int64_t>(pos);
+    const int64_t hi = std::min<int64_t>(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[static_cast<size_t>(i)] =
+        values[static_cast<size_t>(lo)] * (1.0 - frac) +
+        values[static_cast<size_t>(hi)] * frac;
+  }
+  return out;
+}
+
+std::vector<double> HannWindow(int64_t length) {
+  std::vector<double> out(static_cast<size_t>(length));
+  if (length == 1) {
+    out[0] = 1.0;
+    return out;
+  }
+  for (int64_t t = 0; t < length; ++t) {
+    out[static_cast<size_t>(t)] =
+        0.5 - 0.5 * std::cos(kTwoPi * static_cast<double>(t) /
+                             static_cast<double>(length - 1));
+  }
+  return out;
+}
+
+void MultiplyInPlace(std::vector<double>& values,
+                     const std::vector<double>& factors) {
+  SPRINGDTW_CHECK_EQ(values.size(), factors.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] *= factors[i];
+}
+
+}  // namespace gen
+}  // namespace springdtw

@@ -1,0 +1,52 @@
+#ifndef SPRINGDTW_GEN_SIGNAL_H_
+#define SPRINGDTW_GEN_SIGNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace springdtw {
+namespace gen {
+
+/// Samples `length` points of amplitude*sin(2*pi*t/period + phase).
+/// Requires period > 0.
+std::vector<double> Sine(int64_t length, double period, double amplitude,
+                         double phase = 0.0);
+
+/// `length` i.i.d. Gaussian(0, sigma) samples.
+std::vector<double> GaussianNoise(util::Rng& rng, int64_t length,
+                                  double sigma);
+
+/// Adds Gaussian(0, sigma) noise to `values` in place.
+void AddGaussianNoise(util::Rng& rng, std::vector<double>& values,
+                      double sigma);
+
+/// Random walk: x_0 = start, x_t = x_{t-1} + Gaussian(0, step_sigma).
+std::vector<double> RandomWalk(util::Rng& rng, int64_t length, double start,
+                               double step_sigma);
+
+/// Centered moving average with the given half-window (window = 2*half + 1),
+/// truncated at the edges. Used to produce slow "weather" drifts.
+std::vector<double> MovingAverage(const std::vector<double>& values,
+                                  int64_t half_window);
+
+/// Linear-interpolation resampling of `values` to `new_length` points
+/// (endpoints preserved). This is how generators render time-stretched /
+/// compressed instances of a pattern. Requires values.size() >= 2 and
+/// new_length >= 2.
+std::vector<double> Resample(const std::vector<double>& values,
+                             int64_t new_length);
+
+/// Hann window of the given length, in [0, 1]; used as an episode envelope
+/// so planted patterns ramp in and out smoothly.
+std::vector<double> HannWindow(int64_t length);
+
+/// Element-wise product, in place. Requires equal sizes.
+void MultiplyInPlace(std::vector<double>& values,
+                     const std::vector<double>& factors);
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_SIGNAL_H_

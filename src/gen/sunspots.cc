@@ -1,0 +1,98 @@
+#include "gen/sunspots.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/signal.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+constexpr double kPi = 3.1415926535897932384626433832795;
+
+// The active phase of a cycle occupies the middle `kActiveFraction` of it;
+// counts follow a squared half-sine bump over the active phase (sharp rise,
+// slower decline is approximated well enough by the symmetric bump for
+// matching purposes).
+constexpr double kActiveFraction = 0.6;
+
+// Renders the deterministic shape of one cycle (length ticks, given peak).
+std::vector<double> RenderCycleShape(int64_t length, double peak,
+                                     double floor_level) {
+  std::vector<double> out(static_cast<size_t>(length), floor_level);
+  const auto active_len =
+      static_cast<int64_t>(kActiveFraction * static_cast<double>(length));
+  const int64_t active_start = (length - active_len) / 2;
+  for (int64_t t = 0; t < active_len; ++t) {
+    const double phase =
+        static_cast<double>(t) / static_cast<double>(active_len);
+    const double bump = std::sin(kPi * phase);
+    out[static_cast<size_t>(active_start + t)] += peak * bump * bump;
+  }
+  return out;
+}
+
+}  // namespace
+
+SunspotData GenerateSunspots(const SunspotOptions& options,
+                             int64_t query_length) {
+  SPRINGDTW_CHECK_GE(options.min_cycle_length, 10);
+  SPRINGDTW_CHECK_LE(options.min_cycle_length, options.max_cycle_length);
+  util::Rng rng(options.seed);
+  SunspotData data;
+
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(options.length));
+  while (static_cast<int64_t>(values.size()) < options.length) {
+    const int64_t cycle_len =
+        rng.UniformInt(options.min_cycle_length, options.max_cycle_length);
+    const double peak = rng.Uniform(options.min_peak, options.max_peak);
+    std::vector<double> cycle =
+        RenderCycleShape(cycle_len, peak, options.floor_level);
+
+    // Mark the active phase as a planted event (clipped to stream bounds
+    // below, after we know the cycle actually fits).
+    const auto active_len =
+        static_cast<int64_t>(kActiveFraction * static_cast<double>(cycle_len));
+    const int64_t active_start =
+        static_cast<int64_t>(values.size()) + (cycle_len - active_len) / 2;
+
+    // Burstiness: multiplicative lognormal jitter plus additive noise,
+    // clamped to non-negative counts.
+    for (double& x : cycle) {
+      x *= std::exp(rng.Gaussian(0.0, options.burst_sigma));
+      x += rng.Gaussian(0.0, options.noise_sigma);
+      x = std::max(0.0, x);
+    }
+    values.insert(values.end(), cycle.begin(), cycle.end());
+    if (active_start + active_len <= options.length) {
+      data.events.push_back(PlantedEvent{active_start, active_len, "cycle"});
+    }
+  }
+  values.resize(static_cast<size_t>(options.length));
+  data.stream = ts::Series(std::move(values), "sunspots");
+
+  // Query: one clean active phase at nominal mid peak, light burstiness.
+  const double mid_peak = 0.5 * (options.min_peak + options.max_peak);
+  std::vector<double> query(static_cast<size_t>(query_length), 0.0);
+  for (int64_t t = 0; t < query_length; ++t) {
+    const double phase =
+        static_cast<double>(t) / static_cast<double>(query_length);
+    const double bump = std::sin(kPi * phase);
+    query[static_cast<size_t>(t)] =
+        options.floor_level + mid_peak * bump * bump;
+  }
+  util::Rng query_rng = rng.Fork(0x74);
+  for (double& x : query) {
+    x *= std::exp(query_rng.Gaussian(0.0, 0.5 * options.burst_sigma));
+    x = std::max(0.0, x);
+  }
+  data.query = ts::Series(std::move(query), "sunspots_query");
+  return data;
+}
+
+}  // namespace gen
+}  // namespace springdtw

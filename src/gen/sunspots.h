@@ -1,0 +1,55 @@
+#ifndef SPRINGDTW_GEN_SUNSPOTS_H_
+#define SPRINGDTW_GEN_SUNSPOTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/planted.h"
+#include "ts/series.h"
+
+namespace springdtw {
+namespace gen {
+
+/// Surrogate for the paper's *Sunspots* dataset (Fig. 6(d)): daily sunspot
+/// counts rising and falling in cycles of varying length ("between 9.5 and
+/// 11 years, averaging about 10.8") and varying peak amplitude, with bursty
+/// day-to-day variation. Counts are non-negative.
+struct SunspotOptions {
+  /// Total stream length in ticks (days).
+  int64_t length = 15000;
+  /// Nominal cycle length range, in ticks. With ~365 ticks per "year" the
+  /// paper's 9.5–11-year cycles would be 3468–4015 days; we default to a
+  /// compressed scale so several full cycles fit in the stream.
+  int64_t min_cycle_length = 2800;
+  int64_t max_cycle_length = 3600;
+  /// Peak count range per cycle (cycles differ in strength).
+  double min_peak = 180.0;
+  double max_peak = 280.0;
+  /// Multiplicative burstiness of daily counts (lognormal-ish sigma).
+  double burst_sigma = 0.25;
+  /// Additive count noise sigma.
+  double noise_sigma = 6.0;
+  /// Quiet-floor count level between cycles.
+  double floor_level = 5.0;
+  /// PRNG seed.
+  uint64_t seed = 4;
+};
+
+struct SunspotData {
+  ts::Series stream;
+  /// Query: one canonical cycle at the nominal mid length and mid peak.
+  ts::Series query;
+  /// One planted event per *active* (bursty) cycle phase.
+  std::vector<PlantedEvent> events;
+};
+
+/// Generates the dataset. The stream is a back-to-back sequence of cycles,
+/// each with its own length and peak; events mark each cycle's active phase.
+/// The query is an independently rendered cycle of `query_length` ticks.
+SunspotData GenerateSunspots(const SunspotOptions& options,
+                             int64_t query_length = 2000);
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_SUNSPOTS_H_

@@ -1,0 +1,109 @@
+#include "gen/temperature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/signal.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+// A warm-up episode: temperature climbs from cool to hot and back over the
+// episode, with the diurnal wobble superimposed by the caller. Shape is a
+// raised Hann bump scaled to `amplitude`.
+std::vector<double> RenderWarmup(int64_t length, double amplitude) {
+  std::vector<double> bump = HannWindow(length);
+  for (double& x : bump) x *= amplitude;
+  return bump;
+}
+
+}  // namespace
+
+TemperatureData GenerateTemperature(const TemperatureOptions& options,
+                                    int64_t query_length) {
+  SPRINGDTW_CHECK_GE(options.length, 2);
+  SPRINGDTW_CHECK_GT(options.day_length, 0);
+  util::Rng rng(options.seed);
+
+  TemperatureData data;
+  const int64_t n = options.length;
+
+  // Diurnal cycle + slow weather drift.
+  std::vector<double> values =
+      Sine(n, static_cast<double>(options.day_length),
+           options.diurnal_amplitude);
+  util::Rng weather_rng = rng.Fork(0x11);
+  const std::vector<double> weather = MovingAverage(
+      RandomWalk(weather_rng, n, 0.0, options.weather_step_sigma),
+      options.weather_half_window);
+  for (int64_t t = 0; t < n; ++t) {
+    values[static_cast<size_t>(t)] +=
+        options.base_celsius + weather[static_cast<size_t>(t)];
+  }
+
+  // Plant warm-up episodes in disjoint slots.
+  const int64_t slots = std::max<int64_t>(options.num_episodes, 1);
+  const int64_t slot_width = n / slots;
+  for (int64_t e = 0; e < options.num_episodes; ++e) {
+    const int64_t max_len =
+        std::min(options.max_episode_length, slot_width - 2);
+    if (max_len < options.min_episode_length) continue;
+    const int64_t length =
+        rng.UniformInt(options.min_episode_length, max_len);
+    const int64_t start =
+        e * slot_width + rng.UniformInt(0, slot_width - length - 1);
+    const std::vector<double> bump =
+        RenderWarmup(length, options.episode_amplitude);
+    for (int64_t t = 0; t < length; ++t) {
+      values[static_cast<size_t>(start + t)] += bump[static_cast<size_t>(t)];
+    }
+    data.events.push_back(PlantedEvent{start, length, "warmup"});
+  }
+
+  // Measurement noise.
+  AddGaussianNoise(rng, values, options.noise_sigma);
+
+  // Sensor dropouts in bursts: at each tick not already in a gap, start a
+  // gap with probability missing_fraction / mean_gap_length so the overall
+  // missing fraction is approximately missing_fraction.
+  const double gap_start_p =
+      options.mean_gap_length > 0
+          ? options.missing_fraction /
+                static_cast<double>(options.mean_gap_length)
+          : 0.0;
+  int64_t t = 0;
+  while (t < n) {
+    if (rng.Bernoulli(gap_start_p)) {
+      const int64_t gap =
+          std::max<int64_t>(1, rng.UniformInt(1, 2 * options.mean_gap_length));
+      for (int64_t g = 0; g < gap && t < n; ++g, ++t) {
+        values[static_cast<size_t>(t)] = ts::MissingValue();
+      }
+    } else {
+      ++t;
+    }
+  }
+  data.stream = ts::Series(std::move(values), "temperature");
+
+  // Query: canonical warm-up episode riding on the baseline + diurnal cycle,
+  // with fresh noise and no dropouts.
+  std::vector<double> query =
+      Sine(query_length, static_cast<double>(options.day_length),
+           options.diurnal_amplitude);
+  const std::vector<double> query_bump =
+      RenderWarmup(query_length, options.episode_amplitude);
+  for (int64_t i = 0; i < query_length; ++i) {
+    query[static_cast<size_t>(i)] +=
+        options.base_celsius + query_bump[static_cast<size_t>(i)];
+  }
+  util::Rng query_rng = rng.Fork(0x72);
+  AddGaussianNoise(query_rng, query, options.noise_sigma);
+  data.query = ts::Series(std::move(query), "temperature_query");
+  return data;
+}
+
+}  // namespace gen
+}  // namespace springdtw

@@ -1,0 +1,62 @@
+#ifndef SPRINGDTW_GEN_TEMPERATURE_H_
+#define SPRINGDTW_GEN_TEMPERATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/planted.h"
+#include "ts/series.h"
+
+namespace springdtw {
+namespace gen {
+
+/// Surrogate for the paper's *Critter* temperature sensor data (Fig. 6(b)):
+/// readings roughly once per minute, values 20–32 °C, "many missing values",
+/// and a handful of multi-day episodes where the temperature "fluctuates from
+/// cool to hot" — the pattern the query describes.
+struct TemperatureOptions {
+  /// Total stream length in ticks (minutes).
+  int64_t length = 30000;
+  /// Ticks per simulated day (the diurnal period).
+  int64_t day_length = 1440;
+  /// Baseline temperature (deg C) and diurnal swing amplitude.
+  double base_celsius = 24.0;
+  double diurnal_amplitude = 1.5;
+  /// Slow "weather" drift: random-walk step sigma and smoothing half-window.
+  double weather_step_sigma = 0.02;
+  int64_t weather_half_window = 720;
+  /// Measurement noise sigma.
+  double noise_sigma = 0.3;
+  /// Number of warm-up episodes (cool -> hot -> cool, spanning ~2-3 days).
+  int64_t num_episodes = 2;
+  /// Episode length range, in ticks.
+  int64_t min_episode_length = 3000;
+  int64_t max_episode_length = 4500;
+  /// Peak extra warmth during an episode (deg C above baseline trend).
+  double episode_amplitude = 6.0;
+  /// Fraction of readings dropped (missing); dropouts come in short bursts,
+  /// as real sensor outages do.
+  double missing_fraction = 0.02;
+  /// Mean dropout-burst length in ticks.
+  int64_t mean_gap_length = 10;
+  /// PRNG seed.
+  uint64_t seed = 2;
+};
+
+struct TemperatureData {
+  /// The raw stream, *including* NaN missing readings.
+  ts::Series stream;
+  /// Query: one canonical warm-up episode (no missing values).
+  ts::Series query;
+  std::vector<PlantedEvent> events;
+};
+
+/// Generates the dataset. The query is an independently rendered warm-up
+/// episode of `query_length` ticks.
+TemperatureData GenerateTemperature(const TemperatureOptions& options,
+                                    int64_t query_length = 3000);
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_TEMPERATURE_H_

@@ -1,0 +1,112 @@
+#include "gen/warp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace gen {
+
+TimeWarp RandomTimeWarp(util::Rng& rng, int64_t source_length,
+                        int64_t num_knots, double max_stretch) {
+  SPRINGDTW_CHECK_GE(source_length, 2);
+  SPRINGDTW_CHECK_GE(num_knots, 0);
+  SPRINGDTW_CHECK(max_stretch > 0.0 && max_stretch < 1.0);
+
+  TimeWarp warp;
+  // Interior knots at sorted distinct source positions.
+  std::vector<double> positions;
+  positions.push_back(0.0);
+  for (int64_t k = 0; k < num_knots; ++k) {
+    positions.push_back(
+        rng.Uniform(1.0, static_cast<double>(source_length - 1)));
+  }
+  positions.push_back(static_cast<double>(source_length - 1));
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+
+  warp.source = positions;
+  warp.target.resize(warp.source.size());
+  warp.target[0] = 0.0;
+  for (size_t k = 1; k < warp.source.size(); ++k) {
+    const double span = warp.source[k] - warp.source[k - 1];
+    // Each segment's local rate is scaled by a random factor in
+    // [1 - max_stretch, 1 + max_stretch].
+    const double rate = rng.Uniform(1.0 - max_stretch, 1.0 + max_stretch);
+    warp.target[k] = warp.target[k - 1] + span * rate;
+  }
+  // Round the final target endpoint so target_length() is well defined.
+  warp.target.back() = std::max(1.0, std::round(warp.target.back()));
+  return warp;
+}
+
+std::vector<double> ApplyTimeWarp(const std::vector<double>& values,
+                                  const TimeWarp& warp) {
+  SPRINGDTW_CHECK_GE(values.size(), 2u);
+  SPRINGDTW_CHECK_EQ(static_cast<double>(values.size() - 1),
+                     warp.source.back());
+  const int64_t out_length = warp.target_length();
+  std::vector<double> out(static_cast<size_t>(out_length));
+
+  // For each output tick, invert the piecewise-linear target->source map.
+  size_t segment = 0;
+  for (int64_t u = 0; u < out_length; ++u) {
+    const double tu = std::min(static_cast<double>(u), warp.target.back());
+    while (segment + 2 < warp.target.size() &&
+           warp.target[segment + 1] < tu) {
+      ++segment;
+    }
+    const double t0 = warp.target[segment];
+    const double t1 = warp.target[segment + 1];
+    const double s0 = warp.source[segment];
+    const double s1 = warp.source[segment + 1];
+    const double frac = t1 > t0 ? (tu - t0) / (t1 - t0) : 0.0;
+    const double source_pos = s0 + frac * (s1 - s0);
+
+    const auto lo = static_cast<int64_t>(source_pos);
+    const int64_t hi =
+        std::min<int64_t>(lo + 1, static_cast<int64_t>(values.size()) - 1);
+    const double blend = source_pos - static_cast<double>(lo);
+    out[static_cast<size_t>(u)] =
+        values[static_cast<size_t>(lo)] * (1.0 - blend) +
+        values[static_cast<size_t>(hi)] * blend;
+  }
+  return out;
+}
+
+std::vector<double> RandomlyWarp(util::Rng& rng,
+                                 const std::vector<double>& values,
+                                 int64_t num_knots, double max_stretch) {
+  const TimeWarp warp = RandomTimeWarp(
+      rng, static_cast<int64_t>(values.size()), num_knots, max_stretch);
+  return ApplyTimeWarp(values, warp);
+}
+
+ts::VectorSeries ApplyTimeWarpMultivariate(const ts::VectorSeries& series,
+                                           const TimeWarp& warp) {
+  SPRINGDTW_CHECK_GE(series.size(), 2);
+  ts::VectorSeries out(series.dims(), series.name());
+  std::vector<std::vector<double>> channels(
+      static_cast<size_t>(series.dims()));
+  for (int64_t c = 0; c < series.dims(); ++c) {
+    channels[static_cast<size_t>(c)] =
+        ApplyTimeWarp(series.Channel(c), warp);
+  }
+  const auto out_length =
+      static_cast<int64_t>(channels[0].size());
+  out.Reserve(out_length);
+  std::vector<double> row(static_cast<size_t>(series.dims()));
+  for (int64_t t = 0; t < out_length; ++t) {
+    for (int64_t c = 0; c < series.dims(); ++c) {
+      row[static_cast<size_t>(c)] =
+          channels[static_cast<size_t>(c)][static_cast<size_t>(t)];
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace springdtw

@@ -1,0 +1,57 @@
+#ifndef SPRINGDTW_GEN_WARP_H_
+#define SPRINGDTW_GEN_WARP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ts/vector_series.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace gen {
+
+/// A monotone piecewise-linear time map: knot k sends source position
+/// source[k] to target position target[k]. Both arrays are strictly
+/// increasing, start at 0 and end at (source length - 1) / (target length
+/// - 1) respectively. Applying it resamples a sequence along the warped
+/// time axis — the ground-truth "acceleration and deceleration" DTW is
+/// designed to absorb.
+struct TimeWarp {
+  std::vector<double> source;
+  std::vector<double> target;
+
+  /// Target length the map produces.
+  int64_t target_length() const {
+    return static_cast<int64_t>(target.back()) + 1;
+  }
+};
+
+/// Draws a random time warp for a source of length `source_length`:
+/// `num_knots` interior knots at random source positions, each displaced in
+/// target time by up to +/- `max_stretch` (relative local rate change, in
+/// (0, 1)). The resulting target length varies around source_length.
+/// Deterministic in `rng`.
+TimeWarp RandomTimeWarp(util::Rng& rng, int64_t source_length,
+                        int64_t num_knots, double max_stretch);
+
+/// Applies `warp` to `values` by linear interpolation: output tick u reads
+/// the source at the warp's inverse image of u. Requires values.size() ==
+/// the warp's source length and >= 2.
+std::vector<double> ApplyTimeWarp(const std::vector<double>& values,
+                                  const TimeWarp& warp);
+
+/// Convenience: ApplyTimeWarp(values, RandomTimeWarp(...)).
+std::vector<double> RandomlyWarp(util::Rng& rng,
+                                 const std::vector<double>& values,
+                                 int64_t num_knots, double max_stretch);
+
+/// Applies the same time warp to every channel of a k-dimensional series
+/// (the whole body speeds up and slows down together, as in motion
+/// capture). Requires series.size() == the warp's source length and >= 2.
+ts::VectorSeries ApplyTimeWarpMultivariate(const ts::VectorSeries& series,
+                                           const TimeWarp& warp);
+
+}  // namespace gen
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_GEN_WARP_H_

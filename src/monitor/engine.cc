@@ -1,0 +1,414 @@
+#include "monitor/engine.h"
+
+#include "util/codec.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace monitor {
+
+int64_t MonitorEngine::AddStream(std::string name, bool repair_missing) {
+  StreamEntry entry;
+  entry.name = std::move(name);
+  entry.repair_missing = repair_missing;
+  streams_.push_back(std::move(entry));
+  return static_cast<int64_t>(streams_.size()) - 1;
+}
+
+util::StatusOr<int64_t> MonitorEngine::AddQuery(
+    int64_t stream_id, std::string name, std::vector<double> query,
+    const core::SpringOptions& options) {
+  if (stream_id < 0 || stream_id >= num_streams()) {
+    return util::NotFoundError(
+        util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
+  }
+  if (query.empty()) {
+    return util::InvalidArgumentError("empty query");
+  }
+  for (const double y : query) {
+    if (ts::IsMissing(y)) {
+      return util::InvalidArgumentError(
+          "query contains missing values; repair it first");
+    }
+  }
+  const int64_t query_id = static_cast<int64_t>(queries_.size());
+  queries_.push_back(QueryEntry{stream_id, std::move(name),
+                                core::SpringMatcher(std::move(query), options),
+                                QueryStats{}});
+  streams_[static_cast<size_t>(stream_id)].query_ids.push_back(query_id);
+  return query_id;
+}
+
+void MonitorEngine::AddSink(MatchSink* sink) {
+  SPRINGDTW_CHECK(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void MonitorEngine::Dispatch(const QueryEntry& query,
+                             const core::Match& match) {
+  MatchOrigin origin;
+  origin.stream_id = query.stream_id;
+  origin.query_id = &query - queries_.data();
+  origin.stream_name = streams_[static_cast<size_t>(query.stream_id)].name;
+  origin.query_name = query.name;
+  for (MatchSink* sink : sinks_) sink->OnMatch(origin, match);
+}
+
+util::StatusOr<int64_t> MonitorEngine::Push(int64_t stream_id, double value) {
+  if (stream_id < 0 || stream_id >= num_streams()) {
+    return util::NotFoundError(
+        util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
+  }
+  StreamEntry& stream = streams_[static_cast<size_t>(stream_id)];
+  if (stream.repair_missing) {
+    if (!stream.repairer_seeded && !ts::IsMissing(value)) {
+      stream.repairer = ts::StreamingRepairer(value);
+      stream.repairer_seeded = true;
+    }
+    value = stream.repairer.Next(value);
+  } else if (ts::IsMissing(value)) {
+    return util::InvalidArgumentError(
+        "missing value pushed to a stream with repair disabled");
+  }
+
+  util::Stopwatch stopwatch;
+  int64_t reported = 0;
+  core::Match match;
+  for (const int64_t query_id : stream.query_ids) {
+    QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+    ++query.stats.ticks;
+    if (query.matcher.Update(value, &match)) {
+      ++query.stats.matches;
+      query.stats.output_delay.Add(
+          static_cast<double>(match.report_time - match.end));
+      Dispatch(query, match);
+      ++reported;
+    }
+  }
+  if (track_latency_) {
+    push_latency_nanos_.Add(static_cast<double>(stopwatch.ElapsedNanos()));
+  }
+  return reported;
+}
+
+int64_t MonitorEngine::AddVectorStream(std::string name, int64_t dims) {
+  SPRINGDTW_CHECK_GE(dims, 1);
+  VectorStreamEntry entry;
+  entry.name = std::move(name);
+  entry.dims = dims;
+  vector_streams_.push_back(std::move(entry));
+  return static_cast<int64_t>(vector_streams_.size()) - 1;
+}
+
+util::StatusOr<int64_t> MonitorEngine::AddVectorQuery(
+    int64_t stream_id, std::string name, ts::VectorSeries query,
+    const core::SpringOptions& options) {
+  if (stream_id < 0 || stream_id >= num_vector_streams()) {
+    return util::NotFoundError(util::StrFormat(
+        "no vector stream %lld", static_cast<long long>(stream_id)));
+  }
+  VectorStreamEntry& stream = vector_streams_[static_cast<size_t>(stream_id)];
+  if (query.empty()) {
+    return util::InvalidArgumentError("empty vector query");
+  }
+  if (query.dims() != stream.dims) {
+    return util::InvalidArgumentError(util::StrFormat(
+        "query has %lld channels, stream has %lld",
+        static_cast<long long>(query.dims()),
+        static_cast<long long>(stream.dims)));
+  }
+  for (const double v : query.data()) {
+    if (ts::IsMissing(v)) {
+      return util::InvalidArgumentError(
+          "vector query contains missing values; repair it first");
+    }
+  }
+  const int64_t query_id = static_cast<int64_t>(vector_queries_.size());
+  vector_queries_.push_back(VectorQueryEntry{
+      stream_id, std::move(name),
+      core::VectorSpringMatcher(std::move(query), options), QueryStats{}});
+  stream.query_ids.push_back(query_id);
+  return query_id;
+}
+
+void MonitorEngine::DispatchVector(const VectorQueryEntry& query,
+                                   const core::Match& match) {
+  MatchOrigin origin;
+  origin.stream_id = query.stream_id;
+  origin.query_id = &query - vector_queries_.data();
+  origin.stream_name =
+      vector_streams_[static_cast<size_t>(query.stream_id)].name;
+  origin.query_name = query.name;
+  for (MatchSink* sink : sinks_) sink->OnMatch(origin, match);
+}
+
+util::StatusOr<int64_t> MonitorEngine::PushRow(int64_t stream_id,
+                                               std::span<const double> row) {
+  if (stream_id < 0 || stream_id >= num_vector_streams()) {
+    return util::NotFoundError(util::StrFormat(
+        "no vector stream %lld", static_cast<long long>(stream_id)));
+  }
+  VectorStreamEntry& stream = vector_streams_[static_cast<size_t>(stream_id)];
+  if (static_cast<int64_t>(row.size()) != stream.dims) {
+    return util::InvalidArgumentError(util::StrFormat(
+        "row has %zu values, stream has %lld channels", row.size(),
+        static_cast<long long>(stream.dims)));
+  }
+  for (const double v : row) {
+    if (ts::IsMissing(v)) {
+      return util::InvalidArgumentError(
+          "vector streams do not repair missing values; row has NaN");
+    }
+  }
+
+  util::Stopwatch stopwatch;
+  int64_t reported = 0;
+  core::Match match;
+  for (const int64_t query_id : stream.query_ids) {
+    VectorQueryEntry& query = vector_queries_[static_cast<size_t>(query_id)];
+    ++query.stats.ticks;
+    if (query.matcher.Update(row, &match)) {
+      ++query.stats.matches;
+      query.stats.output_delay.Add(
+          static_cast<double>(match.report_time - match.end));
+      DispatchVector(query, match);
+      ++reported;
+    }
+  }
+  if (track_latency_) {
+    push_latency_nanos_.Add(static_cast<double>(stopwatch.ElapsedNanos()));
+  }
+  return reported;
+}
+
+const QueryStats& MonitorEngine::vector_stats(int64_t query_id) const {
+  SPRINGDTW_CHECK(query_id >= 0 && query_id < num_vector_queries());
+  return vector_queries_[static_cast<size_t>(query_id)].stats;
+}
+
+int64_t MonitorEngine::FlushAll() {
+  int64_t reported = 0;
+  core::Match match;
+  for (QueryEntry& query : queries_) {
+    if (query.matcher.Flush(&match)) {
+      ++query.stats.matches;
+      query.stats.output_delay.Add(
+          static_cast<double>(match.report_time - match.end));
+      Dispatch(query, match);
+      ++reported;
+    }
+  }
+  for (VectorQueryEntry& query : vector_queries_) {
+    if (query.matcher.Flush(&match)) {
+      ++query.stats.matches;
+      query.stats.output_delay.Add(
+          static_cast<double>(match.report_time - match.end));
+      DispatchVector(query, match);
+      ++reported;
+    }
+  }
+  return reported;
+}
+
+const QueryStats& MonitorEngine::stats(int64_t query_id) const {
+  SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
+  return queries_[static_cast<size_t>(query_id)].stats;
+}
+
+util::MemoryFootprint MonitorEngine::Footprint() const {
+  util::MemoryFootprint fp;
+  for (const QueryEntry& query : queries_) {
+    fp.Merge(query.matcher.Footprint());
+  }
+  for (const VectorQueryEntry& query : vector_queries_) {
+    fp.Merge(query.matcher.Footprint());
+  }
+  return fp;
+}
+
+namespace {
+
+constexpr uint32_t kEngineMagic = 0x53505245;  // "SPRE"
+constexpr uint32_t kEngineVersion = 1;
+
+void WriteStats(util::ByteWriter* writer, const QueryStats& stats) {
+  writer->WriteI64(stats.ticks);
+  writer->WriteI64(stats.matches);
+  stats.output_delay.SerializeTo(writer);
+}
+
+bool ReadStats(util::ByteReader* reader, QueryStats* stats) {
+  return reader->ReadI64(&stats->ticks) &&
+         reader->ReadI64(&stats->matches) &&
+         stats->output_delay.DeserializeFrom(reader);
+}
+
+}  // namespace
+
+std::vector<uint8_t> MonitorEngine::SerializeState() const {
+  util::ByteWriter writer;
+  writer.WriteU32(kEngineMagic);
+  writer.WriteU32(kEngineVersion);
+
+  writer.WriteU64(streams_.size());
+  for (const StreamEntry& stream : streams_) {
+    writer.WriteString(stream.name);
+    writer.WriteBool(stream.repair_missing);
+    writer.WriteBool(stream.repairer_seeded);
+    writer.WriteDouble(stream.repairer.last());
+  }
+  writer.WriteU64(queries_.size());
+  for (const QueryEntry& query : queries_) {
+    writer.WriteI64(query.stream_id);
+    writer.WriteString(query.name);
+    const std::vector<uint8_t> snapshot = query.matcher.SerializeState();
+    writer.WriteBytes(snapshot);
+    WriteStats(&writer, query.stats);
+  }
+
+  writer.WriteU64(vector_streams_.size());
+  for (const VectorStreamEntry& stream : vector_streams_) {
+    writer.WriteString(stream.name);
+    writer.WriteI64(stream.dims);
+  }
+  writer.WriteU64(vector_queries_.size());
+  for (const VectorQueryEntry& query : vector_queries_) {
+    writer.WriteI64(query.stream_id);
+    writer.WriteString(query.name);
+    const std::vector<uint8_t> snapshot = query.matcher.SerializeState();
+    writer.WriteBytes(snapshot);
+    WriteStats(&writer, query.stats);
+  }
+  return writer.Take();
+}
+
+util::Status MonitorEngine::RestoreState(std::span<const uint8_t> bytes) {
+  if (num_streams() > 0 || num_queries() > 0 || num_vector_streams() > 0 ||
+      num_vector_queries() > 0) {
+    return util::FailedPreconditionError(
+        "RestoreState requires a fresh engine");
+  }
+  util::ByteReader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  reader.ReadU32(&magic);
+  reader.ReadU32(&version);
+  if (!reader.ok() || magic != kEngineMagic) {
+    return util::InvalidArgumentError("not a MonitorEngine checkpoint");
+  }
+  if (version != kEngineVersion) {
+    return util::InvalidArgumentError("unsupported checkpoint version");
+  }
+
+  uint64_t num_scalar_streams = 0;
+  reader.ReadU64(&num_scalar_streams);
+  for (uint64_t i = 0; reader.ok() && i < num_scalar_streams; ++i) {
+    StreamEntry stream;
+    double last = 0.0;
+    reader.ReadString(&stream.name);
+    reader.ReadBool(&stream.repair_missing);
+    reader.ReadBool(&stream.repairer_seeded);
+    reader.ReadDouble(&last);
+    stream.repairer = ts::StreamingRepairer(last);
+    streams_.push_back(std::move(stream));
+  }
+
+  uint64_t num_scalar_queries = 0;
+  reader.ReadU64(&num_scalar_queries);
+  for (uint64_t i = 0; reader.ok() && i < num_scalar_queries; ++i) {
+    int64_t stream_id = 0;
+    std::string name;
+    std::vector<uint8_t> snapshot;
+    uint64_t snapshot_size = 0;
+    reader.ReadI64(&stream_id);
+    reader.ReadString(&name);
+    if (!reader.ReadU64(&snapshot_size) ||
+        snapshot_size > bytes.size() - reader.position()) {
+      return util::InvalidArgumentError("checkpoint truncated");
+    }
+    snapshot.assign(bytes.begin() + static_cast<ptrdiff_t>(reader.position()),
+                    bytes.begin() + static_cast<ptrdiff_t>(
+                                        reader.position() + snapshot_size));
+    // Skip the bytes we just copied.
+    for (uint64_t b = 0; b < snapshot_size; ++b) {
+      uint8_t dummy = 0;
+      reader.ReadU8(&dummy);
+    }
+    auto matcher = core::SpringMatcher::DeserializeState(snapshot);
+    if (!matcher.ok()) return matcher.status();
+    QueryStats stats;
+    if (!ReadStats(&reader, &stats)) {
+      return util::InvalidArgumentError("checkpoint stats truncated");
+    }
+    if (stream_id < 0 || stream_id >= num_streams()) {
+      return util::InvalidArgumentError("checkpoint query has bad stream");
+    }
+    queries_.push_back(QueryEntry{stream_id, std::move(name),
+                                  std::move(*matcher), stats});
+    streams_[static_cast<size_t>(stream_id)].query_ids.push_back(
+        static_cast<int64_t>(queries_.size()) - 1);
+  }
+
+  uint64_t num_vec_streams = 0;
+  reader.ReadU64(&num_vec_streams);
+  for (uint64_t i = 0; reader.ok() && i < num_vec_streams; ++i) {
+    VectorStreamEntry stream;
+    reader.ReadString(&stream.name);
+    reader.ReadI64(&stream.dims);
+    if (stream.dims < 1) {
+      return util::InvalidArgumentError("checkpoint vector stream corrupt");
+    }
+    vector_streams_.push_back(std::move(stream));
+  }
+
+  uint64_t num_vec_queries = 0;
+  reader.ReadU64(&num_vec_queries);
+  for (uint64_t i = 0; reader.ok() && i < num_vec_queries; ++i) {
+    int64_t stream_id = 0;
+    std::string name;
+    uint64_t snapshot_size = 0;
+    reader.ReadI64(&stream_id);
+    reader.ReadString(&name);
+    if (!reader.ReadU64(&snapshot_size) ||
+        snapshot_size > bytes.size() - reader.position()) {
+      return util::InvalidArgumentError("checkpoint truncated");
+    }
+    std::vector<uint8_t> snapshot(
+        bytes.begin() + static_cast<ptrdiff_t>(reader.position()),
+        bytes.begin() +
+            static_cast<ptrdiff_t>(reader.position() + snapshot_size));
+    for (uint64_t b = 0; b < snapshot_size; ++b) {
+      uint8_t dummy = 0;
+      reader.ReadU8(&dummy);
+    }
+    auto matcher = core::VectorSpringMatcher::DeserializeState(snapshot);
+    if (!matcher.ok()) return matcher.status();
+    QueryStats stats;
+    if (!ReadStats(&reader, &stats)) {
+      return util::InvalidArgumentError("checkpoint stats truncated");
+    }
+    if (stream_id < 0 || stream_id >= num_vector_streams()) {
+      return util::InvalidArgumentError("checkpoint query has bad stream");
+    }
+    if (matcher->dims() !=
+        vector_streams_[static_cast<size_t>(stream_id)].dims) {
+      return util::InvalidArgumentError("checkpoint dims mismatch");
+    }
+    vector_queries_.push_back(VectorQueryEntry{
+        stream_id, std::move(name), std::move(*matcher), stats});
+    vector_streams_[static_cast<size_t>(stream_id)].query_ids.push_back(
+        static_cast<int64_t>(vector_queries_.size()) - 1);
+  }
+
+  if (!reader.ok()) {
+    return util::InvalidArgumentError("checkpoint truncated");
+  }
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError("checkpoint has trailing bytes");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace monitor
+}  // namespace springdtw

@@ -1,0 +1,170 @@
+#ifndef SPRINGDTW_MONITOR_ENGINE_H_
+#define SPRINGDTW_MONITOR_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/spring.h"
+#include "core/vector_spring.h"
+#include "monitor/sink.h"
+#include "ts/repair.h"
+#include "util/memory.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace monitor {
+
+/// Per-query counters maintained by the engine.
+struct QueryStats {
+  int64_t ticks = 0;
+  int64_t matches = 0;
+  /// Distribution of (report_time - end) — how many ticks after a match's
+  /// end SPRING needed before it could commit to it (the paper's "output
+  /// time" column in Table 2, relative to the match end).
+  util::RunningStats output_delay;
+};
+
+/// Multi-stream, multi-query monitoring engine: the operational shell around
+/// SpringMatcher for the paper's headline use case ("monitor multiple
+/// numerical streams" against pattern queries). Register streams, attach any
+/// number of queries to each, push values as they arrive; matches fan out to
+/// the registered sinks. Single-threaded by design: one engine per ingest
+/// thread (matchers are independent, so sharding streams across engines is
+/// trivial and lock-free).
+class MonitorEngine {
+ public:
+  MonitorEngine() = default;
+
+  MonitorEngine(const MonitorEngine&) = delete;
+  MonitorEngine& operator=(const MonitorEngine&) = delete;
+
+  /// Registers a stream; returns its id. `repair_missing` replays the last
+  /// value over NaN inputs (see ts::StreamingRepairer).
+  int64_t AddStream(std::string name, bool repair_missing = true);
+
+  /// Attaches a disjoint-query matcher for `query` to stream `stream_id`.
+  /// Returns the query id, or an error for an unknown stream / empty query.
+  util::StatusOr<int64_t> AddQuery(int64_t stream_id, std::string name,
+                                   std::vector<double> query,
+                                   const core::SpringOptions& options);
+
+  /// Registers a sink; not owned; must outlive the engine.
+  void AddSink(MatchSink* sink);
+
+  /// Feeds one value to every query of `stream_id`. Returns the number of
+  /// matches reported at this tick, or an error for an unknown stream.
+  util::StatusOr<int64_t> Push(int64_t stream_id, double value);
+
+  /// Registers a k-dimensional ("vector") stream, Section 5.3 style.
+  /// Vector streams have their own id space, separate from scalar streams.
+  int64_t AddVectorStream(std::string name, int64_t dims);
+
+  /// Attaches a vector query (same dims as the stream) to vector stream
+  /// `stream_id`. Vector query ids are likewise their own id space.
+  util::StatusOr<int64_t> AddVectorQuery(int64_t stream_id, std::string name,
+                                         ts::VectorSeries query,
+                                         const core::SpringOptions& options);
+
+  /// Feeds one tick (exactly dims() values) to every query of vector
+  /// stream `stream_id`. Missing values are not repaired for vector
+  /// streams; rows must be finite.
+  util::StatusOr<int64_t> PushRow(int64_t stream_id,
+                                  std::span<const double> row);
+
+  int64_t num_vector_streams() const {
+    return static_cast<int64_t>(vector_streams_.size());
+  }
+  int64_t num_vector_queries() const {
+    return static_cast<int64_t>(vector_queries_.size());
+  }
+
+  /// Per-vector-query counters. Requires a valid vector query id.
+  const QueryStats& vector_stats(int64_t query_id) const;
+
+  /// Flushes pending candidates of every query (end-of-stream semantics).
+  /// Returns the number of matches emitted.
+  int64_t FlushAll();
+
+  /// Number of registered streams / queries.
+  int64_t num_streams() const {
+    return static_cast<int64_t>(streams_.size());
+  }
+  int64_t num_queries() const {
+    return static_cast<int64_t>(queries_.size());
+  }
+
+  /// Per-query counters. Requires a valid query id.
+  const QueryStats& stats(int64_t query_id) const;
+
+  /// Running per-Push latency distribution, in nanoseconds. Latency
+  /// tracking is off by default (it adds two clock reads per Push).
+  void EnableLatencyTracking(bool enabled) { track_latency_ = enabled; }
+  const util::LogHistogram& push_latency_nanos() const {
+    return push_latency_nanos_;
+  }
+
+  /// Aggregate working-set bytes across all matchers.
+  util::MemoryFootprint Footprint() const;
+
+  /// Serializes the entire engine — streams, queries, matcher states,
+  /// per-query counters — into a versioned checkpoint, so a monitoring
+  /// process can restart and resume every stream without replaying
+  /// history. Sinks are not serialized (re-add them after restore).
+  std::vector<uint8_t> SerializeState() const;
+
+  /// Restores a checkpoint into this engine. The engine must be freshly
+  /// constructed (no streams or queries registered); sinks may already be
+  /// attached. On error the engine is left unusable for matching — discard
+  /// it.
+  util::Status RestoreState(std::span<const uint8_t> bytes);
+
+ private:
+  struct StreamEntry {
+    std::string name;
+    bool repair_missing = true;
+    ts::StreamingRepairer repairer;
+    bool repairer_seeded = false;
+    std::vector<int64_t> query_ids;
+  };
+
+  struct QueryEntry {
+    int64_t stream_id = 0;
+    std::string name;
+    core::SpringMatcher matcher;
+    QueryStats stats;
+  };
+
+  struct VectorStreamEntry {
+    std::string name;
+    int64_t dims = 0;
+    std::vector<int64_t> query_ids;
+  };
+
+  struct VectorQueryEntry {
+    int64_t stream_id = 0;
+    std::string name;
+    core::VectorSpringMatcher matcher;
+    QueryStats stats;
+  };
+
+  void Dispatch(const QueryEntry& query, const core::Match& match);
+  void DispatchVector(const VectorQueryEntry& query,
+                      const core::Match& match);
+
+  std::vector<StreamEntry> streams_;
+  std::vector<QueryEntry> queries_;
+  std::vector<VectorStreamEntry> vector_streams_;
+  std::vector<VectorQueryEntry> vector_queries_;
+  std::vector<MatchSink*> sinks_;
+  bool track_latency_ = false;
+  util::LogHistogram push_latency_nanos_;
+};
+
+}  // namespace monitor
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_MONITOR_ENGINE_H_

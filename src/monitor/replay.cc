@@ -1,0 +1,56 @@
+#include "monitor/replay.h"
+
+#include "util/stopwatch.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+void MaybeReportProgress(const ReplayOptions& options, int64_t ticks,
+                         int64_t matches) {
+  if (options.progress_every > 0 && options.on_progress &&
+      ticks % options.progress_every == 0) {
+    options.on_progress(ticks, matches);
+  }
+}
+
+}  // namespace
+
+util::StatusOr<ReplayResult> ReplayStream(StreamSource& source,
+                                          MonitorEngine& engine,
+                                          int64_t stream_id,
+                                          const ReplayOptions& options) {
+  ReplayResult result;
+  util::Stopwatch stopwatch;
+  double value = 0.0;
+  while (source.Next(&value)) {
+    const auto pushed = engine.Push(stream_id, value);
+    if (!pushed.ok()) return pushed.status();
+    ++result.ticks;
+    result.matches += *pushed;
+    MaybeReportProgress(options, result.ticks, result.matches);
+  }
+  if (options.flush_at_end) result.matches += engine.FlushAll();
+  result.seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+util::StatusOr<ReplayResult> ReplayVectorSeries(
+    const ts::VectorSeries& series, MonitorEngine& engine,
+    int64_t stream_id, const ReplayOptions& options) {
+  ReplayResult result;
+  util::Stopwatch stopwatch;
+  for (int64_t t = 0; t < series.size(); ++t) {
+    const auto pushed = engine.PushRow(stream_id, series.Row(t));
+    if (!pushed.ok()) return pushed.status();
+    ++result.ticks;
+    result.matches += *pushed;
+    MaybeReportProgress(options, result.ticks, result.matches);
+  }
+  if (options.flush_at_end) result.matches += engine.FlushAll();
+  result.seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace monitor
+}  // namespace springdtw

@@ -1,0 +1,53 @@
+#ifndef SPRINGDTW_MONITOR_REPLAY_H_
+#define SPRINGDTW_MONITOR_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "monitor/engine.h"
+#include "monitor/stream_source.h"
+#include "ts/vector_series.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace monitor {
+
+/// Summary of a replay run.
+struct ReplayResult {
+  int64_t ticks = 0;
+  int64_t matches = 0;
+  /// Wall-clock seconds spent pushing.
+  double seconds = 0.0;
+
+  double ticks_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(ticks) / seconds : 0.0;
+  }
+};
+
+/// Optional progress callback: invoked every `progress_every` ticks with
+/// (ticks so far, matches so far).
+struct ReplayOptions {
+  int64_t progress_every = 0;  // 0 = no callbacks.
+  std::function<void(int64_t ticks, int64_t matches)> on_progress;
+  /// Flush pending candidates when the source is exhausted (finite-stream
+  /// semantics; set false when more data will follow later).
+  bool flush_at_end = true;
+};
+
+/// Drains `source` into stream `stream_id` of `engine` until exhaustion —
+/// the boilerplate loop of every batch-replay deployment. Returns tick and
+/// match counts, or the first Push error.
+util::StatusOr<ReplayResult> ReplayStream(StreamSource& source,
+                                          MonitorEngine& engine,
+                                          int64_t stream_id,
+                                          const ReplayOptions& options = {});
+
+/// Replays a stored k-dimensional series into vector stream `stream_id`.
+util::StatusOr<ReplayResult> ReplayVectorSeries(
+    const ts::VectorSeries& series, MonitorEngine& engine,
+    int64_t stream_id, const ReplayOptions& options = {});
+
+}  // namespace monitor
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_MONITOR_REPLAY_H_

@@ -1,0 +1,13 @@
+#include "monitor/sink.h"
+
+namespace springdtw {
+namespace monitor {
+
+void OstreamSink::OnMatch(const MatchOrigin& origin,
+                          const core::Match& match) {
+  (*out_) << origin.stream_name << "/" << origin.query_name << ": "
+          << match.ToString() << "\n";
+}
+
+}  // namespace monitor
+}  // namespace springdtw

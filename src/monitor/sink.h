@@ -1,0 +1,80 @@
+#ifndef SPRINGDTW_MONITOR_SINK_H_
+#define SPRINGDTW_MONITOR_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/match.h"
+
+namespace springdtw {
+namespace monitor {
+
+/// Identifies which (stream, query) pair produced a match.
+struct MatchOrigin {
+  int64_t stream_id = 0;
+  int64_t query_id = 0;
+  std::string stream_name;
+  std::string query_name;
+};
+
+/// Destination for reported matches. Implementations must not block for
+/// long: OnMatch runs on the ingest path.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void OnMatch(const MatchOrigin& origin, const core::Match& match) = 0;
+};
+
+/// Buffers every match in memory; the simplest sink for tests and batch use.
+class CollectSink : public MatchSink {
+ public:
+  struct Entry {
+    MatchOrigin origin;
+    core::Match match;
+  };
+
+  void OnMatch(const MatchOrigin& origin, const core::Match& match) override {
+    entries_.push_back(Entry{origin, match});
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Writes one line per match to an ostream. The stream must outlive the
+/// sink.
+class OstreamSink : public MatchSink {
+ public:
+  explicit OstreamSink(std::ostream* out) : out_(out) {}
+  void OnMatch(const MatchOrigin& origin, const core::Match& match) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Invokes a user callback per match.
+class CallbackSink : public MatchSink {
+ public:
+  using Callback =
+      std::function<void(const MatchOrigin&, const core::Match&)>;
+  explicit CallbackSink(Callback callback)
+      : callback_(std::move(callback)) {}
+
+  void OnMatch(const MatchOrigin& origin, const core::Match& match) override {
+    callback_(origin, match);
+  }
+
+ private:
+  Callback callback_;
+};
+
+}  // namespace monitor
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_MONITOR_SINK_H_

@@ -1,0 +1,31 @@
+#include "monitor/stream_source.h"
+
+namespace springdtw {
+namespace monitor {
+
+SeriesSource::SeriesSource(ts::Series series, bool repair)
+    : series_(std::move(series)), repair_(repair) {
+  // Seed the repairer with the first observed value so a leading gap does
+  // not replay a meaningless zero.
+  for (int64_t i = 0; i < series_.size(); ++i) {
+    if (!ts::IsMissing(series_[i])) {
+      repairer_ = ts::StreamingRepairer(series_[i]);
+      break;
+    }
+  }
+}
+
+bool SeriesSource::Next(double* value) {
+  if (position_ >= series_.size()) return false;
+  const double raw = series_[position_++];
+  *value = repair_ ? repairer_.Next(raw) : raw;
+  return true;
+}
+
+void SeriesSource::Reset() {
+  position_ = 0;
+  repairer_ = ts::StreamingRepairer(repairer_.last());
+}
+
+}  // namespace monitor
+}  // namespace springdtw

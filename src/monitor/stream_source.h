@@ -1,0 +1,46 @@
+#ifndef SPRINGDTW_MONITOR_STREAM_SOURCE_H_
+#define SPRINGDTW_MONITOR_STREAM_SOURCE_H_
+
+#include <cstdint>
+
+#include "ts/repair.h"
+#include "ts/series.h"
+
+namespace springdtw {
+namespace monitor {
+
+/// Pull-based source of stream values. Next() returns false at end of
+/// stream (a live source simply never returns false).
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Produces the next value into `*value`; false when exhausted.
+  virtual bool Next(double* value) = 0;
+};
+
+/// Replays a stored Series as a stream, repairing missing readings with a
+/// streaming hold-last policy so downstream matchers never see NaN.
+class SeriesSource : public StreamSource {
+ public:
+  /// The series is copied; `repair` controls missing-value handling.
+  explicit SeriesSource(ts::Series series, bool repair = true);
+
+  bool Next(double* value) override;
+
+  /// Rewinds to the beginning.
+  void Reset();
+
+  int64_t position() const { return position_; }
+
+ private:
+  ts::Series series_;
+  bool repair_;
+  ts::StreamingRepairer repairer_;
+  int64_t position_ = 0;
+};
+
+}  // namespace monitor
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_MONITOR_STREAM_SOURCE_H_

@@ -1,0 +1,117 @@
+#include "ts/binary_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/codec.h"
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+constexpr uint32_t kMagic = 0x53445457;  // "SDTW"
+constexpr uint32_t kVersion = 1;
+
+util::Status WriteRaw(const std::string& path, const std::string& name,
+                      int64_t dims, int64_t ticks,
+                      const std::vector<double>& data) {
+  util::ByteWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  writer.WriteI64(dims);
+  writer.WriteI64(ticks);
+  writer.WriteString(name);
+  for (const double v : data) writer.WriteDouble(v);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(writer.buffer().data()),
+            static_cast<std::streamsize>(writer.buffer().size()));
+  if (!out) return util::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+struct RawFile {
+  int64_t dims = 0;
+  int64_t ticks = 0;
+  std::string name;
+  std::vector<double> data;
+};
+
+util::StatusOr<RawFile> ReadRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::IoError("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  util::ByteReader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  reader.ReadU32(&magic);
+  reader.ReadU32(&version);
+  if (!reader.ok() || magic != kMagic) {
+    return util::InvalidArgumentError(path + ": not an SDTW series file");
+  }
+  if (version != kVersion) {
+    return util::InvalidArgumentError(
+        util::StrFormat("%s: unsupported version %u", path.c_str(), version));
+  }
+  RawFile raw;
+  reader.ReadI64(&raw.dims);
+  reader.ReadI64(&raw.ticks);
+  reader.ReadString(&raw.name);
+  if (!reader.ok() || raw.dims < 1 || raw.ticks < 0) {
+    return util::InvalidArgumentError(path + ": corrupt header");
+  }
+  const int64_t count = raw.dims * raw.ticks;
+  raw.data.resize(static_cast<size_t>(count));
+  for (double& v : raw.data) {
+    if (!reader.ReadDouble(&v)) {
+      return util::InvalidArgumentError(path + ": truncated payload");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError(path + ": trailing bytes");
+  }
+  return raw;
+}
+
+}  // namespace
+
+util::Status WriteSeriesBinary(const std::string& path,
+                               const Series& series) {
+  return WriteRaw(path, series.name(), 1, series.size(), series.values());
+}
+
+util::StatusOr<Series> ReadSeriesBinary(const std::string& path) {
+  auto raw = ReadRaw(path);
+  if (!raw.ok()) return raw.status();
+  if (raw->dims != 1) {
+    return util::InvalidArgumentError(util::StrFormat(
+        "%s: has %lld channels; use ReadVectorSeriesBinary", path.c_str(),
+        static_cast<long long>(raw->dims)));
+  }
+  return Series(std::move(raw->data), std::move(raw->name));
+}
+
+util::Status WriteVectorSeriesBinary(const std::string& path,
+                                     const VectorSeries& series) {
+  return WriteRaw(path, series.name(), series.dims(), series.size(),
+                  series.data());
+}
+
+util::StatusOr<VectorSeries> ReadVectorSeriesBinary(const std::string& path) {
+  auto raw = ReadRaw(path);
+  if (!raw.ok()) return raw.status();
+  VectorSeries series(raw->dims, std::move(raw->name));
+  series.Reserve(raw->ticks);
+  for (int64_t t = 0; t < raw->ticks; ++t) {
+    series.AppendRow(std::span<const double>(
+        raw->data.data() + static_cast<size_t>(t * raw->dims),
+        static_cast<size_t>(raw->dims)));
+  }
+  return series;
+}
+
+}  // namespace ts
+}  // namespace springdtw

@@ -1,0 +1,118 @@
+#include "ts/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+bool ParseField(std::string_view field, double* out) {
+  field = util::StripWhitespace(field);
+  if (field.empty()) {
+    *out = MissingValue();
+    return true;
+  }
+  return util::ParseDouble(field, out);  // "nan" parses to NaN via strtod.
+}
+
+}  // namespace
+
+util::StatusOr<Series> ReadSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::IoError("cannot open " + path);
+  Series series;
+  series.set_name(path);
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view stripped = util::StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    double value = 0.0;
+    if (!ParseField(stripped, &value)) {
+      return util::InvalidArgumentError(util::StrFormat(
+          "%s:%lld: malformed value '%s'", path.c_str(),
+          static_cast<long long>(lineno), std::string(stripped).c_str()));
+    }
+    series.Append(value);
+  }
+  return series;
+}
+
+util::Status WriteSeriesCsv(const std::string& path, const Series& series) {
+  std::ofstream out(path);
+  if (!out) return util::IoError("cannot open " + path + " for writing");
+  for (int64_t i = 0; i < series.size(); ++i) {
+    if (IsMissing(series[i])) {
+      out << "nan\n";
+    } else {
+      out << util::StrFormat("%.17g", series[i]) << "\n";
+    }
+  }
+  if (!out) return util::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<VectorSeries> ReadVectorSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::IoError("cannot open " + path);
+  VectorSeries series;
+  std::string line;
+  std::vector<double> row;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view stripped = util::StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    row.clear();
+    for (const std::string& field : util::Split(std::string(stripped), ',')) {
+      double value = 0.0;
+      if (!ParseField(field, &value)) {
+        return util::InvalidArgumentError(util::StrFormat(
+            "%s:%lld: malformed value '%s'", path.c_str(),
+            static_cast<long long>(lineno), field.c_str()));
+      }
+      row.push_back(value);
+    }
+    if (series.dims() == 0) {
+      series = VectorSeries(static_cast<int64_t>(row.size()), path);
+    } else if (static_cast<int64_t>(row.size()) != series.dims()) {
+      return util::InvalidArgumentError(util::StrFormat(
+          "%s:%lld: expected %lld fields, got %zu", path.c_str(),
+          static_cast<long long>(lineno),
+          static_cast<long long>(series.dims()), row.size()));
+    }
+    series.AppendRow(row);
+  }
+  if (series.dims() == 0) {
+    return util::InvalidArgumentError(path + ": no data rows");
+  }
+  return series;
+}
+
+util::Status WriteVectorSeriesCsv(const std::string& path,
+                                  const VectorSeries& series) {
+  std::ofstream out(path);
+  if (!out) return util::IoError("cannot open " + path + " for writing");
+  for (int64_t t = 0; t < series.size(); ++t) {
+    const auto row = series.Row(t);
+    for (int64_t d = 0; d < series.dims(); ++d) {
+      if (d > 0) out << ",";
+      if (IsMissing(row[static_cast<size_t>(d)])) {
+        out << "nan";
+      } else {
+        out << util::StrFormat("%.17g", row[static_cast<size_t>(d)]);
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return util::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace ts
+}  // namespace springdtw

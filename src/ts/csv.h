@@ -1,0 +1,32 @@
+#ifndef SPRINGDTW_TS_CSV_H_
+#define SPRINGDTW_TS_CSV_H_
+
+#include <string>
+
+#include "ts/series.h"
+#include "ts/vector_series.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace ts {
+
+/// Reads a univariate series from `path`. One value per line; blank lines
+/// are skipped; a line equal to "nan" (any case) or an empty field yields a
+/// missing value; a leading "# ..." header line is ignored.
+util::StatusOr<Series> ReadSeriesCsv(const std::string& path);
+
+/// Writes one value per line ("nan" for missing). Overwrites `path`.
+util::Status WriteSeriesCsv(const std::string& path, const Series& series);
+
+/// Reads a k-dimensional series: comma-separated values, one tick per line.
+/// All rows must have the same number of fields.
+util::StatusOr<VectorSeries> ReadVectorSeriesCsv(const std::string& path);
+
+/// Writes comma-separated rows, one tick per line.
+util::Status WriteVectorSeriesCsv(const std::string& path,
+                                  const VectorSeries& series);
+
+}  // namespace ts
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_TS_CSV_H_

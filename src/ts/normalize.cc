@@ -1,0 +1,50 @@
+#include "ts/normalize.h"
+
+namespace springdtw {
+namespace ts {
+
+AffineTransform ZNormTransform(const Series& series) {
+  const double mean = series.Mean();
+  const double stddev = series.Stddev();
+  AffineTransform t;
+  if (stddev > 0.0) {
+    t.scale = 1.0 / stddev;
+    t.offset = -mean / stddev;
+  } else {
+    t.scale = 1.0;
+    t.offset = -mean;
+  }
+  return t;
+}
+
+AffineTransform MinMaxTransform(const Series& series, double lo, double hi) {
+  const double min = series.Min();
+  const double max = series.Max();
+  AffineTransform t;
+  if (max > min) {
+    t.scale = (hi - lo) / (max - min);
+    t.offset = lo - min * t.scale;
+  } else {
+    t.scale = 1.0;
+    t.offset = lo - min;
+  }
+  return t;
+}
+
+Series Apply(const AffineTransform& transform, const Series& series) {
+  Series out;
+  out.Reserve(series.size());
+  out.set_name(series.name());
+  for (int64_t i = 0; i < series.size(); ++i) {
+    const double x = series[i];
+    out.Append(IsMissing(x) ? x : transform.Apply(x));
+  }
+  return out;
+}
+
+Series ZNormalize(const Series& series) {
+  return Apply(ZNormTransform(series), series);
+}
+
+}  // namespace ts
+}  // namespace springdtw

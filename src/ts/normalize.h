@@ -1,0 +1,38 @@
+#ifndef SPRINGDTW_TS_NORMALIZE_H_
+#define SPRINGDTW_TS_NORMALIZE_H_
+
+#include "ts/series.h"
+
+namespace springdtw {
+namespace ts {
+
+/// Affine parameters of a normalization, so queries and streams can be put
+/// on the same scale with the *same* transform (normalizing them separately
+/// would change which subsequences match).
+struct AffineTransform {
+  double scale = 1.0;
+  double offset = 0.0;
+
+  double Apply(double x) const { return scale * x + offset; }
+  double Invert(double y) const { return (y - offset) / scale; }
+};
+
+/// Computes the z-normalization transform of `series` (mean -> 0,
+/// stddev -> 1). Missing values are ignored when estimating the moments and
+/// pass through unchanged when applied. A constant series yields scale 1.
+AffineTransform ZNormTransform(const Series& series);
+
+/// Computes the min-max transform mapping [min, max] -> [lo, hi]. A constant
+/// series yields scale 1 offset (lo - min).
+AffineTransform MinMaxTransform(const Series& series, double lo, double hi);
+
+/// Applies `transform` element-wise; missing values stay missing.
+Series Apply(const AffineTransform& transform, const Series& series);
+
+/// Convenience: Apply(ZNormTransform(series), series).
+Series ZNormalize(const Series& series);
+
+}  // namespace ts
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_TS_NORMALIZE_H_

@@ -1,0 +1,58 @@
+#include "ts/paa.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace ts {
+
+std::vector<PaaSegment> PaaReduce(std::span<const double> values,
+                                  int64_t segment_size) {
+  SPRINGDTW_CHECK_GE(segment_size, 1);
+  SPRINGDTW_CHECK(!values.empty());
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<PaaSegment> segments;
+  segments.reserve(static_cast<size_t>((n + segment_size - 1) /
+                                       segment_size));
+  for (int64_t start = 0; start < n; start += segment_size) {
+    const int64_t end = std::min(n, start + segment_size);
+    PaaSegment segment;
+    segment.length = end - start;
+    segment.min = values[static_cast<size_t>(start)];
+    segment.max = segment.min;
+    double sum = 0.0;
+    for (int64_t i = start; i < end; ++i) {
+      const double v = values[static_cast<size_t>(i)];
+      sum += v;
+      segment.min = std::min(segment.min, v);
+      segment.max = std::max(segment.max, v);
+    }
+    segment.mean = sum / static_cast<double>(segment.length);
+    segments.push_back(segment);
+  }
+  return segments;
+}
+
+std::vector<double> PaaReconstruct(const std::vector<PaaSegment>& segments) {
+  std::vector<double> out;
+  for (const PaaSegment& segment : segments) {
+    out.insert(out.end(), static_cast<size_t>(segment.length), segment.mean);
+  }
+  return out;
+}
+
+double PaaError(std::span<const double> values, int64_t segment_size) {
+  const std::vector<double> reconstructed =
+      PaaReconstruct(PaaReduce(values, segment_size));
+  SPRINGDTW_CHECK_EQ(reconstructed.size(), values.size());
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double d = values[i] - reconstructed[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace ts
+}  // namespace springdtw

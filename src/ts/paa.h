@@ -1,0 +1,39 @@
+#ifndef SPRINGDTW_TS_PAA_H_
+#define SPRINGDTW_TS_PAA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace springdtw {
+namespace ts {
+
+/// One segment of a piecewise aggregate approximation: the mean (the
+/// classic PAA coefficient) plus the min/max range, which coarse DTW
+/// lower bounds need.
+struct PaaSegment {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Number of source ticks aggregated (the last segment may be shorter).
+  int64_t length = 0;
+};
+
+/// Reduces `values` to ceil(n / segment_size) segments of `segment_size`
+/// ticks each (last one possibly shorter). Requires segment_size >= 1 and
+/// a non-empty input.
+std::vector<PaaSegment> PaaReduce(std::span<const double> values,
+                                  int64_t segment_size);
+
+/// Expands segments back to a step function over the original length —
+/// the usual PAA reconstruction, useful for visualization and for
+/// approximation-error measurements.
+std::vector<double> PaaReconstruct(const std::vector<PaaSegment>& segments);
+
+/// Mean squared reconstruction error of the PAA at this granularity.
+double PaaError(std::span<const double> values, int64_t segment_size);
+
+}  // namespace ts
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_TS_PAA_H_

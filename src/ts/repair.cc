@@ -1,0 +1,77 @@
+#include "ts/repair.h"
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+Series RepairHoldLast(const Series& series, double constant) {
+  Series out;
+  out.Reserve(series.size());
+  out.set_name(series.name());
+  // Seed with the first non-missing value so a leading gap is filled sanely.
+  double last = constant;
+  for (int64_t i = 0; i < series.size(); ++i) {
+    if (!IsMissing(series[i])) {
+      last = series[i];
+      break;
+    }
+  }
+  for (int64_t i = 0; i < series.size(); ++i) {
+    if (!IsMissing(series[i])) last = series[i];
+    out.Append(last);
+  }
+  return out;
+}
+
+Series RepairInterpolate(const Series& series, double constant) {
+  Series out = RepairHoldLast(series, constant);
+  // Second pass: replace each held-last run with a linear ramp toward the
+  // next observed value.
+  int64_t i = 0;
+  while (i < series.size()) {
+    if (!IsMissing(series[i])) {
+      ++i;
+      continue;
+    }
+    const int64_t gap_start = i;
+    while (i < series.size() && IsMissing(series[i])) ++i;
+    const int64_t gap_end = i;  // First index after the gap (may be size()).
+    if (gap_start == 0 || gap_end >= series.size()) continue;  // Edge gap.
+    const double left = series[gap_start - 1];
+    const double right = series[gap_end];
+    const double span = static_cast<double>(gap_end - gap_start + 1);
+    for (int64_t j = gap_start; j < gap_end; ++j) {
+      const double frac = static_cast<double>(j - gap_start + 1) / span;
+      out[j] = left + (right - left) * frac;
+    }
+  }
+  return out;
+}
+
+Series RepairConstant(const Series& series, double constant) {
+  Series out;
+  out.Reserve(series.size());
+  out.set_name(series.name());
+  for (int64_t i = 0; i < series.size(); ++i) {
+    out.Append(IsMissing(series[i]) ? constant : series[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Series RepairMissing(const Series& series, RepairPolicy policy,
+                     double constant) {
+  switch (policy) {
+    case RepairPolicy::kHoldLast:
+      return RepairHoldLast(series, constant);
+    case RepairPolicy::kLinearInterpolate:
+      return RepairInterpolate(series, constant);
+    case RepairPolicy::kConstant:
+      return RepairConstant(series, constant);
+  }
+  return series;
+}
+
+}  // namespace ts
+}  // namespace springdtw

@@ -1,0 +1,49 @@
+#ifndef SPRINGDTW_TS_REPAIR_H_
+#define SPRINGDTW_TS_REPAIR_H_
+
+#include "ts/series.h"
+
+namespace springdtw {
+namespace ts {
+
+/// How to handle missing (NaN) readings before feeding a matcher.
+/// The paper's Temperature experiment has "many missing values" and SPRING
+/// "is not sensitive at all to the missing values" — the stream layer repairs
+/// gaps before the DP update (a NaN would poison every later distance).
+enum class RepairPolicy {
+  /// Repeat the last seen value (streaming-safe; default).
+  kHoldLast,
+  /// Linear interpolation across the gap (offline only — needs lookahead).
+  kLinearInterpolate,
+  /// Replace with a fixed constant.
+  kConstant,
+};
+
+/// Returns a copy of `series` with missing values repaired per `policy`.
+/// Leading missing values take the first non-missing value (or `constant`
+/// when the whole series is missing). For kConstant, gaps become `constant`.
+Series RepairMissing(const Series& series, RepairPolicy policy,
+                     double constant = 0.0);
+
+/// Streaming repairer: feed values one at a time; missing values are replaced
+/// by the last non-missing value (or `initial` before any arrives).
+class StreamingRepairer {
+ public:
+  explicit StreamingRepairer(double initial = 0.0) : last_(initial) {}
+
+  /// Returns `x` if present, else the last held value, updating state.
+  double Next(double x) {
+    if (!IsMissing(x)) last_ = x;
+    return last_;
+  }
+
+  double last() const { return last_; }
+
+ private:
+  double last_;
+};
+
+}  // namespace ts
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_TS_REPAIR_H_

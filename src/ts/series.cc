@@ -1,0 +1,75 @@
+#include "ts/series.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/stats.h"
+
+namespace springdtw {
+namespace ts {
+
+Series::Series(std::vector<double> values, std::string name)
+    : values_(std::move(values)), name_(std::move(name)) {}
+
+void Series::AppendAll(const Series& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
+Series Series::Slice(int64_t start, int64_t length) const {
+  start = std::clamp<int64_t>(start, 0, size());
+  length = std::clamp<int64_t>(length, 0, size() - start);
+  return Series(std::vector<double>(
+                    values_.begin() + static_cast<ptrdiff_t>(start),
+                    values_.begin() + static_cast<ptrdiff_t>(start + length)),
+                name_);
+}
+
+int64_t Series::CountMissing() const {
+  int64_t count = 0;
+  for (double x : values_) {
+    if (IsMissing(x)) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+util::RunningStats StatsOf(const std::vector<double>& values) {
+  util::RunningStats stats;
+  for (double x : values) {
+    if (!IsMissing(x)) stats.Add(x);
+  }
+  return stats;
+}
+
+}  // namespace
+
+double Series::Min() const {
+  const util::RunningStats stats = StatsOf(values_);
+  return stats.count() > 0 ? stats.min()
+                           : std::numeric_limits<double>::infinity();
+}
+
+double Series::Max() const {
+  const util::RunningStats stats = StatsOf(values_);
+  return stats.count() > 0 ? stats.max()
+                           : -std::numeric_limits<double>::infinity();
+}
+
+double Series::Mean() const { return StatsOf(values_).mean(); }
+
+double Series::Stddev() const { return StatsOf(values_).stddev(); }
+
+bool operator==(const Series& a, const Series& b) {
+  if (a.size() != b.size()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const bool ma = IsMissing(a[i]);
+    const bool mb = IsMissing(b[i]);
+    if (ma != mb) return false;
+    if (!ma && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace ts
+}  // namespace springdtw

@@ -1,0 +1,76 @@
+#ifndef SPRINGDTW_TS_SERIES_H_
+#define SPRINGDTW_TS_SERIES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace springdtw {
+namespace ts {
+
+/// Sentinel for a missing reading (sensor dropout). Stored as a quiet NaN;
+/// use IsMissing() to test, never operator== (NaN never compares equal).
+inline double MissingValue() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+/// True if `x` is the missing-value sentinel.
+inline bool IsMissing(double x) { return std::isnan(x); }
+
+/// A univariate time series: contiguous `double` values indexed by 0-based
+/// tick. This is the stored-sequence counterpart of a stream; the matchers
+/// consume it one value at a time. Missing readings are represented as NaN
+/// (see MissingValue()).
+class Series {
+ public:
+  Series() = default;
+  /// Takes ownership of `values`; `name` is a diagnostic label.
+  explicit Series(std::vector<double> values, std::string name = "");
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](int64_t t) const {
+    return values_[static_cast<size_t>(t)];
+  }
+  double& operator[](int64_t t) { return values_[static_cast<size_t>(t)]; }
+
+  void Append(double x) { values_.push_back(x); }
+  void AppendAll(const Series& other);
+  void Reserve(int64_t n) { values_.reserve(static_cast<size_t>(n)); }
+  void Clear() { values_.clear(); }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Copy of the half-open range [start, start + length). Clamped to bounds.
+  Series Slice(int64_t start, int64_t length) const;
+
+  /// Number of missing (NaN) entries.
+  int64_t CountMissing() const;
+
+  /// Minimum over non-missing values; +inf if all missing or empty.
+  double Min() const;
+  /// Maximum over non-missing values; -inf if all missing or empty.
+  double Max() const;
+  /// Mean over non-missing values; 0 if all missing or empty.
+  double Mean() const;
+  /// Population standard deviation over non-missing values.
+  double Stddev() const;
+
+  friend bool operator==(const Series& a, const Series& b);
+
+ private:
+  std::vector<double> values_;
+  std::string name_;
+};
+
+}  // namespace ts
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_TS_SERIES_H_

@@ -1,0 +1,46 @@
+#include "ts/vector_series.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace ts {
+
+VectorSeries::VectorSeries(int64_t dims, std::string name)
+    : dims_(dims), name_(std::move(name)) {
+  SPRINGDTW_CHECK_GE(dims, 1) << "VectorSeries needs at least one channel";
+}
+
+void VectorSeries::AppendRow(std::span<const double> row) {
+  SPRINGDTW_CHECK_EQ(static_cast<int64_t>(row.size()), dims_);
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+void VectorSeries::AppendUniformRow(double fill) {
+  data_.insert(data_.end(), static_cast<size_t>(dims_), fill);
+}
+
+VectorSeries VectorSeries::Slice(int64_t start, int64_t length) const {
+  start = std::clamp<int64_t>(start, 0, size());
+  length = std::clamp<int64_t>(length, 0, size() - start);
+  VectorSeries out(dims_, name_);
+  out.data_.assign(
+      data_.begin() + static_cast<ptrdiff_t>(start * dims_),
+      data_.begin() + static_cast<ptrdiff_t>((start + length) * dims_));
+  return out;
+}
+
+std::vector<double> VectorSeries::Channel(int64_t dim) const {
+  SPRINGDTW_CHECK(dim >= 0 && dim < dims_);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(size()));
+  for (int64_t t = 0; t < size(); ++t) {
+    out.push_back(data_[static_cast<size_t>(t * dims_ + dim)]);
+  }
+  return out;
+}
+
+}  // namespace ts
+}  // namespace springdtw

@@ -1,0 +1,70 @@
+#ifndef SPRINGDTW_TS_VECTOR_SERIES_H_
+#define SPRINGDTW_TS_VECTOR_SERIES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace springdtw {
+namespace ts {
+
+/// A k-dimensional time series ("vector stream", Section 5.3 of the paper):
+/// every tick carries a vector of k doubles. Row-major contiguous storage
+/// so a tick is a cache-friendly span.
+class VectorSeries {
+ public:
+  VectorSeries() = default;
+  /// Creates an empty series with `dims` channels. dims must be >= 1.
+  explicit VectorSeries(int64_t dims, std::string name = "");
+
+  int64_t dims() const { return dims_; }
+  /// Number of ticks.
+  int64_t size() const {
+    return dims_ == 0 ? 0 : static_cast<int64_t>(data_.size()) / dims_;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Read-only view of tick `t` (k values).
+  std::span<const double> Row(int64_t t) const {
+    return std::span<const double>(
+        data_.data() + static_cast<size_t>(t * dims_),
+        static_cast<size_t>(dims_));
+  }
+
+  /// Mutable view of tick `t`.
+  std::span<double> MutableRow(int64_t t) {
+    return std::span<double>(data_.data() + static_cast<size_t>(t * dims_),
+                             static_cast<size_t>(dims_));
+  }
+
+  /// Appends one tick. `row.size()` must equal dims().
+  void AppendRow(std::span<const double> row);
+
+  /// Appends one tick with every channel set to `fill`.
+  void AppendUniformRow(double fill);
+
+  void Reserve(int64_t ticks) {
+    data_.reserve(static_cast<size_t>(ticks * dims_));
+  }
+
+  /// Copy of ticks [start, start + length), clamped to bounds.
+  VectorSeries Slice(int64_t start, int64_t length) const;
+
+  /// Extracts channel `dim` as a univariate vector.
+  std::vector<double> Channel(int64_t dim) const;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  int64_t dims_ = 0;
+  std::vector<double> data_;
+  std::string name_;
+};
+
+}  // namespace ts
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_TS_VECTOR_SERIES_H_

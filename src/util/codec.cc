@@ -1,0 +1,155 @@
+#include "util/codec.h"
+
+namespace springdtw {
+namespace util {
+
+void ByteWriter::WriteU32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::WriteDouble(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteBytes(std::span<const uint8_t> bytes) {
+  WriteU64(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  buffer_.insert(buffer_.end(), value.begin(), value.end());
+}
+
+void ByteWriter::WriteDoubleVector(const std::vector<double>& values) {
+  WriteU64(values.size());
+  for (double v : values) WriteDouble(v);
+}
+
+void ByteWriter::WriteInt64Vector(const std::vector<int64_t>& values) {
+  WriteU64(values.size());
+  for (int64_t v : values) WriteI64(v);
+}
+
+bool ByteReader::Take(size_t n, const uint8_t** out) {
+  if (!ok_ || bytes_.size() - position_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = bytes_.data() + position_;
+  position_ += n;
+  return true;
+}
+
+bool ByteReader::ReadU8(uint8_t* value) {
+  const uint8_t* p = nullptr;
+  if (!Take(1, &p)) {
+    *value = 0;
+    return false;
+  }
+  *value = *p;
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* value) {
+  const uint8_t* p = nullptr;
+  if (!Take(4, &p)) {
+    *value = 0;
+    return false;
+  }
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  *value = out;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* value) {
+  const uint8_t* p = nullptr;
+  if (!Take(8, &p)) {
+    *value = 0;
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  *value = out;
+  return true;
+}
+
+bool ByteReader::ReadI64(int64_t* value) {
+  uint64_t raw = 0;
+  const bool status = ReadU64(&raw);
+  *value = static_cast<int64_t>(raw);
+  return status;
+}
+
+bool ByteReader::ReadDouble(double* value) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) {
+    *value = 0.0;
+    return false;
+  }
+  std::memcpy(value, &bits, sizeof(*value));
+  return true;
+}
+
+bool ByteReader::ReadBool(bool* value) {
+  uint8_t raw = 0;
+  const bool status = ReadU8(&raw);
+  *value = raw != 0;
+  return status;
+}
+
+bool ByteReader::ReadString(std::string* value) {
+  uint64_t size = 0;
+  if (!ReadU64(&size)) return false;
+  const uint8_t* p = nullptr;
+  if (!Take(static_cast<size_t>(size), &p)) return false;
+  value->assign(reinterpret_cast<const char*>(p),
+                static_cast<size_t>(size));
+  return true;
+}
+
+bool ByteReader::ReadDoubleVector(std::vector<double>* values) {
+  uint64_t size = 0;
+  if (!ReadU64(&size)) return false;
+  if (size > bytes_.size() / sizeof(double)) {  // Corrupt length guard.
+    ok_ = false;
+    return false;
+  }
+  values->resize(static_cast<size_t>(size));
+  for (double& v : *values) {
+    if (!ReadDouble(&v)) return false;
+  }
+  return true;
+}
+
+bool ByteReader::ReadInt64Vector(std::vector<int64_t>* values) {
+  uint64_t size = 0;
+  if (!ReadU64(&size)) return false;
+  if (size > bytes_.size() / sizeof(int64_t)) {
+    ok_ = false;
+    return false;
+  }
+  values->resize(static_cast<size_t>(size));
+  for (int64_t& v : *values) {
+    if (!ReadI64(&v)) return false;
+  }
+  return true;
+}
+
+}  // namespace util
+}  // namespace springdtw

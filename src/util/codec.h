@@ -1,0 +1,78 @@
+#ifndef SPRINGDTW_UTIL_CODEC_H_
+#define SPRINGDTW_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace springdtw {
+namespace util {
+
+/// Appends fixed-width little-endian primitives to a byte buffer. Used for
+/// matcher state snapshots (fault-tolerant stream processing) and the
+/// binary series format. Not a general-purpose wire format: no varints, no
+/// schema evolution beyond an explicit version field written by callers.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t value) { buffer_.push_back(value); }
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value) { WriteU64(static_cast<uint64_t>(value)); }
+  /// Doubles are written as their IEEE-754 bit pattern; NaN and infinities
+  /// round-trip exactly.
+  void WriteDouble(double value);
+  void WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+  /// Length-prefixed (u64) raw bytes.
+  void WriteBytes(std::span<const uint8_t> bytes);
+  /// Length-prefixed (u64) string.
+  void WriteString(const std::string& value);
+  /// Length-prefixed (u64) vector of doubles.
+  void WriteDoubleVector(const std::vector<double>& values);
+  /// Length-prefixed (u64) vector of i64.
+  void WriteInt64Vector(const std::vector<int64_t>& values);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Reads back what ByteWriter wrote. Every Read* returns false on
+/// truncation (and from then on, `ok()` is false); values read after a
+/// failure are zero-initialized. Callers typically read everything and
+/// check `ok()` once, plus `AtEnd()` for trailing garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* value);
+  bool ReadU32(uint32_t* value);
+  bool ReadU64(uint64_t* value);
+  bool ReadI64(int64_t* value);
+  bool ReadDouble(double* value);
+  bool ReadBool(bool* value);
+  bool ReadString(std::string* value);
+  bool ReadDoubleVector(std::vector<double>* values);
+  bool ReadInt64Vector(std::vector<int64_t>* values);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return position_ == bytes_.size(); }
+  size_t position() const { return position_; }
+
+ private:
+  bool Take(size_t n, const uint8_t** out);
+
+  std::span<const uint8_t> bytes_;
+  size_t position_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace util
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_UTIL_CODEC_H_

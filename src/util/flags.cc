@@ -1,0 +1,64 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace util {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : default_value;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name,
+                             int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  int64_t out = 0;
+  return ParseInt64(it->second, &out) ? out : default_value;
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  double out = 0.0;
+  return ParseDouble(it->second, &out) ? out : default_value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return default_value;
+}
+
+}  // namespace util
+}  // namespace springdtw

@@ -1,0 +1,85 @@
+#ifndef SPRINGDTW_UTIL_LOGGING_H_
+#define SPRINGDTW_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace springdtw {
+namespace util {
+
+/// Log severities, in increasing order of importance.
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3,
+                         kFatal = 4 };
+
+/// Returns a stable name for `severity` ("DEBUG", "INFO", ...).
+const char* LogSeverityName(LogSeverity severity);
+
+/// Sets the global minimum severity that is actually emitted. Messages below
+/// the threshold are formatted lazily and dropped. Defaults to kInfo.
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Returns the current global minimum severity.
+LogSeverity MinLogSeverity();
+
+/// Internal: stream-style message builder used by the SPRINGDTW_LOG macro.
+/// Emits on destruction; kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Internal: swallows a log stream when the severity is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace util
+}  // namespace springdtw
+
+/// Stream-style logging: SPRINGDTW_LOG(INFO) << "processed " << n << " ticks";
+#define SPRINGDTW_LOG(severity)                                        \
+  ::springdtw::util::LogMessage(                                       \
+      ::springdtw::util::LogSeverity::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+/// Fatal-if-false invariant check, active in all build modes.
+#define SPRINGDTW_CHECK(condition)                                    \
+  if (!(condition))                                                   \
+  ::springdtw::util::LogMessage(::springdtw::util::LogSeverity::kFatal, \
+                                __FILE__, __LINE__)                   \
+          .stream()                                                   \
+      << "Check failed: " #condition " "
+
+#define SPRINGDTW_CHECK_EQ(a, b) SPRINGDTW_CHECK((a) == (b))
+#define SPRINGDTW_CHECK_NE(a, b) SPRINGDTW_CHECK((a) != (b))
+#define SPRINGDTW_CHECK_LE(a, b) SPRINGDTW_CHECK((a) <= (b))
+#define SPRINGDTW_CHECK_LT(a, b) SPRINGDTW_CHECK((a) < (b))
+#define SPRINGDTW_CHECK_GE(a, b) SPRINGDTW_CHECK((a) >= (b))
+#define SPRINGDTW_CHECK_GT(a, b) SPRINGDTW_CHECK((a) > (b))
+
+/// Debug-only check; compiles to nothing in NDEBUG builds.
+#ifdef NDEBUG
+#define SPRINGDTW_DCHECK(condition) \
+  if (false) ::springdtw::util::NullStream()
+#else
+#define SPRINGDTW_DCHECK(condition) SPRINGDTW_CHECK(condition)
+#endif
+
+#endif  // SPRINGDTW_UTIL_LOGGING_H_

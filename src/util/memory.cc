@@ -1,0 +1,99 @@
+#include "util/memory.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace util {
+namespace {
+
+std::atomic<int64_t> g_allocation_count{0};
+std::atomic<int64_t> g_allocated_bytes{0};
+
+}  // namespace
+
+// Not in the anonymous namespace: the global operator new replacements below
+// refer to it by qualified name.
+void* CountedAlloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(static_cast<int64_t>(size),
+                              std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();  // Exceptions are disabled by policy.
+  return p;
+}
+
+void MemoryFootprint::Add(const std::string& name, int64_t bytes) {
+  for (auto& [existing, total] : components_) {
+    if (existing == name) {
+      total += bytes;
+      return;
+    }
+  }
+  components_.emplace_back(name, bytes);
+}
+
+void MemoryFootprint::Merge(const MemoryFootprint& other) {
+  for (const auto& [name, bytes] : other.components_) Add(name, bytes);
+}
+
+int64_t MemoryFootprint::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, bytes] : components_) total += bytes;
+  return total;
+}
+
+std::string MemoryFootprint::ToString() const {
+  std::string out = StrFormat("total=%s", HumanBytes(
+      static_cast<double>(TotalBytes())).c_str());
+  if (!components_.empty()) {
+    out += " (";
+    for (size_t i = 0; i < components_.size(); ++i) {
+      if (i > 0) out += " ";
+      out += components_[i].first;
+      out += "=";
+      out += HumanBytes(static_cast<double>(components_[i].second));
+    }
+    out += ")";
+  }
+  return out;
+}
+
+int64_t HeapStats::AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+int64_t HeapStats::AllocatedBytes() {
+  return g_allocated_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace util
+}  // namespace springdtw
+
+// Global allocation hooks: every binary that links spring_util gets counted
+// allocation. The overhead is two relaxed atomic increments per allocation.
+void* operator new(std::size_t size) {
+  return springdtw::util::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return springdtw::util::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return springdtw::util::CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return springdtw::util::CountedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

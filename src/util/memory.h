@@ -1,0 +1,77 @@
+#ifndef SPRINGDTW_UTIL_MEMORY_H_
+#define SPRINGDTW_UTIL_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace springdtw {
+namespace util {
+
+/// Itemized byte accounting for a data structure; used by the matchers to
+/// self-report their working-set size (the quantity plotted in the paper's
+/// Figure 8). Components are (name, bytes) pairs.
+class MemoryFootprint {
+ public:
+  MemoryFootprint() = default;
+
+  /// Adds `bytes` to the component called `name` (creating it if needed).
+  void Add(const std::string& name, int64_t bytes);
+
+  /// Merges another footprint into this one, component-wise.
+  void Merge(const MemoryFootprint& other);
+
+  /// Sum over all components.
+  int64_t TotalBytes() const;
+
+  const std::vector<std::pair<std::string, int64_t>>& components() const {
+    return components_;
+  }
+
+  /// Renders "total=... (name1=... name2=...)" with human-readable sizes.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, int64_t>> components_;
+};
+
+/// Bytes held by a vector's heap buffer (capacity, not size).
+template <typename T>
+int64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity() * sizeof(T));
+}
+
+/// Process-wide allocation counters, maintained by the replaced global
+/// operator new/delete in memory.cc. Used by tests to assert that the
+/// per-tick hot path performs no heap allocation, and by benches to report
+/// allocation rates.
+struct HeapStats {
+  /// Total number of operator-new calls since process start.
+  static int64_t AllocationCount();
+  /// Total bytes requested from operator new since process start.
+  static int64_t AllocatedBytes();
+};
+
+/// Captures heap counters at construction; `Allocations()`/`Bytes()` report
+/// the delta since then.
+class ScopedAllocationCheck {
+ public:
+  ScopedAllocationCheck()
+      : start_count_(HeapStats::AllocationCount()),
+        start_bytes_(HeapStats::AllocatedBytes()) {}
+
+  int64_t Allocations() const {
+    return HeapStats::AllocationCount() - start_count_;
+  }
+  int64_t Bytes() const { return HeapStats::AllocatedBytes() - start_bytes_; }
+
+ private:
+  int64_t start_count_;
+  int64_t start_bytes_;
+};
+
+}  // namespace util
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_UTIL_MEMORY_H_

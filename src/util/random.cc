@@ -1,0 +1,89 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace util {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (uint64_t& s : state_) s = sm.Next();
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256** step.
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SPRINGDTW_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SPRINGDTW_DCHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // Full range.
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v = NextUint64();
+  while (v >= limit) v = NextUint64();
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box-Muller; u must be in (0, 1] so log() is finite.
+  double u = 1.0 - NextDouble();
+  double v = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u));
+  spare_gaussian_ = r * std::sin(kTwoPi * v);
+  has_spare_gaussian_ = true;
+  return r * std::cos(kTwoPi * v);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL + stream_id));
+  return Rng(sm.Next());
+}
+
+void Shuffle(Rng& rng, std::vector<int64_t>& values) {
+  for (int64_t i = static_cast<int64_t>(values.size()) - 1; i > 0; --i) {
+    const int64_t j = rng.UniformInt(0, i);
+    std::swap(values[static_cast<size_t>(i)], values[static_cast<size_t>(j)]);
+  }
+}
+
+}  // namespace util
+}  // namespace springdtw

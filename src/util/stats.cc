@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+void RunningStats::SerializeTo(ByteWriter* writer) const {
+  writer->WriteI64(count_);
+  writer->WriteDouble(mean_);
+  writer->WriteDouble(m2_);
+  writer->WriteDouble(min_);
+  writer->WriteDouble(max_);
+}
+
+bool RunningStats::DeserializeFrom(ByteReader* reader) {
+  return reader->ReadI64(&count_) && reader->ReadDouble(&mean_) &&
+         reader->ReadDouble(&m2_) && reader->ReadDouble(&min_) &&
+         reader->ReadDouble(&max_) && count_ >= 0;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double QuantileSketch::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+void LogHistogram::Add(double value) {
+  ++count_;
+  max_seen_ = std::max(max_seen_, value);
+  int bucket = 0;
+  if (value >= 1.0) {
+    bucket = static_cast<int>(std::floor(std::log2(value))) + 1;
+    bucket = std::clamp(bucket, 0, kNumBuckets - 1);
+  }
+  ++buckets_[static_cast<size_t>(bucket)];
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<int64_t>(
+      q * static_cast<double>(count_ - 1) + 0.5);
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[static_cast<size_t>(b)];
+    if (seen > target) {
+      // Upper edge of bucket b: 2^(b-1) for b >= 1, else 1.
+      return b == 0 ? 1.0 : std::ldexp(1.0, b);
+    }
+  }
+  return max_seen_;
+}
+
+std::string LogHistogram::Summary() const {
+  return StrFormat("count=%lld p50=%.0f p90=%.0f p99=%.0f max=%.0f",
+                   static_cast<long long>(count_), Quantile(0.5),
+                   Quantile(0.9), Quantile(0.99), max_seen_);
+}
+
+}  // namespace util
+}  // namespace springdtw

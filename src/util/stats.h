@@ -1,0 +1,102 @@
+#ifndef SPRINGDTW_UTIL_STATS_H_
+#define SPRINGDTW_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/codec.h"
+
+namespace springdtw {
+namespace util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// O(1) memory; numerically stable.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Accounts one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  /// Resets to the empty state.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 observations.
+  double variance() const;
+  /// Population standard deviation.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Appends the accumulator state to `writer` (for checkpoints).
+  void SerializeTo(ByteWriter* writer) const;
+  /// Restores state written by SerializeTo; false on truncation.
+  bool DeserializeFrom(ByteReader* reader);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers exact quantile queries. Intended for bench
+/// and monitor latency reporting where sample counts are modest (<= millions).
+class QuantileSketch {
+ public:
+  QuantileSketch() = default;
+
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+  /// Exact q-quantile (0 <= q <= 1) by nearest-rank. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  double Median() const { return Quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-layout log-scale histogram for latency-style distributions: buckets
+/// are powers of two in nanoseconds from 1ns to ~1s. O(1) add, tiny memory.
+class LogHistogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  LogHistogram() : buckets_(kNumBuckets, 0) {}
+
+  /// Adds a non-negative observation (values are clamped into range).
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+
+  /// Approximate q-quantile: returns the upper edge of the bucket where the
+  /// rank falls. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Renders a compact one-line summary: "count=... p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_UTIL_STATS_H_

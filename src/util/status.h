@@ -1,0 +1,131 @@
+#ifndef SPRINGDTW_UTIL_STATUS_H_
+#define SPRINGDTW_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace springdtw {
+namespace util {
+
+/// Canonical error codes, a small subset of the usual RPC canon.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kAlreadyExists = 7,
+  kResourceExhausted = 8,
+  kIoError = 9,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...). Never returns null.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. The library does not use exceptions
+/// (Google style); fallible operations return `Status` or `StatusOr<T>`.
+///
+/// Example:
+///   Status s = WriteCsv(path, series);
+///   if (!s.ok()) { LOG(ERROR) << s.ToString(); return s; }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "CODE_NAME: message" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience factories, mirroring absl::*Error().
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status IoError(std::string message);
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Accessing `value()` on a non-OK result aborts in debug
+/// builds and is undefined in release builds; always check `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, like absl::StatusOr).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(), value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status. Passing an OK status is a programming
+  /// error and is converted to kInternal.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed with OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace springdtw
+
+/// Propagates a non-OK status from an expression, like absl's macro.
+#define SPRINGDTW_RETURN_IF_ERROR(expr)                  \
+  do {                                                   \
+    ::springdtw::util::Status _status = (expr);          \
+    if (!_status.ok()) return _status;                   \
+  } while (0)
+
+#endif  // SPRINGDTW_UTIL_STATUS_H_

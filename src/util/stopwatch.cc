@@ -1,0 +1,12 @@
+#include "util/stopwatch.h"
+
+// Stopwatch is header-only; this translation unit exists so the target has a
+// stable archive member and the header gets compiled standalone at least once.
+namespace springdtw {
+namespace util {
+namespace {
+// Ensures the header is self-contained.
+[[maybe_unused]] Stopwatch MakeStopwatchForOdrCheck() { return Stopwatch(); }
+}  // namespace
+}  // namespace util
+}  // namespace springdtw

@@ -1,0 +1,48 @@
+#ifndef SPRINGDTW_UTIL_STOPWATCH_H_
+#define SPRINGDTW_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace springdtw {
+namespace util {
+
+/// Monotonic wall-clock stopwatch used by benches and the monitor engine.
+///
+/// Example:
+///   Stopwatch sw;
+///   DoWork();
+///   double ms = sw.ElapsedMillis();
+class Stopwatch {
+ public:
+  /// Starts the stopwatch.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart(), in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds (fractional).
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+  /// Elapsed time in seconds (fractional).
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_UTIL_STOPWATCH_H_

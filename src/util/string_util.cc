@@ -1,0 +1,114 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace springdtw {
+namespace util {
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 64) return false;
+  char buf[65];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + text.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 32) return false;
+  char buf[33];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(buf, &end, 10);
+  if (end != buf + text.size() || errno == ERANGE) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+std::string HumanBytes(double bytes) {
+  static const char* kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int idx = 0;
+  while (bytes >= 1024.0 && idx < 4) {
+    bytes /= 1024.0;
+    ++idx;
+  }
+  if (idx == 0) return StrFormat("%.0f %s", bytes, kSuffixes[idx]);
+  return StrFormat("%.1f %s", bytes, kSuffixes[idx]);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace util
+}  // namespace springdtw

@@ -1,0 +1,43 @@
+#ifndef SPRINGDTW_UTIL_STRING_UTIL_H_
+#define SPRINGDTW_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace springdtw {
+namespace util {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` at every occurrence of `sep`. Adjacent separators yield
+/// empty fields; an empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a double; returns false on malformed or trailing-garbage input.
+/// "nan" (any case) parses to a quiet NaN, which the ts layer uses for
+/// missing values.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Renders a byte count with a binary suffix, e.g. "2.0 KiB", "1.5 GiB".
+std::string HumanBytes(double bytes);
+
+/// Returns true if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace util
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_UTIL_STRING_UTIL_H_

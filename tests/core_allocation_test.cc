@@ -1,0 +1,99 @@
+// Verifies the "constant space, no allocation per time-tick" claim on the
+// hot path: once constructed (and, for the path matcher, warmed up), Update()
+// must not touch the heap.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spring.h"
+#include "core/spring_path.h"
+#include "core/vector_spring.h"
+#include "util/memory.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+TEST(AllocationTest, SpringMatcherHotPathIsAllocationFree) {
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher(std::vector<double>(256, 0.0), options);
+  util::Rng rng(1);
+  Match match;
+  // Warm up a few ticks (first-touch effects).
+  for (int t = 0; t < 10; ++t) matcher.Update(rng.Gaussian(), &match);
+
+  util::ScopedAllocationCheck check;
+  for (int t = 0; t < 10000; ++t) {
+    matcher.Update(rng.Gaussian(), &match);
+  }
+  EXPECT_EQ(check.Allocations(), 0);
+}
+
+TEST(AllocationTest, VectorSpringMatcherHotPathIsAllocationFree) {
+  ts::VectorSeries query(8);
+  for (int i = 0; i < 64; ++i) query.AppendUniformRow(0.0);
+  SpringOptions options;
+  options.epsilon = 0.5;
+  VectorSpringMatcher matcher(query, options);
+  util::Rng rng(2);
+  std::vector<double> row(8);
+  Match match;
+  for (int t = 0; t < 10; ++t) {
+    for (double& v : row) v = rng.Gaussian();
+    matcher.Update(row, &match);
+  }
+
+  util::ScopedAllocationCheck check;
+  for (int t = 0; t < 5000; ++t) {
+    for (double& v : row) v = rng.Gaussian();
+    matcher.Update(row, &match);
+  }
+  EXPECT_EQ(check.Allocations(), 0);
+}
+
+TEST(AllocationTest, SpringPathMatcherSteadyStateAllocatesRarely) {
+  // The path arena recycles freed nodes; on a stationary stream the live
+  // set stabilizes, so steady-state allocations amortize to (near) zero.
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringPathMatcher matcher(std::vector<double>{0.0, 1.0, 0.0, -1.0},
+                            options);
+  util::Rng rng(3);
+  PathMatch match;
+  auto tickvalue = [&](int64_t t) {
+    return std::sin(0.2 * static_cast<double>(t)) + rng.Gaussian(0.0, 0.05);
+  };
+  for (int64_t t = 0; t < 20000; ++t) matcher.Update(tickvalue(t), &match);
+
+  util::ScopedAllocationCheck check;
+  const int64_t kTicks = 10000;
+  for (int64_t t = 0; t < kTicks; ++t) {
+    matcher.Update(tickvalue(20000 + t), &match);
+  }
+  // Allow sporadic arena growth/path extraction but not per-tick churn.
+  EXPECT_LT(check.Allocations(), kTicks / 20);
+}
+
+TEST(AllocationTest, FootprintReportingDoesNotDisturbMatcherState) {
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher a(std::vector<double>(16, 0.0), options);
+  SpringMatcher b(std::vector<double>(16, 0.0), options);
+  util::Rng rng(4);
+  Match match;
+  for (int t = 0; t < 500; ++t) {
+    const double x = rng.Gaussian();
+    const bool ra = a.Update(x, &match);
+    (void)a.Footprint();  // Interleaved footprint queries on `a` only.
+    const bool rb = b.Update(x, &match);
+    ASSERT_EQ(ra, rb);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,225 @@
+// Tests for the match-length-constraint extension (SpringOptions
+// max_match_length / min_match_length).
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "core/spring.h"
+#include "core/vector_spring.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+std::vector<Match> RunAll(SpringMatcher& matcher,
+                          const std::vector<double>& stream) {
+  std::vector<Match> out;
+  Match match;
+  for (double x : stream) {
+    if (matcher.Update(x, &match)) out.push_back(match);
+  }
+  if (matcher.Flush(&match)) out.push_back(match);
+  return out;
+}
+
+std::vector<double> RandomStream(util::Rng& rng, int64_t n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  double x = 0.0;
+  for (int64_t t = 0; t < n; ++t) {
+    if (rng.Bernoulli(0.1)) x = rng.Uniform(-2.0, 2.0);
+    x += rng.Gaussian(0.0, 0.3);
+    v[static_cast<size_t>(t)] = x;
+  }
+  return v;
+}
+
+TEST(MaxMatchLengthTest, MatchesNeverExceedTheCap) {
+  util::Rng rng(701);
+  const std::vector<double> stream = RandomStream(rng, 500);
+  SpringOptions options;
+  options.epsilon = 3.0;
+  options.max_match_length = 7;
+  SpringMatcher matcher({0.0, 0.5, 0.0}, options);
+  const std::vector<Match> matches = RunAll(matcher, stream);
+  for (const Match& m : matches) {
+    EXPECT_LE(m.length(), 7) << m.ToString();
+  }
+  if (matcher.has_best()) {
+    EXPECT_LE(matcher.best().length(), 7);
+  }
+}
+
+TEST(MaxMatchLengthTest, HugeCapEqualsUnconstrained) {
+  util::Rng rng(702);
+  const std::vector<double> stream = RandomStream(rng, 300);
+  std::vector<double> query{0.0, 1.0, -1.0};
+  SpringOptions unconstrained;
+  unconstrained.epsilon = 2.0;
+  SpringOptions capped = unconstrained;
+  capped.max_match_length = 1000000;
+
+  SpringMatcher a(query, unconstrained);
+  SpringMatcher b(query, capped);
+  Match ma;
+  Match mb;
+  for (double x : stream) {
+    ASSERT_EQ(a.Update(x, &ma), b.Update(x, &mb));
+  }
+  EXPECT_EQ(a.has_best(), b.has_best());
+  if (a.has_best()) {
+    EXPECT_DOUBLE_EQ(a.best().distance, b.best().distance);
+    EXPECT_EQ(a.best().start, b.best().start);
+  }
+}
+
+TEST(MaxMatchLengthTest, CapForcesShorterBestWithWorseDistance) {
+  // A slow ramp matches a two-point query best when it can stretch wide;
+  // capping the length forces a steeper (worse) alignment.
+  std::vector<double> stream;
+  for (int i = 0; i <= 20; ++i) stream.push_back(0.05 * i);  // 0 .. 1 ramp.
+  const std::vector<double> query{0.0, 1.0};
+
+  SpringOptions unconstrained;
+  unconstrained.epsilon = -1.0;
+  SpringMatcher a(query, unconstrained);
+  SpringOptions capped = unconstrained;
+  capped.max_match_length = 3;
+  SpringMatcher b(query, capped);
+  for (double x : stream) {
+    a.Update(x, nullptr);
+    b.Update(x, nullptr);
+  }
+  ASSERT_TRUE(a.has_best());
+  ASSERT_TRUE(b.has_best());
+  EXPECT_LE(b.best().length(), 3);
+  EXPECT_GE(b.best().distance, a.best().distance);
+}
+
+TEST(MinMatchLengthTest, ShortOptimalMatchesAreFilteredOut) {
+  // The same stream and query, with and without a minimum length: the
+  // 2-tick optimal match is reported only when it meets the minimum.
+  const std::vector<double> stream{9.0, 1.0, 2.0, 9.0};
+  const std::vector<double> query{1.0, 2.0};
+
+  SpringOptions loose;
+  loose.epsilon = 0.1;
+  loose.min_match_length = 2;
+  SpringMatcher with_min2(query, loose);
+  const std::vector<Match> ok = RunAll(with_min2, stream);
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_EQ(ok[0].start, 1);
+  EXPECT_EQ(ok[0].end, 2);
+
+  SpringOptions strict = loose;
+  strict.min_match_length = 3;
+  SpringMatcher with_min3(query, strict);
+  EXPECT_TRUE(RunAll(with_min3, stream).empty());
+}
+
+TEST(MinMatchLengthTest, ZeroMeansNoMinimum) {
+  SpringOptions options;
+  options.epsilon = 0.1;
+  SpringMatcher matcher({1.0}, options);
+  const std::vector<double> stream{9.0, 1.0, 9.0};
+  const std::vector<Match> matches = RunAll(matcher, stream);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].length(), 1);
+}
+
+TEST(LengthConstraintsTest, VectorMatcherHonorsBothCaps) {
+  util::Rng rng(703);
+  ts::VectorSeries query(2);
+  query.AppendRow(std::vector<double>{0.0, 0.0});
+  query.AppendRow(std::vector<double>{1.0, -1.0});
+  SpringOptions options;
+  options.epsilon = 4.0;
+  options.max_match_length = 5;
+  options.min_match_length = 2;
+  VectorSpringMatcher matcher(query, options);
+  Match match;
+  std::vector<Match> matches;
+  std::vector<double> row(2);
+  for (int t = 0; t < 400; ++t) {
+    row[0] = rng.Gaussian(0.0, 0.5);
+    row[1] = -row[0] + rng.Gaussian(0.0, 0.1);
+    if (matcher.Update(row, &match)) matches.push_back(match);
+  }
+  if (matcher.Flush(&match)) matches.push_back(match);
+  for (const Match& m : matches) {
+    EXPECT_LE(m.length(), 5);
+    EXPECT_GE(m.length(), 2);
+  }
+}
+
+TEST(LengthConstraintsTest, ConstrainedBestBracketsTheBoundedOracle) {
+  // The cap prunes by each cell's *optimal-path* span, so the constrained
+  // search is a heuristic subset of all length-bounded alignments: its
+  // best can never beat the true bounded optimum, and every result it
+  // produces is a genuine alignment of a length-bounded interval.
+  util::Rng rng(705);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::vector<double> stream = RandomStream(rng, 30);
+    std::vector<double> query(static_cast<size_t>(rng.UniformInt(2, 4)));
+    for (double& y : query) y = rng.Uniform(-2.0, 2.0);
+    const int64_t cap = rng.UniformInt(2, 8);
+
+    SpringOptions options;
+    options.epsilon = -1.0;
+    options.max_match_length = cap;
+    SpringMatcher matcher(query, options);
+    for (double x : stream) matcher.Update(x, nullptr);
+    ASSERT_TRUE(matcher.has_best());
+    EXPECT_LE(matcher.best().length(), cap);
+
+    // Oracle: minimum DTW distance over subsequences of length <= cap.
+    const auto oracle =
+        AllSubsequenceDistances(ts::Series(stream), ts::Series(query));
+    double bounded_best = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < oracle.size(); ++a) {
+      for (size_t len = 0;
+           len < oracle[a].size() && static_cast<int64_t>(len) < cap;
+           ++len) {
+        bounded_best = std::min(bounded_best, oracle[a][len]);
+      }
+    }
+    EXPECT_GE(matcher.best().distance, bounded_best - 1e-9)
+        << "trial " << trial;
+    // And it is a real alignment of its own (bounded) interval.
+    const double own_interval =
+        oracle[static_cast<size_t>(matcher.best().start)]
+              [static_cast<size_t>(matcher.best().length() - 1)];
+    EXPECT_GE(matcher.best().distance, own_interval - 1e-9);
+  }
+}
+
+TEST(LengthConstraintsTest, ConstrainedBestNeverBeatsUnconstrained) {
+  util::Rng rng(704);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> stream = RandomStream(rng, 120);
+    std::vector<double> query(static_cast<size_t>(rng.UniformInt(2, 5)));
+    for (double& y : query) y = rng.Uniform(-2.0, 2.0);
+    SpringOptions base;
+    base.epsilon = -1.0;
+    SpringOptions capped = base;
+    capped.max_match_length = rng.UniformInt(2, 10);
+
+    SpringMatcher a(query, base);
+    SpringMatcher b(query, capped);
+    for (double x : stream) {
+      a.Update(x, nullptr);
+      b.Update(x, nullptr);
+    }
+    ASSERT_TRUE(a.has_best());
+    ASSERT_TRUE(b.has_best());
+    EXPECT_GE(b.best().distance, a.best().distance - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,137 @@
+// Invariance properties of SPRING under value-space transforms and state
+// resets.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spring.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+std::vector<double> RandomStream(util::Rng& rng, int64_t n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  double x = 0.0;
+  for (int64_t t = 0; t < n; ++t) {
+    if (rng.Bernoulli(0.1)) x = rng.Uniform(-2.0, 2.0);
+    x += rng.Gaussian(0.0, 0.3);
+    v[static_cast<size_t>(t)] = x;
+  }
+  return v;
+}
+
+class InvarianceSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvarianceSeedTest, ShiftingStreamAndQueryTogetherChangesNothing) {
+  // ||(x+c) - (y+c)|| == ||x - y|| for both local distances, so matches,
+  // distances and report times are identical.
+  util::Rng rng(GetParam());
+  const std::vector<double> stream = RandomStream(rng, 250);
+  std::vector<double> query(4);
+  for (double& y : query) y = rng.Uniform(-2.0, 2.0);
+  const double shift = rng.Uniform(-100.0, 100.0);
+
+  for (const auto distance :
+       {dtw::LocalDistance::kSquared, dtw::LocalDistance::kAbsolute}) {
+    SpringOptions options;
+    options.epsilon = rng.Uniform(0.5, 4.0);
+    options.local_distance = distance;
+
+    std::vector<double> shifted_query = query;
+    for (double& y : shifted_query) y += shift;
+    SpringMatcher original(query, options);
+    SpringMatcher shifted(shifted_query, options);
+
+    Match ma;
+    Match mb;
+    for (const double x : stream) {
+      const bool ra = original.Update(x, &ma);
+      const bool rb = shifted.Update(x + shift, &mb);
+      ASSERT_EQ(ra, rb);
+      if (ra) {
+        EXPECT_EQ(ma.start, mb.start);
+        EXPECT_EQ(ma.end, mb.end);
+        EXPECT_NEAR(ma.distance, mb.distance, 1e-8);
+        EXPECT_EQ(ma.report_time, mb.report_time);
+      }
+    }
+  }
+}
+
+TEST_P(InvarianceSeedTest, ScalingValuesScalesDistancesPredictably) {
+  // Squared local distance: scaling values by a scales distances by a^2,
+  // so scaling epsilon by a^2 reproduces the same matches.
+  util::Rng rng(GetParam() ^ 0x77);
+  const std::vector<double> stream = RandomStream(rng, 250);
+  std::vector<double> query(5);
+  for (double& y : query) y = rng.Uniform(-2.0, 2.0);
+  const double scale = rng.Uniform(0.5, 4.0);
+
+  SpringOptions options;
+  options.epsilon = rng.Uniform(0.5, 4.0);
+  SpringOptions scaled_options = options;
+  scaled_options.epsilon = options.epsilon * scale * scale;
+
+  std::vector<double> scaled_query = query;
+  for (double& y : scaled_query) y *= scale;
+  SpringMatcher original(query, options);
+  SpringMatcher scaled(scaled_query, scaled_options);
+
+  Match ma;
+  Match mb;
+  for (const double x : stream) {
+    const bool ra = original.Update(x, &ma);
+    const bool rb = scaled.Update(x * scale, &mb);
+    ASSERT_EQ(ra, rb);
+    if (ra) {
+      EXPECT_EQ(ma.start, mb.start);
+      EXPECT_EQ(ma.end, mb.end);
+      EXPECT_NEAR(mb.distance, ma.distance * scale * scale,
+                  1e-7 * (1.0 + ma.distance));
+    }
+  }
+}
+
+TEST_P(InvarianceSeedTest, ResetEqualsFreshMatcher) {
+  util::Rng rng(GetParam() ^ 0x99);
+  const std::vector<double> prefix = RandomStream(rng, 120);
+  const std::vector<double> suffix = RandomStream(rng, 200);
+  std::vector<double> query(4);
+  for (double& y : query) y = rng.Uniform(-2.0, 2.0);
+  SpringOptions options;
+  options.epsilon = rng.Uniform(0.5, 3.0);
+
+  SpringMatcher reused(query, options);
+  Match match;
+  for (const double x : prefix) reused.Update(x, &match);
+  reused.Reset();
+
+  SpringMatcher fresh(query, options);
+  Match ma;
+  Match mb;
+  for (const double x : suffix) {
+    const bool ra = reused.Update(x, &ma);
+    const bool rb = fresh.Update(x, &mb);
+    ASSERT_EQ(ra, rb);
+    if (ra) {
+      EXPECT_EQ(ma.start, mb.start);
+      EXPECT_EQ(ma.end, mb.end);
+      EXPECT_DOUBLE_EQ(ma.distance, mb.distance);
+    }
+  }
+  EXPECT_EQ(reused.has_best(), fresh.has_best());
+  if (reused.has_best()) {
+    EXPECT_EQ(reused.best().start, fresh.best().start);
+    EXPECT_DOUBLE_EQ(reused.best().distance, fresh.best().distance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvarianceSeedTest,
+                         ::testing::Values(901, 902, 903, 904, 905));
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,136 @@
+// The Naive baseline must be *functionally identical* to SPRING (same
+// matches, same report times, same best-match) while paying O(n*m) per tick.
+
+#include "core/naive.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spring.h"
+#include "ts/series.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+ts::Series RandomStream(util::Rng& rng, int64_t n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  double x = 0.0;
+  for (int64_t t = 0; t < n; ++t) {
+    if (rng.Bernoulli(0.1)) x = rng.Uniform(-2.0, 2.0);
+    x += rng.Gaussian(0.0, 0.3);
+    v[static_cast<size_t>(t)] = x;
+  }
+  return ts::Series(std::move(v));
+}
+
+class NaiveEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NaiveEquivalenceTest, TickForTickAgreementWithSpring) {
+  util::Rng rng(GetParam());
+  const int64_t n = 120;
+  const int64_t m = rng.UniformInt(2, 8);
+  const ts::Series stream = RandomStream(rng, n);
+  std::vector<double> query(static_cast<size_t>(m));
+  for (double& y : query) y = rng.Uniform(-2.0, 2.0);
+
+  SpringOptions options;
+  options.epsilon = rng.Uniform(0.5, 5.0);
+  SpringMatcher spring(query, options);
+  NaiveMatcher naive(query, options);
+
+  Match spring_match;
+  Match naive_match;
+  for (int64_t t = 0; t < n; ++t) {
+    const bool spring_reported = spring.Update(stream[t], &spring_match);
+    const bool naive_reported = naive.Update(stream[t], &naive_match);
+    ASSERT_EQ(spring_reported, naive_reported) << "tick " << t;
+    if (spring_reported) {
+      EXPECT_EQ(spring_match.start, naive_match.start);
+      EXPECT_EQ(spring_match.end, naive_match.end);
+      EXPECT_NEAR(spring_match.distance, naive_match.distance, 1e-9);
+      EXPECT_EQ(spring_match.report_time, naive_match.report_time);
+    }
+  }
+  const bool spring_flushed = spring.Flush(&spring_match);
+  const bool naive_flushed = naive.Flush(&naive_match);
+  ASSERT_EQ(spring_flushed, naive_flushed);
+  if (spring_flushed) {
+    EXPECT_EQ(spring_match.start, naive_match.start);
+    EXPECT_EQ(spring_match.end, naive_match.end);
+    EXPECT_NEAR(spring_match.distance, naive_match.distance, 1e-9);
+  }
+
+  ASSERT_EQ(spring.has_best(), naive.has_best());
+  if (spring.has_best()) {
+    EXPECT_EQ(spring.best().start, naive.best().start);
+    EXPECT_EQ(spring.best().end, naive.best().end);
+    EXPECT_NEAR(spring.best().distance, naive.best().distance, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(NaiveMatcherTest, ReproducesThePapersWorkedExample) {
+  // Figure 5 / Example 1 again, via the O(n*m)-per-tick baseline.
+  SpringOptions options;
+  options.epsilon = 15.0;
+  NaiveMatcher naive({11.0, 6.0, 9.0, 4.0}, options);
+  std::vector<Match> reports;
+  Match match;
+  for (const double x : {5.0, 12.0, 6.0, 10.0, 6.0, 5.0, 13.0}) {
+    if (naive.Update(x, &match)) reports.push_back(match);
+  }
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].start, 1);
+  EXPECT_EQ(reports[0].end, 4);
+  EXPECT_DOUBLE_EQ(reports[0].distance, 6.0);
+  EXPECT_EQ(reports[0].report_time, 6);
+}
+
+TEST(NaiveMatcherTest, FootprintGrowsLinearlyWithStream) {
+  SpringOptions options;
+  options.epsilon = -1.0;
+  NaiveMatcher naive(std::vector<double>(16, 0.0), options);
+  for (int t = 0; t < 100; ++t) naive.Update(0.0, nullptr);
+  const int64_t bytes_100 = naive.Footprint().TotalBytes();
+  for (int t = 0; t < 900; ++t) naive.Update(0.0, nullptr);
+  const int64_t bytes_1000 = naive.Footprint().TotalBytes();
+  // Roughly 10x the matrices (within allocator slack).
+  EXPECT_GT(bytes_1000, 6 * bytes_100);
+}
+
+TEST(NaiveMatcherTest, ModelBytesMatchesLemma3) {
+  // n matrices of two (m+1)-value arrays of doubles.
+  EXPECT_EQ(NaiveMatcher::ModelBytes(1000, 255), 1000 * 2 * 256 * 8);
+}
+
+TEST(SuperNaiveTest, AllSubsequenceDistancesDiagonal) {
+  // D(X[a:a], Y) for a singleton and m=1 is just the squared difference.
+  const ts::Series stream({1.0, 2.0, 3.0});
+  const ts::Series query({2.0});
+  const auto all = AllSubsequenceDistances(stream, query);
+  EXPECT_DOUBLE_EQ(all[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(all[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(all[2][0], 1.0);
+  // Longer subsequences accumulate.
+  EXPECT_DOUBLE_EQ(all[0][1], 1.0);  // (1,2) vs (2): 1 + 0.
+  EXPECT_DOUBLE_EQ(all[0][2], 2.0);  // (1,2,3) vs (2): 1 + 0 + 1.
+}
+
+TEST(SuperNaiveTest, BestMatchPrefersEarliestEndOnTies) {
+  const ts::Series stream({5.0, 1.0, 9.0, 1.0});
+  const ts::Series query({1.0});
+  const Match best = SuperNaiveBestMatch(stream, query);
+  EXPECT_EQ(best.start, 1);
+  EXPECT_EQ(best.end, 1);
+  EXPECT_DOUBLE_EQ(best.distance, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

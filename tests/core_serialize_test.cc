@@ -1,0 +1,136 @@
+// Checkpoint/restore: a matcher snapshot taken mid-stream must continue
+// exactly like the original on the remaining data.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spring.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+std::vector<double> RandomStream(util::Rng& rng, int64_t n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  double x = 0.0;
+  for (int64_t t = 0; t < n; ++t) {
+    if (rng.Bernoulli(0.1)) x = rng.Uniform(-2.0, 2.0);
+    x += rng.Gaussian(0.0, 0.3);
+    v[static_cast<size_t>(t)] = x;
+  }
+  return v;
+}
+
+class SerializeSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializeSeedTest, RestoredMatcherContinuesIdentically) {
+  util::Rng rng(GetParam());
+  const std::vector<double> stream = RandomStream(rng, 400);
+  std::vector<double> query(static_cast<size_t>(rng.UniformInt(2, 8)));
+  for (double& y : query) y = rng.Uniform(-2.0, 2.0);
+
+  SpringOptions options;
+  options.epsilon = rng.Uniform(0.5, 4.0);
+  SpringMatcher original(query, options);
+
+  // Take a snapshot at several cut points and compare futures.
+  for (const size_t cut : {0u, 1u, 57u, 200u}) {
+    SpringMatcher a(query, options);
+    Match match;
+    for (size_t t = 0; t < cut; ++t) a.Update(stream[t], &match);
+
+    const std::vector<uint8_t> snapshot = a.SerializeState();
+    auto restored = SpringMatcher::DeserializeState(snapshot);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    SpringMatcher& b = *restored;
+    EXPECT_EQ(b.ticks_processed(), a.ticks_processed());
+
+    Match ma;
+    Match mb;
+    for (size_t t = cut; t < stream.size(); ++t) {
+      const bool ra = a.Update(stream[t], &ma);
+      const bool rb = b.Update(stream[t], &mb);
+      ASSERT_EQ(ra, rb) << "cut " << cut << " tick " << t;
+      if (ra) {
+        EXPECT_EQ(ma.start, mb.start);
+        EXPECT_EQ(ma.end, mb.end);
+        EXPECT_DOUBLE_EQ(ma.distance, mb.distance);
+        EXPECT_EQ(ma.report_time, mb.report_time);
+        EXPECT_EQ(ma.group_start, mb.group_start);
+        EXPECT_EQ(ma.group_end, mb.group_end);
+      }
+    }
+    EXPECT_EQ(a.Flush(&ma), b.Flush(&mb));
+    EXPECT_EQ(a.has_best(), b.has_best());
+    if (a.has_best()) {
+      EXPECT_EQ(a.best().start, b.best().start);
+      EXPECT_EQ(a.best().end, b.best().end);
+      EXPECT_DOUBLE_EQ(a.best().distance, b.best().distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeSeedTest,
+                         ::testing::Values(601, 602, 603, 604));
+
+TEST(SerializeTest, SnapshotPreservesOptions) {
+  SpringOptions options;
+  options.epsilon = 7.5;
+  options.local_distance = dtw::LocalDistance::kAbsolute;
+  options.max_match_length = 40;
+  options.min_match_length = 3;
+  SpringMatcher matcher({1.0, 2.0}, options);
+  auto restored = SpringMatcher::DeserializeState(matcher.SerializeState());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->options().epsilon, 7.5);
+  EXPECT_EQ(restored->options().local_distance,
+            dtw::LocalDistance::kAbsolute);
+  EXPECT_EQ(restored->options().max_match_length, 40);
+  EXPECT_EQ(restored->options().min_match_length, 3);
+  EXPECT_EQ(restored->query(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  const std::vector<uint8_t> garbage{1, 2, 3, 4, 5};
+  EXPECT_FALSE(SpringMatcher::DeserializeState(garbage).ok());
+  EXPECT_FALSE(
+      SpringMatcher::DeserializeState(std::vector<uint8_t>{}).ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedSnapshot) {
+  SpringMatcher matcher({1.0, 2.0, 3.0}, SpringOptions{});
+  std::vector<uint8_t> snapshot = matcher.SerializeState();
+  snapshot.resize(snapshot.size() / 2);
+  EXPECT_FALSE(SpringMatcher::DeserializeState(snapshot).ok());
+}
+
+TEST(SerializeTest, RejectsTrailingBytes) {
+  SpringMatcher matcher({1.0}, SpringOptions{});
+  std::vector<uint8_t> snapshot = matcher.SerializeState();
+  snapshot.push_back(0);
+  EXPECT_FALSE(SpringMatcher::DeserializeState(snapshot).ok());
+}
+
+TEST(SerializeTest, RejectsWrongMagic) {
+  SpringMatcher matcher({1.0}, SpringOptions{});
+  std::vector<uint8_t> snapshot = matcher.SerializeState();
+  snapshot[0] ^= 0xff;
+  const auto restored = SpringMatcher::DeserializeState(snapshot);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, SnapshotSizeIsLinearInQueryLength) {
+  SpringMatcher small(std::vector<double>(16, 0.0), SpringOptions{});
+  SpringMatcher large(std::vector<double>(1600, 0.0), SpringOptions{});
+  const size_t small_size = small.SerializeState().size();
+  const size_t large_size = large.SerializeState().size();
+  EXPECT_GT(large_size, 50 * small_size / 2);
+  EXPECT_LT(large_size, 200 * small_size);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

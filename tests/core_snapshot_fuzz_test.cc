@@ -1,0 +1,110 @@
+// Robustness: deserializers must never crash on corrupt input — every
+// random truncation, byte flip, or splice of a valid snapshot either
+// round-trips (mutation hit a don't-care byte) or fails cleanly with a
+// Status.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spring.h"
+#include "core/vector_spring.h"
+#include "monitor/engine.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace {
+
+std::vector<uint8_t> MakeScalarSnapshot() {
+  core::SpringOptions options;
+  options.epsilon = 2.0;
+  core::SpringMatcher matcher({1.0, 2.0, 3.0, 4.0}, options);
+  util::Rng rng(31);
+  core::Match match;
+  for (int t = 0; t < 50; ++t) matcher.Update(rng.Gaussian(), &match);
+  return matcher.SerializeState();
+}
+
+TEST(SnapshotFuzzTest, TruncationsNeverCrashScalarMatcher) {
+  const std::vector<uint8_t> snapshot = MakeScalarSnapshot();
+  for (size_t cut = 0; cut < snapshot.size(); ++cut) {
+    std::vector<uint8_t> truncated(snapshot.begin(),
+                                   snapshot.begin() +
+                                       static_cast<ptrdiff_t>(cut));
+    const auto restored = core::SpringMatcher::DeserializeState(truncated);
+    EXPECT_FALSE(restored.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotFuzzTest, ByteFlipsNeverCrashScalarMatcher) {
+  const std::vector<uint8_t> snapshot = MakeScalarSnapshot();
+  util::Rng rng(32);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> mutated = snapshot;
+    const int flips = static_cast<int>(rng.UniformInt(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    }
+    // Must not crash; any Status outcome is acceptable. If it restores,
+    // the matcher must still be usable.
+    auto restored = core::SpringMatcher::DeserializeState(mutated);
+    if (restored.ok()) {
+      core::Match match;
+      restored->Update(1.0, &match);
+    }
+  }
+}
+
+TEST(SnapshotFuzzTest, RandomGarbageNeverCrashesAnyDeserializer) {
+  util::Rng rng(33);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> garbage(
+        static_cast<size_t>(rng.UniformInt(0, 300)));
+    for (uint8_t& b : garbage) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    EXPECT_FALSE(core::SpringMatcher::DeserializeState(garbage).ok());
+    EXPECT_FALSE(core::VectorSpringMatcher::DeserializeState(garbage).ok());
+    monitor::MonitorEngine engine;
+    EXPECT_FALSE(engine.RestoreState(garbage).ok());
+  }
+}
+
+TEST(SnapshotFuzzTest, EngineCheckpointByteFlipsNeverCrash) {
+  monitor::MonitorEngine original;
+  const int64_t stream = original.AddStream("s");
+  core::SpringOptions options;
+  options.epsilon = 1.0;
+  ASSERT_TRUE(original.AddQuery(stream, "q", {1.0, 2.0}, options).ok());
+  const int64_t vstream = original.AddVectorStream("v", 2);
+  ts::VectorSeries vquery(2);
+  vquery.AppendRow(std::vector<double>{1.0, -1.0});
+  ASSERT_TRUE(original.AddVectorQuery(vstream, "vq", vquery, options).ok());
+  for (int t = 0; t < 30; ++t) {
+    ASSERT_TRUE(original.Push(stream, 0.5 * t).ok());
+    ASSERT_TRUE(
+        original.PushRow(vstream, std::vector<double>{0.1 * t, -0.1 * t})
+            .ok());
+  }
+  const std::vector<uint8_t> checkpoint = original.SerializeState();
+
+  util::Rng rng(34);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<uint8_t> mutated = checkpoint;
+    const auto pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+    mutated[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    monitor::MonitorEngine engine;
+    const util::Status status = engine.RestoreState(mutated);
+    if (status.ok()) {
+      // If the flip hit a benign byte (say a stats value), the engine must
+      // still accept pushes on restored streams.
+      EXPECT_TRUE(engine.Push(0, 1.0).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace springdtw

@@ -1,0 +1,169 @@
+// Edge cases of SpringMatcher beyond the main unit/property suites.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spring.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SpringEdgeTest, StreamContinuesCorrectlyAfterFlush) {
+  // Flush mid-stream (e.g. a checkpoint boundary), then keep feeding:
+  // later occurrences must still be found, disjoint from the flushed one.
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher({1.0, 2.0}, options);
+  Match match;
+  matcher.Update(1.0, &match);
+  matcher.Update(2.0, &match);
+  ASSERT_TRUE(matcher.Flush(&match));
+  EXPECT_EQ(match.end, 1);
+
+  std::vector<Match> later;
+  for (const double x : {9.0, 1.0, 2.0, 9.0}) {
+    if (matcher.Update(x, &match)) later.push_back(match);
+  }
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].start, 3);
+  EXPECT_EQ(later[0].end, 4);
+  EXPECT_DOUBLE_EQ(later[0].distance, 0.0);
+}
+
+TEST(SpringEdgeTest, EpsilonZeroMatchesOnlyExactAlignments) {
+  SpringOptions options;
+  options.epsilon = 0.0;
+  SpringMatcher matcher({3.0, 7.0}, options);
+  Match match;
+  std::vector<Match> matches;
+  for (const double x : {3.0, 7.0, 3.0, 7.1, 99.0}) {
+    if (matcher.Update(x, &match)) matches.push_back(match);
+  }
+  if (matcher.Flush(&match)) matches.push_back(match);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].start, 0);
+  EXPECT_EQ(matches[0].end, 1);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+}
+
+TEST(SpringEdgeTest, SingleTickStreamAndQuery) {
+  SpringOptions options;
+  options.epsilon = 1.0;
+  SpringMatcher matcher({5.0}, options);
+  Match match;
+  EXPECT_FALSE(matcher.Update(5.0, &match));
+  ASSERT_TRUE(matcher.Flush(&match));
+  EXPECT_EQ(match.start, 0);
+  EXPECT_EQ(match.end, 0);
+  EXPECT_EQ(match.length(), 1);
+}
+
+TEST(SpringEdgeTest, ExtremeValueMagnitudesStayFinite) {
+  SpringOptions options;
+  options.epsilon = 1e30;
+  SpringMatcher matcher({1e15, -1e15}, options);
+  util::Rng rng(41);
+  for (int t = 0; t < 100; ++t) {
+    matcher.Update(rng.Uniform(-1e15, 1e15), nullptr);
+  }
+  ASSERT_TRUE(matcher.has_best());
+  EXPECT_TRUE(std::isfinite(matcher.best().distance));
+}
+
+TEST(SpringEdgeTest, NegativeValuesWorkSymmetrically) {
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher({-1.0, -2.0}, options);
+  Match match;
+  std::vector<Match> matches;
+  for (const double x : {0.0, -1.0, -2.0, 0.0}) {
+    if (matcher.Update(x, &match)) matches.push_back(match);
+  }
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].start, 1);
+  EXPECT_EQ(matches[0].end, 2);
+}
+
+TEST(SpringEdgeTest, LastRowAccessorsAfterReset) {
+  SpringOptions options;
+  options.epsilon = -1.0;
+  SpringMatcher matcher({1.0, 2.0}, options);
+  matcher.Update(1.0, nullptr);
+  matcher.Reset();
+  // The "last row" is the pre-stream boundary again: d(−1, i>=1) = inf.
+  const auto d = matcher.LastRowDistances();
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_EQ(d[1], kInf);
+  EXPECT_EQ(d[2], kInf);
+}
+
+TEST(SpringEdgeTest, FootprintComponentsAreNamed) {
+  SpringOptions options;
+  SpringMatcher matcher({1.0, 2.0, 3.0}, options);
+  const auto fp = matcher.Footprint();
+  std::vector<std::string> names;
+  for (const auto& [name, bytes] : fp.components()) {
+    names.push_back(name);
+    EXPECT_GT(bytes, 0) << name;
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"query", "stwm_distances",
+                                      "stwm_starts"}));
+}
+
+TEST(SpringEdgeTest, SerializationAfterFlushRoundTrips) {
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher({1.0, 2.0}, options);
+  Match match;
+  matcher.Update(1.0, &match);
+  matcher.Update(2.0, &match);
+  ASSERT_TRUE(matcher.Flush(&match));
+
+  auto restored = SpringMatcher::DeserializeState(matcher.SerializeState());
+  ASSERT_TRUE(restored.ok());
+  // Both continue with the flushed group killed.
+  Match ma;
+  Match mb;
+  for (const double x : {9.0, 1.0, 2.0, 9.0}) {
+    ASSERT_EQ(matcher.Update(x, &ma), restored->Update(x, &mb));
+  }
+}
+
+TEST(SpringEdgeTest, ManyBackToBackMatchesWithoutSeparators) {
+  // Perfect occurrences touching each other: reports stay disjoint and
+  // cover the stream in order.
+  SpringOptions options;
+  options.epsilon = 0.01;
+  SpringMatcher matcher({1.0, 2.0}, options);
+  Match match;
+  std::vector<Match> matches;
+  for (int rep = 0; rep < 50; ++rep) {
+    if (matcher.Update(1.0, &match)) matches.push_back(match);
+    if (matcher.Update(2.0, &match)) matches.push_back(match);
+  }
+  if (matcher.Flush(&match)) matches.push_back(match);
+  ASSERT_GE(matches.size(), 40u);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GT(matches[i].start, matches[i - 1].end);
+  }
+}
+
+TEST(SpringEdgeTest, TicksProcessedCountsEveryUpdate) {
+  SpringOptions options;
+  options.epsilon = -1.0;
+  SpringMatcher matcher({1.0}, options);
+  for (int t = 0; t < 123; ++t) matcher.Update(0.0, nullptr);
+  EXPECT_EQ(matcher.ticks_processed(), 123);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,267 @@
+// Property-based tests: SPRING versus brute-force ("Super-Naive") oracles on
+// random streams. These exercise Theorem 1 (star-padding exactness), Lemma 1
+// (no false dismissals for best-match queries) and Lemma 2 (no false
+// dismissals for disjoint queries), across both local distances.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/match.h"
+#include "core/naive.h"
+#include "core/spring.h"
+#include "dtw/local_distance.h"
+#include "ts/series.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+struct PropertyCase {
+  uint64_t seed;
+  dtw::LocalDistance distance;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return std::string(dtw::LocalDistanceName(info.param.distance)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class SpringPropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  // Random piecewise-smooth stream: random walk with occasional jumps, so
+  // matches at various scales exist and ties have probability zero.
+  ts::Series RandomStream(util::Rng& rng, int64_t n) {
+    std::vector<double> v(static_cast<size_t>(n));
+    double x = rng.Uniform(-1.0, 1.0);
+    for (int64_t t = 0; t < n; ++t) {
+      if (rng.Bernoulli(0.1)) x = rng.Uniform(-2.0, 2.0);
+      x += rng.Gaussian(0.0, 0.3);
+      v[static_cast<size_t>(t)] = x;
+    }
+    return ts::Series(std::move(v));
+  }
+
+  ts::Series RandomQuery(util::Rng& rng, int64_t m) {
+    std::vector<double> v(static_cast<size_t>(m));
+    for (double& x : v) x = rng.Uniform(-2.0, 2.0);
+    return ts::Series(std::move(v));
+  }
+};
+
+TEST_P(SpringPropertyTest, Theorem1StarPaddingEqualsSubsequenceMinimum) {
+  util::Rng rng(GetParam().seed);
+  const dtw::LocalDistance distance = GetParam().distance;
+  const int64_t n = 28;
+  const int64_t m = 4;
+  const ts::Series stream = RandomStream(rng, n);
+  const ts::Series query = RandomQuery(rng, m);
+  const auto oracle = AllSubsequenceDistances(stream, query, distance);
+
+  SpringOptions options;
+  options.epsilon = -1.0;
+  options.local_distance = distance;
+  SpringMatcher matcher(query.values(), options);
+
+  for (int64_t t = 0; t < n; ++t) {
+    matcher.Update(stream[t], nullptr);
+    // d(t, m) must equal min over starts a <= t of D(X[a:t], Y).
+    double expected = std::numeric_limits<double>::infinity();
+    for (int64_t a = 0; a <= t; ++a) {
+      expected = std::min(
+          expected,
+          oracle[static_cast<size_t>(a)][static_cast<size_t>(t - a)]);
+    }
+    const double actual =
+        matcher.LastRowDistances()[static_cast<size_t>(m)];
+    EXPECT_NEAR(actual, expected, 1e-9) << "tick " << t;
+  }
+}
+
+TEST_P(SpringPropertyTest, Lemma1BestMatchEqualsBruteForce) {
+  util::Rng rng(GetParam().seed ^ 0xbeef);
+  const dtw::LocalDistance distance = GetParam().distance;
+  for (int trial = 0; trial < 5; ++trial) {
+    const int64_t n = rng.UniformInt(10, 32);
+    const int64_t m = rng.UniformInt(2, 6);
+    const ts::Series stream = RandomStream(rng, n);
+    const ts::Series query = RandomQuery(rng, m);
+
+    const Match expected = SuperNaiveBestMatch(stream, query, distance);
+
+    SpringOptions options;
+    options.epsilon = -1.0;
+    options.local_distance = distance;
+    SpringMatcher matcher(query.values(), options);
+    for (int64_t t = 0; t < n; ++t) matcher.Update(stream[t], nullptr);
+
+    ASSERT_TRUE(matcher.has_best());
+    EXPECT_NEAR(matcher.best().distance, expected.distance, 1e-9);
+    EXPECT_EQ(matcher.best().start, expected.start) << "trial " << trial;
+    EXPECT_EQ(matcher.best().end, expected.end) << "trial " << trial;
+  }
+}
+
+TEST_P(SpringPropertyTest, Lemma2DisjointQueriesAreSoundAndComplete) {
+  util::Rng rng(GetParam().seed ^ 0xcafe);
+  const dtw::LocalDistance distance = GetParam().distance;
+  for (int trial = 0; trial < 5; ++trial) {
+    const int64_t n = rng.UniformInt(15, 32);
+    const int64_t m = rng.UniformInt(2, 5);
+    const ts::Series stream = RandomStream(rng, n);
+    const ts::Series query = RandomQuery(rng, m);
+    const auto oracle = AllSubsequenceDistances(stream, query, distance);
+
+    // Pick epsilon as a mid quantile of all subsequence distances so some
+    // but not all subsequences qualify.
+    std::vector<double> all;
+    for (const auto& row : oracle) {
+      all.insert(all.end(), row.begin(), row.end());
+    }
+    std::sort(all.begin(), all.end());
+    const double epsilon = all[all.size() / 4];
+
+    SpringOptions options;
+    options.epsilon = epsilon;
+    options.local_distance = distance;
+    SpringMatcher matcher(query.values(), options);
+    std::vector<Match> reports;
+    Match match;
+    for (int64_t t = 0; t < n; ++t) {
+      if (matcher.Update(stream[t], &match)) reports.push_back(match);
+    }
+    if (matcher.Flush(&match)) reports.push_back(match);
+
+    // Soundness: every report is a real qualifying subsequence, and
+    // reports are pairwise disjoint and ordered. The reported distance may
+    // slightly *overestimate* the interval's isolated DTW distance — after
+    // a report kills the cells of its group, a later match's optimal
+    // alignment may have routed through a killed cell — but it can never
+    // undercut it, and it always stays within epsilon (so the true
+    // distance qualifies a fortiori).
+    for (size_t r = 0; r < reports.size(); ++r) {
+      const Match& rep = reports[r];
+      ASSERT_GE(rep.start, 0);
+      ASSERT_LE(rep.end, n - 1);
+      const double true_distance =
+          oracle[static_cast<size_t>(rep.start)]
+                [static_cast<size_t>(rep.end - rep.start)];
+      EXPECT_GE(rep.distance, true_distance - 1e-9);
+      EXPECT_LE(rep.distance, epsilon);
+      EXPECT_GE(rep.report_time, rep.end);
+      EXPECT_LE(rep.group_start, rep.start);
+      EXPECT_GE(rep.group_end, rep.end);
+      if (r > 0) {
+        EXPECT_GT(rep.start, reports[r - 1].end);
+      }
+      // The reported distance can never undercut the true minimum over all
+      // subsequences ending at the same tick (it is a d(t_e, m) value of a
+      // possibly group-killed STWM column, so it may exceed that minimum
+      // when the optimum started inside an already-reported group).
+      double end_min = std::numeric_limits<double>::infinity();
+      for (int64_t a = 0; a <= rep.end; ++a) {
+        end_min = std::min(
+            end_min, oracle[static_cast<size_t>(a)]
+                           [static_cast<size_t>(rep.end - a)]);
+      }
+      EXPECT_GE(rep.distance, end_min - 1e-9);
+    }
+
+    // Completeness (no false dismissal, Lemma 2): every qualifying
+    // subsequence is accounted for by some report's group — it overlaps
+    // [group_start, max(group_end, report_time)]. (A qualifying subsequence
+    // whose optimal-start twin was killed by a same-tick report is covered
+    // via the report_time extension.)
+    for (int64_t a = 0; a < n; ++a) {
+      for (int64_t b = a; b < n; ++b) {
+        const double d =
+            oracle[static_cast<size_t>(a)][static_cast<size_t>(b - a)];
+        if (d > epsilon) continue;
+        bool covered = false;
+        for (const Match& rep : reports) {
+          const int64_t hi = std::max(rep.group_end, rep.report_time);
+          if (a <= hi && rep.group_start <= b) {
+            covered = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(covered) << "qualifying X[" << a << ":" << b
+                             << "] d=" << d << " missed by all reports";
+      }
+    }
+
+    // The global minimum qualifying subsequence is reported exactly.
+    int64_t best_a = -1;
+    int64_t best_b = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (int64_t b = 0; b < n; ++b) {
+      for (int64_t a = 0; a <= b; ++a) {
+        const double d =
+            oracle[static_cast<size_t>(a)][static_cast<size_t>(b - a)];
+        if (d < best_d) {
+          best_d = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_d <= epsilon) {
+      bool found = false;
+      for (const Match& rep : reports) {
+        if (rep.start == best_a && rep.end == best_b &&
+            std::fabs(rep.distance - best_d) < 1e-9) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "global minimum X[" << best_a << ":" << best_b
+                         << "] d=" << best_d << " not reported";
+    }
+  }
+}
+
+TEST_P(SpringPropertyTest, ReportsAreIdenticalWithAndWithoutMatchPointer) {
+  // Passing nullptr must not change the matcher's evolution.
+  util::Rng rng(GetParam().seed ^ 0xf00d);
+  const ts::Series stream = RandomStream(rng, 40);
+  const ts::Series query = RandomQuery(rng, 4);
+  SpringOptions options;
+  options.epsilon = 2.0;
+  options.local_distance = GetParam().distance;
+  SpringMatcher with_ptr(query.values(), options);
+  SpringMatcher without_ptr(query.values(), options);
+  Match match;
+  for (int64_t t = 0; t < stream.size(); ++t) {
+    const bool a = with_ptr.Update(stream[t], &match);
+    const bool b = without_ptr.Update(stream[t], nullptr);
+    EXPECT_EQ(a, b) << "tick " << t;
+  }
+  EXPECT_EQ(with_ptr.has_best(), without_ptr.has_best());
+  if (with_ptr.has_best()) {
+    EXPECT_EQ(with_ptr.best().start, without_ptr.best().start);
+    EXPECT_EQ(with_ptr.best().end, without_ptr.best().end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpringPropertyTest,
+    ::testing::Values(
+        PropertyCase{101, dtw::LocalDistance::kSquared},
+        PropertyCase{102, dtw::LocalDistance::kSquared},
+        PropertyCase{103, dtw::LocalDistance::kSquared},
+        PropertyCase{104, dtw::LocalDistance::kSquared},
+        PropertyCase{105, dtw::LocalDistance::kSquared},
+        PropertyCase{201, dtw::LocalDistance::kAbsolute},
+        PropertyCase{202, dtw::LocalDistance::kAbsolute},
+        PropertyCase{203, dtw::LocalDistance::kAbsolute},
+        PropertyCase{204, dtw::LocalDistance::kAbsolute},
+        PropertyCase{205, dtw::LocalDistance::kAbsolute}),
+    CaseName);
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,316 @@
+#include "core/spring.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/match.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Runs the matcher over a whole vector, collecting reports (+ flush).
+std::vector<Match> RunAll(SpringMatcher& matcher,
+                          const std::vector<double>& stream,
+                          bool flush = true) {
+  std::vector<Match> out;
+  Match match;
+  for (double x : stream) {
+    if (matcher.Update(x, &match)) out.push_back(match);
+  }
+  if (flush && matcher.Flush(&match)) out.push_back(match);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The paper's worked example (Example 1 / Figure 5), checked cell-for-cell.
+// X = (5, 12, 6, 10, 6, 5, 13), Y = (11, 6, 9, 4), epsilon = 15.
+// All positions below are 0-based (the paper's are 1-based).
+// ---------------------------------------------------------------------------
+
+class Figure5Test : public ::testing::Test {
+ protected:
+  const std::vector<double> x_{5, 12, 6, 10, 6, 5, 13};
+  const std::vector<double> y_{11, 6, 9, 4};
+
+  // Paper Figure 5, distances d(t, i), rows i = 1..4, columns t = 1..7.
+  const double expected_d_[4][7] = {
+      {36, 1, 25, 1, 25, 36, 4},      // i=1 (y=11)
+      {37, 37, 1, 17, 1, 2, 51},      // i=2 (y=6)
+      {53, 46, 10, 2, 10, 17, 18},    // i=3 (y=9)
+      {54, 110, 14, 38, 6, 7, 88},    // i=4 (y=4)
+  };
+  // Paper Figure 5, starting positions s(t, i), converted to 0-based.
+  const int64_t expected_s_[4][7] = {
+      {0, 1, 2, 3, 4, 5, 6},
+      {0, 1, 1, 3, 3, 3, 3},
+      {0, 1, 1, 1, 3, 3, 3},
+      {0, 1, 1, 1, 1, 1, 1},
+  };
+};
+
+TEST_F(Figure5Test, StwmCellsMatchThePaper) {
+  SpringOptions options;
+  // A negative threshold disables disjoint-query reporting entirely, so no
+  // cell-killing reset can disturb the raw STWM recurrences under test.
+  options.epsilon = -1.0;
+  SpringMatcher matcher(y_, options);
+  for (size_t t = 0; t < x_.size(); ++t) {
+    matcher.Update(x_[t], nullptr);
+    const auto d = matcher.LastRowDistances();
+    const auto s = matcher.LastRowStarts();
+    EXPECT_DOUBLE_EQ(d[0], 0.0);
+    EXPECT_EQ(s[0], static_cast<int64_t>(t));
+    for (size_t i = 1; i <= 4; ++i) {
+      EXPECT_DOUBLE_EQ(d[i], expected_d_[i - 1][t])
+          << "cell t=" << t << " i=" << i;
+      EXPECT_EQ(s[i], expected_s_[i - 1][t])
+          << "cell t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST_F(Figure5Test, ReportsTheOptimalSubsequenceAtTheRightTime) {
+  SpringOptions options;
+  options.epsilon = 15.0;
+  SpringMatcher matcher(y_, options);
+  std::vector<Match> reports = RunAll(matcher, x_, /*flush=*/false);
+  ASSERT_EQ(reports.size(), 1u);
+  // X[2:5] in the paper's 1-based indexing = [1, 4] here, distance 6,
+  // reported while processing the 7th value (tick 6).
+  EXPECT_EQ(reports[0].start, 1);
+  EXPECT_EQ(reports[0].end, 4);
+  EXPECT_DOUBLE_EQ(reports[0].distance, 6.0);
+  EXPECT_EQ(reports[0].report_time, 6);
+}
+
+TEST_F(Figure5Test, CandidateIsPendingNotReportedAtT4) {
+  // At the paper's t=4 the candidate X[2:3] must not be reported because
+  // d(4,3) = 2 < 14 shows it can still be replaced.
+  SpringOptions options;
+  options.epsilon = 15.0;
+  SpringMatcher matcher(y_, options);
+  Match match;
+  EXPECT_FALSE(matcher.Update(5, &match));
+  EXPECT_FALSE(matcher.Update(12, &match));
+  EXPECT_FALSE(matcher.Update(6, &match));  // Candidate X[1:2] captured here.
+  EXPECT_TRUE(matcher.has_pending_candidate());
+  EXPECT_FALSE(matcher.Update(10, &match));  // ... and not reported here.
+  EXPECT_TRUE(matcher.has_pending_candidate());
+}
+
+TEST_F(Figure5Test, GroupRangeCoversAllQualifyingSubsequences) {
+  SpringOptions options;
+  options.epsilon = 15.0;
+  SpringMatcher matcher(y_, options);
+  std::vector<Match> reports = RunAll(matcher, x_, /*flush=*/false);
+  ASSERT_EQ(reports.size(), 1u);
+  // Qualifying d_m ticks: t=2 (d=14, s=1), t=4 (d=6, s=1), t=5 (d=7, s=1).
+  EXPECT_EQ(reports[0].group_start, 1);
+  EXPECT_EQ(reports[0].group_end, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Basic behaviours.
+// ---------------------------------------------------------------------------
+
+TEST(SpringMatcherTest, ExactOccurrenceHasZeroDistance) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher(y, options);
+  const std::vector<double> x{9.0, 9.0, 1.0, 2.0, 3.0, 9.0, 9.0};
+  std::vector<Match> reports = RunAll(matcher, x);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].start, 2);
+  EXPECT_EQ(reports[0].end, 4);
+  EXPECT_DOUBLE_EQ(reports[0].distance, 0.0);
+}
+
+TEST(SpringMatcherTest, TimeWarpedOccurrenceStillMatchesExactly) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher(y, options);
+  // The pattern with elements repeated (stretched): DTW distance 0. Both
+  // [1, 6] and [2, 6] achieve 0; Equation (8)'s tie-break order propagates
+  // the later start (the "(t, i-1)" predecessor is preferred).
+  const std::vector<double> x{9.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 9.0};
+  std::vector<Match> reports = RunAll(matcher, x);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].start, 2);
+  EXPECT_EQ(reports[0].end, 6);
+  EXPECT_DOUBLE_EQ(reports[0].distance, 0.0);
+}
+
+TEST(SpringMatcherTest, BestMatchTracksGlobalMinimum) {
+  const std::vector<double> y{5.0};
+  SpringOptions options;
+  options.epsilon = -1.0;  // Best-match only.
+  SpringMatcher matcher(y, options);
+  const std::vector<double> x{0.0, 4.0, 7.0, 5.5, 9.0};
+  for (double v : x) matcher.Update(v, nullptr);
+  ASSERT_TRUE(matcher.has_best());
+  // Closest single value to 5 is 5.5 at tick 3 (squared distance 0.25).
+  EXPECT_EQ(matcher.best().start, 3);
+  EXPECT_EQ(matcher.best().end, 3);
+  EXPECT_DOUBLE_EQ(matcher.best().distance, 0.25);
+}
+
+TEST(SpringMatcherTest, NoReportWhenNothingQualifies) {
+  SpringOptions options;
+  options.epsilon = 0.01;
+  SpringMatcher matcher(std::vector<double>{100.0, 200.0}, options);
+  const std::vector<double> x{0.0, 1.0, 2.0, 1.0, 0.0};
+  EXPECT_TRUE(RunAll(matcher, x).empty());
+  EXPECT_FALSE(matcher.has_pending_candidate());
+}
+
+TEST(SpringMatcherTest, FlushReportsPendingCandidate) {
+  const std::vector<double> y{1.0, 2.0};
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher(y, options);
+  Match match;
+  // Stream ends immediately after a perfect match: no future tick can close
+  // the group, so only Flush() emits it.
+  EXPECT_FALSE(matcher.Update(1.0, &match));
+  EXPECT_FALSE(matcher.Update(2.0, &match));
+  EXPECT_TRUE(matcher.has_pending_candidate());
+  ASSERT_TRUE(matcher.Flush(&match));
+  EXPECT_EQ(match.start, 0);
+  EXPECT_EQ(match.end, 1);
+  EXPECT_DOUBLE_EQ(match.distance, 0.0);
+  EXPECT_EQ(match.report_time, 2);
+  // A second flush has nothing to say.
+  EXPECT_FALSE(matcher.Flush(&match));
+}
+
+TEST(SpringMatcherTest, ResetRestartsTheStream) {
+  const std::vector<double> y{1.0, 2.0};
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher(y, options);
+  matcher.Update(1.0, nullptr);
+  matcher.Update(2.0, nullptr);
+  matcher.Reset();
+  EXPECT_EQ(matcher.ticks_processed(), 0);
+  EXPECT_FALSE(matcher.has_best());
+  EXPECT_FALSE(matcher.has_pending_candidate());
+  // Behaves like a fresh matcher.
+  const std::vector<double> x{1.0, 2.0, 9.0};
+  std::vector<Match> reports = RunAll(matcher, x);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].start, 0);
+}
+
+TEST(SpringMatcherTest, ReportsAreDisjointAndOrdered) {
+  const std::vector<double> y{1.0, 2.0, 1.0};
+  SpringOptions options;
+  options.epsilon = 0.75;
+  SpringMatcher matcher(y, options);
+  std::vector<double> x;
+  for (int rep = 0; rep < 5; ++rep) {
+    x.insert(x.end(), {9.0, 9.0, 1.0, 2.0, 1.0, 9.0, 9.0});
+  }
+  std::vector<Match> reports = RunAll(matcher, x);
+  ASSERT_EQ(reports.size(), 5u);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reports[i].distance, 0.0);
+    EXPECT_GE(reports[i].report_time, reports[i].end);
+    if (i > 0) {
+      EXPECT_FALSE(reports[i].Overlaps(reports[i - 1]));
+      EXPECT_GT(reports[i].start, reports[i - 1].end);
+    }
+  }
+}
+
+TEST(SpringMatcherTest, QueryLengthOneDegeneratesToValueMatching) {
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher(std::vector<double>{3.0}, options);
+  const std::vector<double> x{0.0, 3.2, 10.0};
+  std::vector<Match> reports = RunAll(matcher, x);
+  ASSERT_EQ(reports.size(), 1u);
+  // DTW can stretch: both elements may map to the single query value, but
+  // the optimum here is the singleton [1, 1].
+  EXPECT_EQ(reports[0].start, 1);
+  EXPECT_EQ(reports[0].end, 1);
+  EXPECT_NEAR(reports[0].distance, 0.04, 1e-12);
+}
+
+TEST(SpringMatcherTest, StreamShorterThanQueryStillMatches) {
+  // Subsequence matching under DTW places no length constraint: a 2-tick
+  // stream can match a 4-tick query by stretching.
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher(std::vector<double>{1.0, 1.0, 2.0, 2.0}, options);
+  Match match;
+  matcher.Update(1.0, &match);
+  matcher.Update(2.0, &match);
+  ASSERT_TRUE(matcher.Flush(&match));
+  EXPECT_DOUBLE_EQ(match.distance, 0.0);
+  EXPECT_EQ(match.start, 0);
+  EXPECT_EQ(match.end, 1);
+}
+
+TEST(SpringMatcherTest, InfiniteEpsilonReportsEverythingEventually) {
+  SpringOptions options;
+  options.epsilon = kInf;
+  SpringMatcher matcher(std::vector<double>{0.0}, options);
+  Match match;
+  int reports = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (matcher.Update(1.0, &match)) ++reports;
+  }
+  // With a constant stream every tick closes the previous single-tick group
+  // (nothing upcoming can beat it: ties are not strict improvements), so
+  // each tick after the first reports the previous tick's candidate and the
+  // last candidate is flushed.
+  EXPECT_EQ(reports, 99);
+  ASSERT_TRUE(matcher.Flush(&match));
+  EXPECT_EQ(match.start, 99);
+  EXPECT_EQ(match.end, 99);
+}
+
+TEST(SpringMatcherTest, FootprintIsConstantInStreamLength) {
+  SpringOptions options;
+  options.epsilon = 1.0;
+  SpringMatcher matcher(std::vector<double>(256, 0.0), options);
+  for (int t = 0; t < 100; ++t) matcher.Update(0.5, nullptr);
+  const int64_t bytes_100 = matcher.Footprint().TotalBytes();
+  for (int t = 0; t < 10000; ++t) matcher.Update(0.5, nullptr);
+  EXPECT_EQ(matcher.Footprint().TotalBytes(), bytes_100);
+  // O(m): roughly 4 arrays of (m+1) 8-byte values + the query.
+  EXPECT_LT(bytes_100, 64 * 1024);
+}
+
+TEST(SpringMatcherDeathTest, EmptyQueryChecks) {
+  SpringOptions options;
+  EXPECT_DEATH(SpringMatcher(std::vector<double>{}, options), "Check failed");
+}
+
+TEST(MatchTest, ToStringAndHelpers) {
+  Match m;
+  m.start = 3;
+  m.end = 7;
+  m.distance = 1.5;
+  m.report_time = 9;
+  EXPECT_EQ(m.length(), 5);
+  EXPECT_NE(m.ToString().find("X[3:7]"), std::string::npos);
+  Match other;
+  other.start = 7;
+  other.end = 10;
+  EXPECT_TRUE(m.Overlaps(other));
+  other.start = 8;
+  EXPECT_FALSE(m.Overlaps(other));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,137 @@
+#include "core/subsequence_scan.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+ts::Series RandomStream(util::Rng& rng, int64_t n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  double x = 0.0;
+  for (int64_t t = 0; t < n; ++t) {
+    if (rng.Bernoulli(0.15)) x = rng.Uniform(-2.0, 2.0);
+    x += rng.Gaussian(0.0, 0.2);
+    v[static_cast<size_t>(t)] = x;
+  }
+  return ts::Series(std::move(v));
+}
+
+TEST(BestSubsequenceTest, AgreesWithSuperNaiveOracle) {
+  util::Rng rng(501);
+  for (int trial = 0; trial < 8; ++trial) {
+    const ts::Series stream = RandomStream(rng, rng.UniformInt(10, 28));
+    std::vector<double> q(static_cast<size_t>(rng.UniformInt(2, 5)));
+    for (double& y : q) y = rng.Uniform(-2.0, 2.0);
+    const ts::Series query(q);
+
+    const Match expected = SuperNaiveBestMatch(stream, query);
+    const Match actual = BestSubsequence(stream, query);
+    EXPECT_EQ(actual.start, expected.start) << "trial " << trial;
+    EXPECT_EQ(actual.end, expected.end) << "trial " << trial;
+    EXPECT_NEAR(actual.distance, expected.distance, 1e-9);
+  }
+}
+
+TEST(DisjointMatchesTest, FindsRepeatedPattern) {
+  std::vector<double> x;
+  for (int rep = 0; rep < 3; ++rep) {
+    x.insert(x.end(), {8.0, 8.0, 1.0, 2.0, 3.0, 8.0, 8.0});
+  }
+  const ts::Series stream(x);
+  const ts::Series query({1.0, 2.0, 3.0});
+  const std::vector<Match> matches = DisjointMatches(stream, query, 0.5);
+  ASSERT_EQ(matches.size(), 3u);
+  for (size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matches[i].distance, 0.0);
+    EXPECT_EQ(matches[i].start, static_cast<int64_t>(7 * i + 2));
+    EXPECT_EQ(matches[i].end, static_cast<int64_t>(7 * i + 4));
+  }
+}
+
+TEST(DisjointMatchesTest, FlushToggleControlsTrailingMatch) {
+  const ts::Series stream({9.0, 1.0, 2.0});  // Ends inside a perfect match.
+  const ts::Series query({1.0, 2.0});
+  EXPECT_EQ(DisjointMatches(stream, query, 0.5, dtw::LocalDistance::kSquared,
+                            /*flush=*/true)
+                .size(),
+            1u);
+  EXPECT_TRUE(DisjointMatches(stream, query, 0.5,
+                              dtw::LocalDistance::kSquared,
+                              /*flush=*/false)
+                  .empty());
+}
+
+TEST(DisjointPathMatchesTest, SameMatchesWithPaths) {
+  std::vector<double> x{8.0, 1.0, 2.0, 3.0, 8.0, 8.0};
+  const ts::Series stream(x);
+  const ts::Series query({1.0, 2.0, 3.0});
+  const auto plain = DisjointMatches(stream, query, 0.5);
+  const auto with_path = DisjointPathMatches(stream, query, 0.5);
+  ASSERT_EQ(plain.size(), with_path.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].start, with_path[i].match.start);
+    EXPECT_EQ(plain[i].end, with_path[i].match.end);
+    EXPECT_FALSE(with_path[i].path.empty());
+  }
+}
+
+TEST(DisjointVectorMatchesTest, FindsPlantedVectorPattern) {
+  ts::VectorSeries stream(2);
+  for (const auto& row : std::vector<std::vector<double>>{
+           {9, 9}, {1, 0}, {2, 1}, {9, 9}, {1, 0}, {2, 1}, {9, 9}}) {
+    stream.AppendRow(row);
+  }
+  ts::VectorSeries query(2);
+  query.AppendRow(std::vector<double>{1.0, 0.0});
+  query.AppendRow(std::vector<double>{2.0, 1.0});
+  const auto matches = DisjointVectorMatches(stream, query, 0.5);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].start, 1);
+  EXPECT_EQ(matches[1].start, 4);
+}
+
+TEST(SubsequenceDtwDistanceTest, MatchesOracleEntries) {
+  util::Rng rng(502);
+  const ts::Series stream = RandomStream(rng, 20);
+  std::vector<double> q{0.5, -0.5, 0.25};
+  const ts::Series query(q);
+  const auto oracle = AllSubsequenceDistances(stream, query);
+  for (int64_t a = 0; a < stream.size(); a += 3) {
+    for (int64_t b = a; b < stream.size(); b += 4) {
+      EXPECT_NEAR(SubsequenceDtwDistance(stream, a, b, query),
+                  oracle[static_cast<size_t>(a)][static_cast<size_t>(b - a)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(CalibrateEpsilonTest, AdmitsEveryRegion) {
+  util::Rng rng(503);
+  // Stream with two planted copies of the query at known places.
+  std::vector<double> q{1.0, 3.0, 2.0, 0.0};
+  std::vector<double> x(60, 10.0);
+  for (size_t i = 0; i < q.size(); ++i) {
+    x[10 + i] = q[i] + rng.Gaussian(0.0, 0.05);
+    x[40 + i] = q[i] + rng.Gaussian(0.0, 0.05);
+  }
+  const ts::Series stream(x);
+  const ts::Series query(q);
+  const std::vector<std::pair<int64_t, int64_t>> regions{{8, 16}, {38, 46}};
+  const double epsilon = CalibrateEpsilon(stream, query, regions, 1.2);
+  EXPECT_GT(epsilon, 0.0);
+  // With the calibrated epsilon, both regions produce matches.
+  const auto matches = DisjointMatches(stream, query, epsilon);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(matches[0].start), 10.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(matches[1].start), 40.0, 3.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,77 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/subsequence_scan.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+TEST(TopKDisjointMatchesTest, ReturnsKBestSortedByDistance) {
+  // Three planted occurrences with increasing distortion.
+  std::vector<double> x(60, 9.0);
+  const std::vector<double> pattern{1.0, 2.0, 3.0};
+  for (size_t i = 0; i < 3; ++i) x[5 + i] = pattern[i];          // Exact.
+  for (size_t i = 0; i < 3; ++i) x[25 + i] = pattern[i] + 0.1;   // Off by 0.1.
+  for (size_t i = 0; i < 3; ++i) x[45 + i] = pattern[i] + 0.3;   // Off by 0.3.
+  const ts::Series stream(x);
+  const ts::Series query(pattern);
+
+  const std::vector<Match> top2 = TopKDisjointMatches(stream, query, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].start, 5);
+  EXPECT_NEAR(top2[0].distance, 0.0, 1e-12);
+  EXPECT_EQ(top2[1].start, 25);
+  EXPECT_LE(top2[0].distance, top2[1].distance);
+
+  const std::vector<Match> top3 = TopKDisjointMatches(stream, query, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[2].start, 45);
+}
+
+TEST(TopKDisjointMatchesTest, MatchesAreDisjoint) {
+  util::Rng rng(44);
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.Gaussian();
+  const ts::Series stream(x);
+  const ts::Series query({0.0, 1.0, 0.0});
+  const std::vector<Match> top = TopKDisjointMatches(stream, query, 10);
+  for (size_t i = 0; i < top.size(); ++i) {
+    for (size_t j = i + 1; j < top.size(); ++j) {
+      EXPECT_FALSE(top[i].Overlaps(top[j]));
+    }
+    if (i > 0) {
+      EXPECT_GE(top[i].distance, top[i - 1].distance);
+    }
+  }
+}
+
+TEST(TopKDisjointMatchesTest, TopOneIncludesTheGlobalBest) {
+  util::Rng rng(45);
+  std::vector<double> x(150);
+  for (double& v : x) v = rng.Gaussian();
+  const ts::Series stream(x);
+  const ts::Series query({0.5, -0.5});
+  const Match best = BestSubsequence(stream, query);
+  const std::vector<Match> top1 = TopKDisjointMatches(stream, query, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  // The global best is always the optimum of its own group, so top-1 finds
+  // exactly it.
+  EXPECT_EQ(top1[0].start, best.start);
+  EXPECT_EQ(top1[0].end, best.end);
+  EXPECT_NEAR(top1[0].distance, best.distance, 1e-12);
+}
+
+TEST(TopKDisjointMatchesTest, FewerGroupsThanKReturnsAll) {
+  const ts::Series stream({9.0, 1.0, 2.0, 9.0});
+  const ts::Series query({1.0, 2.0});
+  const std::vector<Match> top = TopKDisjointMatches(stream, query, 50);
+  EXPECT_LT(top.size(), 50u);
+  EXPECT_GE(top.size(), 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

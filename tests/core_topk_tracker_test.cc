@@ -1,0 +1,100 @@
+#include "core/topk_tracker.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spring.h"
+#include "core/subsequence_scan.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+Match MatchWith(double distance, int64_t end) {
+  Match m;
+  m.start = end;
+  m.end = end;
+  m.distance = distance;
+  m.report_time = end;
+  return m;
+}
+
+TEST(TopKTrackerTest, KeepsTheKSmallest) {
+  TopKTracker tracker(3);
+  for (int i = 0; i < 10; ++i) {
+    tracker.Offer(MatchWith(static_cast<double>(10 - i), i));
+  }
+  EXPECT_EQ(tracker.size(), 3);
+  EXPECT_EQ(tracker.offered(), 10);
+  const std::vector<Match> top = tracker.Snapshot();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[0].distance, 1.0);
+  EXPECT_DOUBLE_EQ(top[1].distance, 2.0);
+  EXPECT_DOUBLE_EQ(top[2].distance, 3.0);
+}
+
+TEST(TopKTrackerTest, AdmissionThreshold) {
+  TopKTracker tracker(2);
+  EXPECT_TRUE(std::isinf(tracker.admission_threshold()));
+  tracker.Offer(MatchWith(5.0, 0));
+  EXPECT_TRUE(std::isinf(tracker.admission_threshold()));
+  tracker.Offer(MatchWith(3.0, 1));
+  EXPECT_DOUBLE_EQ(tracker.admission_threshold(), 5.0);
+  EXPECT_TRUE(tracker.Offer(MatchWith(4.0, 2)));  // Evicts the 5.0.
+  EXPECT_DOUBLE_EQ(tracker.admission_threshold(), 4.0);
+  EXPECT_FALSE(tracker.Offer(MatchWith(4.5, 3)));  // Rejected.
+}
+
+TEST(TopKTrackerTest, ClearResets) {
+  TopKTracker tracker(2);
+  tracker.Offer(MatchWith(1.0, 0));
+  tracker.Clear();
+  EXPECT_EQ(tracker.size(), 0);
+  EXPECT_EQ(tracker.offered(), 0);
+}
+
+TEST(TopKTrackerTest, OnlineAgreesWithBatchTopK) {
+  // Stream SPRING reports through the tracker; the snapshot must equal the
+  // batch TopKDisjointMatches answer.
+  util::Rng rng(61);
+  std::vector<double> values(400);
+  double x = 0.0;
+  for (double& v : values) {
+    if (rng.Bernoulli(0.1)) x = rng.Uniform(-2.0, 2.0);
+    x += rng.Gaussian(0.0, 0.3);
+    v = x;
+  }
+  const ts::Series stream(values);
+  const ts::Series query({0.5, -0.5, 0.25});
+
+  SpringOptions options;
+  options.epsilon = std::numeric_limits<double>::infinity();
+  SpringMatcher matcher(query.values(), options);
+  TopKTracker tracker(5);
+  Match match;
+  for (int64_t t = 0; t < stream.size(); ++t) {
+    if (matcher.Update(stream[t], &match)) tracker.Offer(match);
+  }
+  if (matcher.Flush(&match)) tracker.Offer(match);
+
+  const std::vector<Match> online = tracker.Snapshot();
+  const std::vector<Match> batch = TopKDisjointMatches(stream, query, 5);
+  ASSERT_EQ(online.size(), batch.size());
+  for (size_t i = 0; i < online.size(); ++i) {
+    EXPECT_EQ(online[i].start, batch[i].start) << i;
+    EXPECT_EQ(online[i].end, batch[i].end) << i;
+    EXPECT_DOUBLE_EQ(online[i].distance, batch[i].distance) << i;
+  }
+}
+
+TEST(TopKTrackerDeathTest, KMustBePositive) {
+  EXPECT_DEATH(TopKTracker(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

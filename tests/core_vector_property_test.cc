@@ -1,0 +1,147 @@
+// Property tests for VectorSpringMatcher disjoint queries against a
+// brute-force multivariate oracle (DtwDistanceMultivariate on every
+// subsequence), mirroring the scalar Lemma 2 sweep.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/match.h"
+#include "core/vector_spring.h"
+#include "dtw/dtw.h"
+#include "ts/vector_series.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+ts::VectorSeries RandomVectorStream(util::Rng& rng, int64_t n, int64_t k) {
+  ts::VectorSeries out(k);
+  std::vector<double> row(static_cast<size_t>(k), 0.0);
+  for (int64_t t = 0; t < n; ++t) {
+    for (double& v : row) {
+      if (rng.Bernoulli(0.1)) v = rng.Uniform(-2.0, 2.0);
+      v += rng.Gaussian(0.0, 0.3);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+// oracle[a][b - a] = multivariate DTW distance of stream[a : b] vs query.
+std::vector<std::vector<double>> VectorOracle(const ts::VectorSeries& stream,
+                                              const ts::VectorSeries& query) {
+  const int64_t n = stream.size();
+  std::vector<std::vector<double>> out(static_cast<size_t>(n));
+  for (int64_t a = 0; a < n; ++a) {
+    out[static_cast<size_t>(a)].resize(static_cast<size_t>(n - a));
+    for (int64_t b = a; b < n; ++b) {
+      out[static_cast<size_t>(a)][static_cast<size_t>(b - a)] =
+          dtw::DtwDistanceMultivariate(stream.Slice(a, b - a + 1), query);
+    }
+  }
+  return out;
+}
+
+class VectorPropertySeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorPropertySeedTest, DisjointQueriesAreSoundAndComplete) {
+  util::Rng rng(GetParam());
+  const int64_t n = 22;
+  const int64_t k = 2;
+  const int64_t m = 3;
+  const ts::VectorSeries stream = RandomVectorStream(rng, n, k);
+  const ts::VectorSeries query = RandomVectorStream(rng, m, k);
+  const auto oracle = VectorOracle(stream, query);
+
+  std::vector<double> all;
+  for (const auto& row : oracle) {
+    all.insert(all.end(), row.begin(), row.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double epsilon = all[all.size() / 4];
+
+  SpringOptions options;
+  options.epsilon = epsilon;
+  VectorSpringMatcher matcher(query, options);
+  std::vector<Match> reports;
+  Match match;
+  for (int64_t t = 0; t < n; ++t) {
+    if (matcher.Update(stream.Row(t), &match)) reports.push_back(match);
+  }
+  if (matcher.Flush(&match)) reports.push_back(match);
+
+  // Soundness (see the scalar property test for the rationale of the
+  // inequalities).
+  for (size_t r = 0; r < reports.size(); ++r) {
+    const Match& rep = reports[r];
+    const double true_distance =
+        oracle[static_cast<size_t>(rep.start)]
+              [static_cast<size_t>(rep.end - rep.start)];
+    EXPECT_GE(rep.distance, true_distance - 1e-9);
+    EXPECT_LE(rep.distance, epsilon);
+    EXPECT_GE(rep.report_time, rep.end);
+    if (r > 0) {
+      EXPECT_GT(rep.start, reports[r - 1].end);
+    }
+  }
+
+  // Completeness: every qualifying subsequence overlaps some report's
+  // extended group interval.
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = a; b < n; ++b) {
+      const double d =
+          oracle[static_cast<size_t>(a)][static_cast<size_t>(b - a)];
+      if (d > epsilon) continue;
+      bool covered = false;
+      for (const Match& rep : reports) {
+        const int64_t hi = std::max(rep.group_end, rep.report_time);
+        if (a <= hi && rep.group_start <= b) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "qualifying X[" << a << ":" << b << "] d="
+                           << d << " missed";
+    }
+  }
+
+  // The global minimum qualifying subsequence is reported exactly.
+  double best_d = std::numeric_limits<double>::infinity();
+  int64_t best_a = -1;
+  int64_t best_b = -1;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t a = 0; a <= b; ++a) {
+      const double d =
+          oracle[static_cast<size_t>(a)][static_cast<size_t>(b - a)];
+      if (d < best_d) {
+        best_d = d;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  if (best_d <= epsilon) {
+    bool found = false;
+    for (const Match& rep : reports) {
+      if (rep.start == best_a && rep.end == best_b &&
+          std::fabs(rep.distance - best_d) < 1e-9) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "global minimum X[" << best_a << ":" << best_b
+                       << "] not reported";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorPropertySeedTest,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005,
+                                           1006));
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

@@ -1,0 +1,171 @@
+#include "dtw/coarse.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dtw/dtw.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+std::vector<double> RandomSeq(util::Rng& rng, int64_t n) {
+  std::vector<double> out(static_cast<size_t>(n));
+  double x = 0.0;
+  for (double& v : out) {
+    x += rng.Gaussian(0.0, 0.4);
+    v = x;
+  }
+  return out;
+}
+
+struct CoarseCase {
+  int64_t segment_size;
+  LocalDistance distance;
+};
+
+class CoarseLowerBoundProperty
+    : public ::testing::TestWithParam<CoarseCase> {};
+
+TEST_P(CoarseLowerBoundProperty, NeverExceedsExactDtw) {
+  util::Rng rng(91);
+  const auto [segment_size, distance] = GetParam();
+  DtwOptions options;
+  options.local_distance = distance;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, rng.UniformInt(1, 50));
+    const std::vector<double> y = RandomSeq(rng, rng.UniformInt(1, 50));
+    const double lb = CoarseDtwLowerBound(x, y, segment_size, distance);
+    const double exact = DtwDistance(x, y, options);
+    EXPECT_LE(lb, exact + 1e-9)
+        << "trial " << trial << " |x|=" << x.size() << " |y|=" << y.size();
+    EXPECT_GE(lb, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Granularities, CoarseLowerBoundProperty,
+    ::testing::Values(CoarseCase{1, LocalDistance::kSquared},
+                      CoarseCase{2, LocalDistance::kSquared},
+                      CoarseCase{4, LocalDistance::kSquared},
+                      CoarseCase{16, LocalDistance::kSquared},
+                      CoarseCase{3, LocalDistance::kAbsolute},
+                      CoarseCase{8, LocalDistance::kAbsolute}),
+    [](const auto& info) {
+      return std::string(LocalDistanceName(info.param.distance)) + "_seg" +
+             std::to_string(info.param.segment_size);
+    });
+
+TEST(CoarseLowerBoundTest, ZeroForIdenticalSequences) {
+  util::Rng rng(92);
+  const std::vector<double> x = RandomSeq(rng, 40);
+  EXPECT_DOUBLE_EQ(CoarseDtwLowerBound(x, x, 5), 0.0);
+}
+
+TEST(CoarseLowerBoundTest, PositiveForSeparatedSequences) {
+  const std::vector<double> lo(20, 0.0);
+  const std::vector<double> hi(20, 5.0);
+  // Ranges never overlap: every block costs (5-0)^2.
+  EXPECT_GT(CoarseDtwLowerBound(lo, hi, 4), 0.0);
+}
+
+TEST(CoarseApproximationTest, ExactAtSegmentSizeOne) {
+  util::Rng rng(93);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, rng.UniformInt(2, 25));
+    const std::vector<double> y = RandomSeq(rng, rng.UniformInt(2, 25));
+    EXPECT_NEAR(CoarseDtwApproximation(x, y, 1), DtwDistance(x, y), 1e-9);
+  }
+}
+
+TEST(CoarseApproximationTest, RoughlyTracksExactDistance) {
+  util::Rng rng(94);
+  // Over many pairs, the rank correlation between approximation and exact
+  // distance should be strongly positive; test a weak proxy: the pair with
+  // much larger exact distance also has the larger approximation.
+  const std::vector<double> base = RandomSeq(rng, 64);
+  std::vector<double> near = base;
+  for (double& v : near) v += rng.Gaussian(0.0, 0.05);
+  std::vector<double> far = base;
+  for (double& v : far) v += rng.Gaussian(0.0, 2.0) + 5.0;
+  EXPECT_LT(CoarseDtwApproximation(base, near, 8),
+            CoarseDtwApproximation(base, far, 8));
+}
+
+TEST(CoarseNnSearchTest, FindsSameBestAsPlainSearch) {
+  util::Rng rng(95);
+  const ts::Series query(RandomSeq(rng, 48));
+  std::vector<ts::Series> candidates;
+  for (int i = 0; i < 60; ++i) {
+    candidates.emplace_back(RandomSeq(rng, 48));
+  }
+  const auto plain = NearestNeighborDtw(candidates, query);
+  const auto coarse = NearestNeighborDtwCoarse(candidates, query, 6);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_EQ(coarse->best_index, plain->best_index);
+  EXPECT_NEAR(coarse->best_distance, plain->best_distance, 1e-9);
+}
+
+TEST(CoarseNnSearchTest, CoarseBoundPrunesBeyondKimAndYi) {
+  // Impostors share the query's endpoints (0), global min (0), and global
+  // max (1), so LB_Kim and LB_Yi cannot see any difference. Their *shape*
+  // differs: the query is a segment-aligned square wave whose 8-tick
+  // segments are all-0 or all-1, while the impostors spend long stretches
+  // at 0.5 — a level no query segment's range contains — which only the
+  // segment-range coarse bound detects (every 0.5-segment must pair with
+  // a pure-0 or pure-1 query segment at gap 0.5).
+  const int64_t n = 64;
+  std::vector<double> square(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    square[static_cast<size_t>(i)] = ((i / 8) % 2 == 1) ? 1.0 : 0.0;
+  }
+  square[static_cast<size_t>(n - 1)] = 0.0;  // Segment 7 is all-0 anyway.
+  const ts::Series query(square);
+
+  std::vector<ts::Series> candidates;
+  std::vector<double> dup = square;
+  dup[20] += 0.01;  // Near-duplicate: tiny best-so-far after candidate 0.
+  candidates.emplace_back(dup);
+  for (int64_t variant = 0; variant < 20; ++variant) {
+    // [0]*8 then 0.5s, one all-1 segment (to match the max), trailing 0s.
+    std::vector<double> impostor(static_cast<size_t>(n), 0.5);
+    for (int64_t i = 0; i < 8; ++i) impostor[static_cast<size_t>(i)] = 0.0;
+    for (int64_t i = 48; i < 56; ++i) {
+      impostor[static_cast<size_t>(i)] = 1.0;
+    }
+    for (int64_t i = 56; i < 64; ++i) {
+      impostor[static_cast<size_t>(i)] = 0.0;
+    }
+    // Tiny per-variant perturbation inside the 0.5 plateau keeps the
+    // candidates distinct without moving any segment range materially.
+    impostor[static_cast<size_t>(10 + variant)] = 0.5001;
+    candidates.emplace_back(impostor);
+  }
+
+  const auto result = NearestNeighborDtwCoarse(candidates, query, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_index, 0);
+  EXPECT_EQ(result->pruned_by_kim, 0);
+  EXPECT_EQ(result->pruned_by_yi, 0);
+  EXPECT_GT(result->pruned_by_coarse, 0);
+  EXPECT_EQ(result->pruned_by_kim + result->pruned_by_yi +
+                result->pruned_by_coarse + result->full_computations,
+            static_cast<int64_t>(candidates.size()));
+}
+
+TEST(CoarseNnSearchTest, ErrorsOnBadInput) {
+  util::Rng rng(97);
+  EXPECT_FALSE(
+      NearestNeighborDtwCoarse({}, ts::Series(RandomSeq(rng, 4)), 2).ok());
+  EXPECT_FALSE(NearestNeighborDtwCoarse({ts::Series(RandomSeq(rng, 4))},
+                                        ts::Series(), 2)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace springdtw

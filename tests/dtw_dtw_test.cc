@@ -1,0 +1,270 @@
+#include "dtw/dtw.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+std::vector<double> RandomSeq(util::Rng& rng, int64_t n) {
+  std::vector<double> out(static_cast<size_t>(n));
+  for (double& x : out) x = rng.Uniform(-1.0, 1.0);
+  return out;
+}
+
+TEST(DtwDistanceTest, IdenticalSequencesHaveZeroDistance) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(x, x), 0.0);
+}
+
+TEST(DtwDistanceTest, SingleElementPair) {
+  EXPECT_DOUBLE_EQ(DtwDistance(std::vector<double>{3.0},
+                               std::vector<double>{5.0}),
+                   4.0);  // Squared difference.
+}
+
+TEST(DtwDistanceTest, KnownSmallExample) {
+  // X = (1, 2), Y = (1, 2, 2): the warp repeats X's 2 -> distance 0.
+  EXPECT_DOUBLE_EQ(DtwDistance(std::vector<double>{1.0, 2.0},
+                               std::vector<double>{1.0, 2.0, 2.0}),
+                   0.0);
+}
+
+TEST(DtwDistanceTest, HandComputedMatrix) {
+  // X = (0, 1), Y = (2, 3) with squared distance.
+  // f(1,1)=4; f(1,2)=4+9=13; f(2,1)=4+1=5; f(2,2)=min(13,5,4)+4=8.
+  EXPECT_DOUBLE_EQ(DtwDistance(std::vector<double>{0.0, 1.0},
+                               std::vector<double>{2.0, 3.0}),
+                   8.0);
+}
+
+TEST(DtwDistanceTest, AbsoluteDistanceOption) {
+  DtwOptions options;
+  options.local_distance = LocalDistance::kAbsolute;
+  // Same matrix with |.|: f(1,1)=2, f(2,2)=min(5,3,2)+2=4.
+  EXPECT_DOUBLE_EQ(DtwDistance(std::vector<double>{0.0, 1.0},
+                               std::vector<double>{2.0, 3.0}, options),
+                   4.0);
+}
+
+TEST(DtwDistanceTest, SymmetricForEqualLengths) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, 12);
+    const std::vector<double> y = RandomSeq(rng, 12);
+    EXPECT_DOUBLE_EQ(DtwDistance(x, y), DtwDistance(y, x));
+  }
+}
+
+TEST(DtwDistanceTest, TimeStretchInvariance) {
+  // DTW of a pattern vs its step-doubled version is zero.
+  const std::vector<double> x{0.0, 1.0, 4.0, 2.0};
+  const std::vector<double> stretched{0.0, 0.0, 1.0, 1.0, 4.0, 4.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(x, stretched), 0.0);
+}
+
+TEST(DtwDistanceTest, UpperBoundedByEuclideanForEqualLengths) {
+  util::Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, 16);
+    const std::vector<double> y = RandomSeq(rng, 16);
+    double euclidean = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      euclidean += (x[i] - y[i]) * (x[i] - y[i]);
+    }
+    EXPECT_LE(DtwDistance(x, y), euclidean + 1e-12);
+  }
+}
+
+TEST(DtwDistanceTest, BandEqualsUnconstrainedWhenWide) {
+  util::Rng rng(23);
+  const std::vector<double> x = RandomSeq(rng, 20);
+  const std::vector<double> y = RandomSeq(rng, 15);
+  DtwOptions banded;
+  banded.constraint = GlobalConstraint::kSakoeChiba;
+  banded.band_radius = 100;  // Wider than the matrix.
+  EXPECT_DOUBLE_EQ(DtwDistance(x, y, banded), DtwDistance(x, y));
+}
+
+TEST(DtwDistanceTest, NarrowBandIsLowerBoundedByUnconstrained) {
+  util::Rng rng(24);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, 24);
+    const std::vector<double> y = RandomSeq(rng, 24);
+    DtwOptions banded;
+    banded.constraint = GlobalConstraint::kSakoeChiba;
+    banded.band_radius = 3;
+    EXPECT_GE(DtwDistance(x, y, banded), DtwDistance(x, y) - 1e-12);
+  }
+}
+
+TEST(DtwDistanceTest, ZeroBandIsEuclideanForEqualLengths) {
+  util::Rng rng(25);
+  const std::vector<double> x = RandomSeq(rng, 10);
+  const std::vector<double> y = RandomSeq(rng, 10);
+  DtwOptions banded;
+  banded.constraint = GlobalConstraint::kSakoeChiba;
+  banded.band_radius = 0;
+  double euclidean = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    euclidean += (x[i] - y[i]) * (x[i] - y[i]);
+  }
+  EXPECT_NEAR(DtwDistance(x, y, banded), euclidean, 1e-9);
+}
+
+TEST(DtwDistanceTest, ItakuraInfeasibleForExtremeLengthRatio) {
+  // 3:1 ratio exceeds the slope-2 limit, so no path exists.
+  DtwOptions options;
+  options.constraint = GlobalConstraint::kItakura;
+  const double d = DtwDistance(std::vector<double>(30, 0.0),
+                               std::vector<double>(5, 0.0), options);
+  EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(DtwDistanceTest, ItakuraMatchesUnconstrainedOnDiagonalFriendlyData) {
+  util::Rng rng(26);
+  const std::vector<double> x = RandomSeq(rng, 16);
+  DtwOptions options;
+  options.constraint = GlobalConstraint::kItakura;
+  // Same sequence: the diagonal path is inside the parallelogram.
+  EXPECT_DOUBLE_EQ(DtwDistance(x, x, options), 0.0);
+  EXPECT_GE(DtwDistance(x, RandomSeq(rng, 16), options), 0.0);
+}
+
+TEST(DtwAlignTest, DistanceMatchesDtwDistance) {
+  util::Rng rng(27);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, 14);
+    const std::vector<double> y = RandomSeq(rng, 9);
+    const auto alignment = DtwAlign(x, y);
+    ASSERT_TRUE(alignment.ok());
+    EXPECT_NEAR(alignment->distance, DtwDistance(x, y), 1e-9);
+  }
+}
+
+TEST(DtwAlignTest, PathIsValidWarpingPath) {
+  util::Rng rng(28);
+  const std::vector<double> x = RandomSeq(rng, 12);
+  const std::vector<double> y = RandomSeq(rng, 7);
+  const auto alignment = DtwAlign(x, y);
+  ASSERT_TRUE(alignment.ok());
+  const auto& path = alignment->path;
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), PathStep(0, 0));
+  EXPECT_EQ(path.back(), PathStep(11, 6));
+  for (size_t k = 1; k < path.size(); ++k) {
+    const int64_t dt = path[k].first - path[k - 1].first;
+    const int64_t di = path[k].second - path[k - 1].second;
+    EXPECT_TRUE((dt == 0 || dt == 1) && (di == 0 || di == 1));
+    EXPECT_TRUE(dt + di >= 1);  // The path always advances.
+  }
+}
+
+TEST(DtwAlignTest, PathCostsSumToDistance) {
+  util::Rng rng(29);
+  const std::vector<double> x = RandomSeq(rng, 10);
+  const std::vector<double> y = RandomSeq(rng, 10);
+  const auto alignment = DtwAlign(x, y);
+  ASSERT_TRUE(alignment.ok());
+  double total = 0.0;
+  for (const auto& [t, i] : alignment->path) {
+    const double d = x[static_cast<size_t>(t)] - y[static_cast<size_t>(i)];
+    total += d * d;
+  }
+  EXPECT_NEAR(total, alignment->distance, 1e-9);
+}
+
+TEST(DtwAlignTest, EmptyInputIsError) {
+  EXPECT_FALSE(DtwAlign(std::vector<double>{}, std::vector<double>{1.0}).ok());
+}
+
+TEST(DtwAlignTest, InfeasibleConstraintIsError) {
+  DtwOptions options;
+  options.constraint = GlobalConstraint::kItakura;
+  EXPECT_FALSE(DtwAlign(std::vector<double>(30, 0.0),
+                        std::vector<double>(5, 0.0), options)
+                   .ok());
+}
+
+TEST(DtwMultivariateTest, ReducesToScalarForOneDim) {
+  util::Rng rng(30);
+  const std::vector<double> x = RandomSeq(rng, 15);
+  const std::vector<double> y = RandomSeq(rng, 11);
+  ts::VectorSeries vx(1);
+  for (double v : x) vx.AppendRow(std::vector<double>{v});
+  ts::VectorSeries vy(1);
+  for (double v : y) vy.AppendRow(std::vector<double>{v});
+  EXPECT_NEAR(DtwDistanceMultivariate(vx, vy), DtwDistance(x, y), 1e-9);
+}
+
+TEST(DtwMultivariateTest, IdenticalZero) {
+  ts::VectorSeries v(3);
+  util::Rng rng(31);
+  for (int t = 0; t < 10; ++t) {
+    v.AppendRow(std::vector<double>{rng.NextDouble(), rng.NextDouble(),
+                                    rng.NextDouble()});
+  }
+  EXPECT_DOUBLE_EQ(DtwDistanceMultivariate(v, v), 0.0);
+}
+
+TEST(DtwAlignTest, BandedAlignmentStaysInsideTheBand) {
+  util::Rng rng(35);
+  const std::vector<double> x = RandomSeq(rng, 24);
+  const std::vector<double> y = RandomSeq(rng, 24);
+  DtwOptions options;
+  options.constraint = GlobalConstraint::kSakoeChiba;
+  options.band_radius = 3;
+  const auto alignment = DtwAlign(x, y, options);
+  ASSERT_TRUE(alignment.ok());
+  for (const auto& [t, i] : alignment->path) {
+    EXPECT_TRUE(CellAllowed(options, t, i, 24, 24))
+        << "cell (" << t << ", " << i << ") outside the band";
+  }
+  EXPECT_NEAR(alignment->distance, DtwDistance(x, y, options), 1e-9);
+}
+
+TEST(CellAllowedTest, SakoeChibaBandGeometry) {
+  DtwOptions options;
+  options.constraint = GlobalConstraint::kSakoeChiba;
+  options.band_radius = 2;
+  // Square matrix: |i - t| <= 2.
+  EXPECT_TRUE(CellAllowed(options, 5, 5, 20, 20));
+  EXPECT_TRUE(CellAllowed(options, 5, 7, 20, 20));
+  EXPECT_FALSE(CellAllowed(options, 5, 8, 20, 20));
+}
+
+TEST(CellAllowedTest, NoneAllowsEverything) {
+  DtwOptions options;
+  EXPECT_TRUE(CellAllowed(options, 0, 99, 100, 100));
+}
+
+TEST(GlobalConstraintNameTest, Stable) {
+  EXPECT_STREQ(GlobalConstraintName(GlobalConstraint::kNone), "none");
+  EXPECT_STREQ(GlobalConstraintName(GlobalConstraint::kSakoeChiba),
+               "sakoe-chiba");
+  EXPECT_STREQ(GlobalConstraintName(GlobalConstraint::kItakura), "itakura");
+}
+
+TEST(LocalDistanceTest, NamesAndValues) {
+  EXPECT_STREQ(LocalDistanceName(LocalDistance::kSquared), "squared");
+  EXPECT_STREQ(LocalDistanceName(LocalDistance::kAbsolute), "absolute");
+  EXPECT_DOUBLE_EQ(PointDistance(LocalDistance::kSquared, 1.0, 4.0), 9.0);
+  EXPECT_DOUBLE_EQ(PointDistance(LocalDistance::kAbsolute, 1.0, 4.0), 3.0);
+}
+
+TEST(LocalDistanceTest, VectorPointDistance) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(VectorPointDistance(LocalDistance::kSquared, a, b), 25.0);
+  EXPECT_DOUBLE_EQ(VectorPointDistance(LocalDistance::kAbsolute, a, b), 7.0);
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace springdtw

@@ -1,0 +1,81 @@
+#include "dtw/envelope.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+// O(n*r) reference implementation to validate the O(n) deque version.
+Envelope BruteForceEnvelope(const std::vector<double>& y, int64_t radius) {
+  Envelope env;
+  const int64_t n = static_cast<int64_t>(y.size());
+  env.upper.resize(y.size());
+  env.lower.resize(y.size());
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = std::max<int64_t>(0, i - radius);
+    const int64_t hi = std::min<int64_t>(n - 1, i + radius);
+    double mx = y[static_cast<size_t>(lo)];
+    double mn = y[static_cast<size_t>(lo)];
+    for (int64_t j = lo; j <= hi; ++j) {
+      mx = std::max(mx, y[static_cast<size_t>(j)]);
+      mn = std::min(mn, y[static_cast<size_t>(j)]);
+    }
+    env.upper[static_cast<size_t>(i)] = mx;
+    env.lower[static_cast<size_t>(i)] = mn;
+  }
+  return env;
+}
+
+TEST(EnvelopeTest, RadiusZeroIsIdentity) {
+  const std::vector<double> y{1.0, 3.0, 2.0};
+  const Envelope env = ComputeEnvelope(y, 0);
+  EXPECT_EQ(env.upper, y);
+  EXPECT_EQ(env.lower, y);
+}
+
+TEST(EnvelopeTest, SimpleWindow) {
+  const std::vector<double> y{1.0, 5.0, 2.0, 4.0};
+  const Envelope env = ComputeEnvelope(y, 1);
+  EXPECT_EQ(env.upper, (std::vector<double>{5.0, 5.0, 5.0, 4.0}));
+  EXPECT_EQ(env.lower, (std::vector<double>{1.0, 1.0, 2.0, 2.0}));
+}
+
+TEST(EnvelopeTest, LargeRadiusGivesGlobalMinMax) {
+  const std::vector<double> y{3.0, -1.0, 7.0, 0.0};
+  const Envelope env = ComputeEnvelope(y, 100);
+  for (double u : env.upper) EXPECT_DOUBLE_EQ(u, 7.0);
+  for (double l : env.lower) EXPECT_DOUBLE_EQ(l, -1.0);
+}
+
+TEST(EnvelopeTest, MatchesBruteForceOnRandomData) {
+  util::Rng rng(41);
+  for (const int64_t radius : {0, 1, 2, 5, 17}) {
+    std::vector<double> y(200);
+    for (double& v : y) v = rng.Uniform(-10.0, 10.0);
+    const Envelope fast = ComputeEnvelope(y, radius);
+    const Envelope slow = BruteForceEnvelope(y, radius);
+    EXPECT_EQ(fast.upper, slow.upper) << "radius=" << radius;
+    EXPECT_EQ(fast.lower, slow.lower) << "radius=" << radius;
+  }
+}
+
+TEST(EnvelopeTest, EnvelopeBoundsSequence) {
+  util::Rng rng(42);
+  std::vector<double> y(100);
+  for (double& v : y) v = rng.Gaussian();
+  const Envelope env = ComputeEnvelope(y, 4);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_LE(env.lower[i], y[i]);
+    EXPECT_GE(env.upper[i], y[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace springdtw

@@ -1,0 +1,143 @@
+#include "dtw/ftw.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dtw/dtw.h"
+#include "gen/signal.h"
+#include "gen/warp.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+ts::Series RandomWalkSeries(util::Rng& rng, int64_t n) {
+  return ts::Series(gen::MovingAverage(gen::RandomWalk(rng, n, 0.0, 0.3), 3));
+}
+
+TEST(FtwTest, FindsExactNearestNeighborOnRandomPools) {
+  util::Rng rng(51);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ts::Series query = RandomWalkSeries(rng, 96);
+    std::vector<ts::Series> candidates;
+    for (int i = 0; i < 40; ++i) {
+      candidates.push_back(RandomWalkSeries(rng, 96));
+    }
+    const auto result = MultiResolutionNearestNeighbor(candidates, query);
+    ASSERT_TRUE(result.ok());
+
+    int64_t expected_idx = -1;
+    double expected = 1e300;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const double d = DtwDistance(candidates[i].values(), query.values());
+      if (d < expected) {
+        expected = d;
+        expected_idx = static_cast<int64_t>(i);
+      }
+    }
+    EXPECT_EQ(result->best_index, expected_idx) << "trial " << trial;
+    EXPECT_NEAR(result->best_distance, expected, 1e-9);
+  }
+}
+
+TEST(FtwTest, PruneCountsPartitionTheCandidates) {
+  util::Rng rng(52);
+  const ts::Series query = RandomWalkSeries(rng, 128);
+  std::vector<ts::Series> candidates;
+  // One warped near-copy so the best tightens early, plus impostors.
+  candidates.emplace_back(gen::RandomlyWarp(rng, query.values(), 4, 0.1));
+  for (int i = 0; i < 100; ++i) {
+    candidates.push_back(RandomWalkSeries(rng, 128));
+  }
+  const auto result = MultiResolutionNearestNeighbor(candidates, query);
+  ASSERT_TRUE(result.ok());
+  int64_t total = result->full_computations;
+  for (const int64_t pruned : result->pruned_at_level) total += pruned;
+  EXPECT_EQ(total, static_cast<int64_t>(candidates.size()));
+  EXPECT_EQ(result->best_index, 0);  // The warped copy wins.
+}
+
+TEST(FtwTest, RefinementPrunesMoreThanSingleLevelConfirms) {
+  // With a decreasing ladder, finer levels only see what coarser levels
+  // let through; the full-DTW count can never exceed the candidate count
+  // and usually is a small fraction.
+  util::Rng rng(53);
+  const ts::Series query = RandomWalkSeries(rng, 128);
+  std::vector<ts::Series> candidates;
+  candidates.emplace_back(gen::RandomlyWarp(rng, query.values(), 4, 0.1));
+  for (int i = 0; i < 200; ++i) {
+    candidates.push_back(RandomWalkSeries(rng, 128));
+  }
+  const auto result = MultiResolutionNearestNeighbor(candidates, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->full_computations, 50);
+}
+
+TEST(FtwTest, SingleGranularityLadderWorks) {
+  util::Rng rng(54);
+  const ts::Series query = RandomWalkSeries(rng, 64);
+  std::vector<ts::Series> candidates{RandomWalkSeries(rng, 64),
+                                     RandomWalkSeries(rng, 64)};
+  FtwOptions options;
+  options.granularities = {4};
+  const auto result =
+      MultiResolutionNearestNeighbor(candidates, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->best_index, 0);
+}
+
+TEST(FtwTest, ValidatesInputs) {
+  util::Rng rng(55);
+  const ts::Series query = RandomWalkSeries(rng, 16);
+  const std::vector<ts::Series> pool{RandomWalkSeries(rng, 16)};
+
+  EXPECT_FALSE(MultiResolutionNearestNeighbor({}, query).ok());
+  EXPECT_FALSE(MultiResolutionNearestNeighbor(pool, ts::Series()).ok());
+
+  FtwOptions empty_ladder;
+  empty_ladder.granularities = {};
+  EXPECT_FALSE(
+      MultiResolutionNearestNeighbor(pool, query, empty_ladder).ok());
+
+  FtwOptions non_decreasing;
+  non_decreasing.granularities = {8, 8};
+  EXPECT_FALSE(
+      MultiResolutionNearestNeighbor(pool, query, non_decreasing).ok());
+
+  FtwOptions bad_value;
+  bad_value.granularities = {8, 0};
+  EXPECT_FALSE(
+      MultiResolutionNearestNeighbor(pool, query, bad_value).ok());
+}
+
+TEST(FtwTest, AbsoluteDistanceSupported) {
+  util::Rng rng(56);
+  const ts::Series query = RandomWalkSeries(rng, 48);
+  std::vector<ts::Series> candidates;
+  for (int i = 0; i < 20; ++i) {
+    candidates.push_back(RandomWalkSeries(rng, 48));
+  }
+  FtwOptions options;
+  options.dtw.local_distance = LocalDistance::kAbsolute;
+  const auto result =
+      MultiResolutionNearestNeighbor(candidates, query, options);
+  ASSERT_TRUE(result.ok());
+
+  int64_t expected_idx = -1;
+  double expected = 1e300;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double d =
+        DtwDistance(candidates[i].values(), query.values(), options.dtw);
+    if (d < expected) {
+      expected = d;
+      expected_idx = static_cast<int64_t>(i);
+    }
+  }
+  EXPECT_EQ(result->best_index, expected_idx);
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace springdtw

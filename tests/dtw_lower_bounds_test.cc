@@ -1,0 +1,153 @@
+#include "dtw/lower_bounds.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dtw/dtw.h"
+#include "dtw/envelope.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+std::vector<double> RandomSeq(util::Rng& rng, int64_t n) {
+  std::vector<double> out(static_cast<size_t>(n));
+  for (double& x : out) x = rng.Uniform(-2.0, 2.0);
+  return out;
+}
+
+// The defining property of every lower bound: LB(x, y) <= DTW(x, y).
+class LowerBoundProperty
+    : public ::testing::TestWithParam<LocalDistance> {};
+
+TEST_P(LowerBoundProperty, LbKimNeverExceedsDtw) {
+  util::Rng rng(51);
+  const LocalDistance distance = GetParam();
+  DtwOptions options;
+  options.local_distance = distance;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, rng.UniformInt(1, 30));
+    const std::vector<double> y = RandomSeq(rng, rng.UniformInt(1, 30));
+    EXPECT_LE(LbKim(x, y, distance), DtwDistance(x, y, options) + 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(LowerBoundProperty, LbYiNeverExceedsDtw) {
+  util::Rng rng(52);
+  const LocalDistance distance = GetParam();
+  DtwOptions options;
+  options.local_distance = distance;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, rng.UniformInt(1, 30));
+    const std::vector<double> y = RandomSeq(rng, rng.UniformInt(1, 30));
+    EXPECT_LE(LbYi(x, y, distance), DtwDistance(x, y, options) + 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(LowerBoundProperty, LbKeoghNeverExceedsBandedDtw) {
+  util::Rng rng(53);
+  const LocalDistance distance = GetParam();
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t n = rng.UniformInt(2, 40);
+    const int64_t radius = rng.UniformInt(0, 10);
+    const std::vector<double> x = RandomSeq(rng, n);
+    const std::vector<double> y = RandomSeq(rng, n);
+    DtwOptions options;
+    options.local_distance = distance;
+    options.constraint = GlobalConstraint::kSakoeChiba;
+    options.band_radius = radius;
+    const Envelope env = ComputeEnvelope(y, radius);
+    EXPECT_LE(LbKeogh(x, env, distance),
+              DtwDistance(x, y, options) + 1e-12)
+        << "trial " << trial << " n=" << n << " r=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocalDistances, LowerBoundProperty,
+                         ::testing::Values(LocalDistance::kSquared,
+                                           LocalDistance::kAbsolute),
+                         [](const auto& info) {
+                           return LocalDistanceName(info.param);
+                         });
+
+TEST(LbKimTest, ExactOnKnownInput) {
+  // x = (0, 5), y = (1, 1): first pair cost 1, last pair cost 16,
+  // max-feature (5-1)^2=16, min-feature 1. first+last = 17 dominates.
+  const std::vector<double> x{0.0, 5.0};
+  const std::vector<double> y{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(LbKim(x, y), 17.0);
+}
+
+TEST(LbKimTest, SingleElementUsesMaxOfFeatures) {
+  EXPECT_DOUBLE_EQ(
+      LbKim(std::vector<double>{3.0}, std::vector<double>{1.0}), 4.0);
+}
+
+TEST(LbYiTest, ZeroWhenRangesCoincide) {
+  // Equal value ranges: no excursion in either direction -> bound is 0.
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 3.0, 1.5};
+  EXPECT_DOUBLE_EQ(LbYi(x, y), 0.0);
+}
+
+TEST(LbYiTest, SymmetricDirectionCounts) {
+  // x nests inside y's range but y pokes outside x's: the symmetric form
+  // still charges y's excursions (each must align to an x value inside
+  // x's range).
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{0.0, 4.0, 1.5};
+  EXPECT_DOUBLE_EQ(LbYi(x, y), 1.0 + 1.0);
+}
+
+TEST(LbYiTest, CountsExcursionsOutsideRange) {
+  // y-range is [0, 1]; x's 3.0 and -1.0 are outside by 2 and 1.
+  const std::vector<double> x{0.5, 3.0, -1.0};
+  const std::vector<double> y{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(LbYi(x, y), 4.0 + 1.0);
+}
+
+TEST(LbKeoghTest, ZeroWhenInsideEnvelope) {
+  const std::vector<double> y{0.0, 1.0, 0.0, -1.0, 0.0};
+  const Envelope env = ComputeEnvelope(y, 2);
+  const std::vector<double> x{0.0, 0.5, 0.0, -0.5, 0.0};
+  EXPECT_DOUBLE_EQ(LbKeogh(x, env), 0.0);
+}
+
+TEST(LbKeoghTest, TighterThanOrEqualToNothingOutside) {
+  const std::vector<double> y{0.0, 0.0, 0.0};
+  const Envelope env = ComputeEnvelope(y, 0);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(LbKeogh(x, env), 1.0 + 4.0 + 9.0);
+}
+
+TEST(LbKeoghDeathTest, SizeMismatchChecks) {
+  const std::vector<double> y{0.0, 1.0, 0.0};
+  const Envelope env = ComputeEnvelope(y, 1);
+  const std::vector<double> x{0.0, 1.0};  // Wrong length.
+  EXPECT_DEATH(LbKeogh(x, env), "Check failed");
+}
+
+TEST(LowerBoundOrderingTest, KeoghTighterThanYiOnAverage) {
+  // No universal ordering exists between the bounds (LB_Kim's boundary
+  // features can dominate on random data), but LB_Keogh's per-element
+  // envelope sums should beat LB_Yi's global-range sums on average.
+  util::Rng rng(54);
+  double yi_sum = 0.0;
+  double keogh_sum = 0.0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<double> x = RandomSeq(rng, 32);
+    const std::vector<double> y = RandomSeq(rng, 32);
+    const Envelope env = ComputeEnvelope(y, 3);
+    yi_sum += LbYi(x, y);
+    keogh_sum += LbKeogh(x, env);
+  }
+  EXPECT_GT(keogh_sum, yi_sum);
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace springdtw

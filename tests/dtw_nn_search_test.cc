@@ -1,0 +1,115 @@
+#include "dtw/nn_search.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace springdtw {
+namespace dtw {
+namespace {
+
+ts::Series RandomSeries(util::Rng& rng, int64_t n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+  return ts::Series(std::move(v));
+}
+
+TEST(NnSearchTest, FindsExactNearestNeighbor) {
+  util::Rng rng(61);
+  const ts::Series query = RandomSeries(rng, 24);
+  std::vector<ts::Series> candidates;
+  for (int i = 0; i < 50; ++i) candidates.push_back(RandomSeries(rng, 24));
+
+  const auto result = NearestNeighborDtw(candidates, query);
+  ASSERT_TRUE(result.ok());
+
+  // Exhaustive check.
+  int64_t best_idx = -1;
+  double best = 1e300;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double d = DtwDistance(candidates[i].values(), query.values());
+    if (d < best) {
+      best = d;
+      best_idx = static_cast<int64_t>(i);
+    }
+  }
+  EXPECT_EQ(result->best_index, best_idx);
+  EXPECT_NEAR(result->best_distance, best, 1e-9);
+}
+
+TEST(NnSearchTest, SelfIsItsOwnNearestNeighbor) {
+  util::Rng rng(62);
+  const ts::Series query = RandomSeries(rng, 16);
+  std::vector<ts::Series> candidates;
+  for (int i = 0; i < 10; ++i) candidates.push_back(RandomSeries(rng, 16));
+  candidates.push_back(query);
+  const auto result = NearestNeighborDtw(candidates, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_index, 10);
+  EXPECT_DOUBLE_EQ(result->best_distance, 0.0);
+}
+
+TEST(NnSearchTest, PruningActuallyHappensWithAPlantedMatch) {
+  util::Rng rng(63);
+  const ts::Series query = RandomSeries(rng, 32);
+  std::vector<ts::Series> candidates;
+  // A near-duplicate first, so later candidates get pruned against a small
+  // best-so-far.
+  ts::Series near_dup = query;
+  near_dup[0] += 0.01;
+  candidates.push_back(near_dup);
+  for (int i = 0; i < 200; ++i) {
+    ts::Series far = RandomSeries(rng, 32);
+    for (int64_t j = 0; j < far.size(); ++j) far[j] += 10.0;  // Way off.
+    candidates.push_back(far);
+  }
+  const auto result = NearestNeighborDtw(candidates, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_index, 0);
+  EXPECT_GT(result->pruned_by_kim + result->pruned_by_yi, 100);
+  EXPECT_LT(result->full_computations, 50);
+}
+
+TEST(NnSearchTest, KeoghCascadeUnderBand) {
+  util::Rng rng(64);
+  const ts::Series query = RandomSeries(rng, 32);
+  std::vector<ts::Series> candidates;
+  ts::Series near_dup = query;
+  near_dup[3] += 0.01;
+  candidates.push_back(near_dup);
+  for (int i = 0; i < 100; ++i) candidates.push_back(RandomSeries(rng, 32));
+
+  DtwOptions options;
+  options.constraint = GlobalConstraint::kSakoeChiba;
+  options.band_radius = 4;
+  const auto result = NearestNeighborDtw(candidates, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_index, 0);
+  // Totals add up.
+  EXPECT_EQ(result->pruned_by_kim + result->pruned_by_yi +
+                result->pruned_by_keogh + result->full_computations,
+            static_cast<int64_t>(candidates.size()));
+}
+
+TEST(NnSearchTest, EmptyCandidatesIsError) {
+  util::Rng rng(65);
+  EXPECT_FALSE(NearestNeighborDtw({}, RandomSeries(rng, 5)).ok());
+}
+
+TEST(NnSearchTest, EmptyQueryIsError) {
+  util::Rng rng(66);
+  EXPECT_FALSE(
+      NearestNeighborDtw({RandomSeries(rng, 5)}, ts::Series()).ok());
+}
+
+TEST(NnSearchTest, EmptyCandidateIsError) {
+  util::Rng rng(67);
+  EXPECT_FALSE(
+      NearestNeighborDtw({ts::Series()}, RandomSeries(rng, 5)).ok());
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace springdtw

@@ -1,0 +1,133 @@
+#include "eval/detection.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace eval {
+namespace {
+
+gen::PlantedEvent Event(int64_t start, int64_t length,
+                        const std::string& label = "e") {
+  return gen::PlantedEvent{start, length, label};
+}
+
+core::Match MatchAt(int64_t start, int64_t end, int64_t report_time = -1) {
+  core::Match m;
+  m.start = start;
+  m.end = end;
+  m.report_time = report_time < 0 ? end : report_time;
+  return m;
+}
+
+TEST(IntervalIouTest, Basics) {
+  EXPECT_DOUBLE_EQ(IntervalIou(0, 9, 0, 9), 1.0);
+  EXPECT_DOUBLE_EQ(IntervalIou(0, 9, 10, 19), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalIou(0, 9, 5, 14), 5.0 / 15.0);
+  EXPECT_DOUBLE_EQ(IntervalIou(0, 19, 5, 9), 5.0 / 20.0);  // Nested.
+  EXPECT_DOUBLE_EQ(IntervalIou(3, 3, 3, 3), 1.0);          // Single ticks.
+}
+
+TEST(ScoreMatchesTest, PerfectDetection) {
+  const std::vector<gen::PlantedEvent> events{Event(10, 20), Event(50, 10)};
+  const std::vector<core::Match> matches{MatchAt(10, 29, 35),
+                                         MatchAt(50, 59, 62)};
+  const DetectionScore score = ScoreMatches(events, matches);
+  EXPECT_EQ(score.true_positives, 2);
+  EXPECT_EQ(score.false_positives, 0);
+  EXPECT_EQ(score.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(score.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(score.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(score.iou.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(score.output_delay.mean(), (6.0 + 3.0) / 2.0);
+}
+
+TEST(ScoreMatchesTest, MissAndFalseAlarm) {
+  const std::vector<gen::PlantedEvent> events{Event(10, 20), Event(80, 10)};
+  const std::vector<core::Match> matches{MatchAt(12, 27),  // Hits event 1.
+                                         MatchAt(200, 210)};  // Spurious.
+  const DetectionScore score = ScoreMatches(events, matches);
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.false_positives, 1);
+  EXPECT_EQ(score.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(score.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(score.recall(), 0.5);
+}
+
+TEST(ScoreMatchesTest, OneToOneAssignment) {
+  // Two events, one match overlapping both: only one may claim it.
+  const std::vector<gen::PlantedEvent> events{Event(0, 10), Event(8, 10)};
+  const std::vector<core::Match> matches{MatchAt(0, 17)};
+  const DetectionScore score = ScoreMatches(events, matches);
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.false_negatives, 1);
+  EXPECT_EQ(score.false_positives, 0);
+}
+
+TEST(ScoreMatchesTest, GreedyPicksBestIouPairing) {
+  // Match A fits event 1 tightly; match B overlaps both loosely. The
+  // greedy assignment must give A to event 1 and B to event 2.
+  const std::vector<gen::PlantedEvent> events{Event(0, 10), Event(20, 10)};
+  const std::vector<core::Match> matches{MatchAt(0, 9),
+                                         MatchAt(5, 29)};
+  const DetectionScore score = ScoreMatches(events, matches);
+  EXPECT_EQ(score.true_positives, 2);
+  EXPECT_EQ(score.false_positives, 0);
+  EXPECT_EQ(score.false_negatives, 0);
+}
+
+TEST(ScoreMatchesTest, MinIouThreshold) {
+  const std::vector<gen::PlantedEvent> events{Event(0, 100)};
+  const std::vector<core::Match> matches{MatchAt(90, 109)};  // IoU small.
+  DetectionOptions strict;
+  strict.min_iou = 0.5;
+  const DetectionScore score = ScoreMatches(events, matches, strict);
+  EXPECT_EQ(score.true_positives, 0);
+  EXPECT_EQ(score.false_negatives, 1);
+  EXPECT_EQ(score.false_positives, 1);
+}
+
+TEST(ScoreMatchesTest, LabelFilterScopesEvents) {
+  const std::vector<gen::PlantedEvent> events{Event(0, 10, "walk"),
+                                              Event(20, 10, "jump")};
+  const std::vector<core::Match> matches{MatchAt(0, 9)};
+  DetectionOptions options;
+  options.event_label_filter = "walk";
+  DetectionScore score = ScoreMatches(events, matches, options);
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.false_negatives, 0);  // The jump event is out of scope.
+
+  options.event_label_filter = "jump";
+  score = ScoreMatches(events, matches, options);
+  EXPECT_EQ(score.true_positives, 0);
+  EXPECT_EQ(score.false_negatives, 1);
+  EXPECT_EQ(score.false_positives, 1);  // The walk match is unclaimed.
+}
+
+TEST(ScoreMatchesTest, EmptyInputs) {
+  const DetectionScore none = ScoreMatches({}, {});
+  EXPECT_EQ(none.true_positives, 0);
+  EXPECT_DOUBLE_EQ(none.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(none.f1(), 0.0);
+
+  const DetectionScore only_matches = ScoreMatches({}, {MatchAt(0, 5)});
+  EXPECT_EQ(only_matches.false_positives, 1);
+
+  const DetectionScore only_events = ScoreMatches({Event(0, 5)}, {});
+  EXPECT_EQ(only_events.false_negatives, 1);
+}
+
+TEST(ScoreMatchesTest, ToStringMentionsEverything) {
+  const DetectionScore score =
+      ScoreMatches({Event(0, 10)}, {MatchAt(0, 9)});
+  const std::string text = score.ToString();
+  EXPECT_NE(text.find("P=1.000"), std::string::npos);
+  EXPECT_NE(text.find("R=1.000"), std::string::npos);
+  EXPECT_NE(text.find("tp=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace springdtw

@@ -1,0 +1,100 @@
+#include "gen/ecg.h"
+
+#include <gtest/gtest.h>
+
+#include "core/subsequence_scan.h"
+#include "dtw/dtw.h"
+#include "eval/detection.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+TEST(EcgTest, ShapeAndDeterminism) {
+  EcgOptions options;
+  options.length = 8000;
+  const EcgData a = GenerateEcg(options);
+  EXPECT_EQ(a.stream.size(), 8000);
+  EXPECT_GT(a.normal_beat.size(), 20);
+  EXPECT_EQ(a.normal_beat.size(), a.anomalous_beat.size());
+  const EcgData b = GenerateEcg(options);
+  EXPECT_TRUE(a.stream == b.stream);
+}
+
+TEST(EcgTest, AnomaliesAreInBoundsAndLabeled) {
+  EcgOptions options;
+  options.length = 20000;
+  options.num_anomalies = 4;
+  const EcgData data = GenerateEcg(options);
+  EXPECT_GE(data.anomalies.size(), 3u);  // One may fall off the end.
+  for (const PlantedEvent& e : data.anomalies) {
+    EXPECT_GE(e.start, 0);
+    EXPECT_LT(e.end(), options.length);
+    EXPECT_EQ(e.label, "ectopic");
+  }
+}
+
+TEST(EcgTest, RPeaksDominateTheSignal) {
+  EcgOptions options;
+  options.length = 10000;
+  const EcgData data = GenerateEcg(options);
+  // R spikes reach a large fraction of the configured amplitude (the
+  // overlapping Q/S dips subtract a bit from the discrete peak).
+  EXPECT_GT(data.stream.Max(), 0.7 * options.r_amplitude);
+  EXPECT_GT(data.normal_beat.Max(), 0.7 * options.r_amplitude);
+}
+
+TEST(EcgTest, NormalAndEctopicBeatsAreDistantUnderDtw) {
+  EcgOptions options;
+  const EcgData data = GenerateEcg(options);
+  const double cross = dtw::DtwDistance(data.normal_beat.values(),
+                                        data.anomalous_beat.values());
+  // Self-distance is 0; the cross distance must dwarf the per-beat noise
+  // energy (~ noise_sigma^2 * period = 0.088 at the defaults) so the two
+  // templates are separable at any sane epsilon.
+  const double noise_energy = options.noise_sigma * options.noise_sigma *
+                              options.beat_period;
+  EXPECT_GT(cross, 20.0 * noise_energy);
+  EXPECT_GT(cross, 1.0);
+}
+
+TEST(EcgTest, SpringSpotsEveryPlantedEctopicBeat) {
+  EcgOptions options;
+  options.length = 20000;
+  options.num_anomalies = 3;
+  const EcgData data = GenerateEcg(options);
+  ASSERT_GE(data.anomalies.size(), 2u);
+
+  std::vector<std::pair<int64_t, int64_t>> regions;
+  for (const PlantedEvent& e : data.anomalies) {
+    regions.emplace_back(e.start, e.end());
+  }
+  const double epsilon =
+      core::CalibrateEpsilon(data.stream, data.anomalous_beat, regions, 1.2);
+  const std::vector<core::Match> alarms =
+      core::DisjointMatches(data.stream, data.anomalous_beat, epsilon);
+
+  const eval::DetectionScore score =
+      eval::ScoreMatches(data.anomalies, alarms);
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+  // Normal beats must not flood the alarm list.
+  EXPECT_LE(score.false_positives, 2);
+}
+
+TEST(EcgTest, NormalBeatMatchesDespiteRateDrift) {
+  EcgOptions options;
+  options.length = 10000;
+  options.num_anomalies = 0;
+  const EcgData data = GenerateEcg(options);
+  // The best normal-beat match is near-zero despite no beat in the stream
+  // having exactly the nominal period.
+  const core::Match best =
+      core::BestSubsequence(data.stream, data.normal_beat);
+  const double beat_energy =
+      options.beat_period * 0.05;  // Generous noise allowance.
+  EXPECT_LT(best.distance, beat_energy);
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace springdtw

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "gen/masked_chirp.h"
+#include "gen/seismic.h"
+#include "gen/sunspots.h"
+#include "gen/temperature.h"
+#include "ts/series.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+TEST(MaskedChirpTest, ShapeAndDeterminism) {
+  MaskedChirpOptions options;
+  options.length = 5000;
+  options.num_episodes = 3;
+  options.min_episode_length = 500;
+  options.max_episode_length = 900;
+  const MaskedChirpData a = GenerateMaskedChirp(options, 512);
+  EXPECT_EQ(a.stream.size(), 5000);
+  EXPECT_EQ(a.query.size(), 512);
+  EXPECT_EQ(a.events.size(), 3u);
+  const MaskedChirpData b = GenerateMaskedChirp(options, 512);
+  EXPECT_TRUE(a.stream == b.stream);
+  EXPECT_TRUE(a.query == b.query);
+}
+
+TEST(MaskedChirpTest, EpisodesAreDisjointAndInBounds) {
+  MaskedChirpOptions options;
+  options.length = 20000;
+  const MaskedChirpData data = GenerateMaskedChirp(options);
+  for (size_t i = 0; i < data.events.size(); ++i) {
+    const PlantedEvent& e = data.events[i];
+    EXPECT_GE(e.start, 0);
+    EXPECT_LT(e.end(), options.length);
+    EXPECT_GE(e.length, options.min_episode_length);
+    for (size_t j = i + 1; j < data.events.size(); ++j) {
+      EXPECT_FALSE(IntervalsOverlap(e.start, e.end(), data.events[j].start,
+                                    data.events[j].end()));
+    }
+  }
+}
+
+TEST(MaskedChirpTest, EpisodesCarrySignalAboveNoiseFloor) {
+  MaskedChirpOptions options;
+  options.length = 20000;
+  const MaskedChirpData data = GenerateMaskedChirp(options);
+  for (const PlantedEvent& e : data.events) {
+    const ts::Series episode = data.stream.Slice(e.start, e.length);
+    // The enveloped sine has stddev well above the noise sigma.
+    EXPECT_GT(episode.Stddev(), 4.0 * options.noise_sigma);
+  }
+  // A gap between episodes is mostly noise.
+  const ts::Series gap = data.stream.Slice(
+      data.events[0].end() + 100,
+      data.events[1].start - data.events[0].end() - 200);
+  EXPECT_LT(gap.Stddev(), 3.0 * options.noise_sigma);
+}
+
+TEST(MaskedChirpTest, SeedsChangeData) {
+  MaskedChirpOptions a;
+  a.length = 4000;
+  MaskedChirpOptions b = a;
+  b.seed = 999;
+  EXPECT_FALSE(GenerateMaskedChirp(a).stream ==
+               GenerateMaskedChirp(b).stream);
+}
+
+TEST(TemperatureTest, ShapeAndRange) {
+  TemperatureOptions options;
+  options.length = 20000;
+  const TemperatureData data = GenerateTemperature(options);
+  EXPECT_EQ(data.stream.size(), 20000);
+  EXPECT_EQ(data.events.size(), static_cast<size_t>(options.num_episodes));
+  // Values stay within a plausible Celsius window (paper: 20 to 32).
+  EXPECT_GT(data.stream.Min(), 10.0);
+  EXPECT_LT(data.stream.Max(), 40.0);
+}
+
+TEST(TemperatureTest, HasManyMissingValuesInBursts) {
+  TemperatureOptions options;
+  options.length = 30000;
+  const TemperatureData data = GenerateTemperature(options);
+  const int64_t missing = data.stream.CountMissing();
+  const double fraction =
+      static_cast<double>(missing) / static_cast<double>(data.stream.size());
+  EXPECT_GT(fraction, 0.005);
+  EXPECT_LT(fraction, 0.08);
+  // The query must be clean.
+  EXPECT_EQ(data.query.CountMissing(), 0);
+}
+
+TEST(TemperatureTest, EpisodesAreWarmerThanBaseline) {
+  TemperatureOptions options;
+  options.length = 30000;
+  const TemperatureData data = GenerateTemperature(options);
+  for (const PlantedEvent& e : data.events) {
+    const ts::Series episode = data.stream.Slice(e.start, e.length);
+    // The warm-up ramps from the local baseline (the Hann bump is ~0 at the
+    // episode edge) to a peak several degrees hotter, regardless of where
+    // the slow weather drift happens to sit.
+    const ts::Series edge = data.stream.Slice(e.start, 200);
+    EXPECT_GT(episode.Max(), edge.Mean() + 3.5);
+  }
+}
+
+TEST(SeismicTest, ShapeAndBurstiness) {
+  SeismicOptions options;
+  options.length = 30000;
+  options.event_length = 3000;
+  const SeismicData data = GenerateSeismic(options);
+  EXPECT_EQ(data.stream.size(), 30000);
+  ASSERT_EQ(data.events.size(), 1u);
+  const PlantedEvent& e = data.events[0];
+  const ts::Series event = data.stream.Slice(e.start, e.length);
+  // The spike train towers over the background.
+  EXPECT_GT(event.Max(), 5.0 * 3.0 * options.background_sigma);
+  EXPECT_GT(event.Max(), 0.5 * options.peak_amplitude);
+}
+
+TEST(SeismicTest, QueryContainsSameNumberOfSpikes) {
+  SeismicOptions options;
+  const SeismicData data = GenerateSeismic(options);
+  EXPECT_EQ(data.query.size(), options.event_length);
+  // Query peak is the nominal first-spike amplitude (within noise).
+  EXPECT_GT(data.query.Max(), 0.7 * options.peak_amplitude);
+}
+
+TEST(SeismicTest, Determinism) {
+  SeismicOptions options;
+  options.length = 10000;
+  options.event_length = 1500;
+  EXPECT_TRUE(GenerateSeismic(options).stream ==
+              GenerateSeismic(options).stream);
+}
+
+TEST(SunspotsTest, ShapeAndNonNegativity) {
+  SunspotOptions options;
+  options.length = 12000;
+  const SunspotData data = GenerateSunspots(options);
+  EXPECT_EQ(data.stream.size(), 12000);
+  EXPECT_GE(data.stream.Min(), 0.0);
+  EXPECT_GE(data.query.Min(), 0.0);
+  EXPECT_GT(data.events.size(), 1u);
+}
+
+TEST(SunspotsTest, CyclesVaryInLength) {
+  SunspotOptions options;
+  options.length = 15000;
+  const SunspotData data = GenerateSunspots(options);
+  // At least two active phases with different lengths (varying periodicity).
+  ASSERT_GE(data.events.size(), 2u);
+  bool lengths_differ = false;
+  for (size_t i = 1; i < data.events.size(); ++i) {
+    if (data.events[i].length != data.events[0].length) {
+      lengths_differ = true;
+    }
+  }
+  EXPECT_TRUE(lengths_differ);
+}
+
+TEST(SunspotsTest, ActivePhasesAreBursty) {
+  SunspotOptions options;
+  options.length = 15000;
+  const SunspotData data = GenerateSunspots(options);
+  for (const PlantedEvent& e : data.events) {
+    const ts::Series active = data.stream.Slice(e.start, e.length);
+    EXPECT_GT(active.Max(), options.min_peak * 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace springdtw

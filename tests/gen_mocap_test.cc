@@ -1,0 +1,114 @@
+#include "gen/mocap.h"
+
+#include <gtest/gtest.h>
+
+#include "dtw/dtw.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+TEST(MocapTest, DefaultScriptHasSevenMotions) {
+  const std::vector<Motion> script = DefaultMotionScript();
+  ASSERT_EQ(script.size(), 7u);
+  EXPECT_EQ(script[0], Motion::kWalking);
+  EXPECT_EQ(script[1], Motion::kJumping);
+  EXPECT_EQ(script[3], Motion::kPunching);
+  EXPECT_EQ(script[5], Motion::kKicking);
+  EXPECT_EQ(script[6], Motion::kPunching);
+}
+
+TEST(MocapTest, MotionNames) {
+  EXPECT_STREQ(MotionName(Motion::kWalking), "walking");
+  EXPECT_STREQ(MotionName(Motion::kJumping), "jumping");
+  EXPECT_STREQ(MotionName(Motion::kPunching), "punching");
+  EXPECT_STREQ(MotionName(Motion::kKicking), "kicking");
+}
+
+TEST(MocapTest, StreamCoversAllSegmentsBackToBack) {
+  MocapOptions options;
+  options.dims = 8;  // Small for test speed.
+  options.canonical_length = 60;
+  const MocapData data = GenerateMocap(options);
+  ASSERT_EQ(data.events.size(), 7u);
+  int64_t expected_start = 0;
+  for (const PlantedEvent& e : data.events) {
+    EXPECT_EQ(e.start, expected_start);
+    expected_start += e.length;
+  }
+  EXPECT_EQ(data.stream.size(), expected_start);
+  EXPECT_EQ(data.stream.dims(), 8);
+}
+
+TEST(MocapTest, OneQueryPerArchetype) {
+  MocapOptions options;
+  options.dims = 4;
+  options.canonical_length = 40;
+  const MocapData data = GenerateMocap(options);
+  ASSERT_EQ(data.queries.size(), 4u);  // walk, jump, punch, kick.
+  EXPECT_EQ(data.queries[0].first, "walking");
+  for (const auto& [name, query] : data.queries) {
+    EXPECT_EQ(query.dims(), 4);
+    EXPECT_GT(query.size(), 10);
+  }
+}
+
+TEST(MocapTest, SegmentLengthsVaryWithSpeed) {
+  MocapOptions options;
+  options.dims = 2;
+  options.canonical_length = 100;
+  options.min_speed = 0.5;
+  options.max_speed = 2.0;
+  const MocapData data = GenerateMocap(options);
+  bool lengths_differ = false;
+  for (size_t i = 1; i < data.events.size(); ++i) {
+    if (data.events[i].length != data.events[0].length) lengths_differ = true;
+  }
+  EXPECT_TRUE(lengths_differ);
+}
+
+TEST(MocapTest, SameArchetypeIsCloserThanDifferentUnderDtw) {
+  // The core property the experiment relies on: an instance of "walking" is
+  // much closer (multivariate DTW) to another walking instance than to any
+  // other archetype's instance.
+  MocapOptions options;
+  options.dims = 6;
+  options.canonical_length = 80;
+  const MocapData data = GenerateMocap(options);
+
+  // events[0] and events[2] are both walking; events[1] is jumping.
+  const ts::VectorSeries walk_a =
+      data.stream.Slice(data.events[0].start, data.events[0].length);
+  const ts::VectorSeries walk_b =
+      data.stream.Slice(data.events[2].start, data.events[2].length);
+  const ts::VectorSeries jump =
+      data.stream.Slice(data.events[1].start, data.events[1].length);
+
+  const double same = dtw::DtwDistanceMultivariate(walk_a, walk_b);
+  const double diff = dtw::DtwDistanceMultivariate(walk_a, jump);
+  EXPECT_LT(same * 2.0, diff);
+}
+
+TEST(MocapTest, Determinism) {
+  MocapOptions options;
+  options.dims = 3;
+  options.canonical_length = 30;
+  const MocapData a = GenerateMocap(options);
+  const MocapData b = GenerateMocap(options);
+  EXPECT_EQ(a.stream.data(), b.stream.data());
+}
+
+TEST(MocapTest, CustomScript) {
+  MocapOptions options;
+  options.dims = 2;
+  options.canonical_length = 30;
+  const MocapData data =
+      GenerateMocap(options, {Motion::kKicking, Motion::kKicking});
+  ASSERT_EQ(data.events.size(), 2u);
+  EXPECT_EQ(data.events[0].label, "kicking");
+  EXPECT_EQ(data.queries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace springdtw

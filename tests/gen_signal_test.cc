@@ -1,0 +1,119 @@
+#include "gen/signal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+TEST(SineTest, PeriodAndAmplitude) {
+  const std::vector<double> s = Sine(100, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_NEAR(s[25], 2.0, 1e-9);   // Quarter period -> peak.
+  EXPECT_NEAR(s[50], 0.0, 1e-9);   // Half period -> zero crossing.
+  EXPECT_NEAR(s[75], -2.0, 1e-9);  // Three quarters -> trough.
+}
+
+TEST(SineTest, PhaseShift) {
+  const std::vector<double> s = Sine(10, 40.0, 1.0, M_PI / 2.0);
+  EXPECT_NEAR(s[0], 1.0, 1e-9);  // cos at t=0.
+}
+
+TEST(GaussianNoiseTest, MomentsMatch) {
+  util::Rng rng(1);
+  const std::vector<double> noise = GaussianNoise(rng, 100000, 0.5);
+  util::RunningStats stats;
+  for (double x : noise) stats.Add(x);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.5, 0.01);
+}
+
+TEST(AddGaussianNoiseTest, PerturbsInPlace) {
+  util::Rng rng(2);
+  std::vector<double> values(1000, 10.0);
+  AddGaussianNoise(rng, values, 0.1);
+  util::RunningStats stats;
+  for (double x : values) stats.Add(x);
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_GT(stats.stddev(), 0.0);
+}
+
+TEST(RandomWalkTest, StartsAtStart) {
+  util::Rng rng(3);
+  const std::vector<double> walk = RandomWalk(rng, 100, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(walk[0], 5.0);
+  EXPECT_EQ(walk.size(), 100u);
+}
+
+TEST(MovingAverageTest, SmoothsAndPreservesConstant) {
+  const std::vector<double> flat(50, 3.0);
+  EXPECT_EQ(MovingAverage(flat, 5), flat);
+  const std::vector<double> spiky{0.0, 0.0, 10.0, 0.0, 0.0};
+  const std::vector<double> smooth = MovingAverage(spiky, 1);
+  EXPECT_NEAR(smooth[2], 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(smooth[1], 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(smooth[0], 0.0, 1e-12);
+}
+
+TEST(MovingAverageTest, EdgeWindowsTruncate) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const std::vector<double> out = MovingAverage(v, 10);
+  // All windows cover the whole input.
+  for (double x : out) EXPECT_NEAR(x, 2.0, 1e-12);
+}
+
+TEST(ResampleTest, IdentityWhenSameLength) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(Resample(v, 4), v);
+}
+
+TEST(ResampleTest, EndpointsPreserved) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  for (const int64_t len : {2, 3, 7, 100}) {
+    const std::vector<double> r = Resample(v, len);
+    EXPECT_DOUBLE_EQ(r.front(), 5.0);
+    EXPECT_DOUBLE_EQ(r.back(), 9.0);
+    EXPECT_EQ(static_cast<int64_t>(r.size()), len);
+  }
+}
+
+TEST(ResampleTest, LinearRampStaysLinear) {
+  std::vector<double> ramp(10);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  const std::vector<double> up = Resample(ramp, 19);
+  for (size_t i = 0; i < up.size(); ++i) {
+    EXPECT_NEAR(up[i], static_cast<double>(i) * 0.5, 1e-12);
+  }
+}
+
+TEST(HannWindowTest, ShapeAndRange) {
+  const std::vector<double> w = HannWindow(101);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[50], 1.0, 1e-12);
+  for (double x : w) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0 + 1e-12);
+  }
+}
+
+TEST(HannWindowTest, LengthOne) {
+  const std::vector<double> w = HannWindow(1);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(MultiplyInPlaceTest, ElementWise) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  MultiplyInPlace(v, {2.0, 0.5, 0.0});
+  EXPECT_EQ(v, (std::vector<double>{2.0, 1.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace springdtw

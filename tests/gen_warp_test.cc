@@ -1,0 +1,174 @@
+#include "gen/warp.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spring.h"
+#include "core/subsequence_scan.h"
+#include "dtw/dtw.h"
+#include "gen/signal.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace gen {
+namespace {
+
+TEST(TimeWarpTest, KnotsAreMonotone) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const TimeWarp warp = RandomTimeWarp(rng, 200, 5, 0.3);
+    ASSERT_GE(warp.source.size(), 2u);
+    ASSERT_EQ(warp.source.size(), warp.target.size());
+    EXPECT_DOUBLE_EQ(warp.source.front(), 0.0);
+    EXPECT_DOUBLE_EQ(warp.target.front(), 0.0);
+    EXPECT_DOUBLE_EQ(warp.source.back(), 199.0);
+    for (size_t k = 1; k < warp.source.size(); ++k) {
+      EXPECT_GT(warp.source[k], warp.source[k - 1]);
+      EXPECT_GT(warp.target[k], warp.target[k - 1]);
+    }
+  }
+}
+
+TEST(TimeWarpTest, OutputLengthTracksStretch) {
+  util::Rng rng(22);
+  // With max_stretch 0.3, the warped length stays within ~[0.7, 1.3]x.
+  for (int trial = 0; trial < 50; ++trial) {
+    const TimeWarp warp = RandomTimeWarp(rng, 500, 8, 0.3);
+    EXPECT_GE(warp.target_length(), 300);
+    EXPECT_LE(warp.target_length(), 700);
+  }
+}
+
+TEST(ApplyTimeWarpTest, IdentityWarpIsIdentity) {
+  const std::vector<double> v{1.0, 4.0, 2.0, 8.0, 5.0};
+  TimeWarp identity;
+  identity.source = {0.0, 4.0};
+  identity.target = {0.0, 4.0};
+  const std::vector<double> out = ApplyTimeWarp(v, identity);
+  ASSERT_EQ(out.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
+}
+
+TEST(ApplyTimeWarpTest, EndpointsPreserved) {
+  util::Rng rng(23);
+  const std::vector<double> v = GaussianNoise(rng, 100, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> warped = RandomlyWarp(rng, v, 4, 0.4);
+    ASSERT_GE(warped.size(), 2u);
+    EXPECT_NEAR(warped.front(), v.front(), 1e-9);
+    EXPECT_NEAR(warped.back(), v.back(), 1e-9);
+  }
+}
+
+TEST(ApplyTimeWarpTest, ValueRangeIsPreserved) {
+  // Interpolation cannot overshoot the source's range.
+  util::Rng rng(24);
+  const std::vector<double> v = GaussianNoise(rng, 150, 2.0);
+  const double lo = *std::min_element(v.begin(), v.end());
+  const double hi = *std::max_element(v.begin(), v.end());
+  for (int trial = 0; trial < 20; ++trial) {
+    for (const double x : RandomlyWarp(rng, v, 6, 0.3)) {
+      EXPECT_GE(x, lo - 1e-9);
+      EXPECT_LE(x, hi + 1e-9);
+    }
+  }
+}
+
+// The property that justifies the whole paper: DTW absorbs time warps that
+// wreck lock-step (Euclidean) comparison.
+TEST(WarpInvarianceTest, DtwIsSmallUnderWarpWhereEuclideanIsLarge) {
+  util::Rng rng(25);
+  const std::vector<double> base = Sine(400, 80.0, 1.0);
+  int dtw_wins = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> warped = RandomlyWarp(rng, base, 6, 0.25);
+    warped.resize(base.size(),
+                  warped.back());  // Pad/crop for the Euclidean compare.
+    double euclidean = 0.0;
+    for (size_t i = 0; i < base.size(); ++i) {
+      const double d = base[i] - warped[i];
+      euclidean += d * d;
+    }
+    const double dtw = dtw::DtwDistance(base, warped);
+    if (dtw * 10.0 < euclidean) ++dtw_wins;
+  }
+  EXPECT_GE(dtw_wins, 15);  // DTW is >=10x closer on most draws.
+}
+
+TEST(MultivariateWarpTest, AllChannelsWarpTogether) {
+  util::Rng rng(27);
+  ts::VectorSeries series(3);
+  for (int t = 0; t < 60; ++t) {
+    series.AppendRow(std::vector<double>{
+        static_cast<double>(t), 2.0 * static_cast<double>(t),
+        -static_cast<double>(t)});
+  }
+  const TimeWarp warp = RandomTimeWarp(rng, 60, 4, 0.3);
+  const ts::VectorSeries warped = ApplyTimeWarpMultivariate(series, warp);
+  EXPECT_EQ(warped.dims(), 3);
+  EXPECT_EQ(warped.size(), warp.target_length());
+  // The inter-channel relationships survive (same time map everywhere):
+  // channel1 = 2 * channel0, channel2 = -channel0 at every output tick.
+  for (int64_t t = 0; t < warped.size(); ++t) {
+    const auto row = warped.Row(t);
+    EXPECT_NEAR(row[1], 2.0 * row[0], 1e-9);
+    EXPECT_NEAR(row[2], -row[0], 1e-9);
+  }
+}
+
+TEST(MultivariateWarpTest, WarpedMotionStaysCloseUnderMultivariateDtw) {
+  util::Rng rng(28);
+  // A smooth multivariate trajectory; its warped self is DTW-close while
+  // a different trajectory is DTW-far.
+  ts::VectorSeries base(4);
+  for (int t = 0; t < 120; ++t) {
+    const double phase = 0.1 * static_cast<double>(t);
+    base.AppendRow(std::vector<double>{std::sin(phase), std::cos(phase),
+                                       std::sin(2.0 * phase),
+                                       std::cos(3.0 * phase)});
+  }
+  const TimeWarp warp = RandomTimeWarp(rng, 120, 5, 0.25);
+  const ts::VectorSeries warped = ApplyTimeWarpMultivariate(base, warp);
+
+  ts::VectorSeries other(4);
+  for (int t = 0; t < 120; ++t) {
+    const double phase = 0.1 * static_cast<double>(t);
+    other.AppendRow(std::vector<double>{std::cos(2.0 * phase),
+                                        std::sin(3.0 * phase),
+                                        std::cos(phase), std::sin(phase)});
+  }
+  const double self = dtw::DtwDistanceMultivariate(base, warped);
+  const double cross = dtw::DtwDistanceMultivariate(base, other);
+  EXPECT_LT(self * 5.0, cross);
+}
+
+TEST(WarpInvarianceTest, SpringFindsWarpedPatternInStream) {
+  // Plant a warped copy of the query inside noise: SPRING must find it
+  // with a small distance at the planted location.
+  util::Rng rng(26);
+  const std::vector<double> pattern = Sine(300, 60.0, 1.0);
+  std::vector<double> warped = RandomlyWarp(rng, pattern, 5, 0.25);
+
+  std::vector<double> stream = GaussianNoise(rng, 1000, 0.05);
+  const int64_t plant_at = 400;
+  for (size_t i = 0; i < warped.size(); ++i) {
+    stream[static_cast<size_t>(plant_at) + i] += warped[i];
+  }
+
+  const core::Match best =
+      core::BestSubsequence(ts::Series(stream), ts::Series(pattern));
+  EXPECT_NEAR(static_cast<double>(best.start),
+              static_cast<double>(plant_at), 30.0);
+  EXPECT_NEAR(static_cast<double>(best.end),
+              static_cast<double>(plant_at +
+                                  static_cast<int64_t>(warped.size())),
+              30.0);
+  // Tiny compared to the pattern's own energy (~150 for a 300-tick sine).
+  EXPECT_LT(best.distance, 20.0);
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace springdtw

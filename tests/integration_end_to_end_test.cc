@@ -1,0 +1,208 @@
+// End-to-end integration: generated workloads -> monitor engine / matchers
+// -> every planted episode is discovered (the substance of the paper's
+// Section 5.1 case studies, at test-sized scales).
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/subsequence_scan.h"
+#include "core/vector_spring.h"
+#include "gen/masked_chirp.h"
+#include "gen/mocap.h"
+#include "gen/seismic.h"
+#include "gen/sunspots.h"
+#include "gen/temperature.h"
+#include "monitor/engine.h"
+#include "monitor/sink.h"
+#include "monitor/stream_source.h"
+#include "ts/repair.h"
+
+namespace springdtw {
+namespace {
+
+using core::CalibrateEpsilon;
+using core::DisjointMatches;
+using core::Match;
+using gen::PlantedEvent;
+
+std::vector<std::pair<int64_t, int64_t>> EventRegions(
+    const std::vector<PlantedEvent>& events, int64_t stream_size,
+    int64_t margin) {
+  std::vector<std::pair<int64_t, int64_t>> regions;
+  for (const PlantedEvent& e : events) {
+    regions.emplace_back(std::max<int64_t>(0, e.start - margin),
+                         std::min<int64_t>(stream_size - 1, e.end() + margin));
+  }
+  return regions;
+}
+
+// True if every planted event overlaps exactly one reported match.
+void ExpectAllEventsDetected(const std::vector<PlantedEvent>& events,
+                             const std::vector<Match>& matches) {
+  for (const PlantedEvent& e : events) {
+    int overlapping = 0;
+    for (const Match& m : matches) {
+      if (gen::IntervalsOverlap(e.start, e.end(), m.start, m.end)) {
+        ++overlapping;
+      }
+    }
+    EXPECT_GE(overlapping, 1) << "planted event at " << e.start
+                              << " (len " << e.length << ") undetected";
+  }
+}
+
+TEST(EndToEndTest, MaskedChirpAllEpisodesDetected) {
+  gen::MaskedChirpOptions options;
+  options.length = 8000;
+  options.num_episodes = 3;
+  options.min_episode_length = 800;
+  options.max_episode_length = 1400;
+  const auto data = GenerateMaskedChirp(options, /*query_length=*/1024);
+
+  const double epsilon = CalibrateEpsilon(
+      data.stream, data.query,
+      EventRegions(data.events, data.stream.size(), 100), 1.2);
+  const std::vector<Match> matches =
+      DisjointMatches(data.stream, data.query, epsilon);
+  ExpectAllEventsDetected(data.events, matches);
+  // Matching is selective: no more than a couple of extra matches.
+  EXPECT_LE(matches.size(), data.events.size() + 2);
+}
+
+TEST(EndToEndTest, TemperatureEpisodesDetectedDespiteMissingValues) {
+  gen::TemperatureOptions options;
+  options.length = 15000;
+  options.num_episodes = 2;
+  options.min_episode_length = 2000;
+  options.max_episode_length = 3000;
+  const auto data = GenerateTemperature(options, /*query_length=*/2500);
+  ASSERT_GT(data.stream.CountMissing(), 0);
+
+  const ts::Series repaired =
+      RepairMissing(data.stream, ts::RepairPolicy::kHoldLast);
+  const double epsilon = CalibrateEpsilon(
+      repaired, data.query, EventRegions(data.events, repaired.size(), 200),
+      1.2);
+  const std::vector<Match> matches =
+      DisjointMatches(repaired, data.query, epsilon);
+  ExpectAllEventsDetected(data.events, matches);
+}
+
+TEST(EndToEndTest, SeismicEventDetectedDespiteIntervalJitter) {
+  gen::SeismicOptions options;
+  options.length = 20000;
+  options.event_length = 2000;
+  const auto data = GenerateSeismic(options);
+
+  const double epsilon = CalibrateEpsilon(
+      data.stream, data.query,
+      EventRegions(data.events, data.stream.size(), 200), 1.2);
+  const std::vector<Match> matches =
+      DisjointMatches(data.stream, data.query, epsilon);
+  ExpectAllEventsDetected(data.events, matches);
+}
+
+TEST(EndToEndTest, SunspotCyclesDetectedAcrossVaryingPeriod) {
+  gen::SunspotOptions options;
+  options.length = 10000;
+  options.min_cycle_length = 2000;
+  options.max_cycle_length = 2800;
+  const auto data = GenerateSunspots(options, /*query_length=*/1400);
+
+  const double epsilon = CalibrateEpsilon(
+      data.stream, data.query,
+      EventRegions(data.events, data.stream.size(), 150), 1.25);
+  const std::vector<Match> matches =
+      DisjointMatches(data.stream, data.query, epsilon);
+  ExpectAllEventsDetected(data.events, matches);
+}
+
+TEST(EndToEndTest, MonitorEngineReplaysTemperatureStream) {
+  gen::TemperatureOptions options;
+  options.length = 12000;
+  options.num_episodes = 2;
+  options.min_episode_length = 1800;
+  options.max_episode_length = 2400;
+  const auto data = GenerateTemperature(options, 2000);
+
+  const ts::Series repaired =
+      RepairMissing(data.stream, ts::RepairPolicy::kHoldLast);
+  const double epsilon = CalibrateEpsilon(
+      repaired, data.query, EventRegions(data.events, repaired.size(), 200),
+      1.2);
+
+  monitor::MonitorEngine engine;
+  monitor::CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("temperature");
+  core::SpringOptions spring_options;
+  spring_options.epsilon = epsilon;
+  ASSERT_TRUE(engine
+                  .AddQuery(stream, "warmup", data.query.values(),
+                            spring_options)
+                  .ok());
+
+  monitor::SeriesSource source(data.stream);  // Repairs NaN inline.
+  double value = 0.0;
+  while (source.Next(&value)) {
+    ASSERT_TRUE(engine.Push(stream, value).ok());
+  }
+  engine.FlushAll();
+
+  std::vector<Match> matches;
+  for (const auto& entry : sink.entries()) matches.push_back(entry.match);
+  ExpectAllEventsDetected(data.events, matches);
+}
+
+TEST(EndToEndTest, MocapAllSevenMotionsSpotted) {
+  gen::MocapOptions options;
+  options.dims = 16;  // Scaled down from 62 for test speed.
+  options.canonical_length = 120;
+  const auto data = GenerateMocap(options);
+
+  // For each motion query, find matches; the union over queries must cover
+  // all 7 segments, and each query's matches must land on segments of its
+  // own archetype.
+  std::vector<Match> all_matches;
+  for (const auto& [name, query] : data.queries) {
+    // Calibrate epsilon per query from the segments of this archetype.
+    double epsilon = 0.0;
+    for (const PlantedEvent& e : data.events) {
+      if (e.label != name) continue;
+      const ts::VectorSeries segment =
+          data.stream.Slice(e.start, e.length);
+      core::SpringOptions probe;
+      probe.epsilon = -1.0;
+      core::VectorSpringMatcher matcher(query, probe);
+      for (int64_t t = 0; t < segment.size(); ++t) {
+        matcher.Update(segment.Row(t), nullptr);
+      }
+      epsilon = std::max(epsilon, matcher.best().distance);
+    }
+    epsilon *= 1.2;
+
+    const std::vector<Match> matches =
+        core::DisjointVectorMatches(data.stream, query, epsilon);
+    for (const Match& m : matches) {
+      all_matches.push_back(m);
+      // Every match of this query overlaps a segment of the right type.
+      bool on_own_archetype = false;
+      for (const PlantedEvent& e : data.events) {
+        if (e.label == name &&
+            gen::IntervalsOverlap(e.start, e.end(), m.start, m.end)) {
+          on_own_archetype = true;
+        }
+      }
+      EXPECT_TRUE(on_own_archetype)
+          << name << " matched X[" << m.start << ":" << m.end
+          << "] which is not a " << name << " segment";
+    }
+  }
+  ExpectAllEventsDetected(data.events, all_matches);
+}
+
+}  // namespace
+}  // namespace springdtw

@@ -1,0 +1,192 @@
+#include "monitor/engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "monitor/sink.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+core::SpringOptions Options(double epsilon) {
+  core::SpringOptions options;
+  options.epsilon = epsilon;
+  return options;
+}
+
+TEST(MonitorEngineTest, SingleStreamSingleQuery) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("s0");
+  const auto query =
+      engine.AddQuery(stream, "pattern", {1.0, 2.0, 3.0}, Options(0.5));
+  ASSERT_TRUE(query.ok());
+
+  for (const double x : {9.0, 1.0, 2.0, 3.0, 9.0, 9.0}) {
+    ASSERT_TRUE(engine.Push(stream, x).ok());
+  }
+  engine.FlushAll();
+
+  ASSERT_EQ(sink.entries().size(), 1u);
+  const auto& entry = sink.entries()[0];
+  EXPECT_EQ(entry.origin.stream_name, "s0");
+  EXPECT_EQ(entry.origin.query_name, "pattern");
+  EXPECT_EQ(entry.match.start, 1);
+  EXPECT_EQ(entry.match.end, 3);
+  EXPECT_DOUBLE_EQ(entry.match.distance, 0.0);
+
+  const QueryStats& stats = engine.stats(*query);
+  EXPECT_EQ(stats.ticks, 6);
+  EXPECT_EQ(stats.matches, 1);
+  EXPECT_GE(stats.output_delay.mean(), 0.0);
+}
+
+TEST(MonitorEngineTest, MultipleQueriesPerStream) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("s0");
+  ASSERT_TRUE(
+      engine.AddQuery(stream, "rise", {1.0, 2.0}, Options(0.25)).ok());
+  ASSERT_TRUE(
+      engine.AddQuery(stream, "fall", {2.0, 1.0}, Options(0.25)).ok());
+
+  for (const double x : {9.0, 1.0, 2.0, 1.0, 9.0, 9.0}) {
+    ASSERT_TRUE(engine.Push(stream, x).ok());
+  }
+  engine.FlushAll();
+
+  int rises = 0;
+  int falls = 0;
+  for (const auto& entry : sink.entries()) {
+    if (entry.origin.query_name == "rise") ++rises;
+    if (entry.origin.query_name == "fall") ++falls;
+  }
+  EXPECT_EQ(rises, 1);
+  EXPECT_EQ(falls, 1);
+}
+
+TEST(MonitorEngineTest, StreamsAreIndependent) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t s0 = engine.AddStream("s0");
+  const int64_t s1 = engine.AddStream("s1");
+  ASSERT_TRUE(engine.AddQuery(s0, "q", {1.0, 2.0}, Options(0.25)).ok());
+  ASSERT_TRUE(engine.AddQuery(s1, "q", {1.0, 2.0}, Options(0.25)).ok());
+
+  // Only stream 0 carries the pattern.
+  for (const double x : {1.0, 2.0, 9.0}) {
+    ASSERT_TRUE(engine.Push(s0, x).ok());
+  }
+  for (const double x : {5.0, 5.0, 5.0}) {
+    ASSERT_TRUE(engine.Push(s1, x).ok());
+  }
+  engine.FlushAll();
+  ASSERT_EQ(sink.entries().size(), 1u);
+  EXPECT_EQ(sink.entries()[0].origin.stream_name, "s0");
+}
+
+TEST(MonitorEngineTest, MissingValuesAreRepairedOnline) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("sensor", /*repair_missing=*/true);
+  ASSERT_TRUE(engine.AddQuery(stream, "q", {1.0, 2.0}, Options(0.25)).ok());
+  // 1, NaN (held as 1 -> harmless), 2 -> matches [start..end] around it.
+  ASSERT_TRUE(engine.Push(stream, 1.0).ok());
+  ASSERT_TRUE(engine.Push(stream, ts::MissingValue()).ok());
+  ASSERT_TRUE(engine.Push(stream, 2.0).ok());
+  ASSERT_TRUE(engine.Push(stream, 9.0).ok());
+  engine.FlushAll();
+  ASSERT_EQ(sink.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.entries()[0].match.distance, 0.0);
+}
+
+TEST(MonitorEngineTest, MissingValueWithRepairDisabledIsAnError) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddStream("raw", /*repair_missing=*/false);
+  ASSERT_TRUE(engine.AddQuery(stream, "q", {1.0}, Options(0.25)).ok());
+  EXPECT_FALSE(engine.Push(stream, ts::MissingValue()).ok());
+  EXPECT_TRUE(engine.Push(stream, 1.0).ok());
+}
+
+TEST(MonitorEngineTest, UnknownStreamIsError) {
+  MonitorEngine engine;
+  EXPECT_FALSE(engine.Push(3, 1.0).ok());
+  EXPECT_FALSE(engine.AddQuery(3, "q", {1.0}, Options(1.0)).ok());
+}
+
+TEST(MonitorEngineTest, EmptyOrMissingQueryRejected) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddStream("s");
+  EXPECT_FALSE(engine.AddQuery(stream, "q", {}, Options(1.0)).ok());
+  EXPECT_FALSE(
+      engine.AddQuery(stream, "q", {1.0, ts::MissingValue()}, Options(1.0))
+          .ok());
+}
+
+TEST(MonitorEngineTest, PushCountsMatchesReturned) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddStream("s");
+  ASSERT_TRUE(engine.AddQuery(stream, "a", {1.0}, Options(0.1)).ok());
+  ASSERT_TRUE(engine.AddQuery(stream, "b", {1.0}, Options(0.1)).ok());
+  ASSERT_TRUE(engine.Push(stream, 1.0).ok());
+  // Both single-value queries report their first match once the next tick
+  // proves it cannot be improved.
+  const auto reported = engine.Push(stream, 50.0);
+  ASSERT_TRUE(reported.ok());
+  EXPECT_EQ(*reported, 2);
+}
+
+TEST(MonitorEngineTest, LatencyTrackingRecords) {
+  MonitorEngine engine;
+  engine.EnableLatencyTracking(true);
+  const int64_t stream = engine.AddStream("s");
+  ASSERT_TRUE(
+      engine.AddQuery(stream, "q", std::vector<double>(64, 0.0), Options(1.0))
+          .ok());
+  util::Rng rng(5);
+  for (int t = 0; t < 1000; ++t) {
+    ASSERT_TRUE(engine.Push(stream, rng.Gaussian()).ok());
+  }
+  EXPECT_EQ(engine.push_latency_nanos().count(), 1000);
+  EXPECT_GT(engine.push_latency_nanos().Quantile(0.5), 0.0);
+}
+
+TEST(MonitorEngineTest, FootprintAggregatesAllQueries) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddStream("s");
+  ASSERT_TRUE(
+      engine.AddQuery(stream, "a", std::vector<double>(100, 0.0), Options(1.0))
+          .ok());
+  const int64_t one = engine.Footprint().TotalBytes();
+  ASSERT_TRUE(
+      engine.AddQuery(stream, "b", std::vector<double>(100, 0.0), Options(1.0))
+          .ok());
+  EXPECT_GE(engine.Footprint().TotalBytes(), 2 * one - 64);
+}
+
+TEST(MonitorEngineTest, OutputDelayMeasuredAgainstMatchEnd) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("s");
+  const auto query =
+      engine.AddQuery(stream, "q", {1.0, 2.0}, Options(0.25));
+  ASSERT_TRUE(query.ok());
+  for (const double x : {1.0, 2.0, 9.0}) {
+    ASSERT_TRUE(engine.Push(stream, x).ok());
+  }
+  ASSERT_EQ(sink.entries().size(), 1u);
+  // Match ends at tick 1, reported at tick 2: delay 1.
+  EXPECT_DOUBLE_EQ(engine.stats(*query).output_delay.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace springdtw

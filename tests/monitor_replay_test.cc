@@ -1,0 +1,107 @@
+#include "monitor/replay.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/masked_chirp.h"
+#include "monitor/sink.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+core::SpringOptions Options(double epsilon) {
+  core::SpringOptions options;
+  options.epsilon = epsilon;
+  return options;
+}
+
+TEST(ReplayStreamTest, DrainsSourceAndCountsMatches) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("s");
+  ASSERT_TRUE(engine.AddQuery(stream, "q", {1.0, 2.0}, Options(0.25)).ok());
+
+  SeriesSource source(ts::Series({9.0, 1.0, 2.0, 9.0, 1.0, 2.0}));
+  const auto result = ReplayStream(source, engine, stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ticks, 6);
+  // One match closes mid-stream, the trailing one needs the flush.
+  EXPECT_EQ(result->matches, 2);
+  EXPECT_EQ(sink.entries().size(), 2u);
+  EXPECT_GE(result->seconds, 0.0);
+  EXPECT_GT(result->ticks_per_second(), 0.0);
+}
+
+TEST(ReplayStreamTest, FlushToggle) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddStream("s");
+  ASSERT_TRUE(engine.AddQuery(stream, "q", {1.0, 2.0}, Options(0.25)).ok());
+  SeriesSource source(ts::Series({1.0, 2.0}));  // Ends inside the match.
+  ReplayOptions options;
+  options.flush_at_end = false;
+  const auto result = ReplayStream(source, engine, stream, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->matches, 0);
+  EXPECT_EQ(engine.FlushAll(), 1);  // Still pending.
+}
+
+TEST(ReplayStreamTest, ProgressCallbackFires) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddStream("s");
+  ASSERT_TRUE(engine.AddQuery(stream, "q", {0.0}, Options(-1.0)).ok());
+  SeriesSource source(ts::Series(std::vector<double>(100, 1.0)));
+  ReplayOptions options;
+  options.progress_every = 25;
+  std::vector<int64_t> reported_at;
+  options.on_progress = [&](int64_t ticks, int64_t) {
+    reported_at.push_back(ticks);
+  };
+  ASSERT_TRUE(ReplayStream(source, engine, stream, options).ok());
+  EXPECT_EQ(reported_at, (std::vector<int64_t>{25, 50, 75, 100}));
+}
+
+TEST(ReplayStreamTest, BadStreamIdPropagatesError) {
+  MonitorEngine engine;
+  SeriesSource source(ts::Series({1.0}));
+  EXPECT_FALSE(ReplayStream(source, engine, 7).ok());
+}
+
+TEST(ReplayStreamTest, RepairsMissingViaSource) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("s", /*repair_missing=*/false);
+  ASSERT_TRUE(engine.AddQuery(stream, "q", {1.0, 2.0}, Options(0.25)).ok());
+  // The source repairs, so repair-disabled streams still get finite input.
+  SeriesSource source(
+      ts::Series({1.0, ts::MissingValue(), 2.0, 9.0}));
+  const auto result = ReplayStream(source, engine, stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->matches, 1);
+}
+
+TEST(ReplayVectorSeriesTest, DrainsVectorStream) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddVectorStream("v", 2);
+  ts::VectorSeries query(2);
+  query.AppendRow(std::vector<double>{1.0, -1.0});
+  ASSERT_TRUE(engine.AddVectorQuery(stream, "q", query, Options(0.1)).ok());
+
+  ts::VectorSeries data(2);
+  data.AppendRow(std::vector<double>{9.0, 9.0});
+  data.AppendRow(std::vector<double>{1.0, -1.0});
+  data.AppendRow(std::vector<double>{9.0, 9.0});
+  const auto result = ReplayVectorSeries(data, engine, stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ticks, 3);
+  EXPECT_EQ(result->matches, 1);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace springdtw

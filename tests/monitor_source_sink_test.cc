@@ -1,0 +1,111 @@
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "monitor/sink.h"
+#include "monitor/stream_source.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+TEST(SeriesSourceTest, ReplaysSeriesInOrder) {
+  SeriesSource source(ts::Series({1.0, 2.0, 3.0}));
+  double v = 0.0;
+  EXPECT_TRUE(source.Next(&v));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_TRUE(source.Next(&v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_TRUE(source.Next(&v));
+  EXPECT_DOUBLE_EQ(v, 3.0);
+  EXPECT_FALSE(source.Next(&v));
+  EXPECT_EQ(source.position(), 3);
+}
+
+TEST(SeriesSourceTest, RepairsMissingValues) {
+  SeriesSource source(
+      ts::Series({1.0, ts::MissingValue(), ts::MissingValue(), 4.0}));
+  double v = 0.0;
+  source.Next(&v);
+  source.Next(&v);
+  EXPECT_DOUBLE_EQ(v, 1.0);  // Held.
+  source.Next(&v);
+  EXPECT_DOUBLE_EQ(v, 1.0);
+  source.Next(&v);
+  EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(SeriesSourceTest, LeadingGapSeededFromFirstReading) {
+  SeriesSource source(ts::Series({ts::MissingValue(), 7.0}));
+  double v = 0.0;
+  source.Next(&v);
+  EXPECT_DOUBLE_EQ(v, 7.0);  // Seeded ahead of time.
+}
+
+TEST(SeriesSourceTest, RawModePassesNanThrough) {
+  SeriesSource source(ts::Series({ts::MissingValue()}), /*repair=*/false);
+  double v = 0.0;
+  ASSERT_TRUE(source.Next(&v));
+  EXPECT_TRUE(ts::IsMissing(v));
+}
+
+TEST(SeriesSourceTest, ResetRewinds) {
+  SeriesSource source(ts::Series({1.0, 2.0}));
+  double v = 0.0;
+  source.Next(&v);
+  source.Next(&v);
+  EXPECT_FALSE(source.Next(&v));
+  source.Reset();
+  EXPECT_TRUE(source.Next(&v));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(CollectSinkTest, BuffersEntries) {
+  CollectSink sink;
+  MatchOrigin origin;
+  // std::string{} avoids a GCC 12 -Wrestrict false positive on the
+  // const char* assignment path (libstdc++ bug 105329).
+  origin.stream_name = std::string("s");
+  origin.query_name = std::string("q");
+  core::Match match;
+  match.start = 1;
+  sink.OnMatch(origin, match);
+  ASSERT_EQ(sink.entries().size(), 1u);
+  EXPECT_EQ(sink.entries()[0].match.start, 1);
+  sink.Clear();
+  EXPECT_TRUE(sink.entries().empty());
+}
+
+TEST(OstreamSinkTest, WritesOneLinePerMatch) {
+  std::ostringstream out;
+  OstreamSink sink(&out);
+  MatchOrigin origin;
+  origin.stream_name = "temp";
+  origin.query_name = "warmup";
+  core::Match match;
+  match.start = 5;
+  match.end = 9;
+  match.distance = 1.25;
+  match.report_time = 11;
+  sink.OnMatch(origin, match);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("temp/warmup"), std::string::npos);
+  EXPECT_NE(line.find("X[5:9]"), std::string::npos);
+}
+
+TEST(CallbackSinkTest, InvokesCallback) {
+  int calls = 0;
+  CallbackSink sink([&calls](const MatchOrigin&, const core::Match&) {
+    ++calls;
+  });
+  MatchOrigin origin;
+  core::Match match;
+  sink.OnMatch(origin, match);
+  sink.OnMatch(origin, match);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace springdtw

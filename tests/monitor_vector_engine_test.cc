@@ -1,0 +1,151 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/mocap.h"
+#include "monitor/engine.h"
+#include "monitor/sink.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+core::SpringOptions Options(double epsilon) {
+  core::SpringOptions options;
+  options.epsilon = epsilon;
+  return options;
+}
+
+ts::VectorSeries MakeQuery(
+    const std::vector<std::vector<double>>& rows) {
+  ts::VectorSeries out(static_cast<int64_t>(rows[0].size()));
+  for (const auto& row : rows) out.AppendRow(row);
+  return out;
+}
+
+TEST(VectorEngineTest, MatchesDispatchWithOrigin) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddVectorStream("mocap", 2);
+  const auto query = engine.AddVectorQuery(
+      stream, "gesture", MakeQuery({{1.0, -1.0}, {2.0, -2.0}}),
+      Options(0.25));
+  ASSERT_TRUE(query.ok());
+
+  for (const auto& row : std::vector<std::vector<double>>{
+           {9, 9}, {1, -1}, {2, -2}, {9, 9}}) {
+    ASSERT_TRUE(engine.PushRow(stream, row).ok());
+  }
+  engine.FlushAll();
+
+  ASSERT_EQ(sink.entries().size(), 1u);
+  EXPECT_EQ(sink.entries()[0].origin.stream_name, "mocap");
+  EXPECT_EQ(sink.entries()[0].origin.query_name, "gesture");
+  EXPECT_EQ(sink.entries()[0].match.start, 1);
+  EXPECT_EQ(sink.entries()[0].match.end, 2);
+
+  const QueryStats& stats = engine.vector_stats(*query);
+  EXPECT_EQ(stats.ticks, 4);
+  EXPECT_EQ(stats.matches, 1);
+}
+
+TEST(VectorEngineTest, ScalarAndVectorIdSpacesAreSeparate) {
+  MonitorEngine engine;
+  const int64_t scalar = engine.AddStream("s");
+  const int64_t vector = engine.AddVectorStream("v", 3);
+  EXPECT_EQ(scalar, 0);
+  EXPECT_EQ(vector, 0);  // Own id space.
+  EXPECT_EQ(engine.num_streams(), 1);
+  EXPECT_EQ(engine.num_vector_streams(), 1);
+  // Scalar push to a vector id that has no scalar stream fails cleanly...
+  EXPECT_FALSE(engine.Push(5, 1.0).ok());
+  // ... and vector push to scalar-only space fails too.
+  EXPECT_FALSE(engine.PushRow(5, std::vector<double>{1, 2, 3}).ok());
+}
+
+TEST(VectorEngineTest, DimsMismatchRejected) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddVectorStream("v", 3);
+  // Query with the wrong channel count.
+  EXPECT_FALSE(engine
+                   .AddVectorQuery(stream, "q",
+                                   MakeQuery({{1.0, 2.0}}), Options(1.0))
+                   .ok());
+  // Row with the wrong channel count.
+  ASSERT_TRUE(engine
+                  .AddVectorQuery(stream, "q",
+                                  MakeQuery({{1.0, 2.0, 3.0}}), Options(1.0))
+                  .ok());
+  EXPECT_FALSE(engine.PushRow(stream, std::vector<double>{1.0}).ok());
+  EXPECT_TRUE(
+      engine.PushRow(stream, std::vector<double>{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(VectorEngineTest, NanRowsRejected) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddVectorStream("v", 2);
+  ASSERT_TRUE(engine
+                  .AddVectorQuery(stream, "q", MakeQuery({{0.0, 0.0}}),
+                                  Options(1.0))
+                  .ok());
+  EXPECT_FALSE(
+      engine.PushRow(stream, std::vector<double>{1.0, ts::MissingValue()})
+          .ok());
+}
+
+TEST(VectorEngineTest, NanQueryRejected) {
+  MonitorEngine engine;
+  const int64_t stream = engine.AddVectorStream("v", 1);
+  EXPECT_FALSE(engine
+                   .AddVectorQuery(stream, "q",
+                                   MakeQuery({{ts::MissingValue()}}),
+                                   Options(1.0))
+                   .ok());
+}
+
+TEST(VectorEngineTest, FlushAllCoversVectorQueries) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddVectorStream("v", 1);
+  ASSERT_TRUE(engine
+                  .AddVectorQuery(stream, "q",
+                                  MakeQuery({{1.0}, {2.0}}), Options(0.25))
+                  .ok());
+  // Stream ends right at the match; only FlushAll can emit it.
+  ASSERT_TRUE(engine.PushRow(stream, std::vector<double>{1.0}).ok());
+  ASSERT_TRUE(engine.PushRow(stream, std::vector<double>{2.0}).ok());
+  EXPECT_TRUE(sink.entries().empty());
+  EXPECT_EQ(engine.FlushAll(), 1);
+  EXPECT_EQ(sink.entries().size(), 1u);
+}
+
+TEST(VectorEngineTest, MocapPipelineThroughEngine) {
+  gen::MocapOptions options;
+  options.dims = 8;
+  options.canonical_length = 80;
+  const gen::MocapData data = GenerateMocap(options);
+
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddVectorStream("mocap", options.dims);
+  for (const auto& [name, query] : data.queries) {
+    // Generous epsilon: this test checks plumbing, not selectivity.
+    core::SpringOptions spring_options;
+    spring_options.epsilon = 1e4;
+    ASSERT_TRUE(
+        engine.AddVectorQuery(stream, name, query, spring_options).ok());
+  }
+  for (int64_t t = 0; t < data.stream.size(); ++t) {
+    ASSERT_TRUE(engine.PushRow(stream, data.stream.Row(t)).ok());
+  }
+  engine.FlushAll();
+  EXPECT_GT(sink.entries().size(), 0u);
+  EXPECT_GT(engine.Footprint().TotalBytes(), 0);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace springdtw

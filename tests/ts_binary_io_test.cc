@@ -1,0 +1,114 @@
+#include "ts/binary_io.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(BinaryIoTest, SeriesRoundTrip) {
+  const std::string path = TempPath("series.sdtw");
+  util::Rng rng(1);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.Gaussian();
+  values[17] = MissingValue();
+  const Series original(values, "sensor-a");
+
+  ASSERT_TRUE(WriteSeriesBinary(path, original).ok());
+  const auto loaded = ReadSeriesBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == original);
+  EXPECT_EQ(loaded->name(), "sensor-a");
+}
+
+TEST_F(BinaryIoTest, EmptySeriesRoundTrip) {
+  const std::string path = TempPath("empty.sdtw");
+  ASSERT_TRUE(WriteSeriesBinary(path, Series()).ok());
+  const auto loaded = ReadSeriesBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(BinaryIoTest, VectorSeriesRoundTrip) {
+  const std::string path = TempPath("vector.sdtw");
+  util::Rng rng(2);
+  VectorSeries original(5, "mocap");
+  std::vector<double> row(5);
+  for (int t = 0; t < 200; ++t) {
+    for (double& v : row) v = rng.Gaussian();
+    original.AppendRow(row);
+  }
+  ASSERT_TRUE(WriteVectorSeriesBinary(path, original).ok());
+  const auto loaded = ReadVectorSeriesBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dims(), 5);
+  EXPECT_EQ(loaded->size(), 200);
+  EXPECT_EQ(loaded->data(), original.data());
+  EXPECT_EQ(loaded->name(), "mocap");
+}
+
+TEST_F(BinaryIoTest, ScalarFileLoadsAsVectorSeries) {
+  const std::string path = TempPath("scalar_as_vector.sdtw");
+  ASSERT_TRUE(WriteSeriesBinary(path, Series({1.0, 2.0})).ok());
+  const auto loaded = ReadVectorSeriesBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dims(), 1);
+  EXPECT_EQ(loaded->size(), 2);
+}
+
+TEST_F(BinaryIoTest, VectorFileRejectedByScalarReader) {
+  const std::string path = TempPath("vector_as_scalar.sdtw");
+  VectorSeries series(2);
+  series.AppendUniformRow(1.0);
+  ASSERT_TRUE(WriteVectorSeriesBinary(path, series).ok());
+  EXPECT_FALSE(ReadSeriesBinary(path).ok());
+}
+
+TEST_F(BinaryIoTest, MissingFileIsIoError) {
+  const auto loaded = ReadSeriesBinary(TempPath("nope.sdtw"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(BinaryIoTest, WriteToUnwritablePathFailsCleanly) {
+  EXPECT_EQ(
+      WriteSeriesBinary("/nonexistent-dir/x.sdtw", Series({1.0})).code(),
+      util::StatusCode::kIoError);
+}
+
+TEST_F(BinaryIoTest, GarbageRejected) {
+  const std::string path = TempPath("garbage.sdtw");
+  std::ofstream(path) << "this is not a binary series";
+  EXPECT_FALSE(ReadSeriesBinary(path).ok());
+}
+
+TEST_F(BinaryIoTest, TruncatedPayloadRejected) {
+  const std::string path = TempPath("truncated.sdtw");
+  ASSERT_TRUE(
+      WriteSeriesBinary(path, Series({1.0, 2.0, 3.0, 4.0})).ok());
+  // Chop the file mid-payload.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 10);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+  EXPECT_FALSE(ReadSeriesBinary(path).ok());
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace springdtw

@@ -1,0 +1,116 @@
+#include "ts/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, SeriesRoundTrip) {
+  const std::string path = TempPath("series_roundtrip.csv");
+  Series original({1.5, -2.25, 1e-10, 123456.789}, "orig");
+  ASSERT_TRUE(WriteSeriesCsv(path, original).ok());
+  auto loaded = ReadSeriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == original);
+}
+
+TEST_F(CsvTest, SeriesRoundTripWithMissing) {
+  const std::string path = TempPath("series_missing.csv");
+  Series original({1.0, MissingValue(), 3.0});
+  ASSERT_TRUE(WriteSeriesCsv(path, original).ok());
+  auto loaded = ReadSeriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->CountMissing(), 1);
+  EXPECT_TRUE(*loaded == original);
+}
+
+TEST_F(CsvTest, SeriesSkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("series_comments.csv");
+  WriteFile(path, "# header\n\n1.0\n\n2.0\n# trailing\n");
+  auto loaded = ReadSeriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2);
+}
+
+TEST_F(CsvTest, SeriesRejectsMalformedLine) {
+  const std::string path = TempPath("series_bad.csv");
+  WriteFile(path, "1.0\nnot_a_number\n");
+  auto loaded = ReadSeriesCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
+}
+
+TEST_F(CsvTest, SeriesMissingFileIsIoError) {
+  auto loaded = ReadSeriesCsv(TempPath("does_not_exist.csv"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, VectorSeriesRoundTrip) {
+  const std::string path = TempPath("vector_roundtrip.csv");
+  VectorSeries original(3);
+  original.AppendRow(std::vector<double>{1.0, 2.0, 3.0});
+  original.AppendRow(std::vector<double>{-1.5, MissingValue(), 0.25});
+  ASSERT_TRUE(WriteVectorSeriesCsv(path, original).ok());
+  auto loaded = ReadVectorSeriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dims(), 3);
+  EXPECT_EQ(loaded->size(), 2);
+  EXPECT_DOUBLE_EQ(loaded->Row(1)[0], -1.5);
+  EXPECT_TRUE(IsMissing(loaded->Row(1)[1]));
+  EXPECT_DOUBLE_EQ(loaded->Row(1)[2], 0.25);
+}
+
+TEST_F(CsvTest, VectorSeriesEmptyFieldIsMissing) {
+  const std::string path = TempPath("vector_empty_field.csv");
+  WriteFile(path, "1.0,,3.0\n");
+  auto loaded = ReadVectorSeriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(IsMissing(loaded->Row(0)[1]));
+}
+
+TEST_F(CsvTest, VectorSeriesRaggedRowsRejected) {
+  const std::string path = TempPath("vector_ragged.csv");
+  WriteFile(path, "1.0,2.0\n1.0,2.0,3.0\n");
+  auto loaded = ReadVectorSeriesCsv(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(CsvTest, WriteToUnwritablePathFailsCleanly) {
+  const Series series({1.0});
+  EXPECT_EQ(WriteSeriesCsv("/nonexistent-dir/x.csv", series).code(),
+            util::StatusCode::kIoError);
+  VectorSeries vseries(1);
+  vseries.AppendUniformRow(1.0);
+  EXPECT_EQ(
+      WriteVectorSeriesCsv("/nonexistent-dir/x.csv", vseries).code(),
+      util::StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, VectorSeriesNoRowsRejected) {
+  const std::string path = TempPath("vector_empty.csv");
+  WriteFile(path, "# only a comment\n");
+  auto loaded = ReadVectorSeriesCsv(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace springdtw

@@ -1,0 +1,71 @@
+#include "ts/normalize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+TEST(ZNormalizeTest, ProducesZeroMeanUnitVariance) {
+  Series s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  Series z = ZNormalize(s);
+  EXPECT_NEAR(z.Mean(), 0.0, 1e-12);
+  EXPECT_NEAR(z.Stddev(), 1.0, 1e-12);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesIsOnlyShifted) {
+  Series s({3.0, 3.0, 3.0});
+  Series z = ZNormalize(s);
+  for (int64_t i = 0; i < z.size(); ++i) EXPECT_DOUBLE_EQ(z[i], 0.0);
+}
+
+TEST(ZNormalizeTest, MissingValuesPassThrough) {
+  Series s({1.0, MissingValue(), 3.0});
+  Series z = ZNormalize(s);
+  EXPECT_TRUE(IsMissing(z[1]));
+  EXPECT_EQ(z.CountMissing(), 1);
+}
+
+TEST(TransformTest, SameTransformForQueryAndStream) {
+  // The transform estimated on the stream applies verbatim to the query so
+  // relative geometry is preserved.
+  Series stream({0.0, 10.0});
+  AffineTransform t = MinMaxTransform(stream, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.Apply(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.Apply(10.0), 1.0);
+}
+
+TEST(TransformTest, InvertRoundTrips) {
+  Series s({1.0, 5.0, 9.0});
+  AffineTransform t = ZNormTransform(s);
+  EXPECT_NEAR(t.Invert(t.Apply(3.7)), 3.7, 1e-12);
+}
+
+TEST(MinMaxTransformTest, MapsRangeToTarget) {
+  Series s({-5.0, 0.0, 5.0});
+  Series scaled = Apply(MinMaxTransform(s, 0.0, 2.0), s);
+  EXPECT_DOUBLE_EQ(scaled.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.Max(), 2.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 1.0);
+}
+
+TEST(MinMaxTransformTest, ConstantSeries) {
+  Series s({4.0, 4.0});
+  Series scaled = Apply(MinMaxTransform(s, 1.0, 2.0), s);
+  EXPECT_DOUBLE_EQ(scaled[0], 1.0);
+}
+
+TEST(ApplyTest, PreservesNameAndLength) {
+  Series s({1.0, 2.0}, "sensor");
+  Series out = Apply(AffineTransform{2.0, 1.0}, s);
+  EXPECT_EQ(out.name(), "sensor");
+  EXPECT_EQ(out.size(), 2);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace springdtw

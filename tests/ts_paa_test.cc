@@ -1,0 +1,82 @@
+#include "ts/paa.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+TEST(PaaTest, ReducesWithExactDivision) {
+  const std::vector<double> v{1.0, 3.0, 2.0, 4.0, 0.0, 6.0};
+  const std::vector<PaaSegment> segments = PaaReduce(v, 2);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(segments[0].mean, 2.0);
+  EXPECT_DOUBLE_EQ(segments[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(segments[0].max, 3.0);
+  EXPECT_EQ(segments[0].length, 2);
+  EXPECT_DOUBLE_EQ(segments[2].mean, 3.0);
+}
+
+TEST(PaaTest, LastSegmentMayBeShorter) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<PaaSegment> segments = PaaReduce(v, 2);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[2].length, 1);
+  EXPECT_DOUBLE_EQ(segments[2].mean, 5.0);
+}
+
+TEST(PaaTest, SegmentSizeOneIsIdentity) {
+  const std::vector<double> v{1.5, -2.0, 0.25};
+  const std::vector<PaaSegment> segments = PaaReduce(v, 1);
+  ASSERT_EQ(segments.size(), 3u);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_DOUBLE_EQ(segments[i].mean, v[i]);
+    EXPECT_DOUBLE_EQ(segments[i].min, v[i]);
+    EXPECT_DOUBLE_EQ(segments[i].max, v[i]);
+  }
+}
+
+TEST(PaaTest, RangesBracketTheData) {
+  util::Rng rng(81);
+  std::vector<double> v(301);
+  for (double& x : v) x = rng.Gaussian();
+  const std::vector<PaaSegment> segments = PaaReduce(v, 7);
+  size_t idx = 0;
+  for (const PaaSegment& s : segments) {
+    for (int64_t k = 0; k < s.length; ++k, ++idx) {
+      EXPECT_LE(s.min, v[idx]);
+      EXPECT_GE(s.max, v[idx]);
+      EXPECT_LE(s.min, s.mean);
+      EXPECT_GE(s.max, s.mean);
+    }
+  }
+  EXPECT_EQ(idx, v.size());
+}
+
+TEST(PaaTest, ReconstructPreservesLength) {
+  util::Rng rng(82);
+  std::vector<double> v(100);
+  for (double& x : v) x = rng.Gaussian();
+  for (const int64_t seg : {1, 3, 7, 100, 1000}) {
+    EXPECT_EQ(PaaReconstruct(PaaReduce(v, seg)).size(), v.size());
+  }
+}
+
+TEST(PaaTest, ErrorIsZeroAtSegmentSizeOneAndGrows) {
+  util::Rng rng(83);
+  std::vector<double> v(256);
+  for (double& x : v) x = rng.Gaussian();
+  EXPECT_DOUBLE_EQ(PaaError(v, 1), 0.0);
+  const double e4 = PaaError(v, 4);
+  const double e64 = PaaError(v, 64);
+  EXPECT_GT(e4, 0.0);
+  EXPECT_GE(e64, e4);  // Coarser granularity cannot fit better on noise.
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace springdtw

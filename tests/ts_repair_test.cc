@@ -1,0 +1,82 @@
+#include "ts/repair.h"
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+const double kNan = MissingValue();
+
+TEST(RepairTest, HoldLastFillsGaps) {
+  Series s({1.0, kNan, kNan, 4.0, kNan});
+  Series r = RepairMissing(s, RepairPolicy::kHoldLast);
+  EXPECT_EQ(r.CountMissing(), 0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+  EXPECT_DOUBLE_EQ(r[4], 4.0);
+}
+
+TEST(RepairTest, HoldLastLeadingGapUsesFirstValue) {
+  Series s({kNan, kNan, 3.0});
+  Series r = RepairMissing(s, RepairPolicy::kHoldLast);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+}
+
+TEST(RepairTest, HoldLastAllMissingUsesConstant) {
+  Series s({kNan, kNan});
+  Series r = RepairMissing(s, RepairPolicy::kHoldLast, 9.0);
+  EXPECT_DOUBLE_EQ(r[0], 9.0);
+  EXPECT_DOUBLE_EQ(r[1], 9.0);
+}
+
+TEST(RepairTest, InterpolateRampsAcrossGap) {
+  Series s({0.0, kNan, kNan, kNan, 4.0});
+  Series r = RepairMissing(s, RepairPolicy::kLinearInterpolate);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+  EXPECT_DOUBLE_EQ(r[3], 3.0);
+}
+
+TEST(RepairTest, InterpolateEdgeGapsFallBackToHold) {
+  Series s({kNan, 2.0, kNan});
+  Series r = RepairMissing(s, RepairPolicy::kLinearInterpolate);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);  // Leading gap: hold-first.
+  EXPECT_DOUBLE_EQ(r[2], 2.0);  // Trailing gap: hold-last.
+}
+
+TEST(RepairTest, ConstantPolicy) {
+  Series s({1.0, kNan, 3.0});
+  Series r = RepairMissing(s, RepairPolicy::kConstant, -1.0);
+  EXPECT_DOUBLE_EQ(r[1], -1.0);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(RepairTest, NoMissingIsIdentity) {
+  Series s({1.0, 2.0, 3.0});
+  for (const RepairPolicy policy :
+       {RepairPolicy::kHoldLast, RepairPolicy::kLinearInterpolate,
+        RepairPolicy::kConstant}) {
+    EXPECT_TRUE(RepairMissing(s, policy) == s);
+  }
+}
+
+TEST(StreamingRepairerTest, HoldsLastValue) {
+  StreamingRepairer repairer(0.0);
+  EXPECT_DOUBLE_EQ(repairer.Next(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(repairer.Next(kNan), 5.0);
+  EXPECT_DOUBLE_EQ(repairer.Next(kNan), 5.0);
+  EXPECT_DOUBLE_EQ(repairer.Next(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(repairer.last(), 7.0);
+}
+
+TEST(StreamingRepairerTest, InitialValueUsedBeforeFirstReading) {
+  StreamingRepairer repairer(42.0);
+  EXPECT_DOUBLE_EQ(repairer.Next(kNan), 42.0);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace springdtw

@@ -1,0 +1,99 @@
+#include "ts/series.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+TEST(SeriesTest, EmptyByDefault) {
+  Series s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(SeriesTest, ConstructFromVector) {
+  Series s({1.0, 2.0, 3.0}, "demo");
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+  EXPECT_EQ(s.name(), "demo");
+}
+
+TEST(SeriesTest, AppendAndMutate) {
+  Series s;
+  s.Append(1.0);
+  s.Append(2.0);
+  s[0] = 5.0;
+  EXPECT_DOUBLE_EQ(s[0], 5.0);
+  EXPECT_EQ(s.size(), 2);
+}
+
+TEST(SeriesTest, AppendAll) {
+  Series a({1.0, 2.0});
+  Series b({3.0});
+  a.AppendAll(b);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+}
+
+TEST(SeriesTest, SliceBasics) {
+  Series s({0.0, 1.0, 2.0, 3.0, 4.0});
+  Series mid = s.Slice(1, 3);
+  EXPECT_EQ(mid.size(), 3);
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid[2], 3.0);
+}
+
+TEST(SeriesTest, SliceClampsOutOfRange) {
+  Series s({0.0, 1.0, 2.0});
+  EXPECT_EQ(s.Slice(2, 10).size(), 1);
+  EXPECT_EQ(s.Slice(-5, 2).size(), 2);
+  EXPECT_EQ(s.Slice(10, 2).size(), 0);
+  EXPECT_EQ(s.Slice(0, -1).size(), 0);
+}
+
+TEST(SeriesTest, MissingValues) {
+  EXPECT_TRUE(IsMissing(MissingValue()));
+  EXPECT_FALSE(IsMissing(0.0));
+  Series s({1.0, MissingValue(), 3.0, MissingValue()});
+  EXPECT_EQ(s.CountMissing(), 2);
+}
+
+TEST(SeriesTest, StatsIgnoreMissing) {
+  Series s({2.0, MissingValue(), 4.0});
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 1.0);
+}
+
+TEST(SeriesTest, StatsOfAllMissing) {
+  Series s({MissingValue(), MissingValue()});
+  EXPECT_TRUE(std::isinf(s.Min()));
+  EXPECT_TRUE(std::isinf(s.Max()));
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(SeriesTest, EqualityTreatsNanAsEqual) {
+  Series a({1.0, MissingValue()});
+  Series b({1.0, MissingValue()});
+  Series c({1.0, 2.0});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == Series({1.0}));
+}
+
+TEST(SeriesTest, ReserveAndClear) {
+  Series s;
+  s.Reserve(100);
+  s.Append(1.0);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace springdtw

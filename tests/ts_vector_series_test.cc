@@ -1,0 +1,79 @@
+#include "ts/vector_series.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace ts {
+namespace {
+
+TEST(VectorSeriesTest, EmptyByDefault) {
+  VectorSeries s;
+  EXPECT_EQ(s.dims(), 0);
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(VectorSeriesTest, AppendRows) {
+  VectorSeries s(3, "mocap");
+  s.AppendRow(std::vector<double>{1.0, 2.0, 3.0});
+  s.AppendRow(std::vector<double>{4.0, 5.0, 6.0});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.dims(), 3);
+  EXPECT_DOUBLE_EQ(s.Row(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(s.Row(1)[2], 6.0);
+  EXPECT_EQ(s.name(), "mocap");
+}
+
+TEST(VectorSeriesTest, AppendUniformRow) {
+  VectorSeries s(4);
+  s.AppendUniformRow(7.0);
+  for (int64_t d = 0; d < 4; ++d) {
+    EXPECT_DOUBLE_EQ(s.Row(0)[static_cast<size_t>(d)], 7.0);
+  }
+}
+
+TEST(VectorSeriesTest, MutableRow) {
+  VectorSeries s(2);
+  s.AppendUniformRow(0.0);
+  s.MutableRow(0)[1] = 9.0;
+  EXPECT_DOUBLE_EQ(s.Row(0)[1], 9.0);
+}
+
+TEST(VectorSeriesTest, SliceCopiesTicks) {
+  VectorSeries s(2);
+  for (int t = 0; t < 5; ++t) {
+    s.AppendRow(std::vector<double>{static_cast<double>(t),
+                                    static_cast<double>(10 * t)});
+  }
+  VectorSeries mid = s.Slice(1, 3);
+  EXPECT_EQ(mid.size(), 3);
+  EXPECT_EQ(mid.dims(), 2);
+  EXPECT_DOUBLE_EQ(mid.Row(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid.Row(2)[1], 30.0);
+}
+
+TEST(VectorSeriesTest, SliceClamps) {
+  VectorSeries s(2);
+  s.AppendUniformRow(1.0);
+  EXPECT_EQ(s.Slice(5, 2).size(), 0);
+  EXPECT_EQ(s.Slice(0, 100).size(), 1);
+}
+
+TEST(VectorSeriesTest, ChannelExtraction) {
+  VectorSeries s(2);
+  s.AppendRow(std::vector<double>{1.0, 2.0});
+  s.AppendRow(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(s.Channel(0), (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(s.Channel(1), (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(VectorSeriesDeathTest, RowSizeMismatchChecks) {
+  VectorSeries s(3);
+  EXPECT_DEATH(s.AppendRow(std::vector<double>{1.0}), "Check failed");
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace springdtw

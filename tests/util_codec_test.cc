@@ -1,0 +1,147 @@
+#include "util/codec.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace util {
+namespace {
+
+TEST(CodecTest, PrimitiveRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefULL);
+  writer.WriteI64(-42);
+  writer.WriteDouble(3.14159);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+  writer.WriteString("hello");
+
+  ByteReader reader(writer.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0.0;
+  bool b1 = false;
+  bool b2 = true;
+  std::string s;
+  EXPECT_TRUE(reader.ReadU8(&u8));
+  EXPECT_TRUE(reader.ReadU32(&u32));
+  EXPECT_TRUE(reader.ReadU64(&u64));
+  EXPECT_TRUE(reader.ReadI64(&i64));
+  EXPECT_TRUE(reader.ReadDouble(&d));
+  EXPECT_TRUE(reader.ReadBool(&b1));
+  EXPECT_TRUE(reader.ReadBool(&b2));
+  EXPECT_TRUE(reader.ReadString(&s));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CodecTest, SpecialDoublesRoundTrip) {
+  ByteWriter writer;
+  writer.WriteDouble(std::numeric_limits<double>::infinity());
+  writer.WriteDouble(-std::numeric_limits<double>::infinity());
+  writer.WriteDouble(std::numeric_limits<double>::quiet_NaN());
+  writer.WriteDouble(-0.0);
+
+  ByteReader reader(writer.buffer());
+  double v = 0.0;
+  reader.ReadDouble(&v);
+  EXPECT_TRUE(std::isinf(v) && v > 0);
+  reader.ReadDouble(&v);
+  EXPECT_TRUE(std::isinf(v) && v < 0);
+  reader.ReadDouble(&v);
+  EXPECT_TRUE(std::isnan(v));
+  reader.ReadDouble(&v);
+  EXPECT_TRUE(std::signbit(v));
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(CodecTest, VectorRoundTrip) {
+  ByteWriter writer;
+  writer.WriteDoubleVector({1.5, -2.5, 0.0});
+  writer.WriteInt64Vector({-1, 0, INT64_MAX});
+
+  ByteReader reader(writer.buffer());
+  std::vector<double> dv;
+  std::vector<int64_t> iv;
+  EXPECT_TRUE(reader.ReadDoubleVector(&dv));
+  EXPECT_TRUE(reader.ReadInt64Vector(&iv));
+  EXPECT_EQ(dv, (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(iv, (std::vector<int64_t>{-1, 0, INT64_MAX}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CodecTest, EmptyVectorsAndStrings) {
+  ByteWriter writer;
+  writer.WriteDoubleVector({});
+  writer.WriteString("");
+  ByteReader reader(writer.buffer());
+  std::vector<double> dv{9.0};
+  std::string s = "junk";
+  EXPECT_TRUE(reader.ReadDoubleVector(&dv));
+  EXPECT_TRUE(reader.ReadString(&s));
+  EXPECT_TRUE(dv.empty());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(CodecTest, TruncationFailsAndStaysFailed) {
+  ByteWriter writer;
+  writer.WriteU64(7);
+  std::vector<uint8_t> bytes = writer.Take();
+  bytes.resize(4);  // Cut mid-value.
+  ByteReader reader(bytes);
+  uint64_t v = 99;
+  EXPECT_FALSE(reader.ReadU64(&v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(reader.ok());
+  // Subsequent reads fail too.
+  uint8_t u8 = 1;
+  EXPECT_FALSE(reader.ReadU8(&u8));
+}
+
+TEST(CodecTest, CorruptVectorLengthRejected) {
+  ByteWriter writer;
+  writer.WriteU64(1ULL << 60);  // Absurd element count.
+  ByteReader reader(writer.buffer());
+  std::vector<double> dv;
+  EXPECT_FALSE(reader.ReadDoubleVector(&dv));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(CodecTest, CorruptStringLengthRejected) {
+  ByteWriter writer;
+  writer.WriteU64(1000);  // Claims 1000 bytes; none follow.
+  ByteReader reader(writer.buffer());
+  std::string s;
+  EXPECT_FALSE(reader.ReadString(&s));
+}
+
+TEST(CodecTest, PositionTracksConsumption) {
+  ByteWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  ByteReader reader(writer.buffer());
+  uint32_t v = 0;
+  reader.ReadU32(&v);
+  EXPECT_EQ(reader.position(), 4u);
+  EXPECT_FALSE(reader.AtEnd());
+  reader.ReadU32(&v);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace springdtw

@@ -1,0 +1,64 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace util {
+namespace {
+
+TEST(LoggingTest, SeverityNamesAreStable) {
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kDebug), "DEBUG");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kInfo), "INFO");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kWarning), "WARNING");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kError), "ERROR");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kFatal), "FATAL");
+}
+
+TEST(LoggingTest, MinSeverityIsAdjustable) {
+  const LogSeverity previous = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  // Below-threshold messages are swallowed (no observable crash/output
+  // contract to assert beyond not aborting).
+  SPRINGDTW_LOG(Info) << "should be filtered";
+  SetMinLogSeverity(previous);
+}
+
+TEST(LoggingTest, StreamingFormatsArbitraryTypes) {
+  // Must compile and not abort for non-fatal severities.
+  SPRINGDTW_LOG(Warning) << "value=" << 42 << " pi=" << 3.14 << " flag="
+                         << true;
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  SPRINGDTW_CHECK(1 + 1 == 2) << "never printed";
+  SPRINGDTW_CHECK_EQ(4, 4);
+  SPRINGDTW_CHECK_NE(4, 5);
+  SPRINGDTW_CHECK_LT(1, 2);
+  SPRINGDTW_CHECK_LE(2, 2);
+  SPRINGDTW_CHECK_GT(3, 2);
+  SPRINGDTW_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SPRINGDTW_CHECK(false) << "boom", "Check failed: false boom");
+  EXPECT_DEATH(SPRINGDTW_CHECK_EQ(1, 2), "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(SPRINGDTW_LOG(Fatal) << "fatal message", "fatal message");
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckActiveInDebugBuilds) {
+  EXPECT_DEATH(SPRINGDTW_DCHECK(false), "Check failed");
+}
+#else
+TEST(LoggingTest, DcheckCompiledOutInReleaseBuilds) {
+  SPRINGDTW_DCHECK(false) << "not evaluated";  // Must not abort.
+}
+#endif
+
+}  // namespace
+}  // namespace util
+}  // namespace springdtw

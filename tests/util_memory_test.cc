@@ -1,0 +1,64 @@
+#include "util/memory.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace util {
+namespace {
+
+TEST(MemoryFootprintTest, AddAndTotal) {
+  MemoryFootprint fp;
+  fp.Add("a", 100);
+  fp.Add("b", 50);
+  fp.Add("a", 25);  // Accumulates into the existing component.
+  EXPECT_EQ(fp.TotalBytes(), 175);
+  ASSERT_EQ(fp.components().size(), 2u);
+  EXPECT_EQ(fp.components()[0].first, "a");
+  EXPECT_EQ(fp.components()[0].second, 125);
+}
+
+TEST(MemoryFootprintTest, MergeCombinesComponents) {
+  MemoryFootprint a;
+  a.Add("x", 10);
+  MemoryFootprint b;
+  b.Add("x", 5);
+  b.Add("y", 1);
+  a.Merge(b);
+  EXPECT_EQ(a.TotalBytes(), 16);
+  EXPECT_EQ(a.components().size(), 2u);
+}
+
+TEST(MemoryFootprintTest, ToStringMentionsTotal) {
+  MemoryFootprint fp;
+  fp.Add("buf", 2048);
+  EXPECT_NE(fp.ToString().find("total=2.0 KiB"), std::string::npos);
+}
+
+TEST(VectorBytesTest, UsesCapacity) {
+  std::vector<double> v;
+  v.reserve(100);
+  EXPECT_EQ(VectorBytes(v), 800);
+}
+
+TEST(HeapStatsTest, CountsAllocations) {
+  ScopedAllocationCheck check;
+  auto p = std::make_unique<int>(5);
+  EXPECT_GE(check.Allocations(), 1);
+  EXPECT_GE(check.Bytes(), static_cast<int64_t>(sizeof(int)));
+}
+
+TEST(HeapStatsTest, NoAllocationMeansZeroDelta) {
+  // Warm up anything lazy first.
+  { ScopedAllocationCheck warmup; }
+  ScopedAllocationCheck check;
+  volatile int x = 0;
+  for (int i = 0; i < 100; ++i) x = x + i;
+  EXPECT_EQ(check.Allocations(), 0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace springdtw

@@ -1,0 +1,117 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace springdtw {
+namespace util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All of 3..7 appear in 1000 draws.
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Gaussian(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(13);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  EXPECT_NE(child_a.NextUint64(), child_b.NextUint64());
+  // Forking is deterministic in (seed, stream id).
+  Rng parent2(13);
+  Rng child_a2 = parent2.Fork(1);
+  Rng fresh_a = Rng(13).Fork(1);
+  EXPECT_EQ(child_a2.NextUint64(), fresh_a.NextUint64());
+}
+
+TEST(ShuffleTest, PermutesAllElements) {
+  Rng rng(14);
+  std::vector<int64_t> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int64_t> orig = v;
+  Shuffle(rng, v);
+  std::vector<int64_t> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(SplitMix64Test, KnownFirstOutputs) {
+  // Reference values for seed 0 from the SplitMix64 reference
+  // implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace springdtw

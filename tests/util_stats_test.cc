@@ -1,0 +1,119 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace springdtw {
+namespace util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // Population variance.
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequentialFeed) {
+  Rng rng(99);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.Add(5.0);
+  a.Merge(b);  // Empty += non-empty.
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  RunningStats c;
+  a.Merge(c);  // Non-empty += empty.
+  EXPECT_EQ(a.count(), 1);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(QuantileSketchTest, ExactQuantiles) {
+  QuantileSketch q;
+  for (int i = 1; i <= 100; ++i) q.Add(static_cast<double>(i));
+  EXPECT_EQ(q.count(), 100);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 100.0);
+  EXPECT_NEAR(q.Median(), 50.0, 1.0);
+  EXPECT_NEAR(q.Quantile(0.9), 90.0, 1.0);
+}
+
+TEST(QuantileSketchTest, EmptyReturnsZero) {
+  QuantileSketch q;
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, AddAfterQueryStillSorted) {
+  QuantileSketch q;
+  q.Add(3.0);
+  q.Add(1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  q.Add(0.5);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 0.5);
+}
+
+TEST(LogHistogramTest, CountsAndQuantiles) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.Add(100.0);  // Bucket edge 128.
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 128.0);
+  h.Add(1e9);
+  EXPECT_GT(h.Quantile(1.0), 1e8);
+}
+
+TEST(LogHistogramTest, QuantileOrderingIsMonotone) {
+  LogHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.Add(std::exp(rng.Uniform(0.0, 20.0)));
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(1.0));
+}
+
+TEST(LogHistogramTest, SummaryMentionsCount) {
+  LogHistogram h;
+  h.Add(5.0);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace springdtw

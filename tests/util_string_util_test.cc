@@ -1,0 +1,112 @@
+#include "util/string_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace util {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f s=%s", 3, 1.5, "hi"), "x=3 y=1.50 s=hi");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  const std::string long_arg(1000, 'a');
+  const std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+}
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, AdjacentSeparatorsYieldEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(SplitJoinTest, RoundTrips) {
+  const std::string text = "1,2,,3";
+  EXPECT_EQ(Join(Split(text, ','), ","), text);
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  double v = 0.0;
+  ASSERT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  ASSERT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  ASSERT_TRUE(ParseDouble(" 7 ", &v));
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(ParseDoubleTest, ParsesNanAsMissing) {
+  double v = 0.0;
+  ASSERT_TRUE(ParseDouble("nan", &v));
+  EXPECT_TRUE(std::isnan(v));
+  ASSERT_TRUE(ParseDouble("NaN", &v));
+  EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(ParseDoubleTest, RejectsMalformed) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("1.5 2.5", &v));
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  int64_t v = 0;
+  ASSERT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  ASSERT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  ASSERT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsMalformedAndOverflow) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12.5", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &v));
+}
+
+TEST(HumanBytesTest, PicksBinarySuffix) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(1.5 * 1024 * 1024), "1.5 MiB");
+  EXPECT_EQ(HumanBytes(3.0 * 1024 * 1024 * 1024), "3.0 GiB");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace springdtw

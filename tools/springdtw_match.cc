@@ -1,0 +1,123 @@
+// springdtw_match: run SPRING disjoint-query matching on stored files.
+//
+//   springdtw_match --stream=chirp_stream.csv --query=chirp_query.csv
+//       --epsilon=100 [--distance=squared|absolute] [--max_length=0]
+//       [--min_length=0] [--topk=0] [--paths]
+//
+// Files may be CSV (one value per line, "nan" = missing, repaired
+// hold-last) or the binary .sdtw format. With --topk=K the threshold is
+// ignored and the K best disjoint matches are printed instead. With
+// --paths each match's warping-path step counts are printed too.
+
+#include <cstdio>
+#include <string>
+
+#include "core/subsequence_scan.h"
+#include "ts/binary_io.h"
+#include "ts/csv.h"
+#include "ts/repair.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace springdtw;
+
+util::StatusOr<ts::Series> LoadSeries(const std::string& path) {
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".sdtw") {
+    return ts::ReadSeriesBinary(path);
+  }
+  return ts::ReadSeriesCsv(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  const std::string stream_path = flags.GetString("stream", "");
+  const std::string query_path = flags.GetString("query", "");
+  if (stream_path.empty() || query_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --stream=FILE --query=FILE --epsilon=E "
+                 "[--topk=K] [--distance=squared|absolute] "
+                 "[--max_length=N] [--min_length=N] [--paths]\n",
+                 flags.program_name().c_str());
+    return 2;
+  }
+
+  auto stream = LoadSeries(stream_path);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  auto query = LoadSeries(query_path);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  if (query->CountMissing() > 0) {
+    std::fprintf(stderr, "query has missing values; repair it first\n");
+    return 1;
+  }
+  const int64_t missing = stream->CountMissing();
+  const ts::Series repaired =
+      missing > 0 ? RepairMissing(*stream, ts::RepairPolicy::kHoldLast)
+                  : std::move(*stream);
+  if (missing > 0) {
+    std::fprintf(stderr, "note: repaired %lld missing readings hold-last\n",
+                 static_cast<long long>(missing));
+  }
+
+  const dtw::LocalDistance distance =
+      flags.GetString("distance", "squared") == "absolute"
+          ? dtw::LocalDistance::kAbsolute
+          : dtw::LocalDistance::kSquared;
+  const int64_t topk = flags.GetInt64("topk", 0);
+
+  if (topk > 0) {
+    const auto matches =
+        core::TopKDisjointMatches(repaired, *query, topk, distance);
+    for (const core::Match& m : matches) {
+      std::printf("%s\n", m.ToString().c_str());
+    }
+    return 0;
+  }
+
+  const double epsilon = flags.GetDouble("epsilon", -1.0);
+  if (epsilon < 0.0) {
+    std::fprintf(stderr, "need --epsilon>=0 (or --topk=K)\n");
+    return 2;
+  }
+  if (flags.GetBool("paths", false)) {
+    const auto matches =
+        core::DisjointPathMatches(repaired, *query, epsilon, distance);
+    for (const core::PathMatch& m : matches) {
+      std::printf("%s path_steps=%zu\n", m.match.ToString().c_str(),
+                  m.path.size());
+    }
+    std::printf("# %zu matches\n", matches.size());
+  } else {
+    // The scan helpers do not take length constraints; run the matcher
+    // directly so --max_length/--min_length work.
+    core::SpringOptions options;
+    options.epsilon = epsilon;
+    options.local_distance = distance;
+    options.max_match_length = flags.GetInt64("max_length", 0);
+    options.min_match_length = flags.GetInt64("min_length", 0);
+    core::SpringMatcher matcher(query->values(), options);
+    core::Match match;
+    int64_t count = 0;
+    for (int64_t t = 0; t < repaired.size(); ++t) {
+      if (matcher.Update(repaired[t], &match)) {
+        std::printf("%s\n", match.ToString().c_str());
+        ++count;
+      }
+    }
+    if (matcher.Flush(&match)) {
+      std::printf("%s (flushed)\n", match.ToString().c_str());
+      ++count;
+    }
+    std::printf("# %lld matches\n", static_cast<long long>(count));
+  }
+  return 0;
+}
