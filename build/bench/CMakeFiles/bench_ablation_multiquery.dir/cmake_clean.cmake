@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiquery.dir/bench_ablation_multiquery.cc.o"
+  "CMakeFiles/bench_ablation_multiquery.dir/bench_ablation_multiquery.cc.o.d"
+  "bench_ablation_multiquery"
+  "bench_ablation_multiquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

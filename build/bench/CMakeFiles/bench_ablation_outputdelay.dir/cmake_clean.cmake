@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_outputdelay.dir/bench_ablation_outputdelay.cc.o"
+  "CMakeFiles/bench_ablation_outputdelay.dir/bench_ablation_outputdelay.cc.o.d"
+  "bench_ablation_outputdelay"
+  "bench_ablation_outputdelay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_outputdelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

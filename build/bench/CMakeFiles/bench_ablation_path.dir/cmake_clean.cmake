@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_path.dir/bench_ablation_path.cc.o"
+  "CMakeFiles/bench_ablation_path.dir/bench_ablation_path.cc.o.d"
+  "bench_ablation_path"
+  "bench_ablation_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_querylen.dir/bench_ablation_querylen.cc.o"
+  "CMakeFiles/bench_ablation_querylen.dir/bench_ablation_querylen.cc.o.d"
+  "bench_ablation_querylen"
+  "bench_ablation_querylen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_querylen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

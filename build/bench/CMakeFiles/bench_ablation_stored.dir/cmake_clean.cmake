@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stored.dir/bench_ablation_stored.cc.o"
+  "CMakeFiles/bench_ablation_stored.dir/bench_ablation_stored.cc.o.d"
+  "bench_ablation_stored"
+  "bench_ablation_stored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

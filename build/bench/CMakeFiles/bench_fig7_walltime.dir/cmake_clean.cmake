@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_walltime.dir/bench_fig7_walltime.cc.o"
+  "CMakeFiles/bench_fig7_walltime.dir/bench_fig7_walltime.cc.o.d"
+  "bench_fig7_walltime"
+  "bench_fig7_walltime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_walltime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mocap.dir/bench_fig9_mocap.cc.o"
+  "CMakeFiles/bench_fig9_mocap.dir/bench_fig9_mocap.cc.o.d"
+  "bench_fig9_mocap"
+  "bench_fig9_mocap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mocap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

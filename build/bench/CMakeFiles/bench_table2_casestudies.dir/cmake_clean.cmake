@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_casestudies.dir/bench_table2_casestudies.cc.o"
+  "CMakeFiles/bench_table2_casestudies.dir/bench_table2_casestudies.cc.o.d"
+  "bench_table2_casestudies"
+  "bench_table2_casestudies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_casestudies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_monitoring.dir/ecg_monitoring.cpp.o"
+  "CMakeFiles/ecg_monitoring.dir/ecg_monitoring.cpp.o.d"
+  "ecg_monitoring"
+  "ecg_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_capture.dir/motion_capture.cpp.o"
+  "CMakeFiles/motion_capture.dir/motion_capture.cpp.o.d"
+  "motion_capture"
+  "motion_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_monitoring.dir/seismic_monitoring.cpp.o"
+  "CMakeFiles/seismic_monitoring.dir/seismic_monitoring.cpp.o.d"
+  "seismic_monitoring"
+  "seismic_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

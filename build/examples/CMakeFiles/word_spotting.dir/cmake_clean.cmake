@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_spotting.dir/word_spotting.cpp.o"
+  "CMakeFiles/word_spotting.dir/word_spotting.cpp.o.d"
+  "word_spotting"
+  "word_spotting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_spotting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

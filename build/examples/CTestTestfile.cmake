@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(examples_quickstart "/root/repo/build/examples/quickstart" "--length=6000")
+set_tests_properties(examples_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(examples_sensor_monitoring "/root/repo/build/examples/sensor_monitoring" "--length=10000")
+set_tests_properties(examples_sensor_monitoring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(examples_seismic_monitoring "/root/repo/build/examples/seismic_monitoring" "--length=15000")
+set_tests_properties(examples_seismic_monitoring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(examples_motion_capture "/root/repo/build/examples/motion_capture" "--dims=12")
+set_tests_properties(examples_motion_capture PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(examples_word_spotting "/root/repo/build/examples/word_spotting" "--utterances=20")
+set_tests_properties(examples_word_spotting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(examples_ecg_monitoring "/root/repo/build/examples/ecg_monitoring" "--length=15000" "--anomalies=2")
+set_tests_properties(examples_ecg_monitoring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(examples_checkpoint_resume "/root/repo/build/examples/checkpoint_resume" "--length=12000")
+set_tests_properties(examples_checkpoint_resume PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

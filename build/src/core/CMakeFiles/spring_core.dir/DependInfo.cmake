@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/match.cc" "src/core/CMakeFiles/spring_core.dir/match.cc.o" "gcc" "src/core/CMakeFiles/spring_core.dir/match.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/core/CMakeFiles/spring_core.dir/naive.cc.o" "gcc" "src/core/CMakeFiles/spring_core.dir/naive.cc.o.d"
+  "/root/repo/src/core/spring.cc" "src/core/CMakeFiles/spring_core.dir/spring.cc.o" "gcc" "src/core/CMakeFiles/spring_core.dir/spring.cc.o.d"
+  "/root/repo/src/core/spring_path.cc" "src/core/CMakeFiles/spring_core.dir/spring_path.cc.o" "gcc" "src/core/CMakeFiles/spring_core.dir/spring_path.cc.o.d"
+  "/root/repo/src/core/subsequence_scan.cc" "src/core/CMakeFiles/spring_core.dir/subsequence_scan.cc.o" "gcc" "src/core/CMakeFiles/spring_core.dir/subsequence_scan.cc.o.d"
+  "/root/repo/src/core/topk_tracker.cc" "src/core/CMakeFiles/spring_core.dir/topk_tracker.cc.o" "gcc" "src/core/CMakeFiles/spring_core.dir/topk_tracker.cc.o.d"
+  "/root/repo/src/core/vector_spring.cc" "src/core/CMakeFiles/spring_core.dir/vector_spring.cc.o" "gcc" "src/core/CMakeFiles/spring_core.dir/vector_spring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtw/CMakeFiles/spring_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/spring_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spring_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

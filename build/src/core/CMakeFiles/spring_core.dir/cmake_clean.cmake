@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spring_core.dir/match.cc.o"
+  "CMakeFiles/spring_core.dir/match.cc.o.d"
+  "CMakeFiles/spring_core.dir/naive.cc.o"
+  "CMakeFiles/spring_core.dir/naive.cc.o.d"
+  "CMakeFiles/spring_core.dir/spring.cc.o"
+  "CMakeFiles/spring_core.dir/spring.cc.o.d"
+  "CMakeFiles/spring_core.dir/spring_path.cc.o"
+  "CMakeFiles/spring_core.dir/spring_path.cc.o.d"
+  "CMakeFiles/spring_core.dir/subsequence_scan.cc.o"
+  "CMakeFiles/spring_core.dir/subsequence_scan.cc.o.d"
+  "CMakeFiles/spring_core.dir/topk_tracker.cc.o"
+  "CMakeFiles/spring_core.dir/topk_tracker.cc.o.d"
+  "CMakeFiles/spring_core.dir/vector_spring.cc.o"
+  "CMakeFiles/spring_core.dir/vector_spring.cc.o.d"
+  "libspring_core.a"
+  "libspring_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spring_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtw/coarse.cc" "src/dtw/CMakeFiles/spring_dtw.dir/coarse.cc.o" "gcc" "src/dtw/CMakeFiles/spring_dtw.dir/coarse.cc.o.d"
+  "/root/repo/src/dtw/dtw.cc" "src/dtw/CMakeFiles/spring_dtw.dir/dtw.cc.o" "gcc" "src/dtw/CMakeFiles/spring_dtw.dir/dtw.cc.o.d"
+  "/root/repo/src/dtw/envelope.cc" "src/dtw/CMakeFiles/spring_dtw.dir/envelope.cc.o" "gcc" "src/dtw/CMakeFiles/spring_dtw.dir/envelope.cc.o.d"
+  "/root/repo/src/dtw/ftw.cc" "src/dtw/CMakeFiles/spring_dtw.dir/ftw.cc.o" "gcc" "src/dtw/CMakeFiles/spring_dtw.dir/ftw.cc.o.d"
+  "/root/repo/src/dtw/local_distance.cc" "src/dtw/CMakeFiles/spring_dtw.dir/local_distance.cc.o" "gcc" "src/dtw/CMakeFiles/spring_dtw.dir/local_distance.cc.o.d"
+  "/root/repo/src/dtw/lower_bounds.cc" "src/dtw/CMakeFiles/spring_dtw.dir/lower_bounds.cc.o" "gcc" "src/dtw/CMakeFiles/spring_dtw.dir/lower_bounds.cc.o.d"
+  "/root/repo/src/dtw/nn_search.cc" "src/dtw/CMakeFiles/spring_dtw.dir/nn_search.cc.o" "gcc" "src/dtw/CMakeFiles/spring_dtw.dir/nn_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/spring_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spring_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spring_dtw.dir/coarse.cc.o"
+  "CMakeFiles/spring_dtw.dir/coarse.cc.o.d"
+  "CMakeFiles/spring_dtw.dir/dtw.cc.o"
+  "CMakeFiles/spring_dtw.dir/dtw.cc.o.d"
+  "CMakeFiles/spring_dtw.dir/envelope.cc.o"
+  "CMakeFiles/spring_dtw.dir/envelope.cc.o.d"
+  "CMakeFiles/spring_dtw.dir/ftw.cc.o"
+  "CMakeFiles/spring_dtw.dir/ftw.cc.o.d"
+  "CMakeFiles/spring_dtw.dir/local_distance.cc.o"
+  "CMakeFiles/spring_dtw.dir/local_distance.cc.o.d"
+  "CMakeFiles/spring_dtw.dir/lower_bounds.cc.o"
+  "CMakeFiles/spring_dtw.dir/lower_bounds.cc.o.d"
+  "CMakeFiles/spring_dtw.dir/nn_search.cc.o"
+  "CMakeFiles/spring_dtw.dir/nn_search.cc.o.d"
+  "libspring_dtw.a"
+  "libspring_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spring_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spring_eval.dir/detection.cc.o"
+  "CMakeFiles/spring_eval.dir/detection.cc.o.d"
+  "libspring_eval.a"
+  "libspring_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spring_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

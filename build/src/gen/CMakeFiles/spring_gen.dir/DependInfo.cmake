@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/ecg.cc" "src/gen/CMakeFiles/spring_gen.dir/ecg.cc.o" "gcc" "src/gen/CMakeFiles/spring_gen.dir/ecg.cc.o.d"
+  "/root/repo/src/gen/masked_chirp.cc" "src/gen/CMakeFiles/spring_gen.dir/masked_chirp.cc.o" "gcc" "src/gen/CMakeFiles/spring_gen.dir/masked_chirp.cc.o.d"
+  "/root/repo/src/gen/mocap.cc" "src/gen/CMakeFiles/spring_gen.dir/mocap.cc.o" "gcc" "src/gen/CMakeFiles/spring_gen.dir/mocap.cc.o.d"
+  "/root/repo/src/gen/seismic.cc" "src/gen/CMakeFiles/spring_gen.dir/seismic.cc.o" "gcc" "src/gen/CMakeFiles/spring_gen.dir/seismic.cc.o.d"
+  "/root/repo/src/gen/signal.cc" "src/gen/CMakeFiles/spring_gen.dir/signal.cc.o" "gcc" "src/gen/CMakeFiles/spring_gen.dir/signal.cc.o.d"
+  "/root/repo/src/gen/sunspots.cc" "src/gen/CMakeFiles/spring_gen.dir/sunspots.cc.o" "gcc" "src/gen/CMakeFiles/spring_gen.dir/sunspots.cc.o.d"
+  "/root/repo/src/gen/temperature.cc" "src/gen/CMakeFiles/spring_gen.dir/temperature.cc.o" "gcc" "src/gen/CMakeFiles/spring_gen.dir/temperature.cc.o.d"
+  "/root/repo/src/gen/warp.cc" "src/gen/CMakeFiles/spring_gen.dir/warp.cc.o" "gcc" "src/gen/CMakeFiles/spring_gen.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/spring_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spring_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

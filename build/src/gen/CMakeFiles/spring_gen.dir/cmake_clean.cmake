@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spring_gen.dir/ecg.cc.o"
+  "CMakeFiles/spring_gen.dir/ecg.cc.o.d"
+  "CMakeFiles/spring_gen.dir/masked_chirp.cc.o"
+  "CMakeFiles/spring_gen.dir/masked_chirp.cc.o.d"
+  "CMakeFiles/spring_gen.dir/mocap.cc.o"
+  "CMakeFiles/spring_gen.dir/mocap.cc.o.d"
+  "CMakeFiles/spring_gen.dir/seismic.cc.o"
+  "CMakeFiles/spring_gen.dir/seismic.cc.o.d"
+  "CMakeFiles/spring_gen.dir/signal.cc.o"
+  "CMakeFiles/spring_gen.dir/signal.cc.o.d"
+  "CMakeFiles/spring_gen.dir/sunspots.cc.o"
+  "CMakeFiles/spring_gen.dir/sunspots.cc.o.d"
+  "CMakeFiles/spring_gen.dir/temperature.cc.o"
+  "CMakeFiles/spring_gen.dir/temperature.cc.o.d"
+  "CMakeFiles/spring_gen.dir/warp.cc.o"
+  "CMakeFiles/spring_gen.dir/warp.cc.o.d"
+  "libspring_gen.a"
+  "libspring_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spring_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

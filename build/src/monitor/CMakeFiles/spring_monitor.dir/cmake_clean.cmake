@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spring_monitor.dir/engine.cc.o"
+  "CMakeFiles/spring_monitor.dir/engine.cc.o.d"
+  "CMakeFiles/spring_monitor.dir/replay.cc.o"
+  "CMakeFiles/spring_monitor.dir/replay.cc.o.d"
+  "CMakeFiles/spring_monitor.dir/sink.cc.o"
+  "CMakeFiles/spring_monitor.dir/sink.cc.o.d"
+  "CMakeFiles/spring_monitor.dir/stream_source.cc.o"
+  "CMakeFiles/spring_monitor.dir/stream_source.cc.o.d"
+  "libspring_monitor.a"
+  "libspring_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spring_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

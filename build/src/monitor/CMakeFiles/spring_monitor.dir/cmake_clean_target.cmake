@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspring_monitor.a"
+)

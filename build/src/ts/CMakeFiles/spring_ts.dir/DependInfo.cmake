@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/binary_io.cc" "src/ts/CMakeFiles/spring_ts.dir/binary_io.cc.o" "gcc" "src/ts/CMakeFiles/spring_ts.dir/binary_io.cc.o.d"
+  "/root/repo/src/ts/csv.cc" "src/ts/CMakeFiles/spring_ts.dir/csv.cc.o" "gcc" "src/ts/CMakeFiles/spring_ts.dir/csv.cc.o.d"
+  "/root/repo/src/ts/normalize.cc" "src/ts/CMakeFiles/spring_ts.dir/normalize.cc.o" "gcc" "src/ts/CMakeFiles/spring_ts.dir/normalize.cc.o.d"
+  "/root/repo/src/ts/paa.cc" "src/ts/CMakeFiles/spring_ts.dir/paa.cc.o" "gcc" "src/ts/CMakeFiles/spring_ts.dir/paa.cc.o.d"
+  "/root/repo/src/ts/repair.cc" "src/ts/CMakeFiles/spring_ts.dir/repair.cc.o" "gcc" "src/ts/CMakeFiles/spring_ts.dir/repair.cc.o.d"
+  "/root/repo/src/ts/series.cc" "src/ts/CMakeFiles/spring_ts.dir/series.cc.o" "gcc" "src/ts/CMakeFiles/spring_ts.dir/series.cc.o.d"
+  "/root/repo/src/ts/vector_series.cc" "src/ts/CMakeFiles/spring_ts.dir/vector_series.cc.o" "gcc" "src/ts/CMakeFiles/spring_ts.dir/vector_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spring_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spring_ts.dir/binary_io.cc.o"
+  "CMakeFiles/spring_ts.dir/binary_io.cc.o.d"
+  "CMakeFiles/spring_ts.dir/csv.cc.o"
+  "CMakeFiles/spring_ts.dir/csv.cc.o.d"
+  "CMakeFiles/spring_ts.dir/normalize.cc.o"
+  "CMakeFiles/spring_ts.dir/normalize.cc.o.d"
+  "CMakeFiles/spring_ts.dir/paa.cc.o"
+  "CMakeFiles/spring_ts.dir/paa.cc.o.d"
+  "CMakeFiles/spring_ts.dir/repair.cc.o"
+  "CMakeFiles/spring_ts.dir/repair.cc.o.d"
+  "CMakeFiles/spring_ts.dir/series.cc.o"
+  "CMakeFiles/spring_ts.dir/series.cc.o.d"
+  "CMakeFiles/spring_ts.dir/vector_series.cc.o"
+  "CMakeFiles/spring_ts.dir/vector_series.cc.o.d"
+  "libspring_ts.a"
+  "libspring_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spring_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

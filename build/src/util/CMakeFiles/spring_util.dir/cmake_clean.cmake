@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spring_util.dir/codec.cc.o"
+  "CMakeFiles/spring_util.dir/codec.cc.o.d"
+  "CMakeFiles/spring_util.dir/flags.cc.o"
+  "CMakeFiles/spring_util.dir/flags.cc.o.d"
+  "CMakeFiles/spring_util.dir/logging.cc.o"
+  "CMakeFiles/spring_util.dir/logging.cc.o.d"
+  "CMakeFiles/spring_util.dir/memory.cc.o"
+  "CMakeFiles/spring_util.dir/memory.cc.o.d"
+  "CMakeFiles/spring_util.dir/random.cc.o"
+  "CMakeFiles/spring_util.dir/random.cc.o.d"
+  "CMakeFiles/spring_util.dir/stats.cc.o"
+  "CMakeFiles/spring_util.dir/stats.cc.o.d"
+  "CMakeFiles/spring_util.dir/status.cc.o"
+  "CMakeFiles/spring_util.dir/status.cc.o.d"
+  "CMakeFiles/spring_util.dir/stopwatch.cc.o"
+  "CMakeFiles/spring_util.dir/stopwatch.cc.o.d"
+  "CMakeFiles/spring_util.dir/string_util.cc.o"
+  "CMakeFiles/spring_util.dir/string_util.cc.o.d"
+  "libspring_util.a"
+  "libspring_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spring_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_allocation_test.dir/core_allocation_test.cc.o"
+  "CMakeFiles/core_allocation_test.dir/core_allocation_test.cc.o.d"
+  "core_allocation_test"
+  "core_allocation_test.pdb"
+  "core_allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_invariance_test.dir/core_invariance_test.cc.o"
+  "CMakeFiles/core_invariance_test.dir/core_invariance_test.cc.o.d"
+  "core_invariance_test"
+  "core_invariance_test.pdb"
+  "core_invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

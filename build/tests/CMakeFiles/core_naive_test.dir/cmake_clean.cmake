@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_naive_test.dir/core_naive_test.cc.o"
+  "CMakeFiles/core_naive_test.dir/core_naive_test.cc.o.d"
+  "core_naive_test"
+  "core_naive_test.pdb"
+  "core_naive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_naive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

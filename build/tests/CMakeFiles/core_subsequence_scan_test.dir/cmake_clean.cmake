@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_subsequence_scan_test.dir/core_subsequence_scan_test.cc.o"
+  "CMakeFiles/core_subsequence_scan_test.dir/core_subsequence_scan_test.cc.o.d"
+  "core_subsequence_scan_test"
+  "core_subsequence_scan_test.pdb"
+  "core_subsequence_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_subsequence_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_vector_spring_test.dir/core_vector_spring_test.cc.o"
+  "CMakeFiles/core_vector_spring_test.dir/core_vector_spring_test.cc.o.d"
+  "core_vector_spring_test"
+  "core_vector_spring_test.pdb"
+  "core_vector_spring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_vector_spring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

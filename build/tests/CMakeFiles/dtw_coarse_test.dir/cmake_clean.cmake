@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtw_coarse_test.dir/dtw_coarse_test.cc.o"
+  "CMakeFiles/dtw_coarse_test.dir/dtw_coarse_test.cc.o.d"
+  "dtw_coarse_test"
+  "dtw_coarse_test.pdb"
+  "dtw_coarse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtw_coarse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtw_ftw_test.dir/dtw_ftw_test.cc.o"
+  "CMakeFiles/dtw_ftw_test.dir/dtw_ftw_test.cc.o.d"
+  "dtw_ftw_test"
+  "dtw_ftw_test.pdb"
+  "dtw_ftw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtw_ftw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

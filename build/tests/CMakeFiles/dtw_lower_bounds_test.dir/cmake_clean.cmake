@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtw_lower_bounds_test.dir/dtw_lower_bounds_test.cc.o"
+  "CMakeFiles/dtw_lower_bounds_test.dir/dtw_lower_bounds_test.cc.o.d"
+  "dtw_lower_bounds_test"
+  "dtw_lower_bounds_test.pdb"
+  "dtw_lower_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtw_lower_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

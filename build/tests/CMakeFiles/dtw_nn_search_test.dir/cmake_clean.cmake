@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtw_nn_search_test.dir/dtw_nn_search_test.cc.o"
+  "CMakeFiles/dtw_nn_search_test.dir/dtw_nn_search_test.cc.o.d"
+  "dtw_nn_search_test"
+  "dtw_nn_search_test.pdb"
+  "dtw_nn_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtw_nn_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_detection_test.dir/eval_detection_test.cc.o"
+  "CMakeFiles/eval_detection_test.dir/eval_detection_test.cc.o.d"
+  "eval_detection_test"
+  "eval_detection_test.pdb"
+  "eval_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

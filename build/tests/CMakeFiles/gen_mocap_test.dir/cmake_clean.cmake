@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_mocap_test.dir/gen_mocap_test.cc.o"
+  "CMakeFiles/gen_mocap_test.dir/gen_mocap_test.cc.o.d"
+  "gen_mocap_test"
+  "gen_mocap_test.pdb"
+  "gen_mocap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_mocap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_signal_test.dir/gen_signal_test.cc.o"
+  "CMakeFiles/gen_signal_test.dir/gen_signal_test.cc.o.d"
+  "gen_signal_test"
+  "gen_signal_test.pdb"
+  "gen_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_warp_test.dir/gen_warp_test.cc.o"
+  "CMakeFiles/gen_warp_test.dir/gen_warp_test.cc.o.d"
+  "gen_warp_test"
+  "gen_warp_test.pdb"
+  "gen_warp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_warp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

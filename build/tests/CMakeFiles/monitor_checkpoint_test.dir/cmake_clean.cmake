@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_checkpoint_test.dir/monitor_checkpoint_test.cc.o"
+  "CMakeFiles/monitor_checkpoint_test.dir/monitor_checkpoint_test.cc.o.d"
+  "monitor_checkpoint_test"
+  "monitor_checkpoint_test.pdb"
+  "monitor_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

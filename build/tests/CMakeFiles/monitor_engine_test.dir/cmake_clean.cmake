@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_engine_test.dir/monitor_engine_test.cc.o"
+  "CMakeFiles/monitor_engine_test.dir/monitor_engine_test.cc.o.d"
+  "monitor_engine_test"
+  "monitor_engine_test.pdb"
+  "monitor_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_replay_test.dir/monitor_replay_test.cc.o"
+  "CMakeFiles/monitor_replay_test.dir/monitor_replay_test.cc.o.d"
+  "monitor_replay_test"
+  "monitor_replay_test.pdb"
+  "monitor_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

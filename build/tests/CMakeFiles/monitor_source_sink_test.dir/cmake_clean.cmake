@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_source_sink_test.dir/monitor_source_sink_test.cc.o"
+  "CMakeFiles/monitor_source_sink_test.dir/monitor_source_sink_test.cc.o.d"
+  "monitor_source_sink_test"
+  "monitor_source_sink_test.pdb"
+  "monitor_source_sink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_source_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

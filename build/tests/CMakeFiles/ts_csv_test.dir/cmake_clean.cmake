@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_csv_test.dir/ts_csv_test.cc.o"
+  "CMakeFiles/ts_csv_test.dir/ts_csv_test.cc.o.d"
+  "ts_csv_test"
+  "ts_csv_test.pdb"
+  "ts_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_paa_test.dir/ts_paa_test.cc.o"
+  "CMakeFiles/ts_paa_test.dir/ts_paa_test.cc.o.d"
+  "ts_paa_test"
+  "ts_paa_test.pdb"
+  "ts_paa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_paa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_repair_test.dir/ts_repair_test.cc.o"
+  "CMakeFiles/ts_repair_test.dir/ts_repair_test.cc.o.d"
+  "ts_repair_test"
+  "ts_repair_test.pdb"
+  "ts_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_vector_series_test.dir/ts_vector_series_test.cc.o"
+  "CMakeFiles/ts_vector_series_test.dir/ts_vector_series_test.cc.o.d"
+  "ts_vector_series_test"
+  "ts_vector_series_test.pdb"
+  "ts_vector_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_vector_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

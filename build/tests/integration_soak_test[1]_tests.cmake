@@ -1,0 +1,3 @@
+add_test([=[SoakTest.MultiStreamEngineStaysHealthyOverLongRun]=]  /root/repo/build/tests/integration_soak_test [==[--gtest_filter=SoakTest.MultiStreamEngineStaysHealthyOverLongRun]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SoakTest.MultiStreamEngineStaysHealthyOverLongRun]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_soak_test_TESTS SoakTest.MultiStreamEngineStaysHealthyOverLongRun)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/springdtw_datagen.dir/springdtw_datagen.cc.o"
+  "CMakeFiles/springdtw_datagen.dir/springdtw_datagen.cc.o.d"
+  "springdtw_datagen"
+  "springdtw_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/springdtw_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

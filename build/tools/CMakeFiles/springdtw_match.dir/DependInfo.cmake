@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/springdtw_match.cc" "tools/CMakeFiles/springdtw_match.dir/springdtw_match.cc.o" "gcc" "tools/CMakeFiles/springdtw_match.dir/springdtw_match.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/spring_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/spring_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spring_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/spring_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/spring_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/spring_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spring_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/springdtw_match.dir/springdtw_match.cc.o"
+  "CMakeFiles/springdtw_match.dir/springdtw_match.cc.o.d"
+  "springdtw_match"
+  "springdtw_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/springdtw_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

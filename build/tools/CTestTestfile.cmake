@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_datagen "/root/repo/build/tools/springdtw_datagen" "--dataset=chirp" "--length=8000" "--out=/root/repo/build/tools/smoke_chirp")
+set_tests_properties(tools_datagen PROPERTIES  FIXTURES_SETUP "chirp_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_match "/root/repo/build/tools/springdtw_match" "--stream=/root/repo/build/tools/smoke_chirp_stream.csv" "--query=/root/repo/build/tools/smoke_chirp_query.csv" "--epsilon=100")
+set_tests_properties(tools_match PROPERTIES  FIXTURES_REQUIRED "chirp_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_match_topk "/root/repo/build/tools/springdtw_match" "--stream=/root/repo/build/tools/smoke_chirp_stream.csv" "--query=/root/repo/build/tools/smoke_chirp_query.csv" "--topk=2")
+set_tests_properties(tools_match_topk PROPERTIES  FIXTURES_REQUIRED "chirp_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_match_paths "/root/repo/build/tools/springdtw_match" "--stream=/root/repo/build/tools/smoke_chirp_stream.csv" "--query=/root/repo/build/tools/smoke_chirp_query.csv" "--epsilon=100" "--paths")
+set_tests_properties(tools_match_paths PROPERTIES  FIXTURES_REQUIRED "chirp_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
