@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
+
+#include "obs/exposition.h"
 
 namespace springdtw {
 namespace bench {
@@ -52,6 +55,41 @@ int64_t CountDetected(const std::vector<gen::PlantedEvent>& events,
     }
   }
   return detected;
+}
+
+MetricsEmitter::MetricsEmitter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+obs::Labels MetricsEmitter::WithBenchLabel(obs::Labels extra) const {
+  obs::Labels labels;
+  labels.reserve(extra.size() + 1);
+  labels.push_back(obs::Label{"bench", bench_name_});
+  for (obs::Label& label : extra) labels.push_back(std::move(label));
+  return labels;
+}
+
+void MetricsEmitter::SetGauge(const std::string& name,
+                              const std::string& help, double value,
+                              obs::Labels extra) {
+  registry_.GetGauge(name, help, WithBenchLabel(std::move(extra)))
+      ->Set(value);
+}
+
+void MetricsEmitter::Observe(const std::string& name, const std::string& help,
+                             double value, obs::Labels extra) {
+  registry_.GetHistogram(name, help, WithBenchLabel(std::move(extra)))
+      ->Observe(value);
+}
+
+void MetricsEmitter::Emit(const obs::MetricsSnapshot* engine_snapshot) const {
+  obs::MetricsSnapshot merged = registry_.Snapshot();
+  if (engine_snapshot != nullptr) {
+    merged.families.insert(merged.families.end(),
+                           engine_snapshot->families.begin(),
+                           engine_snapshot->families.end());
+  }
+  // One line so log scrapers can grep the prefix and json-parse the rest.
+  std::printf("BENCH_METRICS_JSON %s\n", obs::RenderJson(merged).c_str());
 }
 
 }  // namespace bench

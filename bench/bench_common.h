@@ -8,6 +8,7 @@
 
 #include "core/match.h"
 #include "gen/planted.h"
+#include "obs/metrics.h"
 #include "ts/series.h"
 
 namespace springdtw {
@@ -31,6 +32,42 @@ void PrintTable2Block(const std::string& dataset, double epsilon,
 /// How many of `events` overlap at least one match (detection score).
 int64_t CountDetected(const std::vector<gen::PlantedEvent>& events,
                       const std::vector<core::Match>& matches);
+
+/// Collects bench measurements in an obs::MetricsRegistry and emits them as
+/// one machine-readable stdout line:
+///
+///   BENCH_METRICS_JSON {"metrics":[...]}
+///
+/// Every series recorded through this emitter carries a {"bench": <name>}
+/// label, so blobs from several benches can be concatenated in one log and
+/// still told apart. Benches that drive a MonitorEngine can pass the
+/// engine's registry snapshot to Emit() to splice its families into the
+/// same blob.
+class MetricsEmitter {
+ public:
+  explicit MetricsEmitter(std::string bench_name);
+
+  const std::string& bench_name() const { return bench_name_; }
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  /// Sets gauge `name{bench=<bench_name>, extra...}` to `value`.
+  void SetGauge(const std::string& name, const std::string& help,
+                double value, obs::Labels extra = {});
+
+  /// Adds `value` to histogram `name{bench=<bench_name>, extra...}`.
+  void Observe(const std::string& name, const std::string& help, double value,
+               obs::Labels extra = {});
+
+  /// Prints the BENCH_METRICS_JSON line to stdout. When `engine_snapshot`
+  /// is non-null its families are appended after this emitter's own.
+  void Emit(const obs::MetricsSnapshot* engine_snapshot = nullptr) const;
+
+ private:
+  obs::Labels WithBenchLabel(obs::Labels extra) const;
+
+  std::string bench_name_;
+  obs::MetricsRegistry registry_;
+};
 
 }  // namespace bench
 }  // namespace springdtw

@@ -13,14 +13,24 @@
 // honestly. SPRING is measured by honestly streaming n ticks.
 //
 //   ./bench_fig7_walltime [--max_n=1000000] [--m=256] [--naive_ticks=5]
+//       [--overhead_n=200000]
+//
+// Besides the paper table, the bench measures the MonitorEngine's
+// metrics-collection overhead (engine with observability attached vs
+// plain) over --overhead_n ticks, and emits every measurement as a
+// machine-readable BENCH_METRICS_JSON line.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/naive.h"
 #include "core/spring.h"
 #include "gen/masked_chirp.h"
+#include "monitor/engine.h"
+#include "obs/observability.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -59,6 +69,27 @@ double MeasureNaiveMicros(const ts::Series& stream, int64_t n,
   return stopwatch.ElapsedMicros() / static_cast<double>(ticks);
 }
 
+// Per-tick microseconds of SPRING driven through the MonitorEngine, with
+// or without an observability bundle attached. Used to check the
+// metrics-enabled overhead stays small (<5% is the budget).
+double MeasureEngineMicros(const ts::Series& stream, int64_t n,
+                           const std::vector<double>& query, double epsilon,
+                           obs::Observability* observability) {
+  monitor::MonitorEngine engine;
+  if (observability != nullptr) engine.AttachObservability(observability);
+  const int64_t stream_id = engine.AddStream("bench", false);
+  core::SpringOptions options;
+  options.epsilon = epsilon;
+  if (!engine.AddQuery(stream_id, "fig7", query, options).ok()) return 0.0;
+  util::Stopwatch stopwatch;
+  for (int64_t t = 0; t < n; ++t) {
+    (void)engine.Push(stream_id, stream[t % stream.size()]);
+  }
+  const double micros = stopwatch.ElapsedMicros();
+  if (observability != nullptr) engine.RefreshObservabilityGauges();
+  return micros / static_cast<double>(n);
+}
+
 }  // namespace
 }  // namespace springdtw
 
@@ -82,6 +113,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-16s %-16s %-12s\n", "n", "naive_ms_tick",
               "spring_ms_tick", "speedup");
 
+  bench::MetricsEmitter emitter("fig7_walltime");
   for (int64_t n = 1000; n <= max_n; n *= 10) {
     const double spring_us =
         MeasureSpringMicros(data.stream, n, data.query.values(), epsilon);
@@ -90,7 +122,46 @@ int main(int argc, char** argv) {
     std::printf("%-10lld %-16.4f %-16.6f %-12.0f\n",
                 static_cast<long long>(n), naive_us / 1e3, spring_us / 1e3,
                 naive_us / spring_us);
+    const obs::Labels by_n = {obs::Label{"n", std::to_string(n)}};
+    emitter.SetGauge("bench_spring_us_per_tick",
+                     "SPRING per-tick wall time (microseconds)", spring_us,
+                     by_n);
+    emitter.SetGauge("bench_naive_us_per_tick",
+                     "naive per-tick wall time (microseconds)", naive_us,
+                     by_n);
   }
+
+  // Metrics-collection overhead: the same SPRING workload driven through
+  // the MonitorEngine, observability off vs on.
+  const int64_t overhead_n =
+      std::max<int64_t>(1, flags.GetInt64("overhead_n", 200000));
+  const double plain_us = MeasureEngineMicros(
+      data.stream, overhead_n, data.query.values(), epsilon, nullptr);
+  obs::Observability observability;
+  const double observed_us =
+      MeasureEngineMicros(data.stream, overhead_n, data.query.values(),
+                          epsilon, &observability);
+  const double overhead_pct =
+      plain_us > 0.0 ? (observed_us / plain_us - 1.0) * 100.0 : 0.0;
+  std::printf(
+      "\nengine overhead over %lld ticks: plain %.4f us/tick, "
+      "with metrics %.4f us/tick (%+.2f%%, budget <5%%)\n",
+      static_cast<long long>(overhead_n), plain_us, observed_us,
+      overhead_pct);
+  emitter.SetGauge("bench_engine_plain_us_per_tick",
+                   "MonitorEngine per-tick wall time, observability off",
+                   plain_us);
+  emitter.SetGauge("bench_engine_observed_us_per_tick",
+                   "MonitorEngine per-tick wall time, observability on",
+                   observed_us);
+  emitter.SetGauge("bench_engine_metrics_overhead_pct",
+                   "metrics-enabled engine overhead vs plain, percent",
+                   overhead_pct);
+
+  const obs::MetricsSnapshot engine_snapshot =
+      observability.registry().Snapshot();
+  emitter.Emit(&engine_snapshot);
+
   std::printf(
       "\npaper shape: naive grows ~linearly in n; SPRING is constant;\n"
       "speedup at n=10^6 on the order of 10^5..10^6 (paper: 650,000x).\n");

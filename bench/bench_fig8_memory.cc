@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-16s %-16s %-16s %-16s\n", "n", "naive_model",
               "naive_measured", "spring_path", "spring");
 
+  bench::MetricsEmitter emitter("fig8_memory");
   for (int64_t n = 1000; n <= max_n; n *= 10) {
     core::SpringOptions options;
     options.epsilon = epsilon;
@@ -95,7 +96,17 @@ int main(int argc, char** argv) {
                 static_cast<long long>(naive_model), naive_measured.c_str(),
                 static_cast<long long>(path_bytes),
                 static_cast<long long>(spring_bytes));
+    const obs::Labels by_n = {obs::Label{"n", std::to_string(n)}};
+    emitter.SetGauge("bench_spring_bytes", "SPRING working-set bytes",
+                     static_cast<double>(spring_bytes), by_n);
+    emitter.SetGauge("bench_spring_path_bytes",
+                     "SPRING(path) working-set bytes",
+                     static_cast<double>(path_bytes), by_n);
+    emitter.SetGauge("bench_naive_model_bytes",
+                     "naive working-set bytes (analytic model)",
+                     static_cast<double>(naive_model), by_n);
   }
+  emitter.Emit();
   std::printf(
       "\npaper shape: naive is a straight line in n (O(n*m)); SPRING(path)\n"
       "stays orders of magnitude below it and depends on the captured "

@@ -41,6 +41,7 @@ void SpringMatcher::Reset() {
   group_start_ = group_end_ = 0;
   has_best_ = false;
   best_ = Match{};
+  cells_pruned_ = 0;
 }
 
 bool SpringMatcher::Update(double x, Match* match) {
@@ -85,6 +86,7 @@ bool SpringMatcher::UpdateImpl(double x, Match* match, Dist dist) {
     if (options_.max_match_length > 0 &&
         t - s_[static_cast<size_t>(i)] + 1 > options_.max_match_length) {
       d_[static_cast<size_t>(i)] = kInf;
+      ++cells_pruned_;
     }
   }
 

@@ -97,6 +97,21 @@ class SpringMatcher {
   /// True if a qualifying candidate is currently captured but not reported.
   bool has_pending_candidate() const { return has_candidate_; }
 
+  /// Observability accessors: plain member reads so a monitoring layer can
+  /// derive candidate-churn and best-improvement events around Update()
+  /// without touching the hot path when unused.
+  /// Current best distance; meaningless before has_best().
+  double best_distance() const { return best_.distance; }
+  /// Pending candidate's d_min / t_s / t_e; meaningless before
+  /// has_pending_candidate().
+  double candidate_distance() const { return dmin_; }
+  int64_t candidate_start() const { return ts_; }
+  int64_t candidate_end() const { return te_; }
+  /// STWM cells pruned by the max_match_length constraint since
+  /// construction or Reset(). Diagnostic only: not serialized, so a
+  /// restored matcher restarts at 0.
+  int64_t cells_pruned_total() const { return cells_pruned_; }
+
   /// Query length m.
   int64_t query_length() const {
     return static_cast<int64_t>(query_.size());
@@ -159,6 +174,9 @@ class SpringMatcher {
   // Best-match tracking.
   bool has_best_ = false;
   Match best_;
+
+  // Observability: cells discarded by the length-constraint pruning.
+  int64_t cells_pruned_ = 0;
 };
 
 }  // namespace core

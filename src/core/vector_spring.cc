@@ -41,6 +41,7 @@ void VectorSpringMatcher::Reset() {
   group_start_ = group_end_ = 0;
   has_best_ = false;
   best_ = Match{};
+  cells_pruned_ = 0;
 }
 
 bool VectorSpringMatcher::Update(std::span<const double> row, Match* match) {
@@ -72,6 +73,7 @@ bool VectorSpringMatcher::Update(std::span<const double> row, Match* match) {
     if (options_.max_match_length > 0 &&
         t - s_[static_cast<size_t>(i)] + 1 > options_.max_match_length) {
       d_[static_cast<size_t>(i)] = kInf;
+      ++cells_pruned_;
     }
   }
 

@@ -42,6 +42,13 @@ class VectorSpringMatcher {
   int64_t ticks_processed() const { return t_; }
   bool has_pending_candidate() const { return has_candidate_; }
 
+  /// Observability accessors — see SpringMatcher for semantics.
+  double best_distance() const { return best_.distance; }
+  double candidate_distance() const { return dmin_; }
+  int64_t candidate_start() const { return ts_; }
+  int64_t candidate_end() const { return te_; }
+  int64_t cells_pruned_total() const { return cells_pruned_; }
+
   int64_t dims() const { return query_.dims(); }
   int64_t query_length() const { return query_.size(); }
   const SpringOptions& options() const { return options_; }
@@ -78,6 +85,9 @@ class VectorSpringMatcher {
   int64_t group_end_ = 0;
   bool has_best_ = false;
   Match best_;
+
+  // Observability: cells discarded by the length-constraint pruning.
+  int64_t cells_pruned_ = 0;
 };
 
 }  // namespace core

@@ -8,11 +8,44 @@
 namespace springdtw {
 namespace monitor {
 
+namespace {
+
+/// Metric names shared with docs/OBSERVABILITY.md — keep in sync.
+constexpr char kMetricPushes[] = "spring_pushes_total";
+constexpr char kMetricTicks[] = "spring_ticks_total";
+constexpr char kMetricMatches[] = "spring_matches_total";
+constexpr char kMetricCandidatesOpened[] = "spring_candidates_opened_total";
+constexpr char kMetricCandidatesFlushed[] = "spring_candidates_flushed_total";
+constexpr char kMetricBestImprovements[] = "spring_best_improvements_total";
+constexpr char kMetricCellsPruned[] = "spring_cells_pruned_total";
+constexpr char kMetricCandidatePending[] = "spring_candidate_pending";
+constexpr char kMetricReportDelay[] = "spring_report_delay_ticks";
+constexpr char kMetricPushLatency[] = "spring_push_latency_nanos";
+constexpr char kMetricMemoryBytes[] = "spring_memory_bytes";
+constexpr char kMetricStreams[] = "spring_streams";
+constexpr char kMetricQueries[] = "spring_queries";
+constexpr char kMetricCheckpointSaves[] = "spring_checkpoint_saves_total";
+constexpr char kMetricCheckpointRestores[] =
+    "spring_checkpoint_restores_total";
+
+const char* SpaceName(bool vector_space) {
+  return vector_space ? "vector" : "scalar";
+}
+
+}  // namespace
+
 int64_t MonitorEngine::AddStream(std::string name, bool repair_missing) {
   StreamEntry entry;
   entry.name = std::move(name);
   entry.repair_missing = repair_missing;
+  if (obs_ != nullptr) {
+    entry.obs_pushes = ResolvePushCounter(entry.name, /*vector_space=*/false);
+  }
   streams_.push_back(std::move(entry));
+  if (obs_streams_ != nullptr) {
+    obs_streams_->Set(
+        static_cast<double>(num_streams() + num_vector_streams()));
+  }
   return static_cast<int64_t>(streams_.size()) - 1;
 }
 
@@ -35,8 +68,15 @@ util::StatusOr<int64_t> MonitorEngine::AddQuery(
   const int64_t query_id = static_cast<int64_t>(queries_.size());
   queries_.push_back(QueryEntry{stream_id, std::move(name),
                                 core::SpringMatcher(std::move(query), options),
-                                QueryStats{}});
-  streams_[static_cast<size_t>(stream_id)].query_ids.push_back(query_id);
+                                QueryStats{}, QueryObs{}});
+  StreamEntry& stream = streams_[static_cast<size_t>(stream_id)];
+  stream.query_ids.push_back(query_id);
+  if (obs_ != nullptr) {
+    queries_.back().obs = ResolveQueryObs(stream.name, queries_.back().name,
+                                          /*vector_space=*/false);
+    obs_queries_->Set(
+        static_cast<double>(num_queries() + num_vector_queries()));
+  }
   return query_id;
 }
 
@@ -72,23 +112,57 @@ util::StatusOr<int64_t> MonitorEngine::Push(int64_t stream_id, double value) {
         "missing value pushed to a stream with repair disabled");
   }
 
-  util::Stopwatch stopwatch;
+  // Clock reads only when someone consumes them: the legacy latency
+  // histogram or an attached observability bundle.
+  const bool timed = track_latency_ || obs_ != nullptr;
+  int64_t start_nanos = 0;
+  if (timed) start_nanos = util::Stopwatch::NowNanos();
+
   int64_t reported = 0;
   core::Match match;
-  for (const int64_t query_id : stream.query_ids) {
-    QueryEntry& query = queries_[static_cast<size_t>(query_id)];
-    ++query.stats.ticks;
-    if (query.matcher.Update(value, &match)) {
-      ++query.stats.matches;
-      query.stats.output_delay.Add(
-          static_cast<double>(match.report_time - match.end));
-      Dispatch(query, match);
-      ++reported;
+  if (obs_ == nullptr) {
+    for (const int64_t query_id : stream.query_ids) {
+      QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+      ++query.stats.ticks;
+      if (query.matcher.Update(value, &match)) {
+        ++query.stats.matches;
+        query.stats.output_delay.Add(
+            static_cast<double>(match.report_time - match.end));
+        Dispatch(query, match);
+        ++reported;
+      }
+    }
+  } else {
+    stream.obs_pushes->Increment();
+    for (const int64_t query_id : stream.query_ids) {
+      QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+      ++query.stats.ticks;
+      query.obs.ticks->Increment();
+      const bool had_candidate = query.matcher.has_pending_candidate();
+      const bool had_best = query.matcher.has_best();
+      const double prev_best = query.matcher.best_distance();
+      const bool reported_here = query.matcher.Update(value, &match);
+      ObserveUpdate(query, query_id, obs::TraceSpace::kScalar, had_candidate,
+                    had_best, prev_best, reported_here);
+      if (reported_here) {
+        ++query.stats.matches;
+        query.stats.output_delay.Add(
+            static_cast<double>(match.report_time - match.end));
+        ObserveMatch(query, query_id, obs::TraceSpace::kScalar, match,
+                     obs::TraceEventKind::kMatchReported);
+        Dispatch(query, match);
+        ++reported;
+      }
     }
   }
-  if (track_latency_) {
-    push_latency_nanos_.Add(static_cast<double>(stopwatch.ElapsedNanos()));
+
+  if (timed) {
+    const double nanos =
+        static_cast<double>(util::Stopwatch::NowNanos() - start_nanos);
+    if (track_latency_) push_latency_nanos_.Add(nanos);
+    if (obs_ != nullptr) obs_push_latency_->Observe(nanos);
   }
+  if (obs_ != nullptr) MaybeReport();
   return reported;
 }
 
@@ -97,7 +171,14 @@ int64_t MonitorEngine::AddVectorStream(std::string name, int64_t dims) {
   VectorStreamEntry entry;
   entry.name = std::move(name);
   entry.dims = dims;
+  if (obs_ != nullptr) {
+    entry.obs_pushes = ResolvePushCounter(entry.name, /*vector_space=*/true);
+  }
   vector_streams_.push_back(std::move(entry));
+  if (obs_streams_ != nullptr) {
+    obs_streams_->Set(
+        static_cast<double>(num_streams() + num_vector_streams()));
+  }
   return static_cast<int64_t>(vector_streams_.size()) - 1;
 }
 
@@ -127,8 +208,15 @@ util::StatusOr<int64_t> MonitorEngine::AddVectorQuery(
   const int64_t query_id = static_cast<int64_t>(vector_queries_.size());
   vector_queries_.push_back(VectorQueryEntry{
       stream_id, std::move(name),
-      core::VectorSpringMatcher(std::move(query), options), QueryStats{}});
+      core::VectorSpringMatcher(std::move(query), options), QueryStats{},
+      QueryObs{}});
   stream.query_ids.push_back(query_id);
+  if (obs_ != nullptr) {
+    vector_queries_.back().obs = ResolveQueryObs(
+        stream.name, vector_queries_.back().name, /*vector_space=*/true);
+    obs_queries_->Set(
+        static_cast<double>(num_queries() + num_vector_queries()));
+  }
   return query_id;
 }
 
@@ -162,23 +250,57 @@ util::StatusOr<int64_t> MonitorEngine::PushRow(int64_t stream_id,
     }
   }
 
-  util::Stopwatch stopwatch;
+  const bool timed = track_latency_ || obs_ != nullptr;
+  int64_t start_nanos = 0;
+  if (timed) start_nanos = util::Stopwatch::NowNanos();
+
   int64_t reported = 0;
   core::Match match;
-  for (const int64_t query_id : stream.query_ids) {
-    VectorQueryEntry& query = vector_queries_[static_cast<size_t>(query_id)];
-    ++query.stats.ticks;
-    if (query.matcher.Update(row, &match)) {
-      ++query.stats.matches;
-      query.stats.output_delay.Add(
-          static_cast<double>(match.report_time - match.end));
-      DispatchVector(query, match);
-      ++reported;
+  if (obs_ == nullptr) {
+    for (const int64_t query_id : stream.query_ids) {
+      VectorQueryEntry& query =
+          vector_queries_[static_cast<size_t>(query_id)];
+      ++query.stats.ticks;
+      if (query.matcher.Update(row, &match)) {
+        ++query.stats.matches;
+        query.stats.output_delay.Add(
+            static_cast<double>(match.report_time - match.end));
+        DispatchVector(query, match);
+        ++reported;
+      }
+    }
+  } else {
+    stream.obs_pushes->Increment();
+    for (const int64_t query_id : stream.query_ids) {
+      VectorQueryEntry& query =
+          vector_queries_[static_cast<size_t>(query_id)];
+      ++query.stats.ticks;
+      query.obs.ticks->Increment();
+      const bool had_candidate = query.matcher.has_pending_candidate();
+      const bool had_best = query.matcher.has_best();
+      const double prev_best = query.matcher.best_distance();
+      const bool reported_here = query.matcher.Update(row, &match);
+      ObserveUpdate(query, query_id, obs::TraceSpace::kVector, had_candidate,
+                    had_best, prev_best, reported_here);
+      if (reported_here) {
+        ++query.stats.matches;
+        query.stats.output_delay.Add(
+            static_cast<double>(match.report_time - match.end));
+        ObserveMatch(query, query_id, obs::TraceSpace::kVector, match,
+                     obs::TraceEventKind::kMatchReported);
+        DispatchVector(query, match);
+        ++reported;
+      }
     }
   }
-  if (track_latency_) {
-    push_latency_nanos_.Add(static_cast<double>(stopwatch.ElapsedNanos()));
+
+  if (timed) {
+    const double nanos =
+        static_cast<double>(util::Stopwatch::NowNanos() - start_nanos);
+    if (track_latency_) push_latency_nanos_.Add(nanos);
+    if (obs_ != nullptr) obs_push_latency_->Observe(nanos);
   }
+  if (obs_ != nullptr) MaybeReport();
   return reported;
 }
 
@@ -190,25 +312,228 @@ const QueryStats& MonitorEngine::vector_stats(int64_t query_id) const {
 int64_t MonitorEngine::FlushAll() {
   int64_t reported = 0;
   core::Match match;
-  for (QueryEntry& query : queries_) {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    QueryEntry& query = queries_[i];
     if (query.matcher.Flush(&match)) {
       ++query.stats.matches;
       query.stats.output_delay.Add(
           static_cast<double>(match.report_time - match.end));
+      if (obs_ != nullptr) {
+        query.obs.candidates_flushed->Increment();
+        ObserveMatch(query, static_cast<int64_t>(i),
+                     obs::TraceSpace::kScalar, match,
+                     obs::TraceEventKind::kCandidateFlushed);
+      }
       Dispatch(query, match);
       ++reported;
     }
   }
-  for (VectorQueryEntry& query : vector_queries_) {
+  for (size_t i = 0; i < vector_queries_.size(); ++i) {
+    VectorQueryEntry& query = vector_queries_[i];
     if (query.matcher.Flush(&match)) {
       ++query.stats.matches;
       query.stats.output_delay.Add(
           static_cast<double>(match.report_time - match.end));
+      if (obs_ != nullptr) {
+        query.obs.candidates_flushed->Increment();
+        ObserveMatch(query, static_cast<int64_t>(i),
+                     obs::TraceSpace::kVector, match,
+                     obs::TraceEventKind::kCandidateFlushed);
+      }
       DispatchVector(query, match);
       ++reported;
     }
   }
   return reported;
+}
+
+void MonitorEngine::AttachObservability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    obs_push_latency_ = nullptr;
+    obs_memory_bytes_ = nullptr;
+    obs_streams_ = nullptr;
+    obs_queries_ = nullptr;
+    obs_checkpoint_saves_ = nullptr;
+    obs_checkpoint_restores_ = nullptr;
+    for (StreamEntry& stream : streams_) stream.obs_pushes = nullptr;
+    for (VectorStreamEntry& stream : vector_streams_) {
+      stream.obs_pushes = nullptr;
+    }
+    for (QueryEntry& query : queries_) query.obs = QueryObs{};
+    for (VectorQueryEntry& query : vector_queries_) query.obs = QueryObs{};
+    return;
+  }
+  ResolveEngineObs();
+  for (StreamEntry& stream : streams_) {
+    stream.obs_pushes = ResolvePushCounter(stream.name, false);
+  }
+  for (VectorStreamEntry& stream : vector_streams_) {
+    stream.obs_pushes = ResolvePushCounter(stream.name, true);
+  }
+  for (QueryEntry& query : queries_) {
+    query.obs = ResolveQueryObs(
+        streams_[static_cast<size_t>(query.stream_id)].name, query.name,
+        false);
+  }
+  for (VectorQueryEntry& query : vector_queries_) {
+    query.obs = ResolveQueryObs(
+        vector_streams_[static_cast<size_t>(query.stream_id)].name,
+        query.name, true);
+  }
+  obs_streams_->Set(static_cast<double>(num_streams() + num_vector_streams()));
+  obs_queries_->Set(static_cast<double>(num_queries() + num_vector_queries()));
+}
+
+void MonitorEngine::ResolveEngineObs() {
+  obs::MetricsRegistry& registry = obs_->registry();
+  obs_push_latency_ = registry.GetHistogram(
+      kMetricPushLatency, "Per-Push/PushRow ingest latency in nanoseconds.");
+  obs_memory_bytes_ = registry.GetGauge(
+      kMetricMemoryBytes,
+      "Aggregate matcher working-set bytes (refresh-time).");
+  obs_streams_ = registry.GetGauge(kMetricStreams,
+                                   "Registered streams (scalar + vector).");
+  obs_queries_ = registry.GetGauge(kMetricQueries,
+                                   "Registered queries (scalar + vector).");
+  obs_checkpoint_saves_ = registry.GetCounter(
+      kMetricCheckpointSaves, "Engine checkpoints serialized.");
+  obs_checkpoint_restores_ = registry.GetCounter(
+      kMetricCheckpointRestores, "Engine checkpoints restored.");
+}
+
+obs::Counter* MonitorEngine::ResolvePushCounter(
+    const std::string& stream_name, bool vector_space) {
+  return obs_->registry().GetCounter(
+      kMetricPushes, "Values ingested per stream (Push/PushRow calls).",
+      obs::Labels{{"stream", stream_name},
+                  {"space", SpaceName(vector_space)}});
+}
+
+MonitorEngine::QueryObs MonitorEngine::ResolveQueryObs(
+    const std::string& stream_name, const std::string& query_name,
+    bool vector_space) {
+  obs::MetricsRegistry& registry = obs_->registry();
+  const obs::Labels labels{{"stream", stream_name},
+                           {"query", query_name},
+                           {"space", SpaceName(vector_space)}};
+  QueryObs handles;
+  handles.ticks = registry.GetCounter(
+      kMetricTicks, "Query-ticks processed (one per query per pushed value).",
+      labels);
+  handles.matches = registry.GetCounter(
+      kMetricMatches, "Disjoint-query matches reported.", labels);
+  handles.candidates_opened = registry.GetCounter(
+      kMetricCandidatesOpened,
+      "Qualifying candidates captured where none was pending.", labels);
+  handles.candidates_flushed = registry.GetCounter(
+      kMetricCandidatesFlushed,
+      "Pending candidates emitted by an end-of-stream flush.", labels);
+  handles.best_improvements = registry.GetCounter(
+      kMetricBestImprovements,
+      "Times the running best-match (Problem 1) improved.", labels);
+  handles.cells_pruned = registry.GetCounter(
+      kMetricCellsPruned,
+      "STWM cells discarded by the max_match_length constraint "
+      "(refresh-time).",
+      labels);
+  handles.report_delay = registry.GetHistogram(
+      kMetricReportDelay,
+      "Report delay t_report - t_e in ticks (the paper's output time).",
+      labels);
+  handles.candidate_pending = registry.GetGauge(
+      kMetricCandidatePending,
+      "1 while a qualifying candidate is pending (refresh-time).", labels);
+  return handles;
+}
+
+template <typename Entry>
+void MonitorEngine::ObserveUpdate(Entry& query, int64_t query_id,
+                                  obs::TraceSpace space, bool had_candidate,
+                                  bool had_best, double prev_best,
+                                  bool reported) {
+  const auto& matcher = query.matcher;
+  // A report clears the pending candidate mid-Update, so after a report any
+  // pending candidate is a newly opened one.
+  if ((!had_candidate || reported) && matcher.has_pending_candidate()) {
+    query.obs.candidates_opened->Increment();
+    if (obs_->trace().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::TraceEventKind::kCandidateOpened;
+      event.space = space;
+      event.tick = matcher.ticks_processed() - 1;
+      event.stream_id = query.stream_id;
+      event.query_id = query_id;
+      event.start = matcher.candidate_start();
+      event.end = matcher.candidate_end();
+      event.distance = matcher.candidate_distance();
+      obs_->trace().Record(event);
+    }
+  }
+  if (matcher.has_best() &&
+      (!had_best || matcher.best_distance() < prev_best)) {
+    query.obs.best_improvements->Increment();
+    if (obs_->trace().enabled()) {
+      const core::Match best = matcher.best();
+      obs::TraceEvent event;
+      event.kind = obs::TraceEventKind::kBestImproved;
+      event.space = space;
+      event.tick = matcher.ticks_processed() - 1;
+      event.stream_id = query.stream_id;
+      event.query_id = query_id;
+      event.start = best.start;
+      event.end = best.end;
+      event.distance = best.distance;
+      obs_->trace().Record(event);
+    }
+  }
+}
+
+template <typename Entry>
+void MonitorEngine::ObserveMatch(Entry& query, int64_t query_id,
+                                 obs::TraceSpace space,
+                                 const core::Match& match,
+                                 obs::TraceEventKind kind) {
+  const int64_t delay = match.report_time - match.end;
+  query.obs.matches->Increment();
+  query.obs.report_delay->Observe(static_cast<double>(delay));
+  if (obs_->trace().enabled()) {
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.space = space;
+    event.tick = match.report_time;
+    event.stream_id = query.stream_id;
+    event.query_id = query_id;
+    event.start = match.start;
+    event.end = match.end;
+    event.distance = match.distance;
+    event.report_delay = delay;
+    obs_->trace().Record(event);
+  }
+}
+
+void MonitorEngine::MaybeReport() {
+  obs::StatsReporterSink* reporter = obs_->reporter();
+  if (reporter == nullptr || !reporter->Tick()) return;
+  RefreshObservabilityGauges();
+  reporter->Report(obs_->registry().Snapshot());
+}
+
+void MonitorEngine::RefreshObservabilityGauges() {
+  if (obs_ == nullptr) return;
+  obs_memory_bytes_->Set(static_cast<double>(Footprint().TotalBytes()));
+  obs_streams_->Set(static_cast<double>(num_streams() + num_vector_streams()));
+  obs_queries_->Set(static_cast<double>(num_queries() + num_vector_queries()));
+  const auto refresh = [](auto& query) {
+    query.obs.candidate_pending->Set(
+        query.matcher.has_pending_candidate() ? 1.0 : 0.0);
+    const int64_t pruned = query.matcher.cells_pruned_total();
+    query.obs.cells_pruned->Increment(pruned -
+                                      query.obs.cells_pruned_exported);
+    query.obs.cells_pruned_exported = pruned;
+  };
+  for (QueryEntry& query : queries_) refresh(query);
+  for (VectorQueryEntry& query : vector_queries_) refresh(query);
 }
 
 const QueryStats& MonitorEngine::stats(int64_t query_id) const {
@@ -230,7 +555,10 @@ util::MemoryFootprint MonitorEngine::Footprint() const {
 namespace {
 
 constexpr uint32_t kEngineMagic = 0x53505245;  // "SPRE"
-constexpr uint32_t kEngineVersion = 1;
+// Version 2 appends the latency-tracking flag and the push-latency
+// histogram, so latency history survives checkpoint/restore. Version 1
+// checkpoints still restore (with an empty histogram).
+constexpr uint32_t kEngineVersion = 2;
 
 void WriteStats(util::ByteWriter* writer, const QueryStats& stats) {
   writer->WriteI64(stats.ticks);
@@ -280,6 +608,18 @@ std::vector<uint8_t> MonitorEngine::SerializeState() const {
     writer.WriteBytes(snapshot);
     WriteStats(&writer, query.stats);
   }
+
+  writer.WriteBool(track_latency_);
+  push_latency_nanos_.SerializeTo(&writer);
+
+  if (obs_ != nullptr) {
+    obs_checkpoint_saves_->Increment();
+    if (obs_->trace().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::TraceEventKind::kCheckpointSave;
+      obs_->trace().Record(event);
+    }
+  }
   return writer.Take();
 }
 
@@ -297,7 +637,7 @@ util::Status MonitorEngine::RestoreState(std::span<const uint8_t> bytes) {
   if (!reader.ok() || magic != kEngineMagic) {
     return util::InvalidArgumentError("not a MonitorEngine checkpoint");
   }
-  if (version != kEngineVersion) {
+  if (version < 1 || version > kEngineVersion) {
     return util::InvalidArgumentError("unsupported checkpoint version");
   }
 
@@ -345,7 +685,7 @@ util::Status MonitorEngine::RestoreState(std::span<const uint8_t> bytes) {
       return util::InvalidArgumentError("checkpoint query has bad stream");
     }
     queries_.push_back(QueryEntry{stream_id, std::move(name),
-                                  std::move(*matcher), stats});
+                                  std::move(*matcher), stats, QueryObs{}});
     streams_[static_cast<size_t>(stream_id)].query_ids.push_back(
         static_cast<int64_t>(queries_.size()) - 1);
   }
@@ -396,9 +736,16 @@ util::Status MonitorEngine::RestoreState(std::span<const uint8_t> bytes) {
       return util::InvalidArgumentError("checkpoint dims mismatch");
     }
     vector_queries_.push_back(VectorQueryEntry{
-        stream_id, std::move(name), std::move(*matcher), stats});
+        stream_id, std::move(name), std::move(*matcher), stats, QueryObs{}});
     vector_streams_[static_cast<size_t>(stream_id)].query_ids.push_back(
         static_cast<int64_t>(vector_queries_.size()) - 1);
+  }
+
+  if (version >= 2) {
+    if (!reader.ReadBool(&track_latency_) ||
+        !push_latency_nanos_.DeserializeFrom(&reader)) {
+      return util::InvalidArgumentError("checkpoint latency state corrupt");
+    }
   }
 
   if (!reader.ok()) {
@@ -406,6 +753,17 @@ util::Status MonitorEngine::RestoreState(std::span<const uint8_t> bytes) {
   }
   if (!reader.AtEnd()) {
     return util::InvalidArgumentError("checkpoint has trailing bytes");
+  }
+
+  if (obs_ != nullptr) {
+    // Re-resolve per-stream/per-query handles for the restored topology.
+    AttachObservability(obs_);
+    obs_checkpoint_restores_->Increment();
+    if (obs_->trace().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::TraceEventKind::kCheckpointRestore;
+      obs_->trace().Record(event);
+    }
   }
   return util::Status::Ok();
 }

@@ -10,6 +10,7 @@
 #include "core/spring.h"
 #include "core/vector_spring.h"
 #include "monitor/sink.h"
+#include "obs/observability.h"
 #include "ts/repair.h"
 #include "util/memory.h"
 #include "util/stats.h"
@@ -107,6 +108,26 @@ class MonitorEngine {
     return push_latency_nanos_;
   }
 
+  /// Attaches an observability bundle: per-query counters and report-delay
+  /// histograms flow into its metrics registry, match-lifecycle events into
+  /// its trace ring, and its periodic reporter (if configured) renders a
+  /// summary line every N ingested ticks. The bundle is not owned and must
+  /// outlive the engine (or a later AttachObservability(nullptr)).
+  ///
+  /// Cost model: with no bundle attached (the default) every Push pays one
+  /// null-pointer branch — no clock reads, no allocations. With a bundle
+  /// attached, Push adds two clock reads plus a handful of pointer-indirect
+  /// counter increments; instrument handles are resolved once here and at
+  /// AddQuery time, never on the hot path.
+  void AttachObservability(obs::Observability* obs);
+  obs::Observability* observability() const { return obs_; }
+
+  /// Brings refresh-style gauges (memory bytes, pending candidates, pruned
+  /// cells) up to date in the attached registry. Call before rendering an
+  /// exposition; the periodic reporter calls it automatically. No-op when
+  /// no bundle is attached.
+  void RefreshObservabilityGauges();
+
   /// Aggregate working-set bytes across all matchers.
   util::MemoryFootprint Footprint() const;
 
@@ -123,12 +144,29 @@ class MonitorEngine {
   util::Status RestoreState(std::span<const uint8_t> bytes);
 
  private:
+  /// Pre-resolved instrument handles for one query, so the observed ingest
+  /// path performs no name or label lookups.
+  struct QueryObs {
+    obs::Counter* ticks = nullptr;
+    obs::Counter* matches = nullptr;
+    obs::Counter* candidates_opened = nullptr;
+    obs::Counter* candidates_flushed = nullptr;
+    obs::Counter* best_improvements = nullptr;
+    obs::Counter* cells_pruned = nullptr;
+    obs::Histogram* report_delay = nullptr;
+    obs::Gauge* candidate_pending = nullptr;
+    /// cells_pruned counter value already exported (the matcher keeps a
+    /// running total; the counter advances by deltas at refresh time).
+    int64_t cells_pruned_exported = 0;
+  };
+
   struct StreamEntry {
     std::string name;
     bool repair_missing = true;
     ts::StreamingRepairer repairer;
     bool repairer_seeded = false;
     std::vector<int64_t> query_ids;
+    obs::Counter* obs_pushes = nullptr;
   };
 
   struct QueryEntry {
@@ -136,12 +174,14 @@ class MonitorEngine {
     std::string name;
     core::SpringMatcher matcher;
     QueryStats stats;
+    QueryObs obs;
   };
 
   struct VectorStreamEntry {
     std::string name;
     int64_t dims = 0;
     std::vector<int64_t> query_ids;
+    obs::Counter* obs_pushes = nullptr;
   };
 
   struct VectorQueryEntry {
@@ -149,11 +189,36 @@ class MonitorEngine {
     std::string name;
     core::VectorSpringMatcher matcher;
     QueryStats stats;
+    QueryObs obs;
   };
 
   void Dispatch(const QueryEntry& query, const core::Match& match);
   void DispatchVector(const VectorQueryEntry& query,
                       const core::Match& match);
+
+  /// Resolves metric handles against the attached registry.
+  QueryObs ResolveQueryObs(const std::string& stream_name,
+                           const std::string& query_name, bool vector_space);
+  obs::Counter* ResolvePushCounter(const std::string& stream_name,
+                                   bool vector_space);
+  void ResolveEngineObs();
+
+  /// Post-Update bookkeeping for candidate-churn and best-improvement
+  /// metrics and trace events. `reported` is Update()'s return value (a
+  /// report clears the pending candidate, so a still-pending candidate
+  /// after a report is a fresh one).
+  template <typename Entry>
+  void ObserveUpdate(Entry& query, int64_t query_id, obs::TraceSpace space,
+                     bool had_candidate, bool had_best, double prev_best,
+                     bool reported);
+
+  /// Records a match-report or flush event (metrics + trace).
+  template <typename Entry>
+  void ObserveMatch(Entry& query, int64_t query_id, obs::TraceSpace space,
+                    const core::Match& match, obs::TraceEventKind kind);
+
+  /// Runs the periodic reporter if one is attached and due.
+  void MaybeReport();
 
   std::vector<StreamEntry> streams_;
   std::vector<QueryEntry> queries_;
@@ -162,6 +227,14 @@ class MonitorEngine {
   std::vector<MatchSink*> sinks_;
   bool track_latency_ = false;
   util::LogHistogram push_latency_nanos_;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Histogram* obs_push_latency_ = nullptr;
+  obs::Gauge* obs_memory_bytes_ = nullptr;
+  obs::Gauge* obs_streams_ = nullptr;
+  obs::Gauge* obs_queries_ = nullptr;
+  obs::Counter* obs_checkpoint_saves_ = nullptr;
+  obs::Counter* obs_checkpoint_restores_ = nullptr;
 };
 
 }  // namespace monitor

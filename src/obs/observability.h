@@ -1,0 +1,65 @@
+#ifndef SPRINGDTW_OBS_OBSERVABILITY_H_
+#define SPRINGDTW_OBS_OBSERVABILITY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/stats_reporter.h"
+#include "obs/trace.h"
+
+namespace springdtw {
+namespace obs {
+
+struct ObservabilityOptions {
+  /// Match-lifecycle trace ring capacity in events; 0 disables tracing
+  /// (metrics still collected).
+  int64_t trace_capacity = 0;
+  /// Render a summary line to `report_out` every N ingested ticks; 0
+  /// disables the periodic reporter.
+  int64_t report_every_ticks = 0;
+  /// Destination for periodic summary lines; must outlive the bundle.
+  /// Required when report_every_ticks > 0.
+  std::ostream* report_out = nullptr;
+};
+
+/// The observability bundle a MonitorEngine attaches to: a metrics
+/// registry, an optional bounded trace ring, and an optional periodic
+/// reporter. One bundle per engine (the registry hands out raw instrument
+/// pointers, so it must outlive the engine it is attached to).
+///
+/// Everything is off by default on the engine side: an engine without an
+/// attached bundle pays a single null-pointer branch per Push and performs
+/// no clock reads and no allocations for observability.
+class Observability {
+ public:
+  explicit Observability(const ObservabilityOptions& options = {})
+      : trace_(options.trace_capacity),
+        reporter_(options.report_every_ticks > 0
+                      ? std::make_unique<StatsReporterSink>(
+                            options.report_out, options.report_every_ticks)
+                      : nullptr) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  /// Null when the periodic reporter is disabled.
+  StatsReporterSink* reporter() { return reporter_.get(); }
+
+ private:
+  MetricsRegistry registry_;
+  TraceRing trace_;
+  std::unique_ptr<StatsReporterSink> reporter_;
+};
+
+}  // namespace obs
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_OBS_OBSERVABILITY_H_

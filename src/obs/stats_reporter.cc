@@ -1,0 +1,23 @@
+#include "obs/stats_reporter.h"
+
+#include <ostream>
+
+#include "obs/exposition.h"
+#include "util/logging.h"
+
+namespace springdtw {
+namespace obs {
+
+StatsReporterSink::StatsReporterSink(std::ostream* out, int64_t every_n_ticks)
+    : out_(out), every_n_ticks_(every_n_ticks) {
+  SPRINGDTW_CHECK(out != nullptr);
+  SPRINGDTW_CHECK_GE(every_n_ticks, 1);
+}
+
+void StatsReporterSink::Report(const MetricsSnapshot& snapshot) {
+  *out_ << RenderSummaryLine(snapshot) << "\n";
+  ++lines_reported_;
+}
+
+}  // namespace obs
+}  // namespace springdtw

@@ -1,0 +1,47 @@
+#ifndef SPRINGDTW_OBS_STATS_REPORTER_H_
+#define SPRINGDTW_OBS_STATS_REPORTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "obs/metrics.h"
+
+namespace springdtw {
+namespace obs {
+
+/// Periodic one-line metrics summary: the engine advances it once per
+/// ingested tick (Push/PushRow), and every N ticks it renders
+/// RenderSummaryLine() of the current registry state to an ostream. A
+/// "sink" in the same spirit as monitor::MatchSink — it terminates the
+/// metrics flow — but driven by ticks, not matches, so it lives in obs and
+/// does not depend on the monitor layer.
+class StatsReporterSink {
+ public:
+  /// `out` must outlive the sink; `every_n_ticks` >= 1.
+  StatsReporterSink(std::ostream* out, int64_t every_n_ticks);
+
+  /// Advances the tick counter; returns true when a summary line is due.
+  /// Cheap (one increment + compare) so the engine can call it per tick.
+  bool Tick() {
+    if (++ticks_since_report_ < every_n_ticks_) return false;
+    ticks_since_report_ = 0;
+    return true;
+  }
+
+  /// Renders one summary line of `snapshot` to the output stream.
+  void Report(const MetricsSnapshot& snapshot);
+
+  int64_t every_n_ticks() const { return every_n_ticks_; }
+  int64_t lines_reported() const { return lines_reported_; }
+
+ private:
+  std::ostream* out_;
+  int64_t every_n_ticks_;
+  int64_t ticks_since_report_ = 0;
+  int64_t lines_reported_ = 0;
+};
+
+}  // namespace obs
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_OBS_STATS_REPORTER_H_

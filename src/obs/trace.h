@@ -1,0 +1,91 @@
+#ifndef SPRINGDTW_OBS_TRACE_H_
+#define SPRINGDTW_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace springdtw {
+namespace obs {
+
+/// Match-lifecycle trace events, in the order a SPRING candidate typically
+/// moves through them.
+enum class TraceEventKind : uint8_t {
+  /// A qualifying candidate (d_m <= epsilon) was captured where none was
+  /// pending.
+  kCandidateOpened,
+  /// The matcher's running best-match (Problem 1) improved.
+  kBestImproved,
+  /// A disjoint-query match was reported from the streaming path;
+  /// report_delay carries the paper's output time t_report - t_e.
+  kMatchReported,
+  /// A still-pending candidate was emitted by an end-of-stream flush.
+  kCandidateFlushed,
+  /// The engine serialized a checkpoint.
+  kCheckpointSave,
+  /// The engine restored from a checkpoint.
+  kCheckpointRestore,
+};
+
+/// Stable lowercase name, e.g. "match_reported".
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+/// Which id space stream_id/query_id refer to.
+enum class TraceSpace : uint8_t { kScalar, kVector };
+
+/// One structured trace record. Fixed-size POD so the ring buffer never
+/// allocates after construction; names are resolved via the metrics side.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kCandidateOpened;
+  TraceSpace space = TraceSpace::kScalar;
+  /// Stream tick at which the event happened (the query's local clock).
+  int64_t tick = 0;
+  int64_t stream_id = -1;
+  int64_t query_id = -1;
+  /// Subsequence extent, where meaningful (candidate/best/match events).
+  int64_t start = 0;
+  int64_t end = 0;
+  double distance = 0.0;
+  /// kMatchReported / kCandidateFlushed only: t_report - t_e.
+  int64_t report_delay = 0;
+};
+
+/// Bounded-memory ring buffer of TraceEvents. Capacity is fixed at
+/// construction (0 = tracing disabled); once full, new events overwrite the
+/// oldest and dropped() counts what was lost. Record() is O(1) and
+/// allocation-free.
+class TraceRing {
+ public:
+  explicit TraceRing(int64_t capacity = 0);
+
+  bool enabled() const { return capacity_ > 0; }
+  int64_t capacity() const { return capacity_; }
+  /// Events currently held (<= capacity).
+  int64_t size() const;
+  /// Events ever recorded, including overwritten ones.
+  int64_t total_recorded() const { return total_; }
+  /// Events lost to wrap-around.
+  int64_t dropped() const;
+
+  void Record(const TraceEvent& event);
+  void Clear();
+
+  /// Held events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Writes one JSON object per line (JSONL), oldest first, e.g.
+  ///   {"event":"match_reported","space":"scalar","tick":42,"stream":0,
+  ///    "query":1,"start":10,"end":20,"distance":1.5,"report_delay":2}
+  void DumpJsonl(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  int64_t capacity_ = 0;
+  int64_t total_ = 0;  // ring_[total_ % capacity_] is the next write slot.
+};
+
+}  // namespace obs
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_OBS_TRACE_H_

@@ -62,6 +62,19 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void QuantileSketch::Reset() {
+  samples_.clear();
+  samples_.shrink_to_fit();
+  sorted_ = false;
+}
+
 double QuantileSketch::Quantile(double q) const {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {
@@ -83,6 +96,44 @@ void LogHistogram::Add(double value) {
     bucket = std::clamp(bucket, 0, kNumBuckets - 1);
   }
   ++buckets_[static_cast<size_t>(bucket)];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (int b = 0; b < kNumBuckets; ++b) {
+    buckets_[static_cast<size_t>(b)] +=
+        other.buckets_[static_cast<size_t>(b)];
+  }
+  count_ += other.count_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+void LogHistogram::SerializeTo(ByteWriter* writer) const {
+  writer->WriteI64(count_);
+  writer->WriteDouble(max_seen_);
+  writer->WriteInt64Vector(buckets_);
+}
+
+bool LogHistogram::DeserializeFrom(ByteReader* reader) {
+  int64_t count = 0;
+  double max_seen = 0.0;
+  std::vector<int64_t> buckets;
+  if (!reader->ReadI64(&count) || !reader->ReadDouble(&max_seen) ||
+      !reader->ReadInt64Vector(&buckets)) {
+    return false;
+  }
+  if (count < 0 || buckets.size() != static_cast<size_t>(kNumBuckets)) {
+    return false;
+  }
+  int64_t total = 0;
+  for (const int64_t b : buckets) {
+    if (b < 0) return false;
+    total += b;
+  }
+  if (total != count) return false;
+  count_ = count;
+  max_seen_ = max_seen;
+  buckets_ = std::move(buckets);
+  return true;
 }
 
 double LogHistogram::Quantile(double q) const {

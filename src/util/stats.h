@@ -60,6 +60,12 @@ class QuantileSketch {
   }
   int64_t count() const { return static_cast<int64_t>(samples_.size()); }
 
+  /// Merges another sketch's samples into this one.
+  void Merge(const QuantileSketch& other);
+
+  /// Resets to the empty state (releases sample memory).
+  void Reset();
+
   /// Exact q-quantile (0 <= q <= 1) by nearest-rank. Returns 0 when empty.
   double Quantile(double q) const;
 
@@ -81,6 +87,9 @@ class LogHistogram {
   /// Adds a non-negative observation (values are clamped into range).
   void Add(double value);
 
+  /// Merges another histogram into this one, bucket-wise.
+  void Merge(const LogHistogram& other);
+
   int64_t count() const { return count_; }
 
   /// Approximate q-quantile: returns the upper edge of the bucket where the
@@ -89,6 +98,12 @@ class LogHistogram {
 
   /// Renders a compact one-line summary: "count=... p50=... p99=... max=...".
   std::string Summary() const;
+
+  /// Appends the histogram state to `writer` (for checkpoints).
+  void SerializeTo(ByteWriter* writer) const;
+  /// Restores state written by SerializeTo; false on truncated or corrupt
+  /// input (wrong bucket count, negative counts).
+  bool DeserializeFrom(ByteReader* reader);
 
  private:
   std::vector<int64_t> buckets_;

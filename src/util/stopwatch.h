@@ -18,6 +18,15 @@ class Stopwatch {
   /// Starts the stopwatch.
   Stopwatch() : start_(Clock::now()) {}
 
+  /// Monotonic clock reading in nanoseconds, for call sites that need to
+  /// make the clock read itself conditional (e.g. the monitor engine's
+  /// zero-cost-when-disabled latency tracking).
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
   /// Restarts timing from zero.
   void Restart() { start_ = Clock::now(); }
 

@@ -140,6 +140,26 @@ TEST(EngineCheckpointTest, VectorStreamsResumeIdentically) {
   }
 }
 
+TEST(EngineCheckpointTest, LatencyHistogramSurvivesRestore) {
+  MonitorEngine original;
+  original.EnableLatencyTracking(true);
+  const int64_t stream = original.AddStream("s");
+  ASSERT_TRUE(original.AddQuery(stream, "q", {1.0, 2.0}, Options(0.5)).ok());
+  for (int t = 0; t < 50; ++t) {
+    ASSERT_TRUE(original.Push(stream, 9.0).ok());
+  }
+  ASSERT_EQ(original.push_latency_nanos().count(), 50);
+
+  MonitorEngine restored;
+  ASSERT_TRUE(restored.RestoreState(original.SerializeState()).ok());
+  EXPECT_EQ(restored.push_latency_nanos().count(), 50);
+  EXPECT_DOUBLE_EQ(restored.push_latency_nanos().Quantile(0.5),
+                   original.push_latency_nanos().Quantile(0.5));
+  // Latency tracking itself was re-enabled from the checkpoint.
+  ASSERT_TRUE(restored.Push(stream, 9.0).ok());
+  EXPECT_EQ(restored.push_latency_nanos().count(), 51);
+}
+
 TEST(EngineCheckpointTest, RestoreRequiresFreshEngine) {
   MonitorEngine original;
   original.AddStream("s");

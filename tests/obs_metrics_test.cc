@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterIncrementsAndSnapshots) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("requests_total", "total requests");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const FamilySnapshot* family = snapshot.Find("requests_total");
+  ASSERT_NE(family, nullptr);
+  EXPECT_EQ(family->kind, MetricKind::kCounter);
+  EXPECT_EQ(family->help, "total requests");
+  ASSERT_EQ(family->series.size(), 1u);
+  EXPECT_EQ(family->series[0].counter_value, 42);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry registry;
+  const Labels labels = {Label{"stream", "s0"}, Label{"query", "q0"}};
+  Counter* a = registry.GetCounter("ticks_total", "ticks", labels);
+  Counter* b = registry.GetCounter("ticks_total", "ignored later", labels);
+  EXPECT_EQ(a, b);
+
+  // Different labels -> a different series in the same family.
+  Counter* c = registry.GetCounter("ticks_total", "ticks",
+                                   {Label{"stream", "s1"}});
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.num_families(), 1);
+  EXPECT_EQ(registry.Snapshot().Find("ticks_total")->series.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, HelpIsRecordedOnFirstUseOnly) {
+  MetricsRegistry registry;
+  registry.GetGauge("depth", "first help");
+  registry.GetGauge("depth", "second help");
+  EXPECT_EQ(registry.Snapshot().Find("depth")->help, "first help");
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersStableAcrossGrowth) {
+  MetricsRegistry registry;
+  std::vector<Counter*> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(registry.GetCounter(
+        "c", "", {Label{"i", std::to_string(i)}}));
+  }
+  // Adding 100 series forced vector growth; earlier handles must still
+  // point at live instruments.
+  for (int i = 0; i < 100; ++i) handles[i]->Increment(i);
+  const FamilySnapshot* family = registry.Snapshot().Find("c");
+  ASSERT_NE(family, nullptr);
+  ASSERT_EQ(family->series.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(family->series[i].counter_value, i);
+  }
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("temperature", "");
+  g->Set(20.5);
+  g->Add(-0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 20.0);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().Find("temperature")
+                       ->series[0].gauge_value,
+                   20.0);
+}
+
+TEST(MetricsRegistryTest, HistogramExactQuantilesWhileSmall) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("latency", "");
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+  EXPECT_TRUE(h->exact());
+  EXPECT_EQ(h->count(), 100);
+  EXPECT_DOUBLE_EQ(h->sum(), 5050.0);
+  EXPECT_NEAR(h->Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h->Quantile(0.99), 99.0, 1.0);
+
+  const HistogramSnapshot snap =
+      registry.Snapshot().Find("latency")->series[0].histogram;
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.mean, 50.5);
+  EXPECT_TRUE(snap.exact);
+  EXPECT_NEAR(snap.p99, 99.0, 1.0);
+}
+
+TEST(MetricsRegistryTest, HistogramResetClears) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("latency", "");
+  h->Observe(5.0);
+  h->Reset();
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_TRUE(h->exact());
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsAPointInTimeCopy) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("n", "");
+  c->Increment(7);
+  const MetricsSnapshot before = registry.Snapshot();
+  c->Increment(100);
+  // The earlier snapshot must not see later increments.
+  EXPECT_EQ(before.Find("n")->series[0].counter_value, 7);
+  EXPECT_EQ(registry.Snapshot().Find("n")->series[0].counter_value, 107);
+}
+
+TEST(MetricsRegistryTest, FamiliesKeepRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra", "");
+  registry.GetGauge("alpha", "");
+  registry.GetHistogram("mid", "");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.families.size(), 3u);
+  EXPECT_EQ(snapshot.families[0].name, "zebra");
+  EXPECT_EQ(snapshot.families[1].name, "alpha");
+  EXPECT_EQ(snapshot.families[2].name, "mid");
+}
+
+TEST(MetricsSnapshotTest, FindReturnsNullForUnknownName) {
+  MetricsRegistry registry;
+  registry.GetCounter("known", "");
+  EXPECT_EQ(registry.Snapshot().Find("unknown"), nullptr);
+}
+
+TEST(MetricKindTest, Names) {
+  EXPECT_EQ(MetricKindName(MetricKind::kCounter), "counter");
+  EXPECT_EQ(MetricKindName(MetricKind::kGauge), "gauge");
+  EXPECT_EQ(MetricKindName(MetricKind::kHistogram), "histogram");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace springdtw

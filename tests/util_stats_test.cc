@@ -114,6 +114,105 @@ TEST(LogHistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
 }
 
+TEST(QuantileSketchTest, ResetClearsSamples) {
+  QuantileSketch q;
+  q.Add(1.0);
+  q.Add(2.0);
+  q.Reset();
+  EXPECT_EQ(q.count(), 0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 0.0);
+  q.Add(7.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 7.0);
+}
+
+TEST(QuantileSketchTest, MergeMatchesSequentialFeed) {
+  Rng rng(11);
+  QuantileSketch all;
+  QuantileSketch a;
+  QuantileSketch b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0.0, 100.0);
+    all.Add(x);
+    (i % 3 == 0 ? a : b).Add(x);
+  }
+  // Query `a` first so merge must re-sort the combined samples.
+  (void)a.Quantile(0.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), all.Quantile(q)) << q;
+  }
+}
+
+TEST(QuantileSketchTest, MergeEmptySides) {
+  QuantileSketch a;
+  QuantileSketch b;
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  QuantileSketch c;
+  a.Merge(c);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 3.0);
+}
+
+TEST(LogHistogramTest, MergeMatchesSequentialFeed) {
+  Rng rng(23);
+  LogHistogram all;
+  LogHistogram a;
+  LogHistogram b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::exp(rng.Uniform(0.0, 15.0));
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), all.Quantile(q)) << q;
+  }
+}
+
+TEST(LogHistogramTest, SerializeRoundTrips) {
+  LogHistogram h;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) h.Add(std::exp(rng.Uniform(0.0, 10.0)));
+
+  ByteWriter writer;
+  h.SerializeTo(&writer);
+  ByteReader reader(writer.buffer());
+  LogHistogram restored;
+  ASSERT_TRUE(restored.DeserializeFrom(&reader));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored.count(), h.count());
+  for (const double q : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(restored.Quantile(q), h.Quantile(q)) << q;
+  }
+}
+
+TEST(LogHistogramTest, DeserializeRejectsCorruptBuckets) {
+  // count=1 but bucket totals sum to 0 -> inconsistent.
+  ByteWriter writer;
+  writer.WriteI64(1);       // count_
+  writer.WriteDouble(0.0);  // max_seen_
+  writer.WriteInt64Vector(std::vector<int64_t>(LogHistogram::kNumBuckets, 0));
+  ByteReader reader(writer.buffer());
+  LogHistogram h;
+  EXPECT_FALSE(h.DeserializeFrom(&reader));
+}
+
+TEST(LogHistogramTest, DeserializeRejectsTruncation) {
+  LogHistogram h;
+  h.Add(2.0);
+  ByteWriter writer;
+  h.SerializeTo(&writer);
+  std::vector<uint8_t> bytes = writer.buffer();
+  bytes.resize(bytes.size() / 2);
+  ByteReader reader(bytes);
+  LogHistogram restored;
+  EXPECT_FALSE(restored.DeserializeFrom(&reader));
+}
+
 }  // namespace
 }  // namespace util
 }  // namespace springdtw

@@ -3,16 +3,30 @@
 //   springdtw_match --stream=chirp_stream.csv --query=chirp_query.csv
 //       --epsilon=100 [--distance=squared|absolute] [--max_length=0]
 //       [--min_length=0] [--topk=0] [--paths]
+//       [--metrics=prom|json] [--metrics_out=FILE]
+//       [--trace_out=FILE] [--trace_capacity=4096] [--report_every=0]
 //
 // Files may be CSV (one value per line, "nan" = missing, repaired
 // hold-last) or the binary .sdtw format. With --topk=K the threshold is
 // ignored and the K best disjoint matches are printed instead. With
 // --paths each match's warping-path step counts are printed too.
+//
+// Observability (threshold mode only): --metrics renders the engine's
+// metrics registry after the run — Prometheus text or JSON — to stdout or
+// --metrics_out. --trace_out dumps the match-lifecycle trace ring as JSONL.
+// --report_every=N prints a one-line metrics summary to stderr every N
+// ticks.
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/subsequence_scan.h"
+#include "monitor/engine.h"
+#include "monitor/sink.h"
+#include "obs/exposition.h"
+#include "obs/observability.h"
 #include "ts/binary_io.h"
 #include "ts/csv.h"
 #include "ts/repair.h"
@@ -28,6 +42,83 @@ util::StatusOr<ts::Series> LoadSeries(const std::string& path) {
     return ts::ReadSeriesBinary(path);
   }
   return ts::ReadSeriesCsv(path);
+}
+
+// Writes `text` to `path`, or to stdout when path is empty or "-".
+bool WriteOutput(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+// Threshold-mode matching through the MonitorEngine with an observability
+// bundle attached; renders metrics / trace afterwards.
+int RunObserved(const ts::Series& stream, const ts::Series& query,
+                const core::SpringOptions& options,
+                const std::string& metrics_format,
+                const std::string& metrics_out, const std::string& trace_out,
+                int64_t trace_capacity, int64_t report_every) {
+  obs::ObservabilityOptions obs_options;
+  obs_options.trace_capacity = trace_capacity;
+  obs_options.report_every_ticks = report_every;
+  obs_options.report_out = &std::cerr;
+  obs::Observability observability(obs_options);
+
+  monitor::MonitorEngine engine;
+  engine.AttachObservability(&observability);
+  // The stream is already repaired here; keep engine-side repair off.
+  const int64_t stream_id = engine.AddStream("stream", false);
+  const auto query_id =
+      engine.AddQuery(stream_id, "query", query.values(), options);
+  if (!query_id.ok()) {
+    std::fprintf(stderr, "%s\n", query_id.status().ToString().c_str());
+    return 1;
+  }
+  int64_t count = 0;
+  monitor::CallbackSink printer(
+      [&count](const monitor::MatchOrigin&, const core::Match& match) {
+        std::printf("%s\n", match.ToString().c_str());
+        ++count;
+      });
+  engine.AddSink(&printer);
+
+  for (int64_t t = 0; t < stream.size(); ++t) {
+    const auto pushed = engine.Push(stream_id, stream[t]);
+    if (!pushed.ok()) {
+      std::fprintf(stderr, "%s\n", pushed.status().ToString().c_str());
+      return 1;
+    }
+  }
+  engine.FlushAll();
+  std::printf("# %lld matches\n", static_cast<long long>(count));
+
+  engine.RefreshObservabilityGauges();
+  if (!metrics_format.empty()) {
+    const obs::MetricsSnapshot snapshot =
+        observability.registry().Snapshot();
+    const std::string rendered = metrics_format == "prom"
+                                     ? obs::RenderPrometheus(snapshot)
+                                     : obs::RenderJson(snapshot) + "\n";
+    if (!WriteOutput(metrics_out, rendered)) return 1;
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    observability.trace().DumpJsonl(out);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -75,6 +166,12 @@ int main(int argc, char** argv) {
   const int64_t topk = flags.GetInt64("topk", 0);
 
   if (topk > 0) {
+    if (!flags.GetString("metrics", "").empty() ||
+        !flags.GetString("trace_out", "").empty()) {
+      std::fprintf(stderr, "--metrics/--trace_out do not combine with "
+                           "--topk\n");
+      return 2;
+    }
     const auto matches =
         core::TopKDisjointMatches(repaired, *query, topk, distance);
     for (const core::Match& m : matches) {
@@ -88,6 +185,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "need --epsilon>=0 (or --topk=K)\n");
     return 2;
   }
+
+  const std::string metrics_format = flags.GetString("metrics", "");
+  const std::string trace_out = flags.GetString("trace_out", "");
+  if (!metrics_format.empty() && metrics_format != "prom" &&
+      metrics_format != "json") {
+    std::fprintf(stderr, "--metrics must be 'prom' or 'json'\n");
+    return 2;
+  }
+  if (!metrics_format.empty() || !trace_out.empty()) {
+    if (flags.GetBool("paths", false)) {
+      std::fprintf(stderr, "--metrics/--trace_out do not combine with "
+                           "--paths\n");
+      return 2;
+    }
+    core::SpringOptions options;
+    options.epsilon = epsilon;
+    options.local_distance = distance;
+    options.max_match_length = flags.GetInt64("max_length", 0);
+    options.min_match_length = flags.GetInt64("min_length", 0);
+    return RunObserved(repaired, *query, options, metrics_format,
+                       flags.GetString("metrics_out", ""), trace_out,
+                       flags.GetInt64("trace_capacity", 4096),
+                       flags.GetInt64("report_every", 0));
+  }
+
   if (flags.GetBool("paths", false)) {
     const auto matches =
         core::DisjointPathMatches(repaired, *query, epsilon, distance);

@@ -1,0 +1,274 @@
+// springdtw_metrics_check: validate a metrics JSON blob produced by
+// `springdtw_match --metrics=json` (or bench MetricsEmitter output).
+//
+//   springdtw_metrics_check --in=metrics.json
+//       [--require=spring_ticks_total,spring_matches_total]
+//
+// Exit 0 iff the file is syntactically valid JSON, has a top-level
+// "metrics" array of family objects, and every --require name appears as a
+// family "name". Used by the ctest smoke test so CI catches a broken
+// exposition path without external JSON tooling.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+// Minimal recursive-descent JSON syntax checker. It does not build a
+// document tree; it validates syntax and invokes a callback for every
+// "name":"<value>" string pair so the caller can collect family names.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Validate() {
+    SkipWhitespace();
+    if (!ParseValue()) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      error_ = "trailing characters";
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + springdtw::util::StrFormat(
+                             " at byte %zu", pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ParseValue() {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        std::string ignored;
+        return ParseString(&ignored);
+      }
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseLiteral(const std::string& literal) {
+    if (text_.compare(pos_, literal.size(), literal) == 0) {
+      pos_ += literal.size();
+      return true;
+    }
+    return Fail("bad literal");
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    double parsed = 0.0;
+    if (!springdtw::util::ParseDouble(text_.substr(start, pos_ - start),
+                                      &parsed)) {
+      return Fail("malformed number");
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          out->push_back('?');  // Names we match against are ASCII.
+        } else if (esc == '"' || esc == '\\' || esc == '/' || esc == 'b' ||
+                   esc == 'f' || esc == 'n' || esc == 'r' || esc == 't') {
+          out->push_back(esc);
+        } else {
+          return Fail("bad escape");
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return false;
+      SkipWhitespace();
+      if (key == "name" && pos_ < text_.size() && text_[pos_] == '"') {
+        std::string value;
+        if (!ParseString(&value)) return false;
+        names_.push_back(value);
+      } else {
+        if (!ParseValue()) return false;
+      }
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (!ParseValue()) return false;
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  springdtw::util::FlagParser flags(argc, argv);
+  std::string path = flags.GetString("in", "");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional()[0];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --in=metrics.json [--require=name1,name2]\n",
+                 flags.program_name().c_str());
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "%s is empty\n", path.c_str());
+    return 1;
+  }
+
+  JsonChecker checker(text);
+  if (!checker.Validate()) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                 checker.error().c_str());
+    return 1;
+  }
+  if (text.find("\"metrics\"") == std::string::npos) {
+    std::fprintf(stderr, "%s: no top-level \"metrics\" key\n", path.c_str());
+    return 1;
+  }
+
+  int missing = 0;
+  const std::string require = flags.GetString("require", "");
+  if (!require.empty()) {
+    for (const std::string& name : springdtw::util::Split(require, ',')) {
+      bool found = false;
+      for (const std::string& have : checker.names()) {
+        if (have == name) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "%s: missing required metric family '%s'\n",
+                     path.c_str(), name.c_str());
+        ++missing;
+      }
+    }
+  }
+  if (missing > 0) return 1;
+  std::printf("%s: ok (%zu metric families)\n", path.c_str(),
+              checker.names().size());
+  return 0;
+}
