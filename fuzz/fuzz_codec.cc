@@ -1,0 +1,152 @@
+// Fuzz harness for util::ByteReader / ByteWriter — the codec underneath
+// every snapshot, checkpoint, and binary series file.
+//
+// Two phases per input:
+//  1. Decode: drive a ByteReader over the raw bytes with an input-selected
+//     rotation of Read* calls, asserting the reader's own contract — the
+//     cursor only moves forward and stays in bounds, a failure is sticky,
+//     and post-failure reads hand back zero-initialized values.
+//  2. Round-trip: derive values from the input, encode them with
+//     ByteWriter, and assert ByteReader reads back exactly what was
+//     written (varints of every magnitude plus a length-prefixed frame).
+//
+// Property violations abort (the fuzzer treats that as a crash); under the
+// replay driver an abort fails the ctest smoke.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/codec.h"
+
+namespace {
+
+using springdtw::util::ByteReader;
+using springdtw::util::ByteWriter;
+
+void Require(bool condition) {
+  if (!condition) std::abort();
+}
+
+void DecodePhase(const uint8_t* data, size_t size) {
+  if (size == 0) return;
+  const size_t payload = size - 1;
+  ByteReader reader(std::span<const uint8_t>(data + 1, payload));
+  size_t last_position = 0;
+  unsigned op = data[0];
+  while (reader.ok() && !reader.AtEnd()) {
+    switch (op++ % 11) {
+      case 0: {
+        uint8_t v = 0;
+        reader.ReadU8(&v);
+        break;
+      }
+      case 1: {
+        uint32_t v = 0;
+        reader.ReadU32(&v);
+        break;
+      }
+      case 2: {
+        uint64_t v = 0;
+        reader.ReadU64(&v);
+        break;
+      }
+      case 3: {
+        int64_t v = 0;
+        reader.ReadI64(&v);
+        break;
+      }
+      case 4: {
+        uint64_t v = 0;
+        reader.ReadVarU64(&v);
+        break;
+      }
+      case 5: {
+        double v = 0.0;
+        reader.ReadDouble(&v);
+        break;
+      }
+      case 6: {
+        bool v = false;
+        reader.ReadBool(&v);
+        break;
+      }
+      case 7: {
+        std::string v;
+        reader.ReadString(&v);
+        Require(v.size() <= payload);
+        break;
+      }
+      case 8: {
+        std::vector<double> v;
+        reader.ReadDoubleVector(&v);
+        Require(v.size() * sizeof(double) <= payload);
+        break;
+      }
+      case 9: {
+        std::vector<int64_t> v;
+        reader.ReadInt64Vector(&v);
+        Require(v.size() * sizeof(int64_t) <= payload);
+        break;
+      }
+      case 10: {
+        std::span<const uint8_t> v;
+        reader.ReadBytesSpan(&v);
+        Require(v.size() <= payload);
+        break;
+      }
+    }
+    Require(reader.position() >= last_position);
+    Require(reader.position() <= payload);
+    Require(reader.remaining() == payload - reader.position());
+    last_position = reader.position();
+  }
+  if (!reader.ok()) {
+    // Failure is sticky and post-failure reads zero-initialize.
+    uint64_t v = 99;
+    Require(!reader.ReadU64(&v));
+    Require(v == 0);
+    Require(!reader.ok());
+  }
+}
+
+void RoundTripPhase(const uint8_t* data, size_t size) {
+  ByteWriter writer;
+  std::vector<uint64_t> varints;
+  size_t i = 0;
+  while (i + 8 <= size && varints.size() < 64) {
+    uint64_t v = 0;
+    std::memcpy(&v, data + i, sizeof(v));
+    i += sizeof(v);
+    // Vary magnitude so all 1..10-byte LEB128 encodings get exercised.
+    v >>= (v & 63);
+    writer.WriteVarU64(v);
+    varints.push_back(v);
+  }
+  const std::span<const uint8_t> tail(data + i, size - i);
+  writer.WriteBytes(tail);
+
+  ByteReader reader(writer.buffer());
+  for (const uint64_t expect : varints) {
+    uint64_t got = 0;
+    Require(reader.ReadVarU64(&got));
+    Require(got == expect);
+  }
+  std::span<const uint8_t> frame;
+  Require(reader.ReadBytesSpan(&frame));
+  Require(frame.size() == tail.size());
+  Require(std::equal(frame.begin(), frame.end(), tail.begin()));
+  Require(reader.AtEnd());
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  DecodePhase(data, size);
+  RoundTripPhase(data, size);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Writes valid snapshot/checkpoint seed inputs for fuzz_checkpoint into the
+// directory given as argv[1]. Run as a ctest fixture so the smoke replay
+// always exercises the parse-succeeds path (the committed corpus covers the
+// reject paths with handcrafted corrupt files, which stay valid even if the
+// snapshot format rolls its version).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/spring.h"
+#include "core/vector_spring.h"
+#include "monitor/engine.h"
+#include "ts/vector_series.h"
+
+namespace {
+
+bool WriteFile(const std::filesystem::path& path,
+               const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path dir(argv[1]);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  using springdtw::core::Match;
+  using springdtw::core::SpringMatcher;
+  using springdtw::core::SpringOptions;
+  using springdtw::core::VectorSpringMatcher;
+
+  bool ok = true;
+  Match match;
+
+  // Scalar matcher: fresh, mid-stream, and with a pending candidate.
+  {
+    SpringOptions options;
+    options.epsilon = 2.0;
+    SpringMatcher matcher({1.0, 2.0, 3.0}, options);
+    ok = WriteFile(dir / "scalar_fresh.bin", matcher.SerializeState()) && ok;
+    for (const double x : {5.0, 1.1, 2.0, 2.9, 5.0, 6.0}) {
+      matcher.Update(x, &match);
+    }
+    ok = WriteFile(dir / "scalar_mid.bin", matcher.SerializeState()) && ok;
+  }
+  {
+    SpringOptions options;
+    options.epsilon = 0.5;
+    SpringMatcher matcher({1.0, 2.0}, options);
+    for (const double x : {9.0, 1.0, 2.0}) matcher.Update(x, &match);
+    ok = WriteFile(dir / "scalar_candidate.bin", matcher.SerializeState()) &&
+         ok;
+  }
+
+  // Vector matcher, 2-dimensional.
+  {
+    springdtw::ts::VectorSeries query(2, "q");
+    query.AppendRow(std::vector<double>{0.0, 1.0});
+    query.AppendRow(std::vector<double>{1.0, 0.0});
+    SpringOptions options;
+    options.epsilon = 1.0;
+    VectorSpringMatcher matcher(std::move(query), options);
+    for (int t = 0; t < 5; ++t) {
+      const std::vector<double> row = {0.1 * t, 1.0 - 0.1 * t};
+      matcher.Update(row, &match);
+    }
+    ok = WriteFile(dir / "vector_mid.bin", matcher.SerializeState()) && ok;
+  }
+
+  // Engine checkpoint: two scalar streams, one vector stream, mixed queries.
+  {
+    springdtw::monitor::MonitorEngine engine;
+    const int64_t s0 = engine.AddStream("cpu");
+    const int64_t s1 = engine.AddStream("temp", /*repair_missing=*/false);
+    SpringOptions options;
+    options.epsilon = 4.0;
+    (void)engine.AddQuery(s0, "spike", {0.0, 1.0, 0.0}, options);
+    (void)engine.AddQuery(s1, "ramp", {1.0, 2.0, 3.0, 4.0}, options);
+    springdtw::ts::VectorSeries query(2, "diag");
+    query.AppendRow(std::vector<double>{0.0, 0.0});
+    query.AppendRow(std::vector<double>{1.0, 1.0});
+    const int64_t v0 = engine.AddVectorStream("gyro", 2);
+    (void)engine.AddVectorQuery(v0, "diag", std::move(query), options);
+    for (int t = 0; t < 12; ++t) {
+      (void)engine.Push(s0, 0.5 * t);
+      (void)engine.Push(s1, 12.0 - t);
+      const std::vector<double> row = {0.25 * t, 0.25 * t};
+      (void)engine.PushRow(v0, row);
+    }
+    ok = WriteFile(dir / "engine_mixed.bin", engine.SerializeState()) && ok;
+  }
+
+  if (!ok) {
+    std::fprintf(stderr, "failed writing seed corpus to %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("seed corpus written to %s\n", argv[1]);
+  return 0;
+}

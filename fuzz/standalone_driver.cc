@@ -1,0 +1,63 @@
+// Corpus-replay driver for toolchains without libFuzzer (gcc, this repo's
+// default). Each fuzz harness defines LLVMFuzzerTestOneInput; under clang
+// the real libFuzzer runtime is linked instead and this file is omitted
+// (see fuzz/CMakeLists.txt). Arguments are corpus files or directories;
+// libFuzzer-style "-flag" arguments are ignored so the same ctest command
+// line works for both drivers. Exits non-zero if no input could be
+// replayed — a silent empty run would look green while testing nothing.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReplayFile(const fs::path& path, int* replayed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return false;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  ++*replayed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag.
+    const fs::path path(arg);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) {
+          ok = ReplayFile(entry.path(), &replayed) && ok;
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      ok = ReplayFile(path, &replayed) && ok;
+    } else {
+      std::fprintf(stderr, "no such corpus input: %s\n", arg.c_str());
+      ok = false;
+    }
+  }
+  std::fprintf(stderr, "replayed %d corpus inputs\n", replayed);
+  if (replayed == 0) {
+    std::fprintf(stderr, "error: empty corpus\n");
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

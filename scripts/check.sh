@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Correctness matrix for springdtw (docs/CORRECTNESS.md):
+#
+#   default     Release build + full ctest suite (includes the fuzz corpus
+#               smokes and the lint ctest entry)
+#   asan-ubsan  AddressSanitizer + UBSan preset, invariant checks forced on
+#   tsan        ThreadSanitizer preset (concurrency tests), invariant
+#               checks forced on
+#   lint        tools/springdtw_lint over src/ (also runs inside ctest;
+#               this leg gives it a named line in the summary)
+#   fuzz-smoke  Replays the seed corpora through the fuzz harnesses
+#
+# Usage: scripts/check.sh [leg ...]   (no args = all legs)
+# Exits non-zero if any leg fails; prints a per-leg summary either way.
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+LEGS=("$@")
+if [ ${#LEGS[@]} -eq 0 ]; then
+  LEGS=(default asan-ubsan tsan lint fuzz-smoke)
+fi
+
+NAMES=()
+RESULTS=()
+
+build_and_test_preset() {
+  local preset="$1"
+  cmake --preset "$preset" &&
+    cmake --build --preset "$preset" -j"$JOBS" &&
+    ctest --preset "$preset" -j"$JOBS"
+}
+
+leg_default() { build_and_test_preset default; }
+leg_asan_ubsan() { build_and_test_preset asan-ubsan; }
+leg_tsan() { build_and_test_preset tsan; }
+
+leg_lint() {
+  cmake --preset default &&
+    cmake --build --preset default -j"$JOBS" --target springdtw_lint &&
+    ./build/tools/springdtw_lint src
+}
+
+leg_fuzz_smoke() {
+  cmake --preset default &&
+    cmake --build --preset default -j"$JOBS" \
+      --target fuzz_csv fuzz_codec fuzz_checkpoint fuzz_gen_seed_corpus &&
+    ctest --test-dir build -R '^fuzz_' --output-on-failure
+}
+
+run_leg() {
+  local leg="$1"
+  echo
+  echo "=== check.sh leg: ${leg} ==="
+  local status=PASS
+  case "$leg" in
+    default) leg_default || status=FAIL ;;
+    asan-ubsan) leg_asan_ubsan || status=FAIL ;;
+    tsan) leg_tsan || status=FAIL ;;
+    lint) leg_lint || status=FAIL ;;
+    fuzz-smoke) leg_fuzz_smoke || status=FAIL ;;
+    *)
+      echo "unknown leg: ${leg} (known: default asan-ubsan tsan lint" \
+        "fuzz-smoke)"
+      status=FAIL
+      ;;
+  esac
+  NAMES+=("$leg")
+  RESULTS+=("$status")
+}
+
+for leg in "${LEGS[@]}"; do
+  run_leg "$leg"
+done
+
+echo
+echo "=== check.sh summary ==="
+exit_code=0
+for i in "${!NAMES[@]}"; do
+  printf '  %-12s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}"
+  if [ "${RESULTS[$i]}" != PASS ]; then
+    exit_code=1
+  fi
+done
+exit "$exit_code"

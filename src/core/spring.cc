@@ -1,8 +1,10 @@
 #include "core/spring.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "core/invariants.h"
 #include "util/codec.h"
 #include "util/logging.h"
 
@@ -42,6 +44,7 @@ void SpringMatcher::Reset() {
   has_best_ = false;
   best_ = Match{};
   cells_pruned_ = 0;
+  last_report_end_ = -1;
 }
 
 bool SpringMatcher::Update(double x, Match* match) {
@@ -90,6 +93,22 @@ bool SpringMatcher::UpdateImpl(double x, Match* match, Dist dist) {
     }
   }
 
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  // Debug-gated STWM invariant checks (docs/CORRECTNESS.md). The column
+  // view stays valid through the tick; the report check below reads it
+  // before the post-report kill mutates it.
+  const invariants::StwmColumn inv_column{
+      std::span<const double>(d_.data(), d_.size()),
+      std::span<const int64_t>(s_.data(), s_.size()),
+      std::span<const double>(d_prev_.data(), d_prev_.size()),
+      std::span<const int64_t>(s_prev_.data(), s_prev_.size()), t};
+  {
+    const std::string violation = invariants::CheckColumn(inv_column);
+    SPRINGDTW_CHECK(violation.empty()) << violation;
+  }
+  const double inv_prev_best = has_best_ ? best_.distance : kInf;
+#endif
+
   const double dm = d_[static_cast<size_t>(m)];
   const int64_t sm = s_[static_cast<size_t>(m)];
   const bool long_enough =
@@ -106,6 +125,14 @@ bool SpringMatcher::UpdateImpl(double x, Match* match, Dist dist) {
     best_.group_start = sm;
     best_.group_end = t;
   }
+
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  if (has_best_) {
+    const std::string violation =
+        invariants::CheckBest(best_, inv_prev_best);
+    SPRINGDTW_CHECK(violation.empty()) << violation;
+  }
+#endif
 
   // --- Disjoint-query algorithm (the paper's Figure 4), verbatim order:
   // first the report check against the *current* arrays, then the candidate
@@ -129,6 +156,19 @@ bool SpringMatcher::UpdateImpl(double x, Match* match, Dist dist) {
         match->group_start = group_start_;
         match->group_end = group_end_;
       }
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+      {
+        Match inv_match;
+        inv_match.start = ts_;
+        inv_match.end = te_;
+        inv_match.distance = dmin_;
+        inv_match.report_time = t;
+        const std::string violation = invariants::CheckReport(
+            inv_column, inv_match, options_.epsilon, last_report_end_);
+        SPRINGDTW_CHECK(violation.empty()) << violation;
+        last_report_end_ = te_;
+      }
+#endif
       reported = true;
       // Reset d_min and kill every cell whose path started inside the
       // reported group, so upcoming candidates are disjoint from it.
@@ -163,6 +203,15 @@ bool SpringMatcher::UpdateImpl(double x, Match* match, Dist dist) {
     }
   }
 
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  if (has_candidate_) {
+    const std::string violation =
+        invariants::CheckCandidate(inv_column, dmin_, ts_, te_, group_start_,
+                                   group_end_, options_.epsilon);
+    SPRINGDTW_CHECK(violation.empty()) << violation;
+  }
+#endif
+
   std::swap(d_, d_prev_);
   std::swap(s_, s_prev_);
   ++t_;
@@ -179,6 +228,12 @@ bool SpringMatcher::Flush(Match* match) {
     match->group_start = group_start_;
     match->group_end = group_end_;
   }
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  SPRINGDTW_CHECK(ts_ > last_report_end_)
+      << "STWM invariant 'reports-disjoint' violated at flush: start "
+      << ts_ << " overlaps previous report ending at " << last_report_end_;
+  last_report_end_ = te_;
+#endif
   has_candidate_ = false;
   dmin_ = kInf;
   // Kill cells belonging to the flushed group, mirroring the report path,
@@ -224,6 +279,15 @@ std::vector<uint8_t> SpringMatcher::SerializeState() const {
   writer.WriteI64(best_.report_time);
   writer.WriteI64(best_.group_start);
   writer.WriteI64(best_.group_end);
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  {
+    // Round-trip equivalence: the bytes we just produced must restore to a
+    // matcher that serializes identically. Re-entrant serialize calls made
+    // by the check itself short-circuit inside CheckSnapshotRoundTrip.
+    const std::string violation = invariants::CheckSnapshotRoundTrip(*this);
+    SPRINGDTW_CHECK(violation.empty()) << violation;
+  }
+#endif
   return writer.Take();
 }
 
@@ -255,6 +319,11 @@ util::StatusOr<SpringMatcher> SpringMatcher::DeserializeState(
   std::vector<double> query;
   if (!reader.ReadDoubleVector(&query) || query.empty()) {
     return util::InvalidArgumentError("snapshot query missing or empty");
+  }
+  for (const double v : query) {
+    if (std::isnan(v)) {
+      return util::InvalidArgumentError("snapshot query contains NaN");
+    }
   }
 
   SpringMatcher matcher(std::move(query), options);
@@ -288,6 +357,42 @@ util::StatusOr<SpringMatcher> SpringMatcher::DeserializeState(
   }
   if (matcher.t_ < 0) {
     return util::InvalidArgumentError("snapshot has negative tick counter");
+  }
+
+  // Semantic validation: the structural checks above guarantee shapes; these
+  // guarantee the state is one a real matcher could actually have been in,
+  // so resuming the stream cannot violate the STWM invariants
+  // (docs/CORRECTNESS.md). Crafted/corrupt snapshots that parse but encode
+  // impossible state are rejected here rather than poisoning the matcher.
+  const int64_t last_tick = matcher.t_ > 0 ? matcher.t_ - 1 : 0;
+  if (matcher.d_prev_[0] != 0.0 || matcher.s_prev_[0] != last_tick) {
+    return util::InvalidArgumentError("snapshot star row corrupt");
+  }
+  for (size_t i = 1; i < matcher.d_prev_.size(); ++i) {
+    const double d = matcher.d_prev_[i];
+    const int64_t s = matcher.s_prev_[i];
+    if (std::isnan(d) || d < 0.0 || s < 0 || s > last_tick) {
+      return util::InvalidArgumentError("snapshot STWM row corrupt");
+    }
+  }
+  if (matcher.has_candidate_) {
+    if (matcher.t_ == 0 || std::isnan(matcher.dmin_) || matcher.dmin_ < 0.0 ||
+        matcher.dmin_ > matcher.options_.epsilon || matcher.ts_ < 0 ||
+        matcher.ts_ > matcher.te_ || matcher.te_ > last_tick ||
+        matcher.group_start_ < 0 || matcher.group_start_ > matcher.ts_ ||
+        matcher.group_end_ < matcher.te_ || matcher.group_end_ > last_tick) {
+      return util::InvalidArgumentError("snapshot candidate corrupt");
+    }
+  }
+  if (matcher.has_best_) {
+    if (matcher.t_ == 0 || std::isnan(matcher.best_.distance) ||
+        matcher.best_.distance < 0.0 || matcher.best_.start < 0 ||
+        matcher.best_.start > matcher.best_.end ||
+        matcher.best_.end > last_tick ||
+        matcher.best_.report_time < matcher.best_.end ||
+        matcher.best_.report_time > last_tick) {
+      return util::InvalidArgumentError("snapshot best-match corrupt");
+    }
   }
   return matcher;
 }

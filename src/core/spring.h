@@ -177,6 +177,13 @@ class SpringMatcher {
 
   // Observability: cells discarded by the length-constraint pruning.
   int64_t cells_pruned_ = 0;
+
+  // End of the most recently reported match, used by the debug-gated
+  // invariant checker to assert reports stay disjoint. -1 when nothing has
+  // been reported. Not serialized: a restored matcher re-baselines (a
+  // checkpoint can only hold state from after the previous report's group
+  // was killed, so no false violation is possible).
+  int64_t last_report_end_ = -1;
 };
 
 }  // namespace core

@@ -1,8 +1,10 @@
 #include "core/vector_spring.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "core/invariants.h"
 #include "dtw/local_distance.h"
 #include "util/codec.h"
 #include "util/logging.h"
@@ -42,6 +44,7 @@ void VectorSpringMatcher::Reset() {
   has_best_ = false;
   best_ = Match{};
   cells_pruned_ = 0;
+  last_report_end_ = -1;
 }
 
 bool VectorSpringMatcher::Update(std::span<const double> row, Match* match) {
@@ -77,6 +80,21 @@ bool VectorSpringMatcher::Update(std::span<const double> row, Match* match) {
     }
   }
 
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  // Debug-gated STWM invariant checks (docs/CORRECTNESS.md); mirrors the
+  // scalar matcher's wiring.
+  const invariants::StwmColumn inv_column{
+      std::span<const double>(d_.data(), d_.size()),
+      std::span<const int64_t>(s_.data(), s_.size()),
+      std::span<const double>(d_prev_.data(), d_prev_.size()),
+      std::span<const int64_t>(s_prev_.data(), s_prev_.size()), t};
+  {
+    const std::string violation = invariants::CheckColumn(inv_column);
+    SPRINGDTW_CHECK(violation.empty()) << violation;
+  }
+  const double inv_prev_best = has_best_ ? best_.distance : kInf;
+#endif
+
   const double dm = d_[static_cast<size_t>(m)];
   const int64_t sm = s_[static_cast<size_t>(m)];
   const bool long_enough =
@@ -92,6 +110,14 @@ bool VectorSpringMatcher::Update(std::span<const double> row, Match* match) {
     best_.group_start = sm;
     best_.group_end = t;
   }
+
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  if (has_best_) {
+    const std::string violation =
+        invariants::CheckBest(best_, inv_prev_best);
+    SPRINGDTW_CHECK(violation.empty()) << violation;
+  }
+#endif
 
   bool reported = false;
   if (has_candidate_ && dmin_ <= options_.epsilon) {
@@ -112,6 +138,19 @@ bool VectorSpringMatcher::Update(std::span<const double> row, Match* match) {
         match->group_start = group_start_;
         match->group_end = group_end_;
       }
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+      {
+        Match inv_match;
+        inv_match.start = ts_;
+        inv_match.end = te_;
+        inv_match.distance = dmin_;
+        inv_match.report_time = t;
+        const std::string violation = invariants::CheckReport(
+            inv_column, inv_match, options_.epsilon, last_report_end_);
+        SPRINGDTW_CHECK(violation.empty()) << violation;
+        last_report_end_ = te_;
+      }
+#endif
       reported = true;
       dmin_ = kInf;
       has_candidate_ = false;
@@ -141,6 +180,15 @@ bool VectorSpringMatcher::Update(std::span<const double> row, Match* match) {
     }
   }
 
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  if (has_candidate_) {
+    const std::string violation =
+        invariants::CheckCandidate(inv_column, dmin_, ts_, te_, group_start_,
+                                   group_end_, options_.epsilon);
+    SPRINGDTW_CHECK(violation.empty()) << violation;
+  }
+#endif
+
   std::swap(d_, d_prev_);
   std::swap(s_, s_prev_);
   ++t_;
@@ -157,6 +205,12 @@ bool VectorSpringMatcher::Flush(Match* match) {
     match->group_start = group_start_;
     match->group_end = group_end_;
   }
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  SPRINGDTW_CHECK(ts_ > last_report_end_)
+      << "STWM invariant 'reports-disjoint' violated at flush: start "
+      << ts_ << " overlaps previous report ending at " << last_report_end_;
+  last_report_end_ = te_;
+#endif
   has_candidate_ = false;
   dmin_ = kInf;
   for (size_t i = 1; i < d_prev_.size(); ++i) {
@@ -199,6 +253,12 @@ std::vector<uint8_t> VectorSpringMatcher::SerializeState() const {
   writer.WriteI64(best_.report_time);
   writer.WriteI64(best_.group_start);
   writer.WriteI64(best_.group_end);
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  {
+    const std::string violation = invariants::CheckSnapshotRoundTrip(*this);
+    SPRINGDTW_CHECK(violation.empty()) << violation;
+  }
+#endif
   return writer.Take();
 }
 
@@ -236,6 +296,11 @@ util::StatusOr<VectorSpringMatcher> VectorSpringMatcher::DeserializeState(
       data.empty() || static_cast<int64_t>(data.size()) % dims != 0) {
     return util::InvalidArgumentError("snapshot query corrupt");
   }
+  for (const double v : data) {
+    if (std::isnan(v)) {
+      return util::InvalidArgumentError("snapshot query contains NaN");
+    }
+  }
   ts::VectorSeries query(dims, std::move(name));
   for (size_t offset = 0; offset < data.size();
        offset += static_cast<size_t>(dims)) {
@@ -268,6 +333,40 @@ util::StatusOr<VectorSpringMatcher> VectorSpringMatcher::DeserializeState(
   reader.ReadI64(&matcher.best_.group_end);
   if (!reader.ok() || !reader.AtEnd() || matcher.t_ < 0) {
     return util::InvalidArgumentError("snapshot truncated or corrupt");
+  }
+
+  // Semantic validation, mirroring SpringMatcher::DeserializeState: reject
+  // snapshots that parse but encode state no real matcher could have been
+  // in, so resuming the stream cannot violate the STWM invariants.
+  const int64_t last_tick = matcher.t_ > 0 ? matcher.t_ - 1 : 0;
+  if (matcher.d_prev_[0] != 0.0 || matcher.s_prev_[0] != last_tick) {
+    return util::InvalidArgumentError("snapshot star row corrupt");
+  }
+  for (size_t i = 1; i < matcher.d_prev_.size(); ++i) {
+    const double d = matcher.d_prev_[i];
+    const int64_t s = matcher.s_prev_[i];
+    if (std::isnan(d) || d < 0.0 || s < 0 || s > last_tick) {
+      return util::InvalidArgumentError("snapshot STWM row corrupt");
+    }
+  }
+  if (matcher.has_candidate_) {
+    if (matcher.t_ == 0 || std::isnan(matcher.dmin_) || matcher.dmin_ < 0.0 ||
+        matcher.dmin_ > matcher.options_.epsilon || matcher.ts_ < 0 ||
+        matcher.ts_ > matcher.te_ || matcher.te_ > last_tick ||
+        matcher.group_start_ < 0 || matcher.group_start_ > matcher.ts_ ||
+        matcher.group_end_ < matcher.te_ || matcher.group_end_ > last_tick) {
+      return util::InvalidArgumentError("snapshot candidate corrupt");
+    }
+  }
+  if (matcher.has_best_) {
+    if (matcher.t_ == 0 || std::isnan(matcher.best_.distance) ||
+        matcher.best_.distance < 0.0 || matcher.best_.start < 0 ||
+        matcher.best_.start > matcher.best_.end ||
+        matcher.best_.end > last_tick ||
+        matcher.best_.report_time < matcher.best_.end ||
+        matcher.best_.report_time > last_tick) {
+      return util::InvalidArgumentError("snapshot best-match corrupt");
+    }
   }
   return matcher;
 }

@@ -88,6 +88,10 @@ class VectorSpringMatcher {
 
   // Observability: cells discarded by the length-constraint pruning.
   int64_t cells_pruned_ = 0;
+
+  // End of the most recently reported match, for the debug-gated
+  // disjointness invariant check. See SpringMatcher::last_report_end_.
+  int64_t last_report_end_ = -1;
 };
 
 }  // namespace core

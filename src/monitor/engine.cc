@@ -1,5 +1,6 @@
 #include "monitor/engine.h"
 
+#include "core/invariants.h"
 #include "util/codec.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -620,6 +621,25 @@ std::vector<uint8_t> MonitorEngine::SerializeState() const {
       obs_->trace().Record(event);
     }
   }
+
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  // Checkpoint round-trip equivalence: restoring the bytes into a fresh
+  // engine and re-serializing must be byte-identical. The thread-local
+  // guard stops the nested SerializeState from checking again.
+  {
+    static thread_local bool in_round_trip = false;
+    if (!in_round_trip) {
+      in_round_trip = true;
+      MonitorEngine shadow;
+      const util::Status restore = shadow.RestoreState(writer.buffer());
+      SPRINGDTW_CHECK(restore.ok())
+          << "engine checkpoint does not restore: " << restore.ToString();
+      SPRINGDTW_CHECK(shadow.SerializeState() == writer.buffer())
+          << "engine checkpoint round-trip not byte-identical";
+      in_round_trip = false;
+    }
+  }
+#endif
   return writer.Take();
 }
 
@@ -659,21 +679,11 @@ util::Status MonitorEngine::RestoreState(std::span<const uint8_t> bytes) {
   for (uint64_t i = 0; reader.ok() && i < num_scalar_queries; ++i) {
     int64_t stream_id = 0;
     std::string name;
-    std::vector<uint8_t> snapshot;
-    uint64_t snapshot_size = 0;
+    std::span<const uint8_t> snapshot;
     reader.ReadI64(&stream_id);
     reader.ReadString(&name);
-    if (!reader.ReadU64(&snapshot_size) ||
-        snapshot_size > bytes.size() - reader.position()) {
+    if (!reader.ReadBytesSpan(&snapshot)) {
       return util::InvalidArgumentError("checkpoint truncated");
-    }
-    snapshot.assign(bytes.begin() + static_cast<ptrdiff_t>(reader.position()),
-                    bytes.begin() + static_cast<ptrdiff_t>(
-                                        reader.position() + snapshot_size));
-    // Skip the bytes we just copied.
-    for (uint64_t b = 0; b < snapshot_size; ++b) {
-      uint8_t dummy = 0;
-      reader.ReadU8(&dummy);
     }
     auto matcher = core::SpringMatcher::DeserializeState(snapshot);
     if (!matcher.ok()) return matcher.status();
@@ -707,20 +717,11 @@ util::Status MonitorEngine::RestoreState(std::span<const uint8_t> bytes) {
   for (uint64_t i = 0; reader.ok() && i < num_vec_queries; ++i) {
     int64_t stream_id = 0;
     std::string name;
-    uint64_t snapshot_size = 0;
+    std::span<const uint8_t> snapshot;
     reader.ReadI64(&stream_id);
     reader.ReadString(&name);
-    if (!reader.ReadU64(&snapshot_size) ||
-        snapshot_size > bytes.size() - reader.position()) {
+    if (!reader.ReadBytesSpan(&snapshot)) {
       return util::InvalidArgumentError("checkpoint truncated");
-    }
-    std::vector<uint8_t> snapshot(
-        bytes.begin() + static_cast<ptrdiff_t>(reader.position()),
-        bytes.begin() +
-            static_cast<ptrdiff_t>(reader.position() + snapshot_size));
-    for (uint64_t b = 0; b < snapshot_size; ++b) {
-      uint8_t dummy = 0;
-      reader.ReadU8(&dummy);
     }
     auto matcher = core::VectorSpringMatcher::DeserializeState(snapshot);
     if (!matcher.ok()) return matcher.status();

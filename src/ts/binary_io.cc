@@ -63,8 +63,18 @@ util::StatusOr<RawFile> ReadRaw(const std::string& path) {
   if (!reader.ok() || raw.dims < 1 || raw.ticks < 0) {
     return util::InvalidArgumentError(path + ": corrupt header");
   }
-  const int64_t count = raw.dims * raw.ticks;
-  raw.data.resize(static_cast<size_t>(count));
+  // The value count is bounded by the bytes actually present *before* any
+  // allocation: a corrupt header cannot trigger an oversized resize, and
+  // dims * ticks cannot overflow once both factors are within the payload
+  // bound.
+  const uint64_t payload_values = reader.remaining() / sizeof(double);
+  const uint64_t dims = static_cast<uint64_t>(raw.dims);
+  const uint64_t ticks = static_cast<uint64_t>(raw.ticks);
+  if ((ticks != 0 && dims > payload_values / ticks) ||
+      dims * ticks != payload_values) {
+    return util::InvalidArgumentError(path + ": header/payload mismatch");
+  }
+  raw.data.resize(static_cast<size_t>(payload_values));
   for (double& v : raw.data) {
     if (!reader.ReadDouble(&v)) {
       return util::InvalidArgumentError(path + ": truncated payload");

@@ -19,28 +19,64 @@ bool ParseField(std::string_view field, double* out) {
   return util::ParseDouble(field, out);  // "nan" parses to NaN via strtod.
 }
 
-}  // namespace
+/// Splits `text` into lines, tolerating \n, \r\n and a missing final
+/// newline, and invokes `fn(lineno, line)` per line until it returns a
+/// non-OK status.
+template <typename Fn>
+util::Status ForEachLine(std::string_view text, Fn fn) {
+  int64_t lineno = 0;
+  while (!text.empty()) {
+    ++lineno;
+    const size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    SPRINGDTW_RETURN_IF_ERROR(fn(lineno, line));
+    text = eol == std::string_view::npos ? std::string_view()
+                                         : text.substr(eol + 1);
+  }
+  return util::Status::Ok();
+}
 
-util::StatusOr<Series> ReadSeriesCsv(const std::string& path) {
+util::StatusOr<std::string> Slurp(const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return util::IoError("read failed for " + path);
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+util::StatusOr<Series> ParseSeriesCsv(std::string_view text,
+                                      std::string name) {
   Series series;
-  series.set_name(path);
-  std::string line;
-  int64_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const std::string_view stripped = util::StripWhitespace(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    double value = 0.0;
-    if (!ParseField(stripped, &value)) {
-      return util::InvalidArgumentError(util::StrFormat(
-          "%s:%lld: malformed value '%s'", path.c_str(),
-          static_cast<long long>(lineno), std::string(stripped).c_str()));
-    }
-    series.Append(value);
-  }
+  series.set_name(name);
+  util::Status status =
+      ForEachLine(text, [&](int64_t lineno, std::string_view line) {
+        const std::string_view stripped = util::StripWhitespace(line);
+        if (stripped.empty() || stripped[0] == '#') {
+          return util::Status::Ok();
+        }
+        double value = 0.0;
+        if (!ParseField(stripped, &value)) {
+          return util::InvalidArgumentError(util::StrFormat(
+              "%s:%lld: malformed value '%s'", name.c_str(),
+              static_cast<long long>(lineno),
+              std::string(stripped).c_str()));
+        }
+        series.Append(value);
+        return util::Status::Ok();
+      });
+  if (!status.ok()) return status;
   return series;
+}
+
+util::StatusOr<Series> ReadSeriesCsv(const std::string& path) {
+  auto text = Slurp(path);
+  if (!text.ok()) return text.status();
+  return ParseSeriesCsv(*text, path);
 }
 
 util::Status WriteSeriesCsv(const std::string& path, const Series& series) {
@@ -57,41 +93,48 @@ util::Status WriteSeriesCsv(const std::string& path, const Series& series) {
   return util::Status::Ok();
 }
 
-util::StatusOr<VectorSeries> ReadVectorSeriesCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return util::IoError("cannot open " + path);
+util::StatusOr<VectorSeries> ParseVectorSeriesCsv(std::string_view text,
+                                                  std::string name) {
   VectorSeries series;
-  std::string line;
   std::vector<double> row;
-  int64_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const std::string_view stripped = util::StripWhitespace(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    row.clear();
-    for (const std::string& field : util::Split(std::string(stripped), ',')) {
-      double value = 0.0;
-      if (!ParseField(field, &value)) {
-        return util::InvalidArgumentError(util::StrFormat(
-            "%s:%lld: malformed value '%s'", path.c_str(),
-            static_cast<long long>(lineno), field.c_str()));
-      }
-      row.push_back(value);
-    }
-    if (series.dims() == 0) {
-      series = VectorSeries(static_cast<int64_t>(row.size()), path);
-    } else if (static_cast<int64_t>(row.size()) != series.dims()) {
-      return util::InvalidArgumentError(util::StrFormat(
-          "%s:%lld: expected %lld fields, got %zu", path.c_str(),
-          static_cast<long long>(lineno),
-          static_cast<long long>(series.dims()), row.size()));
-    }
-    series.AppendRow(row);
-  }
+  util::Status status =
+      ForEachLine(text, [&](int64_t lineno, std::string_view line) {
+        const std::string_view stripped = util::StripWhitespace(line);
+        if (stripped.empty() || stripped[0] == '#') {
+          return util::Status::Ok();
+        }
+        row.clear();
+        for (const std::string& field : util::Split(stripped, ',')) {
+          double value = 0.0;
+          if (!ParseField(field, &value)) {
+            return util::InvalidArgumentError(util::StrFormat(
+                "%s:%lld: malformed value '%s'", name.c_str(),
+                static_cast<long long>(lineno), field.c_str()));
+          }
+          row.push_back(value);
+        }
+        if (series.dims() == 0) {
+          series = VectorSeries(static_cast<int64_t>(row.size()), name);
+        } else if (static_cast<int64_t>(row.size()) != series.dims()) {
+          return util::InvalidArgumentError(util::StrFormat(
+              "%s:%lld: expected %lld fields, got %zu", name.c_str(),
+              static_cast<long long>(lineno),
+              static_cast<long long>(series.dims()), row.size()));
+        }
+        series.AppendRow(row);
+        return util::Status::Ok();
+      });
+  if (!status.ok()) return status;
   if (series.dims() == 0) {
-    return util::InvalidArgumentError(path + ": no data rows");
+    return util::InvalidArgumentError(name + ": no data rows");
   }
   return series;
+}
+
+util::StatusOr<VectorSeries> ReadVectorSeriesCsv(const std::string& path) {
+  auto text = Slurp(path);
+  if (!text.ok()) return text.status();
+  return ParseVectorSeriesCsv(*text, path);
 }
 
 util::Status WriteVectorSeriesCsv(const std::string& path,

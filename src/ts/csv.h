@@ -2,6 +2,7 @@
 #define SPRINGDTW_TS_CSV_H_
 
 #include <string>
+#include <string_view>
 
 #include "ts/series.h"
 #include "ts/vector_series.h"
@@ -10,9 +11,22 @@
 namespace springdtw {
 namespace ts {
 
-/// Reads a univariate series from `path`. One value per line; blank lines
-/// are skipped; a line equal to "nan" (any case) or an empty field yields a
-/// missing value; a leading "# ..." header line is ignored.
+/// Parses a univariate series from in-memory CSV text. One value per line;
+/// blank lines are skipped; a line equal to "nan" (any case) or an empty
+/// field yields a missing value; "# ..." comment lines are ignored. `name`
+/// labels the series and prefixes error messages (a path, for file input).
+/// Never crashes on malformed input — this is the untrusted-input boundary
+/// the fuzz harness drives.
+util::StatusOr<Series> ParseSeriesCsv(std::string_view text,
+                                      std::string name);
+
+/// Parses a k-dimensional series from in-memory CSV text: comma-separated
+/// values, one tick per line. All rows must have the same number of fields.
+util::StatusOr<VectorSeries> ParseVectorSeriesCsv(std::string_view text,
+                                                  std::string name);
+
+/// Reads a univariate series from `path`; see ParseSeriesCsv for the
+/// format.
 util::StatusOr<Series> ReadSeriesCsv(const std::string& path);
 
 /// Writes one value per line ("nan" for missing). Overwrites `path`.

@@ -15,6 +15,14 @@ void ByteWriter::WriteU64(uint64_t value) {
   }
 }
 
+void ByteWriter::WriteVarU64(uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(value));
+}
+
 void ByteWriter::WriteDouble(double value) {
   uint64_t bits = 0;
   std::memcpy(&bits, &value, sizeof(bits));
@@ -96,6 +104,28 @@ bool ByteReader::ReadI64(int64_t* value) {
   return status;
 }
 
+bool ByteReader::ReadVarU64(uint64_t* value) {
+  *value = 0;
+  uint64_t out = 0;
+  for (int i = 0; i < 10; ++i) {
+    const uint8_t* p = nullptr;
+    if (!Take(1, &p)) return false;
+    const uint64_t payload = *p & 0x7F;
+    // Byte 10 may only carry the single remaining bit of a 64-bit value.
+    if (i == 9 && payload > 1) {
+      ok_ = false;
+      return false;
+    }
+    out |= payload << (7 * i);
+    if ((*p & 0x80) == 0) {
+      *value = out;
+      return true;
+    }
+  }
+  ok_ = false;  // Continuation bit set on the 10th byte: over-long encoding.
+  return false;
+}
+
 bool ByteReader::ReadDouble(double* value) {
   uint64_t bits = 0;
   if (!ReadU64(&bits)) {
@@ -113,24 +143,35 @@ bool ByteReader::ReadBool(bool* value) {
   return status;
 }
 
+bool ByteReader::ReadLengthPrefix(size_t elem_size, size_t* size) {
+  *size = 0;
+  uint64_t raw = 0;
+  if (!ReadU64(&raw)) return false;
+  // Corrupt length guard: the payload must fit in the bytes that are
+  // actually left, checked before any allocation happens.
+  if (raw > remaining() / elem_size) {
+    ok_ = false;
+    return false;
+  }
+  *size = static_cast<size_t>(raw);
+  return true;
+}
+
 bool ByteReader::ReadString(std::string* value) {
-  uint64_t size = 0;
-  if (!ReadU64(&size)) return false;
+  value->clear();
+  size_t size = 0;
+  if (!ReadLengthPrefix(1, &size)) return false;
   const uint8_t* p = nullptr;
-  if (!Take(static_cast<size_t>(size), &p)) return false;
-  value->assign(reinterpret_cast<const char*>(p),
-                static_cast<size_t>(size));
+  if (!Take(size, &p)) return false;
+  value->assign(reinterpret_cast<const char*>(p), size);
   return true;
 }
 
 bool ByteReader::ReadDoubleVector(std::vector<double>* values) {
-  uint64_t size = 0;
-  if (!ReadU64(&size)) return false;
-  if (size > bytes_.size() / sizeof(double)) {  // Corrupt length guard.
-    ok_ = false;
-    return false;
-  }
-  values->resize(static_cast<size_t>(size));
+  values->clear();
+  size_t size = 0;
+  if (!ReadLengthPrefix(sizeof(double), &size)) return false;
+  values->resize(size);
   for (double& v : *values) {
     if (!ReadDouble(&v)) return false;
   }
@@ -138,16 +179,31 @@ bool ByteReader::ReadDoubleVector(std::vector<double>* values) {
 }
 
 bool ByteReader::ReadInt64Vector(std::vector<int64_t>* values) {
-  uint64_t size = 0;
-  if (!ReadU64(&size)) return false;
-  if (size > bytes_.size() / sizeof(int64_t)) {
-    ok_ = false;
-    return false;
-  }
-  values->resize(static_cast<size_t>(size));
+  values->clear();
+  size_t size = 0;
+  if (!ReadLengthPrefix(sizeof(int64_t), &size)) return false;
+  values->resize(size);
   for (int64_t& v : *values) {
     if (!ReadI64(&v)) return false;
   }
+  return true;
+}
+
+bool ByteReader::ReadBytes(std::vector<uint8_t>* bytes) {
+  bytes->clear();
+  std::span<const uint8_t> view;
+  if (!ReadBytesSpan(&view)) return false;
+  bytes->assign(view.begin(), view.end());
+  return true;
+}
+
+bool ByteReader::ReadBytesSpan(std::span<const uint8_t>* bytes) {
+  *bytes = {};
+  size_t size = 0;
+  if (!ReadLengthPrefix(1, &size)) return false;
+  const uint8_t* p = nullptr;
+  if (!Take(size, &p)) return false;
+  *bytes = std::span<const uint8_t>(p, size);
   return true;
 }
 

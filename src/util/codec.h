@@ -10,10 +10,11 @@
 namespace springdtw {
 namespace util {
 
-/// Appends fixed-width little-endian primitives to a byte buffer. Used for
-/// matcher state snapshots (fault-tolerant stream processing) and the
-/// binary series format. Not a general-purpose wire format: no varints, no
-/// schema evolution beyond an explicit version field written by callers.
+/// Appends fixed-width little-endian primitives (plus LEB128 varints and
+/// length-prefixed frames) to a byte buffer. Used for matcher state
+/// snapshots (fault-tolerant stream processing) and the binary series
+/// format. Not a general-purpose wire format: no schema evolution beyond an
+/// explicit version field written by callers.
 class ByteWriter {
  public:
   ByteWriter() = default;
@@ -22,11 +23,15 @@ class ByteWriter {
   void WriteU32(uint32_t value);
   void WriteU64(uint64_t value);
   void WriteI64(int64_t value) { WriteU64(static_cast<uint64_t>(value)); }
+  /// Unsigned LEB128: 1-10 bytes, small values encode small.
+  void WriteVarU64(uint64_t value);
   /// Doubles are written as their IEEE-754 bit pattern; NaN and infinities
   /// round-trip exactly.
   void WriteDouble(double value);
   void WriteBool(bool value) { WriteU8(value ? 1 : 0); }
-  /// Length-prefixed (u64) raw bytes.
+  /// Length-prefixed (u64) raw bytes; the framing primitive used to nest
+  /// one snapshot inside another (e.g. matcher states inside an engine
+  /// checkpoint).
   void WriteBytes(std::span<const uint8_t> bytes);
   /// Length-prefixed (u64) string.
   void WriteString(const std::string& value);
@@ -43,9 +48,12 @@ class ByteWriter {
 };
 
 /// Reads back what ByteWriter wrote. Every Read* returns false on
-/// truncation (and from then on, `ok()` is false); values read after a
-/// failure are zero-initialized. Callers typically read everything and
-/// check `ok()` once, plus `AtEnd()` for trailing garbage.
+/// truncation or a corrupt length prefix (and from then on, `ok()` is
+/// false); values read after a failure are zero-initialized / emptied.
+/// All length prefixes are validated against the bytes actually remaining
+/// before any allocation, so a hostile input cannot trigger an oversized
+/// resize. Callers typically read everything and check `ok()` once, plus
+/// `AtEnd()` for trailing garbage.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
@@ -54,18 +62,31 @@ class ByteReader {
   bool ReadU32(uint32_t* value);
   bool ReadU64(uint64_t* value);
   bool ReadI64(int64_t* value);
+  /// Unsigned LEB128; fails on truncation, on encodings longer than 10
+  /// bytes, and on a final byte that overflows 64 bits.
+  bool ReadVarU64(uint64_t* value);
   bool ReadDouble(double* value);
   bool ReadBool(bool* value);
   bool ReadString(std::string* value);
   bool ReadDoubleVector(std::vector<double>* values);
   bool ReadInt64Vector(std::vector<int64_t>* values);
+  /// Length-prefixed frame written by WriteBytes, copied out.
+  bool ReadBytes(std::vector<uint8_t>* bytes);
+  /// Length-prefixed frame as a zero-copy view into the input. The view is
+  /// only valid while the underlying buffer lives.
+  bool ReadBytesSpan(std::span<const uint8_t>* bytes);
 
   bool ok() const { return ok_; }
   bool AtEnd() const { return position_ == bytes_.size(); }
   size_t position() const { return position_; }
+  /// Bytes not yet consumed.
+  size_t remaining() const { return bytes_.size() - position_; }
 
  private:
   bool Take(size_t n, const uint8_t** out);
+  /// Reads a u64 length prefix and fails unless `size * elem_size` bytes
+  /// are still available.
+  bool ReadLengthPrefix(size_t elem_size, size_t* size);
 
   std::span<const uint8_t> bytes_;
   size_t position_ = 0;

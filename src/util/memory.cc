@@ -1,3 +1,6 @@
+// springdtw-lint: allow-file(raw-alloc) — this file IS the allocation
+// tracker: it replaces the global operator new/delete, so it must call
+// std::malloc/std::free directly.
 #include "util/memory.h"
 
 #include <atomic>

@@ -30,10 +30,14 @@ const char* StatusCodeName(StatusCode code);
 /// Result of an operation that can fail. The library does not use exceptions
 /// (Google style); fallible operations return `Status` or `StatusOr<T>`.
 ///
+/// Both types are [[nodiscard]]: silently dropping an error does not
+/// compile (enforced as a project rule by tools/springdtw_lint). Cast to
+/// void to discard deliberately.
+///
 /// Example:
 ///   Status s = WriteCsv(path, series);
 ///   if (!s.ok()) { LOG(ERROR) << s.ToString(); return s; }
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -74,7 +78,7 @@ Status IoError(std::string message);
 /// value is absent. Accessing `value()` on a non-OK result aborts in debug
 /// builds and is undefined in release builds; always check `ok()` first.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit by design, like absl::StatusOr).
   StatusOr(T value)  // NOLINT(google-explicit-constructor)

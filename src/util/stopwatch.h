@@ -38,13 +38,19 @@ class Stopwatch {
   }
 
   /// Elapsed time in microseconds (fractional).
-  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
 
   /// Elapsed time in milliseconds (fractional).
-  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
 
   /// Elapsed time in seconds (fractional).
-  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,0 +1,191 @@
+// Edge cases of the disjoint-query reporting semantics (the paper's
+// Problem 2 / Figure 4): ties in d_min, back-to-back adjacent matches,
+// epsilon = 0 exact matching, and a match whose group spans a checkpoint
+// save/restore. Complements core_spring_test (happy paths) and
+// core_spring_property_test (randomized properties).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/match.h"
+#include "core/spring.h"
+#include "gtest/gtest.h"
+
+namespace springdtw {
+namespace core {
+namespace {
+
+struct Report {
+  int64_t start = 0;
+  int64_t end = 0;
+  double distance = 0.0;
+  int64_t report_time = 0;
+};
+
+std::vector<Report> RunStream(SpringMatcher& matcher,
+                              const std::vector<double>& stream,
+                              bool flush = true) {
+  std::vector<Report> reports;
+  Match match;
+  for (const double x : stream) {
+    if (matcher.Update(x, &match)) {
+      reports.push_back(
+          {match.start, match.end, match.distance, match.report_time});
+    }
+  }
+  if (flush && matcher.Flush(&match)) {
+    reports.push_back(
+        {match.start, match.end, match.distance, match.report_time});
+  }
+  return reports;
+}
+
+void ExpectDisjoint(const std::vector<Report>& reports) {
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_GT(reports[i].start, reports[i - 1].end)
+        << "reports " << i - 1 << " and " << i << " overlap";
+  }
+}
+
+TEST(DisjointEdgeTest, TieInDminKeepsFirstCapturedCandidate) {
+  // Query {0} against a stream of two identical values: both one-tick
+  // subsequences have the same distance 0.01. The tie must not churn the
+  // candidate — the first capture wins and is reported as its own match,
+  // then the second becomes a fresh candidate.
+  SpringOptions options;
+  options.epsilon = 0.5;
+  SpringMatcher matcher({0.0}, options);
+  const auto reports = RunStream(matcher, {0.1, 0.1});
+
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].start, 0);
+  EXPECT_EQ(reports[0].end, 0);
+  EXPECT_DOUBLE_EQ(reports[0].distance, 0.01);
+  EXPECT_EQ(reports[1].start, 1);
+  EXPECT_EQ(reports[1].end, 1);
+  EXPECT_DOUBLE_EQ(reports[1].distance, 0.01);
+  ExpectDisjoint(reports);
+}
+
+TEST(DisjointEdgeTest, BackToBackAdjacentMatches) {
+  // Two perfect occurrences of {1, 2} with no gap: [0,1] and [2,3]. Both
+  // must be reported, disjoint, with the second starting exactly one tick
+  // after the first ends.
+  SpringOptions options;
+  options.epsilon = 0.25;
+  SpringMatcher matcher({1.0, 2.0}, options);
+  const auto reports = RunStream(matcher, {1.0, 2.0, 1.0, 2.0});
+
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].start, 0);
+  EXPECT_EQ(reports[0].end, 1);
+  EXPECT_DOUBLE_EQ(reports[0].distance, 0.0);
+  EXPECT_EQ(reports[1].start, 2);
+  EXPECT_EQ(reports[1].end, 3);
+  EXPECT_DOUBLE_EQ(reports[1].distance, 0.0);
+  EXPECT_EQ(reports[1].start, reports[0].end + 1);
+}
+
+TEST(DisjointEdgeTest, EpsilonZeroReportsOnlyExactMatches) {
+  // With epsilon = 0 only distance-0 subsequences qualify. Every STWM cell
+  // is >= 0 = d_min, so the report condition holds at the very next tick:
+  // an exact match is reported with delay 1.
+  SpringOptions options;
+  options.epsilon = 0.0;
+  SpringMatcher matcher({1.0, 2.0}, options);
+  const auto reports =
+      RunStream(matcher, {5.0, 1.0, 2.0, 5.0, 1.0, 2.0, 1.5, 5.0});
+
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].start, 1);
+  EXPECT_EQ(reports[0].end, 2);
+  EXPECT_DOUBLE_EQ(reports[0].distance, 0.0);
+  EXPECT_EQ(reports[0].report_time, 3);
+  EXPECT_EQ(reports[1].start, 4);
+  EXPECT_EQ(reports[1].end, 5);
+  EXPECT_DOUBLE_EQ(reports[1].distance, 0.0);
+  ExpectDisjoint(reports);
+}
+
+TEST(DisjointEdgeTest, EpsilonZeroNearMissesNeverReport) {
+  SpringOptions options;
+  options.epsilon = 0.0;
+  SpringMatcher matcher({1.0, 2.0}, options);
+  const auto reports =
+      RunStream(matcher, {1.0 + 1e-9, 2.0, 1.0, 2.0 - 1e-9, 5.0});
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(DisjointEdgeTest, MatchSpanningCheckpointSaveRestore) {
+  // Checkpoint in the middle of a qualifying group — after the candidate
+  // is captured but before it can be reported — and restore into a fresh
+  // matcher. The restored matcher must finish the group and report exactly
+  // what the uninterrupted matcher reports.
+  SpringOptions options;
+  options.epsilon = 0.5;
+  const std::vector<double> query = {1.0, 2.0, 3.0};
+  const std::vector<double> stream = {9.0, 1.0, 2.0, 3.1, 2.9,
+                                      9.0, 9.0, 1.1, 9.0};
+
+  SpringMatcher uninterrupted(query, options);
+  const auto expected = RunStream(uninterrupted, stream);
+  ASSERT_FALSE(expected.empty());
+
+  // Checkpoint after tick 3 (value 3.1): the candidate [1,3] is pending
+  // inside a still-open group.
+  for (size_t split = 1; split + 1 < stream.size(); ++split) {
+    SpringMatcher first(query, options);
+    std::vector<Report> reports;
+    Match match;
+    for (size_t i = 0; i < split; ++i) {
+      if (first.Update(stream[i], &match)) {
+        reports.push_back(
+            {match.start, match.end, match.distance, match.report_time});
+      }
+    }
+    auto restored = SpringMatcher::DeserializeState(first.SerializeState());
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    for (size_t i = split; i < stream.size(); ++i) {
+      if (restored->Update(stream[i], &match)) {
+        reports.push_back(
+            {match.start, match.end, match.distance, match.report_time});
+      }
+    }
+    if (restored->Flush(&match)) {
+      reports.push_back(
+          {match.start, match.end, match.distance, match.report_time});
+    }
+
+    ASSERT_EQ(reports.size(), expected.size()) << "split=" << split;
+    for (size_t i = 0; i < reports.size(); ++i) {
+      EXPECT_EQ(reports[i].start, expected[i].start) << "split=" << split;
+      EXPECT_EQ(reports[i].end, expected[i].end) << "split=" << split;
+      EXPECT_DOUBLE_EQ(reports[i].distance, expected[i].distance)
+          << "split=" << split;
+      EXPECT_EQ(reports[i].report_time, expected[i].report_time)
+          << "split=" << split;
+    }
+  }
+}
+
+TEST(DisjointEdgeTest, TieAcrossGroupBoundaryStaysDisjoint) {
+  // A W-shaped stream where two overlapping alignments tie, followed by a
+  // separator and a second identical group: reports must stay disjoint and
+  // deterministic.
+  SpringOptions options;
+  options.epsilon = 0.1;
+  SpringMatcher matcher({0.0, 1.0, 0.0}, options);
+  const auto reports = RunStream(
+      matcher, {0.0, 1.0, 0.0, 1.0, 0.0, 9.0, 0.0, 1.0, 0.0, 9.0});
+
+  ASSERT_GE(reports.size(), 2u);
+  ExpectDisjoint(reports);
+  for (const Report& r : reports) {
+    EXPECT_LE(r.distance, options.epsilon);
+    EXPECT_GE(r.distance, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace springdtw

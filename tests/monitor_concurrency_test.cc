@@ -1,0 +1,296 @@
+// Concurrency stress for the monitoring layer, written to run under
+// ThreadSanitizer (the tsan preset builds exactly this suite plus the rest
+// of ctest). MonitorEngine is single-threaded *by design* — the supported
+// patterns exercised here are:
+//   * shard-per-thread: each ingest thread owns its engine + observability
+//     bundle outright (the paper's multi-stream scaling argument);
+//   * shared sink: engines in different threads fan matches into one sink
+//     behind a mutex (OnMatch runs on the ingest path, so the lock is the
+//     sink's, not the engine's);
+//   * checkpoint hand-off: one thread serializes, another restores and
+//     resumes the stream;
+//   * snapshot-while-ingesting: a reporter thread checkpoints and reads
+//     gauges under the same mutex that serializes engine access.
+// Any data race here is a real bug in the library (e.g. hidden shared
+// state between engine instances), which is precisely what TSan verifies.
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/spring.h"
+#include "gtest/gtest.h"
+#include "monitor/engine.h"
+#include "monitor/sink.h"
+#include "obs/observability.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+/// Deterministic per-shard stream: a noisy ramp with planted occurrences
+/// of the query {1, 2, 3} every `period` ticks.
+std::vector<double> ShardStream(int shard, int64_t ticks) {
+  std::vector<double> stream(static_cast<size_t>(ticks), 9.0 + shard);
+  const int64_t period = 50;
+  for (int64_t t = 0; t + 3 < ticks; t += period) {
+    stream[static_cast<size_t>(t + 1)] = 1.0;
+    stream[static_cast<size_t>(t + 2)] = 2.0;
+    stream[static_cast<size_t>(t + 3)] = 3.0;
+  }
+  return stream;
+}
+
+core::SpringOptions TestOptions() {
+  core::SpringOptions options;
+  options.epsilon = 0.5;
+  return options;
+}
+
+/// Runs one shard single-threadedly and returns its match count — the
+/// reference the threaded runs must reproduce exactly.
+int64_t ReferenceMatchCount(int shard, int64_t ticks) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream_id = engine.AddStream("s");
+  auto query_id =
+      engine.AddQuery(stream_id, "q", {1.0, 2.0, 3.0}, TestOptions());
+  EXPECT_TRUE(query_id.ok());
+  for (const double x : ShardStream(shard, ticks)) {
+    auto pushed = engine.Push(stream_id, x);
+    EXPECT_TRUE(pushed.ok());
+  }
+  engine.FlushAll();
+  return static_cast<int64_t>(sink.entries().size());
+}
+
+TEST(MonitorConcurrencyTest, ShardPerThreadEnginesAreIndependent) {
+  constexpr int kThreads = 4;
+  constexpr int64_t kTicks = 2000;
+
+  std::vector<int64_t> expected(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    expected[static_cast<size_t>(i)] = ReferenceMatchCount(i, kTicks);
+    ASSERT_GT(expected[static_cast<size_t>(i)], 0);
+  }
+
+  std::vector<int64_t> got(kThreads, -1);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([i, &got] {
+      // Everything engine-related lives on this thread: engine, sink, and
+      // observability bundle (the metrics registry is single-threaded).
+      obs::Observability obs;
+      MonitorEngine engine;
+      engine.AttachObservability(&obs);
+      CollectSink sink;
+      engine.AddSink(&sink);
+      const int64_t stream_id = engine.AddStream("s");
+      auto query_id =
+          engine.AddQuery(stream_id, "q", {1.0, 2.0, 3.0}, TestOptions());
+      if (!query_id.ok()) return;
+      for (const double x : ShardStream(i, kTicks)) {
+        if (!engine.Push(stream_id, x).ok()) return;
+      }
+      engine.FlushAll();
+      engine.RefreshObservabilityGauges();
+      got[static_cast<size_t>(i)] =
+          static_cast<int64_t>(sink.entries().size());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              expected[static_cast<size_t>(i)])
+        << "shard " << i;
+  }
+}
+
+/// MatchSink adapter that makes a CollectSink safe to share across ingest
+/// threads: OnMatch takes the mutex. This is the supported way to fan
+/// multiple sharded engines into one destination.
+class LockedSink : public MatchSink {
+ public:
+  void OnMatch(const MatchOrigin& origin,
+               const core::Match& match) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.OnMatch(origin, match);
+  }
+
+  int64_t size() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(inner_.entries().size());
+  }
+
+ private:
+  std::mutex mutex_;
+  CollectSink inner_;
+};
+
+TEST(MonitorConcurrencyTest, ShardedEnginesShareOneLockedSink) {
+  constexpr int kThreads = 4;
+  constexpr int64_t kTicks = 1500;
+
+  int64_t expected_total = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    expected_total += ReferenceMatchCount(i, kTicks);
+  }
+
+  LockedSink shared_sink;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([i, &shared_sink] {
+      MonitorEngine engine;
+      engine.AddSink(&shared_sink);
+      const int64_t stream_id = engine.AddStream("s");
+      auto query_id =
+          engine.AddQuery(stream_id, "q", {1.0, 2.0, 3.0}, TestOptions());
+      if (!query_id.ok()) return;
+      for (const double x : ShardStream(i, kTicks)) {
+        if (!engine.Push(stream_id, x).ok()) return;
+      }
+      engine.FlushAll();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(shared_sink.size(), expected_total);
+}
+
+TEST(MonitorConcurrencyTest, CheckpointHandsOffBetweenThreads) {
+  constexpr int64_t kTicks = 1200;
+  const std::vector<double> stream = ShardStream(0, kTicks);
+  const int64_t split = kTicks / 2 + 7;  // Mid-group, not on a boundary.
+
+  const int64_t expected = ReferenceMatchCount(0, kTicks);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<uint8_t> checkpoint;
+  bool checkpoint_ready = false;
+  int64_t first_half_matches = 0;
+  int64_t second_half_matches = 0;
+
+  std::thread producer([&] {
+    MonitorEngine engine;
+    CollectSink sink;
+    engine.AddSink(&sink);
+    const int64_t stream_id = engine.AddStream("s");
+    auto query_id =
+        engine.AddQuery(stream_id, "q", {1.0, 2.0, 3.0}, TestOptions());
+    if (!query_id.ok()) return;
+    for (int64_t t = 0; t < split; ++t) {
+      if (!engine.Push(stream_id, stream[static_cast<size_t>(t)]).ok()) {
+        return;
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      checkpoint = engine.SerializeState();
+      first_half_matches = static_cast<int64_t>(sink.entries().size());
+      checkpoint_ready = true;
+    }
+    cv.notify_one();
+    // The producer abandons its engine here; the consumer owns the stream
+    // from the checkpoint on.
+  });
+
+  std::thread consumer([&] {
+    std::vector<uint8_t> bytes;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return checkpoint_ready; });
+      bytes = checkpoint;
+    }
+    MonitorEngine engine;
+    CollectSink sink;
+    engine.AddSink(&sink);
+    const auto restored = engine.RestoreState(bytes);
+    if (!restored.ok()) return;
+    for (int64_t t = split; t < kTicks; ++t) {
+      if (!engine.Push(0, stream[static_cast<size_t>(t)]).ok()) return;
+    }
+    engine.FlushAll();
+    const std::lock_guard<std::mutex> lock(mutex);
+    second_half_matches = static_cast<int64_t>(sink.entries().size());
+  });
+
+  producer.join();
+  consumer.join();
+
+  const std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(first_half_matches + second_half_matches, expected);
+}
+
+TEST(MonitorConcurrencyTest, ReporterThreadSnapshotsWhileIngesting) {
+  constexpr int64_t kTicks = 3000;
+
+  std::mutex engine_mutex;
+  obs::Observability obs;
+  MonitorEngine engine;
+  engine.AttachObservability(&obs);
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream_id = engine.AddStream("s");
+  auto query_id =
+      engine.AddQuery(stream_id, "q", {1.0, 2.0, 3.0}, TestOptions());
+  ASSERT_TRUE(query_id.ok());
+
+  const std::vector<double> stream = ShardStream(0, kTicks);
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> snapshots_taken{0};
+  std::vector<uint8_t> last_checkpoint;
+
+  std::thread producer([&] {
+    for (const double x : stream) {
+      const std::lock_guard<std::mutex> lock(engine_mutex);
+      if (!engine.Push(stream_id, x).ok()) break;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(engine_mutex);
+      engine.FlushAll();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::thread reporter([&] {
+    // Loop until one more snapshot has been taken *after* the producer
+    // finished: guarantees at least one snapshot even if the producer
+    // outraces the reporter entirely, and makes the last checkpoint cover
+    // the fully flushed engine.
+    bool final_pass = false;
+    while (true) {
+      {
+        const std::lock_guard<std::mutex> lock(engine_mutex);
+        engine.RefreshObservabilityGauges();
+        last_checkpoint = engine.SerializeState();
+      }
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      if (final_pass) break;
+      final_pass = done.load(std::memory_order_acquire);
+      std::this_thread::yield();
+    }
+  });
+
+  producer.join();
+  reporter.join();
+
+  EXPECT_GT(snapshots_taken.load(), 0);
+  ASSERT_FALSE(last_checkpoint.empty());
+  // Every snapshot the reporter took must be a restorable checkpoint.
+  MonitorEngine resumed;
+  const auto restored = resumed.RestoreState(last_checkpoint);
+  EXPECT_TRUE(restored.ok()) << restored.ToString();
+  EXPECT_EQ(resumed.num_streams(), 1);
+  EXPECT_EQ(resumed.num_queries(), 1);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace springdtw

@@ -57,7 +57,8 @@ TEST(MetricsRegistryTest, InstrumentPointersStableAcrossGrowth) {
   // Adding 100 series forced vector growth; earlier handles must still
   // point at live instruments.
   for (int i = 0; i < 100; ++i) handles[i]->Increment(i);
-  const FamilySnapshot* family = registry.Snapshot().Find("c");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const FamilySnapshot* family = snapshot.Find("c");
   ASSERT_NE(family, nullptr);
   ASSERT_EQ(family->series.size(), 100u);
   for (int i = 0; i < 100; ++i) {

@@ -1,0 +1,365 @@
+// Project lint: mechanical source rules that the compiler cannot (or only
+// partially) enforce, run over src/ as a ctest entry and as the `lint` leg
+// of scripts/check.sh. No external dependencies — plain std::filesystem
+// walk plus a small comment/string stripper.
+//
+// Rules (docs/CORRECTNESS.md has the rationale):
+//   raw-alloc      No `new` / `delete` / `malloc` / `calloc` / `realloc` /
+//                  `free` in src/ — containers only; the hot path must not
+//                  hide allocations. `= delete`d special members are fine.
+//                  Suppress per file with a
+//                  `springdtw-lint: allow-file(raw-alloc)` comment (only
+//                  util/memory.cc, which implements the allocation
+//                  tracker's operator new/delete replacements).
+//   nodiscard      util/status.h must keep `[[nodiscard]]` on Status and
+//                  StatusOr — that attribute is the compile-time half of
+//                  the "no unchecked Status" rule; losing it silently
+//                  disarms -Werror=unused-result across the codebase.
+//   no-float       No `float` type or f-suffixed literals under src/dtw/
+//                  and src/core/: all distance math is double (the paper's
+//                  guarantees are argued in exact DTW terms; a stray float
+//                  literal demotes an entire expression).
+//   include-guard  Every header under src/ carries the canonical
+//                  `SPRINGDTW_<PATH>_H_` include guard.
+//
+// Usage: springdtw_lint <src-dir>   (exit 0 = clean, 1 = violations,
+//                                    2 = usage/IO error)
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Violation> g_violations;
+
+void Report(const std::string& file, size_t line, const std::string& rule,
+            const std::string& message) {
+  g_violations.push_back({file, line, rule, message});
+}
+
+/// Replaces comments and string/char literal contents with spaces, keeping
+/// newlines so line numbers survive. Good enough for token scanning; raw
+/// strings are treated as plain strings (none in this codebase carry code).
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True if `word` occurs in `line` as a whole token; sets *pos.
+bool FindToken(const std::string& line, const std::string& word,
+               size_t* pos) {
+  size_t from = 0;
+  while ((from = line.find(word, from)) != std::string::npos) {
+    const bool left_ok = from == 0 || !IsIdentChar(line[from - 1]);
+    const size_t end = from + word.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) {
+      *pos = from;
+      return true;
+    }
+    from = end;
+  }
+  return false;
+}
+
+/// Last non-space character before `pos`, or '\0'.
+char LastNonSpaceBefore(const std::string& line, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(line[pos]))) {
+      return line[pos];
+    }
+  }
+  return '\0';
+}
+
+bool EndsWithToken(const std::string& line, size_t pos,
+                   const std::string& word) {
+  // True if the token `word` immediately precedes position `pos`
+  // (whitespace-separated) — used for `operator delete`, `= delete`.
+  size_t end = pos;
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+    --end;
+  }
+  if (end < word.size()) return false;
+  const size_t start = end - word.size();
+  if (line.compare(start, word.size(), word) != 0) return false;
+  return start == 0 || !IsIdentChar(line[start - 1]);
+}
+
+void CheckRawAlloc(const std::string& file, const std::string& raw_text,
+                   const std::vector<std::string>& stripped_lines) {
+  if (raw_text.find("springdtw-lint: allow-file(raw-alloc)") !=
+      std::string::npos) {
+    return;
+  }
+  static const char* kTokens[] = {"new",    "delete",  "malloc",
+                                  "calloc", "realloc", "free"};
+  for (size_t n = 0; n < stripped_lines.size(); ++n) {
+    const std::string& line = stripped_lines[n];
+    // Preprocessor lines (`#include <new>`) are not code.
+    const size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') continue;
+    for (const char* token : kTokens) {
+      size_t pos = 0;
+      if (!FindToken(line, token, &pos)) continue;
+      const std::string word(token);
+      if (word == "delete" || word == "new") {
+        // `= delete;` / `= delete("...")` special members are not
+        // allocation; `operator new/delete` declarations only appear in
+        // allow-listed files and would be flagged here otherwise.
+        if (LastNonSpaceBefore(line, pos) == '=') continue;
+        if (EndsWithToken(line, pos, "operator")) {
+          Report(file, n + 1, "raw-alloc",
+                 "operator " + word +
+                     " outside an allow-file(raw-alloc) file");
+          continue;
+        }
+      }
+      Report(file, n + 1, "raw-alloc",
+             "raw allocation token `" + word +
+                 "`; use containers / RAII (see docs/CORRECTNESS.md)");
+    }
+  }
+}
+
+void CheckNoFloat(const std::string& file,
+                  const std::vector<std::string>& stripped_lines) {
+  for (size_t n = 0; n < stripped_lines.size(); ++n) {
+    const std::string& line = stripped_lines[n];
+    size_t pos = 0;
+    if (FindToken(line, "float", &pos)) {
+      Report(file, n + 1, "no-float",
+             "`float` in distance code; all DTW math is double");
+    }
+    // f-suffixed decimal literals (1.0f, 2f, 1e3f). Hex literals like
+    // 0x3f are skipped by requiring the digit run to not follow 'x'/'X'
+    // and to contain no hex-only letters.
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(line[i]))) continue;
+      if (i > 0 && (IsIdentChar(line[i - 1]) || line[i - 1] == '.')) {
+        continue;  // Part of an identifier or already inside a number.
+      }
+      size_t j = i;
+      bool hex = false;
+      if (line[j] == '0' && j + 1 < line.size() &&
+          (line[j + 1] == 'x' || line[j + 1] == 'X')) {
+        hex = true;
+        j += 2;
+        while (j < line.size() &&
+               std::isxdigit(static_cast<unsigned char>(line[j]))) {
+          ++j;
+        }
+      } else {
+        while (j < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[j])) ||
+                line[j] == '.' || line[j] == '\'')) {
+          ++j;
+        }
+        if (j < line.size() && (line[j] == 'e' || line[j] == 'E')) {
+          ++j;
+          if (j < line.size() && (line[j] == '+' || line[j] == '-')) ++j;
+          while (j < line.size() &&
+                 std::isdigit(static_cast<unsigned char>(line[j]))) {
+            ++j;
+          }
+        }
+      }
+      if (!hex && j < line.size() && (line[j] == 'f' || line[j] == 'F') &&
+          (j + 1 >= line.size() || !IsIdentChar(line[j + 1]))) {
+        Report(file, n + 1, "no-float",
+               "f-suffixed literal demotes the expression to float");
+      }
+      i = j;
+    }
+  }
+}
+
+void CheckIncludeGuard(const std::string& file, const fs::path& rel,
+                       const std::string& raw_text) {
+  std::string guard = "SPRINGDTW_";
+  for (const char c : rel.generic_string()) {
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';  // src/util/codec.h -> SPRINGDTW_UTIL_CODEC_H_
+  if (raw_text.find("#ifndef " + guard) == std::string::npos ||
+      raw_text.find("#define " + guard) == std::string::npos) {
+    Report(file, 1, "include-guard",
+           "missing or misnamed include guard; expected " + guard);
+  }
+}
+
+void CheckNodiscardStatus(const std::string& file,
+                          const std::string& raw_text) {
+  if (raw_text.find("class [[nodiscard]] Status") == std::string::npos) {
+    Report(file, 1, "nodiscard",
+           "util/status.h must declare `class [[nodiscard]] Status`");
+  }
+  if (raw_text.find("class [[nodiscard]] StatusOr") == std::string::npos) {
+    Report(file, 1, "nodiscard",
+           "util/status.h must declare `class [[nodiscard]] StatusOr`");
+  }
+}
+
+bool LintFile(const fs::path& path, const fs::path& src_root) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw_text = buffer.str();
+  const std::string file = path.generic_string();
+  const fs::path rel = fs::relative(path, src_root);
+
+  const std::vector<std::string> stripped_lines =
+      SplitLines(StripCommentsAndStrings(raw_text));
+
+  CheckRawAlloc(file, raw_text, stripped_lines);
+  const std::string rel_str = rel.generic_string();
+  if (rel_str.rfind("dtw/", 0) == 0 || rel_str.rfind("core/", 0) == 0) {
+    CheckNoFloat(file, stripped_lines);
+  }
+  if (path.extension() == ".h") {
+    CheckIncludeGuard(file, rel, raw_text);
+  }
+  if (rel_str == "util/status.h") {
+    CheckNodiscardStatus(file, raw_text);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <src-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path src_root(argv[1]);
+  std::error_code ec;
+  if (!fs::is_directory(src_root, ec)) {
+    std::fprintf(stderr, "not a directory: %s\n", argv[1]);
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path ext = entry.path().extension();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  bool io_ok = true;
+  for (const fs::path& path : files) {
+    io_ok = LintFile(path, src_root) && io_ok;
+  }
+  if (!io_ok) return 2;
+
+  for (const Violation& v : g_violations) {
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  if (!g_violations.empty()) {
+    std::printf("springdtw_lint: %zu violation(s) in %zu files scanned\n",
+                g_violations.size(), files.size());
+    return 1;
+  }
+  std::printf("springdtw_lint: OK (%zu files scanned)\n", files.size());
+  return 0;
+}
