@@ -9,6 +9,8 @@
 #   lint        tools/springdtw_lint over src/ (also runs inside ctest;
 #               this leg gives it a named line in the summary)
 #   fuzz-smoke  Replays the seed corpora through the fuzz harnesses
+#   bench-smoke Runs bench_scaleout on a small workload; fails if the
+#               batched single-thread path loses to the scalar path
 #
 # Usage: scripts/check.sh [leg ...]   (no args = all legs)
 # Exits non-zero if any leg fails; prints a per-leg summary either way.
@@ -19,7 +21,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default asan-ubsan tsan lint fuzz-smoke)
+  LEGS=(default asan-ubsan tsan lint fuzz-smoke bench-smoke)
 fi
 
 NAMES=()
@@ -49,6 +51,12 @@ leg_fuzz_smoke() {
     ctest --test-dir build -R '^fuzz_' --output-on-failure
 }
 
+leg_bench_smoke() {
+  cmake --preset default &&
+    cmake --build --preset default -j"$JOBS" --target bench_scaleout &&
+    ./build/bench/bench_scaleout --smoke
+}
+
 run_leg() {
   local leg="$1"
   echo
@@ -60,9 +68,10 @@ run_leg() {
     tsan) leg_tsan || status=FAIL ;;
     lint) leg_lint || status=FAIL ;;
     fuzz-smoke) leg_fuzz_smoke || status=FAIL ;;
+    bench-smoke) leg_bench_smoke || status=FAIL ;;
     *)
       echo "unknown leg: ${leg} (known: default asan-ubsan tsan lint" \
-        "fuzz-smoke)"
+        "fuzz-smoke bench-smoke)"
       status=FAIL
       ;;
   esac

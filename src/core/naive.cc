@@ -36,37 +36,63 @@ bool NaiveMatcher::Update(double x, Match* match) {
   // Advance every matrix by one column (k grows by one) and reduce, per
   // query row i, the minimum distance over all start positions together
   // with its arg-min — i.e., recompute the STWM cells d(t, i) / s(t, i)
-  // the expensive way.
+  // the expensive way. The iteration is row-major across matrices (not
+  // matrix-major) so the max_match_length prune below can be applied to
+  // the *merged* STWM cell between rows, exactly as SpringMatcher applies
+  // it: when row i's merged optimum starts too far back, the cell d(t, i)
+  // dies for every path — including still-admissible start positions whose
+  // dominated alignments routed through it.
   std::fill(row_min_.begin(), row_min_.end(), kInf);
   std::fill(row_argmin_.begin(), row_argmin_.end(), int64_t{-1});
+  diag_.resize(columns_.size());
   for (size_t p = 0; p < columns_.size(); ++p) {
-    std::vector<double>& col = columns_[p];
-    // In-place column update; `diag` walks the previous column one step
-    // behind the write position.
-    double diag = col[0];  // f(k-1, 0)
-    col[0] = kInf;         // f(k, 0) = inf for k >= 1.
-    for (int64_t i = 1; i <= m; ++i) {
+    diag_[p] = columns_[p][0];  // f(k-1, 0)
+    columns_[p][0] = kInf;      // f(k, 0) = inf for k >= 1.
+  }
+  for (int64_t i = 1; i <= m; ++i) {
+    const double local = dtw::PointDistance(
+        options_.local_distance, x, query_[static_cast<size_t>(i - 1)]);
+    for (size_t p = 0; p < columns_.size(); ++p) {
+      std::vector<double>& col = columns_[p];
       const double up = col[static_cast<size_t>(i)];        // f(k-1, i)
       const double left = col[static_cast<size_t>(i - 1)];  // f(k, i-1)
+      const double diag = diag_[p];                         // f(k-1, i-1)
       double best = left;
       if (up < best) best = up;
       if (diag < best) best = diag;
-      const double local = dtw::PointDistance(
-          options_.local_distance, x, query_[static_cast<size_t>(i - 1)]);
       col[static_cast<size_t>(i)] = best == kInf ? kInf : local + best;
-      diag = up;
+      diag_[p] = up;
       if (col[static_cast<size_t>(i)] < row_min_[static_cast<size_t>(i)]) {
         row_min_[static_cast<size_t>(i)] = col[static_cast<size_t>(i)];
         row_argmin_[static_cast<size_t>(i)] = static_cast<int64_t>(p);
       }
     }
+    // Length-constraint extension, applied at the merged-cell level like
+    // SpringMatcher's per-cell prune (see SpringOptions::max_match_length):
+    // s(t, i) is this row's arg-min start, and the prune kills the whole
+    // STWM cell, so every matrix loses it.
+    if (options_.max_match_length > 0 &&
+        row_argmin_[static_cast<size_t>(i)] >= 0 &&
+        t - row_argmin_[static_cast<size_t>(i)] + 1 >
+            options_.max_match_length) {
+      for (std::vector<double>& col : columns_) {
+        col[static_cast<size_t>(i)] = kInf;
+      }
+      row_min_[static_cast<size_t>(i)] = kInf;
+      row_argmin_[static_cast<size_t>(i)] = -1;
+    }
   }
 
   const double dm = row_min_[static_cast<size_t>(m)];
   const int64_t sm = row_argmin_[static_cast<size_t>(m)];
+  // min_match_length is a report filter (see SpringOptions); computed once
+  // here, like SpringMatcher, because the post-report kill below never
+  // changes sm — it can only invalidate row m outright.
+  const bool long_enough = options_.min_match_length <= 0 ||
+                           t - sm + 1 >= options_.min_match_length;
 
   // Best-match tracking.
-  if (sm >= 0 && (!has_best_ || dm < best_.distance)) {
+  if (sm >= 0 && long_enough && (!has_best_ || dm < best_.distance)) {
     has_best_ = true;
     best_.start = sm;
     best_.end = t;
@@ -125,7 +151,7 @@ bool NaiveMatcher::Update(double x, Match* match) {
 
   const double dm_after = row_min_[static_cast<size_t>(m)];
   const int64_t sm_after = row_argmin_[static_cast<size_t>(m)];
-  if (sm_after >= 0 && dm_after <= options_.epsilon) {
+  if (sm_after >= 0 && dm_after <= options_.epsilon && long_enough) {
     if (dm_after < dmin_) {
       dmin_ = dm_after;
       ts_ = sm_after;

@@ -16,9 +16,12 @@ namespace core {
 /// The paper's "Naive" baseline (Section 3.1.3): one time-warping matrix per
 /// starting position, each advanced by one column per tick — O(n*m) time and
 /// O(n*m) space per tick, where n is the stream length so far. Functionally
-/// equivalent to SpringMatcher (same matches, same report times); exists as
-/// the comparison subject of Figures 7 and 8 and as an independent oracle in
-/// tests.
+/// equivalent to SpringMatcher (same matches, same report times), including
+/// the max_match_length / min_match_length extensions; exists as the
+/// comparison subject of Figures 7 and 8 and as an independent oracle in
+/// tests (the differential oracle test compares the two on every workload).
+/// Ties between equal-distance start positions may resolve differently than
+/// SpringMatcher's Equation (8) tie-break — both choices are optimal.
 class NaiveMatcher {
  public:
   /// Same contract as SpringMatcher.
@@ -66,6 +69,9 @@ class NaiveMatcher {
   // min over start positions p of f_p(., i); row_argmin_[i] = s(t, i).
   std::vector<double> row_min_;
   std::vector<int64_t> row_argmin_;
+
+  // Scratch: per-matrix f(k-1, i-1) values for the row-major update.
+  std::vector<double> diag_;
 
   int64_t t_ = 0;
   bool has_candidate_ = false;

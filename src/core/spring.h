@@ -146,6 +146,11 @@ class SpringMatcher {
   std::span<const int64_t> LastRowStarts() const;
 
  private:
+  // The SoA batch pool (core/spring_batch.h) bridges matcher state in and
+  // out of its packed layout (AdoptMatcher / ToMatcher) without widening
+  // the public API.
+  friend class SpringBatchPool;
+
   template <typename Dist>
   bool UpdateImpl(double x, Match* match, Dist dist);
 

@@ -1,0 +1,212 @@
+#ifndef SPRINGDTW_CORE_SPRING_BATCH_H_
+#define SPRINGDTW_CORE_SPRING_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/invariants.h"
+#include "core/match.h"
+#include "core/spring.h"
+#include "dtw/local_distance.h"
+#include "util/memory.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace core {
+
+/// Structure-of-arrays SPRING matcher pool: advances *every* query attached
+/// to one stream in a single cache-friendly pass per tick.
+///
+/// SpringMatcher is optimal for one query, but a monitoring engine feeding
+/// the same stream value to dozens of matchers pays one object traversal —
+/// options load, row-pointer chase, virtual-free but cold call — per query
+/// per tick. The pool keeps all queries' DP rows in two contiguous arrays
+/// (UCR-suite-style batching: Rakthanmanon et al., KDD 2012, applied to the
+/// SPRING recurrence), shares the star-row handling (d(t, 0) = 0 and
+/// s(t, 0) = t are constants, so row index 0 is never materialized), and
+/// walks the whole pool segment by segment. PushBatch() additionally
+/// processes a span of ticks query-major, so each query's two rows stay in
+/// L1 for the entire batch.
+///
+/// Semantics are bit-for-bit identical to running one SpringMatcher per
+/// query: the same DP expression order, the same Equation (8) tie-breaks,
+/// the same report / kill / group logic, so distances compare bitwise equal
+/// and the no-false-dismissal guarantee carries over unchanged (the
+/// differential oracle test enforces this).
+///
+/// Queries may be added mid-stream (each keeps its own tick counter) and may
+/// use different SpringOptions. The pool is single-threaded, like
+/// SpringMatcher; shard pools across threads for parallelism
+/// (docs/SCALEOUT.md).
+class SpringBatchPool {
+ public:
+  /// One disjoint-query report produced by Update / PushBatch / Flush.
+  struct Report {
+    int64_t query_index = 0;
+    Match match;
+  };
+
+  SpringBatchPool() = default;
+
+  SpringBatchPool(const SpringBatchPool&) = default;
+  SpringBatchPool& operator=(const SpringBatchPool&) = default;
+  SpringBatchPool(SpringBatchPool&&) = default;
+  SpringBatchPool& operator=(SpringBatchPool&&) = default;
+
+  /// Adds a fresh query (tick 0); returns its pool index. `query` must be
+  /// non-empty and NaN-free (CHECK-enforced, mirroring SpringMatcher).
+  int64_t AddQuery(std::vector<double> query, const SpringOptions& options);
+
+  /// Adds a query carrying `matcher`'s complete live state — rows, tick
+  /// counter, pending candidate, best match. The pool continues the stream
+  /// exactly where the matcher left off (checkpoint restore, engine-mode
+  /// switches).
+  int64_t AdoptMatcher(const SpringMatcher& matcher);
+
+  /// Materializes query `index` as a standalone SpringMatcher with
+  /// identical live state: feeding both the same suffix yields identical
+  /// reports, and ToMatcher(i).SerializeState() is byte-identical to the
+  /// snapshot an equivalent per-query matcher would produce.
+  SpringMatcher ToMatcher(int64_t index) const;
+
+  /// Advances every query by one stream value. Reports are appended to
+  /// `*reports` (not cleared) in query-index order; returns the number
+  /// appended. `reports` may be null for best-match-only use.
+  int64_t Update(double x, std::vector<Report>* reports);
+
+  /// Advances every query through `values`, query-major: each query
+  /// consumes the whole span before the next query starts, so its DP rows
+  /// stay hot. Reports are appended ordered by (report tick, query index) —
+  /// the same order per-tick Update calls would produce. Returns the number
+  /// appended.
+  int64_t PushBatch(std::span<const double> values,
+                    std::vector<Report>* reports);
+
+  /// End-of-stream flush of every query's still-pending candidate
+  /// (SpringMatcher::Flush semantics), appended in query-index order.
+  int64_t Flush(std::vector<Report>* reports);
+
+  int64_t num_queries() const {
+    return static_cast<int64_t>(queries_.size());
+  }
+
+  /// Per-query accessors mirroring SpringMatcher's observability surface.
+  int64_t ticks_processed(int64_t index) const {
+    return at(index).t;
+  }
+  int64_t query_length(int64_t index) const { return at(index).m; }
+  bool has_pending_candidate(int64_t index) const {
+    return at(index).has_candidate;
+  }
+  double candidate_distance(int64_t index) const { return at(index).dmin; }
+  int64_t candidate_start(int64_t index) const { return at(index).ts; }
+  int64_t candidate_end(int64_t index) const { return at(index).te; }
+  bool has_best(int64_t index) const { return at(index).has_best; }
+  Match best(int64_t index) const { return at(index).best; }
+  double best_distance(int64_t index) const {
+    return at(index).best.distance;
+  }
+  int64_t cells_pruned_total(int64_t index) const {
+    return at(index).cells_pruned;
+  }
+  const SpringOptions& options(int64_t index) const {
+    return at(index).options;
+  }
+
+  /// Aggregate working-set bytes (rows + query values + per-query state).
+  util::MemoryFootprint Footprint() const;
+
+ private:
+  /// Per-query scalar state. Row data lives in the pool-wide arrays below;
+  /// each query owns the half-open segment [row_offset, row_offset + m) of
+  /// both, holding STWM rows i = 1..m (the star row i = 0 is implicit).
+  struct QueryState {
+    int64_t query_offset = 0;  // Into query_values_.
+    int64_t row_offset = 0;    // Into the d/s row arrays.
+    int64_t m = 0;
+    SpringOptions options;
+    int64_t t = 0;
+    bool has_candidate = false;
+    double dmin = 0.0;
+    int64_t ts = 0;
+    int64_t te = 0;
+    int64_t group_start = 0;
+    int64_t group_end = 0;
+    bool has_best = false;
+    Match best;
+    int64_t cells_pruned = 0;
+    int64_t last_report_end = -1;  // Debug-gated disjointness baseline.
+  };
+
+  const QueryState& at(int64_t index) const;
+
+  /// Appends a query slot (rows initialized to the fresh-matcher state) and
+  /// returns its index.
+  int64_t AppendSlot(std::vector<double> query, const SpringOptions& options);
+
+  /// Advances query `q` by one value. `d_prev`/`s_prev` hold the previous
+  /// tick's rows for this query's segment, `d_cur`/`s_cur` receive the new
+  /// ones (caller manages the double-buffer parity). Returns true when a
+  /// disjoint-query match was reported into `*match`.
+  template <typename Dist>
+  bool UpdateOne(QueryState& q, double x, Dist dist, const double* y,
+                 double* d_cur, int64_t* s_cur, const double* d_prev,
+                 const int64_t* s_prev, Match* match);
+
+  /// Dispatches on the query's local-distance functor.
+  bool UpdateOneDispatch(QueryState& q, double x, double* d_cur,
+                         int64_t* s_cur, const double* d_prev,
+                         const int64_t* s_prev, Match* match);
+
+  std::vector<QueryState> queries_;
+  std::vector<double> query_values_;  // Concatenated query vectors.
+
+  // Double-buffered SoA rows for all queries. rows_[parity_] holds the
+  // previous tick's rows ("prev"), rows_[1 - parity_] is scratch for the
+  // tick being computed; parity flips once per consumed tick.
+  std::vector<double> d_rows_[2];
+  std::vector<int64_t> s_rows_[2];
+  int parity_ = 0;
+
+#if SPRINGDTW_ENABLE_INVARIANT_CHECKS
+  // Scratch full columns (star row materialized) for the debug-gated
+  // invariant checks; see docs/CORRECTNESS.md.
+  std::vector<double> check_d_, check_d_prev_;
+  std::vector<int64_t> check_s_, check_s_prev_;
+#endif
+};
+
+/// Adapter exposing one pool slot through SpringMatcher's accessor names,
+/// so code templated on a "matcher-like" object (e.g. the engine's
+/// observability bookkeeping) works with either backing store.
+class PoolQueryView {
+ public:
+  PoolQueryView(const SpringBatchPool& pool, int64_t index)
+      : pool_(&pool), index_(index) {}
+
+  int64_t ticks_processed() const { return pool_->ticks_processed(index_); }
+  bool has_pending_candidate() const {
+    return pool_->has_pending_candidate(index_);
+  }
+  double candidate_distance() const {
+    return pool_->candidate_distance(index_);
+  }
+  int64_t candidate_start() const { return pool_->candidate_start(index_); }
+  int64_t candidate_end() const { return pool_->candidate_end(index_); }
+  bool has_best() const { return pool_->has_best(index_); }
+  Match best() const { return pool_->best(index_); }
+  double best_distance() const { return pool_->best_distance(index_); }
+  int64_t cells_pruned_total() const {
+    return pool_->cells_pruned_total(index_);
+  }
+
+ private:
+  const SpringBatchPool* pool_;
+  int64_t index_;
+};
+
+}  // namespace core
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_CORE_SPRING_BATCH_H_

@@ -1,5 +1,8 @@
 #include "monitor/engine.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "core/invariants.h"
 #include "util/codec.h"
 #include "util/logging.h"
@@ -67,10 +70,16 @@ util::StatusOr<int64_t> MonitorEngine::AddQuery(
     }
   }
   const int64_t query_id = static_cast<int64_t>(queries_.size());
-  queries_.push_back(QueryEntry{stream_id, std::move(name),
-                                core::SpringMatcher(std::move(query), options),
-                                QueryStats{}, QueryObs{}});
   StreamEntry& stream = streams_[static_cast<size_t>(stream_id)];
+  QueryEntry entry;
+  entry.stream_id = stream_id;
+  entry.name = std::move(name);
+  if (options_.batch_queries) {
+    entry.pool_index = stream.pool.AddQuery(std::move(query), options);
+  } else {
+    entry.matcher.emplace(std::move(query), options);
+  }
+  queries_.push_back(std::move(entry));
   stream.query_ids.push_back(query_id);
   if (obs_ != nullptr) {
     queries_.back().obs = ResolveQueryObs(stream.name, queries_.back().name,
@@ -79,6 +88,47 @@ util::StatusOr<int64_t> MonitorEngine::AddQuery(
         static_cast<double>(num_queries() + num_vector_queries()));
   }
   return query_id;
+}
+
+util::StatusOr<int64_t> MonitorEngine::AddQueryFromSnapshot(
+    int64_t stream_id, std::string name, std::span<const uint8_t> snapshot) {
+  if (stream_id < 0 || stream_id >= num_streams()) {
+    return util::NotFoundError(
+        util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
+  }
+  auto matcher = core::SpringMatcher::DeserializeState(snapshot);
+  if (!matcher.ok()) return matcher.status();
+  const int64_t query_id = static_cast<int64_t>(queries_.size());
+  StreamEntry& stream = streams_[static_cast<size_t>(stream_id)];
+  QueryEntry entry;
+  entry.stream_id = stream_id;
+  entry.name = std::move(name);
+  if (options_.batch_queries) {
+    entry.pool_index = stream.pool.AdoptMatcher(*matcher);
+  } else {
+    entry.matcher = std::move(*matcher);
+  }
+  queries_.push_back(std::move(entry));
+  stream.query_ids.push_back(query_id);
+  if (obs_ != nullptr) {
+    queries_.back().obs = ResolveQueryObs(stream.name, queries_.back().name,
+                                          /*vector_space=*/false);
+    obs_queries_->Set(
+        static_cast<double>(num_queries() + num_vector_queries()));
+  }
+  return query_id;
+}
+
+std::vector<uint8_t> MonitorEngine::SerializeQueryState(
+    int64_t query_id) const {
+  SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
+  const QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+  if (options_.batch_queries) {
+    return streams_[static_cast<size_t>(query.stream_id)]
+        .pool.ToMatcher(query.pool_index)
+        .SerializeState();
+  }
+  return query.matcher->SerializeState();
 }
 
 void MonitorEngine::AddSink(MatchSink* sink) {
@@ -121,11 +171,64 @@ util::StatusOr<int64_t> MonitorEngine::Push(int64_t stream_id, double value) {
 
   int64_t reported = 0;
   core::Match match;
-  if (obs_ == nullptr) {
+  if (options_.batch_queries) {
+    core::SpringBatchPool& pool = stream.pool;
+    if (obs_ != nullptr) stream.obs_pushes->Increment();
+    pre_update_scratch_.clear();
     for (const int64_t query_id : stream.query_ids) {
       QueryEntry& query = queries_[static_cast<size_t>(query_id)];
       ++query.stats.ticks;
-      if (query.matcher.Update(value, &match)) {
+      if (obs_ != nullptr) {
+        query.obs.ticks->Increment();
+        pre_update_scratch_.push_back(
+            PreUpdate{pool.has_pending_candidate(query.pool_index),
+                      pool.has_best(query.pool_index),
+                      pool.best_distance(query.pool_index)});
+      }
+    }
+    batch_reports_.clear();
+    pool.Update(value, &batch_reports_);
+    if (obs_ == nullptr) {
+      for (const core::SpringBatchPool::Report& report : batch_reports_) {
+        const int64_t query_id =
+            stream.query_ids[static_cast<size_t>(report.query_index)];
+        QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+        ++query.stats.matches;
+        query.stats.output_delay.Add(static_cast<double>(
+            report.match.report_time - report.match.end));
+        Dispatch(query, report.match);
+        ++reported;
+      }
+    } else {
+      size_t next_report = 0;
+      for (size_t k = 0; k < stream.query_ids.size(); ++k) {
+        const int64_t query_id = stream.query_ids[k];
+        QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+        const bool reported_here =
+            next_report < batch_reports_.size() &&
+            batch_reports_[next_report].query_index == query.pool_index;
+        const PreUpdate& pre = pre_update_scratch_[k];
+        ObserveUpdate(core::PoolQueryView(pool, query.pool_index), query,
+                      query_id, obs::TraceSpace::kScalar, pre.had_candidate,
+                      pre.had_best, pre.prev_best, reported_here);
+        if (reported_here) {
+          const core::Match& reported_match =
+              batch_reports_[next_report++].match;
+          ++query.stats.matches;
+          query.stats.output_delay.Add(static_cast<double>(
+              reported_match.report_time - reported_match.end));
+          ObserveMatch(query, query_id, obs::TraceSpace::kScalar,
+                       reported_match, obs::TraceEventKind::kMatchReported);
+          Dispatch(query, reported_match);
+          ++reported;
+        }
+      }
+    }
+  } else if (obs_ == nullptr) {
+    for (const int64_t query_id : stream.query_ids) {
+      QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+      ++query.stats.ticks;
+      if (query.matcher->Update(value, &match)) {
         ++query.stats.matches;
         query.stats.output_delay.Add(
             static_cast<double>(match.report_time - match.end));
@@ -139,12 +242,12 @@ util::StatusOr<int64_t> MonitorEngine::Push(int64_t stream_id, double value) {
       QueryEntry& query = queries_[static_cast<size_t>(query_id)];
       ++query.stats.ticks;
       query.obs.ticks->Increment();
-      const bool had_candidate = query.matcher.has_pending_candidate();
-      const bool had_best = query.matcher.has_best();
-      const double prev_best = query.matcher.best_distance();
-      const bool reported_here = query.matcher.Update(value, &match);
-      ObserveUpdate(query, query_id, obs::TraceSpace::kScalar, had_candidate,
-                    had_best, prev_best, reported_here);
+      const bool had_candidate = query.matcher->has_pending_candidate();
+      const bool had_best = query.matcher->has_best();
+      const double prev_best = query.matcher->best_distance();
+      const bool reported_here = query.matcher->Update(value, &match);
+      ObserveUpdate(*query.matcher, query, query_id, obs::TraceSpace::kScalar,
+                    had_candidate, had_best, prev_best, reported_here);
       if (reported_here) {
         ++query.stats.matches;
         query.stats.output_delay.Add(
@@ -164,6 +267,85 @@ util::StatusOr<int64_t> MonitorEngine::Push(int64_t stream_id, double value) {
     if (obs_ != nullptr) obs_push_latency_->Observe(nanos);
   }
   if (obs_ != nullptr) MaybeReport();
+  return reported;
+}
+
+util::StatusOr<int64_t> MonitorEngine::PushBatch(
+    int64_t stream_id, std::span<const double> values) {
+  if (stream_id < 0 || stream_id >= num_streams()) {
+    return util::NotFoundError(
+        util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
+  }
+  // Per-tick fallback: the only path in per-matcher mode, and the exact
+  // path with a bundle attached (per-tick metrics and trace events).
+  if (!options_.batch_queries || obs_ != nullptr) {
+    int64_t reported = 0;
+    for (const double value : values) {
+      auto pushed = Push(stream_id, value);
+      if (!pushed.ok()) return pushed;
+      reported += *pushed;
+    }
+    return reported;
+  }
+
+  StreamEntry& stream = streams_[static_cast<size_t>(stream_id)];
+  // Mirror the Push error contract: with repair disabled, values before the
+  // first NaN are processed, then the push fails.
+  size_t count = values.size();
+  bool missing_error = false;
+  if (!stream.repair_missing) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (ts::IsMissing(values[i])) {
+        count = i;
+        missing_error = true;
+        break;
+      }
+    }
+  }
+
+  // Repair into the scratch buffer so the pool sees the post-repair stream.
+  batch_values_.assign(values.begin(), values.begin() + count);
+  if (stream.repair_missing) {
+    for (double& value : batch_values_) {
+      if (!stream.repairer_seeded && !ts::IsMissing(value)) {
+        stream.repairer = ts::StreamingRepairer(value);
+        stream.repairer_seeded = true;
+      }
+      value = stream.repairer.Next(value);
+    }
+  }
+
+  const bool timed = track_latency_;
+  int64_t start_nanos = 0;
+  if (timed) start_nanos = util::Stopwatch::NowNanos();
+
+  for (const int64_t query_id : stream.query_ids) {
+    queries_[static_cast<size_t>(query_id)].stats.ticks +=
+        static_cast<int64_t>(count);
+  }
+  batch_reports_.clear();
+  const int64_t reported = stream.pool.PushBatch(batch_values_,
+                                                 &batch_reports_);
+  for (const core::SpringBatchPool::Report& report : batch_reports_) {
+    const int64_t query_id =
+        stream.query_ids[static_cast<size_t>(report.query_index)];
+    QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+    ++query.stats.matches;
+    query.stats.output_delay.Add(
+        static_cast<double>(report.match.report_time - report.match.end));
+    Dispatch(query, report.match);
+  }
+
+  if (timed) {
+    // One sample for the whole run; per-value latency is not observable on
+    // the batched path.
+    push_latency_nanos_.Add(
+        static_cast<double>(util::Stopwatch::NowNanos() - start_nanos));
+  }
+  if (missing_error) {
+    return util::InvalidArgumentError(
+        "missing value pushed to a stream with repair disabled");
+  }
   return reported;
 }
 
@@ -281,8 +463,8 @@ util::StatusOr<int64_t> MonitorEngine::PushRow(int64_t stream_id,
       const bool had_best = query.matcher.has_best();
       const double prev_best = query.matcher.best_distance();
       const bool reported_here = query.matcher.Update(row, &match);
-      ObserveUpdate(query, query_id, obs::TraceSpace::kVector, had_candidate,
-                    had_best, prev_best, reported_here);
+      ObserveUpdate(query.matcher, query, query_id, obs::TraceSpace::kVector,
+                    had_candidate, had_best, prev_best, reported_here);
       if (reported_here) {
         ++query.stats.matches;
         query.stats.output_delay.Add(
@@ -313,20 +495,50 @@ const QueryStats& MonitorEngine::vector_stats(int64_t query_id) const {
 int64_t MonitorEngine::FlushAll() {
   int64_t reported = 0;
   core::Match match;
-  for (size_t i = 0; i < queries_.size(); ++i) {
-    QueryEntry& query = queries_[i];
-    if (query.matcher.Flush(&match)) {
+  if (options_.batch_queries) {
+    // Pools flush per stream; collect and re-order so sinks see the same
+    // global query-id order the per-matcher loop produces.
+    std::vector<std::pair<int64_t, core::Match>> flushed;
+    for (StreamEntry& stream : streams_) {
+      batch_reports_.clear();
+      stream.pool.Flush(&batch_reports_);
+      for (const core::SpringBatchPool::Report& report : batch_reports_) {
+        flushed.emplace_back(
+            stream.query_ids[static_cast<size_t>(report.query_index)],
+            report.match);
+      }
+    }
+    std::sort(flushed.begin(), flushed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [query_id, flushed_match] : flushed) {
+      QueryEntry& query = queries_[static_cast<size_t>(query_id)];
       ++query.stats.matches;
       query.stats.output_delay.Add(
-          static_cast<double>(match.report_time - match.end));
+          static_cast<double>(flushed_match.report_time - flushed_match.end));
       if (obs_ != nullptr) {
         query.obs.candidates_flushed->Increment();
-        ObserveMatch(query, static_cast<int64_t>(i),
-                     obs::TraceSpace::kScalar, match,
+        ObserveMatch(query, query_id, obs::TraceSpace::kScalar, flushed_match,
                      obs::TraceEventKind::kCandidateFlushed);
       }
-      Dispatch(query, match);
+      Dispatch(query, flushed_match);
       ++reported;
+    }
+  } else {
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      QueryEntry& query = queries_[i];
+      if (query.matcher->Flush(&match)) {
+        ++query.stats.matches;
+        query.stats.output_delay.Add(
+            static_cast<double>(match.report_time - match.end));
+        if (obs_ != nullptr) {
+          query.obs.candidates_flushed->Increment();
+          ObserveMatch(query, static_cast<int64_t>(i),
+                       obs::TraceSpace::kScalar, match,
+                       obs::TraceEventKind::kCandidateFlushed);
+        }
+        Dispatch(query, match);
+        ++reported;
+      }
     }
   }
   for (size_t i = 0; i < vector_queries_.size(); ++i) {
@@ -448,12 +660,11 @@ MonitorEngine::QueryObs MonitorEngine::ResolveQueryObs(
   return handles;
 }
 
-template <typename Entry>
-void MonitorEngine::ObserveUpdate(Entry& query, int64_t query_id,
-                                  obs::TraceSpace space, bool had_candidate,
-                                  bool had_best, double prev_best,
-                                  bool reported) {
-  const auto& matcher = query.matcher;
+template <typename MatcherLike, typename Entry>
+void MonitorEngine::ObserveUpdate(const MatcherLike& matcher, Entry& query,
+                                  int64_t query_id, obs::TraceSpace space,
+                                  bool had_candidate, bool had_best,
+                                  double prev_best, bool reported) {
   // A report clears the pending candidate mid-Update, so after a report any
   // pending candidate is a newly opened one.
   if ((!had_candidate || reported) && matcher.has_pending_candidate()) {
@@ -525,16 +736,26 @@ void MonitorEngine::RefreshObservabilityGauges() {
   obs_memory_bytes_->Set(static_cast<double>(Footprint().TotalBytes()));
   obs_streams_->Set(static_cast<double>(num_streams() + num_vector_streams()));
   obs_queries_->Set(static_cast<double>(num_queries() + num_vector_queries()));
-  const auto refresh = [](auto& query) {
+  const auto refresh = [](auto& query, const auto& matcher) {
     query.obs.candidate_pending->Set(
-        query.matcher.has_pending_candidate() ? 1.0 : 0.0);
-    const int64_t pruned = query.matcher.cells_pruned_total();
+        matcher.has_pending_candidate() ? 1.0 : 0.0);
+    const int64_t pruned = matcher.cells_pruned_total();
     query.obs.cells_pruned->Increment(pruned -
                                       query.obs.cells_pruned_exported);
     query.obs.cells_pruned_exported = pruned;
   };
-  for (QueryEntry& query : queries_) refresh(query);
-  for (VectorQueryEntry& query : vector_queries_) refresh(query);
+  for (QueryEntry& query : queries_) {
+    if (options_.batch_queries) {
+      refresh(query, core::PoolQueryView(
+                         streams_[static_cast<size_t>(query.stream_id)].pool,
+                         query.pool_index));
+    } else {
+      refresh(query, *query.matcher);
+    }
+  }
+  for (VectorQueryEntry& query : vector_queries_) {
+    refresh(query, query.matcher);
+  }
 }
 
 const QueryStats& MonitorEngine::stats(int64_t query_id) const {
@@ -544,8 +765,14 @@ const QueryStats& MonitorEngine::stats(int64_t query_id) const {
 
 util::MemoryFootprint MonitorEngine::Footprint() const {
   util::MemoryFootprint fp;
-  for (const QueryEntry& query : queries_) {
-    fp.Merge(query.matcher.Footprint());
+  if (options_.batch_queries) {
+    for (const StreamEntry& stream : streams_) {
+      fp.Merge(stream.pool.Footprint());
+    }
+  } else {
+    for (const QueryEntry& query : queries_) {
+      fp.Merge(query.matcher->Footprint());
+    }
   }
   for (const VectorQueryEntry& query : vector_queries_) {
     fp.Merge(query.matcher.Footprint());
@@ -588,11 +815,13 @@ std::vector<uint8_t> MonitorEngine::SerializeState() const {
     writer.WriteDouble(stream.repairer.last());
   }
   writer.WriteU64(queries_.size());
-  for (const QueryEntry& query : queries_) {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const QueryEntry& query = queries_[i];
     writer.WriteI64(query.stream_id);
     writer.WriteString(query.name);
-    const std::vector<uint8_t> snapshot = query.matcher.SerializeState();
-    writer.WriteBytes(snapshot);
+    // SerializeQueryState emits identical bytes in both engine modes, so
+    // checkpoints are mode-portable.
+    writer.WriteBytes(SerializeQueryState(static_cast<int64_t>(i)));
     WriteStats(&writer, query.stats);
   }
 
@@ -694,8 +923,18 @@ util::Status MonitorEngine::RestoreState(std::span<const uint8_t> bytes) {
     if (stream_id < 0 || stream_id >= num_streams()) {
       return util::InvalidArgumentError("checkpoint query has bad stream");
     }
-    queries_.push_back(QueryEntry{stream_id, std::move(name),
-                                  std::move(*matcher), stats, QueryObs{}});
+    QueryEntry entry;
+    entry.stream_id = stream_id;
+    entry.name = std::move(name);
+    entry.stats = stats;
+    if (options_.batch_queries) {
+      entry.pool_index =
+          streams_[static_cast<size_t>(stream_id)].pool.AdoptMatcher(
+              *matcher);
+    } else {
+      entry.matcher = std::move(*matcher);
+    }
+    queries_.push_back(std::move(entry));
     streams_[static_cast<size_t>(stream_id)].query_ids.push_back(
         static_cast<int64_t>(queries_.size()) - 1);
   }

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/spring.h"
+#include "core/spring_batch.h"
 #include "core/vector_spring.h"
 #include "monitor/sink.h"
 #include "obs/observability.h"
@@ -29,16 +31,37 @@ struct QueryStats {
   util::RunningStats output_delay;
 };
 
+/// Engine construction options.
+struct EngineOptions {
+  /// When true, each scalar stream advances all of its queries through a
+  /// per-stream structure-of-arrays pool (core::SpringBatchPool) instead of
+  /// one SpringMatcher object per query — a single cache-friendly pass per
+  /// tick, and PushBatch() processes whole value runs query-major. Match
+  /// output, per-query stats, and checkpoints are bit-for-bit identical in
+  /// both modes (the differential oracle test enforces this); batching only
+  /// changes the memory layout. Vector streams always use per-query
+  /// matchers.
+  bool batch_queries = false;
+};
+
 /// Multi-stream, multi-query monitoring engine: the operational shell around
 /// SpringMatcher for the paper's headline use case ("monitor multiple
 /// numerical streams" against pattern queries). Register streams, attach any
 /// number of queries to each, push values as they arrive; matches fan out to
-/// the registered sinks. Single-threaded by design: one engine per ingest
-/// thread (matchers are independent, so sharding streams across engines is
-/// trivial and lock-free).
+/// the registered sinks.
+///
+/// Threading model: an engine instance is confined to one thread — no member
+/// is synchronized, and Push mutates matcher rows, stats, and sinks in
+/// place. Matchers on different engines share nothing, so the supported
+/// scale-out shape is stream sharding: partition streams across N engines,
+/// one ingest thread each. monitor::ShardedMonitor packages exactly that
+/// (hash-partitioned ingest over SPSC queues with deterministic merged
+/// output); see docs/SCALEOUT.md for the model and its memory-ordering
+/// contract.
 class MonitorEngine {
  public:
   MonitorEngine() = default;
+  explicit MonitorEngine(const EngineOptions& options) : options_(options) {}
 
   MonitorEngine(const MonitorEngine&) = delete;
   MonitorEngine& operator=(const MonitorEngine&) = delete;
@@ -59,6 +82,17 @@ class MonitorEngine {
   /// Feeds one value to every query of `stream_id`. Returns the number of
   /// matches reported at this tick, or an error for an unknown stream.
   util::StatusOr<int64_t> Push(int64_t stream_id, double value);
+
+  /// Feeds a contiguous run of values to every query of `stream_id`;
+  /// returns the total number of matches reported. Exactly equivalent to
+  /// calling Push once per value (same matches, same sink order, same
+  /// stats), but in batch mode (EngineOptions::batch_queries) without an
+  /// observability bundle the run is processed query-major so each query's
+  /// DP rows stay in L1 across the whole span. With a bundle attached the
+  /// engine falls back to per-tick processing to keep per-tick metrics and
+  /// trace events exact.
+  util::StatusOr<int64_t> PushBatch(int64_t stream_id,
+                                    std::span<const double> values);
 
   /// Registers a k-dimensional ("vector") stream, Section 5.3 style.
   /// Vector streams have their own id space, separate from scalar streams.
@@ -140,8 +174,25 @@ class MonitorEngine {
   /// Restores a checkpoint into this engine. The engine must be freshly
   /// constructed (no streams or queries registered); sinks may already be
   /// attached. On error the engine is left unusable for matching — discard
-  /// it.
+  /// it. Checkpoints are mode-portable: a batch-mode engine restores a
+  /// per-matcher checkpoint byte-exactly and vice versa.
   util::Status RestoreState(std::span<const uint8_t> bytes);
+
+  /// Serializes one scalar query's live matcher state (the bytes of
+  /// core::SpringMatcher::SerializeState, identical in both engine modes).
+  /// Building block for topology-changing restores — e.g. resharding a
+  /// ShardedMonitor checkpoint into a different worker count — where whole-
+  /// engine checkpoints cannot be replayed. Requires a valid query id.
+  std::vector<uint8_t> SerializeQueryState(int64_t query_id) const;
+
+  /// Attaches a query whose matcher state comes from a
+  /// SerializeQueryState / SpringMatcher::SerializeState snapshot, resuming
+  /// that query mid-stream on this engine. Returns the new query id.
+  util::StatusOr<int64_t> AddQueryFromSnapshot(
+      int64_t stream_id, std::string name,
+      std::span<const uint8_t> snapshot);
+
+  const EngineOptions& options() const { return options_; }
 
  private:
   /// Pre-resolved instrument handles for one query, so the observed ingest
@@ -166,13 +217,19 @@ class MonitorEngine {
     ts::StreamingRepairer repairer;
     bool repairer_seeded = false;
     std::vector<int64_t> query_ids;
+    /// Batch mode only: the SoA pool holding this stream's matcher state.
+    /// Pool slot k corresponds to query_ids[k]. Empty in per-matcher mode.
+    core::SpringBatchPool pool;
     obs::Counter* obs_pushes = nullptr;
   };
 
   struct QueryEntry {
     int64_t stream_id = 0;
     std::string name;
-    core::SpringMatcher matcher;
+    /// Engaged in per-matcher mode; in batch mode the authoritative state
+    /// lives in the stream's pool at `pool_index`.
+    std::optional<core::SpringMatcher> matcher;
+    int64_t pool_index = -1;
     QueryStats stats;
     QueryObs obs;
   };
@@ -206,9 +263,12 @@ class MonitorEngine {
   /// Post-Update bookkeeping for candidate-churn and best-improvement
   /// metrics and trace events. `reported` is Update()'s return value (a
   /// report clears the pending candidate, so a still-pending candidate
-  /// after a report is a fresh one).
-  template <typename Entry>
-  void ObserveUpdate(Entry& query, int64_t query_id, obs::TraceSpace space,
+  /// after a report is a fresh one). `matcher` is anything exposing
+  /// SpringMatcher's observability accessors — a matcher itself or a
+  /// core::PoolQueryView over a batch-pool slot.
+  template <typename MatcherLike, typename Entry>
+  void ObserveUpdate(const MatcherLike& matcher, Entry& query,
+                     int64_t query_id, obs::TraceSpace space,
                      bool had_candidate, bool had_best, double prev_best,
                      bool reported);
 
@@ -220,11 +280,25 @@ class MonitorEngine {
   /// Runs the periodic reporter if one is attached and due.
   void MaybeReport();
 
+  EngineOptions options_;
   std::vector<StreamEntry> streams_;
   std::vector<QueryEntry> queries_;
   std::vector<VectorStreamEntry> vector_streams_;
   std::vector<VectorQueryEntry> vector_queries_;
   std::vector<MatchSink*> sinks_;
+  /// Pre-Update snapshot for one query, captured before a batched pool
+  /// advance so observability can detect candidate/best transitions.
+  struct PreUpdate {
+    bool had_candidate = false;
+    bool had_best = false;
+    double prev_best = 0.0;
+  };
+
+  /// Hot-path scratch (batch mode), kept as members so Push never
+  /// allocates in steady state.
+  std::vector<core::SpringBatchPool::Report> batch_reports_;
+  std::vector<double> batch_values_;
+  std::vector<PreUpdate> pre_update_scratch_;
   bool track_latency_ = false;
   util::LogHistogram push_latency_nanos_;
 

@@ -1,0 +1,459 @@
+#include "monitor/sharded_monitor.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/codec.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace monitor {
+
+namespace {
+
+/// FNV-1a: stable across runs and platforms (std::hash is not guaranteed
+/// to be), so stream placement — and thus shard-local state layout — is
+/// reproducible for a given name and worker count.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr uint32_t kMonitorMagic = 0x5350524D;  // "SPRM"
+constexpr uint32_t kMonitorVersion = 1;
+
+void WriteStats(util::ByteWriter* writer, const QueryStats& stats) {
+  writer->WriteI64(stats.ticks);
+  writer->WriteI64(stats.matches);
+  stats.output_delay.SerializeTo(writer);
+}
+
+bool ReadStats(util::ByteReader* reader, QueryStats* stats) {
+  return reader->ReadI64(&stats->ticks) &&
+         reader->ReadI64(&stats->matches) &&
+         stats->output_delay.DeserializeFrom(reader);
+}
+
+}  // namespace
+
+ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
+    : options_(options) {
+  SPRINGDTW_CHECK_GE(options_.num_workers, 1);
+  shards_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int64_t w = 0; w < options_.num_workers; ++w) {
+    auto shard = std::make_unique<Shard>();
+    EngineOptions engine_options;
+    engine_options.batch_queries = options_.batch_queries;
+    shard->engine = std::make_unique<MonitorEngine>(engine_options);
+    shard->queue =
+        std::make_unique<SpscQueue<TickMessage>>(options_.queue_capacity);
+    if (options_.collect_metrics) {
+      shard->obs = std::make_unique<obs::Observability>();
+      shard->engine->AttachObservability(shard->obs.get());
+    }
+    Shard* shard_raw = shard.get();
+    shard->sink = std::make_unique<CallbackSink>(
+        [shard_raw](const MatchOrigin& origin, const core::Match& match) {
+          PendingMatch pending;
+          pending.global_query_id =
+              shard_raw->global_query_ids[static_cast<size_t>(
+                  origin.query_id)];
+          pending.seq =
+              shard_raw->flushing
+                  ? kFlushSeq
+                  : shard_raw->msg_seq0 +
+                        static_cast<uint64_t>(match.report_time -
+                                              shard_raw->msg_base_tick);
+          pending.match = match;
+          shard_raw->matches.push_back(pending);
+        });
+    shard->engine->AddSink(shard->sink.get());
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedMonitor::~ShardedMonitor() { Stop(); }
+
+int64_t ShardedMonitor::AddStream(std::string name, bool repair_missing) {
+  if (started_) Drain();
+  const int64_t stream_id = static_cast<int64_t>(streams_.size());
+  StreamInfo info;
+  info.worker = static_cast<int64_t>(
+      HashName(name) % static_cast<uint64_t>(num_workers()));
+  info.repair_missing = repair_missing;
+  Shard& shard = *shards_[static_cast<size_t>(info.worker)];
+  // The router repairs before sharding, so the shard stream runs with
+  // repair off and only ever sees finite values.
+  info.local_id = shard.engine->AddStream(name, /*repair_missing=*/false);
+  info.name = std::move(name);
+  shard.global_stream_ids.push_back(stream_id);
+  shard.stream_ticks.push_back(0);
+  streams_.push_back(std::move(info));
+  return stream_id;
+}
+
+util::StatusOr<int64_t> ShardedMonitor::AddQuery(
+    int64_t stream_id, std::string name, std::vector<double> query,
+    const core::SpringOptions& options) {
+  if (stream_id < 0 || stream_id >= num_streams()) {
+    return util::NotFoundError(
+        util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
+  }
+  if (started_) Drain();
+  StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
+  Shard& shard = *shards_[static_cast<size_t>(stream.worker)];
+  QueryInfo info;
+  info.stream_id = stream_id;
+  info.name = name;
+  auto local = shard.engine->AddQuery(stream.local_id, std::move(name),
+                                      std::move(query), options);
+  if (!local.ok()) return local.status();
+  info.local_id = *local;
+  const int64_t query_id = static_cast<int64_t>(queries_.size());
+  shard.global_query_ids.push_back(query_id);
+  queries_.push_back(std::move(info));
+  return query_id;
+}
+
+void ShardedMonitor::AddSink(MatchSink* sink) {
+  SPRINGDTW_CHECK(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void ShardedMonitor::Start() {
+  if (started_) return;
+  for (auto& shard : shards_) {
+    shard->thread = std::thread(&ShardedMonitor::WorkerLoop, this,
+                                shard.get());
+  }
+  started_ = true;
+}
+
+void ShardedMonitor::WorkerLoop(Shard* shard) {
+  TickMessage msg;
+  for (;;) {
+    shard->queue->Pop(&msg);
+    if (msg.kind == TickMessage::Kind::kStop) {
+      shard->consumed.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    shard->msg_seq0 = msg.seq0;
+    shard->msg_base_tick =
+        shard->stream_ticks[static_cast<size_t>(msg.local_stream)];
+    const auto pushed = shard->engine->PushBatch(
+        msg.local_stream,
+        std::span<const double>(msg.values,
+                                static_cast<size_t>(msg.count)));
+    SPRINGDTW_CHECK(pushed.ok())
+        << "shard ingest failed: " << pushed.status().ToString();
+    shard->stream_ticks[static_cast<size_t>(msg.local_stream)] += msg.count;
+    // Release everything written above (engine state, buffered matches) to
+    // the drain barrier's acquire.
+    shard->consumed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+util::Status ShardedMonitor::Push(int64_t stream_id, double value) {
+  if (stream_id < 0 || stream_id >= num_streams()) {
+    return util::NotFoundError(
+        util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
+  }
+  SPRINGDTW_CHECK(started_) << "Start() the monitor before pushing";
+  StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
+  if (!stream.repair_missing && ts::IsMissing(value)) {
+    return util::InvalidArgumentError(
+        "missing value pushed to a stream with repair disabled");
+  }
+  RouteValue(stream, value);
+  return util::Status::Ok();
+}
+
+util::Status ShardedMonitor::PushBatch(int64_t stream_id,
+                                       std::span<const double> values) {
+  if (stream_id < 0 || stream_id >= num_streams()) {
+    return util::NotFoundError(
+        util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
+  }
+  SPRINGDTW_CHECK(started_) << "Start() the monitor before pushing";
+  StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
+  for (const double value : values) {
+    // Same error contract as MonitorEngine: values before the first NaN on
+    // a repair-disabled stream are processed, then the push fails.
+    if (!stream.repair_missing && ts::IsMissing(value)) {
+      return util::InvalidArgumentError(
+          "missing value pushed to a stream with repair disabled");
+    }
+    RouteValue(stream, value);
+  }
+  return util::Status::Ok();
+}
+
+void ShardedMonitor::RouteValue(StreamInfo& stream, double value) {
+  if (stream.repair_missing) {
+    if (!stream.repairer_seeded && !ts::IsMissing(value)) {
+      stream.repairer = ts::StreamingRepairer(value);
+      stream.repairer_seeded = true;
+    }
+    value = stream.repairer.Next(value);
+  }
+  // Stage into the (single) pending message; flush it first if it belongs
+  // to a different stream or is full, so in-message sequence numbers stay
+  // consecutive.
+  if (has_staged_ && (staged_worker_ != stream.worker ||
+                      staged_.local_stream !=
+                          static_cast<int32_t>(stream.local_id) ||
+                      staged_.count == kTickBatch)) {
+    FlushStaged();
+  }
+  if (!has_staged_) {
+    staged_ = TickMessage{};
+    staged_.local_stream = static_cast<int32_t>(stream.local_id);
+    staged_.seq0 = next_seq_;
+    staged_worker_ = stream.worker;
+    has_staged_ = true;
+  }
+  staged_.values[staged_.count++] = value;
+  ++next_seq_;
+  ++stream.pushes;
+  if (staged_.count == kTickBatch) FlushStaged();
+}
+
+void ShardedMonitor::FlushStaged() {
+  if (!has_staged_) return;
+  Shard& shard = *shards_[static_cast<size_t>(staged_worker_)];
+  shard.produced.fetch_add(1, std::memory_order_relaxed);
+  shard.queue->Push(staged_);
+  has_staged_ = false;
+  staged_worker_ = -1;
+}
+
+void ShardedMonitor::AwaitQuiescent() {
+  FlushStaged();
+  for (auto& shard : shards_) {
+    const uint64_t produced =
+        shard->produced.load(std::memory_order_relaxed);
+    while (shard->consumed.load(std::memory_order_acquire) < produced) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+int64_t ShardedMonitor::Drain() {
+  if (started_) AwaitQuiescent();
+  return DeliverPending();
+}
+
+int64_t ShardedMonitor::DeliverPending() {
+  delivery_scratch_.clear();
+  for (auto& shard : shards_) {
+    delivery_scratch_.insert(delivery_scratch_.end(),
+                             shard->matches.begin(), shard->matches.end());
+    shard->matches.clear();
+  }
+  std::sort(delivery_scratch_.begin(), delivery_scratch_.end(),
+            [](const PendingMatch& a, const PendingMatch& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.global_query_id < b.global_query_id;
+            });
+  for (const PendingMatch& pending : delivery_scratch_) {
+    QueryInfo& query =
+        queries_[static_cast<size_t>(pending.global_query_id)];
+    ++query.stats.matches;
+    query.stats.output_delay.Add(static_cast<double>(
+        pending.match.report_time - pending.match.end));
+    MatchOrigin origin;
+    origin.stream_id = query.stream_id;
+    origin.query_id = pending.global_query_id;
+    origin.stream_name = streams_[static_cast<size_t>(query.stream_id)].name;
+    origin.query_name = query.name;
+    for (MatchSink* sink : sinks_) sink->OnMatch(origin, pending.match);
+  }
+  for (QueryInfo& query : queries_) {
+    query.stats.ticks =
+        streams_[static_cast<size_t>(query.stream_id)].pushes;
+  }
+  return static_cast<int64_t>(delivery_scratch_.size());
+}
+
+int64_t ShardedMonitor::FlushAll() {
+  int64_t delivered = Drain();
+  // Post-barrier the caller owns the engines; flush them inline and mark
+  // the matches so they order after every tick match.
+  for (auto& shard : shards_) {
+    shard->flushing = true;
+    shard->engine->FlushAll();
+    shard->flushing = false;
+  }
+  delivered += DeliverPending();
+  return delivered;
+}
+
+void ShardedMonitor::Stop() {
+  if (!started_) return;
+  Drain();
+  for (auto& shard : shards_) {
+    TickMessage stop;
+    stop.kind = TickMessage::Kind::kStop;
+    shard->produced.fetch_add(1, std::memory_order_relaxed);
+    shard->queue->Push(stop);
+  }
+  for (auto& shard : shards_) {
+    shard->thread.join();
+  }
+  started_ = false;
+}
+
+int64_t ShardedMonitor::worker_of_stream(int64_t stream_id) const {
+  SPRINGDTW_CHECK(stream_id >= 0 && stream_id < num_streams());
+  return streams_[static_cast<size_t>(stream_id)].worker;
+}
+
+const QueryStats& ShardedMonitor::stats(int64_t query_id) const {
+  SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
+  return queries_[static_cast<size_t>(query_id)].stats;
+}
+
+obs::MetricsSnapshot ShardedMonitor::MergedMetricsSnapshot() {
+  Drain();
+  std::vector<obs::MetricsSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    if (shard->obs == nullptr) continue;
+    shard->engine->RefreshObservabilityGauges();
+    snapshots.push_back(shard->obs->registry().Snapshot());
+  }
+  return obs::MergeSnapshots(snapshots);
+}
+
+util::MemoryFootprint ShardedMonitor::Footprint() {
+  Drain();
+  util::MemoryFootprint fp;
+  for (auto& shard : shards_) {
+    fp.Merge(shard->engine->Footprint());
+  }
+  return fp;
+}
+
+std::vector<uint8_t> ShardedMonitor::SerializeState() {
+  // Full barrier: pending matches are delivered (a checkpoint never holds
+  // undelivered matches), engines quiescent and caller-visible.
+  Drain();
+  util::ByteWriter writer;
+  writer.WriteU32(kMonitorMagic);
+  writer.WriteU32(kMonitorVersion);
+  writer.WriteU64(next_seq_);
+  writer.WriteU64(streams_.size());
+  for (const StreamInfo& stream : streams_) {
+    writer.WriteString(stream.name);
+    writer.WriteBool(stream.repair_missing);
+    writer.WriteBool(stream.repairer_seeded);
+    writer.WriteDouble(stream.repairer.last());
+    writer.WriteI64(stream.pushes);
+  }
+  writer.WriteU64(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const QueryInfo& query = queries_[i];
+    const Shard& shard = *shards_[static_cast<size_t>(
+        streams_[static_cast<size_t>(query.stream_id)].worker)];
+    writer.WriteI64(query.stream_id);
+    writer.WriteString(query.name);
+    // One snapshot per query, not per engine: restorable into any worker
+    // count.
+    writer.WriteBytes(shard.engine->SerializeQueryState(query.local_id));
+    WriteStats(&writer, query.stats);
+  }
+  return writer.Take();
+}
+
+util::Status ShardedMonitor::RestoreState(std::span<const uint8_t> bytes) {
+  if (started_ || num_streams() > 0 || num_queries() > 0) {
+    return util::FailedPreconditionError(
+        "RestoreState requires a fresh, unstarted monitor");
+  }
+  util::ByteReader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  reader.ReadU32(&magic);
+  reader.ReadU32(&version);
+  if (!reader.ok() || magic != kMonitorMagic) {
+    return util::InvalidArgumentError("not a ShardedMonitor checkpoint");
+  }
+  if (version != kMonitorVersion) {
+    return util::InvalidArgumentError("unsupported checkpoint version");
+  }
+  reader.ReadU64(&next_seq_);
+
+  uint64_t num_ckpt_streams = 0;
+  reader.ReadU64(&num_ckpt_streams);
+  for (uint64_t i = 0; reader.ok() && i < num_ckpt_streams; ++i) {
+    std::string name;
+    bool repair_missing = true;
+    bool seeded = false;
+    double last = 0.0;
+    int64_t pushes = 0;
+    reader.ReadString(&name);
+    reader.ReadBool(&repair_missing);
+    reader.ReadBool(&seeded);
+    reader.ReadDouble(&last);
+    reader.ReadI64(&pushes);
+    if (!reader.ok() || pushes < 0) {
+      return util::InvalidArgumentError("checkpoint stream corrupt");
+    }
+    const int64_t stream_id = AddStream(std::move(name), repair_missing);
+    StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
+    stream.repairer_seeded = seeded;
+    stream.repairer = ts::StreamingRepairer(last);
+    stream.pushes = pushes;
+    Shard& shard = *shards_[static_cast<size_t>(stream.worker)];
+    shard.stream_ticks[static_cast<size_t>(stream.local_id)] = pushes;
+  }
+
+  uint64_t num_ckpt_queries = 0;
+  reader.ReadU64(&num_ckpt_queries);
+  for (uint64_t i = 0; reader.ok() && i < num_ckpt_queries; ++i) {
+    int64_t stream_id = 0;
+    std::string name;
+    std::span<const uint8_t> snapshot;
+    reader.ReadI64(&stream_id);
+    reader.ReadString(&name);
+    if (!reader.ReadBytesSpan(&snapshot)) {
+      return util::InvalidArgumentError("checkpoint truncated");
+    }
+    QueryStats stats;
+    if (!ReadStats(&reader, &stats)) {
+      return util::InvalidArgumentError("checkpoint stats truncated");
+    }
+    if (stream_id < 0 || stream_id >= num_streams()) {
+      return util::InvalidArgumentError("checkpoint query has bad stream");
+    }
+    StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
+    Shard& shard = *shards_[static_cast<size_t>(stream.worker)];
+    auto local = shard.engine->AddQueryFromSnapshot(stream.local_id, name,
+                                                    snapshot);
+    if (!local.ok()) return local.status();
+    QueryInfo info;
+    info.stream_id = stream_id;
+    info.name = std::move(name);
+    info.local_id = *local;
+    info.stats = stats;
+    shard.global_query_ids.push_back(static_cast<int64_t>(queries_.size()));
+    queries_.push_back(std::move(info));
+  }
+
+  if (!reader.ok()) {
+    return util::InvalidArgumentError("checkpoint truncated");
+  }
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError("checkpoint has trailing bytes");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace monitor
+}  // namespace springdtw

@@ -1,0 +1,259 @@
+#ifndef SPRINGDTW_MONITOR_SHARDED_MONITOR_H_
+#define SPRINGDTW_MONITOR_SHARDED_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spring.h"
+#include "monitor/engine.h"
+#include "monitor/sink.h"
+#include "monitor/spsc_queue.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "ts/repair.h"
+#include "util/memory.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace monitor {
+
+struct ShardedMonitorOptions {
+  /// Worker (shard) count. Streams are hash-partitioned across workers by
+  /// name; each worker owns one MonitorEngine on its own thread.
+  int64_t num_workers = 1;
+  /// Per-worker tick-queue capacity in messages (each message carries up
+  /// to 16 values). Rounded up to a power of two.
+  size_t queue_capacity = 256;
+  /// Shard engines run in SoA batch mode (EngineOptions::batch_queries).
+  bool batch_queries = true;
+  /// Give each shard engine its own observability bundle; merged fleet
+  /// metrics are then available via MergedMetricsSnapshot(). Costs the
+  /// engine's observed ingest path per shard (and disables the engine's
+  /// query-major PushBatch fast path, which needs the unobserved path).
+  bool collect_metrics = false;
+};
+
+/// Scale-out shell around MonitorEngine: hash-partitions scalar streams
+/// across N single-threaded worker engines, feeds them through bounded SPSC
+/// tick queues, and merges match output, metrics, and checkpoints back into
+/// one deterministic façade.
+///
+/// ## Threading model (details: docs/SCALEOUT.md)
+///
+/// Exactly one caller thread (the "router") may invoke the public API; N
+/// worker threads each own one MonitorEngine and never touch anything
+/// else. Values are repaired (NaN hold-last) and assigned a global
+/// sequence number on the router, then shipped in 16-value messages over a
+/// lock-free SPSC ring per worker. Workers ingest via the engine's batched
+/// query-major path and buffer matches shard-locally.
+///
+/// Match delivery is *deferred and deterministic*: registered sinks are
+/// invoked only on the caller thread at barrier points (Drain, FlushAll,
+/// Stop), with all shards' pending matches merged in (sequence number,
+/// global query id) order. The same workload therefore produces
+/// byte-identical ordered output for any worker count — 1, 2, or 8 — which
+/// the determinism test locks down.
+///
+/// The drain barrier is the memory-ordering keystone: each worker bumps a
+/// `consumed` counter with a release store after fully processing a
+/// message, and Drain() acquire-loads it until it matches the router's
+/// `produced` count. Everything a worker wrote — engine state, buffered
+/// matches — is therefore visible to the caller after Drain(), which is
+/// what makes checkpointing, metrics merging, flushing, and topology
+/// mutation plain single-threaded code on the caller thread.
+///
+/// Checkpoints are reshard-safe: SerializeState() stores router state plus
+/// one per-query matcher snapshot (not per-worker engine images), so a
+/// checkpoint taken at 8 workers restores into a monitor with any worker
+/// count, resuming byte-identically.
+class ShardedMonitor {
+ public:
+  explicit ShardedMonitor(const ShardedMonitorOptions& options = {});
+  ~ShardedMonitor();
+
+  ShardedMonitor(const ShardedMonitor&) = delete;
+  ShardedMonitor& operator=(const ShardedMonitor&) = delete;
+
+  /// Registers a stream; returns its (global) id. `repair_missing` repairs
+  /// NaNs on the router before values are sharded.
+  int64_t AddStream(std::string name, bool repair_missing = true);
+
+  /// Attaches a query to `stream_id` on its owning shard; returns the
+  /// global query id.
+  util::StatusOr<int64_t> AddQuery(int64_t stream_id, std::string name,
+                                   std::vector<double> query,
+                                   const core::SpringOptions& options);
+
+  /// Registers a sink; not owned; must outlive the monitor. Sinks run on
+  /// the caller thread at barriers, never on worker threads.
+  void AddSink(MatchSink* sink);
+
+  /// Spawns the worker threads. Topology may still be changed afterwards
+  /// (AddStream/AddQuery drain internally). Idempotent while running.
+  void Start();
+  bool started() const { return started_; }
+
+  /// Routes one value to `stream_id`'s shard. Requires Start(). Matches
+  /// produced by this value are buffered until the next barrier.
+  util::Status Push(int64_t stream_id, double value);
+
+  /// Routes a run of values (chunked into tick messages). Same contract
+  /// as Push per value.
+  util::Status PushBatch(int64_t stream_id, std::span<const double> values);
+
+  /// Barrier: blocks until every routed value is fully processed, then
+  /// delivers all buffered matches to the sinks in deterministic order.
+  /// Returns the number of matches delivered.
+  int64_t Drain();
+
+  /// Barrier, then end-of-stream flush of every query's pending candidate.
+  /// Flushed matches order after all tick matches, by global query id.
+  /// Returns the total matches delivered by this call.
+  int64_t FlushAll();
+
+  /// Drains, delivers, stops and joins the workers. Idempotent. Start()
+  /// may be called again afterwards.
+  void Stop();
+
+  int64_t num_workers() const {
+    return static_cast<int64_t>(shards_.size());
+  }
+  int64_t num_streams() const {
+    return static_cast<int64_t>(streams_.size());
+  }
+  int64_t num_queries() const {
+    return static_cast<int64_t>(queries_.size());
+  }
+  /// Which worker owns `stream_id` (stable for a given name and worker
+  /// count).
+  int64_t worker_of_stream(int64_t stream_id) const;
+
+  /// Per-query counters, fresh as of the last barrier.
+  const QueryStats& stats(int64_t query_id) const;
+
+  /// Barrier, then a fleet-wide merged metrics snapshot (see
+  /// obs::MergeSnapshots). Empty unless options.collect_metrics.
+  obs::MetricsSnapshot MergedMetricsSnapshot();
+
+  /// Barrier, then aggregate matcher working-set bytes across shards.
+  util::MemoryFootprint Footprint();
+
+  /// Barrier, then a reshard-safe checkpoint of the entire monitor.
+  std::vector<uint8_t> SerializeState();
+
+  /// Restores a checkpoint into this monitor. Requires a fresh, unstarted
+  /// monitor (no streams/queries); the worker count may differ from the
+  /// checkpointing monitor's.
+  util::Status RestoreState(std::span<const uint8_t> bytes);
+
+ private:
+  /// Values per tick message. Sized so a message (16 doubles + header)
+  /// stays within two cache lines.
+  static constexpr int64_t kTickBatch = 16;
+  /// Sequence number assigned to end-of-stream flush matches so they order
+  /// after every tick match.
+  static constexpr uint64_t kFlushSeq = ~uint64_t{0};
+
+  struct TickMessage {
+    enum class Kind : uint8_t { kData, kStop };
+    Kind kind = Kind::kData;
+    int32_t local_stream = 0;
+    int32_t count = 0;
+    /// Global sequence number of values[0]; the message's values carry
+    /// consecutive numbers (the router never stages across other pushes).
+    uint64_t seq0 = 0;
+    double values[kTickBatch] = {};
+  };
+
+  struct PendingMatch {
+    uint64_t seq = 0;
+    int64_t global_query_id = 0;
+    core::Match match;
+  };
+
+  /// One worker: engine + queue + thread + handoff counters. Worker-side
+  /// fields are written by the worker thread and readable by the caller
+  /// only after a drain barrier (release on `consumed`, acquire in
+  /// Drain()).
+  struct Shard {
+    std::unique_ptr<MonitorEngine> engine;
+    std::unique_ptr<SpscQueue<TickMessage>> queue;
+    std::unique_ptr<CallbackSink> sink;
+    std::unique_ptr<obs::Observability> obs;
+    std::thread thread;
+
+    /// Messages routed (caller thread) / fully processed (worker thread).
+    std::atomic<uint64_t> produced{0};
+    std::atomic<uint64_t> consumed{0};
+
+    /// Worker-side ingest context for sequence attribution.
+    uint64_t msg_seq0 = 0;
+    int64_t msg_base_tick = 0;
+    bool flushing = false;
+    /// Ticks each local stream has consumed (mirrors engine state).
+    std::vector<int64_t> stream_ticks;
+    /// Local id -> global id maps.
+    std::vector<int64_t> global_stream_ids;
+    std::vector<int64_t> global_query_ids;
+    /// Matches buffered since the last barrier.
+    std::vector<PendingMatch> matches;
+  };
+
+  struct StreamInfo {
+    std::string name;
+    bool repair_missing = true;
+    ts::StreamingRepairer repairer;
+    bool repairer_seeded = false;
+    int64_t worker = 0;
+    int64_t local_id = 0;
+    /// Values routed so far (== every attached query's tick count).
+    int64_t pushes = 0;
+  };
+
+  struct QueryInfo {
+    int64_t stream_id = 0;
+    std::string name;
+    int64_t local_id = 0;
+    QueryStats stats;
+  };
+
+  void WorkerLoop(Shard* shard);
+  /// Repairs + stages one value (stream already validated).
+  void RouteValue(StreamInfo& stream, double value);
+  /// Ships the staged message, if any, to its worker queue.
+  void FlushStaged();
+  /// Waits until every shard's consumed count matches produced.
+  void AwaitQuiescent();
+  /// Merges, orders, and dispatches all shards' buffered matches; updates
+  /// per-query stats. Caller must hold the drain barrier.
+  int64_t DeliverPending();
+
+  ShardedMonitorOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<StreamInfo> streams_;
+  std::vector<QueryInfo> queries_;
+  std::vector<MatchSink*> sinks_;
+  bool started_ = false;
+
+  /// Next global sequence number (one per routed value, all streams).
+  uint64_t next_seq_ = 0;
+
+  /// Router-side staging: at most one partially filled message, so the
+  /// sequence numbers inside a message stay consecutive.
+  TickMessage staged_;
+  int64_t staged_worker_ = -1;
+  bool has_staged_ = false;
+
+  /// Scratch for DeliverPending.
+  std::vector<PendingMatch> delivery_scratch_;
+};
+
+}  // namespace monitor
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_MONITOR_SHARDED_MONITOR_H_

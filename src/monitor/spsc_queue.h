@@ -1,0 +1,163 @@
+#ifndef SPRINGDTW_MONITOR_SPSC_QUEUE_H_
+#define SPRINGDTW_MONITOR_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace springdtw {
+namespace monitor {
+
+/// Bounded single-producer single-consumer queue (Lamport ring buffer) with
+/// a busy/park hybrid wait, built for the ShardedMonitor's router→worker
+/// tick channels.
+///
+/// Memory ordering (the contract docs/SCALEOUT.md documents): the producer
+/// publishes a slot with a release store of `tail_`; the consumer's acquire
+/// load of `tail_` therefore observes the fully written slot. Symmetrically
+/// the consumer releases `head_` after moving a slot out, so the producer's
+/// acquire load of `head_` knows the slot is free to reuse. Each side
+/// caches the other's index and refreshes it only on apparent full/empty,
+/// keeping the fast path to one relaxed load, one plain slot write/read,
+/// and one release store.
+///
+/// Blocking waits spin briefly, then park on a mutex + condition variable.
+/// Wakers notify the opposite side's condvar WITHOUT taking its mutex —
+/// the success path of TryPush/TryPop can run while the caller holds its
+/// own park mutex, so locking the opposite mutex there would be an ABBA
+/// deadlock when both sides park at once (the tsan leg caught exactly
+/// that). The un-synchronized parked-flag read and the lockless notify can
+/// each lose a wakeup to a waiter that is just about to park; the bounded
+/// `wait_for` re-check (1ms) turns that lost wakeup into bounded latency
+/// instead of a hang. This keeps the hot path free of fences and is clean
+/// under TSan.
+///
+/// Exactly one producer thread and one consumer thread; the roles may be
+/// taken by different threads over time only if the handoff itself is
+/// synchronized (the ShardedMonitor's drain barrier provides this).
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscQueue(size_t capacity) {
+    size_t rounded = 2;
+    while (rounded < capacity) rounded *= 2;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer: enqueues by move when space is available. On success `item`
+  /// is moved from and the call returns true; on a full queue `item` is
+  /// untouched and the call returns false.
+  bool TryPush(T& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[static_cast<size_t>(tail) & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    // Notify WITHOUT taking consumer_mutex_: Pop holds its own mutex while
+    // re-trying, and its success path lands here symmetrically — taking
+    // the opposite lock from inside that region is an ABBA deadlock when
+    // both sides park at once. The lockless notify can lose a wakeup to a
+    // waiter that has not parked yet; the 1ms wait_for bound absorbs it.
+    if (consumer_parked_.load(std::memory_order_relaxed)) {
+      consumer_cv_.notify_one();
+    }
+    return true;
+  }
+
+  /// Producer: blocking enqueue — spins, then parks in 1ms slices until a
+  /// slot frees up.
+  void Push(T item) {
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (TryPush(item)) return;
+    }
+    std::unique_lock<std::mutex> lock(producer_mutex_);
+    producer_parked_.store(true, std::memory_order_relaxed);
+    while (!TryPush(item)) {
+      producer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    producer_parked_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Consumer: dequeues into `*out` if an item is ready.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[static_cast<size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    // Lockless notify; see TryPush.
+    if (producer_parked_.load(std::memory_order_relaxed)) {
+      producer_cv_.notify_one();
+    }
+    return true;
+  }
+
+  /// Consumer: blocking dequeue — spins, then parks in 1ms slices until an
+  /// item arrives. Termination is the caller's concern (the ShardedMonitor
+  /// delivers stop as an in-band sentinel message).
+  void Pop(T* out) {
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (TryPop(out)) return;
+    }
+    std::unique_lock<std::mutex> lock(consumer_mutex_);
+    consumer_parked_.store(true, std::memory_order_relaxed);
+    while (!TryPop(out)) {
+      consumer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    consumer_parked_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Racy size estimate for metrics/backpressure heuristics only.
+  size_t ApproxSize() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+ private:
+  static constexpr int kSpinIterations = 256;
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+
+  // Producer side: owns tail_, caches head.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+
+  // Consumer side: owns head_, caches tail.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+
+  // Parking. The flags are hints (see class comment); the 1ms wait bound
+  // makes a missed notify cost latency, never correctness.
+  std::atomic<bool> consumer_parked_{false};
+  std::atomic<bool> producer_parked_{false};
+  std::mutex consumer_mutex_;
+  std::condition_variable consumer_cv_;
+  std::mutex producer_mutex_;
+  std::condition_variable producer_cv_;
+};
+
+}  // namespace monitor
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_MONITOR_SPSC_QUEUE_H_

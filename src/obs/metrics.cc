@@ -24,6 +24,88 @@ const FamilySnapshot* MetricsSnapshot::Find(std::string_view name) const {
   return nullptr;
 }
 
+namespace {
+
+void MergeHistogram(const HistogramSnapshot& in, HistogramSnapshot* out) {
+  if (in.count == 0) return;
+  if (out->count == 0) {
+    *out = in;
+    return;
+  }
+  const double w_out = static_cast<double>(out->count);
+  const double w_in = static_cast<double>(in.count);
+  const double total = w_out + w_in;
+  out->min = in.min < out->min ? in.min : out->min;
+  out->max = in.max > out->max ? in.max : out->max;
+  out->sum += in.sum;
+  out->count += in.count;
+  out->mean = out->sum / total;
+  // Count-weighted quantile blend: not exact, but monotone and bounded by
+  // the shard extremes, which is the most a summary merge can promise.
+  out->p50 = (out->p50 * w_out + in.p50 * w_in) / total;
+  out->p90 = (out->p90 * w_out + in.p90 * w_in) / total;
+  out->p99 = (out->p99 * w_out + in.p99 * w_in) / total;
+  out->exact = false;
+}
+
+}  // namespace
+
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& shards) {
+  MetricsSnapshot merged;
+  for (const MetricsSnapshot& shard : shards) {
+    for (const FamilySnapshot& family : shard.families) {
+      FamilySnapshot* target = nullptr;
+      for (FamilySnapshot& existing : merged.families) {
+        if (existing.name == family.name) {
+          target = &existing;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        FamilySnapshot fresh;
+        fresh.name = family.name;
+        fresh.help = family.help;
+        fresh.kind = family.kind;
+        merged.families.push_back(std::move(fresh));
+        target = &merged.families.back();
+      } else {
+        SPRINGDTW_CHECK(target->kind == family.kind)
+            << "metric family '" << family.name
+            << "' has conflicting kinds across shards";
+      }
+      for (const SeriesSnapshot& series : family.series) {
+        SeriesSnapshot* slot = nullptr;
+        for (SeriesSnapshot& existing : target->series) {
+          if (existing.labels == series.labels) {
+            slot = &existing;
+            break;
+          }
+        }
+        if (slot == nullptr) {
+          SeriesSnapshot fresh;
+          fresh.labels = series.labels;
+          // Histogram fields merge via MergeHistogram below so `exact`
+          // stays meaningful; scalar fields start at zero and accumulate.
+          target->series.push_back(std::move(fresh));
+          slot = &target->series.back();
+        }
+        switch (family.kind) {
+          case MetricKind::kCounter:
+            slot->counter_value += series.counter_value;
+            break;
+          case MetricKind::kGauge:
+            slot->gauge_value += series.gauge_value;
+            break;
+          case MetricKind::kHistogram:
+            MergeHistogram(series.histogram, &slot->histogram);
+            break;
+        }
+      }
+    }
+  }
+  return merged;
+}
+
 MetricsRegistry::Family* MetricsRegistry::FindOrCreateFamily(
     std::string_view name, std::string_view help, MetricKind kind) {
   for (Family& family : families_) {

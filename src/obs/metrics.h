@@ -132,6 +132,18 @@ struct MetricsSnapshot {
   const FamilySnapshot* Find(std::string_view name) const;
 };
 
+/// Merges per-shard registry snapshots into one fleet-wide view (e.g. the
+/// N worker registries of a monitor::ShardedMonitor). Families and series
+/// are unioned by (name, labels), keeping first-seen order. Counters and
+/// gauges sum — every engine gauge (memory bytes, stream/query counts,
+/// pending candidates) is an extensive quantity, so summation is the
+/// correct fleet aggregate. Histograms merge count / sum / min / max
+/// exactly and recompute the mean; quantiles are count-weighted averages
+/// of the shard quantiles, and `exact` is cleared whenever more than one
+/// non-empty shard contributed (cross-shard quantiles cannot be recovered
+/// from summaries).
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& shards);
+
 /// Named metric families (counter / gauge / histogram), each with any
 /// number of labeled series. Designed for the engine's single-threaded
 /// ingest path: Get* resolves (or creates) a series once at registration

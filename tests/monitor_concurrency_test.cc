@@ -10,7 +10,13 @@
 //   * checkpoint hand-off: one thread serializes, another restores and
 //     resumes the stream;
 //   * snapshot-while-ingesting: a reporter thread checkpoints and reads
-//     gauges under the same mutex that serializes engine access.
+//     gauges under the same mutex that serializes engine access;
+//   * sharded monitor: monitor::ShardedMonitor packages shard-per-thread
+//     behind SPSC tick queues — the stress case here hammers its
+//     router/worker handoff (queue wrap-around, drain barriers, stop and
+//     restart) with live ingest, which is where its release/acquire
+//     protocol either holds or TSan catches it. The SPSC ring itself is
+//     stressed in monitor_spsc_queue_test.cc, also under this preset.
 // Any data race here is a real bug in the library (e.g. hidden shared
 // state between engine instances), which is precisely what TSan verifies.
 #include <atomic>
@@ -23,6 +29,7 @@
 #include "core/spring.h"
 #include "gtest/gtest.h"
 #include "monitor/engine.h"
+#include "monitor/sharded_monitor.h"
 #include "monitor/sink.h"
 #include "obs/observability.h"
 
@@ -289,6 +296,61 @@ TEST(MonitorConcurrencyTest, ReporterThreadSnapshotsWhileIngesting) {
   EXPECT_TRUE(restored.ok()) << restored.ToString();
   EXPECT_EQ(resumed.num_streams(), 1);
   EXPECT_EQ(resumed.num_queries(), 1);
+}
+
+TEST(MonitorConcurrencyTest, ShardedMonitorSurvivesBarrierHammering) {
+  // Small queue (forces ring wrap-around and producer blocking), frequent
+  // drains (exercises the consumed/produced barrier mid-stream), plus a
+  // full stop/restart cycle. Matches must still equal the per-shard
+  // references exactly.
+  constexpr int kStreams = 4;
+  constexpr int64_t kTicks = 2000;
+
+  int64_t expected_total = 0;
+  for (int i = 0; i < kStreams; ++i) {
+    expected_total += ReferenceMatchCount(i, kTicks);
+  }
+
+  ShardedMonitorOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 4;
+  ShardedMonitor monitor(options);
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  std::vector<int64_t> stream_ids;
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < kStreams; ++i) {
+    stream_ids.push_back(monitor.AddStream("s" + std::to_string(i)));
+    ASSERT_TRUE(monitor
+                    .AddQuery(stream_ids.back(), "q", {1.0, 2.0, 3.0},
+                              TestOptions())
+                    .ok());
+    inputs.push_back(ShardStream(i, kTicks));
+  }
+
+  monitor.Start();
+  int64_t delivered = 0;
+  for (int64_t t = 0; t < kTicks; ++t) {
+    for (int i = 0; i < kStreams; ++i) {
+      ASSERT_TRUE(monitor
+                      .Push(stream_ids[static_cast<size_t>(i)],
+                            inputs[static_cast<size_t>(i)]
+                                  [static_cast<size_t>(t)])
+                      .ok());
+    }
+    if (t % 97 == 0) delivered += monitor.Drain();
+    if (t == kTicks / 2) {
+      // Stop/restart mid-stream: all state must survive the worker
+      // threads being torn down and respawned.
+      monitor.Stop();
+      monitor.Start();
+    }
+  }
+  delivered += monitor.FlushAll();
+  monitor.Stop();
+
+  EXPECT_EQ(delivered, expected_total);
+  EXPECT_EQ(static_cast<int64_t>(sink.entries().size()), expected_total);
 }
 
 }  // namespace

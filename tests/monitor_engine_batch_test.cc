@@ -1,0 +1,257 @@
+// MonitorEngine batch mode (EngineOptions::batch_queries): the SoA-pooled
+// engine must be observably identical to the per-matcher engine — same
+// matches in the same sink order, same stats, byte-identical checkpoints,
+// and mode-portable restore in both directions.
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/spring.h"
+#include "gtest/gtest.h"
+#include "monitor/engine.h"
+#include "monitor/sink.h"
+#include "obs/observability.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Two streams, five queries (one stream holds three), mixed options.
+void BuildTopology(MonitorEngine* engine) {
+  const int64_t hot = engine->AddStream("hot");
+  const int64_t cold = engine->AddStream("cold", /*repair_missing=*/false);
+  core::SpringOptions tight;
+  tight.epsilon = 0.5;
+  core::SpringOptions loose;
+  loose.epsilon = 8.0;
+  core::SpringOptions constrained;
+  constrained.epsilon = 8.0;
+  constrained.max_match_length = 6;
+  ASSERT_TRUE(engine->AddQuery(hot, "ramp", {1.0, 2.0, 3.0}, tight).ok());
+  ASSERT_TRUE(engine->AddQuery(hot, "dip", {3.0, 1.0}, loose).ok());
+  ASSERT_TRUE(
+      engine->AddQuery(hot, "short", {2.0, 2.0}, constrained).ok());
+  ASSERT_TRUE(engine->AddQuery(cold, "ramp2", {1.0, 2.0, 3.0}, tight).ok());
+  ASSERT_TRUE(engine->AddQuery(cold, "flat", {9.0, 9.0}, loose).ok());
+}
+
+std::vector<double> TestStream(uint64_t seed, size_t n, bool with_nan) {
+  util::Rng rng(seed);
+  std::vector<double> stream(n);
+  for (double& x : stream) {
+    x = static_cast<double>(rng.UniformInt(0, 4));
+    if (with_nan && rng.Bernoulli(0.05)) x = kNaN;
+  }
+  return stream;
+}
+
+void ExpectSameEntries(const std::vector<CollectSink::Entry>& got,
+                       const std::vector<CollectSink::Entry>& expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].origin.stream_id, expected[i].origin.stream_id);
+    EXPECT_EQ(got[i].origin.query_id, expected[i].origin.query_id);
+    EXPECT_EQ(got[i].origin.query_name, expected[i].origin.query_name);
+    EXPECT_EQ(got[i].match.start, expected[i].match.start);
+    EXPECT_EQ(got[i].match.end, expected[i].match.end);
+    EXPECT_EQ(got[i].match.distance, expected[i].match.distance);
+    EXPECT_EQ(got[i].match.report_time, expected[i].match.report_time);
+  }
+}
+
+TEST(MonitorEngineBatchTest, MatchesAndStatsIdenticalToPerMatcherMode) {
+  MonitorEngine scalar_engine;
+  MonitorEngine batch_engine(EngineOptions{.batch_queries = true});
+  CollectSink scalar_sink;
+  CollectSink batch_sink;
+  scalar_engine.AddSink(&scalar_sink);
+  batch_engine.AddSink(&batch_sink);
+  BuildTopology(&scalar_engine);
+  BuildTopology(&batch_engine);
+
+  const std::vector<double> hot = TestStream(7, 400, /*with_nan=*/true);
+  const std::vector<double> cold = TestStream(11, 400, /*with_nan=*/false);
+  for (size_t t = 0; t < hot.size(); ++t) {
+    const auto a = scalar_engine.Push(0, hot[t]);
+    const auto b = batch_engine.Push(0, hot[t]);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+    ASSERT_TRUE(scalar_engine.Push(1, cold[t]).ok());
+    ASSERT_TRUE(batch_engine.Push(1, cold[t]).ok());
+  }
+  EXPECT_EQ(scalar_engine.FlushAll(), batch_engine.FlushAll());
+  ExpectSameEntries(batch_sink.entries(), scalar_sink.entries());
+  ASSERT_FALSE(scalar_sink.entries().empty());
+
+  for (int64_t q = 0; q < scalar_engine.num_queries(); ++q) {
+    EXPECT_EQ(batch_engine.stats(q).ticks, scalar_engine.stats(q).ticks);
+    EXPECT_EQ(batch_engine.stats(q).matches, scalar_engine.stats(q).matches);
+  }
+}
+
+TEST(MonitorEngineBatchTest, PushBatchEqualsPerValuePush) {
+  MonitorEngine tick_engine(EngineOptions{.batch_queries = true});
+  MonitorEngine batch_engine(EngineOptions{.batch_queries = true});
+  CollectSink tick_sink;
+  CollectSink batch_sink;
+  tick_engine.AddSink(&tick_sink);
+  batch_engine.AddSink(&batch_sink);
+  BuildTopology(&tick_engine);
+  BuildTopology(&batch_engine);
+
+  const std::vector<double> stream = TestStream(21, 600, /*with_nan=*/true);
+  int64_t tick_reported = 0;
+  for (const double x : stream) {
+    tick_reported += *tick_engine.Push(0, x);
+  }
+  int64_t batch_reported = 0;
+  constexpr size_t kChunk = 37;
+  for (size_t offset = 0; offset < stream.size(); offset += kChunk) {
+    const size_t count = std::min(kChunk, stream.size() - offset);
+    const auto pushed = batch_engine.PushBatch(
+        0, std::span<const double>(stream.data() + offset, count));
+    ASSERT_TRUE(pushed.ok());
+    batch_reported += *pushed;
+  }
+  EXPECT_EQ(batch_reported, tick_reported);
+  ExpectSameEntries(batch_sink.entries(), tick_sink.entries());
+  EXPECT_EQ(batch_engine.stats(0).ticks, tick_engine.stats(0).ticks);
+  EXPECT_EQ(batch_engine.SerializeState(), tick_engine.SerializeState());
+}
+
+TEST(MonitorEngineBatchTest, PushBatchWorksInPerMatcherMode) {
+  MonitorEngine engine;
+  CollectSink sink;
+  engine.AddSink(&sink);
+  BuildTopology(&engine);
+  const std::vector<double> stream = TestStream(33, 200, /*with_nan=*/false);
+  const auto pushed = engine.PushBatch(0, stream);
+  ASSERT_TRUE(pushed.ok());
+  EXPECT_EQ(engine.stats(0).ticks, static_cast<int64_t>(stream.size()));
+}
+
+TEST(MonitorEngineBatchTest, PushBatchMissingValueStopsAtTheNaN) {
+  MonitorEngine engine(EngineOptions{.batch_queries = true});
+  BuildTopology(&engine);
+  // Stream 1 ("cold") has repair disabled: the prefix before the NaN is
+  // processed, then the push fails — exactly the per-value Push contract.
+  const std::vector<double> values = {1.0, 2.0, kNaN, 3.0};
+  EXPECT_FALSE(engine.PushBatch(1, values).ok());
+  EXPECT_EQ(engine.stats(3).ticks, 2);
+}
+
+TEST(MonitorEngineBatchTest, CheckpointsArePortableAcrossModes) {
+  MonitorEngine scalar_engine;
+  MonitorEngine batch_engine(EngineOptions{.batch_queries = true});
+  BuildTopology(&scalar_engine);
+  BuildTopology(&batch_engine);
+  const std::vector<double> stream = TestStream(5, 321, /*with_nan=*/true);
+  for (const double x : stream) {
+    ASSERT_TRUE(scalar_engine.Push(0, x).ok());
+    ASSERT_TRUE(batch_engine.Push(0, x).ok());
+  }
+  // Same bytes from both modes.
+  const std::vector<uint8_t> scalar_ckpt = scalar_engine.SerializeState();
+  const std::vector<uint8_t> batch_ckpt = batch_engine.SerializeState();
+  EXPECT_EQ(batch_ckpt, scalar_ckpt);
+
+  // Cross-restore: batch checkpoint into a per-matcher engine and the other
+  // way round; both resume with identical output.
+  MonitorEngine restored_scalar;
+  MonitorEngine restored_batch(EngineOptions{.batch_queries = true});
+  ASSERT_TRUE(restored_scalar.RestoreState(batch_ckpt).ok());
+  ASSERT_TRUE(restored_batch.RestoreState(scalar_ckpt).ok());
+  CollectSink scalar_sink;
+  CollectSink batch_sink;
+  restored_scalar.AddSink(&scalar_sink);
+  restored_batch.AddSink(&batch_sink);
+  const std::vector<double> tail = TestStream(6, 200, /*with_nan=*/false);
+  for (const double x : tail) {
+    ASSERT_TRUE(restored_scalar.Push(0, x).ok());
+    ASSERT_TRUE(restored_batch.Push(0, x).ok());
+  }
+  restored_scalar.FlushAll();
+  restored_batch.FlushAll();
+  ExpectSameEntries(batch_sink.entries(), scalar_sink.entries());
+  EXPECT_EQ(restored_batch.SerializeState(), restored_scalar.SerializeState());
+}
+
+TEST(MonitorEngineBatchTest, QuerySnapshotRoundTripsThroughAnyMode) {
+  MonitorEngine batch_engine(EngineOptions{.batch_queries = true});
+  BuildTopology(&batch_engine);
+  const std::vector<double> stream = TestStream(9, 150, /*with_nan=*/false);
+  for (const double x : stream) {
+    ASSERT_TRUE(batch_engine.Push(0, x).ok());
+  }
+
+  // Lift query 1 ("dip") out of the batch engine and resume it on a fresh
+  // per-matcher engine — the resharding primitive.
+  const std::vector<uint8_t> snapshot = batch_engine.SerializeQueryState(1);
+  MonitorEngine target;
+  const int64_t stream_id = target.AddStream("hot");
+  const auto query_id =
+      target.AddQueryFromSnapshot(stream_id, "dip", snapshot);
+  ASSERT_TRUE(query_id.ok());
+  EXPECT_EQ(target.SerializeQueryState(*query_id), snapshot);
+
+  // And back into a batch engine.
+  MonitorEngine batch_target(EngineOptions{.batch_queries = true});
+  batch_target.AddStream("hot");
+  const auto batch_query = batch_target.AddQueryFromSnapshot(0, "dip", snapshot);
+  ASSERT_TRUE(batch_query.ok());
+  EXPECT_EQ(batch_target.SerializeQueryState(*batch_query), snapshot);
+
+  // Corrupt snapshots are rejected.
+  std::vector<uint8_t> corrupt = snapshot;
+  corrupt.resize(corrupt.size() / 2);
+  EXPECT_FALSE(target.AddQueryFromSnapshot(stream_id, "bad", corrupt).ok());
+}
+
+TEST(MonitorEngineBatchTest, ObservabilityCountsMatchAcrossModes) {
+  obs::Observability scalar_obs;
+  obs::Observability batch_obs;
+  MonitorEngine scalar_engine;
+  MonitorEngine batch_engine(EngineOptions{.batch_queries = true});
+  scalar_engine.AttachObservability(&scalar_obs);
+  batch_engine.AttachObservability(&batch_obs);
+  BuildTopology(&scalar_engine);
+  BuildTopology(&batch_engine);
+
+  const std::vector<double> stream = TestStream(13, 300, /*with_nan=*/false);
+  for (const double x : stream) {
+    ASSERT_TRUE(scalar_engine.Push(0, x).ok());
+    ASSERT_TRUE(batch_engine.Push(0, x).ok());
+  }
+  scalar_engine.RefreshObservabilityGauges();
+  batch_engine.RefreshObservabilityGauges();
+
+  // Metric families must agree series-by-series except the memory gauge
+  // (layouts differ) and latency histograms (timing noise).
+  const obs::MetricsSnapshot scalar_snap = scalar_obs.registry().Snapshot();
+  const obs::MetricsSnapshot batch_snap = batch_obs.registry().Snapshot();
+  ASSERT_EQ(scalar_snap.families.size(), batch_snap.families.size());
+  for (size_t f = 0; f < scalar_snap.families.size(); ++f) {
+    const auto& sf = scalar_snap.families[f];
+    const auto& bf = batch_snap.families[f];
+    EXPECT_EQ(sf.name, bf.name);
+    if (sf.name == "spring_memory_bytes" ||
+        sf.name == "spring_push_latency_nanos") {
+      continue;
+    }
+    ASSERT_EQ(sf.series.size(), bf.series.size()) << sf.name;
+    for (size_t s = 0; s < sf.series.size(); ++s) {
+      EXPECT_EQ(sf.series[s].labels, bf.series[s].labels) << sf.name;
+      EXPECT_EQ(sf.series[s].counter_value, bf.series[s].counter_value)
+          << sf.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace springdtw

@@ -1,0 +1,101 @@
+// SpscQueue: FIFO integrity, full/empty edge behavior, and a
+// producer/consumer stress transfer. Runs under the tsan preset like every
+// test; the stress case is the one that matters there.
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "monitor/spsc_queue.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> q2(2);
+  EXPECT_EQ(q2.capacity(), 2u);
+  SpscQueue<int> q5(5);
+  EXPECT_EQ(q5.capacity(), 8u);
+  SpscQueue<int> q1(1);
+  EXPECT_EQ(q1.capacity(), 2u);
+}
+
+TEST(SpscQueueTest, FifoSingleThreaded) {
+  SpscQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) {
+    int item = i;
+    EXPECT_TRUE(queue.TryPush(item));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(queue.TryPush(overflow));
+  EXPECT_EQ(overflow, 99);  // Untouched on failure.
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(SpscQueueTest, WrapAroundKeepsOrder) {
+  SpscQueue<int64_t> queue(4);
+  int64_t next_push = 0;
+  int64_t next_pop = 0;
+  for (int round = 0; round < 1000; ++round) {
+    int64_t item = next_push;
+    while (queue.TryPush(item)) {
+      item = ++next_push;
+    }
+    int64_t out = -1;
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, next_pop++);
+  }
+}
+
+TEST(SpscQueueTest, StressTransferPreservesOrderAndSum) {
+  constexpr int64_t kItems = 200000;
+  SpscQueue<int64_t> queue(64);  // Small: forces both sides to block.
+
+  int64_t received_sum = 0;
+  int64_t received_count = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    int64_t expected = 0;
+    int64_t item = -1;
+    while (expected < kItems) {
+      queue.Pop(&item);
+      if (item != expected) ordered = false;
+      received_sum += item;
+      ++received_count;
+      ++expected;
+    }
+  });
+
+  for (int64_t i = 0; i < kItems; ++i) {
+    queue.Push(i);
+  }
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(received_count, kItems);
+  EXPECT_EQ(received_sum, kItems * (kItems - 1) / 2);
+  EXPECT_EQ(queue.ApproxSize(), 0u);
+}
+
+TEST(SpscQueueTest, MoveOnlyPayload) {
+  SpscQueue<std::unique_ptr<int>> queue(4);
+  auto item = std::make_unique<int>(42);
+  EXPECT_TRUE(queue.TryPush(item));
+  EXPECT_EQ(item, nullptr);  // Moved from on success.
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace springdtw

@@ -3,6 +3,7 @@
 //   springdtw_match --stream=chirp_stream.csv --query=chirp_query.csv
 //       --epsilon=100 [--distance=squared|absolute] [--max_length=0]
 //       [--min_length=0] [--topk=0] [--paths]
+//       [--batch=0] [--threads=0]
 //       [--metrics=prom|json] [--metrics_out=FILE]
 //       [--trace_out=FILE] [--trace_capacity=4096] [--report_every=0]
 //
@@ -11,19 +12,31 @@
 // ignored and the K best disjoint matches are printed instead. With
 // --paths each match's warping-path step counts are printed too.
 //
+// Scale-out (threshold mode only): --batch=CHUNK ingests through the
+// engine's SoA batched path in CHUNK-value runs instead of one Push per
+// value. --threads=N routes through the ShardedMonitor shell with N
+// workers (matches still print in deterministic order; a single stream
+// lives on one shard, so this exercises the pipeline rather than
+// splitting the DP). Both produce byte-identical output to the scalar
+// path — the differential oracle test holds them to that.
+//
 // Observability (threshold mode only): --metrics renders the engine's
 // metrics registry after the run — Prometheus text or JSON — to stdout or
-// --metrics_out. --trace_out dumps the match-lifecycle trace ring as JSONL.
-// --report_every=N prints a one-line metrics summary to stderr every N
-// ticks.
+// --metrics_out; with --threads it is the fleet-wide merged snapshot.
+// --trace_out dumps the match-lifecycle trace ring as JSONL (single-engine
+// runs only). --report_every=N prints a one-line metrics summary to stderr
+// every N ticks.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 
 #include "core/subsequence_scan.h"
 #include "monitor/engine.h"
+#include "monitor/sharded_monitor.h"
 #include "monitor/sink.h"
 #include "obs/exposition.h"
 #include "obs/observability.h"
@@ -59,10 +72,21 @@ bool WriteOutput(const std::string& path, const std::string& text) {
   return true;
 }
 
+// Renders a metrics snapshot in `format` (prom|json) to `path`/stdout.
+bool WriteMetrics(const obs::MetricsSnapshot& snapshot,
+                  const std::string& format, const std::string& path) {
+  const std::string rendered = format == "prom"
+                                   ? obs::RenderPrometheus(snapshot)
+                                   : obs::RenderJson(snapshot) + "\n";
+  return WriteOutput(path, rendered);
+}
+
 // Threshold-mode matching through the MonitorEngine with an observability
-// bundle attached; renders metrics / trace afterwards.
+// bundle attached; renders metrics / trace afterwards. `batch_chunk` > 0
+// switches the engine to SoA batch mode and ingests via PushBatch in
+// chunk-value runs.
 int RunObserved(const ts::Series& stream, const ts::Series& query,
-                const core::SpringOptions& options,
+                const core::SpringOptions& options, int64_t batch_chunk,
                 const std::string& metrics_format,
                 const std::string& metrics_out, const std::string& trace_out,
                 int64_t trace_capacity, int64_t report_every) {
@@ -72,8 +96,16 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
   obs_options.report_out = &std::cerr;
   obs::Observability observability(obs_options);
 
-  monitor::MonitorEngine engine;
-  engine.AttachObservability(&observability);
+  monitor::EngineOptions engine_options;
+  engine_options.batch_queries = batch_chunk > 0;
+  monitor::MonitorEngine engine(engine_options);
+  // Attaching observability routes ingest through the engine's observed
+  // per-value path, which bypasses the query-major batched fast path — so
+  // a bare --batch run stays unobserved and actually exercises the SoA
+  // pool.
+  const bool want_obs =
+      !metrics_format.empty() || !trace_out.empty() || report_every > 0;
+  if (want_obs) engine.AttachObservability(&observability);
   // The stream is already repaired here; keep engine-side repair off.
   const int64_t stream_id = engine.AddStream("stream", false);
   const auto query_id =
@@ -90,8 +122,17 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
       });
   engine.AddSink(&printer);
 
-  for (int64_t t = 0; t < stream.size(); ++t) {
-    const auto pushed = engine.Push(stream_id, stream[t]);
+  const std::vector<double>& values = stream.values();
+  const int64_t chunk = std::max<int64_t>(1, batch_chunk);
+  for (int64_t at = 0; at < stream.size(); at += chunk) {
+    const int64_t n = std::min(chunk, stream.size() - at);
+    const util::StatusOr<int64_t> pushed =
+        batch_chunk > 0
+            ? engine.PushBatch(stream_id,
+                               std::span<const double>(
+                                   values.data() + at,
+                                   static_cast<size_t>(n)))
+            : engine.Push(stream_id, values[static_cast<size_t>(at)]);
     if (!pushed.ok()) {
       std::fprintf(stderr, "%s\n", pushed.status().ToString().c_str());
       return 1;
@@ -100,14 +141,12 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
   engine.FlushAll();
   std::printf("# %lld matches\n", static_cast<long long>(count));
 
-  engine.RefreshObservabilityGauges();
+  if (want_obs) engine.RefreshObservabilityGauges();
   if (!metrics_format.empty()) {
-    const obs::MetricsSnapshot snapshot =
-        observability.registry().Snapshot();
-    const std::string rendered = metrics_format == "prom"
-                                     ? obs::RenderPrometheus(snapshot)
-                                     : obs::RenderJson(snapshot) + "\n";
-    if (!WriteOutput(metrics_out, rendered)) return 1;
+    if (!WriteMetrics(observability.registry().Snapshot(), metrics_format,
+                      metrics_out)) {
+      return 1;
+    }
   }
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);
@@ -121,6 +160,59 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
   return 0;
 }
 
+// Threshold-mode matching through the ShardedMonitor shell (--threads=N).
+// Matches are delivered deterministically at the FlushAll barrier; metrics,
+// when requested, are the fleet-wide merged snapshot.
+int RunSharded(const ts::Series& stream, const ts::Series& query,
+               const core::SpringOptions& options, int64_t threads,
+               int64_t batch_chunk, const std::string& metrics_format,
+               const std::string& metrics_out) {
+  monitor::ShardedMonitorOptions monitor_options;
+  monitor_options.num_workers = threads;
+  monitor_options.collect_metrics = !metrics_format.empty();
+  monitor::ShardedMonitor monitor(monitor_options);
+  // The stream is already repaired here; keep router-side repair off.
+  const int64_t stream_id = monitor.AddStream("stream", false);
+  const auto query_id =
+      monitor.AddQuery(stream_id, "query", query.values(), options);
+  if (!query_id.ok()) {
+    std::fprintf(stderr, "%s\n", query_id.status().ToString().c_str());
+    return 1;
+  }
+  int64_t count = 0;
+  monitor::CallbackSink printer(
+      [&count](const monitor::MatchOrigin&, const core::Match& match) {
+        std::printf("%s\n", match.ToString().c_str());
+        ++count;
+      });
+  monitor.AddSink(&printer);
+
+  monitor.Start();
+  const std::vector<double>& values = stream.values();
+  const int64_t chunk = std::max<int64_t>(1, batch_chunk);
+  for (int64_t at = 0; at < stream.size(); at += chunk) {
+    const int64_t n = std::min(chunk, stream.size() - at);
+    const util::Status pushed = monitor.PushBatch(
+        stream_id, std::span<const double>(values.data() + at,
+                                           static_cast<size_t>(n)));
+    if (!pushed.ok()) {
+      std::fprintf(stderr, "%s\n", pushed.ToString().c_str());
+      return 1;
+    }
+  }
+  monitor.FlushAll();
+  std::printf("# %lld matches\n", static_cast<long long>(count));
+
+  if (!metrics_format.empty()) {
+    if (!WriteMetrics(monitor.MergedMetricsSnapshot(), metrics_format,
+                      metrics_out)) {
+      return 1;
+    }
+  }
+  monitor.Stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,7 +223,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --stream=FILE --query=FILE --epsilon=E "
                  "[--topk=K] [--distance=squared|absolute] "
-                 "[--max_length=N] [--min_length=N] [--paths]\n",
+                 "[--max_length=N] [--min_length=N] [--paths] "
+                 "[--batch=CHUNK] [--threads=N]\n",
                  flags.program_name().c_str());
     return 2;
   }
@@ -164,11 +257,18 @@ int main(int argc, char** argv) {
           ? dtw::LocalDistance::kAbsolute
           : dtw::LocalDistance::kSquared;
   const int64_t topk = flags.GetInt64("topk", 0);
+  const int64_t threads = flags.GetInt64("threads", 0);
+  const int64_t batch = flags.GetInt64("batch", 0);
 
   if (topk > 0) {
     if (!flags.GetString("metrics", "").empty() ||
         !flags.GetString("trace_out", "").empty()) {
       std::fprintf(stderr, "--metrics/--trace_out do not combine with "
+                           "--topk\n");
+      return 2;
+    }
+    if (threads > 0 || batch > 0) {
+      std::fprintf(stderr, "--threads/--batch do not combine with "
                            "--topk\n");
       return 2;
     }
@@ -193,7 +293,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--metrics must be 'prom' or 'json'\n");
     return 2;
   }
-  if (!metrics_format.empty() || !trace_out.empty()) {
+  if ((threads > 0 || batch > 0) && flags.GetBool("paths", false)) {
+    std::fprintf(stderr, "--threads/--batch do not combine with --paths\n");
+    return 2;
+  }
+  if (threads > 0 && !trace_out.empty()) {
+    std::fprintf(stderr, "--trace_out needs a single engine; it does not "
+                         "combine with --threads\n");
+    return 2;
+  }
+  if (!metrics_format.empty() || !trace_out.empty() || threads > 0 ||
+      batch > 0) {
     if (flags.GetBool("paths", false)) {
       std::fprintf(stderr, "--metrics/--trace_out do not combine with "
                            "--paths\n");
@@ -204,7 +314,11 @@ int main(int argc, char** argv) {
     options.local_distance = distance;
     options.max_match_length = flags.GetInt64("max_length", 0);
     options.min_match_length = flags.GetInt64("min_length", 0);
-    return RunObserved(repaired, *query, options, metrics_format,
+    if (threads > 0) {
+      return RunSharded(repaired, *query, options, threads, batch,
+                        metrics_format, flags.GetString("metrics_out", ""));
+    }
+    return RunObserved(repaired, *query, options, batch, metrics_format,
                        flags.GetString("metrics_out", ""), trace_out,
                        flags.GetInt64("trace_capacity", 4096),
                        flags.GetInt64("report_every", 0));
