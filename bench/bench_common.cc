@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "obs/exposition.h"
@@ -81,15 +82,30 @@ void MetricsEmitter::Observe(const std::string& name, const std::string& help,
       ->Observe(value);
 }
 
-void MetricsEmitter::Emit(const obs::MetricsSnapshot* engine_snapshot) const {
+obs::MetricsSnapshot MetricsEmitter::MergedSnapshot(
+    const obs::MetricsSnapshot* engine_snapshot) const {
   obs::MetricsSnapshot merged = registry_.Snapshot();
   if (engine_snapshot != nullptr) {
     merged.families.insert(merged.families.end(),
                            engine_snapshot->families.begin(),
                            engine_snapshot->families.end());
   }
+  return merged;
+}
+
+void MetricsEmitter::Emit(const obs::MetricsSnapshot* engine_snapshot) const {
   // One line so log scrapers can grep the prefix and json-parse the rest.
-  std::printf("BENCH_METRICS_JSON %s\n", obs::RenderJson(merged).c_str());
+  std::printf("BENCH_METRICS_JSON %s\n",
+              obs::RenderJson(MergedSnapshot(engine_snapshot)).c_str());
+}
+
+bool MetricsEmitter::WriteJsonFile(
+    const std::string& path,
+    const obs::MetricsSnapshot* engine_snapshot) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << obs::RenderJson(MergedSnapshot(engine_snapshot)) << '\n';
+  return out.good();
 }
 
 }  // namespace bench

@@ -62,7 +62,16 @@ class MetricsEmitter {
   /// is non-null its families are appended after this emitter's own.
   void Emit(const obs::MetricsSnapshot* engine_snapshot = nullptr) const;
 
+  /// Writes the same JSON blob Emit() prints (without the line prefix) to
+  /// `path`, so CI can validate it with springdtw_metrics_check. Returns
+  /// false if the file cannot be written.
+  bool WriteJsonFile(const std::string& path,
+                     const obs::MetricsSnapshot* engine_snapshot =
+                         nullptr) const;
+
  private:
+  obs::MetricsSnapshot MergedSnapshot(
+      const obs::MetricsSnapshot* engine_snapshot) const;
   obs::Labels WithBenchLabel(obs::Labels extra) const;
 
   std::string bench_name_;

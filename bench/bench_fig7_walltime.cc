@@ -13,7 +13,7 @@
 // honestly. SPRING is measured by honestly streaming n ticks.
 //
 //   ./bench_fig7_walltime [--max_n=1000000] [--m=256] [--naive_ticks=5]
-//       [--overhead_n=200000]
+//       [--overhead_n=200000] [--json_out=FILE]
 //
 // Besides the paper table, the bench measures the MonitorEngine's
 // metrics-collection overhead (engine with observability attached vs
@@ -161,6 +161,12 @@ int main(int argc, char** argv) {
   const obs::MetricsSnapshot engine_snapshot =
       observability.registry().Snapshot();
   emitter.Emit(&engine_snapshot);
+  const std::string json_out = flags.GetString("json_out", "");
+  if (!json_out.empty() &&
+      !emitter.WriteJsonFile(json_out, &engine_snapshot)) {
+    std::printf("cannot write --json_out=%s\n", json_out.c_str());
+    return 1;
+  }
 
   std::printf(
       "\npaper shape: naive grows ~linearly in n; SPRING is constant;\n"

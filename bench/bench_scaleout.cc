@@ -4,6 +4,7 @@
 //
 //   ./bench_scaleout [--streams=8] [--queries_per_stream=8] [--m=64]
 //       [--ticks_per_stream=40000] [--chunk=256] [--repeats=3] [--smoke]
+//       [--json_out=FILE]
 //
 // Two very different claims are measured, and they gate differently:
 //
@@ -246,6 +247,11 @@ int main(int argc, char** argv) {
                    "best batched ticks/sec over scalar ticks/sec",
                    scalar > 0.0 ? batched_best / scalar : 0.0);
   emitter.Emit();
+  const std::string json_out = flags.GetString("json_out", "");
+  if (!json_out.empty() && !emitter.WriteJsonFile(json_out)) {
+    std::printf("cannot write --json_out=%s\n", json_out.c_str());
+    return 1;
+  }
 
   std::printf(
       "\nnote: worker scaling is hardware-gated (%u hardware threads "

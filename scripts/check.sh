@@ -9,8 +9,15 @@
 #   lint        tools/springdtw_lint over src/ (also runs inside ctest;
 #               this leg gives it a named line in the summary)
 #   fuzz-smoke  Replays the seed corpora through the fuzz harnesses
-#   bench-smoke Runs bench_scaleout on a small workload; fails if the
-#               batched single-thread path loses to the scalar path
+#   bench-smoke Runs bench_scaleout on a small workload (fails if the
+#               batched single-thread path loses to the scalar path) and a
+#               reduced bench_fig7_walltime; drops BENCH_scaleout.json and
+#               BENCH_fig7.json at the repo root, validated with
+#               springdtw_metrics_check
+#   introspect-smoke
+#               Starts a 4-worker springdtw_match with --introspect_port=0,
+#               polls /healthz to 200 and scrapes /metrics for the
+#               pipeline-stage histogram families
 #
 # Usage: scripts/check.sh [leg ...]   (no args = all legs)
 # Exits non-zero if any leg fails; prints a per-leg summary either way.
@@ -21,7 +28,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default asan-ubsan tsan lint fuzz-smoke bench-smoke)
+  LEGS=(default asan-ubsan tsan lint fuzz-smoke bench-smoke introspect-smoke)
 fi
 
 NAMES=()
@@ -53,8 +60,90 @@ leg_fuzz_smoke() {
 
 leg_bench_smoke() {
   cmake --preset default &&
-    cmake --build --preset default -j"$JOBS" --target bench_scaleout &&
-    ./build/bench/bench_scaleout --smoke
+    cmake --build --preset default -j"$JOBS" \
+      --target bench_scaleout bench_fig7_walltime springdtw_metrics_check &&
+    ./build/bench/bench_scaleout --smoke --json_out=BENCH_scaleout.json &&
+    ./build/bench/bench_fig7_walltime --max_n=100000 --overhead_n=50000 \
+      --json_out=BENCH_fig7.json &&
+    ./build/tools/springdtw_metrics_check --in=BENCH_scaleout.json \
+      --require=bench_scaleout_ticks_per_sec,bench_scaleout_batch_speedup &&
+    ./build/tools/springdtw_metrics_check --in=BENCH_fig7.json \
+      --require=bench_spring_us_per_tick,bench_engine_metrics_overhead_pct
+}
+
+# One HTTP GET over bash's /dev/tcp (no curl dependency in the container);
+# prints status line + headers + body.
+introspect_get() {
+  local port="$1" path="$2"
+  exec 3<>"/dev/tcp/127.0.0.1/${port}" || return 1
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' \
+    "$path" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+leg_introspect_smoke() {
+  cmake --preset default &&
+    cmake --build --preset default -j"$JOBS" \
+      --target springdtw_datagen springdtw_match || return 1
+
+  local tmp
+  tmp="$(mktemp -d)" || return 1
+  (cd "$tmp" && "$OLDPWD/build/tools/springdtw_datagen" --dataset=chirp \
+    --length=20000 --out=smoke) || { rm -rf "$tmp"; return 1; }
+
+  # Staleness budget must exceed the linger window: during the linger no
+  # ticks flow, and a budget shorter than the linger would flip /healthz to
+  # 503 before we finish scraping.
+  ./build/tools/springdtw_match \
+    --stream="$tmp/smoke_stream.csv" --query="$tmp/smoke_query.csv" \
+    --epsilon=500 --threads=4 --introspect_port=0 \
+    --introspect_linger_ms=20000 --introspect_staleness_ms=60000 \
+    >"$tmp/match.out" 2>&1 &
+  local match_pid=$!
+
+  local port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^INTROSPECT_PORT=//p' "$tmp/match.out" | head -1)"
+    [ -n "$port" ] && break
+    kill -0 "$match_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "introspect-smoke: no INTROSPECT_PORT line from springdtw_match"
+    cat "$tmp/match.out"
+    kill "$match_pid" 2>/dev/null
+    wait "$match_pid" 2>/dev/null
+    rm -rf "$tmp"
+    return 1
+  fi
+
+  local ok=1
+  for i in $(seq 1 100); do
+    if introspect_get "$port" /healthz 2>/dev/null |
+      head -1 | grep -q '200'; then
+      ok=0
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$ok" -ne 0 ]; then
+    echo "introspect-smoke: /healthz never returned 200 on port $port"
+  else
+    introspect_get "$port" /metrics >"$tmp/metrics.out" 2>/dev/null
+    grep -q 'spring_stage_latency_nanos' "$tmp/metrics.out" &&
+      grep -q 'spring_ticks_total' "$tmp/metrics.out" &&
+      grep -q 'spring_ring_occupancy' "$tmp/metrics.out" || {
+      echo "introspect-smoke: /metrics is missing expected families:"
+      head -40 "$tmp/metrics.out"
+      ok=1
+    }
+  fi
+
+  kill "$match_pid" 2>/dev/null
+  wait "$match_pid" 2>/dev/null
+  rm -rf "$tmp"
+  return "$ok"
 }
 
 run_leg() {
@@ -69,9 +158,10 @@ run_leg() {
     lint) leg_lint || status=FAIL ;;
     fuzz-smoke) leg_fuzz_smoke || status=FAIL ;;
     bench-smoke) leg_bench_smoke || status=FAIL ;;
+    introspect-smoke) leg_introspect_smoke || status=FAIL ;;
     *)
       echo "unknown leg: ${leg} (known: default asan-ubsan tsan lint" \
-        "fuzz-smoke bench-smoke)"
+        "fuzz-smoke bench-smoke introspect-smoke)"
       status=FAIL
       ;;
   esac

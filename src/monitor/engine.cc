@@ -758,6 +758,26 @@ void MonitorEngine::RefreshObservabilityGauges() {
   }
 }
 
+int64_t MonitorEngine::PendingCandidateCount() const {
+  int64_t pending = 0;
+  const auto count = [&pending](const auto& matcher) {
+    if (matcher.has_pending_candidate()) ++pending;
+  };
+  for (const QueryEntry& query : queries_) {
+    if (options_.batch_queries) {
+      count(core::PoolQueryView(
+          streams_[static_cast<size_t>(query.stream_id)].pool,
+          query.pool_index));
+    } else {
+      count(*query.matcher);
+    }
+  }
+  for (const VectorQueryEntry& query : vector_queries_) {
+    count(query.matcher);
+  }
+  return pending;
+}
+
 const QueryStats& MonitorEngine::stats(int64_t query_id) const {
   SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
   return queries_[static_cast<size_t>(query_id)].stats;

@@ -165,6 +165,11 @@ class MonitorEngine {
   /// Aggregate working-set bytes across all matchers.
   util::MemoryFootprint Footprint() const;
 
+  /// Queries (scalar + vector) whose matcher currently holds a pending
+  /// candidate (d_m <= epsilon, not yet reported). O(queries); used by the
+  /// introspection /statusz endpoint.
+  int64_t PendingCandidateCount() const;
+
   /// Serializes the entire engine — streams, queries, matcher states,
   /// per-query counters — into a versioned checkpoint, so a monitoring
   /// process can restart and resume every stream without replaying

@@ -6,6 +6,7 @@
 
 #include "util/codec.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace springdtw {
@@ -28,6 +29,25 @@ uint64_t HashName(const std::string& name) {
 constexpr uint32_t kMonitorMagic = 0x5350524D;  // "SPRM"
 constexpr uint32_t kMonitorVersion = 1;
 
+// Pipeline-profiler metric families (docs/OBSERVABILITY.md). Stage
+// latencies share one histogram family distinguished by the `stage` label;
+// ring metrics carry a `worker` label.
+constexpr char kMetricStageLatency[] = "spring_stage_latency_nanos";
+constexpr char kMetricRingOccupancy[] = "spring_ring_occupancy";
+constexpr char kMetricRingCapacity[] = "spring_ring_capacity";
+constexpr char kMetricRingBlockedPushes[] = "spring_ring_blocked_pushes_total";
+constexpr char kMetricRingProducerParks[] = "spring_ring_producer_parks_total";
+constexpr char kMetricRingConsumerParks[] = "spring_ring_consumer_parks_total";
+constexpr char kStageLatencyHelp[] =
+    "Pipeline stage latency in nanoseconds, by stage: router_enqueue "
+    "(queue push on the router), ring_residency (enqueue to worker pop), "
+    "worker_pass (engine batch ingest), delivery_delay (match buffered to "
+    "barrier delivery).";
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(util::Stopwatch::NowNanos());
+}
+
 void WriteStats(util::ByteWriter* writer, const QueryStats& stats) {
   writer->WriteI64(stats.ticks);
   writer->WriteI64(stats.matches);
@@ -45,6 +65,13 @@ bool ReadStats(util::ByteReader* reader, QueryStats* stats) {
 ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
     : options_(options) {
   SPRINGDTW_CHECK_GE(options_.num_workers, 1);
+  if (options_.introspect_port >= 0) options_.enable_introspection = true;
+  if (options_.enable_introspection) options_.collect_metrics = true;
+  introspect_ = options_.enable_introspection;
+  profile_ = options_.collect_metrics;
+  publish_interval_nanos_ = static_cast<uint64_t>(
+      std::max(options_.publish_interval_ms, 0.0) * 1e6);
+  start_nanos_ = NowNanos();
   shards_.reserve(static_cast<size_t>(options_.num_workers));
   for (int64_t w = 0; w < options_.num_workers; ++w) {
     auto shard = std::make_unique<Shard>();
@@ -54,12 +81,22 @@ ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
     shard->queue =
         std::make_unique<SpscQueue<TickMessage>>(options_.queue_capacity);
     if (options_.collect_metrics) {
-      shard->obs = std::make_unique<obs::Observability>();
+      obs::ObservabilityOptions obs_options;
+      if (introspect_) {
+        obs_options.trace_capacity = options_.introspect_trace_capacity;
+      }
+      shard->obs = std::make_unique<obs::Observability>(obs_options);
       shard->engine->AttachObservability(shard->obs.get());
+      shard->stage_ring_residency = shard->obs->registry().GetHistogram(
+          kMetricStageLatency, kStageLatencyHelp,
+          {{"stage", "ring_residency"}});
+      shard->stage_worker_pass = shard->obs->registry().GetHistogram(
+          kMetricStageLatency, kStageLatencyHelp, {{"stage", "worker_pass"}});
     }
     Shard* shard_raw = shard.get();
     shard->sink = std::make_unique<CallbackSink>(
-        [shard_raw](const MatchOrigin& origin, const core::Match& match) {
+        [this, shard_raw](const MatchOrigin& origin,
+                          const core::Match& match) {
           PendingMatch pending;
           pending.global_query_id =
               shard_raw->global_query_ids[static_cast<size_t>(
@@ -70,18 +107,77 @@ ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
                   : shard_raw->msg_seq0 +
                         static_cast<uint64_t>(match.report_time -
                                               shard_raw->msg_base_tick);
+          if (profile_) pending.buffered_nanos = NowNanos();
           pending.match = match;
           shard_raw->matches.push_back(pending);
         });
     shard->engine->AddSink(shard->sink.get());
     shards_.push_back(std::move(shard));
   }
+  if (profile_) {
+    router_obs_ = std::make_unique<obs::Observability>();
+    obs::MetricsRegistry& registry = router_obs_->registry();
+    stage_router_enqueue_ = registry.GetHistogram(
+        kMetricStageLatency, kStageLatencyHelp, {{"stage", "router_enqueue"}});
+    stage_delivery_delay_ = registry.GetHistogram(
+        kMetricStageLatency, kStageLatencyHelp, {{"stage", "delivery_delay"}});
+    ring_obs_.resize(shards_.size());
+    for (size_t w = 0; w < shards_.size(); ++w) {
+      const obs::Labels labels = {
+          {"worker", util::StrFormat("%lld", static_cast<long long>(w))}};
+      RingObs& ring = ring_obs_[w];
+      ring.occupancy = registry.GetGauge(
+          kMetricRingOccupancy,
+          "Messages currently queued in the worker's SPSC ring (racy "
+          "estimate).",
+          labels);
+      ring.capacity = registry.GetGauge(
+          kMetricRingCapacity, "Capacity of the worker's SPSC ring.", labels);
+      ring.capacity->Set(static_cast<double>(shards_[w]->queue->capacity()));
+      ring.blocked_pushes = registry.GetCounter(
+          kMetricRingBlockedPushes,
+          "Router pushes that found the ring full and had to spin or park.",
+          labels);
+      ring.producer_parks = registry.GetCounter(
+          kMetricRingProducerParks,
+          "Times the router exhausted its spin budget and parked on a full "
+          "ring.",
+          labels);
+      ring.consumer_parks = registry.GetCounter(
+          kMetricRingConsumerParks,
+          "Times the worker exhausted its spin budget and parked on an "
+          "empty ring.",
+          labels);
+    }
+  }
+  if (options_.introspect_port >= 0) {
+    obs::IntrospectionServerOptions server_options;
+    server_options.port = static_cast<int>(options_.introspect_port);
+    obs::IntrospectionHandlers handlers;
+    handlers.metrics = [this] { return PublishedMetricsSnapshot(); };
+    handlers.health = [this] { return HealthSnapshot(); };
+    handlers.status = [this] { return StatusSnapshot(); };
+    handlers.traces = [this] { return PublishedTraces(); };
+    server_ = std::make_unique<obs::IntrospectionServer>(server_options,
+                                                         std::move(handlers));
+    const util::Status started = server_->Start();
+    if (!started.ok()) {
+      // Introspection is auxiliary: a taken port must not kill monitoring.
+      SPRINGDTW_LOG(Warning)
+          << "introspection server disabled: " << started.ToString();
+      server_.reset();
+    }
+  }
 }
 
-ShardedMonitor::~ShardedMonitor() { Stop(); }
+ShardedMonitor::~ShardedMonitor() {
+  // Stop the server first: its handlers read shard state.
+  if (server_ != nullptr) server_->Stop();
+  Stop();
+}
 
 int64_t ShardedMonitor::AddStream(std::string name, bool repair_missing) {
-  if (started_) Drain();
+  if (started()) Drain();
   const int64_t stream_id = static_cast<int64_t>(streams_.size());
   StreamInfo info;
   info.worker = static_cast<int64_t>(
@@ -94,6 +190,7 @@ int64_t ShardedMonitor::AddStream(std::string name, bool repair_missing) {
   info.name = std::move(name);
   shard.global_stream_ids.push_back(stream_id);
   shard.stream_ticks.push_back(0);
+  shard.stream_count.fetch_add(1, std::memory_order_relaxed);
   streams_.push_back(std::move(info));
   return stream_id;
 }
@@ -105,7 +202,7 @@ util::StatusOr<int64_t> ShardedMonitor::AddQuery(
     return util::NotFoundError(
         util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
   }
-  if (started_) Drain();
+  if (started()) Drain();
   StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
   Shard& shard = *shards_[static_cast<size_t>(stream.worker)];
   QueryInfo info;
@@ -117,6 +214,7 @@ util::StatusOr<int64_t> ShardedMonitor::AddQuery(
   info.local_id = *local;
   const int64_t query_id = static_cast<int64_t>(queries_.size());
   shard.global_query_ids.push_back(query_id);
+  shard.query_count.fetch_add(1, std::memory_order_relaxed);
   queries_.push_back(std::move(info));
   return query_id;
 }
@@ -127,12 +225,16 @@ void ShardedMonitor::AddSink(MatchSink* sink) {
 }
 
 void ShardedMonitor::Start() {
-  if (started_) return;
+  if (started()) return;
   for (auto& shard : shards_) {
+    if (introspect_) {
+      shard->last_progress_nanos.store(NowNanos(),
+                                       std::memory_order_relaxed);
+    }
     shard->thread = std::thread(&ShardedMonitor::WorkerLoop, this,
                                 shard.get());
   }
-  started_ = true;
+  started_.store(true, std::memory_order_relaxed);
 }
 
 void ShardedMonitor::WorkerLoop(Shard* shard) {
@@ -140,8 +242,19 @@ void ShardedMonitor::WorkerLoop(Shard* shard) {
   for (;;) {
     shard->queue->Pop(&msg);
     if (msg.kind == TickMessage::Kind::kStop) {
+      // Final snapshot so post-run scrapes (and a lingering server) see the
+      // complete worker state.
+      if (introspect_) PublishShard(shard, NowNanos());
       shard->consumed.fetch_add(1, std::memory_order_release);
       return;
+    }
+    uint64_t t_pop = 0;
+    if (profile_) {
+      t_pop = NowNanos();
+      if (msg.enqueue_nanos != 0) {
+        shard->stage_ring_residency->Observe(
+            static_cast<double>(t_pop - msg.enqueue_nanos));
+      }
     }
     shard->msg_seq0 = msg.seq0;
     shard->msg_base_tick =
@@ -153,10 +266,49 @@ void ShardedMonitor::WorkerLoop(Shard* shard) {
     SPRINGDTW_CHECK(pushed.ok())
         << "shard ingest failed: " << pushed.status().ToString();
     shard->stream_ticks[static_cast<size_t>(msg.local_stream)] += msg.count;
+    if (profile_) {
+      const uint64_t t_done = NowNanos();
+      shard->stage_worker_pass->Observe(static_cast<double>(t_done - t_pop));
+      if (introspect_) {
+        shard->last_progress_nanos.store(t_done, std::memory_order_relaxed);
+        shard->ticks_ingested.fetch_add(msg.count,
+                                        std::memory_order_relaxed);
+        // Republish on the throttle interval, and opportunistically
+        // whenever the ring runs dry (a scrape then sees fully current
+        // state at no steady-state cost). Must happen before the
+        // `consumed` release below: after a drain barrier the worker is
+        // provably not inside PublishShard, so the router may mutate the
+        // shard registry (AddQuery) safely.
+        if (t_done - shard->last_publish_nanos >= publish_interval_nanos_ ||
+            shard->queue->ApproxSize() == 0) {
+          PublishShard(shard, t_done);
+        }
+      }
+    }
     // Release everything written above (engine state, buffered matches) to
     // the drain barrier's acquire.
     shard->consumed.fetch_add(1, std::memory_order_release);
   }
+}
+
+void ShardedMonitor::PublishShard(Shard* shard, uint64_t now_nanos) {
+  shard->engine->RefreshObservabilityGauges();
+  obs::MetricsSnapshot snapshot = shard->obs->registry().Snapshot();
+  std::vector<obs::TraceEvent> traces;
+  int64_t dropped = 0;
+  if (shard->obs->trace().enabled()) {
+    traces = shard->obs->trace().Events();
+    dropped = shard->obs->trace().dropped();
+  }
+  shard->pending_candidates.store(shard->engine->PendingCandidateCount(),
+                                  std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard->publish_mutex);
+    shard->published_metrics = std::move(snapshot);
+    shard->published_traces = std::move(traces);
+    shard->published_trace_dropped = dropped;
+  }
+  shard->last_publish_nanos = now_nanos;
 }
 
 util::Status ShardedMonitor::Push(int64_t stream_id, double value) {
@@ -164,7 +316,7 @@ util::Status ShardedMonitor::Push(int64_t stream_id, double value) {
     return util::NotFoundError(
         util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
   }
-  SPRINGDTW_CHECK(started_) << "Start() the monitor before pushing";
+  SPRINGDTW_CHECK(started()) << "Start() the monitor before pushing";
   StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
   if (!stream.repair_missing && ts::IsMissing(value)) {
     return util::InvalidArgumentError(
@@ -180,7 +332,7 @@ util::Status ShardedMonitor::PushBatch(int64_t stream_id,
     return util::NotFoundError(
         util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
   }
-  SPRINGDTW_CHECK(started_) << "Start() the monitor before pushing";
+  SPRINGDTW_CHECK(started()) << "Start() the monitor before pushing";
   StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
   for (const double value : values) {
     // Same error contract as MonitorEngine: values before the first NaN on
@@ -228,9 +380,52 @@ void ShardedMonitor::FlushStaged() {
   if (!has_staged_) return;
   Shard& shard = *shards_[static_cast<size_t>(staged_worker_)];
   shard.produced.fetch_add(1, std::memory_order_relaxed);
-  shard.queue->Push(staged_);
+  if (profile_) {
+    const uint64_t t_push = NowNanos();
+    staged_.enqueue_nanos = t_push;
+    shard.queue->Push(staged_);
+    const uint64_t t_pushed = NowNanos();
+    stage_router_enqueue_->Observe(static_cast<double>(t_pushed - t_push));
+    if (introspect_ &&
+        t_pushed - router_last_publish_nanos_ >= publish_interval_nanos_) {
+      PublishRouter(t_pushed);
+    }
+  } else {
+    shard.queue->Push(staged_);
+  }
   has_staged_ = false;
   staged_worker_ = -1;
+}
+
+void ShardedMonitor::RefreshRingMetrics() {
+  if (!profile_) return;
+  for (size_t w = 0; w < shards_.size(); ++w) {
+    RingObs& ring = ring_obs_[w];
+    const SpscQueue<TickMessage>& queue = *shards_[w]->queue;
+    ring.occupancy->Set(static_cast<double>(queue.ApproxSize()));
+    const uint64_t blocked = queue.blocked_pushes();
+    ring.blocked_pushes->Increment(
+        static_cast<int64_t>(blocked - ring.blocked_exported));
+    ring.blocked_exported = blocked;
+    const uint64_t producer_parks = queue.producer_parks();
+    ring.producer_parks->Increment(
+        static_cast<int64_t>(producer_parks - ring.producer_parks_exported));
+    ring.producer_parks_exported = producer_parks;
+    const uint64_t consumer_parks = queue.consumer_parks();
+    ring.consumer_parks->Increment(
+        static_cast<int64_t>(consumer_parks - ring.consumer_parks_exported));
+    ring.consumer_parks_exported = consumer_parks;
+  }
+}
+
+void ShardedMonitor::PublishRouter(uint64_t now_nanos) {
+  RefreshRingMetrics();
+  obs::MetricsSnapshot snapshot = router_obs_->registry().Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(router_publish_mutex_);
+    router_published_metrics_ = std::move(snapshot);
+  }
+  router_last_publish_nanos_ = now_nanos;
 }
 
 void ShardedMonitor::AwaitQuiescent() {
@@ -245,8 +440,13 @@ void ShardedMonitor::AwaitQuiescent() {
 }
 
 int64_t ShardedMonitor::Drain() {
-  if (started_) AwaitQuiescent();
-  return DeliverPending();
+  if (started()) AwaitQuiescent();
+  const int64_t delivered = DeliverPending();
+  // Barriers republish the router snapshot unconditionally so a scrape
+  // right after a drain sees current stage/ring metrics even on a
+  // low-traffic pipeline that never hits the throttle interval.
+  if (introspect_) PublishRouter(NowNanos());
+  return delivered;
 }
 
 int64_t ShardedMonitor::DeliverPending() {
@@ -261,7 +461,13 @@ int64_t ShardedMonitor::DeliverPending() {
               if (a.seq != b.seq) return a.seq < b.seq;
               return a.global_query_id < b.global_query_id;
             });
+  const uint64_t delivery_now =
+      (profile_ && !delivery_scratch_.empty()) ? NowNanos() : 0;
   for (const PendingMatch& pending : delivery_scratch_) {
+    if (profile_ && pending.buffered_nanos != 0) {
+      stage_delivery_delay_->Observe(
+          static_cast<double>(delivery_now - pending.buffered_nanos));
+    }
     QueryInfo& query =
         queries_[static_cast<size_t>(pending.global_query_id)];
     ++query.stats.matches;
@@ -278,6 +484,9 @@ int64_t ShardedMonitor::DeliverPending() {
     query.stats.ticks =
         streams_[static_cast<size_t>(query.stream_id)].pushes;
   }
+  matches_delivered_.fetch_add(
+      static_cast<int64_t>(delivery_scratch_.size()),
+      std::memory_order_relaxed);
   return static_cast<int64_t>(delivery_scratch_.size());
 }
 
@@ -291,11 +500,21 @@ int64_t ShardedMonitor::FlushAll() {
     shard->flushing = false;
   }
   delivered += DeliverPending();
+  if (introspect_) {
+    // Republish everything: the flush mutated engine state on the caller
+    // thread, which the workers (parked until the router sends more work)
+    // would otherwise never pick up. Safe post-barrier — a worker is
+    // provably outside PublishShard and stays parked until this thread
+    // routes to it again.
+    const uint64_t now = NowNanos();
+    for (auto& shard : shards_) PublishShard(shard.get(), now);
+    PublishRouter(now);
+  }
   return delivered;
 }
 
 void ShardedMonitor::Stop() {
-  if (!started_) return;
+  if (!started()) return;
   Drain();
   for (auto& shard : shards_) {
     TickMessage stop;
@@ -306,7 +525,7 @@ void ShardedMonitor::Stop() {
   for (auto& shard : shards_) {
     shard->thread.join();
   }
-  started_ = false;
+  started_.store(false, std::memory_order_relaxed);
 }
 
 int64_t ShardedMonitor::worker_of_stream(int64_t stream_id) const {
@@ -322,7 +541,11 @@ const QueryStats& ShardedMonitor::stats(int64_t query_id) const {
 obs::MetricsSnapshot ShardedMonitor::MergedMetricsSnapshot() {
   Drain();
   std::vector<obs::MetricsSnapshot> snapshots;
-  snapshots.reserve(shards_.size());
+  snapshots.reserve(shards_.size() + 1);
+  if (router_obs_ != nullptr) {
+    RefreshRingMetrics();
+    snapshots.push_back(router_obs_->registry().Snapshot());
+  }
   for (auto& shard : shards_) {
     if (shard->obs == nullptr) continue;
     shard->engine->RefreshObservabilityGauges();
@@ -368,11 +591,12 @@ std::vector<uint8_t> ShardedMonitor::SerializeState() {
     writer.WriteBytes(shard.engine->SerializeQueryState(query.local_id));
     WriteStats(&writer, query.stats);
   }
+  last_checkpoint_nanos_.store(NowNanos(), std::memory_order_relaxed);
   return writer.Take();
 }
 
 util::Status ShardedMonitor::RestoreState(std::span<const uint8_t> bytes) {
-  if (started_ || num_streams() > 0 || num_queries() > 0) {
+  if (started() || num_streams() > 0 || num_queries() > 0) {
     return util::FailedPreconditionError(
         "RestoreState requires a fresh, unstarted monitor");
   }
@@ -443,6 +667,7 @@ util::Status ShardedMonitor::RestoreState(std::span<const uint8_t> bytes) {
     info.local_id = *local;
     info.stats = stats;
     shard.global_query_ids.push_back(static_cast<int64_t>(queries_.size()));
+    shard.query_count.fetch_add(1, std::memory_order_relaxed);
     queries_.push_back(std::move(info));
   }
 
@@ -453,6 +678,136 @@ util::Status ShardedMonitor::RestoreState(std::span<const uint8_t> bytes) {
     return util::InvalidArgumentError("checkpoint has trailing bytes");
   }
   return util::Status::Ok();
+}
+
+int ShardedMonitor::introspection_port() const {
+  return server_ != nullptr ? server_->port() : -1;
+}
+
+obs::WorkerHealth ShardedMonitor::WorkerHealthFor(int64_t worker,
+                                                  uint64_t now_nanos) const {
+  const Shard& shard = *shards_[static_cast<size_t>(worker)];
+  obs::WorkerHealth health;
+  health.worker = worker;
+  const uint64_t produced = shard.produced.load(std::memory_order_relaxed);
+  const uint64_t consumed = shard.consumed.load(std::memory_order_relaxed);
+  // Unsynchronized reads can observe consumed ahead of produced; clamp.
+  health.lag_messages = produced > consumed ? produced - consumed : 0;
+  if (!started()) {
+    health.state = "stopped";
+    return health;
+  }
+  if (produced == 0 && consumed == 0) {
+    // Never routed to: silence is expected, not a stall.
+    health.state = "idle";
+    return health;
+  }
+  const uint64_t last_progress =
+      shard.last_progress_nanos.load(std::memory_order_relaxed);
+  const double ms_since =
+      last_progress == 0 || now_nanos <= last_progress
+          ? 0.0
+          : static_cast<double>(now_nanos - last_progress) / 1e6;
+  health.ms_since_progress = ms_since;
+  if (ms_since > options_.staleness_budget_ms) {
+    health.state = "stale";
+    health.healthy = false;
+  } else {
+    health.state = "ok";
+  }
+  return health;
+}
+
+obs::HealthReport ShardedMonitor::HealthSnapshot() const {
+  obs::HealthReport report;
+  report.staleness_budget_ms = options_.staleness_budget_ms;
+  if (!introspect_) {
+    // Without the watchdog stamps a verdict would be meaningless; report
+    // healthy-but-disabled rather than a false stall.
+    report.state = "disabled";
+    return report;
+  }
+  const uint64_t now = NowNanos();
+  report.workers.reserve(shards_.size());
+  for (int64_t w = 0; w < num_workers(); ++w) {
+    report.workers.push_back(WorkerHealthFor(w, now));
+    report.healthy = report.healthy && report.workers.back().healthy;
+  }
+  report.state = !started() ? "stopped" : (report.healthy ? "ok" : "stale");
+  return report;
+}
+
+obs::StatusReport ShardedMonitor::StatusSnapshot() const {
+  obs::StatusReport report;
+  report.role = "sharded_monitor";
+  report.started = started();
+  const uint64_t now = NowNanos();
+  report.uptime_seconds = static_cast<double>(now - start_nanos_) / 1e9;
+  report.num_workers = num_workers();
+  report.matches_delivered =
+      matches_delivered_.load(std::memory_order_relaxed);
+  const uint64_t checkpoint_nanos =
+      last_checkpoint_nanos_.load(std::memory_order_relaxed);
+  if (checkpoint_nanos != 0 && now > checkpoint_nanos) {
+    report.checkpoint_age_seconds =
+        static_cast<double>(now - checkpoint_nanos) / 1e9;
+  }
+  report.workers.reserve(shards_.size());
+  for (int64_t w = 0; w < num_workers(); ++w) {
+    const Shard& shard = *shards_[static_cast<size_t>(w)];
+    obs::WorkerStatus status;
+    status.worker = w;
+    status.state = introspect_ ? WorkerHealthFor(w, now).state : "unknown";
+    status.messages_produced =
+        shard.produced.load(std::memory_order_relaxed);
+    status.messages_consumed =
+        shard.consumed.load(std::memory_order_relaxed);
+    status.ticks = shard.ticks_ingested.load(std::memory_order_relaxed);
+    status.streams = shard.stream_count.load(std::memory_order_relaxed);
+    status.queries = shard.query_count.load(std::memory_order_relaxed);
+    status.pending_candidates =
+        shard.pending_candidates.load(std::memory_order_relaxed);
+    status.ring_occupancy =
+        static_cast<uint64_t>(shard.queue->ApproxSize());
+    status.ring_capacity = static_cast<uint64_t>(shard.queue->capacity());
+    status.ring_blocked_pushes = shard.queue->blocked_pushes();
+    status.ring_producer_parks = shard.queue->producer_parks();
+    status.ring_consumer_parks = shard.queue->consumer_parks();
+    report.num_streams += status.streams;
+    report.num_queries += status.queries;
+    report.ticks_ingested += status.ticks;
+    report.workers.push_back(std::move(status));
+  }
+  return report;
+}
+
+obs::MetricsSnapshot ShardedMonitor::PublishedMetricsSnapshot() const {
+  std::vector<obs::MetricsSnapshot> snapshots;
+  if (introspect_) {
+    snapshots.reserve(shards_.size() + 1);
+    {
+      std::lock_guard<std::mutex> lock(router_publish_mutex_);
+      snapshots.push_back(router_published_metrics_);
+    }
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->publish_mutex);
+      snapshots.push_back(shard->published_metrics);
+    }
+  }
+  return obs::MergeSnapshots(snapshots);
+}
+
+obs::TracezReport ShardedMonitor::PublishedTraces() const {
+  obs::TracezReport report;
+  if (!introspect_) return report;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->publish_mutex);
+    report.events.insert(report.events.end(),
+                         shard->published_traces.begin(),
+                         shard->published_traces.end());
+    report.dropped += shard->published_trace_dropped;
+  }
+  return report;
 }
 
 }  // namespace monitor

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "monitor/engine.h"
 #include "monitor/sink.h"
 #include "monitor/spsc_queue.h"
+#include "obs/introspection_server.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "ts/repair.h"
@@ -35,7 +37,34 @@ struct ShardedMonitorOptions {
   /// metrics are then available via MergedMetricsSnapshot(). Costs the
   /// engine's observed ingest path per shard (and disables the engine's
   /// query-major PushBatch fast path, which needs the unobserved path).
+  /// Also enables the pipeline profiler: stage-latency histograms
+  /// (router_enqueue / ring_residency / worker_pass / delivery_delay) and
+  /// per-ring occupancy/contention metrics.
   bool collect_metrics = false;
+
+  /// Live introspection (docs/OBSERVABILITY.md): when >= 0 the monitor runs
+  /// an obs::IntrospectionServer on 127.0.0.1 at this port (0 picks an
+  /// ephemeral port; see introspection_port()) serving /metrics,
+  /// /metrics.json, /healthz, /statusz, and /tracez. Implies
+  /// enable_introspection.
+  int64_t introspect_port = -1;
+  /// Attach the introspection plumbing — watchdog progress stamps and
+  /// thread-safe published snapshots (HealthSnapshot, StatusSnapshot,
+  /// PublishedMetricsSnapshot, PublishedTraces) — without running the HTTP
+  /// server, for embedders that serve the reports themselves. Implies
+  /// collect_metrics.
+  bool enable_introspection = false;
+  /// Watchdog staleness budget: a worker that has processed traffic before
+  /// but has made no progress for longer than this is reported "stale" by
+  /// /healthz (503). The budget therefore encodes the expected feed
+  /// cadence — a stream silent longer than this is treated as a stall.
+  double staleness_budget_ms = 1000.0;
+  /// Workers and the router republish their introspection snapshots at
+  /// most this often (plus whenever their queue runs empty).
+  double publish_interval_ms = 100.0;
+  /// Per-shard match-lifecycle trace ring capacity feeding /tracez, used
+  /// only when introspection is enabled (0 disables tracing).
+  int64_t introspect_trace_capacity = 1024;
 };
 
 /// Scale-out shell around MonitorEngine: hash-partitions scalar streams
@@ -96,7 +125,7 @@ class ShardedMonitor {
   /// Spawns the worker threads. Topology may still be changed afterwards
   /// (AddStream/AddQuery drain internally). Idempotent while running.
   void Start();
-  bool started() const { return started_; }
+  bool started() const { return started_.load(std::memory_order_relaxed); }
 
   /// Routes one value to `stream_id`'s shard. Requires Start(). Matches
   /// produced by this value are buffered until the next barrier.
@@ -137,8 +166,38 @@ class ShardedMonitor {
   const QueryStats& stats(int64_t query_id) const;
 
   /// Barrier, then a fleet-wide merged metrics snapshot (see
-  /// obs::MergeSnapshots). Empty unless options.collect_metrics.
+  /// obs::MergeSnapshots). Empty unless options.collect_metrics. Includes
+  /// the router-side registry (stage latencies, ring metrics).
   obs::MetricsSnapshot MergedMetricsSnapshot();
+
+  /// ## Introspection (thread-safe, any thread, no barrier)
+  ///
+  /// The HTTP endpoints are thin wrappers over these. They never touch
+  /// live engine state: workers and the router publish snapshots into
+  /// mutex-guarded slots (throttled by options.publish_interval_ms), and
+  /// these methods read the latest published copy plus always-safe
+  /// atomics. All are empty/"disabled" unless options.enable_introspection
+  /// (or introspect_port >= 0).
+
+  /// The introspection server's bound port, or -1 when no server runs.
+  int introspection_port() const;
+
+  /// Per-worker staleness verdict; see
+  /// ShardedMonitorOptions::staleness_budget_ms.
+  obs::HealthReport HealthSnapshot() const;
+
+  /// Pipeline snapshot: per-worker ticks, ring occupancy and contention,
+  /// pending candidates, checkpoint age, uptime.
+  obs::StatusReport StatusSnapshot() const;
+
+  /// Fleet-merged metrics as of each worker's last publish (the live
+  /// equivalent is MergedMetricsSnapshot, which requires the caller
+  /// thread).
+  obs::MetricsSnapshot PublishedMetricsSnapshot() const;
+
+  /// Recent match-lifecycle trace events across workers, as of the last
+  /// publish.
+  obs::TracezReport PublishedTraces() const;
 
   /// Barrier, then aggregate matcher working-set bytes across shards.
   util::MemoryFootprint Footprint();
@@ -167,12 +226,20 @@ class ShardedMonitor {
     /// Global sequence number of values[0]; the message's values carry
     /// consecutive numbers (the router never stages across other pushes).
     uint64_t seq0 = 0;
+    /// Profiler stamp taken just before the router enqueues (0 when
+    /// profiling is off); the worker's pop time minus this is the
+    /// ring_residency stage latency.
+    uint64_t enqueue_nanos = 0;
     double values[kTickBatch] = {};
   };
 
   struct PendingMatch {
     uint64_t seq = 0;
     int64_t global_query_id = 0;
+    /// Profiler stamp taken when the worker buffered the match (0 when
+    /// profiling is off); delivery time minus this is the delivery_delay
+    /// stage latency.
+    uint64_t buffered_nanos = 0;
     core::Match match;
   };
 
@@ -202,6 +269,32 @@ class ShardedMonitor {
     std::vector<int64_t> global_query_ids;
     /// Matches buffered since the last barrier.
     std::vector<PendingMatch> matches;
+
+    /// Stage-latency handles in this shard's registry, resolved once at
+    /// construction; null unless collect_metrics.
+    obs::Histogram* stage_ring_residency = nullptr;
+    obs::Histogram* stage_worker_pass = nullptr;
+
+    /// ## Introspection (cross-thread; unused unless enable_introspection)
+    ///
+    /// Watchdog stamp: monotonic nanos of the worker's last completed
+    /// message (and of thread start).
+    std::atomic<uint64_t> last_progress_nanos{0};
+    /// Values this worker has ingested (worker thread writes, server
+    /// reads).
+    std::atomic<int64_t> ticks_ingested{0};
+    /// Streams/queries placed on this shard (router writes, server reads).
+    std::atomic<int64_t> stream_count{0};
+    std::atomic<int64_t> query_count{0};
+    /// Pending-candidate count as of the last publish.
+    std::atomic<int64_t> pending_candidates{0};
+    /// Worker-local publish throttle clock; worker thread only.
+    uint64_t last_publish_nanos = 0;
+    /// Latest published snapshot, read by the introspection methods.
+    mutable std::mutex publish_mutex;
+    obs::MetricsSnapshot published_metrics;
+    std::vector<obs::TraceEvent> published_traces;
+    int64_t published_trace_dropped = 0;
   };
 
   struct StreamInfo {
@@ -222,6 +315,20 @@ class ShardedMonitor {
     QueryStats stats;
   };
 
+  /// Per-ring instrument handles in the router registry, plus the counter
+  /// deltas already exported (counters are monotonic; the queue exposes
+  /// totals, the registry wants increments).
+  struct RingObs {
+    obs::Gauge* occupancy = nullptr;
+    obs::Gauge* capacity = nullptr;
+    obs::Counter* blocked_pushes = nullptr;
+    obs::Counter* producer_parks = nullptr;
+    obs::Counter* consumer_parks = nullptr;
+    uint64_t blocked_exported = 0;
+    uint64_t producer_parks_exported = 0;
+    uint64_t consumer_parks_exported = 0;
+  };
+
   void WorkerLoop(Shard* shard);
   /// Repairs + stages one value (stream already validated).
   void RouteValue(StreamInfo& stream, double value);
@@ -232,13 +339,25 @@ class ShardedMonitor {
   /// Merges, orders, and dispatches all shards' buffered matches; updates
   /// per-query stats. Caller must hold the drain barrier.
   int64_t DeliverPending();
+  /// Worker thread: snapshots the shard registry/trace ring into the
+  /// shard's published slot. Runs before the message's `consumed` release,
+  /// so post-barrier the router may mutate the registry safely.
+  void PublishShard(Shard* shard, uint64_t now_nanos);
+  /// Router thread: refreshes ring metrics and snapshots the router
+  /// registry into its published slot.
+  void PublishRouter(uint64_t now_nanos);
+  /// Router thread: brings ring occupancy gauges and contention counters
+  /// up to date in the router registry.
+  void RefreshRingMetrics();
+  /// Shared staleness verdict for HealthSnapshot/StatusSnapshot.
+  obs::WorkerHealth WorkerHealthFor(int64_t worker, uint64_t now_nanos) const;
 
   ShardedMonitorOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<StreamInfo> streams_;
   std::vector<QueryInfo> queries_;
   std::vector<MatchSink*> sinks_;
-  bool started_ = false;
+  std::atomic<bool> started_{false};
 
   /// Next global sequence number (one per routed value, all streams).
   uint64_t next_seq_ = 0;
@@ -251,6 +370,26 @@ class ShardedMonitor {
 
   /// Scratch for DeliverPending.
   std::vector<PendingMatch> delivery_scratch_;
+
+  /// Pipeline profiler (set iff collect_metrics): router-side registry
+  /// holding the router_enqueue/delivery_delay stages and the per-ring
+  /// metrics. Router thread only; the server reads the published copy.
+  bool profile_ = false;
+  std::unique_ptr<obs::Observability> router_obs_;
+  obs::Histogram* stage_router_enqueue_ = nullptr;
+  obs::Histogram* stage_delivery_delay_ = nullptr;
+  std::vector<RingObs> ring_obs_;
+
+  /// Introspection state (used iff enable_introspection).
+  bool introspect_ = false;
+  uint64_t publish_interval_nanos_ = 0;
+  uint64_t router_last_publish_nanos_ = 0;
+  uint64_t start_nanos_ = 0;
+  std::atomic<int64_t> matches_delivered_{0};
+  std::atomic<uint64_t> last_checkpoint_nanos_{0};
+  mutable std::mutex router_publish_mutex_;
+  obs::MetricsSnapshot router_published_metrics_;
+  std::unique_ptr<obs::IntrospectionServer> server_;
 };
 
 }  // namespace monitor

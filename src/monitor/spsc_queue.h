@@ -84,9 +84,16 @@ class SpscQueue {
   /// Producer: blocking enqueue — spins, then parks in 1ms slices until a
   /// slot frees up.
   void Push(T item) {
-    for (int spin = 0; spin < kSpinIterations; ++spin) {
+    if (TryPush(item)) return;
+    // Contention accounting for the introspection metrics: counted once per
+    // blocked Push (ring full on first attempt), and once more if the spin
+    // phase gives up and parks. Relaxed is fine — these are monitoring
+    // counters, never synchronization.
+    blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+    for (int spin = 1; spin < kSpinIterations; ++spin) {
       if (TryPush(item)) return;
     }
+    producer_parks_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(producer_mutex_);
     producer_parked_.store(true, std::memory_order_relaxed);
     while (!TryPush(item)) {
@@ -118,12 +125,27 @@ class SpscQueue {
     for (int spin = 0; spin < kSpinIterations; ++spin) {
       if (TryPop(out)) return;
     }
+    consumer_parks_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(consumer_mutex_);
     consumer_parked_.store(true, std::memory_order_relaxed);
     while (!TryPop(out)) {
       consumer_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
     consumer_parked_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Pushes that found the ring full on their first attempt (producer had
+  /// to spin or park). Any thread may read these estimates.
+  uint64_t blocked_pushes() const {
+    return blocked_pushes_.load(std::memory_order_relaxed);
+  }
+  /// Times the producer exhausted its spin budget and parked.
+  uint64_t producer_parks() const {
+    return producer_parks_.load(std::memory_order_relaxed);
+  }
+  /// Times the consumer exhausted its spin budget and parked.
+  uint64_t consumer_parks() const {
+    return consumer_parks_.load(std::memory_order_relaxed);
   }
 
   /// Racy size estimate for metrics/backpressure heuristics only.
@@ -146,6 +168,12 @@ class SpscQueue {
   // Consumer side: owns head_, caches tail.
   alignas(64) std::atomic<uint64_t> head_{0};
   uint64_t tail_cache_ = 0;
+
+  // Contention counters (see accessors). Off the fast path: only touched
+  // after a failed TryPush/TryPop spin.
+  std::atomic<uint64_t> blocked_pushes_{0};
+  std::atomic<uint64_t> producer_parks_{0};
+  std::atomic<uint64_t> consumer_parks_{0};
 
   // Parking. The flags are hints (see class comment); the 1ms wait bound
   // makes a missed notify cost latency, never correctness.

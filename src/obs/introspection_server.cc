@@ -1,0 +1,321 @@
+#include "obs/introspection_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "obs/exposition.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace obs {
+
+namespace {
+
+/// JSON number or null when non-finite, mirroring RenderJson's convention.
+std::string JsonDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  return util::StrFormat("%.17g", value);
+}
+
+const char* JsonBool(bool value) { return value ? "true" : "false"; }
+
+void AppendWorkerHealth(std::string* out, const WorkerHealth& worker) {
+  out->append(util::StrFormat(
+      "{\"worker\":%lld,\"state\":\"%s\",\"healthy\":%s,"
+      "\"lag_messages\":%llu,\"ms_since_progress\":%s}",
+      static_cast<long long>(worker.worker),
+      EscapeJson(worker.state).c_str(), JsonBool(worker.healthy),
+      static_cast<unsigned long long>(worker.lag_messages),
+      JsonDouble(worker.ms_since_progress).c_str()));
+}
+
+void AppendWorkerStatus(std::string* out, const WorkerStatus& worker) {
+  out->append(util::StrFormat(
+      "{\"worker\":%lld,\"state\":\"%s\",\"messages_produced\":%llu,"
+      "\"messages_consumed\":%llu,\"ticks\":%lld,\"streams\":%lld,"
+      "\"queries\":%lld,\"pending_candidates\":%lld,"
+      "\"ring_occupancy\":%llu,\"ring_capacity\":%llu,"
+      "\"ring_blocked_pushes\":%llu,\"ring_producer_parks\":%llu,"
+      "\"ring_consumer_parks\":%llu}",
+      static_cast<long long>(worker.worker),
+      EscapeJson(worker.state).c_str(),
+      static_cast<unsigned long long>(worker.messages_produced),
+      static_cast<unsigned long long>(worker.messages_consumed),
+      static_cast<long long>(worker.ticks),
+      static_cast<long long>(worker.streams),
+      static_cast<long long>(worker.queries),
+      static_cast<long long>(worker.pending_candidates),
+      static_cast<unsigned long long>(worker.ring_occupancy),
+      static_cast<unsigned long long>(worker.ring_capacity),
+      static_cast<unsigned long long>(worker.ring_blocked_pushes),
+      static_cast<unsigned long long>(worker.ring_producer_parks),
+      static_cast<unsigned long long>(worker.ring_consumer_parks)));
+}
+
+}  // namespace
+
+std::string RenderHealthJson(const HealthReport& report) {
+  std::string out = util::StrFormat(
+      "{\"healthy\":%s,\"state\":\"%s\",\"staleness_budget_ms\":%s,"
+      "\"workers\":[",
+      JsonBool(report.healthy), EscapeJson(report.state).c_str(),
+      JsonDouble(report.staleness_budget_ms).c_str());
+  for (size_t i = 0; i < report.workers.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendWorkerHealth(&out, report.workers[i]);
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string RenderStatusJson(const StatusReport& report) {
+  std::string out = util::StrFormat(
+      "{\"role\":\"%s\",\"started\":%s,\"uptime_seconds\":%s,"
+      "\"num_workers\":%lld,\"num_streams\":%lld,\"num_queries\":%lld,"
+      "\"ticks_ingested\":%lld,\"matches_delivered\":%lld,"
+      "\"checkpoint_age_seconds\":%s,\"workers\":[",
+      EscapeJson(report.role).c_str(), JsonBool(report.started),
+      JsonDouble(report.uptime_seconds).c_str(),
+      static_cast<long long>(report.num_workers),
+      static_cast<long long>(report.num_streams),
+      static_cast<long long>(report.num_queries),
+      static_cast<long long>(report.ticks_ingested),
+      static_cast<long long>(report.matches_delivered),
+      JsonDouble(report.checkpoint_age_seconds).c_str());
+  for (size_t i = 0; i < report.workers.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendWorkerStatus(&out, report.workers[i]);
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string RenderTracezJson(const TracezReport& report) {
+  std::string out = util::StrFormat(
+      "{\"dropped\":%lld,\"events\":[",
+      static_cast<long long>(report.dropped));
+  for (size_t i = 0; i < report.events.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(TraceEventJson(report.events[i]));
+  }
+  out.append("]}");
+  return out;
+}
+
+IntrospectionServer::IntrospectionServer(
+    const IntrospectionServerOptions& options, IntrospectionHandlers handlers)
+    : options_(options), handlers_(std::move(handlers)) {}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+util::Status IntrospectionServer::Start() {
+  if (running_.load(std::memory_order_relaxed)) {
+    return util::FailedPreconditionError("server already running");
+  }
+  if (stop_.load(std::memory_order_relaxed)) {
+    return util::FailedPreconditionError("server cannot restart after Stop");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::InternalError(
+        util::StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  addr.sin_addr.s_addr =
+      options_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message =
+        util::StrFormat("bind(port %d): %s", options_.port,
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::InternalError(message);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string message =
+        util::StrFormat("listen(): %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::InternalError(message);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = options_.port;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread(&IntrospectionServer::ServeLoop, this);
+  return util::Status::Ok();
+}
+
+void IntrospectionServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void IntrospectionServer::ServeLoop() {
+  // Poll with a short timeout instead of a blocking accept so Stop() only
+  // ever waits one poll slice for the thread to notice the flag.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    HandleConnection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void IntrospectionServer::HandleConnection(int client_fd) {
+  // Bound both directions so a stalled client cannot wedge the serve loop
+  // for more than a few seconds.
+  timeval timeout;
+  timeout.tv_sec = 2;
+  timeout.tv_usec = 0;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  constexpr size_t kMaxRequestBytes = 8192;
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // malformed; just drop
+
+  Response response;
+  const std::string request_line = request.substr(0, line_end);
+  if (request_line.compare(0, 4, "GET ") != 0) {
+    response.code = 405;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "method not allowed\n";
+  } else {
+    std::string path = request_line.substr(4);
+    const size_t path_end = path.find(' ');
+    if (path_end != std::string::npos) path.resize(path_end);
+    const size_t query_start = path.find('?');
+    if (query_start != std::string::npos) path.resize(query_start);
+    response = Dispatch(path);
+  }
+
+  const char* reason = "OK";
+  switch (response.code) {
+    case 200:
+      reason = "OK";
+      break;
+    case 404:
+      reason = "Not Found";
+      break;
+    case 405:
+      reason = "Method Not Allowed";
+      break;
+    case 503:
+      reason = "Service Unavailable";
+      break;
+    default:
+      reason = "Internal Server Error";
+      break;
+  }
+  std::string reply = util::StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %llu\r\n"
+      "Connection: close\r\n\r\n",
+      response.code, reason, response.content_type.c_str(),
+      static_cast<unsigned long long>(response.body.size()));
+  reply.append(response.body);
+
+  size_t sent = 0;
+  while (sent < reply.size()) {
+    const ssize_t n = ::send(client_fd, reply.data() + sent,
+                             reply.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+IntrospectionServer::Response IntrospectionServer::Dispatch(
+    const std::string& path) const {
+  Response response;
+  if (path == "/metrics" && handlers_.metrics) {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus(handlers_.metrics());
+    return response;
+  }
+  if (path == "/metrics.json" && handlers_.metrics) {
+    response.content_type = "application/json";
+    response.body = RenderJson(handlers_.metrics());
+    response.body.push_back('\n');
+    return response;
+  }
+  if (path == "/healthz" && handlers_.health) {
+    const HealthReport health = handlers_.health();
+    response.code = health.healthy ? 200 : 503;
+    response.content_type = "application/json";
+    response.body = RenderHealthJson(health);
+    response.body.push_back('\n');
+    return response;
+  }
+  if (path == "/statusz" && handlers_.status) {
+    response.content_type = "application/json";
+    response.body = RenderStatusJson(handlers_.status());
+    response.body.push_back('\n');
+    return response;
+  }
+  if (path == "/tracez" && handlers_.traces) {
+    response.content_type = "application/json";
+    response.body = RenderTracezJson(handlers_.traces());
+    response.body.push_back('\n');
+    return response;
+  }
+  if (path == "/" || path == "/index.html") {
+    response.content_type = "text/plain; charset=utf-8";
+    response.body =
+        "springdtw introspection\n"
+        "  /metrics       Prometheus exposition\n"
+        "  /metrics.json  metrics as JSON\n"
+        "  /healthz       liveness + per-worker staleness\n"
+        "  /statusz       pipeline snapshot\n"
+        "  /tracez        recent match-lifecycle traces\n";
+    return response;
+  }
+  response.code = 404;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = "not found\n";
+  return response;
+}
+
+}  // namespace obs
+}  // namespace springdtw

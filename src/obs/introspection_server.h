@@ -1,0 +1,228 @@
+#ifndef SPRINGDTW_OBS_INTROSPECTION_SERVER_H_
+#define SPRINGDTW_OBS_INTROSPECTION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace obs {
+
+/// Health verdict for one pipeline worker, as reported by /healthz.
+/// Staleness semantics (docs/OBSERVABILITY.md): a worker that has processed
+/// traffic before but has not advanced for longer than the staleness budget
+/// is "stale" — this covers both a stuck worker (backlog it cannot drain)
+/// and a dead feed (silence beyond the budget on a stream that is expected
+/// to tick continuously).
+struct WorkerHealth {
+  int64_t worker = 0;
+  /// "idle" (never saw traffic), "ok", "stale", or "stopped".
+  std::string state = "idle";
+  bool healthy = true;
+  /// Messages routed to this worker but not yet fully processed.
+  uint64_t lag_messages = 0;
+  /// Milliseconds since the worker last finished a message; < 0 = never.
+  double ms_since_progress = -1.0;
+};
+
+struct HealthReport {
+  bool healthy = true;
+  /// "ok", "stale", "stopped", or "disabled" (introspection not attached).
+  std::string state = "ok";
+  double staleness_budget_ms = 0.0;
+  std::vector<WorkerHealth> workers;
+};
+
+/// One worker's row in /statusz.
+struct WorkerStatus {
+  int64_t worker = 0;
+  std::string state = "idle";
+  uint64_t messages_produced = 0;
+  uint64_t messages_consumed = 0;
+  int64_t ticks = 0;
+  int64_t streams = 0;
+  int64_t queries = 0;
+  /// Candidates currently pending (d_m <= epsilon, not yet reported), as of
+  /// the worker's last published snapshot.
+  int64_t pending_candidates = 0;
+  uint64_t ring_occupancy = 0;
+  uint64_t ring_capacity = 0;
+  uint64_t ring_blocked_pushes = 0;
+  uint64_t ring_producer_parks = 0;
+  uint64_t ring_consumer_parks = 0;
+};
+
+struct StatusReport {
+  /// "engine" (single MonitorEngine) or "sharded_monitor".
+  std::string role = "engine";
+  bool started = false;
+  double uptime_seconds = 0.0;
+  int64_t num_workers = 0;
+  int64_t num_streams = 0;
+  int64_t num_queries = 0;
+  int64_t ticks_ingested = 0;
+  int64_t matches_delivered = 0;
+  /// Seconds since the last checkpoint was serialized; < 0 = never.
+  double checkpoint_age_seconds = -1.0;
+  std::vector<WorkerStatus> workers;
+};
+
+/// Payload for /tracez: recent match-lifecycle events plus how many were
+/// lost to ring wrap-around.
+struct TracezReport {
+  std::vector<TraceEvent> events;
+  int64_t dropped = 0;
+};
+
+std::string RenderHealthJson(const HealthReport& report);
+std::string RenderStatusJson(const StatusReport& report);
+std::string RenderTracezJson(const TracezReport& report);
+
+/// Endpoint data sources. Every handler runs on the server thread and must
+/// be thread-safe against the monitored pipeline; a null handler turns its
+/// endpoint into a 404.
+struct IntrospectionHandlers {
+  std::function<MetricsSnapshot()> metrics;
+  std::function<HealthReport()> health;
+  std::function<StatusReport()> status;
+  std::function<TracezReport()> traces;
+};
+
+struct IntrospectionServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+  int port = 0;
+  /// Bind 127.0.0.1 only (the default); false binds all interfaces.
+  bool loopback_only = true;
+};
+
+/// Dependency-free HTTP/1.1 introspection server: a blocking accept loop on
+/// one dedicated thread, plain POSIX sockets, GET-only, one request per
+/// connection (Connection: close). Endpoints (docs/OBSERVABILITY.md):
+///
+///   /metrics       Prometheus text exposition 0.0.4
+///   /metrics.json  the same snapshot as JSON
+///   /healthz       liveness + per-worker staleness verdict (503 when any
+///                  worker is stale)
+///   /statusz       pipeline snapshot: per-worker ticks, ring occupancy,
+///                  pending candidates, checkpoint age, uptime
+///   /tracez        recent match-lifecycle trace events
+///
+/// Requests are served serially; handlers produce small bounded payloads,
+/// so a slow scraper can delay the next scrape but never the pipeline.
+class IntrospectionServer {
+ public:
+  IntrospectionServer(const IntrospectionServerOptions& options,
+                      IntrospectionHandlers handlers);
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// Binds, listens, and spawns the serving thread. Fails on bind/listen
+  /// errors (e.g. port in use). Not restartable after Stop().
+  util::Status Start();
+
+  /// Stops the serving thread and closes the listening socket. Idempotent;
+  /// also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  /// The bound port (the actual one when options.port was 0), or -1 before
+  /// a successful Start().
+  int port() const { return port_; }
+  /// Requests answered so far (any status code).
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Response {
+    int code = 200;
+    std::string content_type;
+    std::string body;
+  };
+
+  void ServeLoop();
+  void HandleConnection(int client_fd);
+  Response Dispatch(const std::string& path) const;
+
+  IntrospectionServerOptions options_;
+  IntrospectionHandlers handlers_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+/// Thread-safe published-snapshot store for single-threaded pipelines: the
+/// ingest thread publishes periodic snapshots, the server thread reads the
+/// latest. Handlers() binds the cache to an IntrospectionHandlers bundle;
+/// the cache must outlive the server using it.
+class IntrospectionCache {
+ public:
+  void PublishMetrics(MetricsSnapshot snapshot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = std::move(snapshot);
+  }
+  void PublishHealth(HealthReport health) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    health_ = std::move(health);
+  }
+  void PublishStatus(StatusReport status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status_ = std::move(status);
+  }
+  void PublishTraces(TracezReport traces) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces_ = std::move(traces);
+  }
+
+  MetricsSnapshot Metrics() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_;
+  }
+  HealthReport Health() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return health_;
+  }
+  StatusReport Status() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return status_;
+  }
+  TracezReport Traces() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return traces_;
+  }
+
+  IntrospectionHandlers Handlers() {
+    IntrospectionHandlers handlers;
+    handlers.metrics = [this] { return Metrics(); };
+    handlers.health = [this] { return Health(); };
+    handlers.status = [this] { return Status(); };
+    handlers.traces = [this] { return Traces(); };
+    return handlers;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot metrics_;
+  HealthReport health_;
+  StatusReport status_;
+  TracezReport traces_;
+};
+
+}  // namespace obs
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_OBS_INTROSPECTION_SERVER_H_

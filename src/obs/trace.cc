@@ -26,6 +26,19 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
   return "unknown";
 }
 
+std::string TraceEventJson(const TraceEvent& e) {
+  return util::StrFormat(
+      "{\"event\":\"%s\",\"space\":\"%s\",\"tick\":%lld,"
+      "\"stream\":%lld,\"query\":%lld,\"start\":%lld,\"end\":%lld,"
+      "\"distance\":%.17g,\"report_delay\":%lld}",
+      std::string(TraceEventKindName(e.kind)).c_str(),
+      e.space == TraceSpace::kScalar ? "scalar" : "vector",
+      static_cast<long long>(e.tick), static_cast<long long>(e.stream_id),
+      static_cast<long long>(e.query_id), static_cast<long long>(e.start),
+      static_cast<long long>(e.end), e.distance,
+      static_cast<long long>(e.report_delay));
+}
+
 TraceRing::TraceRing(int64_t capacity) : capacity_(std::max<int64_t>(capacity, 0)) {
   ring_.resize(static_cast<size_t>(capacity_));
 }
@@ -55,16 +68,7 @@ std::vector<TraceEvent> TraceRing::Events() const {
 
 void TraceRing::DumpJsonl(std::ostream& out) const {
   for (const TraceEvent& e : Events()) {
-    out << util::StrFormat(
-        "{\"event\":\"%s\",\"space\":\"%s\",\"tick\":%lld,"
-        "\"stream\":%lld,\"query\":%lld,\"start\":%lld,\"end\":%lld,"
-        "\"distance\":%.17g,\"report_delay\":%lld}\n",
-        std::string(TraceEventKindName(e.kind)).c_str(),
-        e.space == TraceSpace::kScalar ? "scalar" : "vector",
-        static_cast<long long>(e.tick), static_cast<long long>(e.stream_id),
-        static_cast<long long>(e.query_id), static_cast<long long>(e.start),
-        static_cast<long long>(e.end), e.distance,
-        static_cast<long long>(e.report_delay));
+    out << TraceEventJson(e) << '\n';
   }
 }
 

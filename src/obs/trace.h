@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -30,6 +31,14 @@ enum class TraceEventKind : uint8_t {
 
 /// Stable lowercase name, e.g. "match_reported".
 std::string_view TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent;
+
+/// Renders one event as a single JSON object (no trailing newline), e.g.
+///   {"event":"match_reported","space":"scalar","tick":42,"stream":0,
+///    "query":1,"start":10,"end":20,"distance":1.5,"report_delay":2}
+/// Shared by TraceRing::DumpJsonl and the introspection server's /tracez.
+std::string TraceEventJson(const TraceEvent& event);
 
 /// Which id space stream_id/query_id refer to.
 enum class TraceSpace : uint8_t { kScalar, kVector };

@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "monitor/engine.h"
 #include "monitor/sharded_monitor.h"
 #include "monitor/sink.h"
+#include "obs/introspection_server.h"
 #include "obs/observability.h"
 
 namespace springdtw {
@@ -349,6 +351,78 @@ TEST(MonitorConcurrencyTest, ShardedMonitorSurvivesBarrierHammering) {
   delivered += monitor.FlushAll();
   monitor.Stop();
 
+  EXPECT_EQ(delivered, expected_total);
+  EXPECT_EQ(static_cast<int64_t>(sink.entries().size()), expected_total);
+}
+
+TEST(MonitorConcurrencyTest, IntrospectionSnapshotsRaceFreeWhileIngesting) {
+  // The PR 4 introspection surface under TSan: the router thread ingests
+  // at full speed while this thread (standing in for the HTTP server
+  // thread, which calls exactly these methods) hammers every snapshot
+  // accessor. Snapshots must only ever touch published (mutex-guarded)
+  // slots and always-safe atomics, so any race TSan finds here is a bug in
+  // the publish protocol, not the test.
+  constexpr int kStreams = 4;
+  constexpr int64_t kTicks = 1500;
+
+  int64_t expected_total = 0;
+  for (int i = 0; i < kStreams; ++i) {
+    expected_total += ReferenceMatchCount(i, kTicks);
+  }
+
+  ShardedMonitorOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 8;
+  options.enable_introspection = true;
+  options.publish_interval_ms = 0.0;  // republish on every message
+  options.staleness_budget_ms = 60000.0;  // never flips during the test
+  ShardedMonitor monitor(options);
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  std::vector<int64_t> stream_ids;
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < kStreams; ++i) {
+    stream_ids.push_back(monitor.AddStream("s" + std::to_string(i)));
+    ASSERT_TRUE(monitor
+                    .AddQuery(stream_ids.back(), "q", {1.0, 2.0, 3.0},
+                              TestOptions())
+                    .ok());
+    inputs.push_back(ShardStream(i, kTicks));
+  }
+
+  monitor.Start();
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> snapshots_taken{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::HealthReport health = monitor.HealthSnapshot();
+      EXPECT_TRUE(health.healthy) << health.state;
+      const obs::StatusReport status = monitor.StatusSnapshot();
+      EXPECT_EQ(status.role, "sharded_monitor");
+      (void)monitor.PublishedMetricsSnapshot();
+      (void)monitor.PublishedTraces();
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  int64_t delivered = 0;
+  for (int64_t t = 0; t < kTicks; ++t) {
+    for (int i = 0; i < kStreams; ++i) {
+      ASSERT_TRUE(monitor
+                      .Push(stream_ids[static_cast<size_t>(i)],
+                            inputs[static_cast<size_t>(i)]
+                                  [static_cast<size_t>(t)])
+                      .ok());
+    }
+    if (t % 97 == 0) delivered += monitor.Drain();
+  }
+  delivered += monitor.FlushAll();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  monitor.Stop();
+
+  EXPECT_GT(snapshots_taken.load(), 0);
   EXPECT_EQ(delivered, expected_total);
   EXPECT_EQ(static_cast<int64_t>(sink.entries().size()), expected_total);
 }

@@ -26,24 +26,38 @@
 // --trace_out dumps the match-lifecycle trace ring as JSONL (single-engine
 // runs only). --report_every=N prints a one-line metrics summary to stderr
 // every N ticks.
+//
+// Live introspection (threshold mode only): --introspect_port=N serves
+// /metrics, /metrics.json, /healthz, /statusz, and /tracez over HTTP on
+// 127.0.0.1 while the run ingests (N=0 picks an ephemeral port); the bound
+// port is printed as "INTROSPECT_PORT=<port>" before ingest starts.
+// --introspect_linger_ms keeps the process (and server) alive after the
+// run so late scrapers still get the final state;
+// --introspect_staleness_ms and --introspect_publish_ms tune the watchdog
+// budget and snapshot publish cadence (docs/OBSERVABILITY.md).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
+#include <thread>
 
 #include "core/subsequence_scan.h"
 #include "monitor/engine.h"
 #include "monitor/sharded_monitor.h"
 #include "monitor/sink.h"
 #include "obs/exposition.h"
+#include "obs/introspection_server.h"
 #include "obs/observability.h"
 #include "ts/binary_io.h"
 #include "ts/csv.h"
 #include "ts/repair.h"
 #include "util/flags.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace {
@@ -81,6 +95,21 @@ bool WriteMetrics(const obs::MetricsSnapshot& snapshot,
   return WriteOutput(path, rendered);
 }
 
+// Live-introspection knobs (--introspect_*); port < 0 disables.
+struct IntrospectOptions {
+  int64_t port = -1;
+  int64_t linger_ms = 0;
+  double staleness_ms = 1000.0;
+  double publish_ms = 50.0;
+};
+
+void LingerForScrapers(const IntrospectOptions& introspect) {
+  if (introspect.port >= 0 && introspect.linger_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(introspect.linger_ms));
+  }
+}
+
 // Threshold-mode matching through the MonitorEngine with an observability
 // bundle attached; renders metrics / trace afterwards. `batch_chunk` > 0
 // switches the engine to SoA batch mode and ingests via PushBatch in
@@ -89,7 +118,8 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
                 const core::SpringOptions& options, int64_t batch_chunk,
                 const std::string& metrics_format,
                 const std::string& metrics_out, const std::string& trace_out,
-                int64_t trace_capacity, int64_t report_every) {
+                int64_t trace_capacity, int64_t report_every,
+                const IntrospectOptions& introspect) {
   obs::ObservabilityOptions obs_options;
   obs_options.trace_capacity = trace_capacity;
   obs_options.report_every_ticks = report_every;
@@ -103,8 +133,8 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
   // per-value path, which bypasses the query-major batched fast path — so
   // a bare --batch run stays unobserved and actually exercises the SoA
   // pool.
-  const bool want_obs =
-      !metrics_format.empty() || !trace_out.empty() || report_every > 0;
+  const bool want_obs = !metrics_format.empty() || !trace_out.empty() ||
+                        report_every > 0 || introspect.port >= 0;
   if (want_obs) engine.AttachObservability(&observability);
   // The stream is already repaired here; keep engine-side repair off.
   const int64_t stream_id = engine.AddStream("stream", false);
@@ -122,6 +152,58 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
       });
   engine.AddSink(&printer);
 
+  // Single-threaded introspection: the ingest loop publishes snapshots
+  // into a cache (throttled), the server thread serves the latest copy.
+  obs::IntrospectionCache cache;
+  std::unique_ptr<obs::IntrospectionServer> server;
+  const uint64_t start_nanos =
+      static_cast<uint64_t>(util::Stopwatch::NowNanos());
+  const uint64_t publish_interval_nanos =
+      static_cast<uint64_t>(std::max(introspect.publish_ms, 0.0) * 1e6);
+  uint64_t last_publish_nanos = 0;
+  const auto publish = [&](bool running, int64_t ticks, uint64_t now) {
+    engine.RefreshObservabilityGauges();
+    cache.PublishMetrics(observability.registry().Snapshot());
+    obs::HealthReport health;
+    health.state = running ? "ok" : "stopped";
+    health.staleness_budget_ms = introspect.staleness_ms;
+    obs::WorkerHealth worker;
+    worker.state = health.state;
+    worker.ms_since_progress = 0.0;
+    health.workers.push_back(worker);
+    cache.PublishHealth(std::move(health));
+    obs::StatusReport status;
+    status.role = "engine";
+    status.started = running;
+    status.uptime_seconds = static_cast<double>(now - start_nanos) / 1e9;
+    status.num_workers = 1;
+    status.num_streams = engine.num_streams();
+    status.num_queries = engine.num_queries();
+    status.ticks_ingested = ticks;
+    status.matches_delivered = count;
+    cache.PublishStatus(std::move(status));
+    obs::TracezReport traces;
+    traces.events = observability.trace().Events();
+    traces.dropped = observability.trace().dropped();
+    cache.PublishTraces(std::move(traces));
+    last_publish_nanos = now;
+  };
+  if (introspect.port >= 0) {
+    obs::IntrospectionServerOptions server_options;
+    server_options.port = static_cast<int>(introspect.port);
+    server = std::make_unique<obs::IntrospectionServer>(server_options,
+                                                        cache.Handlers());
+    const util::Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "introspection server: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    publish(true, 0, start_nanos);
+    std::printf("INTROSPECT_PORT=%d\n", server->port());
+    std::fflush(stdout);
+  }
+
   const std::vector<double>& values = stream.values();
   const int64_t chunk = std::max<int64_t>(1, batch_chunk);
   for (int64_t at = 0; at < stream.size(); at += chunk) {
@@ -137,9 +219,21 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
       std::fprintf(stderr, "%s\n", pushed.status().ToString().c_str());
       return 1;
     }
+    if (server != nullptr) {
+      const uint64_t now =
+          static_cast<uint64_t>(util::Stopwatch::NowNanos());
+      if (now - last_publish_nanos >= publish_interval_nanos) {
+        publish(true, at + n, now);
+      }
+    }
   }
   engine.FlushAll();
   std::printf("# %lld matches\n", static_cast<long long>(count));
+  if (server != nullptr) {
+    publish(false, stream.size(),
+            static_cast<uint64_t>(util::Stopwatch::NowNanos()));
+    LingerForScrapers(introspect);
+  }
 
   if (want_obs) engine.RefreshObservabilityGauges();
   if (!metrics_format.empty()) {
@@ -166,11 +260,23 @@ int RunObserved(const ts::Series& stream, const ts::Series& query,
 int RunSharded(const ts::Series& stream, const ts::Series& query,
                const core::SpringOptions& options, int64_t threads,
                int64_t batch_chunk, const std::string& metrics_format,
-               const std::string& metrics_out) {
+               const std::string& metrics_out,
+               const IntrospectOptions& introspect) {
   monitor::ShardedMonitorOptions monitor_options;
   monitor_options.num_workers = threads;
   monitor_options.collect_metrics = !metrics_format.empty();
+  monitor_options.introspect_port = introspect.port;
+  monitor_options.staleness_budget_ms = introspect.staleness_ms;
+  monitor_options.publish_interval_ms = introspect.publish_ms;
   monitor::ShardedMonitor monitor(monitor_options);
+  if (introspect.port >= 0) {
+    if (monitor.introspection_port() < 0) {
+      std::fprintf(stderr, "introspection server failed to start\n");
+      return 1;
+    }
+    std::printf("INTROSPECT_PORT=%d\n", monitor.introspection_port());
+    std::fflush(stdout);
+  }
   // The stream is already repaired here; keep router-side repair off.
   const int64_t stream_id = monitor.AddStream("stream", false);
   const auto query_id =
@@ -202,6 +308,11 @@ int RunSharded(const ts::Series& stream, const ts::Series& query,
   }
   monitor.FlushAll();
   std::printf("# %lld matches\n", static_cast<long long>(count));
+  std::fflush(stdout);
+  // Linger with the workers still up so scrapers see live /healthz and
+  // /statusz; pick a staleness budget longer than the linger window if the
+  // post-run "stale" verdict is unwanted.
+  LingerForScrapers(introspect);
 
   if (!metrics_format.empty()) {
     if (!WriteMetrics(monitor.MergedMetricsSnapshot(), metrics_format,
@@ -259,12 +370,17 @@ int main(int argc, char** argv) {
   const int64_t topk = flags.GetInt64("topk", 0);
   const int64_t threads = flags.GetInt64("threads", 0);
   const int64_t batch = flags.GetInt64("batch", 0);
+  IntrospectOptions introspect;
+  introspect.port = flags.GetInt64("introspect_port", -1);
+  introspect.linger_ms = flags.GetInt64("introspect_linger_ms", 0);
+  introspect.staleness_ms = flags.GetDouble("introspect_staleness_ms", 1000.0);
+  introspect.publish_ms = flags.GetDouble("introspect_publish_ms", 50.0);
 
   if (topk > 0) {
     if (!flags.GetString("metrics", "").empty() ||
-        !flags.GetString("trace_out", "").empty()) {
-      std::fprintf(stderr, "--metrics/--trace_out do not combine with "
-                           "--topk\n");
+        !flags.GetString("trace_out", "").empty() || introspect.port >= 0) {
+      std::fprintf(stderr, "--metrics/--trace_out/--introspect_port do not "
+                           "combine with --topk\n");
       return 2;
     }
     if (threads > 0 || batch > 0) {
@@ -303,10 +419,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!metrics_format.empty() || !trace_out.empty() || threads > 0 ||
-      batch > 0) {
+      batch > 0 || introspect.port >= 0) {
     if (flags.GetBool("paths", false)) {
-      std::fprintf(stderr, "--metrics/--trace_out do not combine with "
-                           "--paths\n");
+      std::fprintf(stderr, "--metrics/--trace_out/--introspect_port do not "
+                           "combine with --paths\n");
       return 2;
     }
     core::SpringOptions options;
@@ -316,12 +432,13 @@ int main(int argc, char** argv) {
     options.min_match_length = flags.GetInt64("min_length", 0);
     if (threads > 0) {
       return RunSharded(repaired, *query, options, threads, batch,
-                        metrics_format, flags.GetString("metrics_out", ""));
+                        metrics_format, flags.GetString("metrics_out", ""),
+                        introspect);
     }
     return RunObserved(repaired, *query, options, batch, metrics_format,
                        flags.GetString("metrics_out", ""), trace_out,
                        flags.GetInt64("trace_capacity", 4096),
-                       flags.GetInt64("report_every", 0));
+                       flags.GetInt64("report_every", 0), introspect);
   }
 
   if (flags.GetBool("paths", false)) {

@@ -3,10 +3,15 @@
 //
 //   springdtw_metrics_check --in=metrics.json
 //       [--require=spring_ticks_total,spring_matches_total]
+//       [--require_histogram=spring_stage_latency_nanos]
 //
 // Exit 0 iff the file is syntactically valid JSON, has a top-level
-// "metrics" array of family objects, and every --require name appears as a
-// family "name". Used by the ctest smoke test so CI catches a broken
+// "metrics" array of family objects, every --require name appears as a
+// family "name", every --require_histogram name appears as a family of
+// type "histogram" with at least one series, and every histogram series in
+// the file is well-formed: count >= 0 and — whenever count > 0 — finite
+// (non-null) sum/min/max/mean and non-negative, finite p50/p90/p99
+// quantile bounds. Used by the ctest smoke tests so CI catches a broken
 // exposition path without external JSON tooling.
 
 #include <cctype>
@@ -14,6 +19,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/flags.h"
@@ -41,6 +47,18 @@ class JsonChecker {
 
   const std::string& error() const { return error_; }
   const std::vector<std::string>& names() const { return names_; }
+  /// Family name -> declared "type" string ("counter", "gauge",
+  /// "histogram"), in the order the "type" keys were seen.
+  const std::vector<std::pair<std::string, std::string>>& family_types()
+      const {
+    return family_types_;
+  }
+  /// Histogram-series validation problems (negative/NaN quantile bounds,
+  /// null stats with a nonzero count, ...). Syntactically valid files with
+  /// such problems still Validate() == true; the caller decides.
+  const std::vector<std::string>& series_errors() const {
+    return series_errors_;
+  }
 
  private:
   bool Fail(const std::string& message) {
@@ -67,7 +85,16 @@ class JsonChecker {
     return Fail(std::string("expected '") + c + "'");
   }
 
-  bool ParseValue() {
+  /// What a scalar value parse saw, for histogram-series validation.
+  /// Non-finite doubles render as JSON null, so `is_null` doubles as the
+  /// NaN/Inf signal.
+  struct ScalarValue {
+    bool is_number = false;
+    bool is_null = false;
+    double number = 0.0;
+  };
+
+  bool ParseValue(ScalarValue* scalar = nullptr) {
     if (pos_ >= text_.size()) return Fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{':
@@ -83,9 +110,10 @@ class JsonChecker {
       case 'f':
         return ParseLiteral("false");
       case 'n':
+        if (scalar != nullptr) scalar->is_null = true;
         return ParseLiteral("null");
       default:
-        return ParseNumber();
+        return ParseNumber(scalar);
     }
   }
 
@@ -97,7 +125,7 @@ class JsonChecker {
     return Fail("bad literal");
   }
 
-  bool ParseNumber() {
+  bool ParseNumber(ScalarValue* scalar = nullptr) {
     const size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     while (pos_ < text_.size() &&
@@ -111,6 +139,10 @@ class JsonChecker {
     if (!springdtw::util::ParseDouble(text_.substr(start, pos_ - start),
                                       &parsed)) {
       return Fail("malformed number");
+    }
+    if (scalar != nullptr) {
+      scalar->is_number = true;
+      scalar->number = parsed;
     }
     return true;
   }
@@ -162,6 +194,15 @@ class JsonChecker {
       ++pos_;
       return true;
     }
+    // Histogram-stat keys seen directly in THIS object (nested objects
+    // recurse and collect their own). An object carrying both "count" and
+    // "p50" is a histogram series; it gets validated on close.
+    static constexpr const char* kStatKeys[] = {
+        "count", "sum", "min", "max", "mean", "p50", "p90", "p99"};
+    static constexpr size_t kNumStatKeys =
+        sizeof(kStatKeys) / sizeof(kStatKeys[0]);
+    bool stat_seen[kNumStatKeys] = {};
+    ScalarValue stat_values[kNumStatKeys];
     while (true) {
       SkipWhitespace();
       std::string key;
@@ -173,15 +214,68 @@ class JsonChecker {
         std::string value;
         if (!ParseString(&value)) return false;
         names_.push_back(value);
+        last_family_ = value;
+      } else if (key == "type" && pos_ < text_.size() &&
+                 text_[pos_] == '"') {
+        std::string value;
+        if (!ParseString(&value)) return false;
+        if (!last_family_.empty()) {
+          family_types_.emplace_back(last_family_, value);
+        }
       } else {
-        if (!ParseValue()) return false;
+        size_t stat = kNumStatKeys;
+        for (size_t i = 0; i < kNumStatKeys; ++i) {
+          if (key == kStatKeys[i]) {
+            stat = i;
+            break;
+          }
+        }
+        if (stat < kNumStatKeys) {
+          if (!ParseValue(&stat_values[stat])) return false;
+          stat_seen[stat] = true;
+        } else {
+          if (!ParseValue()) return false;
+        }
       }
       SkipWhitespace();
       if (pos_ < text_.size() && text_[pos_] == ',') {
         ++pos_;
         continue;
       }
-      return Consume('}');
+      if (!Consume('}')) return false;
+      if (stat_seen[0] && stat_seen[5]) {  // "count" and "p50"
+        ValidateHistogramSeries(kStatKeys, kNumStatKeys, stat_seen,
+                                stat_values);
+      }
+      return true;
+    }
+  }
+
+  void SeriesError(const std::string& message) {
+    series_errors_.push_back(springdtw::util::StrFormat(
+        "histogram family '%s': %s", last_family_.c_str(), message.c_str()));
+  }
+
+  void ValidateHistogramSeries(const char* const* keys, size_t num_keys,
+                               const bool* seen, const ScalarValue* values) {
+    const ScalarValue& count = values[0];
+    if (!count.is_number || count.number < 0.0) {
+      SeriesError("series count is missing, null, or negative");
+      return;
+    }
+    if (count.number == 0.0) return;  // empty series render stats as null
+    for (size_t i = 1; i < num_keys; ++i) {
+      if (!seen[i]) continue;
+      const bool is_quantile = keys[i][0] == 'p';
+      if (!values[i].is_number) {
+        SeriesError(springdtw::util::StrFormat(
+            "series %s is %s with count > 0 (NaN/Inf leak?)", keys[i],
+            values[i].is_null ? "null" : "not a number"));
+      } else if (is_quantile && values[i].number < 0.0) {
+        SeriesError(springdtw::util::StrFormat(
+            "series %s bucket bound is negative (%g)", keys[i],
+            values[i].number));
+      }
     }
   }
 
@@ -208,6 +302,9 @@ class JsonChecker {
   size_t pos_ = 0;
   std::string error_;
   std::vector<std::string> names_;
+  std::string last_family_;
+  std::vector<std::pair<std::string, std::string>> family_types_;
+  std::vector<std::string> series_errors_;
 };
 
 }  // namespace
@@ -248,6 +345,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: no top-level \"metrics\" key\n", path.c_str());
     return 1;
   }
+  for (const std::string& problem : checker.series_errors()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), problem.c_str());
+  }
 
   int missing = 0;
   const std::string require = flags.GetString("require", "");
@@ -267,7 +367,27 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (missing > 0) return 1;
+  const std::string require_histogram =
+      flags.GetString("require_histogram", "");
+  if (!require_histogram.empty()) {
+    for (const std::string& name :
+         springdtw::util::Split(require_histogram, ',')) {
+      bool found = false;
+      for (const auto& [family, type] : checker.family_types()) {
+        if (family == name && type == "histogram") {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr,
+                     "%s: missing required histogram family '%s'\n",
+                     path.c_str(), name.c_str());
+        ++missing;
+      }
+    }
+  }
+  if (missing > 0 || !checker.series_errors().empty()) return 1;
   std::printf("%s: ok (%zu metric families)\n", path.c_str(),
               checker.names().size());
   return 0;
