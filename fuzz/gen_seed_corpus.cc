@@ -1,8 +1,9 @@
 // Writes valid snapshot/checkpoint seed inputs for fuzz_checkpoint into the
-// directory given as argv[1]. Run as a ctest fixture so the smoke replay
-// always exercises the parse-succeeds path (the committed corpus covers the
-// reject paths with handcrafted corrupt files, which stay valid even if the
-// snapshot format rolls its version).
+// directory given as argv[1], and — when argv[2] is given — valid wire
+// frames for fuzz_net_frame into that directory. Run as a ctest fixture so
+// the smoke replays always exercise the parse-succeeds path (the committed
+// corpora cover the reject paths with handcrafted corrupt files, which stay
+// valid even if a format rolls its version).
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -13,6 +14,7 @@
 #include "core/spring.h"
 #include "core/vector_spring.h"
 #include "monitor/engine.h"
+#include "net/protocol.h"
 #include "ts/vector_series.h"
 
 namespace {
@@ -28,9 +30,85 @@ bool WriteFile(const std::filesystem::path& path,
 
 }  // namespace
 
+namespace {
+
+// One frame per wire payload type the server or client actually parses,
+// plus a multi-frame stream, so the cut loop's happy path is always in the
+// replayed corpus.
+bool WriteNetFrameCorpus(const std::filesystem::path& dir) {
+  namespace net = springdtw::net;
+  bool ok = true;
+  auto write_frame = [&](const char* name, net::FrameType type,
+                         const auto& payload) {
+    std::vector<uint8_t> wire;
+    net::AppendPayloadFrame(type, payload, &wire);
+    ok = WriteFile(dir / name, wire) && ok;
+    return wire;
+  };
+
+  net::HelloPayload hello;
+  hello.version = net::kProtocolVersion;
+  hello.peer_name = "fuzz";
+  const std::vector<uint8_t> hello_wire =
+      write_frame("hello.bin", net::FrameType::kHello, hello);
+
+  net::OpenStreamPayload open_stream;
+  open_stream.request_id = 1;
+  open_stream.name = "s0";
+  write_frame("open_stream.bin", net::FrameType::kOpenStream, open_stream);
+
+  net::AddQueryPayload add_query;
+  add_query.request_id = 2;
+  add_query.stream_id = 0;
+  add_query.name = "q";
+  add_query.values = {1.0, 2.0, 3.0};
+  add_query.epsilon = 0.5;
+  add_query.local_distance = 0;
+  const std::vector<uint8_t> add_query_wire =
+      write_frame("add_query.bin", net::FrameType::kAddQuery, add_query);
+
+  net::TickBatchPayload batch;
+  batch.stream_id = 0;
+  batch.values = {0.0, 1.0, 2.0, 3.0, 2.0, 1.0};
+  const std::vector<uint8_t> batch_wire =
+      write_frame("tick_batch.bin", net::FrameType::kTickBatch, batch);
+
+  net::MatchEventPayload event;
+  event.delivery_seq = 7;
+  event.stream_name = "s0";
+  event.query_name = "q";
+  event.match.start = 3;
+  event.match.end = 7;
+  event.match.report_time = 8;
+  write_frame("match_event.bin", net::FrameType::kMatchEvent, event);
+
+  net::QueryListPayload list;
+  list.request_id = 3;
+  net::QueryListPayload::Entry entry;
+  entry.name = "q";
+  entry.stream_name = "s0";
+  entry.ticks = 6;
+  list.entries.push_back(entry);
+  write_frame("query_list.bin", net::FrameType::kQueryList, list);
+
+  write_frame("error.bin", net::FrameType::kError,
+              net::MakeErrorPayload(
+                  4, springdtw::util::NotFoundError("no such query")));
+
+  // A realistic session prefix: HELLO, ADD_QUERY, TICK_BATCH back to back.
+  std::vector<uint8_t> session = hello_wire;
+  session.insert(session.end(), add_query_wire.begin(), add_query_wire.end());
+  session.insert(session.end(), batch_wire.begin(), batch_wire.end());
+  ok = WriteFile(dir / "session.bin", session) && ok;
+  return ok;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <checkpoint-dir> [net-frame-dir]\n",
+                 argv[0]);
     return 2;
   }
   const std::filesystem::path dir(argv[1]);
@@ -101,6 +179,12 @@ int main(int argc, char** argv) {
       (void)engine.PushRow(v0, row);
     }
     ok = WriteFile(dir / "engine_mixed.bin", engine.SerializeState()) && ok;
+  }
+
+  if (argc == 3) {
+    const std::filesystem::path net_dir(argv[2]);
+    std::filesystem::create_directories(net_dir, ec);
+    ok = WriteNetFrameCorpus(net_dir) && ok;
   }
 
   if (!ok) {

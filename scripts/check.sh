@@ -18,6 +18,13 @@
 #               Starts a 4-worker springdtw_match with --introspect_port=0,
 #               polls /healthz to 200 and scrapes /metrics for the
 #               pipeline-stage histogram families
+#   serve-smoke Boots springdtw_serve on an ephemeral port, replays a
+#               planted pattern through springdtw_feed and asserts the
+#               exact match arrives over the subscription, checks
+#               /healthz and the spring_net_* metric splice, SIGTERMs the
+#               daemon (must exit 0 and leave a checkpoint), then restarts
+#               from the checkpoint and asserts the restored query keeps
+#               matching (docs/SERVING.md)
 #
 # Usage: scripts/check.sh [leg ...]   (no args = all legs)
 # Exits non-zero if any leg fails; prints a per-leg summary either way.
@@ -28,7 +35,8 @@ JOBS="${JOBS:-$(nproc)}"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default asan-ubsan tsan lint fuzz-smoke bench-smoke introspect-smoke)
+  LEGS=(default asan-ubsan tsan lint fuzz-smoke bench-smoke introspect-smoke
+    serve-smoke)
 fi
 
 NAMES=()
@@ -54,7 +62,8 @@ leg_lint() {
 leg_fuzz_smoke() {
   cmake --preset default &&
     cmake --build --preset default -j"$JOBS" \
-      --target fuzz_csv fuzz_codec fuzz_checkpoint fuzz_gen_seed_corpus &&
+      --target fuzz_csv fuzz_codec fuzz_checkpoint fuzz_net_frame \
+      fuzz_gen_seed_corpus &&
     ctest --test-dir build -R '^fuzz_' --output-on-failure
 }
 
@@ -68,7 +77,11 @@ leg_bench_smoke() {
     ./build/tools/springdtw_metrics_check --in=BENCH_scaleout.json \
       --require=bench_scaleout_ticks_per_sec,bench_scaleout_batch_speedup &&
     ./build/tools/springdtw_metrics_check --in=BENCH_fig7.json \
-      --require=bench_spring_us_per_tick,bench_engine_metrics_overhead_pct
+      --require=bench_spring_us_per_tick,bench_engine_metrics_overhead_pct &&
+    cmake --build --preset default -j"$JOBS" --target bench_net_ingest &&
+    ./build/bench/bench_net_ingest --smoke --json_out=BENCH_net.json &&
+    ./build/tools/springdtw_metrics_check --in=BENCH_net.json \
+      --require=bench_net_ingest_ticks_per_sec,bench_net_ingest_wire_overhead
 }
 
 # One HTTP GET over bash's /dev/tcp (no curl dependency in the container);
@@ -146,6 +159,125 @@ leg_introspect_smoke() {
   return "$ok"
 }
 
+# Waits for a `KEY=value` line to appear in a daemon's stdout capture;
+# prints the value. Fails when the process dies first.
+wait_for_port_line() {
+  local key="$1" file="$2" pid="$3" port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n "s/^${key}=//p" "$file" | head -1)"
+    [ -n "$port" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  [ -n "$port" ] || return 1
+  echo "$port"
+}
+
+leg_serve_smoke() {
+  cmake --preset default &&
+    cmake --build --preset default -j"$JOBS" \
+      --target springdtw_serve springdtw_feed || return 1
+
+  local tmp
+  tmp="$(mktemp -d)" || return 1
+  # Planted pattern: the query {1,2,3,2,1} occurs exactly at indices 3..7
+  # (and the trailing 9s force the commit), so the subscribed feeder must
+  # print MATCH ... start=3 end=7 dist=0 report=8 — a deterministic,
+  # byte-checkable report (docs/SERVING.md "Example session").
+  printf '0\n0\n0\n1\n2\n3\n2\n1\n0\n0\n9\n9\n9\n9\n9\n9\n' \
+    >"$tmp/stream.csv"
+  printf '1\n2\n3\n2\n1\n' >"$tmp/query.csv"
+
+  local serve_pid port iport
+  ./build/tools/springdtw_serve --port=0 --workers=2 \
+    --checkpoint="$tmp/state.ckpt" --introspect_port=0 \
+    --staleness_ms=60000 >"$tmp/serve.out" 2>&1 &
+  serve_pid=$!
+  port="$(wait_for_port_line SERVE_PORT "$tmp/serve.out" "$serve_pid")" || {
+    echo "serve-smoke: no SERVE_PORT line from springdtw_serve"
+    cat "$tmp/serve.out"
+    kill "$serve_pid" 2>/dev/null
+    wait "$serve_pid" 2>/dev/null
+    rm -rf "$tmp"
+    return 1
+  }
+
+  local ok=0
+  ./build/tools/springdtw_feed --port="$port" --stream="$tmp/stream.csv" \
+    --query="$tmp/query.csv" --epsilon=0.25 --subscribe --list \
+    >"$tmp/feed.out" 2>&1 || ok=1
+  grep -q 'MATCH stream=stream query=query start=3 end=7 dist=0 report=8' \
+    "$tmp/feed.out" || {
+    echo "serve-smoke: expected planted match missing from feed output:"
+    cat "$tmp/feed.out"
+    ok=1
+  }
+  grep -q 'QUERY .*name=query ticks=16' "$tmp/feed.out" || {
+    echo "serve-smoke: LIST_QUERIES row missing:"
+    cat "$tmp/feed.out"
+    ok=1
+  }
+
+  # The daemon splices its spring_net_* families into /metrics and serves
+  # /healthz through the monitor's introspection server.
+  iport="$(wait_for_port_line INTROSPECT_PORT "$tmp/serve.out" \
+    "$serve_pid")" || ok=1
+  if [ "$ok" -eq 0 ]; then
+    introspect_get "$iport" /healthz 2>/dev/null | head -1 | grep -q 200 || {
+      echo "serve-smoke: /healthz not 200"
+      ok=1
+    }
+    introspect_get "$iport" /metrics >"$tmp/metrics.out" 2>/dev/null
+    grep -q 'spring_net_frames_total' "$tmp/metrics.out" &&
+      grep -q 'spring_net_connections' "$tmp/metrics.out" || {
+      echo "serve-smoke: spring_net_* families missing from /metrics:"
+      head -40 "$tmp/metrics.out"
+      ok=1
+    }
+  fi
+
+  # SIGTERM: drain, checkpoint, exit 0.
+  kill -TERM "$serve_pid" 2>/dev/null
+  wait "$serve_pid"
+  local rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: springdtw_serve exited $rc on SIGTERM"
+    cat "$tmp/serve.out"
+    ok=1
+  fi
+  [ -f "$tmp/state.ckpt" ] || {
+    echo "serve-smoke: no checkpoint written on shutdown"
+    ok=1
+  }
+
+  # Restart from the checkpoint: the stream and query are restored, so a
+  # replay of the same pattern (ticks 16..31) must match at 19..23 without
+  # re-registering anything.
+  if [ "$ok" -eq 0 ]; then
+    ./build/tools/springdtw_serve --port=0 --workers=2 \
+      --checkpoint="$tmp/state.ckpt" >"$tmp/serve2.out" 2>&1 &
+    serve_pid=$!
+    port="$(wait_for_port_line SERVE_PORT "$tmp/serve2.out" \
+      "$serve_pid")" || ok=1
+    if [ "$ok" -eq 0 ]; then
+      ./build/tools/springdtw_feed --port="$port" \
+        --stream="$tmp/stream.csv" --subscribe >"$tmp/feed2.out" 2>&1 || ok=1
+      grep -q \
+        'MATCH stream=stream query=query start=19 end=23 dist=0 report=24' \
+        "$tmp/feed2.out" || {
+        echo "serve-smoke: restored daemon did not keep matching:"
+        cat "$tmp/feed2.out"
+        ok=1
+      }
+    fi
+    kill -TERM "$serve_pid" 2>/dev/null
+    wait "$serve_pid" 2>/dev/null
+  fi
+
+  rm -rf "$tmp"
+  return "$ok"
+}
+
 run_leg() {
   local leg="$1"
   echo
@@ -159,9 +291,10 @@ run_leg() {
     fuzz-smoke) leg_fuzz_smoke || status=FAIL ;;
     bench-smoke) leg_bench_smoke || status=FAIL ;;
     introspect-smoke) leg_introspect_smoke || status=FAIL ;;
+    serve-smoke) leg_serve_smoke || status=FAIL ;;
     *)
       echo "unknown leg: ${leg} (known: default asan-ubsan tsan lint" \
-        "fuzz-smoke bench-smoke introspect-smoke)"
+        "fuzz-smoke bench-smoke introspect-smoke serve-smoke)"
       status=FAIL
       ;;
   esac

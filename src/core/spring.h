@@ -107,6 +107,11 @@ class SpringMatcher {
   double candidate_distance() const { return dmin_; }
   int64_t candidate_start() const { return ts_; }
   int64_t candidate_end() const { return te_; }
+  /// Pending candidate's warping-group extent (the span all overlapping
+  /// qualifying subsequences cover); meaningless before
+  /// has_pending_candidate().
+  int64_t candidate_group_start() const { return group_start_; }
+  int64_t candidate_group_end() const { return group_end_; }
   /// STWM cells pruned by the max_match_length constraint since
   /// construction or Reset(). Diagnostic only: not serialized, so a
   /// restored matcher restarts at 0.

@@ -381,6 +381,54 @@ int64_t SpringBatchPool::Flush(std::vector<Report>* reports) {
   return appended;
 }
 
+bool SpringBatchPool::RemoveQuery(int64_t index, Match* match) {
+  const QueryState& q = at(index);
+  // Report-eligibility at removal time mirrors the per-tick check in
+  // UpdateOne (the paper's Figure 4): the candidate is committed iff no
+  // current-row cell could still grow into a better overlapping match.
+  bool flushed = false;
+  if (q.has_candidate && q.dmin <= q.options.epsilon) {
+    const double* d_prev = d_rows_[parity_].data() + q.row_offset;
+    const int64_t* s_prev = s_rows_[parity_].data() + q.row_offset;
+    bool can_report = true;
+    for (int64_t i = 0; i < q.m; ++i) {
+      if (d_prev[i] < q.dmin && s_prev[i] <= q.te) {
+        can_report = false;
+        break;
+      }
+    }
+    if (can_report) {
+      if (match != nullptr) {
+        match->start = q.ts;
+        match->end = q.te;
+        match->distance = q.dmin;
+        match->report_time = q.t;
+        match->group_start = q.group_start;
+        match->group_end = q.group_end;
+      }
+      flushed = true;
+    }
+  }
+
+  // Compact: slots were appended in index order, so every query past
+  // `index` sits `m` entries higher in each array.
+  const int64_t m = q.m;
+  const auto values_first = query_values_.begin() + q.query_offset;
+  query_values_.erase(values_first, values_first + m);
+  for (int buf = 0; buf < 2; ++buf) {
+    const auto d_first = d_rows_[buf].begin() + q.row_offset;
+    d_rows_[buf].erase(d_first, d_first + m);
+    const auto s_first = s_rows_[buf].begin() + q.row_offset;
+    s_rows_[buf].erase(s_first, s_first + m);
+  }
+  queries_.erase(queries_.begin() + index);
+  for (size_t j = static_cast<size_t>(index); j < queries_.size(); ++j) {
+    queries_[j].query_offset -= m;
+    queries_[j].row_offset -= m;
+  }
+  return flushed;
+}
+
 util::MemoryFootprint SpringBatchPool::Footprint() const {
   util::MemoryFootprint fp;
   fp.Add("query", util::VectorBytes(query_values_));

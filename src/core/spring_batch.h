@@ -87,6 +87,18 @@ class SpringBatchPool {
   /// (SpringMatcher::Flush semantics), appended in query-index order.
   int64_t Flush(std::vector<Report>* reports);
 
+  /// Removes query `index` and compacts the pool: its segments are erased
+  /// from the row and query-value arrays and every later query's offsets
+  /// shift down, so surviving indices decrement by one past `index`.
+  ///
+  /// A pending candidate is emitted into `*match` (returns true) iff it is
+  /// already report-eligible under the Problem-2 rule — no current-row cell
+  /// has d(t, i) < d_min with s(t, i) <= t_e, i.e. nothing still evolving
+  /// could beat it. A candidate that might still be improved by in-flight
+  /// cells is dropped (returns false): reporting it could emit an overlap
+  /// of a better match the stream was about to produce.
+  bool RemoveQuery(int64_t index, Match* match);
+
   int64_t num_queries() const {
     return static_cast<int64_t>(queries_.size());
   }

@@ -85,7 +85,7 @@ util::StatusOr<int64_t> MonitorEngine::AddQuery(
     queries_.back().obs = ResolveQueryObs(stream.name, queries_.back().name,
                                           /*vector_space=*/false);
     obs_queries_->Set(
-        static_cast<double>(num_queries() + num_vector_queries()));
+        static_cast<double>(num_active_queries() + num_vector_queries()));
   }
   return query_id;
 }
@@ -114,7 +114,7 @@ util::StatusOr<int64_t> MonitorEngine::AddQueryFromSnapshot(
     queries_.back().obs = ResolveQueryObs(stream.name, queries_.back().name,
                                           /*vector_space=*/false);
     obs_queries_->Set(
-        static_cast<double>(num_queries() + num_vector_queries()));
+        static_cast<double>(num_active_queries() + num_vector_queries()));
   }
   return query_id;
 }
@@ -123,6 +123,7 @@ std::vector<uint8_t> MonitorEngine::SerializeQueryState(
     int64_t query_id) const {
   SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
   const QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+  SPRINGDTW_CHECK(!query.removed) << "query was removed";
   if (options_.batch_queries) {
     return streams_[static_cast<size_t>(query.stream_id)]
         .pool.ToMatcher(query.pool_index)
@@ -134,6 +135,97 @@ std::vector<uint8_t> MonitorEngine::SerializeQueryState(
 void MonitorEngine::AddSink(MatchSink* sink) {
   SPRINGDTW_CHECK(sink != nullptr);
   sinks_.push_back(sink);
+}
+
+int64_t MonitorEngine::num_active_queries() const {
+  int64_t active = 0;
+  for (const QueryEntry& query : queries_) {
+    if (!query.removed) ++active;
+  }
+  return active;
+}
+
+bool MonitorEngine::query_removed(int64_t query_id) const {
+  SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
+  return queries_[static_cast<size_t>(query_id)].removed;
+}
+
+util::StatusOr<int64_t> MonitorEngine::RemoveQuery(int64_t query_id) {
+  if (query_id < 0 || query_id >= num_queries() ||
+      queries_[static_cast<size_t>(query_id)].removed) {
+    return util::NotFoundError(
+        util::StrFormat("no query %lld", static_cast<long long>(query_id)));
+  }
+  QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+  StreamEntry& stream = streams_[static_cast<size_t>(query.stream_id)];
+
+  core::Match match;
+  bool has_flush = false;
+  if (options_.batch_queries) {
+    has_flush = stream.pool.RemoveQuery(query.pool_index, &match);
+    // The pool compacted: every later slot shifted down by one, and
+    // query_ids[k] must keep matching pool slot k (the erase below
+    // preserves that alignment).
+    for (const int64_t other_id : stream.query_ids) {
+      QueryEntry& other = queries_[static_cast<size_t>(other_id)];
+      if (other.pool_index > query.pool_index) --other.pool_index;
+    }
+  } else {
+    const core::SpringMatcher& matcher = *query.matcher;
+    if (matcher.has_pending_candidate() &&
+        matcher.candidate_distance() <= matcher.options().epsilon) {
+      // Same report-eligibility scan a tick would run (rows 1..m; the star
+      // row d = 0 is exempt there too).
+      const std::span<const double> d = matcher.LastRowDistances();
+      const std::span<const int64_t> s = matcher.LastRowStarts();
+      const double dmin = matcher.candidate_distance();
+      const int64_t te = matcher.candidate_end();
+      bool can_report = true;
+      for (size_t i = 1; i < d.size(); ++i) {
+        if (d[i] < dmin && s[i] <= te) {
+          can_report = false;
+          break;
+        }
+      }
+      if (can_report) {
+        match.start = matcher.candidate_start();
+        match.end = te;
+        match.distance = dmin;
+        match.report_time = matcher.ticks_processed();
+        match.group_start = matcher.candidate_group_start();
+        match.group_end = matcher.candidate_group_end();
+        has_flush = true;
+      }
+    }
+  }
+
+  int64_t flushed = 0;
+  if (has_flush) {
+    ++query.stats.matches;
+    query.stats.output_delay.Add(
+        static_cast<double>(match.report_time - match.end));
+    if (obs_ != nullptr) {
+      query.obs.candidates_flushed->Increment();
+      ObserveMatch(query, query_id, obs::TraceSpace::kScalar, match,
+                   obs::TraceEventKind::kCandidateFlushed);
+    }
+    Dispatch(query, match);
+    flushed = 1;
+  }
+
+  // Tombstone rather than erase: ids stay stable for callers and sinks,
+  // stats survive, only the matcher state goes away.
+  std::vector<int64_t>& ids = stream.query_ids;
+  ids.erase(std::find(ids.begin(), ids.end(), query_id));
+  query.matcher.reset();
+  query.pool_index = -1;
+  query.removed = true;
+  query.obs = QueryObs{};
+  if (obs_queries_ != nullptr) {
+    obs_queries_->Set(
+        static_cast<double>(num_active_queries() + num_vector_queries()));
+  }
+  return flushed;
 }
 
 void MonitorEngine::Dispatch(const QueryEntry& query,
@@ -398,7 +490,7 @@ util::StatusOr<int64_t> MonitorEngine::AddVectorQuery(
     vector_queries_.back().obs = ResolveQueryObs(
         stream.name, vector_queries_.back().name, /*vector_space=*/true);
     obs_queries_->Set(
-        static_cast<double>(num_queries() + num_vector_queries()));
+        static_cast<double>(num_active_queries() + num_vector_queries()));
   }
   return query_id;
 }
@@ -526,6 +618,7 @@ int64_t MonitorEngine::FlushAll() {
   } else {
     for (size_t i = 0; i < queries_.size(); ++i) {
       QueryEntry& query = queries_[i];
+      if (query.removed) continue;
       if (query.matcher->Flush(&match)) {
         ++query.stats.matches;
         query.stats.output_delay.Add(
@@ -585,6 +678,7 @@ void MonitorEngine::AttachObservability(obs::Observability* obs) {
     stream.obs_pushes = ResolvePushCounter(stream.name, true);
   }
   for (QueryEntry& query : queries_) {
+    if (query.removed) continue;
     query.obs = ResolveQueryObs(
         streams_[static_cast<size_t>(query.stream_id)].name, query.name,
         false);
@@ -595,7 +689,7 @@ void MonitorEngine::AttachObservability(obs::Observability* obs) {
         query.name, true);
   }
   obs_streams_->Set(static_cast<double>(num_streams() + num_vector_streams()));
-  obs_queries_->Set(static_cast<double>(num_queries() + num_vector_queries()));
+  obs_queries_->Set(static_cast<double>(num_active_queries() + num_vector_queries()));
 }
 
 void MonitorEngine::ResolveEngineObs() {
@@ -735,7 +829,7 @@ void MonitorEngine::RefreshObservabilityGauges() {
   if (obs_ == nullptr) return;
   obs_memory_bytes_->Set(static_cast<double>(Footprint().TotalBytes()));
   obs_streams_->Set(static_cast<double>(num_streams() + num_vector_streams()));
-  obs_queries_->Set(static_cast<double>(num_queries() + num_vector_queries()));
+  obs_queries_->Set(static_cast<double>(num_active_queries() + num_vector_queries()));
   const auto refresh = [](auto& query, const auto& matcher) {
     query.obs.candidate_pending->Set(
         matcher.has_pending_candidate() ? 1.0 : 0.0);
@@ -745,6 +839,7 @@ void MonitorEngine::RefreshObservabilityGauges() {
     query.obs.cells_pruned_exported = pruned;
   };
   for (QueryEntry& query : queries_) {
+    if (query.removed) continue;
     if (options_.batch_queries) {
       refresh(query, core::PoolQueryView(
                          streams_[static_cast<size_t>(query.stream_id)].pool,
@@ -764,6 +859,7 @@ int64_t MonitorEngine::PendingCandidateCount() const {
     if (matcher.has_pending_candidate()) ++pending;
   };
   for (const QueryEntry& query : queries_) {
+    if (query.removed) continue;
     if (options_.batch_queries) {
       count(core::PoolQueryView(
           streams_[static_cast<size_t>(query.stream_id)].pool,
@@ -791,6 +887,7 @@ util::MemoryFootprint MonitorEngine::Footprint() const {
     }
   } else {
     for (const QueryEntry& query : queries_) {
+      if (query.removed) continue;
       fp.Merge(query.matcher->Footprint());
     }
   }
@@ -834,9 +931,12 @@ std::vector<uint8_t> MonitorEngine::SerializeState() const {
     writer.WriteBool(stream.repairer_seeded);
     writer.WriteDouble(stream.repairer.last());
   }
-  writer.WriteU64(queries_.size());
+  // Tombstoned (removed) queries are omitted, so restore produces a dense
+  // engine and serialize -> restore -> serialize is byte-identical.
+  writer.WriteU64(static_cast<uint64_t>(num_active_queries()));
   for (size_t i = 0; i < queries_.size(); ++i) {
     const QueryEntry& query = queries_[i];
+    if (query.removed) continue;
     writer.WriteI64(query.stream_id);
     writer.WriteString(query.name);
     // SerializeQueryState emits identical bytes in both engine modes, so

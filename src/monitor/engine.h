@@ -83,6 +83,24 @@ class MonitorEngine {
   /// matches reported at this tick, or an error for an unknown stream.
   util::StatusOr<int64_t> Push(int64_t stream_id, double value);
 
+  /// Retires query `query_id` at the current stream position: its matcher
+  /// state is released (batch mode: the pool slot is compacted away) and it
+  /// never reports again. A pending candidate is flushed to the sinks iff
+  /// it is already report-eligible under the Problem-2 rule — no current-
+  /// row STWM cell holds d < d_min with s <= t_e — exactly the condition a
+  /// subsequent tick would have required before committing it; a candidate
+  /// that could still be beaten by an in-flight warping path is dropped.
+  /// Returns the number of matches flushed (0 or 1).
+  ///
+  /// The query id is tombstoned, not recycled: other query ids stay valid,
+  /// stats(query_id) keeps returning the final counters, and checkpoints
+  /// simply omit the removed query (so a restored engine re-serializes to
+  /// the same bytes). Scalar queries only.
+  util::StatusOr<int64_t> RemoveQuery(int64_t query_id);
+
+  /// True when `query_id` was retired by RemoveQuery. Requires a valid id.
+  bool query_removed(int64_t query_id) const;
+
   /// Feeds a contiguous run of values to every query of `stream_id`;
   /// returns the total number of matches reported. Exactly equivalent to
   /// calling Push once per value (same matches, same sink order, same
@@ -124,13 +142,17 @@ class MonitorEngine {
   /// Returns the number of matches emitted.
   int64_t FlushAll();
 
-  /// Number of registered streams / queries.
+  /// Number of registered streams / query ids ever allocated (tombstoned
+  /// ids from RemoveQuery included, so ids index stably into [0,
+  /// num_queries())).
   int64_t num_streams() const {
     return static_cast<int64_t>(streams_.size());
   }
   int64_t num_queries() const {
     return static_cast<int64_t>(queries_.size());
   }
+  /// Queries still live (num_queries() minus tombstones).
+  int64_t num_active_queries() const;
 
   /// Per-query counters. Requires a valid query id.
   const QueryStats& stats(int64_t query_id) const;
@@ -187,7 +209,8 @@ class MonitorEngine {
   /// core::SpringMatcher::SerializeState, identical in both engine modes).
   /// Building block for topology-changing restores — e.g. resharding a
   /// ShardedMonitor checkpoint into a different worker count — where whole-
-  /// engine checkpoints cannot be replayed. Requires a valid query id.
+  /// engine checkpoints cannot be replayed. Requires a valid, live
+  /// (non-removed) query id.
   std::vector<uint8_t> SerializeQueryState(int64_t query_id) const;
 
   /// Attaches a query whose matcher state comes from a
@@ -235,6 +258,9 @@ class MonitorEngine {
     /// lives in the stream's pool at `pool_index`.
     std::optional<core::SpringMatcher> matcher;
     int64_t pool_index = -1;
+    /// RemoveQuery tombstone: the entry stays in place (ids are stable) but
+    /// holds no matcher state and is skipped everywhere but stats().
+    bool removed = false;
     QueryStats stats;
     QueryObs obs;
   };

@@ -195,6 +195,13 @@ int64_t ShardedMonitor::AddStream(std::string name, bool repair_missing) {
   return stream_id;
 }
 
+int64_t ShardedMonitor::FindStream(std::string_view name) const {
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].name == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
 util::StatusOr<int64_t> ShardedMonitor::AddQuery(
     int64_t stream_id, std::string name, std::vector<double> query,
     const core::SpringOptions& options) {
@@ -217,6 +224,59 @@ util::StatusOr<int64_t> ShardedMonitor::AddQuery(
   shard.query_count.fetch_add(1, std::memory_order_relaxed);
   queries_.push_back(std::move(info));
   return query_id;
+}
+
+util::StatusOr<int64_t> ShardedMonitor::RemoveQuery(int64_t query_id) {
+  if (query_id < 0 || query_id >= num_queries() ||
+      queries_[static_cast<size_t>(query_id)].removed) {
+    return util::NotFoundError(
+        util::StrFormat("no query %lld", static_cast<long long>(query_id)));
+  }
+  if (started()) AwaitQuiescent();
+  QueryInfo& query = queries_[static_cast<size_t>(query_id)];
+  StreamInfo& stream = streams_[static_cast<size_t>(query.stream_id)];
+  Shard& shard = *shards_[static_cast<size_t>(stream.worker)];
+  // A candidate flushed by the removal is an end-of-stream-style report:
+  // the flushing flag stamps it kFlushSeq so DeliverPending orders it
+  // after every buffered tick match.
+  shard.flushing = true;
+  auto flushed = shard.engine->RemoveQuery(query.local_id);
+  shard.flushing = false;
+  if (!flushed.ok()) return flushed.status();
+  // Final tick count is exact post-barrier; freeze it before the tombstone
+  // makes DeliverPending skip this query.
+  query.stats.ticks = stream.pushes;
+  query.removed = true;
+  shard.query_count.fetch_add(-1, std::memory_order_relaxed);
+  DeliverPending();
+  if (introspect_) {
+    // Same reasoning as FlushAll: the mutation ran on the caller thread
+    // post-barrier, so republish or scrapes would keep seeing the removed
+    // query's gauges.
+    const uint64_t now = NowNanos();
+    PublishShard(&shard, now);
+    PublishRouter(now);
+  }
+  return *flushed;
+}
+
+std::vector<ShardedMonitor::QueryListEntry> ShardedMonitor::ListQueries()
+    const {
+  std::vector<QueryListEntry> entries;
+  entries.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const QueryInfo& query = queries_[i];
+    if (query.removed) continue;
+    QueryListEntry entry;
+    entry.query_id = static_cast<int64_t>(i);
+    entry.stream_id = query.stream_id;
+    entry.name = query.name;
+    entry.stream_name = streams_[static_cast<size_t>(query.stream_id)].name;
+    entry.ticks = query.stats.ticks;
+    entry.matches = query.stats.matches;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 void ShardedMonitor::AddSink(MatchSink* sink) {
@@ -316,7 +376,10 @@ util::Status ShardedMonitor::Push(int64_t stream_id, double value) {
     return util::NotFoundError(
         util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
   }
-  SPRINGDTW_CHECK(started()) << "Start() the monitor before pushing";
+  if (!started()) {
+    return util::FailedPreconditionError(
+        "Start() the monitor before pushing");
+  }
   StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
   if (!stream.repair_missing && ts::IsMissing(value)) {
     return util::InvalidArgumentError(
@@ -332,7 +395,10 @@ util::Status ShardedMonitor::PushBatch(int64_t stream_id,
     return util::NotFoundError(
         util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
   }
-  SPRINGDTW_CHECK(started()) << "Start() the monitor before pushing";
+  if (!started()) {
+    return util::FailedPreconditionError(
+        "Start() the monitor before pushing");
+  }
   StreamInfo& stream = streams_[static_cast<size_t>(stream_id)];
   for (const double value : values) {
     // Same error contract as MonitorEngine: values before the first NaN on
@@ -481,6 +547,7 @@ int64_t ShardedMonitor::DeliverPending() {
     for (MatchSink* sink : sinks_) sink->OnMatch(origin, pending.match);
   }
   for (QueryInfo& query : queries_) {
+    if (query.removed) continue;
     query.stats.ticks =
         streams_[static_cast<size_t>(query.stream_id)].pushes;
   }
@@ -579,9 +646,17 @@ std::vector<uint8_t> ShardedMonitor::SerializeState() {
     writer.WriteDouble(stream.repairer.last());
     writer.WriteI64(stream.pushes);
   }
-  writer.WriteU64(queries_.size());
+  // Removed queries are omitted (like the engine's checkpoints), so a
+  // restored monitor holds a dense query set; global ids therefore compact
+  // across a restore while names stay stable.
+  uint64_t active = 0;
+  for (const QueryInfo& query : queries_) {
+    if (!query.removed) ++active;
+  }
+  writer.WriteU64(active);
   for (size_t i = 0; i < queries_.size(); ++i) {
     const QueryInfo& query = queries_[i];
+    if (query.removed) continue;
     const Shard& shard = *shards_[static_cast<size_t>(
         streams_[static_cast<size_t>(query.stream_id)].worker)];
     writer.WriteI64(query.stream_id);
@@ -781,10 +856,15 @@ obs::StatusReport ShardedMonitor::StatusSnapshot() const {
   return report;
 }
 
+void ShardedMonitor::SetAuxMetricsProvider(
+    std::function<obs::MetricsSnapshot()> provider) {
+  aux_metrics_provider_ = std::move(provider);
+}
+
 obs::MetricsSnapshot ShardedMonitor::PublishedMetricsSnapshot() const {
   std::vector<obs::MetricsSnapshot> snapshots;
   if (introspect_) {
-    snapshots.reserve(shards_.size() + 1);
+    snapshots.reserve(shards_.size() + 2);
     {
       std::lock_guard<std::mutex> lock(router_publish_mutex_);
       snapshots.push_back(router_published_metrics_);
@@ -792,6 +872,9 @@ obs::MetricsSnapshot ShardedMonitor::PublishedMetricsSnapshot() const {
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->publish_mutex);
       snapshots.push_back(shard->published_metrics);
+    }
+    if (aux_metrics_provider_ != nullptr) {
+      snapshots.push_back(aux_metrics_provider_());
     }
   }
   return obs::MergeSnapshots(snapshots);

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -108,15 +110,56 @@ class ShardedMonitor {
   ShardedMonitor(const ShardedMonitor&) = delete;
   ShardedMonitor& operator=(const ShardedMonitor&) = delete;
 
+  /// ## Runtime admin contract
+  ///
+  /// AddStream, AddQuery, and RemoveQuery may be called while the monitor
+  /// is running — still only from the single router thread. Each mutation
+  /// drains internally first (a full barrier: every routed value processed,
+  /// all buffered matches delivered to the sinks), then applies the change
+  /// between worker passes, so workers never observe a topology mid-
+  /// mutation. The cost is therefore one pipeline flush per mutation;
+  /// batch admin changes together when ingest latency matters. Admin
+  /// methods return util::Status errors for bad ids instead of aborting,
+  /// so a serving layer can reject a request and keep running.
+
   /// Registers a stream; returns its (global) id. `repair_missing` repairs
   /// NaNs on the router before values are sharded.
   int64_t AddStream(std::string name, bool repair_missing = true);
+
+  /// Stream id for `name`, or -1 when unknown — lets a serving layer make
+  /// OPEN_STREAM idempotent (including across checkpoint restore, which
+  /// repopulates the stream table).
+  int64_t FindStream(std::string_view name) const;
 
   /// Attaches a query to `stream_id` on its owning shard; returns the
   /// global query id.
   util::StatusOr<int64_t> AddQuery(int64_t stream_id, std::string name,
                                    std::vector<double> query,
                                    const core::SpringOptions& options);
+
+  /// Retires query `query_id`: drains, removes the matcher on its shard
+  /// (MonitorEngine::RemoveQuery), and delivers any flushed candidate to
+  /// the sinks — a pending candidate is emitted iff it was already
+  /// report-eligible under the Problem-2 rule, ordered after every tick
+  /// match like an end-of-stream flush. Returns the number of matches the
+  /// removal flushed (0 or 1). The global id is tombstoned (stats(id)
+  /// stays valid, ids of other queries do not shift) and is omitted from
+  /// subsequent checkpoints.
+  util::StatusOr<int64_t> RemoveQuery(int64_t query_id);
+
+  /// One row per live (non-removed) query, for LIST_QUERIES-style admin.
+  struct QueryListEntry {
+    int64_t query_id = 0;
+    int64_t stream_id = 0;
+    std::string name;
+    std::string stream_name;
+    int64_t ticks = 0;
+    int64_t matches = 0;
+  };
+
+  /// Snapshot of the live query set, stats fresh as of the last barrier
+  /// (call Drain() first for exact counts mid-ingest).
+  std::vector<QueryListEntry> ListQueries() const;
 
   /// Registers a sink; not owned; must outlive the monitor. Sinks run on
   /// the caller thread at barriers, never on worker threads.
@@ -127,8 +170,9 @@ class ShardedMonitor {
   void Start();
   bool started() const { return started_.load(std::memory_order_relaxed); }
 
-  /// Routes one value to `stream_id`'s shard. Requires Start(). Matches
-  /// produced by this value are buffered until the next barrier.
+  /// Routes one value to `stream_id`'s shard. Fails (kFailedPrecondition)
+  /// unless started. Matches produced by this value are buffered until the
+  /// next barrier.
   util::Status Push(int64_t stream_id, double value);
 
   /// Routes a run of values (chunked into tick messages). Same contract
@@ -198,6 +242,14 @@ class ShardedMonitor {
   /// Recent match-lifecycle trace events across workers, as of the last
   /// publish.
   obs::TracezReport PublishedTraces() const;
+
+  /// Registers a callback whose snapshot is appended to
+  /// PublishedMetricsSnapshot() merges — how an embedding layer (e.g. the
+  /// net serving layer) splices its own metric families into the monitor's
+  /// /metrics exposition. The callback runs on whatever thread scrapes
+  /// (the introspection server's), so it must be thread-safe; set it
+  /// before traffic starts. Pass nullptr to detach.
+  void SetAuxMetricsProvider(std::function<obs::MetricsSnapshot()> provider);
 
   /// Barrier, then aggregate matcher working-set bytes across shards.
   util::MemoryFootprint Footprint();
@@ -312,6 +364,9 @@ class ShardedMonitor {
     int64_t stream_id = 0;
     std::string name;
     int64_t local_id = 0;
+    /// RemoveQuery tombstone; mirrors the engine-side flag so global ids
+    /// stay stable while checkpoints and listings skip the entry.
+    bool removed = false;
     QueryStats stats;
   };
 
@@ -389,6 +444,7 @@ class ShardedMonitor {
   std::atomic<uint64_t> last_checkpoint_nanos_{0};
   mutable std::mutex router_publish_mutex_;
   obs::MetricsSnapshot router_published_metrics_;
+  std::function<obs::MetricsSnapshot()> aux_metrics_provider_;
   std::unique_ptr<obs::IntrospectionServer> server_;
 };
 

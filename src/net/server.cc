@@ -1,0 +1,651 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace net {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(util::Stopwatch::NowNanos());
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+StreamServer::StreamServer(monitor::ShardedMonitor* monitor,
+                           const StreamServerOptions& options)
+    : monitor_(monitor), options_(options) {
+  connections_gauge_ =
+      registry_.GetGauge("spring_net_connections", "Open connections");
+  bytes_rx_ = registry_.GetCounter("spring_net_bytes_total",
+                                   "Bytes moved over the wire",
+                                   {{"direction", "rx"}});
+  bytes_tx_ = registry_.GetCounter("spring_net_bytes_total",
+                                   "Bytes moved over the wire",
+                                   {{"direction", "tx"}});
+  slow_disconnects_counter_ = registry_.GetCounter(
+      "spring_net_slow_disconnects_total",
+      "Subscribers dropped for exceeding the output buffer cap");
+  protocol_errors_ = registry_.GetCounter(
+      "spring_net_protocol_errors_total",
+      "Framing/session violations that closed a connection");
+  ingest_report_latency_ms_ = registry_.GetHistogram(
+      "spring_net_ingest_report_latency_ms",
+      "Milliseconds from tick arrival to match fan-out");
+  const auto first = static_cast<uint8_t>(FrameType::kHello);
+  const auto last = static_cast<uint8_t>(FrameType::kError);
+  for (uint8_t t = first; t <= last; ++t) {
+    frame_counters_.push_back(registry_.GetCounter(
+        "spring_net_frames_total", "Frames received by type",
+        {{"type", std::string(FrameTypeName(static_cast<FrameType>(t)))}}));
+  }
+}
+
+StreamServer::~StreamServer() { Stop(); }
+
+void StreamServer::SetCheckpointFn(CheckpointFn fn) {
+  SPRINGDTW_CHECK(!running()) << "SetCheckpointFn before Start()";
+  checkpoint_fn_ = std::move(fn);
+}
+
+util::Status StreamServer::Start() {
+  if (running()) return util::Status::Ok();
+  if (!monitor_->started()) {
+    return util::FailedPreconditionError(
+        "Start() the monitor before the server");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::IoError(util::StrFormat("socket: %s", strerror(errno)));
+  }
+  const int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return util::InvalidArgumentError(
+        util::StrFormat("bad bind address '%s'", options_.bind_address.c_str()));
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0 ||
+      listen(listen_fd_, 128) != 0 || !SetNonBlocking(listen_fd_)) {
+    const util::Status status =
+        util::IoError(util::StrFormat("bind/listen: %s", strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    const util::Status status =
+        util::IoError(util::StrFormat("getsockname: %s", strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  if (!sink_registered_) {
+    // The sink fires on the router thread (= the loop thread while the
+    // server runs); after Stop() any embedder-triggered flush hits the
+    // subscriber-less path and the matches are simply not fanned out.
+    sink_ = std::make_unique<monitor::CallbackSink>(
+        [this](const monitor::MatchOrigin& origin, const core::Match& match) {
+          OnMatch(origin, match);
+        });
+    monitor_->AddSink(sink_.get());
+    sink_registered_ = true;
+  }
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  const uint64_t now = NowNanos();
+  last_checkpoint_nanos_ = now;
+  last_publish_nanos_ = 0;
+  PublishMetrics(now, /*force=*/true);
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  return util::Status::Ok();
+}
+
+void StreamServer::Stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+obs::MetricsSnapshot StreamServer::MetricsSnapshot() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return published_metrics_;
+}
+
+obs::Counter* StreamServer::FrameCounter(FrameType type) {
+  const size_t index =
+      static_cast<size_t>(type) - static_cast<size_t>(FrameType::kHello);
+  return frame_counters_[index];
+}
+
+void StreamServer::LoopThread() {
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    pollfd listen_entry{};
+    listen_entry.fd = listen_fd_;
+    listen_entry.events = POLLIN;
+    fds.push_back(listen_entry);
+    for (const auto& conn : connections_) {
+      pollfd entry{};
+      entry.fd = conn->fd;
+      entry.events = POLLIN;
+      if (conn->out.size() > conn->out_offset) entry.events |= POLLOUT;
+      fds.push_back(entry);
+    }
+    (void)poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(options_.poll_interval_ms));
+    const uint64_t now = NowNanos();
+
+    if ((fds[0].revents & POLLIN) != 0) AcceptPending(now);
+
+    // fds[i + 1] maps to connections_[i]; connections accepted this round
+    // sit past the pollfd list and simply wait for the next poll.
+    const size_t polled = fds.size() - 1;
+    for (size_t i = 0; i < polled; ++i) {
+      Connection* conn = connections_[i].get();
+      const short revents = fds[i + 1].revents;
+      if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        if (!ReadAndProcess(conn, now)) {
+          CloseConnection(conn);
+          continue;
+        }
+      }
+    }
+
+    // Deliver matches caused by this round's ticks before writing, so the
+    // fan-out frames ride the same flush.
+    DrainIfDirty();
+
+    for (const auto& conn : connections_) {
+      if (conn->fd < 0) continue;
+      if (!WritePending(conn.get())) CloseConnection(conn.get());
+    }
+
+    if (options_.idle_timeout_ms > 0) {
+      const uint64_t budget =
+          static_cast<uint64_t>(options_.idle_timeout_ms * 1e6);
+      for (const auto& conn : connections_) {
+        if (conn->fd >= 0 && now - conn->last_activity_nanos > budget) {
+          CloseConnection(conn.get());
+        }
+      }
+    }
+
+    std::erase_if(connections_,
+                  [](const std::unique_ptr<Connection>& c) { return c->fd < 0; });
+    connections_gauge_->Set(static_cast<double>(connections_.size()));
+
+    MaybePeriodicCheckpoint(now);
+    PublishMetrics(now, /*force=*/false);
+  }
+
+  for (const auto& conn : connections_) {
+    if (conn->fd >= 0) {
+      (void)WritePending(conn.get());  // best-effort final flush
+      CloseConnection(conn.get());
+    }
+  }
+  connections_.clear();
+  connections_gauge_->Set(0.0);
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  PublishMetrics(NowNanos(), /*force=*/true);
+}
+
+void StreamServer::AcceptPending(uint64_t now_nanos) {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    if (static_cast<int64_t>(connections_.size()) >= options_.max_connections ||
+        !SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->last_activity_nanos = now_nanos;
+    connections_.push_back(std::move(conn));
+    total_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool StreamServer::ReadAndProcess(Connection* conn, uint64_t now_nanos) {
+  uint8_t chunk[64 * 1024];
+  bool peer_closed = false;
+  while (true) {
+    const ssize_t n = recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->in.insert(conn->in.end(), chunk, chunk + n);
+      bytes_rx_->Increment(n);
+      conn->last_activity_nanos = now_nanos;
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // hard socket error
+  }
+
+  size_t offset = 0;
+  bool session_ok = true;
+  while (session_ok && !conn->closing) {
+    Frame frame;
+    size_t consumed = 0;
+    const util::Status status =
+        CutFrame(std::span<const uint8_t>(conn->in).subspan(offset),
+                 options_.max_frame_bytes, &frame, &consumed);
+    if (!status.ok()) {
+      protocol_errors_->Increment();
+      SendError(conn, 0, status, /*fatal=*/true);
+      break;
+    }
+    if (consumed == 0) break;
+    offset += consumed;
+    session_ok = HandleFrame(conn, frame);
+  }
+  if (offset > 0) {
+    conn->in.erase(conn->in.begin(),
+                   conn->in.begin() + static_cast<ptrdiff_t>(offset));
+  }
+  // A half-closed peer that sent a complete trailing request still gets
+  // its response attempt; the write path discovers the close.
+  if (peer_closed && conn->in.empty() && conn->out.size() == conn->out_offset) {
+    return false;
+  }
+  if (peer_closed) conn->closing = true;
+  return true;
+}
+
+bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
+  const uint8_t raw_type = static_cast<uint8_t>(frame.type);
+  if (!KnownFrameType(raw_type)) {
+    protocol_errors_->Increment();
+    SendError(conn, 0,
+              util::InvalidArgumentError(
+                  util::StrFormat("unknown frame type %u", raw_type)),
+              /*fatal=*/true);
+    return false;
+  }
+  FrameCounter(frame.type)->Increment();
+
+  if (!conn->hello_done && frame.type != FrameType::kHello) {
+    protocol_errors_->Increment();
+    SendError(conn, 0,
+              util::FailedPreconditionError(util::StrFormat(
+                  "%s before HELLO",
+                  std::string(FrameTypeName(frame.type)).c_str())),
+              /*fatal=*/true);
+    return false;
+  }
+
+  // Decode + dispatch. Decode failures on known types are session-fatal:
+  // the peer speaks the right version, so a malformed payload means a
+  // broken or hostile peer, not a request worth retrying.
+  auto fatal_decode = [&](const util::Status& status) {
+    protocol_errors_->Increment();
+    SendError(conn, 0, status, /*fatal=*/true);
+    return false;
+  };
+
+  switch (frame.type) {
+    case FrameType::kHello: {
+      HelloPayload hello;
+      util::Status status = DecodePayload(frame.payload, &hello);
+      if (!status.ok()) return fatal_decode(status);
+      if (hello.version != kProtocolVersion) {
+        SendError(conn, 0,
+                  util::FailedPreconditionError(util::StrFormat(
+                      "protocol version %u, server speaks %u", hello.version,
+                      kProtocolVersion)),
+                  /*fatal=*/true);
+        return false;
+      }
+      conn->hello_done = true;
+      HelloAckPayload ack;
+      ack.version = kProtocolVersion;
+      ack.server_name = options_.server_name;
+      Send(conn, FrameType::kHelloAck, ack);
+      return true;
+    }
+    case FrameType::kOpenStream: {
+      OpenStreamPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      if (req.name.empty()) {
+        SendError(conn, req.request_id,
+                  util::InvalidArgumentError("stream name is empty"),
+                  /*fatal=*/false);
+        return true;
+      }
+      StreamOpenedPayload resp;
+      resp.request_id = req.request_id;
+      resp.stream_id = monitor_->FindStream(req.name);
+      if (resp.stream_id < 0) resp.stream_id = monitor_->AddStream(req.name);
+      Send(conn, FrameType::kStreamOpened, resp);
+      return true;
+    }
+    case FrameType::kAddQuery: {
+      AddQueryPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      util::StatusOr<core::SpringOptions> options = req.ToSpringOptions();
+      if (!options.ok()) {
+        SendError(conn, req.request_id, options.status(), /*fatal=*/false);
+        return true;
+      }
+      if (req.stream_id < 0 || req.stream_id >= monitor_->num_streams()) {
+        SendError(conn, req.request_id,
+                  util::NotFoundError(util::StrFormat(
+                      "no stream %lld",
+                      static_cast<long long>(req.stream_id))),
+                  /*fatal=*/false);
+        return true;
+      }
+      util::StatusOr<int64_t> query_id = monitor_->AddQuery(
+          req.stream_id, req.name, req.values, *options);
+      if (!query_id.ok()) {
+        SendError(conn, req.request_id, query_id.status(), /*fatal=*/false);
+        return true;
+      }
+      QueryAddedPayload resp;
+      resp.request_id = req.request_id;
+      resp.query_id = *query_id;
+      Send(conn, FrameType::kQueryAdded, resp);
+      return true;
+    }
+    case FrameType::kRemoveQuery: {
+      RemoveQueryPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      // Removal drains internally; a flushed candidate fans out to
+      // subscribers (including this connection) before the response below.
+      util::StatusOr<int64_t> flushed = monitor_->RemoveQuery(req.query_id);
+      if (!flushed.ok()) {
+        SendError(conn, req.request_id, flushed.status(), /*fatal=*/false);
+        return true;
+      }
+      QueryRemovedPayload resp;
+      resp.request_id = req.request_id;
+      resp.query_id = req.query_id;
+      resp.flushed_matches = *flushed;
+      Send(conn, FrameType::kQueryRemoved, resp);
+      return true;
+    }
+    case FrameType::kListQueries: {
+      ListQueriesPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      QueryListPayload resp;
+      resp.request_id = req.request_id;
+      for (const auto& entry : monitor_->ListQueries()) {
+        QueryListPayload::Entry out;
+        out.query_id = entry.query_id;
+        out.stream_id = entry.stream_id;
+        out.name = entry.name;
+        out.stream_name = entry.stream_name;
+        out.ticks = entry.ticks;
+        out.matches = entry.matches;
+        resp.entries.push_back(std::move(out));
+      }
+      Send(conn, FrameType::kQueryList, resp);
+      return true;
+    }
+    case FrameType::kSubscribeMatches: {
+      SubscribeMatchesPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      conn->subscribed = true;
+      SubscribedPayload resp;
+      resp.request_id = req.request_id;
+      Send(conn, FrameType::kSubscribed, resp);
+      return true;
+    }
+    case FrameType::kTick: {
+      TickPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      status = monitor_->Push(req.stream_id, req.value);
+      if (!status.ok()) {
+        // Ticks are fire-and-forget; an undeliverable tick would silently
+        // desync the peer's view, so it ends the session.
+        SendError(conn, 0, status, /*fatal=*/true);
+        return false;
+      }
+      ++ticks_routed_;
+      if (!ticks_dirty_) oldest_tick_nanos_ = NowNanos();
+      ticks_dirty_ = true;
+      return true;
+    }
+    case FrameType::kTickBatch: {
+      TickBatchPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      status = monitor_->PushBatch(req.stream_id, req.values);
+      if (!status.ok()) {
+        SendError(conn, 0, status, /*fatal=*/true);
+        return false;
+      }
+      if (!req.values.empty()) {
+        ticks_routed_ += req.values.size();
+        if (!ticks_dirty_) oldest_tick_nanos_ = NowNanos();
+        ticks_dirty_ = true;
+      }
+      return true;
+    }
+    case FrameType::kCheckpoint: {
+      CheckpointPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      if (!checkpoint_fn_) {
+        SendError(conn, req.request_id,
+                  util::FailedPreconditionError(
+                      "server runs without a checkpoint destination"),
+                  /*fatal=*/false);
+        return true;
+      }
+      DrainIfDirty();
+      util::StatusOr<uint64_t> bytes = checkpoint_fn_();
+      if (!bytes.ok()) {
+        SendError(conn, req.request_id, bytes.status(), /*fatal=*/false);
+        return true;
+      }
+      last_checkpoint_nanos_ = NowNanos();
+      CheckpointedPayload resp;
+      resp.request_id = req.request_id;
+      resp.state_bytes = *bytes;
+      Send(conn, FrameType::kCheckpointed, resp);
+      return true;
+    }
+    case FrameType::kDrain: {
+      DrainPayload req;
+      util::Status status = DecodePayload(frame.payload, &req);
+      if (!status.ok()) return fatal_decode(status);
+      // Synchronous barrier: match fan-out lands in subscriber buffers
+      // before the ack, so on one connection DRAIN_ACK is proof that every
+      // match caused by earlier ticks has been delivered.
+      DrainIfDirty();
+      (void)monitor_->Drain();
+      DrainAckPayload resp;
+      resp.request_id = req.request_id;
+      resp.ticks_applied = ticks_routed_;
+      Send(conn, FrameType::kDrainAck, resp);
+      return true;
+    }
+    case FrameType::kHelloAck:
+    case FrameType::kStreamOpened:
+    case FrameType::kQueryAdded:
+    case FrameType::kQueryRemoved:
+    case FrameType::kQueryList:
+    case FrameType::kSubscribed:
+    case FrameType::kMatchEvent:
+    case FrameType::kCheckpointed:
+    case FrameType::kDrainAck:
+    case FrameType::kError: {
+      protocol_errors_->Increment();
+      SendError(conn, 0,
+                util::InvalidArgumentError(util::StrFormat(
+                    "server-to-client frame %s from a client",
+                    std::string(FrameTypeName(frame.type)).c_str())),
+                /*fatal=*/true);
+      return false;
+    }
+  }
+  return true;
+}
+
+void StreamServer::SendFrame(Connection* conn, FrameType type,
+                             std::span<const uint8_t> payload) {
+  if (conn->fd < 0 || conn->closing) return;
+  AppendFrame(type, payload, &conn->out);
+  if (conn->out.size() - conn->out_offset > options_.max_output_buffer_bytes) {
+    // Bounded queue, then disconnect: drop the backlog rather than stall
+    // ingest for everyone else.
+    slow_disconnects_counter_->Increment();
+    slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    conn->out.clear();
+    conn->out_offset = 0;
+    conn->closing = true;
+  }
+}
+
+void StreamServer::SendError(Connection* conn, uint64_t request_id,
+                             const util::Status& status, bool fatal) {
+  Send(conn, FrameType::kError, MakeErrorPayload(request_id, status));
+  if (fatal) conn->closing = true;
+}
+
+void StreamServer::DrainIfDirty() {
+  if (!ticks_dirty_) return;
+  (void)monitor_->Drain();
+  ticks_dirty_ = false;
+  oldest_tick_nanos_ = 0;
+}
+
+void StreamServer::OnMatch(const monitor::MatchOrigin& origin,
+                           const core::Match& match) {
+  if (oldest_tick_nanos_ != 0) {
+    ingest_report_latency_ms_->Observe(
+        static_cast<double>(NowNanos() - oldest_tick_nanos_) / 1e6);
+  }
+  MatchEventPayload event;
+  event.delivery_seq = delivery_seq_++;
+  event.stream_id = origin.stream_id;
+  event.query_id = origin.query_id;
+  event.stream_name = origin.stream_name;
+  event.query_name = origin.query_name;
+  event.match = match;
+  frame_scratch_.clear();
+  AppendPayloadFrame(FrameType::kMatchEvent, event, &frame_scratch_);
+  for (const auto& conn : connections_) {
+    if (conn->fd < 0 || !conn->subscribed || conn->closing) continue;
+    conn->out.insert(conn->out.end(), frame_scratch_.begin(),
+                     frame_scratch_.end());
+    if (conn->out.size() - conn->out_offset >
+        options_.max_output_buffer_bytes) {
+      slow_disconnects_counter_->Increment();
+      slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      conn->out.clear();
+      conn->out_offset = 0;
+      conn->closing = true;
+    }
+  }
+}
+
+bool StreamServer::WritePending(Connection* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        send(conn->fd, conn->out.data() + conn->out_offset,
+             conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      bytes_tx_->Increment(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (conn->out_offset == conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+    if (conn->closing) return false;
+  }
+  return true;
+}
+
+void StreamServer::CloseConnection(Connection* conn) {
+  if (conn->fd < 0) return;
+  close(conn->fd);
+  conn->fd = -1;
+  conn->in.clear();
+  conn->out.clear();
+  conn->out_offset = 0;
+}
+
+void StreamServer::PublishMetrics(uint64_t now_nanos, bool force) {
+  const uint64_t interval =
+      static_cast<uint64_t>(options_.publish_interval_ms * 1e6);
+  if (!force && now_nanos - last_publish_nanos_ < interval) return;
+  last_publish_nanos_ = now_nanos;
+  obs::MetricsSnapshot snapshot = registry_.Snapshot();
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  published_metrics_ = std::move(snapshot);
+}
+
+void StreamServer::MaybePeriodicCheckpoint(uint64_t now_nanos) {
+  if (options_.checkpoint_period_ms <= 0 || !checkpoint_fn_) return;
+  const uint64_t period =
+      static_cast<uint64_t>(options_.checkpoint_period_ms * 1e6);
+  if (now_nanos - last_checkpoint_nanos_ < period) return;
+  DrainIfDirty();
+  util::StatusOr<uint64_t> bytes = checkpoint_fn_();
+  if (!bytes.ok()) {
+    SPRINGDTW_LOG(Error) << "periodic checkpoint failed: "
+                         << bytes.status().ToString();
+  }
+  last_checkpoint_nanos_ = now_nanos;
+}
+
+}  // namespace net
+}  // namespace springdtw

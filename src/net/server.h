@@ -1,0 +1,224 @@
+#ifndef SPRINGDTW_NET_SERVER_H_
+#define SPRINGDTW_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/sharded_monitor.h"
+#include "monitor/sink.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace net {
+
+struct StreamServerOptions {
+  /// Bind address; loopback by default — this is an in-datacenter ingest
+  /// protocol with no auth layer.
+  std::string bind_address = "127.0.0.1";
+  /// Listening port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Accepted connections beyond this are refused (accepted + closed).
+  int64_t max_connections = 64;
+  /// Frame cap enforced by CutFrame before payload buffering.
+  uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Slow-subscriber policy: a connection whose unsent output exceeds this
+  /// many bytes is disconnected (bounded queue, then disconnect) rather
+  /// than allowed to stall ingest or grow without bound.
+  uint64_t max_output_buffer_bytes = uint64_t{4} << 20;
+  /// Connections idle (no bytes in either direction) longer than this are
+  /// closed; 0 disables the idle timeout.
+  double idle_timeout_ms = 0.0;
+  /// poll() tick, which also bounds Stop() latency and the cadence of
+  /// periodic duties (idle sweep, checkpoint, metrics publish).
+  double poll_interval_ms = 50.0;
+  /// Periodic checkpoint cadence; 0 disables. Requires a checkpoint
+  /// callback (SetCheckpointFn). Checkpoints run on the event-loop thread
+  /// between frames, so they are barrier-consistent.
+  double checkpoint_period_ms = 0.0;
+  /// Metrics publish throttle for MetricsSnapshot().
+  double publish_interval_ms = 100.0;
+  /// Advertised in HELLO_ACK.
+  std::string server_name = "springdtw_serve";
+};
+
+/// TCP serving layer that turns a ShardedMonitor into a long-running
+/// daemon speaking the net/protocol.h wire format.
+///
+/// ## Threading model
+///
+/// One event-loop thread runs a poll() loop over the listening socket and
+/// every connection, and that thread IS the monitor's single router thread
+/// for the server's lifetime: every Push/Drain/AddQuery/RemoveQuery/
+/// SerializeState lands there, so the monitor's single-caller contract
+/// holds with no extra locking. Consequences:
+///
+///  * The embedder must Start() the monitor before Start()ing the server
+///    and must not touch the monitor (except the thread-safe introspection
+///    methods) until after Stop() returns — the join inside Stop() is the
+///    happens-before edge that hands the router role back to the caller.
+///  * Checkpoints requested over the wire (and the periodic checkpoint)
+///    run on the loop thread via the SetCheckpointFn callback.
+///
+/// ## Match fan-out
+///
+/// The server registers a sink on the monitor; sinks fire on the router
+/// thread at drain barriers in the engine's deterministic (seq, query id)
+/// order, and the server appends one MATCH_EVENT frame per match to every
+/// subscribed connection in that order. The loop drains the monitor after
+/// every poll round that routed ticks, and synchronously inside DRAIN
+/// handling — so on one connection, all matches caused by ticks preceding
+/// a DRAIN are delivered before its DRAIN_ACK (TCP ordering makes the
+/// end-to-end byte stream deterministic).
+///
+/// ## Error policy
+///
+/// Admin requests that fail (bad stream/query id, invalid options) get an
+/// ERROR frame echoing their request_id; the connection stays usable.
+/// Session violations — frame before HELLO, version skew, unknown frame
+/// type, framing errors, a TICK for an unknown stream (fire-and-forget, so
+/// nothing weaker is visible to the peer) — get an ERROR with request_id 0
+/// and the connection is closed after the write flushes.
+class StreamServer {
+ public:
+  /// Writes a checkpoint (implementation-defined destination) and returns
+  /// the serialized byte count. Runs on the event-loop thread, which holds
+  /// the router role — it may call monitor->SerializeState() directly.
+  using CheckpointFn = std::function<util::StatusOr<uint64_t>()>;
+
+  /// `monitor` is not owned and must outlive the server.
+  StreamServer(monitor::ShardedMonitor* monitor,
+               const StreamServerOptions& options);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Set before Start(); enables CHECKPOINT frames and the periodic
+  /// checkpoint.
+  void SetCheckpointFn(CheckpointFn fn);
+
+  /// Binds, listens, and spawns the event-loop thread. The monitor must
+  /// already be started.
+  util::Status Start();
+
+  /// Signals the loop, closes every connection, joins the thread.
+  /// Idempotent. After return the calling thread owns the router role.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound port (valid after Start), -1 before.
+  int port() const { return port_; }
+
+  /// Latest published copy of the server's metric families
+  /// (spring_net_*). Thread-safe; wire into
+  /// ShardedMonitor::SetAuxMetricsProvider to splice these into /metrics.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
+  /// Loop-thread counters for tests (racy reads are fine post-Stop).
+  int64_t total_connections() const {
+    return total_connections_.load(std::memory_order_relaxed);
+  }
+  int64_t slow_disconnects() const {
+    return slow_disconnects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<uint8_t> in;
+    std::vector<uint8_t> out;
+    /// Bytes of `out` already written to the socket.
+    size_t out_offset = 0;
+    bool hello_done = false;
+    bool subscribed = false;
+    /// Flush remaining output, then close (set on fatal session errors).
+    bool closing = false;
+    uint64_t last_activity_nanos = 0;
+  };
+
+  void LoopThread();
+  void AcceptPending(uint64_t now_nanos);
+  /// Reads available bytes; returns false when the connection is done.
+  bool ReadAndProcess(Connection* conn, uint64_t now_nanos);
+  /// Writes buffered output; returns false when the connection is done.
+  bool WritePending(Connection* conn);
+  /// Dispatches one decoded frame; returns false on session-fatal errors
+  /// (an ERROR frame has been queued and `closing` set).
+  bool HandleFrame(Connection* conn, const Frame& frame);
+  void SendFrame(Connection* conn, FrameType type,
+                 std::span<const uint8_t> payload);
+  template <typename Payload>
+  void Send(Connection* conn, FrameType type, const Payload& payload) {
+    util::ByteWriter writer;
+    payload.EncodeTo(&writer);
+    SendFrame(conn, type, writer.buffer());
+  }
+  /// Queues an ERROR frame; request_id 0 + closing for session-fatal.
+  void SendError(Connection* conn, uint64_t request_id,
+                 const util::Status& status, bool fatal);
+  /// Drains the monitor if any ticks were routed since the last barrier
+  /// (sink fan-out happens inside).
+  void DrainIfDirty();
+  /// Sink callback: fans one match out to all subscribers.
+  void OnMatch(const monitor::MatchOrigin& origin, const core::Match& match);
+  void CloseConnection(Connection* conn);
+  void PublishMetrics(uint64_t now_nanos, bool force);
+  void MaybePeriodicCheckpoint(uint64_t now_nanos);
+  obs::Counter* FrameCounter(FrameType type);
+
+  monitor::ShardedMonitor* monitor_;
+  StreamServerOptions options_;
+  CheckpointFn checkpoint_fn_;
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  /// Event-loop state (loop thread only once Start() returns).
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::unique_ptr<monitor::CallbackSink> sink_;
+  bool sink_registered_ = false;
+  uint64_t delivery_seq_ = 0;
+  /// Values routed into the monitor over this server's lifetime; echoed in
+  /// DRAIN_ACK.
+  uint64_t ticks_routed_ = 0;
+  bool ticks_dirty_ = false;
+  /// Arrival stamp of the oldest un-drained tick, for the ingest-to-report
+  /// latency histogram.
+  uint64_t oldest_tick_nanos_ = 0;
+  uint64_t last_checkpoint_nanos_ = 0;
+  std::vector<uint8_t> frame_scratch_;
+
+  /// Metrics: registry mutated on the loop thread only; published copies
+  /// guarded by the mutex for any-thread reads.
+  obs::MetricsRegistry registry_;
+  obs::Gauge* connections_gauge_ = nullptr;
+  obs::Counter* bytes_rx_ = nullptr;
+  obs::Counter* bytes_tx_ = nullptr;
+  obs::Counter* slow_disconnects_counter_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+  obs::Histogram* ingest_report_latency_ms_ = nullptr;
+  std::vector<obs::Counter*> frame_counters_;
+  uint64_t last_publish_nanos_ = 0;
+  mutable std::mutex publish_mutex_;
+  obs::MetricsSnapshot published_metrics_;
+
+  std::atomic<int64_t> total_connections_{0};
+  std::atomic<int64_t> slow_disconnects_{0};
+};
+
+}  // namespace net
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_NET_SERVER_H_

@@ -1,0 +1,452 @@
+// MonitorEngine::RemoveQuery / ShardedMonitor::RemoveQuery semantics: a
+// pending candidate is flushed iff it is already report-eligible under the
+// paper's Problem-2 rule (no current-row cell with d(t,i) < d_min and
+// s(t,i) <= t_e), removal tombstones the global id without shifting other
+// ids, checkpoints skip removed queries and round-trip byte-identically,
+// and the scalar and SoA-batch engines agree on all of it.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/spring.h"
+#include "gtest/gtest.h"
+#include "monitor/engine.h"
+#include "monitor/sharded_monitor.h"
+#include "monitor/sink.h"
+#include "util/random.h"
+
+namespace springdtw {
+namespace monitor {
+namespace {
+
+core::SpringOptions Eps(double epsilon) {
+  core::SpringOptions options;
+  options.epsilon = epsilon;
+  return options;
+}
+
+class EngineModeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  MonitorEngine MakeEngine() {
+    EngineOptions options;
+    options.batch_queries = GetParam();
+    return MonitorEngine(options);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndBatch, EngineModeTest, ::testing::Bool());
+
+TEST_P(EngineModeTest, RemoveUnknownOrRemovedQueryFails) {
+  MonitorEngine engine = MakeEngine();
+  const int64_t stream = engine.AddStream("s");
+  const int64_t q0 = *engine.AddQuery(stream, "q0", {1.0, 2.0}, Eps(0.5));
+  const int64_t q1 = *engine.AddQuery(stream, "q1", {3.0}, Eps(0.5));
+
+  EXPECT_EQ(engine.RemoveQuery(-1).status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(engine.RemoveQuery(99).status().code(),
+            util::StatusCode::kNotFound);
+
+  ASSERT_TRUE(engine.RemoveQuery(q0).ok());
+  EXPECT_TRUE(engine.query_removed(q0));
+  EXPECT_FALSE(engine.query_removed(q1));
+  // Tombstone: ids do not shift, the count of live queries drops.
+  EXPECT_EQ(engine.num_queries(), 2);
+  EXPECT_EQ(engine.num_active_queries(), 1);
+  // Double remove is NotFound, not a crash.
+  EXPECT_EQ(engine.RemoveQuery(q0).status().code(),
+            util::StatusCode::kNotFound);
+  // The survivor still ingests under its old id.
+  ASSERT_TRUE(engine.Push(stream, 3.0).ok());
+  EXPECT_EQ(engine.stats(q1).ticks, 1);
+}
+
+TEST_P(EngineModeTest, EligibleCandidateFlushesOnRemove) {
+  MonitorEngine engine = MakeEngine();
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("s");
+  const int64_t query =
+      *engine.AddQuery(stream, "q", {1.0, 2.0, 3.0}, Eps(0.5));
+  // Exact pattern occurrence ending at the last tick: the candidate was
+  // updated to dmin = 0 *after* this tick's report check ran, and no cell
+  // can beat a zero distance, so removal must flush it.
+  for (const double v : {5.0, 1.0, 2.0, 3.0}) {
+    ASSERT_TRUE(engine.Push(stream, v).ok());
+  }
+  ASSERT_TRUE(sink.entries().empty());
+  util::StatusOr<int64_t> flushed = engine.RemoveQuery(query);
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(*flushed, 1);
+  ASSERT_EQ(sink.entries().size(), 1u);
+  const CollectSink::Entry& entry = sink.entries()[0];
+  EXPECT_EQ(entry.origin.query_id, query);
+  EXPECT_EQ(entry.origin.query_name, "q");
+  EXPECT_EQ(entry.match.start, 1);
+  EXPECT_EQ(entry.match.end, 3);
+  EXPECT_EQ(entry.match.distance, 0.0);
+  EXPECT_EQ(entry.match.report_time, 4);
+  EXPECT_EQ(engine.stats(query).matches, 1);
+}
+
+TEST_P(EngineModeTest, NoCandidateNothingToFlush) {
+  MonitorEngine engine = MakeEngine();
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("s");
+  const int64_t query =
+      *engine.AddQuery(stream, "q", {1.0, 2.0, 3.0}, Eps(0.5));
+  for (const double v : {9.0, 9.0, 9.0}) {
+    ASSERT_TRUE(engine.Push(stream, v).ok());
+  }
+  util::StatusOr<int64_t> flushed = engine.RemoveQuery(query);
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(*flushed, 0);
+  EXPECT_TRUE(sink.entries().empty());
+  EXPECT_EQ(engine.stats(query).matches, 0);
+}
+
+// Property: the engine's flush-on-remove decision must equal the Problem-2
+// predicate evaluated on a standalone scalar matcher fed the same values
+// (rows 1..m; the star row is exempt). Random prefixes must exercise both
+// outcomes, or the test is vacuous.
+TEST_P(EngineModeTest, FlushDecisionMatchesScalarOraclePredicate) {
+  util::Rng rng(20260807);
+  int64_t flushed_cases = 0;
+  int64_t dropped_cases = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> query_values;
+    const int64_t m = 2 + rng.UniformInt(0, 2);
+    for (int64_t i = 0; i < m; ++i) {
+      query_values.push_back(static_cast<double>(rng.UniformInt(0, 3)));
+    }
+    const core::SpringOptions options = Eps(1.5);
+
+    MonitorEngine engine = MakeEngine();
+    CollectSink sink;
+    engine.AddSink(&sink);
+    const int64_t stream = engine.AddStream("s");
+    const int64_t query =
+        *engine.AddQuery(stream, "q", query_values, options);
+    core::SpringMatcher oracle(query_values, options);
+
+    const int64_t prefix = 1 + rng.UniformInt(0, 30);
+    for (int64_t t = 0; t < prefix; ++t) {
+      const double v = static_cast<double>(rng.UniformInt(0, 3));
+      ASSERT_TRUE(engine.Push(stream, v).ok());
+      core::Match ignored;
+      (void)oracle.Update(v, &ignored);
+    }
+
+    bool expect_flush = false;
+    if (oracle.has_pending_candidate() &&
+        oracle.candidate_distance() <= options.epsilon) {
+      expect_flush = true;
+      const std::span<const double> d = oracle.LastRowDistances();
+      const std::span<const int64_t> s = oracle.LastRowStarts();
+      for (size_t i = 1; i < d.size(); ++i) {
+        if (d[i] < oracle.candidate_distance() &&
+            s[i] <= oracle.candidate_end()) {
+          expect_flush = false;
+          break;
+        }
+      }
+    }
+
+    const size_t matches_before = sink.entries().size();
+    util::StatusOr<int64_t> flushed = engine.RemoveQuery(query);
+    ASSERT_TRUE(flushed.ok());
+    EXPECT_EQ(*flushed, expect_flush ? 1 : 0) << "trial " << trial;
+    ASSERT_EQ(sink.entries().size(), matches_before + (expect_flush ? 1 : 0));
+    if (expect_flush) {
+      const CollectSink::Entry& entry = sink.entries().back();
+      EXPECT_EQ(entry.match.start, oracle.candidate_start());
+      EXPECT_EQ(entry.match.end, oracle.candidate_end());
+      EXPECT_EQ(entry.match.distance, oracle.candidate_distance());
+      ++flushed_cases;
+    } else {
+      ++dropped_cases;
+    }
+  }
+  EXPECT_GT(flushed_cases, 0);
+  EXPECT_GT(dropped_cases, 0);
+}
+
+// Batch and scalar engines run the same remove-mid-ingest schedule and
+// must produce identical match streams and identical flush counts.
+TEST(RemoveQueryDifferentialTest, BatchAgreesWithScalar) {
+  util::Rng rng(7771);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<std::vector<double>> patterns = {
+        {1.0, 2.0, 3.0}, {2.0, 2.0}, {0.0, 1.0, 0.0}};
+    std::vector<std::pair<int64_t, double>> ops;
+    const int64_t n = 60 + rng.UniformInt(0, 60);
+    for (int64_t i = 0; i < n; ++i) {
+      ops.emplace_back(0, static_cast<double>(rng.UniformInt(0, 3)));
+    }
+    const int64_t remove_at = rng.UniformInt(1, n - 1);
+    const int64_t remove_query = rng.UniformInt(0, 2);
+
+    auto run = [&](bool batch) {
+      EngineOptions engine_options;
+      engine_options.batch_queries = batch;
+      MonitorEngine engine(engine_options);
+      CollectSink sink;
+      engine.AddSink(&sink);
+      const int64_t stream = engine.AddStream("s");
+      for (size_t q = 0; q < patterns.size(); ++q) {
+        EXPECT_TRUE(engine
+                        .AddQuery(stream, "q" + std::to_string(q),
+                                  patterns[q], Eps(q == 1 ? 0.5 : 2.0))
+                        .ok());
+      }
+      int64_t flushed = -1;
+      for (int64_t i = 0; i < n; ++i) {
+        if (i == remove_at) {
+          util::StatusOr<int64_t> removed = engine.RemoveQuery(remove_query);
+          EXPECT_TRUE(removed.ok());
+          flushed = *removed;
+        }
+        EXPECT_TRUE(engine.Push(ops[static_cast<size_t>(i)].first,
+                                ops[static_cast<size_t>(i)].second)
+                        .ok());
+      }
+      engine.FlushAll();
+      return std::make_pair(flushed, sink.entries());
+    };
+
+    const auto [scalar_flushed, scalar_entries] = run(false);
+    const auto [batch_flushed, batch_entries] = run(true);
+    EXPECT_EQ(scalar_flushed, batch_flushed) << "trial " << trial;
+    ASSERT_EQ(scalar_entries.size(), batch_entries.size()) << "trial "
+                                                           << trial;
+    for (size_t i = 0; i < scalar_entries.size(); ++i) {
+      EXPECT_EQ(scalar_entries[i].origin.query_id,
+                batch_entries[i].origin.query_id);
+      EXPECT_EQ(scalar_entries[i].match.start, batch_entries[i].match.start);
+      EXPECT_EQ(scalar_entries[i].match.end, batch_entries[i].match.end);
+      EXPECT_EQ(scalar_entries[i].match.distance,
+                batch_entries[i].match.distance);
+      EXPECT_EQ(scalar_entries[i].match.report_time,
+                batch_entries[i].match.report_time);
+    }
+  }
+}
+
+// Removal must not disturb checkpoints: serialize-after-remove restores
+// into an engine whose own serialization is byte-identical, and both
+// continue identically.
+TEST_P(EngineModeTest, CheckpointAfterRemoveRoundTripsByteIdentically) {
+  MonitorEngine engine = MakeEngine();
+  CollectSink sink;
+  engine.AddSink(&sink);
+  const int64_t stream = engine.AddStream("s");
+  ASSERT_TRUE(engine.AddQuery(stream, "q0", {1.0, 2.0, 3.0}, Eps(2.0)).ok());
+  const int64_t q1 = *engine.AddQuery(stream, "q1", {2.0, 2.0}, Eps(0.5));
+  ASSERT_TRUE(engine.AddQuery(stream, "q2", {0.0, 1.0}, Eps(1.0)).ok());
+  util::Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        engine.Push(stream, static_cast<double>(rng.UniformInt(0, 3))).ok());
+  }
+  ASSERT_TRUE(engine.RemoveQuery(q1).ok());
+
+  const std::vector<uint8_t> snapshot = engine.SerializeState();
+  EngineOptions restore_options;
+  restore_options.batch_queries = GetParam();
+  MonitorEngine restored(restore_options);
+  CollectSink restored_sink;
+  restored.AddSink(&restored_sink);
+  ASSERT_TRUE(restored.RestoreState(snapshot).ok());
+  EXPECT_EQ(restored.SerializeState(), snapshot);
+
+  // Note the restored engine compacts ids (removed queries are not in the
+  // checkpoint), so compare by name + match fields, not raw ids.
+  sink.Clear();
+  for (int i = 0; i < 50; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(0, 3));
+    ASSERT_TRUE(engine.Push(stream, v).ok());
+    ASSERT_TRUE(restored.Push(stream, v).ok());
+  }
+  engine.FlushAll();
+  restored.FlushAll();
+  ASSERT_EQ(sink.entries().size(), restored_sink.entries().size());
+  for (size_t i = 0; i < sink.entries().size(); ++i) {
+    EXPECT_EQ(sink.entries()[i].origin.query_name,
+              restored_sink.entries()[i].origin.query_name);
+    EXPECT_EQ(sink.entries()[i].match.start,
+              restored_sink.entries()[i].match.start);
+    EXPECT_EQ(sink.entries()[i].match.end,
+              restored_sink.entries()[i].match.end);
+    EXPECT_EQ(sink.entries()[i].match.distance,
+              restored_sink.entries()[i].match.distance);
+  }
+}
+
+// ShardedMonitor removal: same schedule as a single reference engine, for
+// 1/2/8 workers — identical output (flush ordered after tick matches),
+// Status errors for bad ids, and ListQueries reflecting the tombstone.
+class ShardedRemoveTest : public ::testing::TestWithParam<int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ShardedRemoveTest,
+                         ::testing::Values<int64_t>(1, 2, 8));
+
+TEST_P(ShardedRemoveTest, MatchesSingleEngineWithMidStreamRemovals) {
+  util::Rng rng(4242);
+  const int64_t kStreams = 4;
+  std::vector<std::pair<int64_t, double>> ops;
+  for (int i = 0; i < 3000; ++i) {
+    ops.emplace_back(rng.UniformInt(0, kStreams - 1),
+                     static_cast<double>(rng.UniformInt(0, 3)));
+  }
+  const std::vector<std::vector<double>> patterns = {
+      {1.0, 2.0, 3.0}, {2.0, 2.0}, {0.0, 1.0, 0.0}, {3.0, 3.0}};
+  // (op index, query id) removal schedule.
+  const std::vector<std::pair<int64_t, int64_t>> removals = {
+      {500, 1}, {1500, 6}, {2500, 3}};
+
+  auto build = [&](auto&& add_stream, auto&& add_query) {
+    for (int64_t s = 0; s < kStreams; ++s) {
+      add_stream("stream-" + std::to_string(s));
+    }
+    int64_t id = 0;
+    for (int64_t s = 0; s < kStreams; ++s) {
+      for (int64_t q = 0; q < 2; ++q, ++id) {
+        add_query(s, "q" + std::to_string(id),
+                  patterns[static_cast<size_t>((s + q) % 4)],
+                  Eps(q == 0 ? 0.75 : 3.0));
+      }
+    }
+  };
+
+  // Reference: one engine, removals inline.
+  MonitorEngine reference;
+  CollectSink reference_sink;
+  reference.AddSink(&reference_sink);
+  build([&](const std::string& name) { reference.AddStream(name); },
+        [&](int64_t s, const std::string& name,
+            const std::vector<double>& values,
+            const core::SpringOptions& options) {
+          ASSERT_TRUE(reference.AddQuery(s, name, values, options).ok());
+        });
+  std::vector<int64_t> reference_flushed;
+  {
+    size_t next_removal = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      while (next_removal < removals.size() &&
+             removals[next_removal].first == static_cast<int64_t>(i)) {
+        util::StatusOr<int64_t> flushed =
+            reference.RemoveQuery(removals[next_removal].second);
+        ASSERT_TRUE(flushed.ok());
+        reference_flushed.push_back(*flushed);
+        ++next_removal;
+      }
+      ASSERT_TRUE(reference.Push(ops[i].first, ops[i].second).ok());
+    }
+  }
+
+  ShardedMonitorOptions options;
+  options.num_workers = GetParam();
+  ShardedMonitor monitor(options);
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  build([&](const std::string& name) { monitor.AddStream(name); },
+        [&](int64_t s, const std::string& name,
+            const std::vector<double>& values,
+            const core::SpringOptions& opts) {
+          ASSERT_TRUE(monitor.AddQuery(s, name, values, opts).ok());
+        });
+  monitor.Start();
+  std::vector<int64_t> sharded_flushed;
+  {
+    size_t next_removal = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      while (next_removal < removals.size() &&
+             removals[next_removal].first == static_cast<int64_t>(i)) {
+        util::StatusOr<int64_t> flushed =
+            monitor.RemoveQuery(removals[next_removal].second);
+        ASSERT_TRUE(flushed.ok());
+        sharded_flushed.push_back(*flushed);
+        ++next_removal;
+      }
+      ASSERT_TRUE(monitor.Push(ops[i].first, ops[i].second).ok());
+    }
+  }
+  monitor.Drain();
+  monitor.Stop();
+
+  EXPECT_EQ(sharded_flushed, reference_flushed);
+  // The reference dispatches immediately; the sharded monitor delivers at
+  // barriers in (seq, query id) order. Removal flushes must land in the
+  // same relative position in both.
+  ASSERT_EQ(sink.entries().size(), reference_sink.entries().size());
+  for (size_t i = 0; i < sink.entries().size(); ++i) {
+    EXPECT_EQ(sink.entries()[i].origin.stream_name,
+              reference_sink.entries()[i].origin.stream_name)
+        << i;
+    EXPECT_EQ(sink.entries()[i].origin.query_name,
+              reference_sink.entries()[i].origin.query_name)
+        << i;
+    EXPECT_EQ(sink.entries()[i].match.start,
+              reference_sink.entries()[i].match.start)
+        << i;
+    EXPECT_EQ(sink.entries()[i].match.end,
+              reference_sink.entries()[i].match.end)
+        << i;
+    EXPECT_EQ(sink.entries()[i].match.distance,
+              reference_sink.entries()[i].match.distance)
+        << i;
+    EXPECT_EQ(sink.entries()[i].match.report_time,
+              reference_sink.entries()[i].match.report_time)
+        << i;
+  }
+}
+
+TEST_P(ShardedRemoveTest, AdminErrorsAndListQueries) {
+  ShardedMonitorOptions options;
+  options.num_workers = GetParam();
+  ShardedMonitor monitor(options);
+  const int64_t s0 = monitor.AddStream("alpha");
+  const int64_t s1 = monitor.AddStream("beta");
+  const int64_t q0 = *monitor.AddQuery(s0, "q0", {1.0, 2.0}, Eps(0.5));
+  const int64_t q1 = *monitor.AddQuery(s1, "q1", {2.0}, Eps(0.5));
+  monitor.Start();
+
+  EXPECT_EQ(monitor.RemoveQuery(-3).status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(monitor.RemoveQuery(17).status().code(),
+            util::StatusCode::kNotFound);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(monitor.Push(s0, 9.0).ok());
+    ASSERT_TRUE(monitor.Push(s1, 9.0).ok());
+  }
+  ASSERT_TRUE(monitor.RemoveQuery(q0).ok());
+  EXPECT_EQ(monitor.RemoveQuery(q0).status().code(),
+            util::StatusCode::kNotFound);
+
+  const std::vector<ShardedMonitor::QueryListEntry> live =
+      monitor.ListQueries();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].query_id, q1);
+  EXPECT_EQ(live[0].name, "q1");
+  EXPECT_EQ(live[0].stream_name, "beta");
+  EXPECT_EQ(live[0].ticks, 10);
+
+  // Removed ids keep their stats; the stream keeps ingesting.
+  EXPECT_EQ(monitor.stats(q0).ticks, 10);
+  ASSERT_TRUE(monitor.Push(s0, 1.0).ok());
+  monitor.Drain();
+  monitor.Stop();
+
+  // Checkpoint after removal restores only the live query.
+  const std::vector<uint8_t> snapshot = monitor.SerializeState();
+  ShardedMonitor restored(options);
+  ASSERT_TRUE(restored.RestoreState(snapshot).ok());
+  EXPECT_EQ(restored.num_queries(), 1);
+  EXPECT_EQ(restored.SerializeState(), snapshot);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace springdtw

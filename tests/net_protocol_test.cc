@@ -1,0 +1,269 @@
+// Wire protocol: framing (CutFrame partial/oversized/zero-length), typed
+// payload round-trips, hostile-input rejection (truncation at every byte,
+// trailing garbage, bogus counts), and the option-validation helpers.
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/protocol.h"
+#include "util/codec.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace net {
+namespace {
+
+TEST(FramingTest, AppendAndCutRoundTrip) {
+  std::vector<uint8_t> wire;
+  TickPayload tick;
+  tick.stream_id = 7;
+  tick.value = 2.5;
+  AppendPayloadFrame(FrameType::kTick, tick, &wire);
+  DrainPayload drain;
+  drain.request_id = 42;
+  AppendPayloadFrame(FrameType::kDrain, drain, &wire);
+
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(CutFrame(wire, kDefaultMaxFrameBytes, &frame, &consumed).ok());
+  ASSERT_GT(consumed, 0u);
+  EXPECT_EQ(frame.type, FrameType::kTick);
+  TickPayload tick_out;
+  ASSERT_TRUE(DecodePayload(frame.payload, &tick_out).ok());
+  EXPECT_EQ(tick_out.stream_id, 7);
+  EXPECT_EQ(tick_out.value, 2.5);
+
+  wire.erase(wire.begin(), wire.begin() + static_cast<ptrdiff_t>(consumed));
+  ASSERT_TRUE(CutFrame(wire, kDefaultMaxFrameBytes, &frame, &consumed).ok());
+  ASSERT_GT(consumed, 0u);
+  EXPECT_EQ(frame.type, FrameType::kDrain);
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(FramingTest, PartialFramesNeedMoreData) {
+  std::vector<uint8_t> wire;
+  HelloPayload hello;
+  hello.peer_name = "abcdefgh";
+  AppendPayloadFrame(FrameType::kHello, hello, &wire);
+  // Every strict prefix must park (ok, consumed == 0), never error.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Frame frame;
+    size_t consumed = 1;
+    ASSERT_TRUE(CutFrame(std::span<const uint8_t>(wire.data(), len),
+                         kDefaultMaxFrameBytes, &frame, &consumed)
+                    .ok())
+        << len;
+    EXPECT_EQ(consumed, 0u) << len;
+  }
+}
+
+TEST(FramingTest, ZeroLengthAndOversizedFramesAreFatal) {
+  Frame frame;
+  size_t consumed = 0;
+  const std::vector<uint8_t> zero = {0, 0, 0, 0};
+  EXPECT_FALSE(CutFrame(zero, kDefaultMaxFrameBytes, &frame, &consumed).ok());
+
+  // Length prefix beyond the cap is rejected from the header alone — the
+  // payload never needs to arrive.
+  std::vector<uint8_t> oversized = {0, 0, 0, 0};
+  const uint32_t huge = 1 << 30;
+  std::memcpy(oversized.data(), &huge, sizeof(huge));
+  EXPECT_FALSE(
+      CutFrame(oversized, kDefaultMaxFrameBytes, &frame, &consumed).ok());
+  // The same bytes are fine under a bigger cap (waiting for the payload).
+  EXPECT_TRUE(CutFrame(oversized, uint64_t{1} << 31, &frame, &consumed).ok());
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(FramingTest, KnownFrameTypeBounds) {
+  EXPECT_FALSE(KnownFrameType(0));
+  EXPECT_TRUE(KnownFrameType(static_cast<uint8_t>(FrameType::kHello)));
+  EXPECT_TRUE(KnownFrameType(static_cast<uint8_t>(FrameType::kError)));
+  EXPECT_FALSE(KnownFrameType(static_cast<uint8_t>(FrameType::kError) + 1));
+  EXPECT_FALSE(KnownFrameType(255));
+  EXPECT_EQ(FrameTypeName(FrameType::kTickBatch), "TICK_BATCH");
+  EXPECT_EQ(FrameTypeName(static_cast<FrameType>(250)), "UNKNOWN");
+}
+
+template <typename Payload>
+std::vector<uint8_t> Encode(const Payload& payload) {
+  util::ByteWriter writer;
+  payload.EncodeTo(&writer);
+  return writer.buffer();
+}
+
+// Every payload must survive a round-trip, reject truncation at every
+// prefix length, and reject one byte of trailing garbage.
+template <typename Payload>
+void CheckRoundTripAndHostility(const Payload& payload,
+                                const std::function<void(const Payload&)>&
+                                    check_fields) {
+  const std::vector<uint8_t> bytes = Encode(payload);
+  Payload out;
+  ASSERT_TRUE(DecodePayload(bytes, &out).ok());
+  check_fields(out);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Payload truncated;
+    EXPECT_FALSE(DecodePayload(std::span<const uint8_t>(bytes.data(), len),
+                               &truncated)
+                     .ok())
+        << "prefix " << len << " of " << bytes.size();
+  }
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0xAB);
+  Payload with_trailing;
+  EXPECT_FALSE(DecodePayload(trailing, &with_trailing).ok());
+}
+
+TEST(PayloadTest, HelloRoundTrip) {
+  HelloPayload payload;
+  payload.version = 1;
+  payload.peer_name = "feeder";
+  CheckRoundTripAndHostility<HelloPayload>(payload, [](const auto& out) {
+    EXPECT_EQ(out.version, 1u);
+    EXPECT_EQ(out.peer_name, "feeder");
+  });
+}
+
+TEST(PayloadTest, AddQueryRoundTrip) {
+  AddQueryPayload payload;
+  payload.request_id = 9;
+  payload.stream_id = 2;
+  payload.name = "q";
+  payload.values = {1.0, -2.5, 3.25};
+  payload.epsilon = 0.75;
+  payload.local_distance = 1;
+  payload.max_match_length = 64;
+  payload.min_match_length = 2;
+  CheckRoundTripAndHostility<AddQueryPayload>(payload, [](const auto& out) {
+    EXPECT_EQ(out.request_id, 9u);
+    EXPECT_EQ(out.values, (std::vector<double>{1.0, -2.5, 3.25}));
+    EXPECT_EQ(out.epsilon, 0.75);
+    EXPECT_EQ(out.local_distance, 1);
+    EXPECT_EQ(out.max_match_length, 64);
+    EXPECT_EQ(out.min_match_length, 2);
+  });
+}
+
+TEST(PayloadTest, MatchEventRoundTrip) {
+  MatchEventPayload payload;
+  payload.delivery_seq = 11;
+  payload.stream_id = 1;
+  payload.query_id = 4;
+  payload.stream_name = "s";
+  payload.query_name = "q";
+  payload.match.start = 10;
+  payload.match.end = 20;
+  payload.match.distance = 0.5;
+  payload.match.report_time = 25;
+  payload.match.group_start = 9;
+  payload.match.group_end = 21;
+  CheckRoundTripAndHostility<MatchEventPayload>(payload, [](const auto& out) {
+    EXPECT_EQ(out.delivery_seq, 11u);
+    EXPECT_EQ(out.match.start, 10);
+    EXPECT_EQ(out.match.end, 20);
+    EXPECT_EQ(out.match.distance, 0.5);
+    EXPECT_EQ(out.match.report_time, 25);
+    EXPECT_EQ(out.match.group_start, 9);
+    EXPECT_EQ(out.match.group_end, 21);
+  });
+}
+
+TEST(PayloadTest, TickBatchRoundTrip) {
+  TickBatchPayload payload;
+  payload.stream_id = 3;
+  payload.values = {0.0, 1.0, 2.0, 3.0};
+  CheckRoundTripAndHostility<TickBatchPayload>(payload, [](const auto& out) {
+    EXPECT_EQ(out.stream_id, 3);
+    EXPECT_EQ(out.values.size(), 4u);
+  });
+}
+
+TEST(PayloadTest, QueryListRoundTripAndBogusCount) {
+  QueryListPayload payload;
+  payload.request_id = 5;
+  QueryListPayload::Entry entry;
+  entry.query_id = 1;
+  entry.stream_id = 0;
+  entry.name = "q";
+  entry.stream_name = "s";
+  entry.ticks = 100;
+  entry.matches = 3;
+  payload.entries.push_back(entry);
+  payload.entries.push_back(entry);
+  CheckRoundTripAndHostility<QueryListPayload>(payload, [](const auto& out) {
+    ASSERT_EQ(out.entries.size(), 2u);
+    EXPECT_EQ(out.entries[1].ticks, 100);
+    EXPECT_EQ(out.entries[1].stream_name, "s");
+  });
+
+  // A hostile count with no entry bytes must fail without allocating.
+  util::ByteWriter writer;
+  writer.WriteU64(5);
+  writer.WriteU64(uint64_t{1} << 60);
+  QueryListPayload hostile;
+  EXPECT_FALSE(DecodePayload(writer.buffer(), &hostile).ok());
+}
+
+TEST(PayloadTest, ErrorPayloadStatusMapping) {
+  const util::Status original =
+      util::NotFoundError("no query 7");
+  const ErrorPayload payload = MakeErrorPayload(12, original);
+  EXPECT_EQ(payload.request_id, 12u);
+  const std::vector<uint8_t> bytes = Encode(payload);
+  ErrorPayload out;
+  ASSERT_TRUE(DecodePayload(bytes, &out).ok());
+  const util::Status status = out.ToStatus();
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "no query 7");
+
+  // Unknown codes (a newer peer) degrade to kInternal, never to kOk.
+  ErrorPayload alien = payload;
+  alien.code = 200;
+  EXPECT_EQ(alien.ToStatus().code(), util::StatusCode::kInternal);
+  alien.code = 0;
+  EXPECT_EQ(alien.ToStatus().code(), util::StatusCode::kInternal);
+}
+
+TEST(PayloadTest, ToSpringOptionsValidates) {
+  AddQueryPayload payload;
+  payload.values = {1.0, 2.0};
+  payload.epsilon = 0.5;
+  payload.local_distance = 1;
+  payload.max_match_length = 10;
+  payload.min_match_length = 2;
+  util::StatusOr<core::SpringOptions> options = payload.ToSpringOptions();
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->epsilon, 0.5);
+  EXPECT_EQ(options->local_distance, dtw::LocalDistance::kAbsolute);
+  EXPECT_EQ(options->max_match_length, 10);
+  EXPECT_EQ(options->min_match_length, 2);
+
+  AddQueryPayload bad = payload;
+  bad.values.clear();
+  EXPECT_FALSE(bad.ToSpringOptions().ok());
+  bad = payload;
+  bad.values[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(bad.ToSpringOptions().ok());
+  bad = payload;
+  bad.epsilon = -1.0;
+  EXPECT_FALSE(bad.ToSpringOptions().ok());
+  bad = payload;
+  bad.epsilon = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(bad.ToSpringOptions().ok());
+  bad = payload;
+  bad.local_distance = 7;
+  EXPECT_FALSE(bad.ToSpringOptions().ok());
+  bad = payload;
+  bad.min_match_length = -1;
+  EXPECT_FALSE(bad.ToSpringOptions().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace springdtw

@@ -1,0 +1,181 @@
+// springdtw_feed: replay a stored series into a running springdtw_serve.
+//
+//   springdtw_feed --port=PORT [--host=127.0.0.1]
+//       --stream=FILE [--stream_name=stream]
+//       [--query=FILE --epsilon=EPS [--query_name=query]
+//        [--distance=squared|absolute] [--max_length=0] [--min_length=0]]
+//       [--rate=0] [--batch=256] [--subscribe] [--checkpoint]
+//       [--remove_query] [--list]
+//
+// Files may be CSV (one value per line, "nan" = missing) or binary .sdtw.
+// The feeder opens (or joins, by name) the stream, optionally registers a
+// query, optionally subscribes to match fan-out, then replays the series
+// in --batch-value TICK_BATCH frames, paced to --rate ticks/second (0 =
+// full speed). It finishes with a DRAIN barrier, so every match the
+// replay caused has been printed before exit:
+//
+//   MATCH stream=<name> query=<name> start=<s> end=<e> dist=<d> report=<t>
+//
+// --checkpoint requests a server-side checkpoint after the drain.
+// --remove_query retires the query after the drain (printing any match the
+// removal flushed); --list prints the server's live query table.
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "ts/binary_io.h"
+#include "ts/csv.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace springdtw;
+
+util::StatusOr<ts::Series> LoadSeries(const std::string& path) {
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".sdtw") {
+    return ts::ReadSeriesBinary(path);
+  }
+  return ts::ReadSeriesCsv(path);
+}
+
+void PrintMatch(const net::MatchEventPayload& event) {
+  std::printf(
+      "MATCH stream=%s query=%s start=%lld end=%lld dist=%.17g report=%lld\n",
+      event.stream_name.c_str(), event.query_name.c_str(),
+      static_cast<long long>(event.match.start),
+      static_cast<long long>(event.match.end), event.match.distance,
+      static_cast<long long>(event.match.report_time));
+  std::fflush(stdout);
+}
+
+int Fail(const char* what, const util::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  const std::string stream_path = flags.GetString("stream", "");
+  if (stream_path.empty()) {
+    std::fprintf(stderr, "--stream is required\n");
+    return 1;
+  }
+  auto series = LoadSeries(stream_path);
+  if (!series.ok()) return Fail("load stream", series.status());
+
+  net::StreamClientOptions client_options;
+  client_options.host = flags.GetString("host", "127.0.0.1");
+  client_options.port = static_cast<int>(flags.GetInt64("port", 0));
+  client_options.peer_name = "springdtw_feed";
+  net::StreamClient client(client_options);
+
+  int64_t matches = 0;
+  client.SetMatchCallback([&matches](const net::MatchEventPayload& event) {
+    ++matches;
+    PrintMatch(event);
+  });
+
+  util::Status status = client.Connect();
+  if (!status.ok()) return Fail("connect", status);
+
+  const std::string stream_name = flags.GetString("stream_name", "stream");
+  auto stream_id = client.OpenStream(stream_name);
+  if (!stream_id.ok()) return Fail("open stream", stream_id.status());
+
+  const std::string query_path = flags.GetString("query", "");
+  int64_t query_id = -1;
+  if (!query_path.empty()) {
+    auto query = LoadSeries(query_path);
+    if (!query.ok()) return Fail("load query", query.status());
+    core::SpringOptions options;
+    options.epsilon = flags.GetDouble("epsilon", 0.0);
+    options.local_distance =
+        flags.GetString("distance", "squared") == "absolute"
+            ? dtw::LocalDistance::kAbsolute
+            : dtw::LocalDistance::kSquared;
+    options.max_match_length = flags.GetInt64("max_length", 0);
+    options.min_match_length = flags.GetInt64("min_length", 0);
+    auto added = client.AddQuery(*stream_id,
+                                 flags.GetString("query_name", "query"),
+                                 query->values(), options);
+    if (!added.ok()) return Fail("add query", added.status());
+    query_id = *added;
+  }
+
+  if (flags.GetBool("subscribe", false)) {
+    status = client.SubscribeMatches();
+    if (!status.ok()) return Fail("subscribe", status);
+  }
+
+  const double rate = flags.GetDouble("rate", 0.0);
+  const int64_t batch = std::max<int64_t>(1, flags.GetInt64("batch", 256));
+  const std::vector<double>& values = series->values();
+  const int64_t start_nanos = util::Stopwatch::NowNanos();
+  int64_t sent = 0;
+  while (sent < static_cast<int64_t>(values.size())) {
+    const int64_t count = std::min<int64_t>(
+        batch, static_cast<int64_t>(values.size()) - sent);
+    status = client.TickBatch(
+        *stream_id, std::span<const double>(values)
+                        .subspan(static_cast<size_t>(sent),
+                                 static_cast<size_t>(count)));
+    if (!status.ok()) return Fail("tick", status);
+    sent += count;
+    if (rate > 0) {
+      // Pace against the wall clock: sleep until `sent` ticks worth of
+      // time has elapsed.
+      const double due_nanos = static_cast<double>(sent) / rate * 1e9;
+      while (static_cast<double>(util::Stopwatch::NowNanos() - start_nanos) <
+             due_nanos) {
+        timespec ts{0, 1 * 1000 * 1000};
+        nanosleep(&ts, nullptr);
+      }
+    }
+  }
+
+  auto drained = client.Drain();
+  if (!drained.ok()) return Fail("drain", drained.status());
+
+  if (flags.GetBool("checkpoint", false)) {
+    auto bytes = client.Checkpoint();
+    if (!bytes.ok()) return Fail("checkpoint", bytes.status());
+    std::printf("CHECKPOINT_BYTES=%llu\n",
+                static_cast<unsigned long long>(*bytes));
+  }
+
+  if (flags.GetBool("remove_query", false) && query_id >= 0) {
+    auto flushed = client.RemoveQuery(query_id);
+    if (!flushed.ok()) return Fail("remove query", flushed.status());
+    std::printf("REMOVED query=%lld flushed=%lld\n",
+                static_cast<long long>(query_id),
+                static_cast<long long>(*flushed));
+  }
+
+  if (flags.GetBool("list", false)) {
+    auto entries = client.ListQueries();
+    if (!entries.ok()) return Fail("list queries", entries.status());
+    for (const auto& entry : *entries) {
+      std::printf("QUERY id=%lld stream=%s name=%s ticks=%lld matches=%lld\n",
+                  static_cast<long long>(entry.query_id),
+                  entry.stream_name.c_str(), entry.name.c_str(),
+                  static_cast<long long>(entry.ticks),
+                  static_cast<long long>(entry.matches));
+    }
+  }
+
+  std::printf("FED ticks=%lld matches=%lld\n", static_cast<long long>(sent),
+              static_cast<long long>(matches));
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,175 @@
+// springdtw_serve: run a ShardedMonitor as a long-lived TCP daemon.
+//
+//   springdtw_serve [--port=0] [--workers=2]
+//       [--checkpoint=FILE] [--checkpoint_period_ms=0]
+//       [--introspect_port=-1] [--staleness_ms=1000]
+//       [--max_connections=64] [--max_frame_bytes=1048576]
+//       [--idle_timeout_ms=0]
+//
+// Speaks the net/protocol.h wire format (docs/SERVING.md): clients open
+// streams, register/remove queries, push ticks, subscribe to match
+// fan-out, and request drains/checkpoints. The bound port is printed as
+// "SERVE_PORT=<port>" once the server is up (port 0 picks an ephemeral
+// port), so scripts can discover it.
+//
+// --checkpoint=FILE makes the daemon durable: if FILE exists at startup
+// the monitor restores from it (resuming mid-stream, pending candidates
+// intact), CHECKPOINT frames and the periodic checkpointer write to it
+// (atomically, via a temp file + rename), and on SIGTERM/SIGINT the daemon
+// drains, writes a final checkpoint, and exits 0. The final checkpoint
+// deliberately does NOT flush pending candidates — a restore continues the
+// stream byte-identically, as if the process had never died.
+//
+// --introspect_port=N additionally serves /metrics, /healthz, /statusz,
+// /tracez over HTTP (N=0 ephemeral; printed as "INTROSPECT_PORT=<port>");
+// the serving layer's spring_net_* families are spliced into /metrics.
+
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "monitor/sharded_monitor.h"
+#include "net/server.h"
+#include "util/flags.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace springdtw;
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int /*signum*/) { g_shutdown = 1; }
+
+util::StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::IoError("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) return util::IoError("read failed: " + path);
+  return bytes;
+}
+
+util::Status WriteFileBytesAtomic(const std::string& path,
+                                  const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::IoError("cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return util::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return util::IoError("rename failed: " + path);
+  }
+  return util::Status::Ok();
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  const int64_t port = flags.GetInt64("port", 0);
+  const int64_t workers = flags.GetInt64("workers", 2);
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+  const double checkpoint_period_ms =
+      flags.GetDouble("checkpoint_period_ms", 0.0);
+  const int64_t introspect_port = flags.GetInt64("introspect_port", -1);
+
+  monitor::ShardedMonitorOptions monitor_options;
+  monitor_options.num_workers = workers > 0 ? workers : 1;
+  monitor_options.introspect_port = introspect_port;
+  monitor_options.staleness_budget_ms =
+      flags.GetDouble("staleness_ms", 1000.0);
+  monitor::ShardedMonitor monitor(monitor_options);
+
+  if (!checkpoint_path.empty()) {
+    std::ifstream probe(checkpoint_path, std::ios::binary);
+    if (probe.good()) {
+      auto bytes = ReadFileBytes(checkpoint_path);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "checkpoint read: %s\n",
+                     bytes.status().ToString().c_str());
+        return 1;
+      }
+      const util::Status restored = monitor.RestoreState(*bytes);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "checkpoint restore: %s\n",
+                     restored.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "restored %zu streams, %zu checkpoint bytes\n",
+                   static_cast<size_t>(monitor.num_streams()),
+                   bytes->size());
+    }
+  }
+
+  net::StreamServerOptions server_options;
+  server_options.port = static_cast<int>(port);
+  server_options.max_connections = flags.GetInt64("max_connections", 64);
+  server_options.max_frame_bytes = static_cast<uint64_t>(flags.GetInt64(
+      "max_frame_bytes", static_cast<int64_t>(net::kDefaultMaxFrameBytes)));
+  server_options.idle_timeout_ms = flags.GetDouble("idle_timeout_ms", 0.0);
+  server_options.checkpoint_period_ms = checkpoint_period_ms;
+  net::StreamServer server(&monitor, server_options);
+
+  if (!checkpoint_path.empty()) {
+    // Runs on the server's event-loop thread, which holds the router role.
+    server.SetCheckpointFn(
+        [&monitor, checkpoint_path]() -> util::StatusOr<uint64_t> {
+          const std::vector<uint8_t> bytes = monitor.SerializeState();
+          SPRINGDTW_RETURN_IF_ERROR(
+              WriteFileBytesAtomic(checkpoint_path, bytes));
+          return static_cast<uint64_t>(bytes.size());
+        });
+  }
+
+  monitor.SetAuxMetricsProvider(
+      [&server] { return server.MetricsSnapshot(); });
+  monitor.Start();
+  const util::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("SERVE_PORT=%d\n", server.port());
+  if (monitor.introspection_port() >= 0) {
+    std::printf("INTROSPECT_PORT=%d\n", monitor.introspection_port());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (g_shutdown == 0) {
+    timespec ts{0, 50 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  // Graceful shutdown: stop serving (joins the loop thread, handing the
+  // router role back to this thread), apply everything routed, and write a
+  // final checkpoint preserving pending candidates.
+  server.Stop();
+  (void)monitor.Drain();
+  if (!checkpoint_path.empty()) {
+    const std::vector<uint8_t> bytes = monitor.SerializeState();
+    const util::Status written =
+        WriteFileBytesAtomic(checkpoint_path, bytes);
+    if (!written.ok()) {
+      std::fprintf(stderr, "final checkpoint: %s\n",
+                   written.ToString().c_str());
+      monitor.Stop();
+      return 1;
+    }
+    std::fprintf(stderr, "final checkpoint: %zu bytes\n", bytes.size());
+  }
+  monitor.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
