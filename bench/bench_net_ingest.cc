@@ -114,11 +114,19 @@ double MeasureDirect(const Workload& w, int64_t workers, int64_t chunk) {
 
 /// Loopback: `connections` clients split the streams round-robin and feed
 /// concurrently; the clock stops when every client's DRAIN barrier has
-/// confirmed full application.
+/// confirmed full application. With `traced`, the serving monitor runs the
+/// full observability stack at 1-in-64 sampling (spans + cost accounting),
+/// the deployment default — its cost shows up as tracing_overhead_pct.
 double MeasureNet(const Workload& w, int64_t workers, int64_t chunk,
-                  int64_t connections, int64_t* slow_disconnects) {
+                  int64_t connections, bool traced,
+                  int64_t* slow_disconnects) {
   monitor::ShardedMonitorOptions monitor_options;
   monitor_options.num_workers = workers;
+  if (traced) {
+    monitor_options.enable_introspection = true;
+    monitor_options.span_sample_every = 64;
+    monitor_options.cost_sample_every = 64;
+  }
   monitor::ShardedMonitor monitor(monitor_options);
   BuildTopology(w, &monitor);
   monitor.Start();
@@ -225,21 +233,49 @@ int main(int argc, char** argv) {
                    "monitor ingest throughput", direct,
                    {obs::Label{"path", "direct"}});
 
+  // Single connection, untraced vs traced (end-to-end spans + cost
+  // accounting at the 1-in-64 deployment default). The two runs are
+  // interleaved pairwise so machine drift over the bench's lifetime hits
+  // both sides equally — the overhead percentage is a differential metric
+  // and sequential blocks would bake the drift into it.
   int64_t slow_disconnects = 0;
   double net_1 = 0.0;
-  for (const int64_t connections : {int64_t{1}, int64_t{8}}) {
-    const double net = BestOf(repeats, [&] {
-      return MeasureNet(w, workers, chunk, connections, &slow_disconnects);
-    });
-    if (connections == 1) net_1 = net;
-    std::printf("%-28s %12.0f ticks/sec  (%.2fx vs direct)\n",
-                ("loopback " + std::to_string(connections) + " conn").c_str(),
-                net, direct > 0.0 ? net / direct : 0.0);
-    emitter.SetGauge(
-        "bench_net_ingest_ticks_per_sec", "monitor ingest throughput", net,
-        {obs::Label{"path", "net"},
-         obs::Label{"connections", std::to_string(connections)}});
+  double net_traced = 0.0;
+  for (int64_t r = 0; r < repeats; ++r) {
+    net_1 = std::max(net_1, MeasureNet(w, workers, chunk, /*connections=*/1,
+                                       /*traced=*/false, &slow_disconnects));
+    net_traced = std::max(
+        net_traced, MeasureNet(w, workers, chunk, /*connections=*/1,
+                               /*traced=*/true, &slow_disconnects));
   }
+  std::printf("%-28s %12.0f ticks/sec  (%.2fx vs direct)\n", "loopback 1 conn",
+              net_1, direct > 0.0 ? net_1 / direct : 0.0);
+  emitter.SetGauge("bench_net_ingest_ticks_per_sec",
+                   "monitor ingest throughput", net_1,
+                   {obs::Label{"path", "net"}, obs::Label{"connections", "1"}});
+
+  const double net_8 = BestOf(repeats, [&] {
+    return MeasureNet(w, workers, chunk, /*connections=*/8, /*traced=*/false,
+                      &slow_disconnects);
+  });
+  std::printf("%-28s %12.0f ticks/sec  (%.2fx vs direct)\n", "loopback 8 conn",
+              net_8, direct > 0.0 ? net_8 / direct : 0.0);
+  emitter.SetGauge("bench_net_ingest_ticks_per_sec",
+                   "monitor ingest throughput", net_8,
+                   {obs::Label{"path", "net"}, obs::Label{"connections", "8"}});
+
+  const double tracing_overhead_pct =
+      net_1 > 0.0 ? (net_1 - net_traced) / net_1 * 100.0 : 0.0;
+  std::printf("%-28s %12.0f ticks/sec  (%+.2f%% vs untraced)\n",
+              "loopback 1 conn traced", net_traced, -tracing_overhead_pct);
+  emitter.SetGauge(
+      "bench_net_ingest_ticks_per_sec", "monitor ingest throughput",
+      net_traced,
+      {obs::Label{"path", "net"}, obs::Label{"connections", "1"},
+       obs::Label{"tracing", "on"}});
+  emitter.SetGauge("bench_net_ingest_tracing_overhead_pct",
+                   "throughput lost to 1-in-64 span/cost sampling, percent",
+                   tracing_overhead_pct);
 
   emitter.SetGauge("bench_net_ingest_hardware_threads",
                    "std::thread::hardware_concurrency at bench time",
@@ -256,7 +292,7 @@ int main(int argc, char** argv) {
 
   if (smoke) {
     // Liveness gates only — ratios are hardware-bound.
-    if (direct <= 0.0 || net_1 <= 0.0) {
+    if (direct <= 0.0 || net_1 <= 0.0 || net_8 <= 0.0 || net_traced <= 0.0) {
       std::printf("SMOKE FAIL: a path moved no ticks\n");
       return 1;
     }

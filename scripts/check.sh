@@ -16,8 +16,11 @@
 #               springdtw_metrics_check
 #   introspect-smoke
 #               Starts a 4-worker springdtw_match with --introspect_port=0,
-#               polls /healthz to 200 and scrapes /metrics for the
-#               pipeline-stage histogram families
+#               polls /healthz to 200, scrapes /metrics for the
+#               pipeline-stage and end-to-end span histogram families,
+#               asserts /queryz and /spanz serve non-empty JSON, then
+#               validates the spring_e2e_latency_nanos histograms with
+#               springdtw_metrics_check on a merged-snapshot dump
 #   serve-smoke Boots springdtw_serve on an ephemeral port, replays a
 #               planted pattern through springdtw_feed and asserts the
 #               exact match arrives over the subscription, checks
@@ -81,7 +84,7 @@ leg_bench_smoke() {
     cmake --build --preset default -j"$JOBS" --target bench_net_ingest &&
     ./build/bench/bench_net_ingest --smoke --json_out=BENCH_net.json &&
     ./build/tools/springdtw_metrics_check --in=BENCH_net.json \
-      --require=bench_net_ingest_ticks_per_sec,bench_net_ingest_wire_overhead
+      --require=bench_net_ingest_ticks_per_sec,bench_net_ingest_wire_overhead,bench_net_ingest_tracing_overhead_pct
 }
 
 # One HTTP GET over bash's /dev/tcp (no curl dependency in the container);
@@ -143,18 +146,65 @@ leg_introspect_smoke() {
   if [ "$ok" -ne 0 ]; then
     echo "introspect-smoke: /healthz never returned 200 on port $port"
   else
+    # The cost and span snapshots publish at the FlushAll barrier; wait for
+    # the match count line (printed right after FlushAll, before the linger)
+    # so the scrapes below see the completed run rather than racing it.
+    for i in $(seq 1 200); do
+      grep -q '^# ' "$tmp/match.out" && break
+      kill -0 "$match_pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    if ! grep -q '^# ' "$tmp/match.out"; then
+      echo "introspect-smoke: match run never reached its FlushAll barrier"
+      ok=1
+    fi
     introspect_get "$port" /metrics >"$tmp/metrics.out" 2>/dev/null
     grep -q 'spring_stage_latency_nanos' "$tmp/metrics.out" &&
       grep -q 'spring_ticks_total' "$tmp/metrics.out" &&
-      grep -q 'spring_ring_occupancy' "$tmp/metrics.out" || {
+      grep -q 'spring_ring_occupancy' "$tmp/metrics.out" &&
+      grep -q 'spring_e2e_latency_nanos' "$tmp/metrics.out" &&
+      grep -q 'spring_trace_dropped_total' "$tmp/metrics.out" || {
       echo "introspect-smoke: /metrics is missing expected families:"
       head -40 "$tmp/metrics.out"
+      ok=1
+    }
+    # The cost-accounting and span endpoints serve non-empty JSON docs.
+    introspect_get "$port" /queryz >"$tmp/queryz.out" 2>/dev/null
+    head -1 "$tmp/queryz.out" | grep -q '200' &&
+      grep -q '"queries":\[{' "$tmp/queryz.out" || {
+      echo "introspect-smoke: /queryz did not serve per-query rows:"
+      cat "$tmp/queryz.out"
+      ok=1
+    }
+    introspect_get "$port" /spanz >"$tmp/spanz.out" 2>/dev/null
+    head -1 "$tmp/spanz.out" | grep -q '200' &&
+      grep -q '"spans":\[{' "$tmp/spanz.out" || {
+      echo "introspect-smoke: /spanz did not serve completed spans:"
+      cat "$tmp/spanz.out"
       ok=1
     }
   fi
 
   kill "$match_pid" 2>/dev/null
   wait "$match_pid" 2>/dev/null
+
+  # A natural-exit sharded run dumps the merged snapshot; the end-to-end
+  # stage histograms and trace drop counter must validate as families.
+  if [ "$ok" -eq 0 ]; then
+    cmake --build --preset default -j"$JOBS" \
+      --target springdtw_metrics_check >/dev/null &&
+      ./build/tools/springdtw_match \
+        --stream="$tmp/smoke_stream.csv" --query="$tmp/smoke_query.csv" \
+        --epsilon=500 --threads=4 --introspect_port=0 \
+        --introspect_linger_ms=0 --metrics=json \
+        --metrics_out="$tmp/e2e_metrics.json" >/dev/null 2>&1 &&
+      ./build/tools/springdtw_metrics_check --in="$tmp/e2e_metrics.json" \
+        --require=spring_trace_dropped_total \
+        --require_histogram=spring_e2e_latency_nanos || {
+      echo "introspect-smoke: e2e span families failed metrics_check"
+      ok=1
+    }
+  fi
   rm -rf "$tmp"
   return "$ok"
 }

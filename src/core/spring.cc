@@ -44,6 +44,7 @@ void SpringMatcher::Reset() {
   has_best_ = false;
   best_ = Match{};
   cells_pruned_ = 0;
+  cells_computed_ = 0;
   last_report_end_ = -1;
 }
 
@@ -61,6 +62,7 @@ template <typename Dist>
 bool SpringMatcher::UpdateImpl(double x, Match* match, Dist dist) {
   const int64_t m = query_length();
   const int64_t t = t_;
+  cells_computed_ += m;
 
   // --- STWM column update: Equations (7) and (8) of the paper. ---
   // Star-padding row: a subsequence may start here for free.

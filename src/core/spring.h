@@ -116,6 +116,11 @@ class SpringMatcher {
   /// construction or Reset(). Diagnostic only: not serialized, so a
   /// restored matcher restarts at 0.
   int64_t cells_pruned_total() const { return cells_pruned_; }
+  /// STWM cells computed since construction or Reset() — exactly m per
+  /// Update(), the paper's O(m)-per-tick cost made countable for per-query
+  /// accounting. Diagnostic only: not serialized, so a restored matcher
+  /// restarts at 0.
+  int64_t cells_computed_total() const { return cells_computed_; }
 
   /// Query length m.
   int64_t query_length() const {
@@ -185,8 +190,10 @@ class SpringMatcher {
   bool has_best_ = false;
   Match best_;
 
-  // Observability: cells discarded by the length-constraint pruning.
+  // Observability: cells discarded by the length-constraint pruning, and
+  // cells computed (m per tick).
   int64_t cells_pruned_ = 0;
+  int64_t cells_computed_ = 0;
 
   // End of the most recently reported match, used by the debug-gated
   // invariant checker to assert reports stay disjoint. -1 when nothing has

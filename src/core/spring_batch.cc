@@ -67,6 +67,7 @@ int64_t SpringBatchPool::AdoptMatcher(const SpringMatcher& matcher) {
   q.has_best = matcher.has_best_;
   q.best = matcher.best_;
   q.cells_pruned = matcher.cells_pruned_;
+  q.cells_computed = matcher.cells_computed_;
   q.last_report_end = matcher.last_report_end_;
   return index;
 }
@@ -95,6 +96,7 @@ SpringMatcher SpringBatchPool::ToMatcher(int64_t index) const {
   matcher.has_best_ = q.has_best;
   matcher.best_ = q.best;
   matcher.cells_pruned_ = q.cells_pruned;
+  matcher.cells_computed_ = q.cells_computed;
   matcher.last_report_end_ = q.last_report_end;
   return matcher;
 }
@@ -106,6 +108,7 @@ bool SpringBatchPool::UpdateOne(QueryState& q, double x, Dist dist,
                                 const int64_t* s_prev, Match* match) {
   const int64_t m = q.m;
   const int64_t t = q.t;
+  q.cells_computed += m;
 
   // --- STWM column update, Equations (7)/(8), star row implicit:
   // d(t, 0) = 0, s(t, 0) = t; d(t-1, 0) = 0, s(t-1, 0) = t - 1. The

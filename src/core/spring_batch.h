@@ -122,6 +122,9 @@ class SpringBatchPool {
   int64_t cells_pruned_total(int64_t index) const {
     return at(index).cells_pruned;
   }
+  int64_t cells_computed_total(int64_t index) const {
+    return at(index).cells_computed;
+  }
   const SpringOptions& options(int64_t index) const {
     return at(index).options;
   }
@@ -148,6 +151,7 @@ class SpringBatchPool {
     bool has_best = false;
     Match best;
     int64_t cells_pruned = 0;
+    int64_t cells_computed = 0;
     int64_t last_report_end = -1;  // Debug-gated disjointness baseline.
   };
 
@@ -211,6 +215,9 @@ class PoolQueryView {
   double best_distance() const { return pool_->best_distance(index_); }
   int64_t cells_pruned_total() const {
     return pool_->cells_pruned_total(index_);
+  }
+  int64_t cells_computed_total() const {
+    return pool_->cells_computed_total(index_);
   }
 
  private:

@@ -1,0 +1,84 @@
+#include "monitor/cost_accounting.h"
+
+#include <algorithm>
+
+#include "obs/exposition.h"
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace monitor {
+
+namespace {
+
+void AppendQueryRow(const QueryCost& row, std::string* out) {
+  *out += util::StrFormat(
+      "{\"id\":%lld,\"stream\":\"%s\",\"stream_id\":%lld,\"name\":\"%s\","
+      "\"ticks\":%lld,\"cells\":%lld,\"matches\":%lld,"
+      "\"last_match_seq\":%lld,\"est_cpu_nanos\":%lld}",
+      static_cast<long long>(row.query_id),
+      obs::EscapeJson(row.stream_name).c_str(),
+      static_cast<long long>(row.stream_id),
+      obs::EscapeJson(row.query_name).c_str(),
+      static_cast<long long>(row.ticks), static_cast<long long>(row.cells),
+      static_cast<long long>(row.matches),
+      static_cast<long long>(row.last_match_seq),
+      static_cast<long long>(row.est_cpu_nanos));
+}
+
+void AppendStreamRow(const StreamCost& row, std::string* out) {
+  *out += util::StrFormat(
+      "{\"id\":%lld,\"name\":\"%s\",\"worker\":%lld,\"queries\":%lld,"
+      "\"ticks\":%lld,\"cells\":%lld,\"matches\":%lld,"
+      "\"est_cpu_nanos\":%lld}",
+      static_cast<long long>(row.stream_id),
+      obs::EscapeJson(row.name).c_str(),
+      static_cast<long long>(row.worker),
+      static_cast<long long>(row.queries),
+      static_cast<long long>(row.ticks), static_cast<long long>(row.cells),
+      static_cast<long long>(row.matches),
+      static_cast<long long>(row.est_cpu_nanos));
+}
+
+}  // namespace
+
+void RankByCost(CostSnapshot* snapshot) {
+  std::sort(snapshot->queries.begin(), snapshot->queries.end(),
+            [](const QueryCost& a, const QueryCost& b) {
+              if (a.cells != b.cells) return a.cells > b.cells;
+              return a.query_id < b.query_id;
+            });
+  std::sort(snapshot->streams.begin(), snapshot->streams.end(),
+            [](const StreamCost& a, const StreamCost& b) {
+              if (a.cells != b.cells) return a.cells > b.cells;
+              return a.stream_id < b.stream_id;
+            });
+}
+
+std::string RenderQueryzJson(const CostSnapshot& snapshot, int64_t top_k) {
+  const int64_t total = static_cast<int64_t>(snapshot.queries.size());
+  const int64_t shown = std::min(total, top_k);
+  std::string out = util::StrFormat("{\"total\":%lld,\"queries\":[",
+                                    static_cast<long long>(total));
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) out += ',';
+    AppendQueryRow(snapshot.queries[static_cast<size_t>(i)], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RenderStreamzJson(const CostSnapshot& snapshot, int64_t top_k) {
+  const int64_t total = static_cast<int64_t>(snapshot.streams.size());
+  const int64_t shown = std::min(total, top_k);
+  std::string out = util::StrFormat("{\"total\":%lld,\"streams\":[",
+                                    static_cast<long long>(total));
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) out += ',';
+    AppendStreamRow(snapshot.streams[static_cast<size_t>(i)], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace monitor
+}  // namespace springdtw

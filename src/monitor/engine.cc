@@ -31,6 +31,7 @@ constexpr char kMetricQueries[] = "spring_queries";
 constexpr char kMetricCheckpointSaves[] = "spring_checkpoint_saves_total";
 constexpr char kMetricCheckpointRestores[] =
     "spring_checkpoint_restores_total";
+constexpr char kMetricTraceDropped[] = "spring_trace_dropped_total";
 
 const char* SpaceName(bool vector_space) {
   return vector_space ? "vector" : "scalar";
@@ -260,6 +261,12 @@ util::StatusOr<int64_t> MonitorEngine::Push(int64_t stream_id, double value) {
   const bool timed = track_latency_ || obs_ != nullptr;
   int64_t start_nanos = 0;
   if (timed) start_nanos = util::Stopwatch::NowNanos();
+  const bool cost_sampled =
+      options_.cost_sample_every > 0 &&
+      (stream.cost_push_calls++ %
+       static_cast<uint64_t>(options_.cost_sample_every)) == 0;
+  int64_t cost_start = 0;
+  if (cost_sampled) cost_start = util::Stopwatch::NowNanos();
 
   int64_t reported = 0;
   core::Match match;
@@ -352,6 +359,10 @@ util::StatusOr<int64_t> MonitorEngine::Push(int64_t stream_id, double value) {
     }
   }
 
+  if (cost_sampled) {
+    AccumulateCost(stream, util::Stopwatch::NowNanos() - cost_start,
+                   options_.cost_sample_every);
+  }
   if (timed) {
     const double nanos =
         static_cast<double>(util::Stopwatch::NowNanos() - start_nanos);
@@ -369,8 +380,11 @@ util::StatusOr<int64_t> MonitorEngine::PushBatch(
         util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
   }
   // Per-tick fallback: the only path in per-matcher mode, and the exact
-  // path with a bundle attached (per-tick metrics and trace events).
-  if (!options_.batch_queries || obs_ != nullptr) {
+  // path with a bundle attached (per-tick metrics and trace events) —
+  // unless batch_with_obs keeps the pool run and trades the per-tick
+  // candidate signals for throughput.
+  if (!options_.batch_queries ||
+      (obs_ != nullptr && !options_.batch_with_obs)) {
     int64_t reported = 0;
     for (const double value : values) {
       auto pushed = Push(stream_id, value);
@@ -407,13 +421,31 @@ util::StatusOr<int64_t> MonitorEngine::PushBatch(
     }
   }
 
-  const bool timed = track_latency_;
+  // On the batched path the cost sampler times whole runs, 1 in every
+  // cost_sample_every (the same per-stream counter the scalar path uses for
+  // ticks), and attributes the measurement with that multiplier. Steady-
+  // state batched ingest therefore pays for two clock reads only on sampled
+  // runs. Without cost sampling, an attached bundle still times every run
+  // so the push-latency histogram stays exact for metrics-only embedders.
+  const bool cost_sampled =
+      options_.cost_sample_every > 0 &&
+      (stream.cost_push_calls++ %
+       static_cast<uint64_t>(options_.cost_sample_every)) == 0;
+  const bool timed =
+      track_latency_ || cost_sampled ||
+      (obs_ != nullptr && options_.cost_sample_every <= 0);
   int64_t start_nanos = 0;
   if (timed) start_nanos = util::Stopwatch::NowNanos();
 
+  if (obs_ != nullptr && count > 0) {
+    stream.obs_pushes->Increment(static_cast<int64_t>(count));
+  }
   for (const int64_t query_id : stream.query_ids) {
-    queries_[static_cast<size_t>(query_id)].stats.ticks +=
-        static_cast<int64_t>(count);
+    QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+    query.stats.ticks += static_cast<int64_t>(count);
+    if (obs_ != nullptr && count > 0) {
+      query.obs.ticks->Increment(static_cast<int64_t>(count));
+    }
   }
   batch_reports_.clear();
   const int64_t reported = stream.pool.PushBatch(batch_values_,
@@ -425,14 +457,24 @@ util::StatusOr<int64_t> MonitorEngine::PushBatch(
     ++query.stats.matches;
     query.stats.output_delay.Add(
         static_cast<double>(report.match.report_time - report.match.end));
+    if (obs_ != nullptr) {
+      ObserveMatch(query, query_id, obs::TraceSpace::kScalar, report.match,
+                   obs::TraceEventKind::kMatchReported);
+    }
     Dispatch(query, report.match);
   }
 
   if (timed) {
+    const int64_t elapsed = util::Stopwatch::NowNanos() - start_nanos;
     // One sample for the whole run; per-value latency is not observable on
     // the batched path.
-    push_latency_nanos_.Add(
-        static_cast<double>(util::Stopwatch::NowNanos() - start_nanos));
+    if (track_latency_) push_latency_nanos_.Add(static_cast<double>(elapsed));
+    if (obs_ != nullptr) {
+      obs_push_latency_->Observe(static_cast<double>(elapsed));
+    }
+    if (cost_sampled) {
+      AccumulateCost(stream, elapsed, options_.cost_sample_every);
+    }
   }
   if (missing_error) {
     return util::InvalidArgumentError(
@@ -662,6 +704,7 @@ void MonitorEngine::AttachObservability(obs::Observability* obs) {
     obs_queries_ = nullptr;
     obs_checkpoint_saves_ = nullptr;
     obs_checkpoint_restores_ = nullptr;
+    obs_trace_dropped_ = nullptr;
     for (StreamEntry& stream : streams_) stream.obs_pushes = nullptr;
     for (VectorStreamEntry& stream : vector_streams_) {
       stream.obs_pushes = nullptr;
@@ -707,6 +750,9 @@ void MonitorEngine::ResolveEngineObs() {
       kMetricCheckpointSaves, "Engine checkpoints serialized.");
   obs_checkpoint_restores_ = registry.GetCounter(
       kMetricCheckpointRestores, "Engine checkpoints restored.");
+  obs_trace_dropped_ = registry.GetCounter(
+      kMetricTraceDropped,
+      "Trace-ring events overwritten before an export could read them.");
 }
 
 obs::Counter* MonitorEngine::ResolvePushCounter(
@@ -830,6 +876,11 @@ void MonitorEngine::RefreshObservabilityGauges() {
   obs_memory_bytes_->Set(static_cast<double>(Footprint().TotalBytes()));
   obs_streams_->Set(static_cast<double>(num_streams() + num_vector_streams()));
   obs_queries_->Set(static_cast<double>(num_active_queries() + num_vector_queries()));
+  if (obs_->trace().enabled()) {
+    const int64_t dropped = obs_->trace().dropped();
+    obs_trace_dropped_->Increment(dropped - trace_dropped_exported_);
+    trace_dropped_exported_ = dropped;
+  }
   const auto refresh = [](auto& query, const auto& matcher) {
     query.obs.candidate_pending->Set(
         matcher.has_pending_candidate() ? 1.0 : 0.0);
@@ -877,6 +928,47 @@ int64_t MonitorEngine::PendingCandidateCount() const {
 const QueryStats& MonitorEngine::stats(int64_t query_id) const {
   SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
   return queries_[static_cast<size_t>(query_id)].stats;
+}
+
+void MonitorEngine::AccumulateCost(StreamEntry& stream, int64_t elapsed_nanos,
+                                   int64_t multiplier) {
+  if (elapsed_nanos <= 0 || stream.query_ids.empty()) return;
+  // Attribute by query length: one tick costs O(m) STWM cells per query,
+  // so a stream-level measurement splits across its queries as m_i / sum_m.
+  const auto length_of = [&](const QueryEntry& query) {
+    return options_.batch_queries
+               ? stream.pool.query_length(query.pool_index)
+               : query.matcher->query_length();
+  };
+  int64_t total_m = 0;
+  for (const int64_t id : stream.query_ids) {
+    total_m += length_of(queries_[static_cast<size_t>(id)]);
+  }
+  if (total_m <= 0) return;
+  const double scaled = static_cast<double>(elapsed_nanos) *
+                        static_cast<double>(multiplier);
+  for (const int64_t id : stream.query_ids) {
+    QueryEntry& query = queries_[static_cast<size_t>(id)];
+    query.est_cpu_nanos += static_cast<int64_t>(
+        scaled * static_cast<double>(length_of(query)) /
+        static_cast<double>(total_m));
+  }
+}
+
+int64_t MonitorEngine::QueryCellsComputed(int64_t query_id) const {
+  SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
+  const QueryEntry& query = queries_[static_cast<size_t>(query_id)];
+  if (query.removed) return 0;
+  if (options_.batch_queries) {
+    return streams_[static_cast<size_t>(query.stream_id)]
+        .pool.cells_computed_total(query.pool_index);
+  }
+  return query.matcher->cells_computed_total();
+}
+
+int64_t MonitorEngine::QueryEstCpuNanos(int64_t query_id) const {
+  SPRINGDTW_CHECK(query_id >= 0 && query_id < num_queries());
+  return queries_[static_cast<size_t>(query_id)].est_cpu_nanos;
 }
 
 util::MemoryFootprint MonitorEngine::Footprint() const {

@@ -42,6 +42,30 @@ struct EngineOptions {
   /// changes the memory layout. Vector streams always use per-query
   /// matchers.
   bool batch_queries = false;
+
+  /// Keep PushBatch on the SoA pool path even with an observability bundle
+  /// attached. By default an attached bundle forces PushBatch through the
+  /// per-tick path so every per-tick signal (candidate/best counters, trace
+  /// events) stays exact; with this flag the batched run is preserved —
+  /// tick/push/match counters, report-delay histograms, and match trace
+  /// events stay exact (counted per run), cost accounting samples whole
+  /// runs on its usual cadence, and the per-tick candidate/best-improvement
+  /// signals are skipped for those runs. The
+  /// sharded monitor sets this for its shard engines: under ingest load the
+  /// per-tick fallback costs ~2x throughput, which no diagnostic counter is
+  /// worth.
+  bool batch_with_obs = false;
+
+  /// CPU cost sampling for per-query cost accounting (/queryz): when > 0,
+  /// every Nth Push to a stream times the full query pass and attributes
+  /// the elapsed nanoseconds (scaled by N) across the stream's queries in
+  /// proportion to query length — the O(m)-per-tick SPRING cost model — so
+  /// QueryEstCpuNanos() converges on each query's true CPU share without
+  /// per-tick clock reads. The batched PushBatch path samples whole runs on
+  /// the same cadence (scaled by N). 0 (the default) disables sampling: no
+  /// clock reads, no accounting. Estimates are diagnostic and are not
+  /// serialized into checkpoints.
+  int64_t cost_sample_every = 0;
 };
 
 /// Multi-stream, multi-query monitoring engine: the operational shell around
@@ -157,6 +181,16 @@ class MonitorEngine {
   /// Per-query counters. Requires a valid query id.
   const QueryStats& stats(int64_t query_id) const;
 
+  /// STWM cells this scalar query has computed since registration (ticks x
+  /// query length, minus constraint-pruned work). Exact count maintained by
+  /// the matcher; 0 after RemoveQuery. Requires a valid query id.
+  int64_t QueryCellsComputed(int64_t query_id) const;
+
+  /// Estimated CPU nanoseconds attributed to this scalar query by cost
+  /// sampling (EngineOptions::cost_sample_every); 0 when sampling is off.
+  /// Requires a valid query id.
+  int64_t QueryEstCpuNanos(int64_t query_id) const;
+
   /// Running per-Push latency distribution, in nanoseconds. Latency
   /// tracking is off by default (it adds two clock reads per Push).
   void EnableLatencyTracking(bool enabled) { track_latency_ = enabled; }
@@ -249,6 +283,8 @@ class MonitorEngine {
     /// Pool slot k corresponds to query_ids[k]. Empty in per-matcher mode.
     core::SpringBatchPool pool;
     obs::Counter* obs_pushes = nullptr;
+    /// Push calls seen, for cost-sampling cadence (not serialized).
+    uint64_t cost_push_calls = 0;
   };
 
   struct QueryEntry {
@@ -263,6 +299,9 @@ class MonitorEngine {
     bool removed = false;
     QueryStats stats;
     QueryObs obs;
+    /// Sampled CPU attribution (see EngineOptions::cost_sample_every);
+    /// diagnostic only, not serialized.
+    int64_t est_cpu_nanos = 0;
   };
 
   struct VectorStreamEntry {
@@ -311,6 +350,11 @@ class MonitorEngine {
   /// Runs the periodic reporter if one is attached and due.
   void MaybeReport();
 
+  /// Distributes `elapsed_nanos * multiplier` of measured CPU across the
+  /// stream's queries in proportion to query length (the O(m)/tick model).
+  void AccumulateCost(StreamEntry& stream, int64_t elapsed_nanos,
+                      int64_t multiplier);
+
   EngineOptions options_;
   std::vector<StreamEntry> streams_;
   std::vector<QueryEntry> queries_;
@@ -340,6 +384,10 @@ class MonitorEngine {
   obs::Gauge* obs_queries_ = nullptr;
   obs::Counter* obs_checkpoint_saves_ = nullptr;
   obs::Counter* obs_checkpoint_restores_ = nullptr;
+  obs::Counter* obs_trace_dropped_ = nullptr;
+  /// Trace-ring dropped() value already exported (delta pattern, like
+  /// QueryObs::cells_pruned_exported).
+  int64_t trace_dropped_exported_ = 0;
 };
 
 }  // namespace monitor

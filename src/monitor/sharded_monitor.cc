@@ -44,6 +44,17 @@ constexpr char kStageLatencyHelp[] =
     "worker_pass (engine batch ingest), delivery_delay (match buffered to "
     "barrier delivery).";
 
+// End-to-end span stage histograms: one family, `stage`-labelled, fed by
+// sampled tick spans (docs/OBSERVABILITY.md).
+constexpr char kMetricE2eLatency[] = "spring_e2e_latency_nanos";
+constexpr char kE2eLatencyHelp[] =
+    "End-to-end latency of span-sampled ticks in nanoseconds, by stage: "
+    "client_to_server (wire send stamp to router accept), ingest_to_enqueue "
+    "(router accept to ring push), ring_residency (ring push to worker "
+    "pop), worker_pass (engine ingest), delivery_wait (worker done to "
+    "barrier delivery), subscriber_write (delivery to fan-out frames "
+    "written), total (first to last observed stage).";
+
 uint64_t NowNanos() {
   return static_cast<uint64_t>(util::Stopwatch::NowNanos());
 }
@@ -77,6 +88,13 @@ ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
     auto shard = std::make_unique<Shard>();
     EngineOptions engine_options;
     engine_options.batch_queries = options_.batch_queries;
+    // Shard engines must not drop to the per-tick path when profiling is
+    // on: the batched pool run stays, per-tick candidate signals are
+    // sampled out (EngineOptions::batch_with_obs).
+    engine_options.batch_with_obs = options_.batch_queries;
+    if (options_.collect_metrics && options_.cost_sample_every > 0) {
+      engine_options.cost_sample_every = options_.cost_sample_every;
+    }
     shard->engine = std::make_unique<MonitorEngine>(engine_options);
     shard->queue =
         std::make_unique<SpscQueue<TickMessage>>(options_.queue_capacity);
@@ -114,6 +132,11 @@ ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
     shard->engine->AddSink(shard->sink.get());
     shards_.push_back(std::move(shard));
   }
+  if (introspect_ && options_.span_sample_every > 0 &&
+      options_.span_ring_capacity > 0) {
+    span_every_ = options_.span_sample_every;
+    span_ring_ = obs::SpanRing(options_.span_ring_capacity);
+  }
   if (profile_) {
     router_obs_ = std::make_unique<obs::Observability>();
     obs::MetricsRegistry& registry = router_obs_->registry();
@@ -121,6 +144,20 @@ ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
         kMetricStageLatency, kStageLatencyHelp, {{"stage", "router_enqueue"}});
     stage_delivery_delay_ = registry.GetHistogram(
         kMetricStageLatency, kStageLatencyHelp, {{"stage", "delivery_delay"}});
+    e2e_client_to_server_ = registry.GetHistogram(
+        kMetricE2eLatency, kE2eLatencyHelp, {{"stage", "client_to_server"}});
+    e2e_ingest_to_enqueue_ = registry.GetHistogram(
+        kMetricE2eLatency, kE2eLatencyHelp, {{"stage", "ingest_to_enqueue"}});
+    e2e_ring_residency_ = registry.GetHistogram(
+        kMetricE2eLatency, kE2eLatencyHelp, {{"stage", "ring_residency"}});
+    e2e_worker_pass_ = registry.GetHistogram(
+        kMetricE2eLatency, kE2eLatencyHelp, {{"stage", "worker_pass"}});
+    e2e_delivery_wait_ = registry.GetHistogram(
+        kMetricE2eLatency, kE2eLatencyHelp, {{"stage", "delivery_wait"}});
+    e2e_subscriber_write_ = registry.GetHistogram(
+        kMetricE2eLatency, kE2eLatencyHelp, {{"stage", "subscriber_write"}});
+    e2e_total_ = registry.GetHistogram(kMetricE2eLatency, kE2eLatencyHelp,
+                                       {{"stage", "total"}});
     ring_obs_.resize(shards_.size());
     for (size_t w = 0; w < shards_.size(); ++w) {
       const obs::Labels labels = {
@@ -158,6 +195,9 @@ ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
     handlers.health = [this] { return HealthSnapshot(); };
     handlers.status = [this] { return StatusSnapshot(); };
     handlers.traces = [this] { return PublishedTraces(); };
+    handlers.spans = [this] { return PublishedSpans(); };
+    handlers.queryz_json = [this] { return QueryzJson(); };
+    handlers.streamz_json = [this] { return StreamzJson(); };
     server_ = std::make_unique<obs::IntrospectionServer>(server_options,
                                                          std::move(handlers));
     const util::Status started = server_->Start();
@@ -249,6 +289,7 @@ util::StatusOr<int64_t> ShardedMonitor::RemoveQuery(int64_t query_id) {
   query.removed = true;
   shard.query_count.fetch_add(-1, std::memory_order_relaxed);
   DeliverPending();
+  RefreshCostAccounting();
   if (introspect_) {
     // Same reasoning as FlushAll: the mutation ran on the caller thread
     // post-barrier, so republish or scrapes would keep seeing the removed
@@ -274,6 +315,9 @@ std::vector<ShardedMonitor::QueryListEntry> ShardedMonitor::ListQueries()
     entry.stream_name = streams_[static_cast<size_t>(query.stream_id)].name;
     entry.ticks = query.stats.ticks;
     entry.matches = query.stats.matches;
+    entry.cells = query.cells;
+    entry.last_match_seq = query.last_match_seq;
+    entry.est_cpu_nanos = query.est_cpu_nanos;
     entries.push_back(std::move(entry));
   }
   return entries;
@@ -308,8 +352,15 @@ void ShardedMonitor::WorkerLoop(Shard* shard) {
       shard->consumed.fetch_add(1, std::memory_order_release);
       return;
     }
+    // Stage profiling is sampled alongside spans: when span sampling is
+    // active only the message carrying the sampled tick pays for clock
+    // reads and histogram observes (1 in ~4 messages at the 1-in-64
+    // default); with spans off (metrics-only embedders) every message is
+    // profiled so the stage histograms stay exact.
+    const bool profile_msg =
+        profile_ && (span_every_ == 0 || msg.span_index >= 0);
     uint64_t t_pop = 0;
-    if (profile_) {
+    if (profile_msg) {
       t_pop = NowNanos();
       if (msg.enqueue_nanos != 0) {
         shard->stage_ring_residency->Observe(
@@ -319,6 +370,7 @@ void ShardedMonitor::WorkerLoop(Shard* shard) {
     shard->msg_seq0 = msg.seq0;
     shard->msg_base_tick =
         shard->stream_ticks[static_cast<size_t>(msg.local_stream)];
+    const size_t matches_before = shard->matches.size();
     const auto pushed = shard->engine->PushBatch(
         msg.local_stream,
         std::span<const double>(msg.values,
@@ -327,20 +379,49 @@ void ShardedMonitor::WorkerLoop(Shard* shard) {
         << "shard ingest failed: " << pushed.status().ToString();
     shard->stream_ticks[static_cast<size_t>(msg.local_stream)] += msg.count;
     if (profile_) {
-      const uint64_t t_done = NowNanos();
-      shard->stage_worker_pass->Observe(static_cast<double>(t_done - t_pop));
+      uint64_t t_done = 0;
+      if (profile_msg) {
+        t_done = NowNanos();
+        shard->stage_worker_pass->Observe(
+            static_cast<double>(t_done - t_pop));
+      }
+      if (msg.span_index >= 0) {
+        // Assemble the sampled tick's span: router stamps ride in the
+        // message, worker stamps are local, delivery stamps come at the
+        // barrier. Visible to the router via the `consumed` release.
+        obs::TickSpan span;
+        span.seq = msg.seq0 + static_cast<uint64_t>(msg.span_index);
+        span.stream_id = shard->global_stream_ids[static_cast<size_t>(
+            msg.local_stream)];
+        span.client_send_nanos = msg.span_client_send_nanos;
+        span.server_recv_nanos = msg.span_recv_nanos;
+        span.router_enqueue_nanos = msg.enqueue_nanos;
+        span.worker_pop_nanos = t_pop;
+        span.worker_done_nanos = t_done;
+        for (size_t i = matches_before; i < shard->matches.size(); ++i) {
+          if (shard->matches[i].seq == span.seq) ++span.matches;
+        }
+        shard->pending_spans.push_back(span);
+      }
       if (introspect_) {
+        if (t_done == 0) t_done = NowNanos();
         shard->last_progress_nanos.store(t_done, std::memory_order_relaxed);
         shard->ticks_ingested.fetch_add(msg.count,
                                         std::memory_order_relaxed);
         // Republish on the throttle interval, and opportunistically
         // whenever the ring runs dry (a scrape then sees fully current
-        // state at no steady-state cost). Must happen before the
-        // `consumed` release below: after a drain barrier the worker is
-        // provably not inside PublishShard, so the router may mutate the
-        // shard registry (AddQuery) safely.
+        // state). The dry-ring publish keeps half the throttle as a floor:
+        // on a saturated machine the ring drains between bursts constantly,
+        // and snapshotting the full registry each time would dominate the
+        // worker — drain barriers already republish unconditionally, so
+        // post-drain scrapes never depend on this path. Must happen before
+        // the `consumed` release below: after a drain barrier the worker
+        // is provably not inside PublishShard, so the router may mutate
+        // the shard registry (AddQuery) safely.
         if (t_done - shard->last_publish_nanos >= publish_interval_nanos_ ||
-            shard->queue->ApproxSize() == 0) {
+            (shard->queue->ApproxSize() == 0 &&
+             t_done - shard->last_publish_nanos >=
+                 publish_interval_nanos_ / 2)) {
           PublishShard(shard, t_done);
         }
       }
@@ -371,7 +452,8 @@ void ShardedMonitor::PublishShard(Shard* shard, uint64_t now_nanos) {
   shard->last_publish_nanos = now_nanos;
 }
 
-util::Status ShardedMonitor::Push(int64_t stream_id, double value) {
+util::Status ShardedMonitor::Push(int64_t stream_id, double value,
+                                  uint64_t client_send_nanos) {
   if (stream_id < 0 || stream_id >= num_streams()) {
     return util::NotFoundError(
         util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
@@ -385,12 +467,13 @@ util::Status ShardedMonitor::Push(int64_t stream_id, double value) {
     return util::InvalidArgumentError(
         "missing value pushed to a stream with repair disabled");
   }
-  RouteValue(stream, value);
+  RouteValue(stream, value, client_send_nanos);
   return util::Status::Ok();
 }
 
 util::Status ShardedMonitor::PushBatch(int64_t stream_id,
-                                       std::span<const double> values) {
+                                       std::span<const double> values,
+                                       uint64_t client_send_nanos) {
   if (stream_id < 0 || stream_id >= num_streams()) {
     return util::NotFoundError(
         util::StrFormat("no stream %lld", static_cast<long long>(stream_id)));
@@ -407,12 +490,13 @@ util::Status ShardedMonitor::PushBatch(int64_t stream_id,
       return util::InvalidArgumentError(
           "missing value pushed to a stream with repair disabled");
     }
-    RouteValue(stream, value);
+    RouteValue(stream, value, client_send_nanos);
   }
   return util::Status::Ok();
 }
 
-void ShardedMonitor::RouteValue(StreamInfo& stream, double value) {
+void ShardedMonitor::RouteValue(StreamInfo& stream, double value,
+                                uint64_t client_send_nanos) {
   if (stream.repair_missing) {
     if (!stream.repairer_seeded && !ts::IsMissing(value)) {
       stream.repairer = ts::StreamingRepairer(value);
@@ -436,6 +520,18 @@ void ShardedMonitor::RouteValue(StreamInfo& stream, double value) {
     staged_worker_ = stream.worker;
     has_staged_ = true;
   }
+  // Span sampling: claim this value (one per message at most) when the
+  // cadence countdown expires. The countdown is equivalent to
+  // `next_seq_ % span_every_ == 0` (the router thread is the only writer)
+  // but avoids a 64-bit modulo on every ingested tick.
+  if (span_every_ != 0 && --span_countdown_ <= 0) {
+    span_countdown_ = span_every_;
+    if (staged_.span_index < 0) {
+      staged_.span_index = staged_.count;
+      staged_.span_client_send_nanos = client_send_nanos;
+      staged_.span_recv_nanos = NowNanos();
+    }
+  }
   staged_.values[staged_.count++] = value;
   ++next_seq_;
   ++stream.pushes;
@@ -446,7 +542,11 @@ void ShardedMonitor::FlushStaged() {
   if (!has_staged_) return;
   Shard& shard = *shards_[static_cast<size_t>(staged_worker_)];
   shard.produced.fetch_add(1, std::memory_order_relaxed);
-  if (profile_) {
+  // Same sampling policy as the worker: with span sampling active only the
+  // span-carrying message is stamped (unsampled messages keep
+  // enqueue_nanos == 0, which the worker reads as "no residency sample");
+  // with spans off every message is profiled.
+  if (profile_ && (span_every_ == 0 || staged_.span_index >= 0)) {
     const uint64_t t_push = NowNanos();
     staged_.enqueue_nanos = t_push;
     shard.queue->Push(staged_);
@@ -490,6 +590,10 @@ void ShardedMonitor::PublishRouter(uint64_t now_nanos) {
   {
     std::lock_guard<std::mutex> lock(router_publish_mutex_);
     router_published_metrics_ = std::move(snapshot);
+    if (span_ring_.enabled()) {
+      published_spans_.spans = span_ring_.Spans();
+      published_spans_.dropped = span_ring_.dropped();
+    }
   }
   router_last_publish_nanos_ = now_nanos;
 }
@@ -508,6 +612,10 @@ void ShardedMonitor::AwaitQuiescent() {
 int64_t ShardedMonitor::Drain() {
   if (started()) AwaitQuiescent();
   const int64_t delivered = DeliverPending();
+  // Post-barrier the engines are caller-visible: refresh the per-query
+  // cost cache so ListQueries / the published /queryz snapshot are exact
+  // as of this barrier.
+  RefreshCostAccounting();
   // Barriers republish the router snapshot unconditionally so a scrape
   // right after a drain sees current stage/ring metrics even on a
   // low-traffic pipeline that never hits the throttle interval.
@@ -537,6 +645,9 @@ int64_t ShardedMonitor::DeliverPending() {
     QueryInfo& query =
         queries_[static_cast<size_t>(pending.global_query_id)];
     ++query.stats.matches;
+    if (pending.seq != kFlushSeq) {
+      query.last_match_seq = static_cast<int64_t>(pending.seq);
+    }
     query.stats.output_delay.Add(static_cast<double>(
         pending.match.report_time - pending.match.end));
     MatchOrigin origin;
@@ -550,6 +661,28 @@ int64_t ShardedMonitor::DeliverPending() {
     if (query.removed) continue;
     query.stats.ticks =
         streams_[static_cast<size_t>(query.stream_id)].pushes;
+  }
+  // Completed spans: every worker stage is done (the barrier made
+  // pending_spans visible), so stamp delivery, give the embedder its
+  // subscriber_write stamp, then observe + record.
+  span_scratch_.clear();
+  for (auto& shard : shards_) {
+    span_scratch_.insert(span_scratch_.end(), shard->pending_spans.begin(),
+                         shard->pending_spans.end());
+    shard->pending_spans.clear();
+  }
+  if (!span_scratch_.empty()) {
+    std::sort(span_scratch_.begin(), span_scratch_.end(),
+              [](const obs::TickSpan& a, const obs::TickSpan& b) {
+                return a.seq < b.seq;
+              });
+    const uint64_t span_now = NowNanos();
+    for (obs::TickSpan& span : span_scratch_) {
+      span.delivered_nanos = span_now;
+      if (span_finalizer_ != nullptr) span_finalizer_(&span);
+      ObserveSpan(span);
+      span_ring_.Record(span);
+    }
   }
   matches_delivered_.fetch_add(
       static_cast<int64_t>(delivery_scratch_.size()),
@@ -567,6 +700,7 @@ int64_t ShardedMonitor::FlushAll() {
     shard->flushing = false;
   }
   delivered += DeliverPending();
+  RefreshCostAccounting();
   if (introspect_) {
     // Republish everything: the flush mutated engine state on the caller
     // thread, which the workers (parked until the router sends more work)
@@ -891,6 +1025,100 @@ obs::TracezReport ShardedMonitor::PublishedTraces() const {
     report.dropped += shard->published_trace_dropped;
   }
   return report;
+}
+
+obs::SpanzReport ShardedMonitor::PublishedSpans() const {
+  if (!introspect_) return obs::SpanzReport{};
+  std::lock_guard<std::mutex> lock(router_publish_mutex_);
+  return published_spans_;
+}
+
+std::string ShardedMonitor::QueryzJson() const {
+  std::lock_guard<std::mutex> lock(router_publish_mutex_);
+  return RenderQueryzJson(published_costs_, kCostTopK);
+}
+
+std::string ShardedMonitor::StreamzJson() const {
+  std::lock_guard<std::mutex> lock(router_publish_mutex_);
+  return RenderStreamzJson(published_costs_, kCostTopK);
+}
+
+void ShardedMonitor::SetSpanFinalizer(SpanFinalizer finalizer) {
+  span_finalizer_ = std::move(finalizer);
+}
+
+void ShardedMonitor::ObserveSpan(const obs::TickSpan& span) {
+  if (!profile_) return;
+  // Stamps come from one monotonic clock with happens-before edges between
+  // every consecutive pair, so each stage is non-negative by construction;
+  // the clamp only guards a remote client's foreign clock.
+  const auto observe = [](obs::Histogram* histogram, uint64_t from,
+                          uint64_t to) {
+    if (histogram == nullptr || from == 0 || to == 0) return;
+    histogram->Observe(to >= from ? static_cast<double>(to - from) : 0.0);
+  };
+  observe(e2e_client_to_server_, span.client_send_nanos,
+          span.server_recv_nanos);
+  observe(e2e_ingest_to_enqueue_, span.server_recv_nanos,
+          span.router_enqueue_nanos);
+  observe(e2e_ring_residency_, span.router_enqueue_nanos,
+          span.worker_pop_nanos);
+  observe(e2e_worker_pass_, span.worker_pop_nanos, span.worker_done_nanos);
+  observe(e2e_delivery_wait_, span.worker_done_nanos, span.delivered_nanos);
+  observe(e2e_subscriber_write_, span.delivered_nanos,
+          span.subscriber_write_nanos);
+  const uint64_t origin = span.client_send_nanos != 0
+                              ? span.client_send_nanos
+                              : span.server_recv_nanos;
+  const uint64_t finish = span.subscriber_write_nanos != 0
+                              ? span.subscriber_write_nanos
+                              : span.delivered_nanos;
+  observe(e2e_total_, origin, finish);
+}
+
+void ShardedMonitor::RefreshCostAccounting() {
+  if (!profile_) return;
+  CostSnapshot snapshot;
+  snapshot.streams.resize(streams_.size());
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    const StreamInfo& stream = streams_[s];
+    StreamCost& row = snapshot.streams[s];
+    row.stream_id = static_cast<int64_t>(s);
+    row.name = stream.name;
+    row.worker = stream.worker;
+    row.ticks = stream.pushes;
+  }
+  snapshot.queries.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    QueryInfo& query = queries_[i];
+    if (query.removed) continue;
+    const StreamInfo& stream =
+        streams_[static_cast<size_t>(query.stream_id)];
+    const MonitorEngine& engine =
+        *shards_[static_cast<size_t>(stream.worker)]->engine;
+    query.cells = engine.QueryCellsComputed(query.local_id);
+    query.est_cpu_nanos = engine.QueryEstCpuNanos(query.local_id);
+    QueryCost cost;
+    cost.query_id = static_cast<int64_t>(i);
+    cost.stream_id = query.stream_id;
+    cost.query_name = query.name;
+    cost.stream_name = stream.name;
+    cost.ticks = query.stats.ticks;
+    cost.cells = query.cells;
+    cost.matches = query.stats.matches;
+    cost.last_match_seq = query.last_match_seq;
+    cost.est_cpu_nanos = query.est_cpu_nanos;
+    StreamCost& srow =
+        snapshot.streams[static_cast<size_t>(query.stream_id)];
+    ++srow.queries;
+    srow.cells += cost.cells;
+    srow.matches += cost.matches;
+    srow.est_cpu_nanos += cost.est_cpu_nanos;
+    snapshot.queries.push_back(std::move(cost));
+  }
+  RankByCost(&snapshot);
+  std::lock_guard<std::mutex> lock(router_publish_mutex_);
+  published_costs_ = std::move(snapshot);
 }
 
 }  // namespace monitor

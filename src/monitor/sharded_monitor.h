@@ -13,10 +13,12 @@
 #include <vector>
 
 #include "core/spring.h"
+#include "monitor/cost_accounting.h"
 #include "monitor/engine.h"
 #include "monitor/sink.h"
 #include "monitor/spsc_queue.h"
 #include "obs/introspection_server.h"
+#include "obs/span.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "ts/repair.h"
@@ -67,6 +69,22 @@ struct ShardedMonitorOptions {
   /// Per-shard match-lifecycle trace ring capacity feeding /tracez, used
   /// only when introspection is enabled (0 disables tracing).
   int64_t introspect_trace_capacity = 1024;
+
+  /// End-to-end tick span sampling (used only when introspection is
+  /// enabled): every Nth routed value — globally, across streams — is
+  /// traced from the ingest edge through enqueue, ring residency, the
+  /// worker pass, and barrier delivery, feeding /spanz and the
+  /// spring_e2e_latency_nanos stage histograms. 0 disables span sampling
+  /// even with introspection on.
+  int64_t span_sample_every = 64;
+  /// Completed-span ring capacity behind /spanz (oldest overwritten;
+  /// drops are counted). Used only when introspection is enabled.
+  int64_t span_ring_capacity = 256;
+  /// Per-query CPU cost sampling cadence forwarded to each shard engine
+  /// (EngineOptions::cost_sample_every), feeding the est_cpu_nanos column
+  /// of /queryz and LIST_QUERIES stats. Used only when collect_metrics is
+  /// on; 0 disables CPU sampling (cells/ticks/matches accounting stays).
+  int64_t cost_sample_every = 64;
 };
 
 /// Scale-out shell around MonitorEngine: hash-partitions scalar streams
@@ -148,6 +166,8 @@ class ShardedMonitor {
   util::StatusOr<int64_t> RemoveQuery(int64_t query_id);
 
   /// One row per live (non-removed) query, for LIST_QUERIES-style admin.
+  /// The cost columns (cells, last_match_seq, est_cpu_nanos) are fresh as
+  /// of the last barrier and stay 0/-1 unless collect_metrics is on.
   struct QueryListEntry {
     int64_t query_id = 0;
     int64_t stream_id = 0;
@@ -155,6 +175,9 @@ class ShardedMonitor {
     std::string stream_name;
     int64_t ticks = 0;
     int64_t matches = 0;
+    int64_t cells = 0;
+    int64_t last_match_seq = -1;
+    int64_t est_cpu_nanos = 0;
   };
 
   /// Snapshot of the live query set, stats fresh as of the last barrier
@@ -172,12 +195,16 @@ class ShardedMonitor {
 
   /// Routes one value to `stream_id`'s shard. Fails (kFailedPrecondition)
   /// unless started. Matches produced by this value are buffered until the
-  /// next barrier.
-  util::Status Push(int64_t stream_id, double value);
+  /// next barrier. `client_send_nanos`, when nonzero, is the producer's
+  /// monotonic send stamp (the wire protocol's v2 TICK trailer); if this
+  /// value is span-sampled it becomes the span's client_send stage.
+  util::Status Push(int64_t stream_id, double value,
+                    uint64_t client_send_nanos = 0);
 
   /// Routes a run of values (chunked into tick messages). Same contract
-  /// as Push per value.
-  util::Status PushBatch(int64_t stream_id, std::span<const double> values);
+  /// as Push per value; `client_send_nanos` applies to the whole run.
+  util::Status PushBatch(int64_t stream_id, std::span<const double> values,
+                         uint64_t client_send_nanos = 0);
 
   /// Barrier: blocks until every routed value is fully processed, then
   /// delivers all buffered matches to the sinks in deterministic order.
@@ -243,6 +270,26 @@ class ShardedMonitor {
   /// publish.
   obs::TracezReport PublishedTraces() const;
 
+  /// Recent completed end-to-end tick spans (/spanz), as of the router's
+  /// last publish. Empty unless introspection + span sampling are on.
+  obs::SpanzReport PublishedSpans() const;
+
+  /// /queryz document: live queries ranked by cost (cells desc), top-K, as
+  /// of the last published cost snapshot. "{}" shape with empty list
+  /// unless collect_metrics is on and a barrier has run.
+  std::string QueryzJson() const;
+
+  /// /streamz document: per-stream cost aggregation, same snapshot
+  /// discipline as QueryzJson.
+  std::string StreamzJson() const;
+
+  /// Installs a hook invoked on the router thread for every completed span
+  /// just before it is recorded, so an embedding layer (the net server)
+  /// can stamp its own final stage (subscriber_write_nanos). Set before
+  /// Start(); pass nullptr to detach.
+  using SpanFinalizer = std::function<void(obs::TickSpan*)>;
+  void SetSpanFinalizer(SpanFinalizer finalizer);
+
   /// Registers a callback whose snapshot is appended to
   /// PublishedMetricsSnapshot() merges — how an embedding layer (e.g. the
   /// net serving layer) splices its own metric families into the monitor's
@@ -282,6 +329,13 @@ class ShardedMonitor {
     /// profiling is off); the worker's pop time minus this is the
     /// ring_residency stage latency.
     uint64_t enqueue_nanos = 0;
+    /// Span sampling: index into values[] of the sampled tick, or -1 when
+    /// no tick in this message is sampled. The recv stamp was taken when
+    /// the router accepted the value; client_send comes from the wire
+    /// trailer (0 for in-process pushes).
+    int32_t span_index = -1;
+    uint64_t span_client_send_nanos = 0;
+    uint64_t span_recv_nanos = 0;
     double values[kTickBatch] = {};
   };
 
@@ -321,6 +375,9 @@ class ShardedMonitor {
     std::vector<int64_t> global_query_ids;
     /// Matches buffered since the last barrier.
     std::vector<PendingMatch> matches;
+    /// Sampled spans whose worker stages are complete, awaiting barrier
+    /// delivery stamps. Same visibility rule as `matches`.
+    std::vector<obs::TickSpan> pending_spans;
 
     /// Stage-latency handles in this shard's registry, resolved once at
     /// construction; null unless collect_metrics.
@@ -368,6 +425,13 @@ class ShardedMonitor {
     /// stay stable while checkpoints and listings skip the entry.
     bool removed = false;
     QueryStats stats;
+    /// Cost columns cached from the owning engine at the last barrier
+    /// (RefreshCostAccounting) so ListQueries never touches live engines.
+    int64_t cells = 0;
+    int64_t est_cpu_nanos = 0;
+    /// Global seq of the last delivered match (DeliverPending); -1 before
+    /// any match. Flush matches (kFlushSeq) do not update it.
+    int64_t last_match_seq = -1;
   };
 
   /// Per-ring instrument handles in the router registry, plus the counter
@@ -386,7 +450,8 @@ class ShardedMonitor {
 
   void WorkerLoop(Shard* shard);
   /// Repairs + stages one value (stream already validated).
-  void RouteValue(StreamInfo& stream, double value);
+  void RouteValue(StreamInfo& stream, double value,
+                  uint64_t client_send_nanos);
   /// Ships the staged message, if any, to its worker queue.
   void FlushStaged();
   /// Waits until every shard's consumed count matches produced.
@@ -406,6 +471,13 @@ class ShardedMonitor {
   void RefreshRingMetrics();
   /// Shared staleness verdict for HealthSnapshot/StatusSnapshot.
   obs::WorkerHealth WorkerHealthFor(int64_t worker, uint64_t now_nanos) const;
+  /// Observes one completed span into the spring_e2e_latency_nanos stage
+  /// histograms (router registry). Absent stages (0 stamps) are skipped.
+  void ObserveSpan(const obs::TickSpan& span);
+  /// Router thread, post-barrier only (reads shard engines): refreshes the
+  /// per-query cost cache (QueryInfo::cells/est_cpu_nanos) and publishes a
+  /// ranked CostSnapshot for /queryz and /streamz.
+  void RefreshCostAccounting();
 
   ShardedMonitorOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -435,6 +507,26 @@ class ShardedMonitor {
   obs::Histogram* stage_delivery_delay_ = nullptr;
   std::vector<RingObs> ring_obs_;
 
+  /// End-to-end span sampling (iff introspection + span_sample_every > 0).
+  /// The ring and scratch are router-thread-only; readers get the
+  /// published copy.
+  int64_t span_every_ = 0;
+  /// Ticks until the next span claim; starts at 1 so the first tick is
+  /// sampled, then resets to span_every_ on each cadence point.
+  int64_t span_countdown_ = 1;
+  obs::SpanRing span_ring_;
+  std::vector<obs::TickSpan> span_scratch_;
+  SpanFinalizer span_finalizer_;
+  /// spring_e2e_latency_nanos stage handles (router registry); null unless
+  /// profiling.
+  obs::Histogram* e2e_client_to_server_ = nullptr;
+  obs::Histogram* e2e_ingest_to_enqueue_ = nullptr;
+  obs::Histogram* e2e_ring_residency_ = nullptr;
+  obs::Histogram* e2e_worker_pass_ = nullptr;
+  obs::Histogram* e2e_delivery_wait_ = nullptr;
+  obs::Histogram* e2e_subscriber_write_ = nullptr;
+  obs::Histogram* e2e_total_ = nullptr;
+
   /// Introspection state (used iff enable_introspection).
   bool introspect_ = false;
   uint64_t publish_interval_nanos_ = 0;
@@ -444,6 +536,8 @@ class ShardedMonitor {
   std::atomic<uint64_t> last_checkpoint_nanos_{0};
   mutable std::mutex router_publish_mutex_;
   obs::MetricsSnapshot router_published_metrics_;
+  obs::SpanzReport published_spans_;
+  CostSnapshot published_costs_;
   std::function<obs::MetricsSnapshot()> aux_metrics_provider_;
   std::unique_ptr<obs::IntrospectionServer> server_;
 };

@@ -15,6 +15,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace springdtw {
@@ -34,8 +35,14 @@ void StreamClient::Close() {
     close(fd_);
     fd_ = -1;
   }
+  negotiated_version_ = 0;
   send_buffer_.clear();
   recv_buffer_.clear();
+}
+
+uint64_t StreamClient::TickSendStamp() const {
+  if (!options_.stamp_send_times || negotiated_version_ < 2) return 0;
+  return static_cast<uint64_t>(util::Stopwatch::NowNanos());
 }
 
 util::Status StreamClient::ConnectOnce() {
@@ -124,6 +131,14 @@ util::Status StreamClient::Connect() {
     Close();
     return status;
   }
+  // The server acks min(client, server); a server claiming more than we
+  // offered is broken (we would emit trailers it cannot have meant).
+  if (ack.version > kProtocolVersion || ack.version < kMinProtocolVersion) {
+    Close();
+    return util::InternalError(
+        util::StrFormat("server acked protocol version %u", ack.version));
+  }
+  negotiated_version_ = ack.version;
   return util::Status::Ok();
 }
 
@@ -247,9 +262,10 @@ util::StatusOr<int64_t> StreamClient::RemoveQuery(int64_t query_id) {
 }
 
 util::StatusOr<std::vector<QueryListPayload::Entry>>
-StreamClient::ListQueries() {
+StreamClient::ListQueries(bool with_stats) {
   ListQueriesPayload request;
   request.request_id = next_request_id_++;
+  request.want_stats = with_stats && negotiated_version_ >= 2;
   QueryListPayload response;
   SPRINGDTW_RETURN_IF_ERROR(Call(FrameType::kListQueries, request,
                                  request.request_id, FrameType::kQueryList,
@@ -270,6 +286,7 @@ util::Status StreamClient::Tick(int64_t stream_id, double value) {
   TickPayload tick;
   tick.stream_id = stream_id;
   tick.value = value;
+  tick.send_nanos = TickSendStamp();
   AppendPayloadFrame(FrameType::kTick, tick, &send_buffer_);
   if (send_buffer_.size() >= options_.tick_flush_bytes) return Flush();
   return util::Status::Ok();
@@ -287,6 +304,7 @@ util::Status StreamClient::TickBatch(int64_t stream_id,
     batch.stream_id = stream_id;
     batch.values.assign(values.begin() + static_cast<ptrdiff_t>(offset),
                         values.begin() + static_cast<ptrdiff_t>(offset + count));
+    batch.send_nanos = TickSendStamp();
     AppendPayloadFrame(FrameType::kTickBatch, batch, &send_buffer_);
     offset += count;
     if (send_buffer_.size() >= options_.tick_flush_bytes) {

@@ -30,6 +30,11 @@ struct StreamClientOptions {
   size_t tick_flush_bytes = size_t{64} << 10;
   /// Sent in HELLO, for server logs.
   std::string peer_name = "springdtw_client";
+  /// Stamp a monotonic send time into TICK/TICK_BATCH frames (v2 trailer)
+  /// so the server's span tracer can measure the client_to_server stage.
+  /// Only effective when the negotiated protocol version is >= 2; costs
+  /// one clock read and 8 wire bytes per frame.
+  bool stamp_send_times = true;
 };
 
 /// Synchronous, single-threaded client for the springdtw wire protocol.
@@ -58,6 +63,10 @@ class StreamClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Protocol version negotiated in the HELLO exchange (min of client and
+  /// server); 0 before Connect() succeeds.
+  uint32_t negotiated_version() const { return negotiated_version_; }
+
   /// Creates (or finds, by name — OPEN_STREAM is idempotent) a stream.
   util::StatusOr<int64_t> OpenStream(const std::string& name);
 
@@ -69,7 +78,10 @@ class StreamClient {
   /// Retires a query; returns the number of matches the removal flushed.
   util::StatusOr<int64_t> RemoveQuery(int64_t query_id);
 
-  util::StatusOr<std::vector<QueryListPayload::Entry>> ListQueries();
+  /// With `with_stats` (v2 servers only) each entry additionally carries
+  /// the per-query cost columns (cells, last_match_seq, est_cpu_nanos).
+  util::StatusOr<std::vector<QueryListPayload::Entry>> ListQueries(
+      bool with_stats = false);
 
   /// Starts MATCH_EVENT fan-out to this connection.
   util::Status SubscribeMatches();
@@ -104,9 +116,14 @@ class StreamClient {
   /// Blocking read of one frame (fills from the socket as needed).
   util::Status ReadFrame(Frame* frame);
 
+  /// Send stamp for the v2 tick trailer: now, or 0 when stamping is off or
+  /// the session negotiated v1 (the trailer must then stay off the wire).
+  uint64_t TickSendStamp() const;
+
   StreamClientOptions options_;
   MatchCallback match_callback_;
   int fd_ = -1;
+  uint32_t negotiated_version_ = 0;
   uint64_t next_request_id_ = 1;
   std::vector<uint8_t> send_buffer_;
   std::vector<uint8_t> recv_buffer_;

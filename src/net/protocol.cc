@@ -219,10 +219,14 @@ util::Status QueryRemovedPayload::DecodeFrom(util::ByteReader* reader) {
 
 void ListQueriesPayload::EncodeTo(util::ByteWriter* writer) const {
   writer->WriteU64(request_id);
+  // v2 trailer, omitted when false so the frame stays v1-identical.
+  if (want_stats) writer->WriteBool(want_stats);
 }
 
 util::Status ListQueriesPayload::DecodeFrom(util::ByteReader* reader) {
   reader->ReadU64(&request_id);
+  want_stats = false;
+  if (reader->ok() && !reader->AtEnd()) reader->ReadBool(&want_stats);
   return CheckDecode(*reader, "LIST_QUERIES");
 }
 
@@ -236,6 +240,15 @@ void QueryListPayload::EncodeTo(util::ByteWriter* writer) const {
     writer->WriteString(entry.stream_name);
     writer->WriteI64(entry.ticks);
     writer->WriteI64(entry.matches);
+  }
+  // v2 stats trailer: one row per entry, appended after all base rows so a
+  // stats-free reply remains byte-identical to v1.
+  if (has_stats) {
+    for (const Entry& entry : entries) {
+      writer->WriteI64(entry.cells);
+      writer->WriteI64(entry.last_match_seq);
+      writer->WriteI64(entry.est_cpu_nanos);
+    }
   }
 }
 
@@ -255,6 +268,16 @@ util::Status QueryListPayload::DecodeFrom(util::ByteReader* reader) {
     reader->ReadI64(&entry.ticks);
     reader->ReadI64(&entry.matches);
     if (reader->ok()) entries.push_back(std::move(entry));
+  }
+  has_stats = false;
+  if (reader->ok() && !reader->AtEnd()) {
+    has_stats = true;
+    for (Entry& entry : entries) {
+      reader->ReadI64(&entry.cells);
+      reader->ReadI64(&entry.last_match_seq);
+      reader->ReadI64(&entry.est_cpu_nanos);
+      if (!reader->ok()) break;
+    }
   }
   return CheckDecode(*reader, "QUERY_LIST");
 }
@@ -309,22 +332,29 @@ util::Status MatchEventPayload::DecodeFrom(util::ByteReader* reader) {
 void TickPayload::EncodeTo(util::ByteWriter* writer) const {
   writer->WriteI64(stream_id);
   writer->WriteDouble(value);
+  // v2 trailer, omitted when unstamped so the frame stays v1-identical.
+  if (send_nanos != 0) writer->WriteU64(send_nanos);
 }
 
 util::Status TickPayload::DecodeFrom(util::ByteReader* reader) {
   reader->ReadI64(&stream_id);
   reader->ReadDouble(&value);
+  send_nanos = 0;
+  if (reader->ok() && !reader->AtEnd()) reader->ReadU64(&send_nanos);
   return CheckDecode(*reader, "TICK");
 }
 
 void TickBatchPayload::EncodeTo(util::ByteWriter* writer) const {
   writer->WriteI64(stream_id);
   writer->WriteDoubleVector(values);
+  if (send_nanos != 0) writer->WriteU64(send_nanos);
 }
 
 util::Status TickBatchPayload::DecodeFrom(util::ByteReader* reader) {
   reader->ReadI64(&stream_id);
   reader->ReadDoubleVector(&values);
+  send_nanos = 0;
+  if (reader->ok() && !reader->AtEnd()) reader->ReadU64(&send_nanos);
   return CheckDecode(*reader, "TICK_BATCH");
 }
 

@@ -32,13 +32,30 @@ namespace net {
 /// consumed (`AtEnd()`), so trailing garbage is an error rather than a
 /// forward-compatibility mechanism. Version negotiation is explicit: the
 /// client opens with HELLO carrying `kProtocolVersion`, the server answers
-/// HELLO_ACK on an exact match and ERROR (kFailedPrecondition) otherwise.
+/// HELLO_ACK carrying `min(client version, server version)` when the
+/// client's version falls inside [kMinProtocolVersion, kProtocolVersion]
+/// and ERROR (kFailedPrecondition) otherwise. Both sides then speak the
+/// acked version for the rest of the session. Version-gated fields are
+/// *trailers*: optional suffixes a peer appends only when the negotiated
+/// version permits AND the field is meaningful (a v2 TICK without a send
+/// timestamp is byte-identical to a v1 TICK), so a v1 session never sees
+/// bytes it cannot parse and the AtEnd() discipline still rejects garbage.
 ///
 /// Requests that mutate or query server state carry a client-chosen
 /// `request_id` echoed in the response so a pipelining client can correlate
 /// replies. MATCH_EVENT frames are unsolicited (subscription-driven) and
 /// may interleave between a request and its response.
-inline constexpr uint32_t kProtocolVersion = 1;
+///
+/// Version history:
+///  * v1 — initial protocol.
+///  * v2 — TICK / TICK_BATCH gain an optional `send_nanos` trailer (client
+///    monotonic send timestamp feeding the end-to-end span tracer);
+///    LIST_QUERIES gains a `want_stats` trailer and QUERY_LIST a per-entry
+///    cost-stats trailer (cells, last_match_seq, est_cpu_nanos).
+inline constexpr uint32_t kProtocolVersion = 2;
+
+/// Oldest client version the server still accepts.
+inline constexpr uint32_t kMinProtocolVersion = 1;
 
 /// Default cap on the frame `length` field, applied by both server and
 /// client. One frame must fit a TICK_BATCH or a query template, not a whole
@@ -192,6 +209,10 @@ struct QueryRemovedPayload {
 
 struct ListQueriesPayload {
   uint64_t request_id = 0;
+  /// v2 trailer: ask the server to append per-query cost stats to the
+  /// QUERY_LIST reply. Encoded only when true, so the false case stays
+  /// byte-identical to v1.
+  bool want_stats = false;
 
   void EncodeTo(util::ByteWriter* writer) const;
   util::Status DecodeFrom(util::ByteReader* reader);
@@ -205,10 +226,21 @@ struct QueryListPayload {
     std::string stream_name;
     int64_t ticks = 0;
     int64_t matches = 0;
+    // v2 stats trailer (meaningful only when the payload's has_stats is
+    // set): STWM cells computed, global sequence of the last delivered
+    // match (-1 = none yet), and sampled per-query CPU estimate.
+    int64_t cells = 0;
+    int64_t last_match_seq = -1;
+    int64_t est_cpu_nanos = 0;
   };
 
   uint64_t request_id = 0;
   std::vector<Entry> entries;
+  /// v2: true when the per-entry stats trailer is present. The trailer is
+  /// appended *after* all base entry rows, so a v1 decoder that stops at
+  /// the base rows would see trailing bytes — but v1 peers never set
+  /// want_stats, so they never receive it.
+  bool has_stats = false;
 
   void EncodeTo(util::ByteWriter* writer) const;
   util::Status DecodeFrom(util::ByteReader* reader);
@@ -245,6 +277,10 @@ struct MatchEventPayload {
 struct TickPayload {
   int64_t stream_id = 0;
   double value = 0.0;
+  /// v2 trailer: client monotonic send timestamp (util::Stopwatch::
+  /// NowNanos() domain) for end-to-end span tracing; 0 = absent. Encoded
+  /// only when nonzero, so an unstamped v2 TICK is byte-identical to v1.
+  uint64_t send_nanos = 0;
 
   void EncodeTo(util::ByteWriter* writer) const;
   util::Status DecodeFrom(util::ByteReader* reader);
@@ -253,6 +289,8 @@ struct TickPayload {
 struct TickBatchPayload {
   int64_t stream_id = 0;
   std::vector<double> values;
+  /// v2 trailer: send timestamp of the batch (see TickPayload::send_nanos).
+  uint64_t send_nanos = 0;
 
   void EncodeTo(util::ByteWriter* writer) const;
   util::Status DecodeFrom(util::ByteReader* reader);

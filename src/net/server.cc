@@ -121,6 +121,12 @@ util::Status StreamServer::Start() {
     monitor_->AddSink(sink_.get());
     sink_registered_ = true;
   }
+  // Sampled-tick spans finalize on the router thread (= loop thread) at the
+  // drain barrier, after OnMatch appended this barrier's MATCH_EVENT frames
+  // to subscriber buffers — so the stamp covers serialization + fan-out.
+  monitor_->SetSpanFinalizer([this](obs::TickSpan* span) {
+    span->subscriber_write_nanos = NowNanos();
+  });
 
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -136,6 +142,9 @@ void StreamServer::Stop() {
   if (!running()) return;
   stop_.store(true, std::memory_order_release);
   if (loop_thread_.joinable()) loop_thread_.join();
+  // The join handed the router role back; later embedder drains should not
+  // stamp subscriber_write on spans the server never saw.
+  monitor_->SetSpanFinalizer(nullptr);
   running_.store(false, std::memory_order_release);
 }
 
@@ -333,17 +342,22 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
       HelloPayload hello;
       util::Status status = DecodePayload(frame.payload, &hello);
       if (!status.ok()) return fatal_decode(status);
-      if (hello.version != kProtocolVersion) {
+      // Min-negotiation: a v1 client gets a v1 ack and a v1 session (no
+      // trailers on either side); clients newer than the server settle on
+      // the server's version.
+      if (hello.version < kMinProtocolVersion ||
+          hello.version > kProtocolVersion) {
         SendError(conn, 0,
                   util::FailedPreconditionError(util::StrFormat(
-                      "protocol version %u, server speaks %u", hello.version,
-                      kProtocolVersion)),
+                      "protocol version %u, server speaks %u..%u",
+                      hello.version, kMinProtocolVersion, kProtocolVersion)),
                   /*fatal=*/true);
         return false;
       }
       conn->hello_done = true;
+      conn->negotiated_version = std::min(hello.version, kProtocolVersion);
       HelloAckPayload ack;
-      ack.version = kProtocolVersion;
+      ack.version = conn->negotiated_version;
       ack.server_name = options_.server_name;
       Send(conn, FrameType::kHelloAck, ack);
       return true;
@@ -418,6 +432,9 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
       if (!status.ok()) return fatal_decode(status);
       QueryListPayload resp;
       resp.request_id = req.request_id;
+      // Stats ride a barrier: draining first makes the cached cost columns
+      // exact as of every tick this loop has routed.
+      if (req.want_stats) DrainIfDirty();
       for (const auto& entry : monitor_->ListQueries()) {
         QueryListPayload::Entry out;
         out.query_id = entry.query_id;
@@ -426,8 +443,12 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
         out.stream_name = entry.stream_name;
         out.ticks = entry.ticks;
         out.matches = entry.matches;
+        out.cells = entry.cells;
+        out.last_match_seq = entry.last_match_seq;
+        out.est_cpu_nanos = entry.est_cpu_nanos;
         resp.entries.push_back(std::move(out));
       }
+      resp.has_stats = req.want_stats && conn->negotiated_version >= 2;
       Send(conn, FrameType::kQueryList, resp);
       return true;
     }
@@ -445,7 +466,7 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
       TickPayload req;
       util::Status status = DecodePayload(frame.payload, &req);
       if (!status.ok()) return fatal_decode(status);
-      status = monitor_->Push(req.stream_id, req.value);
+      status = monitor_->Push(req.stream_id, req.value, req.send_nanos);
       if (!status.ok()) {
         // Ticks are fire-and-forget; an undeliverable tick would silently
         // desync the peer's view, so it ends the session.
@@ -461,7 +482,8 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
       TickBatchPayload req;
       util::Status status = DecodePayload(frame.payload, &req);
       if (!status.ok()) return fatal_decode(status);
-      status = monitor_->PushBatch(req.stream_id, req.values);
+      status = monitor_->PushBatch(req.stream_id, req.values,
+                                   req.send_nanos);
       if (!status.ok()) {
         SendError(conn, 0, status, /*fatal=*/true);
         return false;

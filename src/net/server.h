@@ -139,6 +139,9 @@ class StreamServer {
     /// Bytes of `out` already written to the socket.
     size_t out_offset = 0;
     bool hello_done = false;
+    /// Version agreed in HELLO: min(client, server), in
+    /// [kMinProtocolVersion, kProtocolVersion]. 0 before HELLO.
+    uint32_t negotiated_version = 0;
     bool subscribed = false;
     /// Flush remaining output, then close (set on fatal session errors).
     bool closing = false;

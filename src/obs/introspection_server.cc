@@ -300,6 +300,24 @@ IntrospectionServer::Response IntrospectionServer::Dispatch(
     response.body.push_back('\n');
     return response;
   }
+  if (path == "/spanz" && handlers_.spans) {
+    response.content_type = "application/json";
+    response.body = RenderSpanzJson(handlers_.spans());
+    response.body.push_back('\n');
+    return response;
+  }
+  if (path == "/queryz" && handlers_.queryz_json) {
+    response.content_type = "application/json";
+    response.body = handlers_.queryz_json();
+    response.body.push_back('\n');
+    return response;
+  }
+  if (path == "/streamz" && handlers_.streamz_json) {
+    response.content_type = "application/json";
+    response.body = handlers_.streamz_json();
+    response.body.push_back('\n');
+    return response;
+  }
   if (path == "/" || path == "/index.html") {
     response.content_type = "text/plain; charset=utf-8";
     response.body =
@@ -308,7 +326,10 @@ IntrospectionServer::Response IntrospectionServer::Dispatch(
         "  /metrics.json  metrics as JSON\n"
         "  /healthz       liveness + per-worker staleness\n"
         "  /statusz       pipeline snapshot\n"
-        "  /tracez        recent match-lifecycle traces\n";
+        "  /tracez        recent match-lifecycle traces\n"
+        "  /spanz         recent end-to-end tick spans\n"
+        "  /queryz        per-query cost accounting (top-K)\n"
+        "  /streamz       per-stream cost accounting (top-K)\n";
     return response;
   }
   response.code = 404;

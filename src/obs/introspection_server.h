@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -95,6 +96,12 @@ struct IntrospectionHandlers {
   std::function<HealthReport()> health;
   std::function<StatusReport()> status;
   std::function<TracezReport()> traces;
+  std::function<SpanzReport()> spans;
+  /// Cost-accounting endpoints return pre-rendered JSON so the obs layer
+  /// stays ignorant of the monitor's accounting types (the provider ranks
+  /// and renders; see monitor/cost_accounting.h).
+  std::function<std::string()> queryz_json;
+  std::function<std::string()> streamz_json;
 };
 
 struct IntrospectionServerOptions {
@@ -115,6 +122,9 @@ struct IntrospectionServerOptions {
 ///   /statusz       pipeline snapshot: per-worker ticks, ring occupancy,
 ///                  pending candidates, checkpoint age, uptime
 ///   /tracez        recent match-lifecycle trace events
+///   /spanz         recent end-to-end tick spans (sampled ingest tracing)
+///   /queryz        per-query cost accounting, ranked top-K by cost
+///   /streamz       per-stream cost accounting, ranked top-K by cost
 ///
 /// Requests are served serially; handlers produce small bounded payloads,
 /// so a slow scraper can delay the next scrape but never the pipeline.

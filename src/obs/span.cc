@@ -1,0 +1,76 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace springdtw {
+namespace obs {
+
+std::string TickSpanJson(const TickSpan& s) {
+  return util::StrFormat(
+      "{\"seq\":%llu,\"stream\":%lld,\"client_send\":%llu,"
+      "\"server_recv\":%llu,\"router_enqueue\":%llu,\"worker_pop\":%llu,"
+      "\"worker_done\":%llu,\"delivered\":%llu,\"subscriber_write\":%llu,"
+      "\"matches\":%lld}",
+      static_cast<unsigned long long>(s.seq),
+      static_cast<long long>(s.stream_id),
+      static_cast<unsigned long long>(s.client_send_nanos),
+      static_cast<unsigned long long>(s.server_recv_nanos),
+      static_cast<unsigned long long>(s.router_enqueue_nanos),
+      static_cast<unsigned long long>(s.worker_pop_nanos),
+      static_cast<unsigned long long>(s.worker_done_nanos),
+      static_cast<unsigned long long>(s.delivered_nanos),
+      static_cast<unsigned long long>(s.subscriber_write_nanos),
+      static_cast<long long>(s.matches));
+}
+
+SpanRing::SpanRing(int64_t capacity)
+    : capacity_(std::max<int64_t>(capacity, 0)) {
+  ring_.resize(static_cast<size_t>(capacity_));
+}
+
+int64_t SpanRing::size() const { return std::min(total_, capacity_); }
+
+int64_t SpanRing::dropped() const { return total_ - size(); }
+
+void SpanRing::Record(const TickSpan& span) {
+  if (capacity_ == 0) return;
+  ring_[static_cast<size_t>(total_ % capacity_)] = span;
+  ++total_;
+}
+
+void SpanRing::Clear() { total_ = 0; }
+
+std::vector<TickSpan> SpanRing::Spans() const {
+  std::vector<TickSpan> spans;
+  const int64_t n = size();
+  spans.reserve(static_cast<size_t>(n));
+  const int64_t first = total_ - n;
+  for (int64_t i = 0; i < n; ++i) {
+    spans.push_back(ring_[static_cast<size_t>((first + i) % capacity_)]);
+  }
+  return spans;
+}
+
+void SpanRing::DumpJsonl(std::ostream& out) const {
+  for (const TickSpan& s : Spans()) {
+    out << TickSpanJson(s) << '\n';
+  }
+}
+
+std::string RenderSpanzJson(const SpanzReport& report) {
+  std::string out = util::StrFormat(
+      "{\"dropped\":%lld,\"spans\":[",
+      static_cast<long long>(report.dropped));
+  for (size_t i = 0; i < report.spans.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(TickSpanJson(report.spans[i]));
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace springdtw

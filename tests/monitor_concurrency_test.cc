@@ -34,6 +34,7 @@
 #include "monitor/sink.h"
 #include "obs/introspection_server.h"
 #include "obs/observability.h"
+#include "obs/span.h"
 
 namespace springdtw {
 namespace monitor {
@@ -425,6 +426,89 @@ TEST(MonitorConcurrencyTest, IntrospectionSnapshotsRaceFreeWhileIngesting) {
   EXPECT_GT(snapshots_taken.load(), 0);
   EXPECT_EQ(delivered, expected_total);
   EXPECT_EQ(static_cast<int64_t>(sink.entries().size()), expected_total);
+}
+
+TEST(MonitorConcurrencyTest, SpanStagesStayMonotoneUnderStress) {
+  // End-to-end span sampling at its most aggressive (every tick sampled,
+  // tiny ring forcing wrap-around) while a scraper thread hammers the
+  // span/cost snapshot accessors. Two invariants under TSan:
+  //   * the publish protocol stays race-free (TSan verdict), and
+  //   * every completed span's stage timestamps are monotone in pipeline
+  //     order — each stamp is taken on one monotonic clock strictly after
+  //     the previous stage's, across three threads (router -> worker ->
+  //     router), so any inversion means a broken happens-before edge.
+  constexpr int kStreams = 4;
+  constexpr int64_t kTicks = 1500;
+
+  ShardedMonitorOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 8;
+  options.enable_introspection = true;
+  options.publish_interval_ms = 0.0;
+  options.staleness_budget_ms = 60000.0;
+  options.span_sample_every = 1;
+  options.span_ring_capacity = 64;
+  ShardedMonitor monitor(options);
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  std::vector<int64_t> stream_ids;
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < kStreams; ++i) {
+    stream_ids.push_back(monitor.AddStream("s" + std::to_string(i)));
+    ASSERT_TRUE(monitor
+                    .AddQuery(stream_ids.back(), "q", {1.0, 2.0, 3.0},
+                              TestOptions())
+                    .ok());
+    inputs.push_back(ShardStream(i, kTicks));
+  }
+
+  monitor.Start();
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)monitor.PublishedSpans();
+      (void)monitor.QueryzJson();
+      (void)monitor.StreamzJson();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int64_t t = 0; t < kTicks; ++t) {
+    for (int i = 0; i < kStreams; ++i) {
+      ASSERT_TRUE(monitor
+                      .Push(stream_ids[static_cast<size_t>(i)],
+                            inputs[static_cast<size_t>(i)]
+                                  [static_cast<size_t>(t)])
+                      .ok());
+    }
+    if (t % 97 == 0) monitor.Drain();
+  }
+  monitor.FlushAll();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  const obs::SpanzReport report = monitor.PublishedSpans();
+  ASSERT_FALSE(report.spans.empty());
+  EXPECT_GT(report.dropped, 0) << "every-tick sampling must wrap a 64-ring";
+  uint64_t prev_seq = 0;
+  bool first = true;
+  for (const obs::TickSpan& span : report.spans) {
+    EXPECT_EQ(span.client_send_nanos, 0u) << "in-process pushes are unstamped";
+    EXPECT_GT(span.server_recv_nanos, 0u);
+    EXPECT_GE(span.router_enqueue_nanos, span.server_recv_nanos);
+    EXPECT_GE(span.worker_pop_nanos, span.router_enqueue_nanos);
+    EXPECT_GE(span.worker_done_nanos, span.worker_pop_nanos);
+    EXPECT_GE(span.delivered_nanos, span.worker_done_nanos);
+    EXPECT_EQ(span.subscriber_write_nanos, 0u) << "no net server attached";
+    EXPECT_GE(span.stream_id, 0);
+    if (!first) {
+      EXPECT_GT(span.seq, prev_seq) << "ring must stay seq-ordered";
+    }
+    prev_seq = span.seq;
+    first = false;
+  }
+
+  monitor.Stop();
 }
 
 }  // namespace

@@ -314,6 +314,86 @@ TEST(MonitorIntrospectTest, HealthzEndpointFlipsTo503WhenFeedDies) {
   monitor.Stop();
 }
 
+TEST(MonitorIntrospectTest, SpanQueryzStreamzEndpointsServeJson) {
+  ShardedMonitorOptions options;
+  options.num_workers = 2;
+  options.introspect_port = 0;
+  options.publish_interval_ms = 0.0;
+  options.span_sample_every = 8;
+  options.span_ring_capacity = 128;
+  ShardedMonitor monitor(options);
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  const int64_t stream_id = monitor.AddStream("s0");
+  ASSERT_TRUE(
+      monitor.AddQuery(stream_id, "q0", {1.0, 2.0, 3.0}, MatchingOptions())
+          .ok());
+  monitor.Start();
+  for (const double x : PlantedStream(1000)) {
+    ASSERT_TRUE(monitor.Push(stream_id, x).ok());
+  }
+  monitor.Drain();
+
+  const int port = monitor.introspection_port();
+  ASSERT_GT(port, 0);
+
+  const std::string spanz = HttpGet(port, "/spanz");
+  EXPECT_NE(spanz.find("HTTP/1.1 200 OK"), std::string::npos) << spanz;
+  EXPECT_NE(spanz.find("\"spans\":["), std::string::npos) << spanz;
+  EXPECT_NE(spanz.find("\"server_recv\":"), std::string::npos)
+      << "1000 ticks at 1-in-8 sampling must complete spans";
+  EXPECT_NE(spanz.find("\"dropped\":"), std::string::npos);
+
+  const std::string queryz = HttpGet(port, "/queryz");
+  EXPECT_NE(queryz.find("HTTP/1.1 200 OK"), std::string::npos) << queryz;
+  EXPECT_NE(queryz.find("\"name\":\"q0\""), std::string::npos) << queryz;
+  EXPECT_NE(queryz.find("\"cells\":3000"), std::string::npos)
+      << "m=3 x 1000 ticks: " << queryz;
+
+  const std::string streamz = HttpGet(port, "/streamz");
+  EXPECT_NE(streamz.find("HTTP/1.1 200 OK"), std::string::npos) << streamz;
+  EXPECT_NE(streamz.find("\"name\":\"s0\""), std::string::npos) << streamz;
+  EXPECT_NE(streamz.find("\"queries\":1"), std::string::npos) << streamz;
+
+  // The e2e stage histograms and the trace drop counter ride /metrics.
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("spring_e2e_latency_nanos"), std::string::npos);
+  EXPECT_NE(metrics.find("spring_trace_dropped_total"), std::string::npos);
+
+  monitor.Stop();
+}
+
+TEST(MonitorIntrospectTest, DisabledSpanPathAddsNoAllocationsToRouterPush) {
+  // The span/cost hooks ride the router's Push path; with introspection
+  // off (the default) they must cost nothing — no clock reads matter here,
+  // but allocations are detectable and must be zero in steady state.
+  ShardedMonitor monitor;
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  const int64_t stream_id = monitor.AddStream("s");
+  ASSERT_TRUE(
+      monitor.AddQuery(stream_id, "q", {1.0, 2.0, 3.0}, NonMatchingOptions())
+          .ok());
+  monitor.Start();
+  // Warm up past ring growth and first-touch faults, and drain so the
+  // worker is idle when measurement starts.
+  for (int64_t t = 0; t < 2048; ++t) {
+    ASSERT_TRUE(monitor.Push(stream_id, 9.0 + static_cast<double>(t % 7)).ok());
+  }
+  monitor.Drain();
+  {
+    util::ScopedAllocationCheck check;
+    for (int64_t t = 0; t < 4096; ++t) {
+      ASSERT_TRUE(
+          monitor.Push(stream_id, 9.0 + static_cast<double>(t % 7)).ok());
+    }
+    EXPECT_EQ(check.Allocations(), 0);
+    EXPECT_EQ(check.Bytes(), 0);
+  }
+  monitor.Drain();
+  monitor.Stop();
+}
+
 TEST(MonitorIntrospectTest, DisabledProfilerAddsNoAllocationsToIngest) {
   // The zero-cost discipline: with no observability attached the engine's
   // push path — including all PR 4 profiler hooks — must not allocate in

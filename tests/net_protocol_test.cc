@@ -1,6 +1,7 @@
 // Wire protocol: framing (CutFrame partial/oversized/zero-length), typed
 // payload round-trips, hostile-input rejection (truncation at every byte,
 // trailing garbage, bogus counts), and the option-validation helpers.
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -208,6 +209,118 @@ TEST(PayloadTest, QueryListRoundTripAndBogusCount) {
   writer.WriteU64(uint64_t{1} << 60);
   QueryListPayload hostile;
   EXPECT_FALSE(DecodePayload(writer.buffer(), &hostile).ok());
+}
+
+// v2 trailers: the round-trip harness above cannot be used for stamped
+// payloads — truncating exactly at the trailer boundary is a *valid* v1
+// payload by design, not an error — so these check the compat property
+// directly: unstamped v2 == v1 bytes, and v1 bytes decode on a v2 peer.
+
+TEST(PayloadTest, TickSendStampTrailerRoundTripAndV1Compat) {
+  TickPayload stamped;
+  stamped.stream_id = 7;
+  stamped.value = 2.5;
+  stamped.send_nanos = 123456789;
+  const std::vector<uint8_t> v2_bytes = Encode(stamped);
+  TickPayload out;
+  ASSERT_TRUE(DecodePayload(v2_bytes, &out).ok());
+  EXPECT_EQ(out.stream_id, 7);
+  EXPECT_EQ(out.value, 2.5);
+  EXPECT_EQ(out.send_nanos, 123456789u);
+
+  // An unstamped v2 TICK is byte-identical to a v1 TICK.
+  TickPayload unstamped = stamped;
+  unstamped.send_nanos = 0;
+  const std::vector<uint8_t> v1_bytes = Encode(unstamped);
+  EXPECT_EQ(v1_bytes.size() + sizeof(uint64_t), v2_bytes.size());
+  EXPECT_TRUE(std::equal(v1_bytes.begin(), v1_bytes.end(), v2_bytes.begin()));
+
+  // v1 bytes decode on a v2 peer with the trailer at its default.
+  TickPayload from_v1;
+  from_v1.send_nanos = 99;  // must be overwritten, not left stale
+  ASSERT_TRUE(DecodePayload(v1_bytes, &from_v1).ok());
+  EXPECT_EQ(from_v1.send_nanos, 0u);
+  EXPECT_EQ(from_v1.value, 2.5);
+}
+
+TEST(PayloadTest, TickBatchSendStampTrailerRoundTripAndV1Compat) {
+  TickBatchPayload stamped;
+  stamped.stream_id = 3;
+  stamped.values = {0.0, 1.0, 2.0};
+  stamped.send_nanos = 42;
+  TickBatchPayload out;
+  ASSERT_TRUE(DecodePayload(Encode(stamped), &out).ok());
+  EXPECT_EQ(out.values.size(), 3u);
+  EXPECT_EQ(out.send_nanos, 42u);
+
+  TickBatchPayload unstamped = stamped;
+  unstamped.send_nanos = 0;
+  TickBatchPayload from_v1;
+  from_v1.send_nanos = 99;
+  ASSERT_TRUE(DecodePayload(Encode(unstamped), &from_v1).ok());
+  EXPECT_EQ(from_v1.send_nanos, 0u);
+  EXPECT_EQ(from_v1.values, stamped.values);
+}
+
+TEST(PayloadTest, ListQueriesWantStatsTrailer) {
+  ListQueriesPayload plain;
+  plain.request_id = 8;
+  // want_stats=false stays byte-identical to v1 (request_id only).
+  EXPECT_EQ(Encode(plain).size(), sizeof(uint64_t));
+  ListQueriesPayload out;
+  out.want_stats = true;
+  ASSERT_TRUE(DecodePayload(Encode(plain), &out).ok());
+  EXPECT_FALSE(out.want_stats);
+  EXPECT_EQ(out.request_id, 8u);
+
+  ListQueriesPayload with_stats;
+  with_stats.request_id = 9;
+  with_stats.want_stats = true;
+  ASSERT_TRUE(DecodePayload(Encode(with_stats), &out).ok());
+  EXPECT_TRUE(out.want_stats);
+}
+
+TEST(PayloadTest, QueryListStatsTrailerRoundTripAndV1Compat) {
+  QueryListPayload payload;
+  payload.request_id = 5;
+  QueryListPayload::Entry entry;
+  entry.query_id = 1;
+  entry.name = "q";
+  entry.stream_name = "s";
+  entry.ticks = 100;
+  entry.matches = 3;
+  entry.cells = 1200;
+  entry.last_match_seq = 97;
+  entry.est_cpu_nanos = 55555;
+  payload.entries.push_back(entry);
+  entry.query_id = 2;
+  entry.cells = 800;
+  entry.last_match_seq = -1;
+  payload.entries.push_back(entry);
+  payload.has_stats = true;
+
+  QueryListPayload out;
+  ASSERT_TRUE(DecodePayload(Encode(payload), &out).ok());
+  ASSERT_TRUE(out.has_stats);
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0].cells, 1200);
+  EXPECT_EQ(out.entries[0].last_match_seq, 97);
+  EXPECT_EQ(out.entries[0].est_cpu_nanos, 55555);
+  EXPECT_EQ(out.entries[1].cells, 800);
+  EXPECT_EQ(out.entries[1].last_match_seq, -1);
+
+  // Base-only bytes (v1 reply) decode with the stats columns at their
+  // defaults.
+  QueryListPayload v1 = payload;
+  v1.has_stats = false;
+  QueryListPayload from_v1;
+  from_v1.has_stats = true;
+  ASSERT_TRUE(DecodePayload(Encode(v1), &from_v1).ok());
+  EXPECT_FALSE(from_v1.has_stats);
+  ASSERT_EQ(from_v1.entries.size(), 2u);
+  EXPECT_EQ(from_v1.entries[0].cells, 0);
+  EXPECT_EQ(from_v1.entries[0].last_match_seq, -1);
+  EXPECT_EQ(from_v1.entries[0].ticks, 100);
 }
 
 TEST(PayloadTest, ErrorPayloadStatusMapping) {

@@ -28,6 +28,7 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -297,6 +298,91 @@ TEST_P(WorkerCountTest, CheckpointKillRestoreContinuesIdentically) {
   EXPECT_EQ(KeysOf(events), expected);
 }
 
+// Observability must be a pure observer: with span tracing and cost
+// accounting fully enabled on the serving monitor, the wire-fed run's
+// delivery order must stay byte-identical to a direct run with everything
+// disabled — and the spans/stats the run produces must hold their
+// invariants.
+TEST_P(WorkerCountTest, EndToEndMatchesDirectRunWithTracingOn) {
+  const std::vector<Chunk> chunks = Workload(/*seed=*/20260807, 24, 50);
+  const std::vector<MatchKey> expected = DirectReference(GetParam(), chunks);
+  ASSERT_FALSE(expected.empty());
+
+  ShardedMonitorOptions monitor_options;
+  monitor_options.num_workers = GetParam();
+  monitor_options.enable_introspection = true;
+  monitor_options.publish_interval_ms = 0.0;
+  monitor_options.span_sample_every = 4;
+  monitor_options.span_ring_capacity = 512;
+  monitor_options.cost_sample_every = 8;
+  ShardedMonitor monitor(monitor_options);
+  monitor.Start();
+  StreamServer server(&monitor, StreamServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<MatchEventPayload> events;
+  StreamClient client(ClientOptionsFor(server));
+  client.SetMatchCallback(
+      [&events](const MatchEventPayload& event) { events.push_back(event); });
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.negotiated_version(), kProtocolVersion);
+
+  auto s0 = client.OpenStream("s0");
+  auto s1 = client.OpenStream("s1");
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  for (const auto& spec : Topology()) {
+    ASSERT_TRUE(client.AddQuery(spec.stream == "s0" ? *s0 : *s1, spec.name,
+                                spec.values, Eps(spec.epsilon))
+                    .ok());
+  }
+  ASSERT_TRUE(client.SubscribeMatches().ok());
+  int64_t s0_ticks = 0;
+  int64_t s1_ticks = 0;
+  for (const auto& chunk : chunks) {
+    ASSERT_TRUE(
+        client.TickBatch(chunk.stream == "s0" ? *s0 : *s1, chunk.values)
+            .ok());
+    (chunk.stream == "s0" ? s0_ticks : s1_ticks) +=
+        static_cast<int64_t>(chunk.values.size());
+  }
+  ASSERT_TRUE(client.Drain().ok());
+
+  // The tentpole acceptance bar: identical bytes with tracing on.
+  EXPECT_EQ(KeysOf(events), expected);
+
+  // Spans completed end-to-end: the client's v2 send stamp survived to the
+  // span, and the server's finalizer stamped the fan-out write, with every
+  // stage monotone (one machine, one monotonic clock).
+  const obs::SpanzReport spans = monitor.PublishedSpans();
+  ASSERT_FALSE(spans.spans.empty());
+  for (const obs::TickSpan& span : spans.spans) {
+    EXPECT_GT(span.client_send_nanos, 0u) << "client stamps v2 ticks";
+    EXPECT_GE(span.server_recv_nanos, span.client_send_nanos);
+    EXPECT_GE(span.router_enqueue_nanos, span.server_recv_nanos);
+    EXPECT_GE(span.worker_pop_nanos, span.router_enqueue_nanos);
+    EXPECT_GE(span.worker_done_nanos, span.worker_pop_nanos);
+    EXPECT_GE(span.delivered_nanos, span.worker_done_nanos);
+    EXPECT_GE(span.subscriber_write_nanos, span.delivered_nanos)
+        << "the net server finalizer stamps after fan-out";
+  }
+
+  // LIST_QUERIES with stats over the wire: cost columns recount exactly.
+  auto listed = client.ListQueries(/*with_stats=*/true);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 3u);
+  for (const auto& entry : *listed) {
+    const int64_t ticks = entry.stream_name == "s0" ? s0_ticks : s1_ticks;
+    const int64_t m = entry.name == "q-bump" ? 5 : 3;
+    EXPECT_EQ(entry.ticks, ticks) << entry.name;
+    EXPECT_EQ(entry.cells, ticks * m) << entry.name;
+  }
+
+  client.Close();
+  server.Stop();
+  monitor.Stop();
+}
+
 TEST(NetServerAdminTest, AdminOpsOverTheWire) {
   ShardedMonitorOptions monitor_options;
   monitor_options.num_workers = 2;
@@ -455,6 +541,73 @@ TEST_F(ProtocolViolationTest, VersionSkewIsFatal) {
   AppendPayloadFrame(FrameType::kHello, hello, &wire);
   ExpectFatalError(SendAndCollectUntilClose(server_->port(), wire),
                    util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ProtocolViolationTest, VersionZeroIsFatal) {
+  HelloPayload hello;
+  hello.version = 0;
+  hello.peer_name = "prehistoric";
+  std::vector<uint8_t> wire;
+  AppendPayloadFrame(FrameType::kHello, hello, &wire);
+  ExpectFatalError(SendAndCollectUntilClose(server_->port(), wire),
+                   util::StatusCode::kFailedPrecondition);
+}
+
+// Reads whole frames off a raw socket until `count` arrived or the 5 s
+// receive timeout trips.
+std::vector<Frame> ReadFrames(int fd, size_t count) {
+  std::vector<Frame> frames;
+  std::vector<uint8_t> buffer;
+  uint8_t chunk[4096];
+  while (frames.size() < count) {
+    Frame frame;
+    size_t consumed = 0;
+    if (CutFrame(buffer, kDefaultMaxFrameBytes, &frame, &consumed).ok() &&
+        consumed > 0) {
+      frames.push_back(std::move(frame));
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<ptrdiff_t>(consumed));
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+  return frames;
+}
+
+// A v1 peer (no trailers anywhere) must get a v1 ack and a fully v1
+// session — the min-negotiation contract that keeps old clients working.
+TEST_F(ProtocolViolationTest, V1ClientNegotiatesV1Session) {
+  const int fd = RawConnect(server_->port());
+  ASSERT_GE(fd, 0);
+  std::vector<uint8_t> wire;
+  HelloPayload hello;
+  hello.version = 1;
+  hello.peer_name = "legacy";
+  AppendPayloadFrame(FrameType::kHello, hello, &wire);
+  ListQueriesPayload list;
+  list.request_id = 7;
+  AppendPayloadFrame(FrameType::kListQueries, list, &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+
+  const std::vector<Frame> frames = ReadFrames(fd, 2);
+  ::close(fd);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames[0].type, FrameType::kHelloAck);
+  HelloAckPayload ack;
+  ASSERT_TRUE(DecodePayload(frames[0].payload, &ack).ok());
+  EXPECT_EQ(ack.version, 1u) << "server must ack min(client, server)";
+  ASSERT_EQ(frames[1].type, FrameType::kQueryList);
+  QueryListPayload reply;
+  ASSERT_TRUE(DecodePayload(frames[1].payload, &reply).ok());
+  EXPECT_EQ(reply.request_id, 7u);
+  EXPECT_FALSE(reply.has_stats) << "a v1 session never carries the trailer";
 }
 
 TEST_F(ProtocolViolationTest, FrameBeforeHelloIsFatal) {

@@ -136,6 +136,97 @@ TEST(MetricsSnapshotTest, FindReturnsNullForUnknownName) {
   EXPECT_EQ(registry.Snapshot().Find("unknown"), nullptr);
 }
 
+TEST(MergeSnapshotsTest, EmptyInputsProduceEmptyMerge) {
+  EXPECT_TRUE(MergeSnapshots({}).families.empty());
+  // A vector of empty snapshots is just as empty.
+  std::vector<MetricsSnapshot> shards(3);
+  EXPECT_TRUE(MergeSnapshots(shards).families.empty());
+  // Empty shards mixed with a real one contribute nothing.
+  MetricsRegistry registry;
+  registry.GetCounter("n", "")->Increment(7);
+  shards[1] = registry.Snapshot();
+  const MetricsSnapshot merged = MergeSnapshots(shards);
+  ASSERT_EQ(merged.families.size(), 1u);
+  EXPECT_EQ(merged.Find("n")->series[0].counter_value, 7);
+}
+
+TEST(MergeSnapshotsTest, DisjointLabelSetsUnionWithoutCrossTalk) {
+  MetricsRegistry a;
+  a.GetCounter("ticks", "", {Label{"worker", "0"}})->Increment(10);
+  a.GetCounter("ticks", "", {Label{"worker", "1"}})->Increment(20);
+  MetricsRegistry b;
+  b.GetCounter("ticks", "", {Label{"worker", "2"}})->Increment(30);
+  // Same key, different value — and a series with extra label cardinality.
+  b.GetCounter("ticks", "", {Label{"worker", "0"}, Label{"shard", "x"}})
+      ->Increment(40);
+
+  const MetricsSnapshot merged = MergeSnapshots({a.Snapshot(), b.Snapshot()});
+  const FamilySnapshot* family = merged.Find("ticks");
+  ASSERT_NE(family, nullptr);
+  ASSERT_EQ(family->series.size(), 4u) << "disjoint label sets must not fold";
+  int64_t total = 0;
+  for (const auto& series : family->series) total += series.counter_value;
+  EXPECT_EQ(total, 100);
+}
+
+TEST(MergeSnapshotsTest, SharedSeriesSumCountersAndGauges) {
+  MetricsRegistry a;
+  a.GetCounter("c", "", {Label{"k", "v"}})->Increment(1);
+  a.GetGauge("g", "")->Set(2.5);
+  MetricsRegistry b;
+  b.GetCounter("c", "", {Label{"k", "v"}})->Increment(2);
+  b.GetGauge("g", "")->Set(0.5);
+  const MetricsSnapshot merged = MergeSnapshots({a.Snapshot(), b.Snapshot()});
+  EXPECT_EQ(merged.Find("c")->series[0].counter_value, 3);
+  EXPECT_DOUBLE_EQ(merged.Find("g")->series[0].gauge_value, 3.0);
+}
+
+TEST(MergeSnapshotsTest, HistogramMergeWithMismatchedLayouts) {
+  // Shard A stays small enough to be exact; shard B overflows into the
+  // sketch — the merged summary must blend them (count-weighted), keep the
+  // true extremes and totals, and drop the `exact` claim.
+  MetricsRegistry a;
+  Histogram* ha = a.GetHistogram("lat", "");
+  for (int i = 1; i <= 10; ++i) ha->Observe(static_cast<double>(i));
+  MetricsRegistry b;
+  Histogram* hb = b.GetHistogram("lat", "");
+  const int64_t n = Histogram::kMaxExactSamples + 10;
+  for (int64_t i = 0; i < n; ++i) hb->Observe(1000.0);
+  const HistogramSnapshot b_snap =
+      b.Snapshot().Find("lat")->series[0].histogram;
+  ASSERT_FALSE(b_snap.exact) << "shard B must overflow the exact window";
+
+  const MetricsSnapshot merged = MergeSnapshots({a.Snapshot(), b.Snapshot()});
+  const HistogramSnapshot& h = merged.Find("lat")->series[0].histogram;
+  EXPECT_EQ(h.count, n + 10);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  EXPECT_DOUBLE_EQ(h.sum, 55.0 + static_cast<double>(n) * 1000.0);
+  EXPECT_FALSE(h.exact);
+  // Quantile blend is approximate: sketch quantiles report log-bucket upper
+  // edges, so allow one bucket (~7%) of slack past the true max.
+  EXPECT_GE(h.p50, 1.0);
+  EXPECT_LE(h.p99, 1100.0);
+}
+
+TEST(MergeSnapshotsTest, ZeroCountHistogramShardIsANoOp) {
+  MetricsRegistry a;
+  a.GetHistogram("lat", "")->Observe(5.0);
+  MetricsRegistry b;
+  b.GetHistogram("lat", "");  // registered, never observed
+  const MetricsSnapshot merged = MergeSnapshots({a.Snapshot(), b.Snapshot()});
+  const HistogramSnapshot& h = merged.Find("lat")->series[0].histogram;
+  EXPECT_EQ(h.count, 1);
+  EXPECT_DOUBLE_EQ(h.sum, 5.0);
+  EXPECT_TRUE(h.exact) << "merging an empty shard must not poison exactness";
+
+  // Order independence for the empty shard.
+  const MetricsSnapshot reversed =
+      MergeSnapshots({b.Snapshot(), a.Snapshot()});
+  EXPECT_EQ(reversed.Find("lat")->series[0].histogram.count, 1);
+  EXPECT_TRUE(reversed.Find("lat")->series[0].histogram.exact);
+}
+
 TEST(MetricKindTest, Names) {
   EXPECT_EQ(MetricKindName(MetricKind::kCounter), "counter");
   EXPECT_EQ(MetricKindName(MetricKind::kGauge), "gauge");

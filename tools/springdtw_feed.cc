@@ -5,7 +5,7 @@
 //       [--query=FILE --epsilon=EPS [--query_name=query]
 //        [--distance=squared|absolute] [--max_length=0] [--min_length=0]]
 //       [--rate=0] [--batch=256] [--subscribe] [--checkpoint]
-//       [--remove_query] [--list]
+//       [--remove_query] [--list] [--stats]
 //
 // Files may be CSV (one value per line, "nan" = missing) or binary .sdtw.
 // The feeder opens (or joins, by name) the stream, optionally registers a
@@ -18,7 +18,9 @@
 //
 // --checkpoint requests a server-side checkpoint after the drain.
 // --remove_query retires the query after the drain (printing any match the
-// removal flushed); --list prints the server's live query table.
+// removal flushed); --list prints the server's live query table, and
+// --stats (implies --list) adds per-query cost columns (DTW cells, last
+// match seq, estimated CPU nanos) when the server speaks protocol v2.
 
 #include <algorithm>
 #include <cstdio>
@@ -158,15 +160,23 @@ int Run(int argc, char** argv) {
                 static_cast<long long>(*flushed));
   }
 
-  if (flags.GetBool("list", false)) {
-    auto entries = client.ListQueries();
+  const bool want_stats = flags.GetBool("stats", false);
+  if (flags.GetBool("list", false) || want_stats) {
+    auto entries = client.ListQueries(want_stats);
     if (!entries.ok()) return Fail("list queries", entries.status());
     for (const auto& entry : *entries) {
-      std::printf("QUERY id=%lld stream=%s name=%s ticks=%lld matches=%lld\n",
+      std::printf("QUERY id=%lld stream=%s name=%s ticks=%lld matches=%lld",
                   static_cast<long long>(entry.query_id),
                   entry.stream_name.c_str(), entry.name.c_str(),
                   static_cast<long long>(entry.ticks),
                   static_cast<long long>(entry.matches));
+      if (want_stats) {
+        std::printf(" cells=%lld last_match_seq=%lld est_cpu_nanos=%lld",
+                    static_cast<long long>(entry.cells),
+                    static_cast<long long>(entry.last_match_seq),
+                    static_cast<long long>(entry.est_cpu_nanos));
+      }
+      std::printf("\n");
     }
   }
 

@@ -3,6 +3,7 @@
 //   springdtw_serve [--port=0] [--workers=2]
 //       [--checkpoint=FILE] [--checkpoint_period_ms=0]
 //       [--introspect_port=-1] [--staleness_ms=1000]
+//       [--span_sample_every=64] [--cost_sample_every=64]
 //       [--max_connections=64] [--max_frame_bytes=1048576]
 //       [--idle_timeout_ms=0]
 //
@@ -21,8 +22,11 @@
 // stream byte-identically, as if the process had never died.
 //
 // --introspect_port=N additionally serves /metrics, /healthz, /statusz,
-// /tracez over HTTP (N=0 ephemeral; printed as "INTROSPECT_PORT=<port>");
-// the serving layer's spring_net_* families are spliced into /metrics.
+// /tracez, /spanz, /queryz, /streamz over HTTP (N=0 ephemeral; printed as
+// "INTROSPECT_PORT=<port>"); the serving layer's spring_net_* families are
+// spliced into /metrics. --span_sample_every=N samples 1-in-N ticks for
+// end-to-end spans and --cost_sample_every=N samples per-query CPU cost
+// (0 disables either; both are no-ops without --introspect_port).
 
 #include <csignal>
 #include <cstdio>
@@ -84,6 +88,8 @@ int Run(int argc, char** argv) {
   monitor_options.introspect_port = introspect_port;
   monitor_options.staleness_budget_ms =
       flags.GetDouble("staleness_ms", 1000.0);
+  monitor_options.span_sample_every = flags.GetInt64("span_sample_every", 64);
+  monitor_options.cost_sample_every = flags.GetInt64("cost_sample_every", 64);
   monitor::ShardedMonitor monitor(monitor_options);
 
   if (!checkpoint_path.empty()) {
