@@ -95,6 +95,48 @@ bool WriteNetFrameCorpus(const std::filesystem::path& dir) {
               net::MakeErrorPayload(
                   4, springdtw::util::NotFoundError("no such query")));
 
+  // Protocol-v2 shapes: the optional trailers only appear on the wire when
+  // set, so without these seeds the replay smoke never walks the trailer
+  // decode paths (send_nanos on TICK/TICK_BATCH, want_stats on
+  // LIST_QUERIES, the per-entry cost-stats block on QUERY_LIST).
+  net::TickPayload tick_stamped;
+  tick_stamped.stream_id = 0;
+  tick_stamped.value = 1.5;
+  tick_stamped.send_nanos = 123456789;
+  write_frame("tick_stamped.bin", net::FrameType::kTick, tick_stamped);
+
+  net::TickBatchPayload batch_stamped;
+  batch_stamped.stream_id = 0;
+  batch_stamped.values = {1.0, 2.0, 3.0};
+  batch_stamped.send_nanos = 987654321;
+  const std::vector<uint8_t> batch_stamped_wire = write_frame(
+      "tick_batch_stamped.bin", net::FrameType::kTickBatch, batch_stamped);
+
+  net::ListQueriesPayload list_stats;
+  list_stats.request_id = 5;
+  list_stats.want_stats = true;
+  const std::vector<uint8_t> list_stats_wire = write_frame(
+      "list_queries_stats.bin", net::FrameType::kListQueries, list_stats);
+
+  net::QueryListPayload list_with_stats = list;
+  list_with_stats.has_stats = true;
+  list_with_stats.entries[0].cells = 4096;
+  list_with_stats.entries[0].last_match_seq = 11;
+  list_with_stats.entries[0].est_cpu_nanos = 250000;
+  write_frame("query_list_stats.bin", net::FrameType::kQueryList,
+              list_with_stats);
+
+  // A v2 session prefix: HELLO, ADD_QUERY, stamped TICK_BATCH, and a
+  // stats-requesting LIST_QUERIES back to back through the cut loop.
+  std::vector<uint8_t> session_v2 = hello_wire;
+  session_v2.insert(session_v2.end(), add_query_wire.begin(),
+                    add_query_wire.end());
+  session_v2.insert(session_v2.end(), batch_stamped_wire.begin(),
+                    batch_stamped_wire.end());
+  session_v2.insert(session_v2.end(), list_stats_wire.begin(),
+                    list_stats_wire.end());
+  ok = WriteFile(dir / "session_v2.bin", session_v2) && ok;
+
   // A realistic session prefix: HELLO, ADD_QUERY, TICK_BATCH back to back.
   std::vector<uint8_t> session = hello_wire;
   session.insert(session.end(), add_query_wire.begin(), add_query_wire.end());

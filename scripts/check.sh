@@ -8,6 +8,14 @@
 #               checks forced on
 #   lint        tools/springdtw_lint over src/ (also runs inside ctest;
 #               this leg gives it a named line in the summary)
+#   analyze     Compile-time concurrency verification: the lint rules, then
+#               (when clang is installed) the `analyze` preset with
+#               -Wthread-safety promoted to an error, clang-tidy
+#               (bugprone/concurrency/performance/clang-analyzer) and
+#               `clang --analyze` over the tree, diffed against
+#               scripts/analyze_baseline.txt. Without clang the clang-only
+#               steps are skipped — the annotations are no-ops under gcc —
+#               and CI runs them on a clang-equipped runner.
 #   fuzz-smoke  Replays the seed corpora through the fuzz harnesses
 #   bench-smoke Runs bench_scaleout on a small workload (fails if the
 #               batched single-thread path loses to the scalar path) and a
@@ -38,8 +46,8 @@ JOBS="${JOBS:-$(nproc)}"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default asan-ubsan tsan lint fuzz-smoke bench-smoke introspect-smoke
-    serve-smoke)
+  LEGS=(default asan-ubsan tsan lint analyze fuzz-smoke bench-smoke
+    introspect-smoke serve-smoke)
 fi
 
 NAMES=()
@@ -60,6 +68,93 @@ leg_lint() {
   cmake --preset default &&
     cmake --build --preset default -j"$JOBS" --target springdtw_lint &&
     ./build/tools/springdtw_lint src
+}
+
+# Diffs the normalized analyzer report against scripts/analyze_baseline.txt.
+# Findings are normalized to `<path>: <text>` with line:column stripped so
+# the baseline survives unrelated edits. `MODE: bootstrap` in the baseline
+# downgrades new findings to advisory (printed + left in the report file for
+# the CI artifact) instead of failing the leg.
+analyze_diff_baseline() {
+  local report="$1"
+  local baseline=scripts/analyze_baseline.txt
+  local norm=build-analyze/analyze_findings.txt
+  grep -E '(warning|error):' "$report" 2>/dev/null |
+    sed -e "s|$(pwd)/||g" -e 's/:[0-9][0-9]*:[0-9][0-9]*:/:/' |
+    sort -u >"$norm"
+  local new_findings
+  new_findings="$(grep -vxFf <(grep -v '^#' "$baseline" |
+    grep -v '^MODE:') "$norm")"
+  if [ -z "$new_findings" ]; then
+    echo "analyze: no findings beyond baseline"
+    return 0
+  fi
+  echo "analyze: findings not in ${baseline}:"
+  echo "$new_findings"
+  if grep -q '^MODE: bootstrap' "$baseline"; then
+    echo "analyze: baseline is in bootstrap mode; recording, not failing"
+    return 0
+  fi
+  echo "analyze: fix the code or baseline the finding (with a why comment)"
+  return 1
+}
+
+leg_analyze() {
+  # The mechanical rules (memory-order, raw-mutex, thread-annotation, ...)
+  # are dependency-free and run under any toolchain.
+  leg_lint || return 1
+
+  # Everything past this point needs the clang frontend. The thread-safety
+  # annotations compile as no-ops under gcc, so there is nothing more to
+  # verify locally; CI installs clang + clang-tidy and runs the full leg.
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "analyze: clang++ not found; skipping -Wthread-safety and" \
+      "clang-tidy (full run happens on a clang-equipped machine / CI)"
+    return 0
+  fi
+
+  # Thread Safety Analysis: the whole tree must compile clean with
+  # -Wthread-safety promoted to an error (SPRINGDTW_ANALYZE=ON).
+  cmake --preset analyze &&
+    cmake --build --preset analyze -j"$JOBS" || return 1
+
+  local report=build-analyze/analyze_report.txt
+  : >"$report"
+
+  # clang-tidy (bugprone-*, concurrency-*, performance-*, clang-analyzer-*)
+  # over the exported compilation database, first-party TUs only.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    local files
+    files="$(sed -n 's/^ *"file": *"\(.*\)",*$/\1/p' \
+      build-analyze/compile_commands.json |
+      grep -E "^$(pwd)/(src|tools|bench|examples)/" | sort -u)"
+    if [ -z "$files" ]; then
+      echo "analyze: no first-party TUs in compile_commands.json"
+      return 1
+    fi
+    rm -f build-analyze/tidy.*.out
+    echo "$files" | xargs -P "$JOBS" -n 1 -I{} sh -c \
+      'clang-tidy -p build-analyze --quiet "$1" \
+         >"build-analyze/tidy.$$.out" 2>/dev/null; true' _ {}
+    cat build-analyze/tidy.*.out >>"$report" 2>/dev/null
+    rm -f build-analyze/tidy.*.out
+  else
+    echo "analyze: clang-tidy not found; skipping the tidy pass"
+  fi
+
+  # Core static analyzer (clang --analyze) over the library and tool TUs;
+  # these build with just -Isrc, so no database replay is needed.
+  local f
+  for f in src/*/*.cc tools/*.cc; do
+    clang++ --analyze --analyzer-output text -std=c++20 -Isrc \
+      "$f" >>"$report" 2>&1 || {
+      echo "analyze: clang --analyze failed on $f"
+      tail -40 "$report"
+      return 1
+    }
+  done
+
+  analyze_diff_baseline "$report"
 }
 
 leg_fuzz_smoke() {
@@ -338,13 +433,14 @@ run_leg() {
     asan-ubsan) leg_asan_ubsan || status=FAIL ;;
     tsan) leg_tsan || status=FAIL ;;
     lint) leg_lint || status=FAIL ;;
+    analyze) leg_analyze || status=FAIL ;;
     fuzz-smoke) leg_fuzz_smoke || status=FAIL ;;
     bench-smoke) leg_bench_smoke || status=FAIL ;;
     introspect-smoke) leg_introspect_smoke || status=FAIL ;;
     serve-smoke) leg_serve_smoke || status=FAIL ;;
     *)
       echo "unknown leg: ${leg} (known: default asan-ubsan tsan lint" \
-        "fuzz-smoke bench-smoke introspect-smoke serve-smoke)"
+        "analyze fuzz-smoke bench-smoke introspect-smoke serve-smoke)"
       status=FAIL
       ;;
   esac

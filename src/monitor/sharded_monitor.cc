@@ -6,6 +6,7 @@
 
 #include "util/codec.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -230,6 +231,7 @@ int64_t ShardedMonitor::AddStream(std::string name, bool repair_missing) {
   info.name = std::move(name);
   shard.global_stream_ids.push_back(stream_id);
   shard.stream_ticks.push_back(0);
+  // order: relaxed — introspection gauge; the server tolerates staleness.
   shard.stream_count.fetch_add(1, std::memory_order_relaxed);
   streams_.push_back(std::move(info));
   return stream_id;
@@ -261,6 +263,7 @@ util::StatusOr<int64_t> ShardedMonitor::AddQuery(
   info.local_id = *local;
   const int64_t query_id = static_cast<int64_t>(queries_.size());
   shard.global_query_ids.push_back(query_id);
+  // order: relaxed — introspection gauge; the server tolerates staleness.
   shard.query_count.fetch_add(1, std::memory_order_relaxed);
   queries_.push_back(std::move(info));
   return query_id;
@@ -287,6 +290,7 @@ util::StatusOr<int64_t> ShardedMonitor::RemoveQuery(int64_t query_id) {
   // makes DeliverPending skip this query.
   query.stats.ticks = stream.pushes;
   query.removed = true;
+  // order: relaxed — introspection gauge; the server tolerates staleness.
   shard.query_count.fetch_add(-1, std::memory_order_relaxed);
   DeliverPending();
   RefreshCostAccounting();
@@ -332,12 +336,17 @@ void ShardedMonitor::Start() {
   if (started()) return;
   for (auto& shard : shards_) {
     if (introspect_) {
+      // order: relaxed — watchdog stamp; the health check tolerates a
+      // stale read (it only widens the staleness window by one scrape).
       shard->last_progress_nanos.store(NowNanos(),
                                        std::memory_order_relaxed);
     }
     shard->thread = std::thread(&ShardedMonitor::WorkerLoop, this,
                                 shard.get());
   }
+  // order: relaxed — the std::thread constructor above is the
+  // happens-before edge to the workers; this flag is router-thread
+  // bookkeeping.
   started_.store(true, std::memory_order_relaxed);
 }
 
@@ -349,6 +358,8 @@ void ShardedMonitor::WorkerLoop(Shard* shard) {
       // Final snapshot so post-run scrapes (and a lingering server) see the
       // complete worker state.
       if (introspect_) PublishShard(shard, NowNanos());
+      // order: release — pairs with Stop()'s drain acquire; publishes the
+      // final engine state before the thread exits.
       shard->consumed.fetch_add(1, std::memory_order_release);
       return;
     }
@@ -405,7 +416,9 @@ void ShardedMonitor::WorkerLoop(Shard* shard) {
       }
       if (introspect_) {
         if (t_done == 0) t_done = NowNanos();
+        // order: relaxed — watchdog stamp; see Start().
         shard->last_progress_nanos.store(t_done, std::memory_order_relaxed);
+        // order: relaxed — introspection counter; never synchronization.
         shard->ticks_ingested.fetch_add(msg.count,
                                         std::memory_order_relaxed);
         // Republish on the throttle interval, and opportunistically
@@ -426,8 +439,8 @@ void ShardedMonitor::WorkerLoop(Shard* shard) {
         }
       }
     }
-    // Release everything written above (engine state, buffered matches) to
-    // the drain barrier's acquire.
+    // order: release — publishes everything written above (engine state,
+    // buffered matches) to the drain barrier's acquire of `consumed`.
     shard->consumed.fetch_add(1, std::memory_order_release);
   }
 }
@@ -441,10 +454,11 @@ void ShardedMonitor::PublishShard(Shard* shard, uint64_t now_nanos) {
     traces = shard->obs->trace().Events();
     dropped = shard->obs->trace().dropped();
   }
+  // order: relaxed — introspection gauge; the server tolerates staleness.
   shard->pending_candidates.store(shard->engine->PendingCandidateCount(),
                                   std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(shard->publish_mutex);
+    util::MutexLock lock(&shard->publish_mu);
     shard->published_metrics = std::move(snapshot);
     shard->published_traces = std::move(traces);
     shard->published_trace_dropped = dropped;
@@ -541,6 +555,9 @@ void ShardedMonitor::RouteValue(StreamInfo& stream, double value,
 void ShardedMonitor::FlushStaged() {
   if (!has_staged_) return;
   Shard& shard = *shards_[static_cast<size_t>(staged_worker_)];
+  // order: relaxed — produced is router-owned; the ring's own
+  // acquire/release protocol carries the message payload, and the drain
+  // barrier re-reads produced on this same thread.
   shard.produced.fetch_add(1, std::memory_order_relaxed);
   // Same sampling policy as the worker: with span sampling active only the
   // span-carrying message is stamped (unsampled messages keep
@@ -588,7 +605,7 @@ void ShardedMonitor::PublishRouter(uint64_t now_nanos) {
   RefreshRingMetrics();
   obs::MetricsSnapshot snapshot = router_obs_->registry().Snapshot();
   {
-    std::lock_guard<std::mutex> lock(router_publish_mutex_);
+    util::MutexLock lock(&router_publish_mu_);
     router_published_metrics_ = std::move(snapshot);
     if (span_ring_.enabled()) {
       published_spans_.spans = span_ring_.Spans();
@@ -601,8 +618,13 @@ void ShardedMonitor::PublishRouter(uint64_t now_nanos) {
 void ShardedMonitor::AwaitQuiescent() {
   FlushStaged();
   for (auto& shard : shards_) {
+    // order: relaxed — produced is only ever written by this (router)
+    // thread.
     const uint64_t produced =
         shard->produced.load(std::memory_order_relaxed);
+    // order: acquire — pairs with the worker's release fetch_add; once the
+    // counts match, everything the worker wrote (engine state, buffered
+    // matches, pending spans) is visible to this thread.
     while (shard->consumed.load(std::memory_order_acquire) < produced) {
       std::this_thread::yield();
     }
@@ -684,6 +706,7 @@ int64_t ShardedMonitor::DeliverPending() {
       span_ring_.Record(span);
     }
   }
+  // order: relaxed — introspection counter; never synchronization.
   matches_delivered_.fetch_add(
       static_cast<int64_t>(delivery_scratch_.size()),
       std::memory_order_relaxed);
@@ -720,12 +743,15 @@ void ShardedMonitor::Stop() {
   for (auto& shard : shards_) {
     TickMessage stop;
     stop.kind = TickMessage::Kind::kStop;
+    // order: relaxed — router-owned counter; see FlushStaged().
     shard->produced.fetch_add(1, std::memory_order_relaxed);
     shard->queue->Push(stop);
   }
   for (auto& shard : shards_) {
     shard->thread.join();
   }
+  // order: relaxed — the joins above are the synchronization edge; this
+  // flag is router-thread bookkeeping.
   started_.store(false, std::memory_order_relaxed);
 }
 
@@ -800,6 +826,8 @@ std::vector<uint8_t> ShardedMonitor::SerializeState() {
     writer.WriteBytes(shard.engine->SerializeQueryState(query.local_id));
     WriteStats(&writer, query.stats);
   }
+  // order: relaxed — introspection stamp (checkpoint age); staleness only
+  // skews the reported age by one scrape.
   last_checkpoint_nanos_.store(NowNanos(), std::memory_order_relaxed);
   return writer.Take();
 }
@@ -876,6 +904,8 @@ util::Status ShardedMonitor::RestoreState(std::span<const uint8_t> bytes) {
     info.local_id = *local;
     info.stats = stats;
     shard.global_query_ids.push_back(static_cast<int64_t>(queries_.size()));
+    // order: relaxed — introspection gauge; the server tolerates
+    // staleness.
     shard.query_count.fetch_add(1, std::memory_order_relaxed);
     queries_.push_back(std::move(info));
   }
@@ -898,6 +928,8 @@ obs::WorkerHealth ShardedMonitor::WorkerHealthFor(int64_t worker,
   const Shard& shard = *shards_[static_cast<size_t>(worker)];
   obs::WorkerHealth health;
   health.worker = worker;
+  // order: relaxed ×2 — advisory lag estimate for /healthz; the clamp
+  // below absorbs torn produced/consumed pairs.
   const uint64_t produced = shard.produced.load(std::memory_order_relaxed);
   const uint64_t consumed = shard.consumed.load(std::memory_order_relaxed);
   // Unsynchronized reads can observe consumed ahead of produced; clamp.
@@ -911,6 +943,8 @@ obs::WorkerHealth ShardedMonitor::WorkerHealthFor(int64_t worker,
     health.state = "idle";
     return health;
   }
+  // order: relaxed — watchdog stamp read; staleness only widens the
+  // reported window by one scrape.
   const uint64_t last_progress =
       shard.last_progress_nanos.load(std::memory_order_relaxed);
   const double ms_since =
@@ -953,8 +987,10 @@ obs::StatusReport ShardedMonitor::StatusSnapshot() const {
   const uint64_t now = NowNanos();
   report.uptime_seconds = static_cast<double>(now - start_nanos_) / 1e9;
   report.num_workers = num_workers();
+  // order: relaxed — introspection counter read; staleness is fine.
   report.matches_delivered =
       matches_delivered_.load(std::memory_order_relaxed);
+  // order: relaxed — introspection stamp read; staleness is fine.
   const uint64_t checkpoint_nanos =
       last_checkpoint_nanos_.load(std::memory_order_relaxed);
   if (checkpoint_nanos != 0 && now > checkpoint_nanos) {
@@ -967,6 +1003,8 @@ obs::StatusReport ShardedMonitor::StatusSnapshot() const {
     obs::WorkerStatus status;
     status.worker = w;
     status.state = introspect_ ? WorkerHealthFor(w, now).state : "unknown";
+    // order: relaxed ×6 — /statusz snapshot rows are advisory; each field
+    // is independently torn-tolerant and never used for synchronization.
     status.messages_produced =
         shard.produced.load(std::memory_order_relaxed);
     status.messages_consumed =
@@ -1000,11 +1038,11 @@ obs::MetricsSnapshot ShardedMonitor::PublishedMetricsSnapshot() const {
   if (introspect_) {
     snapshots.reserve(shards_.size() + 2);
     {
-      std::lock_guard<std::mutex> lock(router_publish_mutex_);
+      util::MutexLock lock(&router_publish_mu_);
       snapshots.push_back(router_published_metrics_);
     }
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->publish_mutex);
+      util::MutexLock lock(&shard->publish_mu);
       snapshots.push_back(shard->published_metrics);
     }
     if (aux_metrics_provider_ != nullptr) {
@@ -1018,7 +1056,7 @@ obs::TracezReport ShardedMonitor::PublishedTraces() const {
   obs::TracezReport report;
   if (!introspect_) return report;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->publish_mutex);
+    util::MutexLock lock(&shard->publish_mu);
     report.events.insert(report.events.end(),
                          shard->published_traces.begin(),
                          shard->published_traces.end());
@@ -1029,17 +1067,17 @@ obs::TracezReport ShardedMonitor::PublishedTraces() const {
 
 obs::SpanzReport ShardedMonitor::PublishedSpans() const {
   if (!introspect_) return obs::SpanzReport{};
-  std::lock_guard<std::mutex> lock(router_publish_mutex_);
+  util::MutexLock lock(&router_publish_mu_);
   return published_spans_;
 }
 
 std::string ShardedMonitor::QueryzJson() const {
-  std::lock_guard<std::mutex> lock(router_publish_mutex_);
+  util::MutexLock lock(&router_publish_mu_);
   return RenderQueryzJson(published_costs_, kCostTopK);
 }
 
 std::string ShardedMonitor::StreamzJson() const {
-  std::lock_guard<std::mutex> lock(router_publish_mutex_);
+  util::MutexLock lock(&router_publish_mu_);
   return RenderStreamzJson(published_costs_, kCostTopK);
 }
 
@@ -1117,7 +1155,7 @@ void ShardedMonitor::RefreshCostAccounting() {
     snapshot.queries.push_back(std::move(cost));
   }
   RankByCost(&snapshot);
-  std::lock_guard<std::mutex> lock(router_publish_mutex_);
+  util::MutexLock lock(&router_publish_mu_);
   published_costs_ = std::move(snapshot);
 }
 

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -23,7 +22,9 @@
 #include "obs/observability.h"
 #include "ts/repair.h"
 #include "util/memory.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace springdtw {
 namespace monitor {
@@ -191,7 +192,11 @@ class ShardedMonitor {
   /// Spawns the worker threads. Topology may still be changed afterwards
   /// (AddStream/AddQuery drain internally). Idempotent while running.
   void Start();
-  bool started() const { return started_.load(std::memory_order_relaxed); }
+  bool started() const {
+    // order: relaxed — Start()/Stop() happen on the router thread; this is
+    // an advisory flag for callers, not a synchronization edge.
+    return started_.load(std::memory_order_relaxed);
+  }
 
   /// Routes one value to `stream_id`'s shard. Fails (kFailedPrecondition)
   /// unless started. Matches produced by this value are buffered until the
@@ -400,10 +405,11 @@ class ShardedMonitor {
     /// Worker-local publish throttle clock; worker thread only.
     uint64_t last_publish_nanos = 0;
     /// Latest published snapshot, read by the introspection methods.
-    mutable std::mutex publish_mutex;
-    obs::MetricsSnapshot published_metrics;
-    std::vector<obs::TraceEvent> published_traces;
-    int64_t published_trace_dropped = 0;
+    mutable util::Mutex publish_mu;
+    obs::MetricsSnapshot published_metrics SPRINGDTW_GUARDED_BY(publish_mu);
+    std::vector<obs::TraceEvent> published_traces
+        SPRINGDTW_GUARDED_BY(publish_mu);
+    int64_t published_trace_dropped SPRINGDTW_GUARDED_BY(publish_mu) = 0;
   };
 
   struct StreamInfo {
@@ -534,10 +540,11 @@ class ShardedMonitor {
   uint64_t start_nanos_ = 0;
   std::atomic<int64_t> matches_delivered_{0};
   std::atomic<uint64_t> last_checkpoint_nanos_{0};
-  mutable std::mutex router_publish_mutex_;
-  obs::MetricsSnapshot router_published_metrics_;
-  obs::SpanzReport published_spans_;
-  CostSnapshot published_costs_;
+  mutable util::Mutex router_publish_mu_;
+  obs::MetricsSnapshot router_published_metrics_
+      SPRINGDTW_GUARDED_BY(router_publish_mu_);
+  obs::SpanzReport published_spans_ SPRINGDTW_GUARDED_BY(router_publish_mu_);
+  CostSnapshot published_costs_ SPRINGDTW_GUARDED_BY(router_publish_mu_);
   std::function<obs::MetricsSnapshot()> aux_metrics_provider_;
   std::unique_ptr<obs::IntrospectionServer> server_;
 };

@@ -2,16 +2,14 @@
 #define SPRINGDTW_MONITOR_SPSC_QUEUE_H_
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace springdtw {
 namespace monitor {
@@ -36,9 +34,9 @@ namespace monitor {
 /// deadlock when both sides park at once (the tsan leg caught exactly
 /// that). The un-synchronized parked-flag read and the lockless notify can
 /// each lose a wakeup to a waiter that is just about to park; the bounded
-/// `wait_for` re-check (1ms) turns that lost wakeup into bounded latency
-/// instead of a hang. This keeps the hot path free of fences and is clean
-/// under TSan.
+/// `WaitForMillis` re-check (1ms) turns that lost wakeup into bounded
+/// latency instead of a hang. This keeps the hot path free of fences and is
+/// clean under TSan.
 ///
 /// Exactly one producer thread and one consumer thread; the roles may be
 /// taken by different threads over time only if the handoff itself is
@@ -63,20 +61,28 @@ class SpscQueue {
   /// is moved from and the call returns true; on a full queue `item` is
   /// untouched and the call returns false.
   bool TryPush(T& item) {
+    // order: relaxed — tail_ is producer-owned; only this thread writes it.
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ > mask_) {
+      // order: acquire — pairs with the consumer's release store of head_;
+      // proves the slot we are about to overwrite was fully moved out.
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail - head_cache_ > mask_) return false;
     }
     slots_[static_cast<size_t>(tail) & mask_] = std::move(item);
+    // order: release — publishes the slot write above to the consumer's
+    // acquire load of tail_.
     tail_.store(tail + 1, std::memory_order_release);
-    // Notify WITHOUT taking consumer_mutex_: Pop holds its own mutex while
+    // Notify WITHOUT taking consumer_mu_: Pop holds its own mutex while
     // re-trying, and its success path lands here symmetrically — taking
     // the opposite lock from inside that region is an ABBA deadlock when
     // both sides park at once. The lockless notify can lose a wakeup to a
-    // waiter that has not parked yet; the 1ms wait_for bound absorbs it.
+    // waiter that has not parked yet; the 1ms WaitForMillis bound absorbs
+    // it.
+    // order: relaxed — parked flag is a wake-up hint; a stale read costs at
+    // most one 1ms wait slice, never correctness.
     if (consumer_parked_.load(std::memory_order_relaxed)) {
-      consumer_cv_.notify_one();
+      consumer_cv_.NotifyOne();
     }
     return true;
   }
@@ -87,33 +93,43 @@ class SpscQueue {
     if (TryPush(item)) return;
     // Contention accounting for the introspection metrics: counted once per
     // blocked Push (ring full on first attempt), and once more if the spin
-    // phase gives up and parks. Relaxed is fine — these are monitoring
-    // counters, never synchronization.
+    // phase gives up and parks.
+    // order: relaxed — monitoring counter, never synchronization.
     blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
     for (int spin = 1; spin < kSpinIterations; ++spin) {
       if (TryPush(item)) return;
     }
+    // order: relaxed — monitoring counter, never synchronization.
     producer_parks_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(producer_mutex_);
+    util::MutexLock lock(&producer_mu_);
+    // order: relaxed — parked flag is a wake-up hint (see TryPop's notify);
+    // the bounded wait below absorbs a missed store.
     producer_parked_.store(true, std::memory_order_relaxed);
     while (!TryPush(item)) {
-      producer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      producer_cv_.WaitForMillis(producer_mu_, 1);
     }
+    // order: relaxed — hint only; see above.
     producer_parked_.store(false, std::memory_order_relaxed);
   }
 
   /// Consumer: dequeues into `*out` if an item is ready.
   bool TryPop(T* out) {
+    // order: relaxed — head_ is consumer-owned; only this thread writes it.
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
+      // order: acquire — pairs with the producer's release store of tail_;
+      // proves the slot we are about to read was fully written.
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head == tail_cache_) return false;
     }
     *out = std::move(slots_[static_cast<size_t>(head) & mask_]);
+    // order: release — publishes the slot move-out above to the producer's
+    // acquire load of head_, freeing the slot for reuse.
     head_.store(head + 1, std::memory_order_release);
     // Lockless notify; see TryPush.
+    // order: relaxed — parked flag is a wake-up hint; see TryPush.
     if (producer_parked_.load(std::memory_order_relaxed)) {
-      producer_cv_.notify_one();
+      producer_cv_.NotifyOne();
     }
     return true;
   }
@@ -125,32 +141,41 @@ class SpscQueue {
     for (int spin = 0; spin < kSpinIterations; ++spin) {
       if (TryPop(out)) return;
     }
+    // order: relaxed — monitoring counter, never synchronization.
     consumer_parks_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(consumer_mutex_);
+    util::MutexLock lock(&consumer_mu_);
+    // order: relaxed — parked flag is a wake-up hint (see TryPush's
+    // notify); the bounded wait below absorbs a missed store.
     consumer_parked_.store(true, std::memory_order_relaxed);
     while (!TryPop(out)) {
-      consumer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      consumer_cv_.WaitForMillis(consumer_mu_, 1);
     }
+    // order: relaxed — hint only; see above.
     consumer_parked_.store(false, std::memory_order_relaxed);
   }
 
   /// Pushes that found the ring full on their first attempt (producer had
   /// to spin or park). Any thread may read these estimates.
   uint64_t blocked_pushes() const {
+    // order: relaxed — monitoring counter read; staleness is fine.
     return blocked_pushes_.load(std::memory_order_relaxed);
   }
   /// Times the producer exhausted its spin budget and parked.
   uint64_t producer_parks() const {
+    // order: relaxed — monitoring counter read; staleness is fine.
     return producer_parks_.load(std::memory_order_relaxed);
   }
   /// Times the consumer exhausted its spin budget and parked.
   uint64_t consumer_parks() const {
+    // order: relaxed — monitoring counter read; staleness is fine.
     return consumer_parks_.load(std::memory_order_relaxed);
   }
 
   /// Racy size estimate for metrics/backpressure heuristics only.
   size_t ApproxSize() const {
+    // order: relaxed — racy estimate by contract; no ordering needed.
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // order: relaxed — racy estimate by contract; no ordering needed.
     const uint64_t head = head_.load(std::memory_order_relaxed);
     return tail >= head ? static_cast<size_t>(tail - head) : 0;
   }
@@ -176,13 +201,18 @@ class SpscQueue {
   std::atomic<uint64_t> consumer_parks_{0};
 
   // Parking. The flags are hints (see class comment); the 1ms wait bound
-  // makes a missed notify cost latency, never correctness.
+  // makes a missed notify cost latency, never correctness. The park
+  // mutexes guard NO data — the ring itself synchronizes via the
+  // acquire/release index protocol — so they are deliberately not paired
+  // with any GUARDED_BY member.
   std::atomic<bool> consumer_parked_{false};
   std::atomic<bool> producer_parked_{false};
-  std::mutex consumer_mutex_;
-  std::condition_variable consumer_cv_;
-  std::mutex producer_mutex_;
-  std::condition_variable producer_cv_;
+  // springdtw-lint: allow(thread-annotation) — park-only, guards no data.
+  util::Mutex consumer_mu_;
+  util::CondVar consumer_cv_;
+  // springdtw-lint: allow(thread-annotation) — park-only, guards no data.
+  util::Mutex producer_mu_;
+  util::CondVar producer_cv_;
 };
 
 }  // namespace monitor

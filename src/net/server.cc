@@ -128,6 +128,8 @@ util::Status StreamServer::Start() {
     span->subscriber_write_nanos = NowNanos();
   });
 
+  // order: release ×2 — pairs with running()'s acquire: a caller that sees
+  // running_ == true also sees the bound port and loop state above.
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   const uint64_t now = NowNanos();
@@ -140,16 +142,20 @@ util::Status StreamServer::Start() {
 
 void StreamServer::Stop() {
   if (!running()) return;
+  // order: release — pairs with the loop's acquire load of stop_; the loop
+  // observes every write made before Stop() was called.
   stop_.store(true, std::memory_order_release);
   if (loop_thread_.joinable()) loop_thread_.join();
   // The join handed the router role back; later embedder drains should not
   // stamp subscriber_write on spans the server never saw.
   monitor_->SetSpanFinalizer(nullptr);
+  // order: release — pairs with running()'s acquire; the join above is the
+  // real synchronization edge, the flag just reports it.
   running_.store(false, std::memory_order_release);
 }
 
 obs::MetricsSnapshot StreamServer::MetricsSnapshot() const {
-  std::lock_guard<std::mutex> lock(publish_mutex_);
+  util::MutexLock lock(&publish_mu_);
   return published_metrics_;
 }
 
@@ -161,6 +167,7 @@ obs::Counter* StreamServer::FrameCounter(FrameType type) {
 
 void StreamServer::LoopThread() {
   std::vector<pollfd> fds;
+  // order: acquire — pairs with Stop()'s release store; see Stop().
   while (!stop_.load(std::memory_order_acquire)) {
     fds.clear();
     pollfd listen_entry{};
@@ -251,6 +258,7 @@ void StreamServer::AcceptPending(uint64_t now_nanos) {
     conn->fd = fd;
     conn->last_activity_nanos = now_nanos;
     connections_.push_back(std::move(conn));
+    // order: relaxed — test/diagnostic counter; never synchronization.
     total_connections_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -564,6 +572,7 @@ void StreamServer::SendFrame(Connection* conn, FrameType type,
     // Bounded queue, then disconnect: drop the backlog rather than stall
     // ingest for everyone else.
     slow_disconnects_counter_->Increment();
+    // order: relaxed — test/diagnostic counter; never synchronization.
     slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
     conn->out.clear();
     conn->out_offset = 0;
@@ -606,6 +615,7 @@ void StreamServer::OnMatch(const monitor::MatchOrigin& origin,
     if (conn->out.size() - conn->out_offset >
         options_.max_output_buffer_bytes) {
       slow_disconnects_counter_->Increment();
+      // order: relaxed — test/diagnostic counter; never synchronization.
       slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
       conn->out.clear();
       conn->out_offset = 0;
@@ -651,7 +661,7 @@ void StreamServer::PublishMetrics(uint64_t now_nanos, bool force) {
   if (!force && now_nanos - last_publish_nanos_ < interval) return;
   last_publish_nanos_ = now_nanos;
   obs::MetricsSnapshot snapshot = registry_.Snapshot();
-  std::lock_guard<std::mutex> lock(publish_mutex_);
+  util::MutexLock lock(&publish_mu_);
   published_metrics_ = std::move(snapshot);
 }
 

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +13,9 @@
 #include "monitor/sink.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace springdtw {
 namespace net {
@@ -113,7 +114,12 @@ class StreamServer {
   /// Idempotent. After return the calling thread owns the router role.
   void Stop();
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const {
+    // order: acquire — pairs with the loop thread's release store on
+    // startup/exit so a caller that observes running_ == true also sees
+    // the bound port and loop state written before it.
+    return running_.load(std::memory_order_acquire);
+  }
 
   /// Bound port (valid after Start), -1 before.
   int port() const { return port_; }
@@ -125,9 +131,12 @@ class StreamServer {
 
   /// Loop-thread counters for tests (racy reads are fine post-Stop).
   int64_t total_connections() const {
+    // order: relaxed — test/diagnostic counter; exact reads only matter
+    // post-Stop, where the join is the synchronization edge.
     return total_connections_.load(std::memory_order_relaxed);
   }
   int64_t slow_disconnects() const {
+    // order: relaxed — test/diagnostic counter; see total_connections().
     return slow_disconnects_.load(std::memory_order_relaxed);
   }
 
@@ -214,8 +223,8 @@ class StreamServer {
   obs::Histogram* ingest_report_latency_ms_ = nullptr;
   std::vector<obs::Counter*> frame_counters_;
   uint64_t last_publish_nanos_ = 0;
-  mutable std::mutex publish_mutex_;
-  obs::MetricsSnapshot published_metrics_;
+  mutable util::Mutex publish_mu_;
+  obs::MetricsSnapshot published_metrics_ SPRINGDTW_GUARDED_BY(publish_mu_);
 
   std::atomic<int64_t> total_connections_{0};
   std::atomic<int64_t> slow_disconnects_{0};

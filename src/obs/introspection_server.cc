@@ -120,6 +120,8 @@ IntrospectionServer::IntrospectionServer(
 IntrospectionServer::~IntrospectionServer() { Stop(); }
 
 util::Status IntrospectionServer::Start() {
+  // order: relaxed ×2 — Start/Stop are caller-serialized by contract; the
+  // flags only guard against misuse, not cross-thread data.
   if (running_.load(std::memory_order_relaxed)) {
     return util::FailedPreconditionError("server already running");
   }
@@ -163,24 +165,31 @@ util::Status IntrospectionServer::Start() {
   } else {
     port_ = options_.port;
   }
+  // order: relaxed — the std::thread constructor below is the
+  // happens-before edge to the serving thread; the flag is advisory.
   running_.store(true, std::memory_order_relaxed);
   thread_ = std::thread(&IntrospectionServer::ServeLoop, this);
   return util::Status::Ok();
 }
 
 void IntrospectionServer::Stop() {
+  // order: relaxed — stop_ carries no payload; the serving thread only
+  // needs to eventually observe it (bounded by the 50ms poll slice), and
+  // the join below is the synchronization edge for everything else.
   stop_.store(true, std::memory_order_relaxed);
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  // order: relaxed — advisory flag; see Start().
   running_.store(false, std::memory_order_relaxed);
 }
 
 void IntrospectionServer::ServeLoop() {
   // Poll with a short timeout instead of a blocking accept so Stop() only
   // ever waits one poll slice for the thread to notice the flag.
+  // order: relaxed — see Stop(); the flag carries no payload.
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd;
     pfd.fd = listen_fd_;
@@ -263,6 +272,7 @@ void IntrospectionServer::HandleConnection(int client_fd) {
     if (n <= 0) break;
     sent += static_cast<size_t>(n);
   }
+  // order: relaxed — diagnostic counter; never synchronization.
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -13,7 +12,9 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace springdtw {
 namespace obs {
@@ -145,12 +146,17 @@ class IntrospectionServer {
   /// also run by the destructor.
   void Stop();
 
-  bool running() const { return running_.load(std::memory_order_relaxed); }
+  bool running() const {
+    // order: relaxed — advisory flag; Start()/Stop() synchronize via the
+    // serving thread's spawn/join, not this load.
+    return running_.load(std::memory_order_relaxed);
+  }
   /// The bound port (the actual one when options.port was 0), or -1 before
   /// a successful Start().
   int port() const { return port_; }
   /// Requests answered so far (any status code).
   int64_t requests_served() const {
+    // order: relaxed — diagnostic counter; staleness is fine.
     return requests_served_.load(std::memory_order_relaxed);
   }
 
@@ -182,36 +188,36 @@ class IntrospectionServer {
 class IntrospectionCache {
  public:
   void PublishMetrics(MetricsSnapshot snapshot) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mu_);
     metrics_ = std::move(snapshot);
   }
   void PublishHealth(HealthReport health) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mu_);
     health_ = std::move(health);
   }
   void PublishStatus(StatusReport status) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mu_);
     status_ = std::move(status);
   }
   void PublishTraces(TracezReport traces) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mu_);
     traces_ = std::move(traces);
   }
 
   MetricsSnapshot Metrics() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mu_);
     return metrics_;
   }
   HealthReport Health() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mu_);
     return health_;
   }
   StatusReport Status() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mu_);
     return status_;
   }
   TracezReport Traces() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mu_);
     return traces_;
   }
 
@@ -225,11 +231,11 @@ class IntrospectionCache {
   }
 
  private:
-  mutable std::mutex mutex_;
-  MetricsSnapshot metrics_;
-  HealthReport health_;
-  StatusReport status_;
-  TracezReport traces_;
+  mutable util::Mutex mu_;
+  MetricsSnapshot metrics_ SPRINGDTW_GUARDED_BY(mu_);
+  HealthReport health_ SPRINGDTW_GUARDED_BY(mu_);
+  StatusReport status_ SPRINGDTW_GUARDED_BY(mu_);
+  TracezReport traces_ SPRINGDTW_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

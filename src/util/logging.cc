@@ -34,15 +34,24 @@ const char* LogSeverityName(LogSeverity severity) {
   return "UNKNOWN";
 }
 
-void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+void SetMinLogSeverity(LogSeverity severity) {
+  // order: relaxed — the severity gate is an independent flag; a reader
+  // seeing a stale value misfilters at most a few in-flight log lines.
+  g_min_severity.store(severity, std::memory_order_relaxed);
+}
 
-LogSeverity MinLogSeverity() { return g_min_severity; }
+LogSeverity MinLogSeverity() {
+  // order: relaxed — see SetMinLogSeverity().
+  return g_min_severity.load(std::memory_order_relaxed);
+}
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+  // order: relaxed — see SetMinLogSeverity().
+  if (severity_ >= g_min_severity.load(std::memory_order_relaxed) ||
+      severity_ == LogSeverity::kFatal) {
     std::fprintf(stderr, "[%s %s:%d] %s\n", LogSeverityName(severity_),
                  Basename(file_), line_, stream_.str().c_str());
     std::fflush(stderr);

@@ -21,6 +21,8 @@ std::atomic<int64_t> g_allocated_bytes{0};
 // Not in the anonymous namespace: the global operator new replacements below
 // refer to it by qualified name.
 void* CountedAlloc(std::size_t size) {
+  // order: relaxed ×2 — heap accounting counters; readers want totals, not
+  // ordering against the allocations themselves.
   g_allocation_count.fetch_add(1, std::memory_order_relaxed);
   g_allocated_bytes.fetch_add(static_cast<int64_t>(size),
                               std::memory_order_relaxed);
@@ -66,10 +68,12 @@ std::string MemoryFootprint::ToString() const {
 }
 
 int64_t HeapStats::AllocationCount() {
+  // order: relaxed — accounting read; staleness is fine.
   return g_allocation_count.load(std::memory_order_relaxed);
 }
 
 int64_t HeapStats::AllocatedBytes() {
+  // order: relaxed — accounting read; staleness is fine.
   return g_allocated_bytes.load(std::memory_order_relaxed);
 }
 

@@ -1,0 +1,75 @@
+#ifndef SPRINGDTW_UTIL_THREAD_ANNOTATIONS_H_
+#define SPRINGDTW_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Portable macros over Clang Thread Safety Analysis (TSA). Under clang
+/// they expand to the `capability`-family attributes so `-Wthread-safety`
+/// can prove lock discipline at compile time; under every other compiler
+/// they expand to nothing, so annotated code stays buildable everywhere.
+///
+/// Conventions (docs/CORRECTNESS.md "Static analysis"):
+///  * Every mutex-guarded member carries SPRINGDTW_GUARDED_BY(mu).
+///  * Functions that must be called with a lock held carry
+///    SPRINGDTW_REQUIRES(mu); lock-taking/releasing functions carry
+///    SPRINGDTW_ACQUIRE / SPRINGDTW_RELEASE.
+///  * Mutexes that intentionally guard no data (e.g. the SPSC ring's
+///    park-only mutexes) carry a `springdtw-lint: allow(thread-annotation)`
+///    comment instead — the lint rule keeps the set of such exceptions
+///    explicit and reviewed.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SPRINGDTW_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef SPRINGDTW_THREAD_ANNOTATION__
+#define SPRINGDTW_THREAD_ANNOTATION__(x)
+#endif
+
+/// Marks a class as a lockable capability, e.g.
+/// `class SPRINGDTW_CAPABILITY("mutex") Mutex { ... };`
+#define SPRINGDTW_CAPABILITY(x) SPRINGDTW_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SPRINGDTW_SCOPED_CAPABILITY \
+  SPRINGDTW_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define SPRINGDTW_GUARDED_BY(x) SPRINGDTW_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected by
+/// the given capability (the pointer itself is not).
+#define SPRINGDTW_PT_GUARDED_BY(x) \
+  SPRINGDTW_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// The annotated function must be called with the listed capabilities held.
+#define SPRINGDTW_REQUIRES(...) \
+  SPRINGDTW_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// The annotated function acquires the listed capabilities (or `this` when
+/// the list is empty) and holds them on return.
+#define SPRINGDTW_ACQUIRE(...) \
+  SPRINGDTW_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases the listed capabilities.
+#define SPRINGDTW_RELEASE(...) \
+  SPRINGDTW_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// The annotated function tries to acquire and returns `ret` on success.
+#define SPRINGDTW_TRY_ACQUIRE(ret, ...) \
+  SPRINGDTW_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The annotated function must NOT be called with the listed capabilities
+/// held (deadlock prevention for self-locking entry points).
+#define SPRINGDTW_EXCLUDES(...) \
+  SPRINGDTW_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// The annotated function returns a reference to the given capability.
+#define SPRINGDTW_RETURN_CAPABILITY(x) \
+  SPRINGDTW_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Use only with a
+/// comment explaining why the analysis cannot see the invariant.
+#define SPRINGDTW_NO_THREAD_SAFETY_ANALYSIS \
+  SPRINGDTW_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SPRINGDTW_UTIL_THREAD_ANNOTATIONS_H_

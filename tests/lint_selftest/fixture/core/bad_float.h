@@ -1,0 +1,13 @@
+#ifndef SPRINGDTW_CORE_BAD_FLOAT_H_
+#define SPRINGDTW_CORE_BAD_FLOAT_H_
+
+namespace fixture {
+
+inline double Demote(double x) {
+  float narrowed = static_cast<float>(x);
+  return narrowed * 1.5f;
+}
+
+}  // namespace fixture
+
+#endif  // SPRINGDTW_CORE_BAD_FLOAT_H_

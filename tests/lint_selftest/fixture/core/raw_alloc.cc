@@ -1,0 +1,11 @@
+namespace fixture {
+
+int* Leak() {
+  return new int(3);
+}
+
+void Release(void* p) {
+  std::free(p);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_lock;
+
+void Locked() {
+  std::lock_guard<std::mutex> lock(g_lock);
+  (void)lock;
+}
+
+// springdtw-lint: allow(raw-mutex) — fixture suppression check.
+std::mutex g_suppressed;
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+#ifndef SPRINGDTW_MONITOR_UNANNOTATED_H_
+#define SPRINGDTW_MONITOR_UNANNOTATED_H_
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Unannotated {
+ private:
+  util::Mutex state_mu_;
+  int unguarded_ = 0;
+
+  util::Mutex ok_mu_;
+  int guarded_ SPRINGDTW_GUARDED_BY(ok_mu_) = 0;
+
+  // springdtw-lint: allow(thread-annotation) — park-only fixture.
+  util::Mutex park_mu_;
+};
+
+}  // namespace fixture
+
+#endif  // SPRINGDTW_MONITOR_UNANNOTATED_H_

@@ -1,0 +1,9 @@
+// springdtw-lint: allow-file(raw-alloc) — fixture: file-level suppression.
+
+namespace fixture {
+
+int* StillFine() {
+  return new int(7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+#include <atomic>
+
+namespace fixture {
+
+class BadAtomic {
+ public:
+  long Get() const { return counter_.load(); }
+  void Set(long v) {
+    counter_.store(v, std::memory_order_relaxed);
+  }
+  void Ok(long v) {
+    // order: relaxed — fixture: explicit and justified.
+    counter_.store(v, std::memory_order_relaxed);
+  }
+  void Suppressed() {
+    counter_.fetch_add(1);  // springdtw-lint: allow(memory-order)
+  }
+
+ private:
+  mutable std::atomic<long> counter_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: header without the canonical include guard.
+#pragma once
+
+namespace fixture {
+inline int NoGuard() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: raw std::mutex is allowed under util/ (the wrappers live
+// there).
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_util_ok;
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#ifndef SPRINGDTW_UTIL_STATUS_H_
+#define SPRINGDTW_UTIL_STATUS_H_
+
+namespace fixture {
+
+class Status {};
+
+template <typename T>
+class StatusOr {};
+
+}  // namespace fixture
+
+#endif  // SPRINGDTW_UTIL_STATUS_H_

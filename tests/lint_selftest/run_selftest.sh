@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Self-test for tools/springdtw_lint: runs the linter over a fixture tree
+# that seeds exactly one (or two) violations per rule plus a non-firing
+# counterpart for every suppression mechanism, then asserts the exact
+# file:line: [rule] output and the total violation count.
+#
+# Usage: run_selftest.sh <path-to-springdtw_lint> <fixture-dir>
+set -u
+
+LINT="${1:?usage: run_selftest.sh <lint-binary> <fixture-dir>}"
+FIXTURE="${2:?usage: run_selftest.sh <lint-binary> <fixture-dir>}"
+
+out="$("$LINT" "$FIXTURE" 2>&1)"
+status=$?
+echo "$out"
+
+fail() {
+  echo "lint_selftest: FAIL: $1" >&2
+  exit 1
+}
+
+# Violations present => exit code 1 (0 would mean the rules never fired).
+[ "$status" -eq 1 ] || fail "expected exit status 1, got $status"
+
+expect() {
+  echo "$out" | grep -qF "$1" || fail "missing expected violation: $1"
+}
+
+# --- each rule fires at the seeded site -------------------------------
+expect "core/bad_float.h:7: [no-float]"          # 'float' token
+expect "core/bad_float.h:8: [no-float]"          # 1.5f literal
+expect "core/raw_alloc.cc:4: [raw-alloc]"        # bare new
+expect "core/raw_alloc.cc:8: [raw-alloc]"        # std::free
+expect "monitor/raw_mutex.cc:1: [raw-mutex]"     # #include <mutex>
+expect "monitor/raw_mutex.cc:5: [raw-mutex]"     # std::mutex member
+expect "monitor/raw_mutex.cc:8: [raw-mutex]"     # std::lock_guard use
+expect "monitor/unannotated.h:11: [thread-annotation]"  # state_mu_ w/o GUARDED_BY
+expect "net/bad_atomic.cc:7: [memory-order]"     # load() w/o explicit order
+expect "net/bad_atomic.cc:9: [memory-order]"     # explicit order, no // order:
+expect "net/missing_guard.h:1: [include-guard]"
+expect "util/status.h:1: [nodiscard]"
+
+# --- suppressions and scoping must NOT fire ---------------------------
+echo "$out" | grep -q "allowed_alloc"   && fail "allow-file(raw-alloc) was ignored"
+echo "$out" | grep -q "allowed_mutex"   && fail "util/ raw-mutex exemption was ignored"
+echo "$out" | grep -q "g_suppressed"    && fail "allow(raw-mutex) line suppression was ignored"
+echo "$out" | grep -q "park_mu_"        && fail "allow(thread-annotation) suppression was ignored"
+echo "$out" | grep -q "ok_mu_"          && fail "GUARDED_BY-satisfied member was flagged"
+echo "$out" | grep -q "bad_atomic.cc:13" && fail "justified+explicit atomic op was flagged"
+echo "$out" | grep -q "bad_atomic.cc:16" && fail "allow(memory-order) suppression was ignored"
+
+# Exact count: the 12 expects above, with raw_mutex.cc:8 firing twice
+# (std::mutex and std::lock_guard on one line) and status.h:1 firing twice
+# (Status and StatusOr both missing [[nodiscard]]). Anything beyond 14
+# means a rule fired where it should not have.
+count=$(echo "$out" | grep -c ': \[')
+[ "$count" -eq 14 ] || fail "expected exactly 14 violations, got $count"
+
+echo "lint_selftest: PASS"

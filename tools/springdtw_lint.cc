@@ -21,6 +21,26 @@
 //                  literal demotes an entire expression).
 //   include-guard  Every header under src/ carries the canonical
 //                  `SPRINGDTW_<PATH>_H_` include guard.
+//   memory-order   Every std::atomic load/store/RMW call must name an
+//                  explicit std::memory_order AND carry a same-line-or-
+//                  preceding `// order:` justification comment, so the
+//                  SPSC ring and drain-barrier acquire/release pairs are
+//                  machine-checked documentation. Only runs in files that
+//                  mention std::atomic.
+//   raw-mutex      No std::mutex / std::lock_guard / std::unique_lock /
+//                  std::condition_variable outside util/ — everything
+//                  locks through the annotated util::Mutex wrappers so
+//                  Clang Thread Safety Analysis sees every lock site.
+//   thread-annotation
+//                  Every util::Mutex member (and any member named *_mu /
+//                  *_mu_) must guard something: the file must annotate at
+//                  least one sibling with GUARDED_BY(that mutex) (or
+//                  REQUIRES/ACQUIRE), or the declaration must carry an
+//                  explicit allow comment (park-only mutexes).
+//
+// Suppressions: `springdtw-lint: allow-file(RULE)` anywhere in the file
+// disables RULE for the whole file; `springdtw-lint: allow(RULE)` on the
+// violating line or the line above disables RULE for that site.
 //
 // Usage: springdtw_lint <src-dir>   (exit 0 = clean, 1 = violations,
 //                                    2 = usage/IO error)
@@ -282,6 +302,235 @@ void CheckIncludeGuard(const std::string& file, const fs::path& rel,
   }
 }
 
+/// True when raw line `n` (0-based) or the line above carries a
+/// `springdtw-lint: allow(rule)` comment.
+bool LineAllows(const std::vector<std::string>& raw_lines, size_t n,
+                const std::string& rule) {
+  const std::string marker = "springdtw-lint: allow(" + rule + ")";
+  if (n < raw_lines.size() &&
+      raw_lines[n].find(marker) != std::string::npos) {
+    return true;
+  }
+  return n > 0 && raw_lines[n - 1].find(marker) != std::string::npos;
+}
+
+bool FileAllows(const std::string& raw_text, const std::string& rule) {
+  return raw_text.find("springdtw-lint: allow-file(" + rule + ")") !=
+         std::string::npos;
+}
+
+std::string TrimmedView(const std::string& line) {
+  const size_t first = line.find_first_not_of(" \t");
+  if (first == std::string::npos) return std::string();
+  const size_t last = line.find_last_not_of(" \t");
+  return line.substr(first, last - first + 1);
+}
+
+/// Atomic member-function tokens checked by the memory-order rule.
+const char* const kAtomicOps[] = {
+    "load",       "store",       "exchange",
+    "fetch_add",  "fetch_sub",   "fetch_and",
+    "fetch_or",   "fetch_xor",   "compare_exchange_weak",
+    "compare_exchange_strong"};
+
+/// True when the stripped line could be part of the same annotated atomic
+/// statement group as a line below it: a comment-only raw line, a
+/// memory_order-carrying continuation, another atomic op, or an obvious
+/// statement continuation (trailing `=`, `,` or `(`). The upward scan for
+/// the `// order:` justification walks through such lines so one comment
+/// may cover a contiguous run of atomic ops (write `order: relaxed ×2`).
+bool PartOfAtomicGroup(const std::string& raw_line,
+                       const std::string& stripped_line) {
+  const std::string trimmed_raw = TrimmedView(raw_line);
+  if (trimmed_raw.empty() || trimmed_raw.rfind("//", 0) == 0) return true;
+  if (stripped_line.find("memory_order") != std::string::npos) return true;
+  size_t pos = 0;
+  for (const char* op : kAtomicOps) {
+    if (FindToken(stripped_line, op, &pos)) return true;
+  }
+  const std::string trimmed = TrimmedView(stripped_line);
+  if (trimmed.empty()) return true;
+  const char last = trimmed.back();
+  return last == '=' || last == ',' || last == '(';
+}
+
+/// `// order:` justification on the op's line or reachable through the
+/// contiguous atomic statement group above it.
+bool HasOrderComment(const std::vector<std::string>& raw_lines,
+                     const std::vector<std::string>& stripped_lines,
+                     size_t n) {
+  if (raw_lines[n].find("order:") != std::string::npos &&
+      raw_lines[n].find("//") != std::string::npos) {
+    return true;
+  }
+  const size_t scan_limit = 12;
+  for (size_t back = 1; back <= scan_limit && back <= n; ++back) {
+    const size_t k = n - back;
+    const std::string trimmed = TrimmedView(raw_lines[k]);
+    if (trimmed.rfind("//", 0) == 0 &&
+        trimmed.find("order:") != std::string::npos) {
+      return true;
+    }
+    if (!PartOfAtomicGroup(raw_lines[k], stripped_lines[k])) return false;
+  }
+  return false;
+}
+
+void CheckMemoryOrder(const std::string& file,
+                      const std::string& raw_text,
+                      const std::vector<std::string>& raw_lines,
+                      const std::vector<std::string>& stripped_lines) {
+  // Only meaningful where atomics are in play; `.load(` on non-atomics
+  // (config readers etc.) must not trip the rule elsewhere.
+  if (raw_text.find("std::atomic") == std::string::npos) return;
+  if (FileAllows(raw_text, "memory-order")) return;
+  for (size_t n = 0; n < stripped_lines.size(); ++n) {
+    const std::string& line = stripped_lines[n];
+    for (const char* op : kAtomicOps) {
+      const std::string word(op);
+      size_t from = 0;
+      while ((from = line.find(word, from)) != std::string::npos) {
+        const size_t end = from + word.size();
+        const bool left_ok = from == 0 || !IsIdentChar(line[from - 1]);
+        const bool right_ok = end < line.size() && line[end] == '(';
+        const bool member_call =
+            from > 0 && (line[from - 1] == '.' || line[from - 1] == '>');
+        from = end;
+        if (!left_ok || !right_ok || !member_call) continue;
+        if (LineAllows(raw_lines, n, "memory-order")) continue;
+        // The call's argument list may wrap; search to the statement end.
+        std::string statement = line.substr(from);
+        for (size_t k = n + 1;
+             k < stripped_lines.size() && k <= n + 4 &&
+             statement.find(';') == std::string::npos;
+             ++k) {
+          statement += stripped_lines[k];
+        }
+        if (statement.substr(0, statement.find(';'))
+                .find("memory_order") == std::string::npos) {
+          Report(file, n + 1, "memory-order",
+                 "atomic `" + word +
+                     "` without an explicit std::memory_order");
+        } else if (!HasOrderComment(raw_lines, stripped_lines, n)) {
+          Report(file, n + 1, "memory-order",
+                 "atomic `" + word +
+                     "` lacks a `// order:` justification comment");
+        }
+      }
+    }
+  }
+}
+
+void CheckRawMutex(const std::string& file, const std::string& raw_text,
+                   const std::vector<std::string>& raw_lines,
+                   const std::vector<std::string>& stripped_lines) {
+  if (FileAllows(raw_text, "raw-mutex")) return;
+  static const char* kForbidden[] = {
+      "std::mutex",          "std::timed_mutex",
+      "std::recursive_mutex", "std::shared_mutex",
+      "std::lock_guard",      "std::unique_lock",
+      "std::scoped_lock",     "std::shared_lock",
+      "std::condition_variable", "std::condition_variable_any"};
+  for (size_t n = 0; n < stripped_lines.size(); ++n) {
+    const std::string& line = stripped_lines[n];
+    if (line.find("#include") != std::string::npos &&
+        (line.find("<mutex>") != std::string::npos ||
+         line.find("<condition_variable>") != std::string::npos)) {
+      if (!LineAllows(raw_lines, n, "raw-mutex")) {
+        Report(file, n + 1, "raw-mutex",
+               "include raw mutex headers only under util/; use "
+               "util/mutex.h");
+      }
+      continue;
+    }
+    for (const char* token : kForbidden) {
+      size_t pos = 0;
+      if (!FindToken(line, token, &pos)) continue;
+      if (LineAllows(raw_lines, n, "raw-mutex")) continue;
+      Report(file, n + 1, "raw-mutex",
+             std::string("`") + token +
+                 "` outside util/; use the annotated util::Mutex / "
+                 "util::MutexLock / util::CondVar wrappers");
+    }
+  }
+}
+
+void CheckThreadAnnotation(const std::string& file,
+                           const std::string& raw_text,
+                           const std::vector<std::string>& raw_lines,
+                           const std::vector<std::string>& stripped_lines) {
+  if (FileAllows(raw_text, "thread-annotation")) return;
+  for (size_t n = 0; n < stripped_lines.size(); ++n) {
+    const std::string& line = stripped_lines[n];
+    std::string member;
+    // Mutex-wrapper member declarations: `[util::]Mutex name_;` (plain
+    // members only — references, pointers, and constructor calls are not
+    // declarations of a guarding mutex).
+    size_t pos = 0;
+    if (FindToken(line, "Mutex", &pos)) {
+      size_t j = pos + 5;
+      while (j < line.size() && line[j] == ' ') ++j;
+      size_t name_end = j;
+      while (name_end < line.size() && IsIdentChar(line[name_end])) {
+        ++name_end;
+      }
+      size_t after = name_end;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (name_end > j && after < line.size() && line[after] == ';') {
+        member = line.substr(j, name_end - j);
+      }
+    }
+    if (member.empty()) {
+      // Members named by the guarding convention (`*_mu` / `*_mu_`)
+      // declared with any type: `<type> name_mu_;`.
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (!IsIdentChar(line[i]) || (i > 0 && IsIdentChar(line[i - 1]))) {
+          continue;
+        }
+        size_t name_end = i;
+        while (name_end < line.size() && IsIdentChar(line[name_end])) {
+          ++name_end;
+        }
+        const std::string ident = line.substr(i, name_end - i);
+        size_t after = name_end;
+        while (after < line.size() && line[after] == ' ') ++after;
+        const bool mu_name = ident.size() > 3 &&
+                             (ident.rfind("_mu_") == ident.size() - 4 ||
+                              ident.rfind("_mu") == ident.size() - 3);
+        if (mu_name && i > 0 && after < line.size() &&
+            line[after] == ';') {
+          member = ident;
+          break;
+        }
+        i = name_end;
+      }
+    }
+    if (member.empty()) continue;
+    if (LineAllows(raw_lines, n, "thread-annotation")) continue;
+    // Satisfied when some sibling is annotated as guarded by (or some
+    // function requires/acquires) this mutex.
+    static const char* kAnnotations[] = {"GUARDED_BY(", "PT_GUARDED_BY(",
+                                         "REQUIRES(", "ACQUIRE("};
+    bool annotated = false;
+    for (const char* annotation : kAnnotations) {
+      if (raw_text.find(std::string(annotation) + member + ")") !=
+          std::string::npos) {
+        annotated = true;
+        break;
+      }
+    }
+    if (!annotated) {
+      Report(file, n + 1, "thread-annotation",
+             "mutex member `" + member +
+                 "` guards nothing: annotate a sibling with "
+                 "SPRINGDTW_GUARDED_BY(" +
+                 member +
+                 ") or add a `springdtw-lint: allow(thread-annotation)` "
+                 "comment");
+    }
+  }
+}
+
 void CheckNodiscardStatus(const std::string& file,
                           const std::string& raw_text) {
   if (raw_text.find("class [[nodiscard]] Status") == std::string::npos) {
@@ -306,6 +555,7 @@ bool LintFile(const fs::path& path, const fs::path& src_root) {
   const std::string file = path.generic_string();
   const fs::path rel = fs::relative(path, src_root);
 
+  const std::vector<std::string> raw_lines = SplitLines(raw_text);
   const std::vector<std::string> stripped_lines =
       SplitLines(StripCommentsAndStrings(raw_text));
 
@@ -320,6 +570,11 @@ bool LintFile(const fs::path& path, const fs::path& src_root) {
   if (rel_str == "util/status.h") {
     CheckNodiscardStatus(file, raw_text);
   }
+  CheckMemoryOrder(file, raw_text, raw_lines, stripped_lines);
+  if (rel_str.rfind("util/", 0) != 0) {
+    CheckRawMutex(file, raw_text, raw_lines, stripped_lines);
+  }
+  CheckThreadAnnotation(file, raw_text, raw_lines, stripped_lines);
   return true;
 }
 
