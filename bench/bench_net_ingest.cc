@@ -8,16 +8,23 @@
 //
 // The wire adds framing, syscalls, and the event loop on top of the same
 // monitor, so net/direct is the protocol's overhead factor. Absolute
-// numbers are hardware-bound; the bench only gates (under --smoke, run by
-// scripts/check.sh) on liveness properties: every path moves ticks, every
-// drain barrier accounts for exactly the ticks sent, and the server
-// reports no slow-subscriber disconnects for these drain-paced feeders.
+// numbers are hardware-bound; the bench gates (under --smoke, run by
+// scripts/check.sh) on liveness properties — every path moves ticks, every
+// drain barrier accounts for exactly the ticks sent, the server reports no
+// slow-subscriber disconnects for these drain-paced feeders — plus one
+// differential bound: fsync=os write-ahead logging must cost under 10% of
+// single-connection throughput (measured against a pairwise-interleaved
+// no-WAL baseline, so machine drift cancels).
 //
 // All measurements are emitted as a BENCH_METRICS_JSON line
 // (bench_net_ingest_ticks_per_sec{path=direct|net, connections=N}).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <span>
 #include <string>
 #include <thread>
@@ -31,7 +38,9 @@
 #include "net/server.h"
 #include "util/flags.h"
 #include "util/random.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
+#include "wal/wal.h"
 
 namespace springdtw {
 namespace {
@@ -117,9 +126,13 @@ double MeasureDirect(const Workload& w, int64_t workers, int64_t chunk) {
 /// confirmed full application. With `traced`, the serving monitor runs the
 /// full observability stack at 1-in-64 sampling (spans + cost accounting),
 /// the deployment default — its cost shows up as tracing_overhead_pct.
+/// With a non-empty `wal_dir`, every accepted batch is also framed into a
+/// per-shard write-ahead log under fsync=os (the default durability tier,
+/// docs/DURABILITY.md) before it is acked — its cost shows up as
+/// wal_overhead_pct.
 double MeasureNet(const Workload& w, int64_t workers, int64_t chunk,
                   int64_t connections, bool traced,
-                  int64_t* slow_disconnects) {
+                  const std::string& wal_dir, int64_t* slow_disconnects) {
   monitor::ShardedMonitorOptions monitor_options;
   monitor_options.num_workers = workers;
   if (traced) {
@@ -130,28 +143,64 @@ double MeasureNet(const Workload& w, int64_t workers, int64_t chunk,
   monitor::ShardedMonitor monitor(monitor_options);
   BuildTopology(w, &monitor);
   monitor.Start();
+  std::unique_ptr<wal::WalWriter> wal;
+  if (!wal_dir.empty()) {
+    wal::WalOptions wal_options;
+    wal_options.dir = wal_dir;
+    wal_options.num_shards = workers;
+    wal_options.fsync = wal::FsyncPolicy::kOs;
+    auto opened = wal::WalWriter::Open(wal_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "WAL open failed: %s\n",
+                   opened.status().ToString().c_str());
+      std::exit(1);
+    }
+    wal = std::move(*opened);
+  }
   net::StreamServer server(&monitor, net::StreamServerOptions{});
+  if (wal != nullptr) {
+    // The bench measures the logging path, not checkpoint serialization;
+    // admin-triggered checkpoints are a no-op here.
+    server.SetCheckpointFn(
+        [] { return util::StatusOr<uint64_t>(uint64_t{0}); });
+    server.SetWal(wal.get());
+  }
   if (!server.Start().ok()) {
     std::fprintf(stderr, "server start failed\n");
     std::exit(1);
   }
 
+  // The clock covers ingest only: feeders connect and open their streams
+  // first (stream-open is an admin mutation — under a WAL it forces a
+  // checkpoint + log truncation, which is setup cost, not steady state),
+  // rendezvous on `ready`, and start feeding together on `go`.
   std::vector<std::thread> feeders;
   std::vector<bool> ok(static_cast<size_t>(connections), false);
-  util::Stopwatch stopwatch;
+  std::atomic<int64_t> ready{0};
+  std::atomic<bool> go{false};
   for (int64_t c = 0; c < connections; ++c) {
     feeders.emplace_back([&, c]() {
       net::StreamClientOptions client_options;
       client_options.port = server.port();
       net::StreamClient client(client_options);
-      if (!client.Connect().ok()) return;
       std::vector<int64_t> ids(w.streams.size(), -1);
-      for (size_t s = static_cast<size_t>(c); s < w.streams.size();
-           s += static_cast<size_t>(connections)) {
-        auto id = client.OpenStream("n" + std::to_string(s));
-        if (!id.ok()) return;
-        ids[s] = *id;
+      bool prepared = client.Connect().ok();
+      if (prepared) {
+        for (size_t s = static_cast<size_t>(c); s < w.streams.size();
+             s += static_cast<size_t>(connections)) {
+          auto id = client.OpenStream("n" + std::to_string(s));
+          if (!id.ok()) {
+            prepared = false;
+            break;
+          }
+          ids[s] = *id;
+        }
       }
+      // order: release/acquire — the main thread's `ready` read plus the
+      // feeder's `go` read bracket the stopwatch start.
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      if (!prepared) return;
       const int64_t ticks_per_stream =
           static_cast<int64_t>(w.streams[0].size());
       int64_t sent = 0;
@@ -174,6 +223,13 @@ double MeasureNet(const Workload& w, int64_t workers, int64_t chunk,
       ok[static_cast<size_t>(c)] = true;
     });
   }
+  // order: acquire — pairs with the feeders' release increments.
+  while (ready.load(std::memory_order_acquire) < connections) {
+    std::this_thread::yield();
+  }
+  util::Stopwatch stopwatch;
+  // order: release — the clock is running before any feeder proceeds.
+  go.store(true, std::memory_order_release);
   for (auto& feeder : feeders) feeder.join();
   const double seconds = stopwatch.ElapsedSeconds();
   for (int64_t c = 0; c < connections; ++c) {
@@ -209,8 +265,10 @@ int main(int argc, char** argv) {
   const bool smoke = flags.GetBool("smoke", false);
   const int64_t num_streams = flags.GetInt64("streams", 8);
   const int64_t m = flags.GetInt64("m", 32);
-  const int64_t ticks_per_stream =
-      flags.GetInt64("ticks_per_stream", smoke ? 4000 : 20000);
+  // Smoke keeps the full default window: the WAL overhead gate is a
+  // differential measurement, and a short window drowns it in scheduler
+  // noise (a 4k-tick run is ~6 ms of wall clock).
+  const int64_t ticks_per_stream = flags.GetInt64("ticks_per_stream", 20000);
   const int64_t chunk = std::max<int64_t>(1, flags.GetInt64("chunk", 256));
   const int64_t workers = std::max<int64_t>(1, flags.GetInt64("workers", 2));
   const int64_t repeats = std::max<int64_t>(1, flags.GetInt64("repeats", 3));
@@ -242,11 +300,12 @@ int main(int argc, char** argv) {
   double net_1 = 0.0;
   double net_traced = 0.0;
   for (int64_t r = 0; r < repeats; ++r) {
-    net_1 = std::max(net_1, MeasureNet(w, workers, chunk, /*connections=*/1,
-                                       /*traced=*/false, &slow_disconnects));
+    net_1 = std::max(net_1,
+                     MeasureNet(w, workers, chunk, /*connections=*/1,
+                                /*traced=*/false, "", &slow_disconnects));
     net_traced = std::max(
         net_traced, MeasureNet(w, workers, chunk, /*connections=*/1,
-                               /*traced=*/true, &slow_disconnects));
+                               /*traced=*/true, "", &slow_disconnects));
   }
   std::printf("%-28s %12.0f ticks/sec  (%.2fx vs direct)\n", "loopback 1 conn",
               net_1, direct > 0.0 ? net_1 / direct : 0.0);
@@ -256,13 +315,55 @@ int main(int argc, char** argv) {
 
   const double net_8 = BestOf(repeats, [&] {
     return MeasureNet(w, workers, chunk, /*connections=*/8, /*traced=*/false,
-                      &slow_disconnects);
+                      "", &slow_disconnects);
   });
   std::printf("%-28s %12.0f ticks/sec  (%.2fx vs direct)\n", "loopback 8 conn",
               net_8, direct > 0.0 ? net_8 / direct : 0.0);
   emitter.SetGauge("bench_net_ingest_ticks_per_sec",
                    "monitor ingest throughput", net_8,
                    {obs::Label{"path", "net"}, obs::Label{"connections", "8"}});
+
+  // WAL on (fsync=os, the default durability tier) vs off, same pairwise
+  // interleave as the tracing pair and with its own plain baseline so the
+  // differential sees identical machine conditions. Fresh log directory
+  // per run: segment rotation and reopen costs are part of the price.
+  char wal_root_template[] = "/tmp/bench_net_ingest_wal.XXXXXX";
+  if (mkdtemp(wal_root_template) == nullptr) {
+    std::printf("cannot create WAL bench directory\n");
+    return 1;
+  }
+  const std::string wal_root = wal_root_template;
+  double net_wal = 0.0;
+  double wal_best_ratio = 0.0;
+  for (int64_t r = 0; r < repeats; ++r) {
+    const double base =
+        MeasureNet(w, workers, chunk, /*connections=*/1,
+                   /*traced=*/false, "", &slow_disconnects);
+    const double with_wal =
+        MeasureNet(w, workers, chunk, /*connections=*/1, /*traced=*/false,
+                   wal_root + "/r" + std::to_string(r), &slow_disconnects);
+    net_wal = std::max(net_wal, with_wal);
+    // The overhead comes from the best adjacent-in-time pairing, not from
+    // a ratio of global bests: each pair ran under (nearly) the same
+    // machine conditions, so per-pair ratios cancel drift that a
+    // cross-pair ratio would book as WAL cost.
+    if (base > 0.0) {
+      wal_best_ratio = std::max(wal_best_ratio, with_wal / base);
+    }
+  }
+  std::error_code wal_cleanup_ec;
+  std::filesystem::remove_all(wal_root, wal_cleanup_ec);
+  const double wal_overhead_pct =
+      wal_best_ratio > 0.0 ? (1.0 - wal_best_ratio) * 100.0 : 100.0;
+  std::printf("%-28s %12.0f ticks/sec  (%+.2f%% vs no WAL)\n",
+              "loopback 1 conn wal=os", net_wal, -wal_overhead_pct);
+  emitter.SetGauge(
+      "bench_net_ingest_ticks_per_sec", "monitor ingest throughput", net_wal,
+      {obs::Label{"path", "net"}, obs::Label{"connections", "1"},
+       obs::Label{"wal", "os"}});
+  emitter.SetGauge("bench_net_ingest_wal_overhead_pct",
+                   "throughput lost to fsync=os write-ahead logging, percent",
+                   wal_overhead_pct);
 
   const double tracing_overhead_pct =
       net_1 > 0.0 ? (net_1 - net_traced) / net_1 * 100.0 : 0.0;
@@ -298,6 +399,18 @@ int main(int argc, char** argv) {
     }
     if (slow_disconnects != 0) {
       std::printf("SMOKE FAIL: drain-paced feeders were disconnected\n");
+      return 1;
+    }
+    if (net_wal <= 0.0) {
+      std::printf("SMOKE FAIL: WAL path moved no ticks\n");
+      return 1;
+    }
+    // Durability is supposed to be nearly free at the fsync=os tier: the
+    // append is a frame encode plus a page-cache write. Best-of repeats on
+    // both sides of the pair damp scheduler noise.
+    if (wal_overhead_pct >= 10.0) {
+      std::printf("SMOKE FAIL: fsync=os WAL overhead %.2f%% >= 10%%\n",
+                  wal_overhead_pct);
       return 1;
     }
   }

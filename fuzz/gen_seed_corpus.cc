@@ -16,6 +16,7 @@
 #include "monitor/engine.h"
 #include "net/protocol.h"
 #include "ts/vector_series.h"
+#include "wal/record.h"
 
 namespace {
 
@@ -145,11 +146,64 @@ bool WriteNetFrameCorpus(const std::filesystem::path& dir) {
   return ok;
 }
 
+// Valid WAL segment shapes for fuzz_wal: what a healthy shard leaves on
+// disk (header + tick runs), a marks file, and a mixed multi-record
+// segment. The committed corpus/wal covers the torn/hostile shapes.
+bool WriteWalCorpus(const std::filesystem::path& dir) {
+  namespace wal = springdtw::wal;
+  bool ok = true;
+
+  std::vector<uint8_t> segment;
+  wal::SegmentHeader header;
+  header.shard = 0;
+  header.index = 3;
+  wal::AppendRecord(wal::RecordType::kSegmentHeader, header.Encode(),
+                    &segment);
+  ok = WriteFile(dir / "header_only.bin", segment) && ok;
+
+  wal::TicksRecord ticks;
+  ticks.seq0 = 0;
+  ticks.stream_id = 0;
+  ticks.values = {1.0, 2.5, -3.0};
+  wal::AppendRecord(wal::RecordType::kTicks, ticks.Encode(), &segment);
+  wal::TicksRecord more;
+  more.seq0 = 3;
+  more.stream_id = 1;
+  more.values.assign(64, 0.25);
+  wal::AppendRecord(wal::RecordType::kTicks, more.Encode(), &segment);
+  ok = WriteFile(dir / "segment_ticks.bin", segment) && ok;
+
+  std::vector<uint8_t> marks;
+  wal::SegmentHeader marks_header;
+  marks_header.shard = static_cast<uint64_t>(-1);
+  marks_header.index = 4;
+  wal::AppendRecord(wal::RecordType::kSegmentHeader, marks_header.Encode(),
+                    &marks);
+  wal::DeliveryMark mark;
+  mark.seq = 66;
+  mark.query_id = 2;
+  wal::AppendRecord(wal::RecordType::kDeliveryMark, mark.Encode(), &marks);
+  ok = WriteFile(dir / "marks.bin", marks) && ok;
+
+  // A mixed segment with a mark interleaved (scanner must not assume
+  // record-type ordering) and a NaN tick value.
+  std::vector<uint8_t> mixed = segment;
+  wal::AppendRecord(wal::RecordType::kDeliveryMark, mark.Encode(), &mixed);
+  wal::TicksRecord weird;
+  weird.seq0 = 67;
+  weird.stream_id = 0;
+  weird.values = {std::numeric_limits<double>::quiet_NaN(), 0.0};
+  wal::AppendRecord(wal::RecordType::kTicks, weird.Encode(), &mixed);
+  ok = WriteFile(dir / "mixed.bin", mixed) && ok;
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: %s <checkpoint-dir> [net-frame-dir]\n",
+  if (argc < 2 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: %s <checkpoint-dir> [net-frame-dir] [wal-dir]\n",
                  argv[0]);
     return 2;
   }
@@ -223,10 +277,16 @@ int main(int argc, char** argv) {
     ok = WriteFile(dir / "engine_mixed.bin", engine.SerializeState()) && ok;
   }
 
-  if (argc == 3) {
+  if (argc >= 3) {
     const std::filesystem::path net_dir(argv[2]);
     std::filesystem::create_directories(net_dir, ec);
     ok = WriteNetFrameCorpus(net_dir) && ok;
+  }
+
+  if (argc >= 4) {
+    const std::filesystem::path wal_dir(argv[3]);
+    std::filesystem::create_directories(wal_dir, ec);
+    ok = WriteWalCorpus(wal_dir) && ok;
   }
 
   if (!ok) {

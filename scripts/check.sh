@@ -36,6 +36,13 @@
 #               daemon (must exit 0 and leave a checkpoint), then restarts
 #               from the checkpoint and asserts the restored query keeps
 #               matching (docs/SERVING.md)
+#   crash-smoke Boots springdtw_serve with --wal_dir, streams a planted
+#               pattern, SIGKILLs the daemon mid-flight (no checkpoint,
+#               no drain), restarts against the same WAL directory, and
+#               asserts the daemon logs a WAL_RECOVERY line, the query
+#               and every accepted tick survived, and the planted match
+#               is reported exactly once across both incarnations —
+#               deduplicated by its stable seq= tag (docs/DURABILITY.md)
 #
 # Usage: scripts/check.sh [leg ...]   (no args = all legs)
 # Exits non-zero if any leg fails; prints a per-leg summary either way.
@@ -47,7 +54,7 @@ JOBS="${JOBS:-$(nproc)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
   LEGS=(default asan-ubsan tsan lint analyze fuzz-smoke bench-smoke
-    introspect-smoke serve-smoke)
+    introspect-smoke serve-smoke crash-smoke)
 fi
 
 NAMES=()
@@ -160,7 +167,7 @@ leg_analyze() {
 leg_fuzz_smoke() {
   cmake --preset default &&
     cmake --build --preset default -j"$JOBS" \
-      --target fuzz_csv fuzz_codec fuzz_checkpoint fuzz_net_frame \
+      --target fuzz_csv fuzz_codec fuzz_checkpoint fuzz_net_frame fuzz_wal \
       fuzz_gen_seed_corpus &&
     ctest --test-dir build -R '^fuzz_' --output-on-failure
 }
@@ -179,7 +186,7 @@ leg_bench_smoke() {
     cmake --build --preset default -j"$JOBS" --target bench_net_ingest &&
     ./build/bench/bench_net_ingest --smoke --json_out=BENCH_net.json &&
     ./build/tools/springdtw_metrics_check --in=BENCH_net.json \
-      --require=bench_net_ingest_ticks_per_sec,bench_net_ingest_wire_overhead,bench_net_ingest_tracing_overhead_pct
+      --require=bench_net_ingest_ticks_per_sec,bench_net_ingest_wire_overhead,bench_net_ingest_tracing_overhead_pct,bench_net_ingest_wal_overhead_pct
 }
 
 # One HTTP GET over bash's /dev/tcp (no curl dependency in the container);
@@ -423,6 +430,110 @@ leg_serve_smoke() {
   return "$ok"
 }
 
+# Crash-injection smoke (docs/DURABILITY.md): SIGKILL — not SIGTERM — so
+# nothing shuts down cleanly; durability must come from the WAL alone.
+# fsync=os survives kill -9 because the page cache belongs to the kernel,
+# which keeps running; only the machine dying loses it.
+leg_crash_smoke() {
+  cmake --preset default &&
+    cmake --build --preset default -j"$JOBS" \
+      --target springdtw_serve springdtw_feed || return 1
+
+  local tmp
+  tmp="$(mktemp -d)" || return 1
+  # Same planted pattern as serve-smoke: query {1,2,3,2,1} matches exactly
+  # at 3..7 (report=8), and again at 19..23 when the stream is replayed.
+  printf '0\n0\n0\n1\n2\n3\n2\n1\n0\n0\n9\n9\n9\n9\n9\n9\n' \
+    >"$tmp/stream.csv"
+  printf '1\n2\n3\n2\n1\n' >"$tmp/query.csv"
+
+  local serve_pid port
+  ./build/tools/springdtw_serve --port=0 --workers=2 \
+    --wal_dir="$tmp/wal" --fsync=os >"$tmp/serve.out" 2>&1 &
+  serve_pid=$!
+  port="$(wait_for_port_line SERVE_PORT "$tmp/serve.out" "$serve_pid")" || {
+    echo "crash-smoke: no SERVE_PORT line from springdtw_serve"
+    cat "$tmp/serve.out"
+    kill -9 "$serve_pid" 2>/dev/null
+    wait "$serve_pid" 2>/dev/null
+    rm -rf "$tmp"
+    return 1
+  }
+
+  local ok=0
+  ./build/tools/springdtw_feed --port="$port" --stream="$tmp/stream.csv" \
+    --query="$tmp/query.csv" --epsilon=0.25 --subscribe \
+    >"$tmp/feed.out" 2>&1 || ok=1
+  local seq1
+  seq1="$(sed -n \
+    's/^MATCH stream=stream query=query start=3 end=7 .* seq=\([0-9]*\)$/\1/p' \
+    "$tmp/feed.out")"
+  [ "$(echo "$seq1" | grep -c .)" -eq 1 ] || {
+    echo "crash-smoke: planted match not delivered exactly once pre-crash:"
+    cat "$tmp/feed.out"
+    ok=1
+  }
+
+  # Give the event loop a beat to log the delivery mark, then crash hard.
+  sleep 0.3
+  kill -9 "$serve_pid" 2>/dev/null
+  wait "$serve_pid" 2>/dev/null
+
+  if [ "$ok" -eq 0 ]; then
+    ./build/tools/springdtw_serve --port=0 --workers=2 \
+      --wal_dir="$tmp/wal" --fsync=os >"$tmp/serve2.out" 2>&1 &
+    serve_pid=$!
+    port="$(wait_for_port_line SERVE_PORT "$tmp/serve2.out" \
+      "$serve_pid")" || {
+      echo "crash-smoke: restarted daemon printed no SERVE_PORT"
+      cat "$tmp/serve2.out"
+      ok=1
+    }
+  fi
+  if [ "$ok" -eq 0 ]; then
+    # Unclean shutdown must be detected and reported with the replay size.
+    grep -q 'WAL_RECOVERY .*replayed_values=16' "$tmp/serve2.out" || {
+      echo "crash-smoke: no WAL_RECOVERY line after kill -9:"
+      cat "$tmp/serve2.out"
+      ok=1
+    }
+    # Query and held ticks survived; replaying the stream appends 16..31,
+    # so the restored matcher must fire at 19..23 — exactly once.
+    ./build/tools/springdtw_feed --port="$port" --stream="$tmp/stream.csv" \
+      --subscribe --list >"$tmp/feed2.out" 2>&1 || ok=1
+    grep -q 'QUERY .*name=query ticks=32' "$tmp/feed2.out" || {
+      echo "crash-smoke: recovered query missing or ticks lost:"
+      cat "$tmp/feed2.out"
+      ok=1
+    }
+    [ "$(grep -c \
+      'MATCH stream=stream query=query start=19 end=23 dist=0 report=24' \
+      "$tmp/feed2.out")" -eq 1 ] || {
+      echo "crash-smoke: post-restart planted match not exactly once:"
+      cat "$tmp/feed2.out"
+      ok=1
+    }
+    # The pre-crash match may be re-delivered only as crash-window replay,
+    # i.e. carrying the same seq as the original delivery — the dedup key
+    # clients use. A different seq (double count) or a missing seq tag
+    # would break exactly-once.
+    local redelivered
+    redelivered="$(sed -n \
+      's/^MATCH stream=stream query=query start=3 end=7 .* seq=\([0-9]*\)$/\1/p' \
+      "$tmp/feed2.out")"
+    if [ -n "$redelivered" ] && [ "$redelivered" != "$seq1" ]; then
+      echo "crash-smoke: re-delivered match seq $redelivered != $seq1:"
+      cat "$tmp/feed2.out"
+      ok=1
+    fi
+    kill -9 "$serve_pid" 2>/dev/null
+    wait "$serve_pid" 2>/dev/null
+  fi
+
+  rm -rf "$tmp"
+  return "$ok"
+}
+
 run_leg() {
   local leg="$1"
   echo
@@ -438,9 +549,11 @@ run_leg() {
     bench-smoke) leg_bench_smoke || status=FAIL ;;
     introspect-smoke) leg_introspect_smoke || status=FAIL ;;
     serve-smoke) leg_serve_smoke || status=FAIL ;;
+    crash-smoke) leg_crash_smoke || status=FAIL ;;
     *)
       echo "unknown leg: ${leg} (known: default asan-ubsan tsan lint" \
-        "analyze fuzz-smoke bench-smoke introspect-smoke serve-smoke)"
+        "analyze fuzz-smoke bench-smoke introspect-smoke serve-smoke" \
+        "crash-smoke)"
       status=FAIL
       ;;
   esac

@@ -677,6 +677,9 @@ int64_t ShardedMonitor::DeliverPending() {
     origin.query_id = pending.global_query_id;
     origin.stream_name = streams_[static_cast<size_t>(query.stream_id)].name;
     origin.query_name = query.name;
+    origin.global_seq = pending.seq == kFlushSeq
+                            ? -1
+                            : static_cast<int64_t>(pending.seq);
     for (MatchSink* sink : sinks_) sink->OnMatch(origin, pending.match);
   }
   for (QueryInfo& query : queries_) {
@@ -758,6 +761,11 @@ void ShardedMonitor::Stop() {
 int64_t ShardedMonitor::worker_of_stream(int64_t stream_id) const {
   SPRINGDTW_CHECK(stream_id >= 0 && stream_id < num_streams());
   return streams_[static_cast<size_t>(stream_id)].worker;
+}
+
+int64_t ShardedMonitor::stream_ticks(int64_t stream_id) const {
+  SPRINGDTW_CHECK(stream_id >= 0 && stream_id < num_streams());
+  return streams_[static_cast<size_t>(stream_id)].pushes;
 }
 
 const QueryStats& ShardedMonitor::stats(int64_t query_id) const {

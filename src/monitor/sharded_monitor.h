@@ -238,6 +238,15 @@ class ShardedMonitor {
   /// count).
   int64_t worker_of_stream(int64_t stream_id) const;
 
+  /// Global sequence number the next routed value will be assigned.
+  /// Checkpoints store and restore it, so a write-ahead log keyed on it
+  /// (src/wal/) lines up exactly across restore + replay.
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Values routed to `stream_id` so far — the durable per-stream position
+  /// a resuming producer should skip to (the STREAM_OPENED ticks trailer).
+  int64_t stream_ticks(int64_t stream_id) const;
+
   /// Per-query counters, fresh as of the last barrier.
   const QueryStats& stats(int64_t query_id) const;
 

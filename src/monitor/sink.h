@@ -18,6 +18,12 @@ struct MatchOrigin {
   int64_t query_id = 0;
   std::string stream_name;
   std::string query_name;
+  /// Global sequence number of the tick that produced the match, when the
+  /// producer assigns one (ShardedMonitor does; single-threaded engines
+  /// leave it -1, as do end-of-stream flush matches, which have no
+  /// producing tick). With query_id it forms the stable identity the
+  /// durability layer dedups match delivery by (docs/DURABILITY.md).
+  int64_t global_seq = -1;
 };
 
 /// Destination for reported matches. Implementations must not block for

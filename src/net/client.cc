@@ -228,6 +228,7 @@ util::StatusOr<int64_t> StreamClient::OpenStream(const std::string& name) {
   SPRINGDTW_RETURN_IF_ERROR(Call(FrameType::kOpenStream, request,
                                  request.request_id, FrameType::kStreamOpened,
                                  &response));
+  last_stream_ticks_ = response.ticks;
   return response.stream_id;
 }
 

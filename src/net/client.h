@@ -70,6 +70,12 @@ class StreamClient {
   /// Creates (or finds, by name — OPEN_STREAM is idempotent) a stream.
   util::StatusOr<int64_t> OpenStream(const std::string& name);
 
+  /// Tick count the server reported for the stream in the last successful
+  /// OpenStream (v3 servers; -1 otherwise). Nonzero means the stream
+  /// already has history — the hook feeders use to resume a partially
+  /// ingested series after a server restart instead of re-sending it.
+  int64_t last_stream_ticks() const { return last_stream_ticks_; }
+
   /// Registers a query; returns the server's query id.
   util::StatusOr<int64_t> AddQuery(int64_t stream_id, const std::string& name,
                                    const std::vector<double>& values,
@@ -124,6 +130,7 @@ class StreamClient {
   MatchCallback match_callback_;
   int fd_ = -1;
   uint32_t negotiated_version_ = 0;
+  int64_t last_stream_ticks_ = -1;
   uint64_t next_request_id_ = 1;
   std::vector<uint8_t> send_buffer_;
   std::vector<uint8_t> recv_buffer_;

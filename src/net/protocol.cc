@@ -124,11 +124,15 @@ util::Status OpenStreamPayload::DecodeFrom(util::ByteReader* reader) {
 void StreamOpenedPayload::EncodeTo(util::ByteWriter* writer) const {
   writer->WriteU64(request_id);
   writer->WriteI64(stream_id);
+  // v3 trailer, omitted when unknown so the frame stays v1-identical.
+  if (ticks >= 0) writer->WriteI64(ticks);
 }
 
 util::Status StreamOpenedPayload::DecodeFrom(util::ByteReader* reader) {
   reader->ReadU64(&request_id);
   reader->ReadI64(&stream_id);
+  ticks = -1;
+  if (reader->ok() && !reader->AtEnd()) reader->ReadI64(&ticks);
   return CheckDecode(*reader, "STREAM_OPENED");
 }
 
@@ -312,6 +316,9 @@ void MatchEventPayload::EncodeTo(util::ByteWriter* writer) const {
   writer->WriteI64(match.report_time);
   writer->WriteI64(match.group_start);
   writer->WriteI64(match.group_end);
+  // v3 trailer, omitted for seq-less matches so the frame stays
+  // v1-identical.
+  if (match_seq >= 0) writer->WriteI64(match_seq);
 }
 
 util::Status MatchEventPayload::DecodeFrom(util::ByteReader* reader) {
@@ -326,6 +333,8 @@ util::Status MatchEventPayload::DecodeFrom(util::ByteReader* reader) {
   reader->ReadI64(&match.report_time);
   reader->ReadI64(&match.group_start);
   reader->ReadI64(&match.group_end);
+  match_seq = -1;
+  if (reader->ok() && !reader->AtEnd()) reader->ReadI64(&match_seq);
   return CheckDecode(*reader, "MATCH_EVENT");
 }
 

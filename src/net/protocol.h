@@ -52,7 +52,12 @@ namespace net {
 ///    monotonic send timestamp feeding the end-to-end span tracer);
 ///    LIST_QUERIES gains a `want_stats` trailer and QUERY_LIST a per-entry
 ///    cost-stats trailer (cells, last_match_seq, est_cpu_nanos).
-inline constexpr uint32_t kProtocolVersion = 2;
+///  * v3 — MATCH_EVENT gains an optional `match_seq` trailer (the global
+///    tick sequence that produced the match, the durability layer's dedup
+///    key); STREAM_OPENED gains an optional `ticks` trailer (the server's
+///    durable per-stream position, letting a producer resume after a crash
+///    without double-feeding). See docs/DURABILITY.md.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Oldest client version the server still accepts.
 inline constexpr uint32_t kMinProtocolVersion = 1;
@@ -157,6 +162,11 @@ struct OpenStreamPayload {
 struct StreamOpenedPayload {
   uint64_t request_id = 0;
   int64_t stream_id = 0;
+  /// v3 trailer: values the server has already accepted for this stream
+  /// (its durable position after checkpoint restore + WAL replay); -1 =
+  /// absent. Encoded only when >= 0; a resuming producer skips this many
+  /// leading values (springdtw_feed --resume).
+  int64_t ticks = -1;
 
   void EncodeTo(util::ByteWriter* writer) const;
   util::Status DecodeFrom(util::ByteReader* reader);
@@ -269,6 +279,11 @@ struct MatchEventPayload {
   std::string stream_name;
   std::string query_name;
   core::Match match;
+  /// v3 trailer: global sequence of the tick that produced the match
+  /// (monitor::MatchOrigin::global_seq); -1 = absent (flush matches, or a
+  /// pre-v3 server). Encoded only when >= 0. Stable across a server
+  /// restart — the exactly-once dedup key, paired with query_id.
+  int64_t match_seq = -1;
 
   void EncodeTo(util::ByteWriter* writer) const;
   util::Status DecodeFrom(util::ByteReader* reader);

@@ -68,11 +68,28 @@ void StreamServer::SetCheckpointFn(CheckpointFn fn) {
   checkpoint_fn_ = std::move(fn);
 }
 
+void StreamServer::SetWal(wal::WalWriter* wal) {
+  SPRINGDTW_CHECK(!running()) << "SetWal before Start()";
+  wal_ = wal;
+}
+
+void StreamServer::SetRecoveredMatches(std::vector<RecoveredMatch> matches) {
+  SPRINGDTW_CHECK(!running()) << "SetRecoveredMatches before Start()";
+  recovered_matches_ = std::move(matches);
+}
+
 util::Status StreamServer::Start() {
   if (running()) return util::Status::Ok();
   if (!monitor_->started()) {
     return util::FailedPreconditionError(
         "Start() the monitor before the server");
+  }
+  if (wal_ != nullptr && !checkpoint_fn_) {
+    // Admin mutations must checkpoint so the WAL tail never references
+    // topology that exists only in memory.
+    return util::FailedPreconditionError(
+        "durable ingest (SetWal) requires a checkpoint destination "
+        "(SetCheckpointFn)");
   }
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -208,6 +225,19 @@ void StreamServer::LoopThread() {
     for (const auto& conn : connections_) {
       if (conn->fd < 0) continue;
       if (!WritePending(conn.get())) CloseConnection(conn.get());
+    }
+
+    // Durability duties, after the write pass so "flushed" is current:
+    // watermark what subscribers now have, truncate behind a completed
+    // checkpoint, and honor the interval fsync policy.
+    if (wal_ != nullptr) {
+      MaybeLogDeliveryMark();
+      MaybeTruncateWal();
+      const util::Status synced = wal_->MaybeSync(now);
+      if (!synced.ok()) {
+        SPRINGDTW_LOG(Error) << "WAL interval sync failed: "
+                             << synced.ToString();
+      }
     }
 
     if (options_.idle_timeout_ms > 0) {
@@ -383,7 +413,18 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
       StreamOpenedPayload resp;
       resp.request_id = req.request_id;
       resp.stream_id = monitor_->FindStream(req.name);
-      if (resp.stream_id < 0) resp.stream_id = monitor_->AddStream(req.name);
+      if (resp.stream_id < 0) {
+        resp.stream_id = monitor_->AddStream(req.name);
+        // New topology must be on disk before the WAL logs ticks against
+        // it. A crash before the checkpoint loses the stream AND this
+        // ack, so the client's retry re-creates it: exactly-once admin.
+        if (!CheckpointAfterAdmin(conn, req.request_id)) return false;
+      }
+      // v3 trailer: the stream's durable position, so a resuming producer
+      // knows how much of its input the server already holds.
+      if (conn->negotiated_version >= 3) {
+        resp.ticks = monitor_->stream_ticks(resp.stream_id);
+      }
       Send(conn, FrameType::kStreamOpened, resp);
       return true;
     }
@@ -410,6 +451,7 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
         SendError(conn, req.request_id, query_id.status(), /*fatal=*/false);
         return true;
       }
+      if (!CheckpointAfterAdmin(conn, req.request_id)) return false;
       QueryAddedPayload resp;
       resp.request_id = req.request_id;
       resp.query_id = *query_id;
@@ -427,6 +469,7 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
         SendError(conn, req.request_id, flushed.status(), /*fatal=*/false);
         return true;
       }
+      if (!CheckpointAfterAdmin(conn, req.request_id)) return false;
       QueryRemovedPayload resp;
       resp.request_id = req.request_id;
       resp.query_id = req.query_id;
@@ -468,12 +511,27 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
       SubscribedPayload resp;
       resp.request_id = req.request_id;
       Send(conn, FrameType::kSubscribed, resp);
+      // Recovery buffer: matches replayed past the pre-crash delivery
+      // watermark are re-offered to every new subscriber, right behind
+      // the SUBSCRIBED ack so they precede any live match.
+      for (const RecoveredMatch& recovered : recovered_matches_) {
+        FanOutMatch(recovered.origin, recovered.match, conn);
+      }
       return true;
     }
     case FrameType::kTick: {
       TickPayload req;
       util::Status status = DecodePayload(frame.payload, &req);
       if (!status.ok()) return fatal_decode(status);
+      // Write-ahead: the tick is logged (and, under every_record, synced)
+      // before the monitor sees it, so anything that influences delivered
+      // output is replayable.
+      status = AppendWalTicks(req.stream_id,
+                              std::span<const double>(&req.value, 1));
+      if (!status.ok()) {
+        SendError(conn, 0, status, /*fatal=*/true);
+        return false;
+      }
       status = monitor_->Push(req.stream_id, req.value, req.send_nanos);
       if (!status.ok()) {
         // Ticks are fire-and-forget; an undeliverable tick would silently
@@ -490,6 +548,11 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
       TickBatchPayload req;
       util::Status status = DecodePayload(frame.payload, &req);
       if (!status.ok()) return fatal_decode(status);
+      status = AppendWalTicks(req.stream_id, req.values);
+      if (!status.ok()) {
+        SendError(conn, 0, status, /*fatal=*/true);
+        return false;
+      }
       status = monitor_->PushBatch(req.stream_id, req.values,
                                    req.send_nanos);
       if (!status.ok()) {
@@ -514,8 +577,7 @@ bool StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
                   /*fatal=*/false);
         return true;
       }
-      DrainIfDirty();
-      util::StatusOr<uint64_t> bytes = checkpoint_fn_();
+      util::StatusOr<uint64_t> bytes = RunCheckpoint();
       if (!bytes.ok()) {
         SendError(conn, req.request_id, bytes.status(), /*fatal=*/false);
         return true;
@@ -599,6 +661,37 @@ void StreamServer::OnMatch(const monitor::MatchOrigin& origin,
     ingest_report_latency_ms_->Observe(
         static_cast<double>(NowNanos() - oldest_tick_nanos_) / 1e6);
   }
+  FanOutMatch(origin, match, /*only=*/nullptr);
+  // Candidate for the next delivery mark. Fan-out follows the monitor's
+  // (seq, query id) order, so the last match seen is the watermark. The
+  // mark is appended only after the sockets flush (MaybeLogDeliveryMark):
+  // logging after the write errs toward re-delivery on crash — recoverable
+  // by client-side dedup — never toward loss. Flush matches carry no seq
+  // and are not markable.
+  if (wal_ != nullptr && origin.global_seq >= 0) {
+    mark_pending_ = true;
+    mark_seq_ = static_cast<uint64_t>(origin.global_seq);
+    mark_query_ = origin.query_id;
+  }
+}
+
+void StreamServer::AppendEncoded(Connection* conn,
+                                 std::span<const uint8_t> frame) {
+  if (conn->fd < 0 || !conn->subscribed || conn->closing) return;
+  conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+  if (conn->out.size() - conn->out_offset >
+      options_.max_output_buffer_bytes) {
+    slow_disconnects_counter_->Increment();
+    // order: relaxed — test/diagnostic counter; never synchronization.
+    slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    conn->out.clear();
+    conn->out_offset = 0;
+    conn->closing = true;
+  }
+}
+
+void StreamServer::FanOutMatch(const monitor::MatchOrigin& origin,
+                               const core::Match& match, Connection* only) {
   MatchEventPayload event;
   event.delivery_seq = delivery_seq_++;
   event.stream_id = origin.stream_id;
@@ -606,22 +699,114 @@ void StreamServer::OnMatch(const monitor::MatchOrigin& origin,
   event.stream_name = origin.stream_name;
   event.query_name = origin.query_name;
   event.match = match;
+  event.match_seq = origin.global_seq;
+  // Encode once per version actually present: v3 peers get the match_seq
+  // trailer, older peers a byte-identical-to-v2 frame (built lazily).
   frame_scratch_.clear();
   AppendPayloadFrame(FrameType::kMatchEvent, event, &frame_scratch_);
+  legacy_frame_scratch_.clear();
+  const auto frame_for = [&](const Connection& conn)
+      -> const std::vector<uint8_t>& {
+    if (conn.negotiated_version >= 3 || event.match_seq < 0) {
+      return frame_scratch_;
+    }
+    if (legacy_frame_scratch_.empty()) {
+      MatchEventPayload legacy = event;
+      legacy.match_seq = -1;
+      AppendPayloadFrame(FrameType::kMatchEvent, legacy,
+                         &legacy_frame_scratch_);
+    }
+    return legacy_frame_scratch_;
+  };
+  if (only != nullptr) {
+    AppendEncoded(only, frame_for(*only));
+    return;
+  }
   for (const auto& conn : connections_) {
     if (conn->fd < 0 || !conn->subscribed || conn->closing) continue;
-    conn->out.insert(conn->out.end(), frame_scratch_.begin(),
-                     frame_scratch_.end());
-    if (conn->out.size() - conn->out_offset >
-        options_.max_output_buffer_bytes) {
-      slow_disconnects_counter_->Increment();
-      // order: relaxed — test/diagnostic counter; never synchronization.
-      slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
-      conn->out.clear();
-      conn->out_offset = 0;
-      conn->closing = true;
-    }
+    AppendEncoded(conn.get(), frame_for(*conn));
   }
+}
+
+util::Status StreamServer::AppendWalTicks(int64_t stream_id,
+                                          std::span<const double> values) {
+  if (wal_ == nullptr || values.empty()) return util::Status::Ok();
+  // Pre-validate so rejected ticks are never logged; the monitor re-checks
+  // and its error (not ours) is what the peer sees for bad ids.
+  if (stream_id < 0 || stream_id >= monitor_->num_streams()) {
+    return util::Status::Ok();
+  }
+  const int64_t shard = monitor_->worker_of_stream(stream_id);
+  return wal_->AppendTicks(shard, monitor_->next_seq(), stream_id, values);
+}
+
+util::StatusOr<uint64_t> StreamServer::RunCheckpoint() {
+  if (!checkpoint_fn_) {
+    return util::FailedPreconditionError(
+        "server runs without a checkpoint destination");
+  }
+  DrainIfDirty();
+  util::StatusOr<uint64_t> bytes = checkpoint_fn_();
+  if (bytes.ok() && wal_ != nullptr) {
+    // The checkpoint covers every logged tick; the log can restart — but
+    // only once subscribers have flushed, so a match sitting in an output
+    // buffer keeps its replayability until it is truly on the wire.
+    truncate_pending_ = true;
+    MaybeTruncateWal();
+  }
+  return bytes;
+}
+
+bool StreamServer::CheckpointAfterAdmin(Connection* conn,
+                                        uint64_t request_id) {
+  if (wal_ == nullptr) return true;
+  const util::StatusOr<uint64_t> bytes = RunCheckpoint();
+  if (bytes.ok()) {
+    last_checkpoint_nanos_ = NowNanos();
+    return true;
+  }
+  // The mutation is applied in memory but not durable, so the WAL tail
+  // would replay against a topology the checkpoint does not hold. No
+  // honest ack is possible: kill the session.
+  SPRINGDTW_LOG(Error) << "post-admin checkpoint failed: "
+                       << bytes.status().ToString();
+  SendError(conn, request_id, bytes.status(), /*fatal=*/true);
+  return false;
+}
+
+bool StreamServer::AllSubscribersFlushed() const {
+  for (const auto& conn : connections_) {
+    if (conn->fd < 0 || !conn->subscribed) continue;
+    if (conn->out.size() > conn->out_offset) return false;
+  }
+  return true;
+}
+
+void StreamServer::MaybeLogDeliveryMark() {
+  if (!mark_pending_ || !AllSubscribersFlushed()) return;
+  const util::Status status = wal_->AppendDeliveryMark(mark_seq_, mark_query_);
+  if (!status.ok()) {
+    // Marks only bound re-delivery; keep it pending and retry next round.
+    SPRINGDTW_LOG(Error) << "delivery mark append failed: "
+                         << status.ToString();
+    return;
+  }
+  mark_pending_ = false;
+}
+
+void StreamServer::MaybeTruncateWal() {
+  if (!truncate_pending_ || !AllSubscribersFlushed()) return;
+  const util::Status status = wal_->Truncate();
+  if (!status.ok()) {
+    // Stale segments are skipped by sequence at recovery; retrying later
+    // is safe.
+    SPRINGDTW_LOG(Error) << "WAL truncation failed: " << status.ToString();
+    return;
+  }
+  // The truncation dropped the marks file along with the segments it
+  // covered; a pending mark now refers to pre-checkpoint history.
+  mark_pending_ = false;
+  truncate_pending_ = false;
 }
 
 bool StreamServer::WritePending(Connection* conn) {
@@ -670,8 +855,7 @@ void StreamServer::MaybePeriodicCheckpoint(uint64_t now_nanos) {
   const uint64_t period =
       static_cast<uint64_t>(options_.checkpoint_period_ms * 1e6);
   if (now_nanos - last_checkpoint_nanos_ < period) return;
-  DrainIfDirty();
-  util::StatusOr<uint64_t> bytes = checkpoint_fn_();
+  util::StatusOr<uint64_t> bytes = RunCheckpoint();
   if (!bytes.ok()) {
     SPRINGDTW_LOG(Error) << "periodic checkpoint failed: "
                          << bytes.status().ToString();

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,9 +17,18 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "wal/wal.h"
 
 namespace springdtw {
 namespace net {
+
+/// A match reconstructed by WAL replay whose delivery was not yet
+/// watermarked before the crash. The server re-fans these out to each new
+/// subscriber (see SetRecoveredMatches).
+struct RecoveredMatch {
+  monitor::MatchOrigin origin;
+  core::Match match;
+};
 
 struct StreamServerOptions {
   /// Bind address; loopback by default — this is an in-datacenter ingest
@@ -106,6 +116,25 @@ class StreamServer {
   /// checkpoint.
   void SetCheckpointFn(CheckpointFn fn);
 
+  /// Set before Start(); not owned, must outlive the server. Enables
+  /// durable ingest (docs/DURABILITY.md): every accepted TICK/TICK_BATCH
+  /// is appended to the WAL *before* it reaches the monitor, delivery
+  /// watermarks are logged once subscriber sockets are flushed, every
+  /// successful admin mutation forces a checkpoint (so the WAL tail always
+  /// postdates a checkpoint that already contains the topology), and WAL
+  /// truncation rides checkpoints — deferred until all subscribed
+  /// connections have fully flushed, so no match inside an about-to-die
+  /// output buffer loses its replayability. Requires SetCheckpointFn.
+  void SetWal(wal::WalWriter* wal);
+
+  /// Set before Start(): matches WAL replay reconstructed above the
+  /// delivery watermark. Fanned out (in order, once per session) to every
+  /// connection right after its SUBSCRIBE_MATCHES is acked, so a
+  /// reconnecting subscriber resumes with exactly the matches whose
+  /// pre-crash delivery was not confirmed. Held for this server
+  /// generation only.
+  void SetRecoveredMatches(std::vector<RecoveredMatch> matches);
+
   /// Binds, listens, and spawns the event-loop thread. The monitor must
   /// already be started.
   util::Status Start();
@@ -182,6 +211,31 @@ class StreamServer {
   void DrainIfDirty();
   /// Sink callback: fans one match out to all subscribers.
   void OnMatch(const monitor::MatchOrigin& origin, const core::Match& match);
+  /// Appends one fully framed byte run to `conn`, enforcing the
+  /// slow-subscriber cap.
+  void AppendEncoded(Connection* conn, std::span<const uint8_t> frame);
+  /// Encodes one MATCH_EVENT and appends it to every subscribed
+  /// connection, or to `only` alone (recovery-buffer fan-out). Encodes the
+  /// v3 trailer only for v3 peers.
+  void FanOutMatch(const monitor::MatchOrigin& origin,
+                   const core::Match& match, Connection* only);
+  /// Logs ticks accepted for `stream_id` before they enter the monitor.
+  util::Status AppendWalTicks(int64_t stream_id,
+                              std::span<const double> values);
+  /// Drains, runs the checkpoint callback, and (with a WAL) schedules
+  /// truncation.
+  util::StatusOr<uint64_t> RunCheckpoint();
+  /// After a successful admin mutation with a WAL: checkpoint so the WAL
+  /// tail never refers to unpersisted topology. On failure the session is
+  /// killed (`fatal` error to `conn`) and false returned — durability
+  /// cannot be promised past this point.
+  bool CheckpointAfterAdmin(Connection* conn, uint64_t request_id);
+  /// Appends a delivery mark once every subscribed connection has fully
+  /// flushed everything fanned out so far.
+  void MaybeLogDeliveryMark();
+  /// Runs a scheduled WAL truncation once subscribers are flushed.
+  void MaybeTruncateWal();
+  bool AllSubscribersFlushed() const;
   void CloseConnection(Connection* conn);
   void PublishMetrics(uint64_t now_nanos, bool force);
   void MaybePeriodicCheckpoint(uint64_t now_nanos);
@@ -211,6 +265,21 @@ class StreamServer {
   uint64_t oldest_tick_nanos_ = 0;
   uint64_t last_checkpoint_nanos_ = 0;
   std::vector<uint8_t> frame_scratch_;
+  /// Second MATCH_EVENT encoding for pre-v3 subscribers (no match_seq
+  /// trailer), built lazily per match.
+  std::vector<uint8_t> legacy_frame_scratch_;
+
+  /// Durable ingest state (loop thread only; null/empty when disabled).
+  wal::WalWriter* wal_ = nullptr;
+  std::vector<RecoveredMatch> recovered_matches_;
+  /// Highest (seq, query id) fanned out to subscriber buffers, pending a
+  /// delivery-mark append once the sockets flush.
+  bool mark_pending_ = false;
+  uint64_t mark_seq_ = 0;
+  int64_t mark_query_ = 0;
+  /// A checkpoint succeeded; truncate the WAL at the next all-flushed
+  /// point.
+  bool truncate_pending_ = false;
 
   /// Metrics: registry mutated on the loop thread only; published copies
   /// guarded by the mutex for any-thread reads.

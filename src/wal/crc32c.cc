@@ -1,0 +1,79 @@
+#include "wal/crc32c.h"
+
+#include <array>
+#include <cstddef>
+
+namespace springdtw {
+namespace wal {
+namespace {
+
+/// Reflected CRC-32C table, built once at first use. constexpr-built so the
+/// table lives in rodata and there is no init-order hazard.
+constexpr std::array<uint32_t, 256> BuildTable() {
+  constexpr uint32_t kPoly = 0x82F63B78;  // 0x1EDC6F41 bit-reflected.
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+#if defined(__x86_64__)
+/// SSE4.2 CRC32 instruction path: 8 bytes per instruction instead of one
+/// table lookup per byte. The instruction computes the same reflected
+/// CRC-32C recurrence as the table, so it composes with the byte loop and
+/// the ~pre/~post inversion applied by the callers below. Compiled with a
+/// target attribute and guarded by a cpuid check so the binary still runs
+/// on pre-Nehalem hardware.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    uint32_t crc, std::span<const uint8_t> bytes) {
+  uint64_t c = crc;
+  const uint8_t* at = bytes.data();
+  size_t n = bytes.size();
+  while (n >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, at, sizeof(word));
+    c = __builtin_ia32_crc32di(c, word);
+    at += sizeof(word);
+    n -= sizeof(word);
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n > 0) {
+    c32 = __builtin_ia32_crc32qi(c32, *at);
+    ++at;
+    --n;
+  }
+  return c32;
+}
+
+bool HaveHardwareCrc() { return __builtin_cpu_supports("sse4.2") != 0; }
+#endif
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::span<const uint8_t> bytes) {
+  crc = ~crc;
+#if defined(__x86_64__)
+  static const bool have_hardware = HaveHardwareCrc();
+  if (have_hardware) {
+    return ~Crc32cHardware(crc, bytes);
+  }
+#endif
+  for (uint8_t byte : bytes) {
+    crc = kTable[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(std::span<const uint8_t> bytes) {
+  return Crc32cExtend(0, bytes);
+}
+
+}  // namespace wal
+}  // namespace springdtw

@@ -1,0 +1,24 @@
+#ifndef SPRINGDTW_WAL_CRC32C_H_
+#define SPRINGDTW_WAL_CRC32C_H_
+
+#include <cstdint>
+#include <span>
+
+namespace springdtw {
+namespace wal {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) over `bytes`.
+/// Software table implementation — the WAL frames records at well under
+/// disk bandwidth, so hardware CRC instructions are not worth a dispatch
+/// layer here. The value matches the widely deployed CRC32C so segments
+/// are checkable with standard tooling.
+uint32_t Crc32c(std::span<const uint8_t> bytes);
+
+/// Incremental form: extends `crc` (a previous Crc32c/Crc32cExtend result)
+/// with `bytes`. Crc32c(a+b) == Crc32cExtend(Crc32c(a), b).
+uint32_t Crc32cExtend(uint32_t crc, std::span<const uint8_t> bytes);
+
+}  // namespace wal
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_WAL_CRC32C_H_

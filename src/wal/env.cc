@@ -1,0 +1,185 @@
+#include "wal/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace springdtw {
+namespace wal {
+namespace {
+
+util::Status ErrnoError(const std::string& op, const std::string& path) {
+  return util::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  util::Status Append(std::span<const uint8_t> bytes) override {
+    if (fd_ < 0) return util::FailedPreconditionError("file closed: " + path_);
+    const uint8_t* data = bytes.data();
+    size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, data, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("write", path_);
+      }
+      data += n;
+      left -= static_cast<size_t>(n);
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status Sync() override {
+    if (fd_ < 0) return util::FailedPreconditionError("file closed: " + path_);
+    if (::fsync(fd_) != 0) return ErrnoError("fsync", path_);
+    return util::Status::Ok();
+  }
+
+  util::Status Close() override {
+    if (fd_ < 0) return util::Status::Ok();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoError("close", path_);
+    return util::Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  util::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    const int flags =
+        O_CREAT | O_WRONLY | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+    int fd = -1;
+    do {
+      fd = ::open(path.c_str(), flags, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return ErrnoError("open", path);
+    return util::StatusOr<std::unique_ptr<WritableFile>>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  util::StatusOr<std::vector<uint8_t>> ReadFile(
+      const std::string& path) override {
+    int fd = -1;
+    do {
+      fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      if (errno == ENOENT) return util::NotFoundError("no such file: " + path);
+      return ErrnoError("open", path);
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t chunk[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const util::Status status = ErrnoError("read", path);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+    ::close(fd);
+    return bytes;
+  }
+
+  util::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) override {
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) return ErrnoError("opendir", dir);
+    std::vector<std::string> names;
+    errno = 0;
+    while (struct dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    const bool read_failed = errno != 0;
+    ::closedir(handle);
+    if (read_failed) return ErrnoError("readdir", dir);
+    return names;
+  }
+
+  util::Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return util::Status::Ok();
+    }
+    return ErrnoError("mkdir", dir);
+  }
+
+  util::Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoError("unlink", path);
+    return util::Status::Ok();
+  }
+
+  util::Status RenameFile(const std::string& from,
+                          const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("rename", from + " -> " + to);
+    }
+    return util::Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  util::Status SyncDir(const std::string& dir) override {
+    int fd = -1;
+    do {
+      fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return ErrnoError("open dir", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoError("fsync dir", dir);
+    return util::Status::Ok();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+util::Status AtomicWriteFile(Env* env, const std::string& path,
+                             std::span<const uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  auto file = env->NewWritableFile(tmp, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  SPRINGDTW_RETURN_IF_ERROR((*file)->Append(bytes));
+  SPRINGDTW_RETURN_IF_ERROR((*file)->Sync());
+  SPRINGDTW_RETURN_IF_ERROR((*file)->Close());
+  SPRINGDTW_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  return env->SyncDir(dir);
+}
+
+}  // namespace wal
+}  // namespace springdtw

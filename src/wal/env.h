@@ -1,0 +1,80 @@
+#ifndef SPRINGDTW_WAL_ENV_H_
+#define SPRINGDTW_WAL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace springdtw {
+namespace wal {
+
+/// Append-only output file. Append buffers nothing: every call reaches the
+/// kernel (write(2)) before returning, so durability is governed purely by
+/// when Sync() runs — the property the WAL's fsync policies are built on.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  WritableFile() = default;
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  virtual util::Status Append(std::span<const uint8_t> bytes) = 0;
+  /// fsync(2): blocks until everything appended so far is on stable
+  /// storage.
+  virtual util::Status Sync() = 0;
+  virtual util::Status Close() = 0;
+};
+
+/// Minimal filesystem abstraction for the WAL: every byte the durability
+/// layer reads or writes goes through one of these, which is what lets the
+/// crash tests substitute FaultInjectingEnv and deterministically simulate
+/// torn writes, short writes, and fsync failures (docs/DURABILITY.md).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// Opens `path` for appending; `truncate` discards existing contents.
+  /// Creates the file when absent.
+  virtual util::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+  /// Whole-file read. kNotFound when the file does not exist.
+  virtual util::StatusOr<std::vector<uint8_t>> ReadFile(
+      const std::string& path) = 0;
+  /// Regular-file names (not paths) in `dir`, unsorted.
+  virtual util::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+  /// mkdir -p semantics for one level: OK when the directory exists.
+  virtual util::Status CreateDir(const std::string& dir) = 0;
+  virtual util::Status RemoveFile(const std::string& path) = 0;
+  /// rename(2): atomic replace within one filesystem.
+  virtual util::Status RenameFile(const std::string& from,
+                                  const std::string& to) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// fsyncs the directory itself so renames/creates/unlinks inside it
+  /// survive power loss.
+  virtual util::Status SyncDir(const std::string& dir) = 0;
+
+  /// Process-wide POSIX implementation; never destroyed.
+  static Env* Default();
+};
+
+/// Crash-safe whole-file publish: writes `bytes` to `path.tmp`, fsyncs it,
+/// renames over `path`, and fsyncs the containing directory. A crash at any
+/// point leaves either the old complete file or the new complete file —
+/// how checkpoints are written next to the WAL.
+util::Status AtomicWriteFile(Env* env, const std::string& path,
+                             std::span<const uint8_t> bytes);
+
+}  // namespace wal
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_WAL_ENV_H_

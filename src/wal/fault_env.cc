@@ -1,0 +1,97 @@
+#include "wal/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace springdtw {
+namespace wal {
+
+/// Forwards to the base file, consulting the owning env's faults first.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultInjectingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  util::Status Append(std::span<const uint8_t> bytes) override {
+    const size_t admitted = env_->AdmitWrite(bytes.size());
+    if (admitted > 0) {
+      SPRINGDTW_RETURN_IF_ERROR(base_->Append(bytes.first(admitted)));
+      env_->bytes_written_ += static_cast<int64_t>(admitted);
+    }
+    if (admitted < bytes.size()) {
+      return util::IoError("injected torn write");
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status Sync() override {
+    SPRINGDTW_RETURN_IF_ERROR(env_->AdmitSync());
+    return base_->Sync();
+  }
+
+  util::Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingEnv* env_;
+};
+
+size_t FaultInjectingEnv::AdmitWrite(size_t want) {
+  if (write_budget_ < 0) return want;
+  const size_t admitted =
+      std::min(want, static_cast<size_t>(write_budget_));
+  write_budget_ -= static_cast<int64_t>(admitted);
+  return admitted;
+}
+
+util::Status FaultInjectingEnv::AdmitSync() {
+  if (syncs_until_failure_ >= 0) {
+    if (syncs_until_failure_ == 0) return util::IoError("injected fsync failure");
+    --syncs_until_failure_;
+  }
+  ++syncs_;
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::unique_ptr<WritableFile>>
+FaultInjectingEnv::NewWritableFile(const std::string& path, bool truncate) {
+  auto base = base_->NewWritableFile(path, truncate);
+  if (!base.ok()) return base.status();
+  return util::StatusOr<std::unique_ptr<WritableFile>>(
+      std::make_unique<FaultWritableFile>(std::move(*base), this));
+}
+
+util::StatusOr<std::vector<uint8_t>> FaultInjectingEnv::ReadFile(
+    const std::string& path) {
+  return base_->ReadFile(path);
+}
+
+util::StatusOr<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+util::Status FaultInjectingEnv::CreateDir(const std::string& dir) {
+  return base_->CreateDir(dir);
+}
+
+util::Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+util::Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                           const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+util::Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  SPRINGDTW_RETURN_IF_ERROR(AdmitSync());
+  return base_->SyncDir(dir);
+}
+
+}  // namespace wal
+}  // namespace springdtw

@@ -1,0 +1,78 @@
+#ifndef SPRINGDTW_WAL_FAULT_ENV_H_
+#define SPRINGDTW_WAL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wal/env.h"
+
+namespace springdtw {
+namespace wal {
+
+/// Env decorator that deterministically injects the failure modes a real
+/// disk exhibits under crash and power loss, so the torn-write property
+/// tests and crash suite (tests/wal_test.cc) can exercise recovery without
+/// actually killing processes:
+///
+///   - write budget: after `set_write_budget(n)` total appended bytes, the
+///     next Append persists only the remaining budget (a torn/short write)
+///     and fails — modelling a crash mid-write;
+///   - sync failures: `fail_syncs_after(n)` makes every Sync past the nth
+///     return kIoError — modelling a dying device or full disk;
+///
+/// plus counters (`syncs()`, `bytes_written()`) that let tests assert the
+/// fsync policies actually issue the syncs they promise.
+///
+/// Single-threaded by design, like the WAL writer it stands behind: the
+/// router thread owns all appends, so the counters need no locking.
+class FaultInjectingEnv : public Env {
+ public:
+  /// `base` is not owned and must outlive this env.
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  util::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  util::StatusOr<std::vector<uint8_t>> ReadFile(
+      const std::string& path) override;
+  util::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) override;
+  util::Status CreateDir(const std::string& dir) override;
+  util::Status RemoveFile(const std::string& path) override;
+  util::Status RenameFile(const std::string& from,
+                          const std::string& to) override;
+  bool FileExists(const std::string& path) override;
+  util::Status SyncDir(const std::string& dir) override;
+
+  /// Total appended bytes (across all files) allowed to reach the base env
+  /// from now on; the append that crosses the budget is torn at the
+  /// boundary and returns kIoError. Negative disables the fault (default).
+  void set_write_budget(int64_t bytes) { write_budget_ = bytes; }
+  /// Every Sync/SyncDir after the next `n` successful ones fails.
+  /// Negative disables the fault (default).
+  void fail_syncs_after(int64_t n) { syncs_until_failure_ = n; }
+
+  int64_t syncs() const { return syncs_; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  friend class FaultWritableFile;
+
+  /// Admits up to `want` bytes against the write budget; returns how many
+  /// may be written (== want when no fault is armed).
+  size_t AdmitWrite(size_t want);
+  util::Status AdmitSync();
+
+  Env* base_;
+  int64_t write_budget_ = -1;
+  int64_t syncs_until_failure_ = -1;
+  int64_t syncs_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+}  // namespace wal
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_WAL_FAULT_ENV_H_

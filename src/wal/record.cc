@@ -1,0 +1,192 @@
+#include "wal/record.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/codec.h"
+#include "wal/crc32c.h"
+
+namespace springdtw {
+namespace wal {
+namespace {
+
+void PutU32(uint32_t value, std::vector<uint8_t>* out) {
+  uint8_t raw[4];
+  std::memcpy(raw, &value, sizeof raw);  // Little-endian hosts only (as codec).
+  out->insert(out->end(), raw, raw + sizeof raw);
+}
+
+uint32_t GetU32(const uint8_t* data) {
+  uint32_t value = 0;
+  std::memcpy(&value, data, sizeof value);
+  return value;
+}
+
+util::Status CheckDecode(const util::ByteReader& reader, const char* what) {
+  if (!reader.ok()) {
+    return util::InvalidArgumentError(std::string(what) + " record truncated");
+  }
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError(std::string(what) +
+                                      " record has trailing bytes");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+void AppendRecord(RecordType type, std::span<const uint8_t> body,
+                  std::vector<uint8_t>* out) {
+  const uint32_t len = static_cast<uint32_t>(body.size()) + 1;
+  PutU32(len, out);
+  const uint8_t type_byte = static_cast<uint8_t>(type);
+  uint32_t crc = Crc32c(std::span<const uint8_t>(&type_byte, 1));
+  crc = Crc32cExtend(crc, body);
+  PutU32(crc, out);
+  out->push_back(type_byte);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+ScanResult ScanRecords(std::span<const uint8_t> bytes) {
+  ScanResult result;
+  size_t at = 0;
+  while (bytes.size() - at >= kRecordHeaderBytes) {
+    const uint32_t len = GetU32(bytes.data() + at);
+    if (len < 1 || len > kMaxRecordLen ||
+        bytes.size() - at - 8 < static_cast<size_t>(len)) {
+      break;  // Truncated or oversized frame: torn tail starts here.
+    }
+    const uint32_t crc = GetU32(bytes.data() + at + 4);
+    const std::span<const uint8_t> framed = bytes.subspan(at + 8, len);
+    if (Crc32c(framed) != crc) break;
+    const uint8_t type_byte = framed[0];
+    if (type_byte < static_cast<uint8_t>(RecordType::kSegmentHeader) ||
+        type_byte > static_cast<uint8_t>(RecordType::kDeliveryMark)) {
+      break;  // Unknown type: written by a future format; stop, don't guess.
+    }
+    RecordView view;
+    view.type = static_cast<RecordType>(type_byte);
+    view.body = framed.subspan(1);
+    result.records.push_back(view);
+    at += 8 + static_cast<size_t>(len);
+  }
+  result.valid_bytes = at;
+  result.torn = at != bytes.size();
+  return result;
+}
+
+std::vector<uint8_t> SegmentHeader::Encode() const {
+  util::ByteWriter writer;
+  writer.WriteU32(kSegmentMagic);
+  writer.WriteVarU64(kWalFormatVersion);
+  writer.WriteVarU64(shard);
+  writer.WriteVarU64(index);
+  return writer.Take();
+}
+
+util::Status SegmentHeader::DecodeFrom(std::span<const uint8_t> body) {
+  util::ByteReader reader(body);
+  uint32_t magic = 0;
+  uint64_t version = 0;
+  reader.ReadU32(&magic);
+  reader.ReadVarU64(&version);
+  reader.ReadVarU64(&shard);
+  reader.ReadVarU64(&index);
+  SPRINGDTW_RETURN_IF_ERROR(CheckDecode(reader, "segment header"));
+  if (magic != kSegmentMagic) {
+    return util::InvalidArgumentError("bad WAL segment magic");
+  }
+  if (version != kWalFormatVersion) {
+    return util::InvalidArgumentError("unsupported WAL format version");
+  }
+  return util::Status::Ok();
+}
+
+std::vector<uint8_t> TicksRecord::Encode() const {
+  util::ByteWriter writer;
+  writer.WriteVarU64(seq0);
+  writer.WriteVarU64(static_cast<uint64_t>(stream_id));
+  writer.WriteVarU64(values.size());
+  for (double value : values) writer.WriteDouble(value);
+  return writer.Take();
+}
+
+util::Status TicksRecord::DecodeFrom(std::span<const uint8_t> body) {
+  util::ByteReader reader(body);
+  uint64_t stream = 0;
+  uint64_t count = 0;
+  reader.ReadVarU64(&seq0);
+  reader.ReadVarU64(&stream);
+  reader.ReadVarU64(&count);
+  // Count is validated against the bytes actually present before any
+  // allocation (hostile-input rule, as util/codec's length prefixes).
+  if (!reader.ok() || count > reader.remaining() / sizeof(double)) {
+    return util::InvalidArgumentError("ticks record truncated");
+  }
+  stream_id = static_cast<int64_t>(stream);
+  values.clear();
+  values.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    double value = 0.0;
+    reader.ReadDouble(&value);
+    values.push_back(value);
+  }
+  return CheckDecode(reader, "ticks");
+}
+
+std::vector<uint8_t> DeliveryMark::Encode() const {
+  util::ByteWriter writer;
+  writer.WriteVarU64(seq);
+  writer.WriteVarU64(static_cast<uint64_t>(query_id));
+  return writer.Take();
+}
+
+util::Status DeliveryMark::DecodeFrom(std::span<const uint8_t> body) {
+  util::ByteReader reader(body);
+  uint64_t query = 0;
+  reader.ReadVarU64(&seq);
+  reader.ReadVarU64(&query);
+  query_id = static_cast<int64_t>(query);
+  return CheckDecode(reader, "delivery mark");
+}
+
+std::string SegmentFileName(int64_t shard, uint64_t index) {
+  char name[64];
+  std::snprintf(name, sizeof name, "wal-%lld-%llu.log",
+                static_cast<long long>(shard),
+                static_cast<unsigned long long>(index));
+  return name;
+}
+
+std::string MarksFileName(uint64_t index) {
+  char name[64];
+  std::snprintf(name, sizeof name, "marks-%llu.log",
+                static_cast<unsigned long long>(index));
+  return name;
+}
+
+bool ParseWalFileName(const std::string& name, int64_t* shard,
+                      uint64_t* index) {
+  long long parsed_shard = 0;
+  unsigned long long parsed_index = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "wal-%lld-%llu.log%n", &parsed_shard,
+                  &parsed_index, &consumed) == 2 &&
+      consumed == static_cast<int>(name.size()) && parsed_shard >= 0) {
+    *shard = parsed_shard;
+    *index = parsed_index;
+    return true;
+  }
+  consumed = 0;
+  if (std::sscanf(name.c_str(), "marks-%llu.log%n", &parsed_index,
+                  &consumed) == 1 &&
+      consumed == static_cast<int>(name.size())) {
+    *shard = -1;
+    *index = parsed_index;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace wal
+}  // namespace springdtw

@@ -1,0 +1,114 @@
+#ifndef SPRINGDTW_WAL_RECORD_H_
+#define SPRINGDTW_WAL_RECORD_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace springdtw {
+namespace wal {
+
+/// ## WAL record framing (docs/DURABILITY.md)
+///
+/// A segment file is a flat sequence of CRC-framed records:
+///
+///     u32 len | u32 crc32c | u8 type | body[len - 1]
+///
+/// little-endian, `len` counting the type byte plus the body, `crc32c`
+/// covering [type..body]. The frame is self-delimiting and self-checking,
+/// which is all torn-tail recovery needs: scan forward, stop at the first
+/// frame that is truncated, oversized, or fails its CRC, and the bytes
+/// before that point are exactly the records that were durably written.
+/// Bodies are util/codec payloads (varints, IEEE doubles).
+
+enum class RecordType : uint8_t {
+  /// First record of every segment: magic, format version, shard, index.
+  kSegmentHeader = 1,
+  /// A run of accepted tick values for one stream, with the global
+  /// sequence number of the first value. Ordered by seq0 within a shard.
+  kTicks = 2,
+  /// Match-delivery watermark: every match with (seq, query id) at or
+  /// below this was fully flushed to all subscribers.
+  kDeliveryMark = 3,
+};
+
+inline constexpr uint32_t kSegmentMagic = 0x4C415753;  // "SWAL" on disk.
+inline constexpr uint32_t kWalFormatVersion = 1;
+/// u32 len + u32 crc + u8 type.
+inline constexpr size_t kRecordHeaderBytes = 9;
+/// Upper bound on `len`; anything larger is treated as corruption. Bounds
+/// the allocation a hostile segment can demand (fuzz/fuzz_wal.cc).
+inline constexpr uint32_t kMaxRecordLen = (1u << 20) + 1;
+
+/// Frames `body` as one record of `type` and appends it to `out`.
+void AppendRecord(RecordType type, std::span<const uint8_t> body,
+                  std::vector<uint8_t>* out);
+
+/// One validated record, viewing the scanned buffer.
+struct RecordView {
+  RecordType type = RecordType::kTicks;
+  std::span<const uint8_t> body;
+};
+
+/// Result of scanning one segment's bytes. `records` holds every valid
+/// record in file order; `valid_bytes` is the length of the byte prefix
+/// they occupy; `torn` is set when bytes remained past the valid prefix
+/// (truncated, oversized, CRC-corrupt, or unknown-typed frame).
+struct ScanResult {
+  std::vector<RecordView> records;
+  size_t valid_bytes = 0;
+  bool torn = false;
+};
+
+/// Scans a segment buffer. Never fails: hostile input just shortens the
+/// valid prefix. The returned views alias `bytes`.
+ScanResult ScanRecords(std::span<const uint8_t> bytes);
+
+/// ## Typed payloads
+
+struct SegmentHeader {
+  uint64_t shard = 0;
+  uint64_t index = 0;
+
+  std::vector<uint8_t> Encode() const;
+  util::Status DecodeFrom(std::span<const uint8_t> body);
+};
+
+struct TicksRecord {
+  uint64_t seq0 = 0;
+  int64_t stream_id = 0;
+  std::vector<double> values;
+
+  std::vector<uint8_t> Encode() const;
+  util::Status DecodeFrom(std::span<const uint8_t> body);
+};
+
+struct DeliveryMark {
+  uint64_t seq = 0;
+  int64_t query_id = 0;
+
+  std::vector<uint8_t> Encode() const;
+  util::Status DecodeFrom(std::span<const uint8_t> body);
+};
+
+/// ## Segment file naming
+///
+/// Tick segments are `wal-<shard>-<index>.log`, delivery marks
+/// `marks-<index>.log`; indexes increase monotonically for the lifetime of
+/// a directory (rotation and truncation never reuse a name, so a crashed
+/// truncation cannot resurrect stale bytes under a live name).
+
+std::string SegmentFileName(int64_t shard, uint64_t index);
+std::string MarksFileName(uint64_t index);
+/// Parses either name form. Returns false for foreign files. `shard` is
+/// -1 for marks files.
+bool ParseWalFileName(const std::string& name, int64_t* shard,
+                      uint64_t* index);
+
+}  // namespace wal
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_WAL_RECORD_H_

@@ -1,0 +1,395 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace springdtw {
+namespace wal {
+namespace {
+
+/// LEB128, byte-identical to util::ByteWriter::WriteVarU64 — AppendTicks
+/// encodes into a reusable scratch and must match TicksRecord::Encode.
+void AppendVarU64(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+}  // namespace
+
+util::StatusOr<FsyncPolicy> ParseFsyncPolicy(std::string_view name) {
+  if (name == "every_record") return FsyncPolicy::kEveryRecord;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  if (name == "os") return FsyncPolicy::kOs;
+  return util::InvalidArgumentError("unknown fsync policy: " +
+                                    std::string(name));
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord:
+      return "every_record";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kOs:
+      return "os";
+  }
+  return "unknown";
+}
+
+WalWriter::WalWriter(const WalOptions& options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
+
+WalWriter::~WalWriter() {
+  for (Segment& segment : shards_) {
+    if (segment.file != nullptr) (void)segment.file->Close();
+  }
+  if (marks_.file != nullptr) (void)marks_.file->Close();
+}
+
+util::StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const WalOptions& options) {
+  if (options.num_shards < 1) {
+    return util::InvalidArgumentError("WAL needs at least one shard");
+  }
+  auto writer = std::make_unique<WalWriter>(options);
+  Env* env = writer->env_;
+  SPRINGDTW_RETURN_IF_ERROR(env->CreateDir(options.dir));
+  // Resume indexes past anything on disk so names are never reused.
+  auto names = env->ListDir(options.dir);
+  if (!names.ok()) return names.status();
+  uint64_t max_index = 0;
+  bool any = false;
+  for (const std::string& name : *names) {
+    int64_t shard = 0;
+    uint64_t index = 0;
+    if (ParseWalFileName(name, &shard, &index)) {
+      max_index = std::max(max_index, index);
+      any = true;
+    }
+  }
+  writer->next_index_ = any ? max_index + 1 : 0;
+  writer->shards_.resize(static_cast<size_t>(options.num_shards));
+  for (int64_t shard = 0; shard < options.num_shards; ++shard) {
+    SPRINGDTW_RETURN_IF_ERROR(
+        writer->OpenSegment(shard, writer->next_index_++));
+  }
+  SPRINGDTW_RETURN_IF_ERROR(writer->OpenMarks(writer->next_index_++));
+  // Make the new names themselves durable before accepting traffic.
+  SPRINGDTW_RETURN_IF_ERROR(env->SyncDir(options.dir));
+  return util::StatusOr<std::unique_ptr<WalWriter>>(std::move(writer));
+}
+
+util::Status WalWriter::OpenSegment(int64_t shard, uint64_t index) {
+  Segment& segment = shards_[static_cast<size_t>(shard)];
+  if (segment.file != nullptr) {
+    SPRINGDTW_RETURN_IF_ERROR(segment.file->Close());
+    segment.file = nullptr;
+  }
+  const std::string path = options_.dir + "/" + SegmentFileName(shard, index);
+  auto file = env_->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  segment.file = std::move(*file);
+  segment.index = index;
+  segment.bytes = 0;
+  segment.dirty = false;
+  SegmentHeader header;
+  header.shard = static_cast<uint64_t>(shard);
+  header.index = index;
+  return AppendFramed(&segment, RecordType::kSegmentHeader, header.Encode());
+}
+
+util::Status WalWriter::OpenMarks(uint64_t index) {
+  if (marks_.file != nullptr) {
+    SPRINGDTW_RETURN_IF_ERROR(marks_.file->Close());
+    marks_.file = nullptr;
+  }
+  const std::string path = options_.dir + "/" + MarksFileName(index);
+  auto file = env_->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  marks_.file = std::move(*file);
+  marks_.index = index;
+  marks_.bytes = 0;
+  marks_.dirty = false;
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::AppendFramed(Segment* segment, RecordType type,
+                                     std::span<const uint8_t> body) {
+  frame_scratch_.clear();
+  AppendRecord(type, body, &frame_scratch_);
+  SPRINGDTW_RETURN_IF_ERROR(segment->file->Append(frame_scratch_));
+  segment->bytes += static_cast<int64_t>(frame_scratch_.size());
+  segment->dirty = true;
+  if (type != RecordType::kSegmentHeader) {
+    // Payload records only: headers are file structure, and ticks + marks
+    // is the number operators reconcile against ingest counters.
+    // order: relaxed — scrape-side counter, never synchronization.
+    appended_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // order: relaxed — scrape-side counter.
+  bytes_.fetch_add(static_cast<int64_t>(frame_scratch_.size()),
+                   std::memory_order_relaxed);
+  if (options_.fsync == FsyncPolicy::kEveryRecord) {
+    return SyncSegment(segment);
+  }
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::SyncSegment(Segment* segment) {
+  if (!segment->dirty) return util::Status::Ok();
+  SPRINGDTW_RETURN_IF_ERROR(segment->file->Sync());
+  segment->dirty = false;
+  // order: relaxed — scrape-side counter.
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::AppendTicks(int64_t shard, uint64_t seq0,
+                                    int64_t stream_id,
+                                    std::span<const double> values) {
+  if (shard < 0 || shard >= static_cast<int64_t>(shards_.size())) {
+    return util::OutOfRangeError("WAL shard out of range");
+  }
+  Segment& segment = shards_[static_cast<size_t>(shard)];
+  if (segment.bytes >= options_.segment_bytes) {
+    SPRINGDTW_RETURN_IF_ERROR(OpenSegment(shard, next_index_++));
+    SPRINGDTW_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+  }
+  // Hot path: encode straight into the reusable body scratch instead of
+  // materializing a TicksRecord (which would copy the values once into the
+  // record and again into ByteWriter's freshly allocated buffer). The
+  // layout must stay byte-identical to TicksRecord::Encode — raw IEEE
+  // doubles are exactly what WriteDouble emits on little-endian hosts.
+  body_scratch_.clear();
+  AppendVarU64(seq0, &body_scratch_);
+  AppendVarU64(static_cast<uint64_t>(stream_id), &body_scratch_);
+  AppendVarU64(values.size(), &body_scratch_);
+  const uint8_t* raw = reinterpret_cast<const uint8_t*>(values.data());
+  body_scratch_.insert(body_scratch_.end(), raw,
+                       raw + values.size() * sizeof(double));
+  return AppendFramed(&shards_[static_cast<size_t>(shard)],
+                      RecordType::kTicks, body_scratch_);
+}
+
+util::Status WalWriter::AppendDeliveryMark(uint64_t seq, int64_t query_id) {
+  DeliveryMark mark;
+  mark.seq = seq;
+  mark.query_id = query_id;
+  return AppendFramed(&marks_, RecordType::kDeliveryMark, mark.Encode());
+}
+
+util::Status WalWriter::MaybeSync(uint64_t now_nanos) {
+  if (options_.fsync != FsyncPolicy::kInterval) return util::Status::Ok();
+  const uint64_t interval_nanos =
+      static_cast<uint64_t>(options_.fsync_interval_ms) * 1000000ull;
+  if (now_nanos - last_sync_nanos_ < interval_nanos) return util::Status::Ok();
+  last_sync_nanos_ = now_nanos;
+  return SyncAll();
+}
+
+util::Status WalWriter::SyncAll() {
+  for (Segment& segment : shards_) {
+    SPRINGDTW_RETURN_IF_ERROR(SyncSegment(&segment));
+  }
+  return SyncSegment(&marks_);
+}
+
+util::Status WalWriter::Truncate() {
+  // Close current files, then delete every WAL-owned file, then start
+  // fresh segments. A crash between the deletes and the new segments only
+  // leaves stale files, which recovery skips by sequence number.
+  for (Segment& segment : shards_) {
+    if (segment.file != nullptr) {
+      SPRINGDTW_RETURN_IF_ERROR(segment.file->Close());
+      segment.file = nullptr;
+    }
+  }
+  if (marks_.file != nullptr) {
+    SPRINGDTW_RETURN_IF_ERROR(marks_.file->Close());
+    marks_.file = nullptr;
+  }
+  auto names = env_->ListDir(options_.dir);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    int64_t shard = 0;
+    uint64_t index = 0;
+    if (!ParseWalFileName(name, &shard, &index)) continue;
+    SPRINGDTW_RETURN_IF_ERROR(env_->RemoveFile(options_.dir + "/" + name));
+  }
+  for (int64_t shard = 0;
+       shard < static_cast<int64_t>(shards_.size()); ++shard) {
+    SPRINGDTW_RETURN_IF_ERROR(OpenSegment(shard, next_index_++));
+  }
+  SPRINGDTW_RETURN_IF_ERROR(OpenMarks(next_index_++));
+  SPRINGDTW_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+  // order: relaxed — scrape-side counter.
+  truncations_.fetch_add(1, std::memory_order_relaxed);
+  return util::Status::Ok();
+}
+
+void WalWriter::RecordReplayedRecords(int64_t records) {
+  // order: relaxed — scrape-side counter.
+  replayed_records_.fetch_add(records, std::memory_order_relaxed);
+}
+
+obs::MetricsSnapshot WalWriter::MetricsSnapshot() const {
+  // Built from atomics on the fly, because obs::Counter is single-threaded
+  // and this runs on whatever thread scrapes /metrics.
+  obs::MetricsSnapshot snapshot;
+  const auto add = [&snapshot](const char* name, const char* help,
+                               const std::atomic<int64_t>& value) {
+    obs::FamilySnapshot family;
+    family.name = name;
+    family.help = help;
+    family.kind = obs::MetricKind::kCounter;
+    obs::SeriesSnapshot series;
+    // order: relaxed — counter exposition; never synchronization.
+    series.counter_value = value.load(std::memory_order_relaxed);
+    family.series.push_back(std::move(series));
+    snapshot.families.push_back(std::move(family));
+  };
+  add("spring_wal_appended_records_total",
+      "records appended to the write-ahead log", appended_records_);
+  add("spring_wal_fsyncs_total", "fsync calls issued by the WAL", fsyncs_);
+  add("spring_wal_bytes_total", "bytes appended to the WAL", bytes_);
+  add("spring_wal_replayed_records_total",
+      "WAL records replayed during recovery", replayed_records_);
+  add("spring_wal_truncations_total",
+      "WAL truncations (checkpoint-driven segment resets)", truncations_);
+  return snapshot;
+}
+
+namespace {
+
+/// One tick record located during the scan, pre-merge.
+struct ScannedChunk {
+  uint64_t seq0 = 0;
+  int64_t stream_id = 0;
+  std::vector<double> values;
+};
+
+}  // namespace
+
+util::StatusOr<RecoveredWal> RecoverWal(Env* env, const std::string& dir,
+                                        uint64_t start_seq) {
+  if (env == nullptr) env = Env::Default();
+  RecoveredWal out;
+  // A missing directory is simply an empty log.
+  if (!env->FileExists(dir)) return out;
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  // Segment files per shard in index order; marks files in index order.
+  std::map<int64_t, std::map<uint64_t, std::string>> shard_files;
+  std::map<uint64_t, std::string> marks_files;
+  for (const std::string& name : *names) {
+    int64_t shard = 0;
+    uint64_t index = 0;
+    if (!ParseWalFileName(name, &shard, &index)) continue;
+    if (shard < 0) {
+      marks_files[index] = dir + "/" + name;
+    } else {
+      shard_files[shard][index] = dir + "/" + name;
+    }
+  }
+
+  std::vector<ScannedChunk> chunks;
+  for (const auto& [shard, files] : shard_files) {
+    bool shard_torn = false;
+    for (const auto& [index, path] : files) {
+      // A torn segment ends this shard's usable history: later segments
+      // would reintroduce a gap that the contiguity cut below handles, but
+      // scanning them is pointless once the tail is known broken.
+      if (shard_torn) break;
+      auto bytes = env->ReadFile(path);
+      if (!bytes.ok()) {
+        shard_torn = true;
+        out.torn_tail = true;
+        break;
+      }
+      ++out.segments;
+      const ScanResult scan = ScanRecords(*bytes);
+      out.bytes_scanned += static_cast<int64_t>(scan.valid_bytes);
+      if (scan.torn) {
+        shard_torn = true;
+        out.torn_tail = true;
+      }
+      for (const RecordView& record : scan.records) {
+        ++out.records_scanned;
+        if (record.type != RecordType::kTicks) continue;
+        TicksRecord ticks;
+        if (!ticks.DecodeFrom(record.body).ok()) {
+          // Framed correctly but not a decodable payload: treat like a
+          // torn tail at this point of the shard.
+          shard_torn = true;
+          out.torn_tail = true;
+          break;
+        }
+        if (ticks.values.empty()) continue;
+        ScannedChunk chunk;
+        chunk.seq0 = ticks.seq0;
+        chunk.stream_id = ticks.stream_id;
+        chunk.values = std::move(ticks.values);
+        chunks.push_back(std::move(chunk));
+      }
+    }
+  }
+
+  // Merge all shards' records into global sequence order and keep the
+  // longest gap-free run from start_seq. Records fully below start_seq are
+  // history already inside the checkpoint (or stale segments from before a
+  // truncation); a straddling record replays only its suffix.
+  std::sort(chunks.begin(), chunks.end(),
+            [](const ScannedChunk& a, const ScannedChunk& b) {
+              return a.seq0 < b.seq0;
+            });
+  uint64_t expected = start_seq;
+  for (ScannedChunk& chunk : chunks) {
+    const uint64_t count = chunk.values.size();
+    if (chunk.seq0 + count <= expected) continue;
+    if (chunk.seq0 > expected) break;  // Gap: a shard lost its tail here.
+    const uint64_t skip = expected - chunk.seq0;
+    RecoveredChunk keep;
+    keep.seq0 = expected;
+    keep.stream_id = chunk.stream_id;
+    keep.values.assign(chunk.values.begin() + static_cast<int64_t>(skip),
+                       chunk.values.end());
+    expected += count - skip;
+    out.values += static_cast<int64_t>(keep.values.size());
+    ++out.records_replayed;
+    out.chunks.push_back(std::move(keep));
+  }
+
+  // Delivery watermark: the highest valid mark across all marks files.
+  for (const auto& [index, path] : marks_files) {
+    auto bytes = env->ReadFile(path);
+    if (!bytes.ok()) {
+      out.torn_tail = true;
+      continue;
+    }
+    const ScanResult scan = ScanRecords(*bytes);
+    out.bytes_scanned += static_cast<int64_t>(scan.valid_bytes);
+    if (scan.torn) out.torn_tail = true;
+    for (const RecordView& record : scan.records) {
+      ++out.records_scanned;
+      if (record.type != RecordType::kDeliveryMark) continue;
+      DeliveryMark mark;
+      if (!mark.DecodeFrom(record.body).ok()) break;
+      if (!out.has_watermark || mark.seq > out.watermark_seq ||
+          (mark.seq == out.watermark_seq &&
+           mark.query_id > out.watermark_query_id)) {
+        out.has_watermark = true;
+        out.watermark_seq = mark.seq;
+        out.watermark_query_id = mark.query_id;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wal
+}  // namespace springdtw

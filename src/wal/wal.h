@@ -1,0 +1,196 @@
+#ifndef SPRINGDTW_WAL_WAL_H_
+#define SPRINGDTW_WAL_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "wal/env.h"
+#include "wal/record.h"
+
+namespace springdtw {
+namespace wal {
+
+/// When appended records reach stable storage (docs/DURABILITY.md):
+///
+///   every_record  fsync after every append — zero accepted-tick loss on
+///                 kill -9 or power loss; slowest.
+///   interval      fsync all dirty segments at most every
+///                 `fsync_interval_ms` — bounded loss window, near-os
+///                 throughput.
+///   os            never fsync; the kernel flushes on its own schedule —
+///                 zero loss on process kill -9 (the page cache survives),
+///                 bounded loss on power failure; fastest.
+enum class FsyncPolicy { kEveryRecord, kInterval, kOs };
+
+/// Parses "every_record" / "interval" / "os".
+util::StatusOr<FsyncPolicy> ParseFsyncPolicy(std::string_view name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct WalOptions {
+  /// Directory holding segments, marks, and (by convention) the
+  /// checkpoint. Created if absent.
+  std::string dir;
+  /// One tick segment per monitor shard, so per-shard append streams stay
+  /// sequential on disk.
+  int64_t num_shards = 1;
+  FsyncPolicy fsync = FsyncPolicy::kOs;
+  int64_t fsync_interval_ms = 50;
+  /// Tick segments rotate once they exceed this many bytes.
+  int64_t segment_bytes = 4 << 20;
+  /// File I/O goes through this; null means Env::Default(). Not owned.
+  Env* env = nullptr;
+};
+
+/// Per-shard write-ahead log of accepted ticks, plus a match-delivery
+/// watermark log. Single-writer: every method except MetricsSnapshot() and
+/// the counter accessors must be called from the one router thread that
+/// also owns the ShardedMonitor (the net server's loop thread).
+///
+/// Lifecycle: Open() continues after any previous incarnation (segment
+/// indexes resume past the highest on disk; stale segments are skipped at
+/// recovery by sequence number, not by deletion bookkeeping). Truncate()
+/// is called right after a checkpoint is durably renamed into place and
+/// deletes every prior segment.
+class WalWriter {
+ public:
+  static util::StatusOr<std::unique_ptr<WalWriter>> Open(
+      const WalOptions& options);
+  /// Use Open(); public only for make_unique.
+  explicit WalWriter(const WalOptions& options);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Logs `values` accepted for `stream_id` whose first value carries
+  /// global sequence number `seq0`, to shard `shard`'s segment. Under
+  /// every_record the record is on stable storage when this returns.
+  util::Status AppendTicks(int64_t shard, uint64_t seq0, int64_t stream_id,
+                           std::span<const double> values);
+
+  /// Logs that every match with (seq, query id) <= (seq, query_id) has
+  /// been fully written to all subscribers.
+  util::Status AppendDeliveryMark(uint64_t seq, int64_t query_id);
+
+  /// interval policy: fsyncs dirty segments when the interval has elapsed
+  /// since the last sync. No-op under other policies. Call once per server
+  /// loop round.
+  util::Status MaybeSync(uint64_t now_nanos);
+
+  /// fsyncs everything dirty regardless of policy.
+  util::Status SyncAll();
+
+  /// Deletes every segment and marks file and starts fresh ones. Call only
+  /// after a checkpoint covering all logged ticks is durably in place.
+  util::Status Truncate();
+
+  /// spring_wal_*_total counter families. Thread-safe (atomics): the
+  /// introspection scrape thread calls this while the router appends.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
+  /// Adds to spring_wal_replayed_records_total — recovery runs before the
+  /// writer exists, so the recovering layer reports its count here.
+  void RecordReplayedRecords(int64_t records);
+
+  int64_t appended_records() const {
+    // order: relaxed — counters, never synchronization.
+    return appended_records_.load(std::memory_order_relaxed);
+  }
+  int64_t fsyncs() const {
+    // order: relaxed — see appended_records().
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
+
+  const WalOptions& options() const { return options_; }
+
+ private:
+  struct Segment {
+    std::unique_ptr<WritableFile> file;
+    uint64_t index = 0;
+    int64_t bytes = 0;
+    bool dirty = false;
+  };
+
+  util::Status OpenSegment(int64_t shard, uint64_t index);
+  util::Status OpenMarks(uint64_t index);
+  /// Appends one framed record to `segment` and applies the fsync policy.
+  util::Status AppendFramed(Segment* segment, RecordType type,
+                            std::span<const uint8_t> body);
+  util::Status SyncSegment(Segment* segment);
+
+  WalOptions options_;
+  Env* env_ = nullptr;
+  std::vector<Segment> shards_;
+  Segment marks_;
+  /// Next never-used segment index (shared across shards and marks so any
+  /// file name is globally unique over the directory's lifetime).
+  uint64_t next_index_ = 0;
+  uint64_t last_sync_nanos_ = 0;
+
+  /// Exported as spring_wal_*_total. Written by the router thread,
+  /// read by the scrape thread via MetricsSnapshot().
+  std::atomic<int64_t> appended_records_{0};
+  std::atomic<int64_t> fsyncs_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> replayed_records_{0};
+  std::atomic<int64_t> truncations_{0};
+
+  /// Record-framing scratch, reused across appends.
+  std::vector<uint8_t> frame_scratch_;
+  /// Ticks-body scratch: AppendTicks encodes here directly instead of
+  /// materializing a TicksRecord, sparing a copy of the values and a heap
+  /// allocation per accepted batch.
+  std::vector<uint8_t> body_scratch_;
+};
+
+/// One contiguous run of replayable ticks recovered from the log.
+struct RecoveredChunk {
+  uint64_t seq0 = 0;
+  int64_t stream_id = 0;
+  std::vector<double> values;
+};
+
+/// Everything recovery learned from a WAL directory.
+struct RecoveredWal {
+  /// Tick runs to replay, in global sequence order, starting exactly at
+  /// the caller's `start_seq` and gap-free (see RecoverWal).
+  std::vector<RecoveredChunk> chunks;
+  /// Total values across `chunks`.
+  int64_t values = 0;
+  /// Records whose ticks were (at least partly) replayed.
+  int64_t records_replayed = 0;
+  /// Valid records scanned across all files, including skipped ones.
+  int64_t records_scanned = 0;
+  int64_t bytes_scanned = 0;
+  int64_t segments = 0;
+  /// A file ended in an invalid frame — expected after kill -9 under
+  /// non-every_record policies; recovery proceeds with the valid prefix.
+  bool torn_tail = false;
+  /// Highest delivery watermark on disk; has_watermark false when none.
+  bool has_watermark = false;
+  uint64_t watermark_seq = 0;
+  int64_t watermark_query_id = 0;
+};
+
+/// Scans `dir` and reconstructs the replayable tick tail for a monitor
+/// whose restored checkpoint ends at global sequence `start_seq`. Never
+/// fails on corrupt or torn segments — those shorten the tail; only
+/// environment errors (unreadable directory) return non-OK. The returned
+/// chunks are the longest gap-free run starting at `start_seq`: a shard
+/// whose tail was torn truncates the global run at its first missing
+/// sequence, because replay past a gap would reorder ticks relative to the
+/// original execution.
+util::StatusOr<RecoveredWal> RecoverWal(Env* env, const std::string& dir,
+                                        uint64_t start_seq);
+
+}  // namespace wal
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_WAL_WAL_H_

@@ -1,11 +1,12 @@
 // springdtw_feed: replay a stored series into a running springdtw_serve.
 //
 //   springdtw_feed --port=PORT [--host=127.0.0.1]
-//       --stream=FILE [--stream_name=stream]
+//       --stream=FILE [--stream_name=stream] [--resume]
 //       [--query=FILE --epsilon=EPS [--query_name=query]
 //        [--distance=squared|absolute] [--max_length=0] [--min_length=0]]
 //       [--rate=0] [--batch=256] [--subscribe] [--checkpoint]
 //       [--remove_query] [--list] [--stats]
+//   springdtw_feed --replay_wal=DIR [--dump]
 //
 // Files may be CSV (one value per line, "nan" = missing) or binary .sdtw.
 // The feeder opens (or joins, by name) the stream, optionally registers a
@@ -16,25 +17,46 @@
 //
 //   MATCH stream=<name> query=<name> start=<s> end=<e> dist=<d> report=<t>
 //
+// When a v3 server assigned the match a global sequence number, the line
+// additionally carries " seq=<n>" — the (seq, query) pair is the stable
+// identity consumers dedup re-deliveries by after a crash recovery
+// (docs/DURABILITY.md).
+//
+// --resume skips the prefix of --stream the server already holds (the v3
+// STREAM_OPENED ticks trailer), so re-running the same feed against a
+// recovered server continues the series instead of re-ingesting it.
+//
 // --checkpoint requests a server-side checkpoint after the drain.
 // --remove_query retires the query after the drain (printing any match the
 // removal flushed); --list prints the server's live query table, and
 // --stats (implies --list) adds per-query cost columns (DTW cells, last
 // match seq, estimated CPU nanos) when the server speaks protocol v2.
+//
+// --replay_wal=DIR is an offline mode: no server, no --stream. It restores
+// DIR/checkpoint.ckpt (if present) to learn the covered sequence range,
+// scans DIR's write-ahead log exactly as server recovery would, and prints
+// one "WAL ..." summary line — replayable records/values, torn-tail flag,
+// delivery watermark. --dump additionally prints every replayable tick as
+// "WAL_TICK seq=<n> stream=<id> value=<v>" for diffing against the
+// original series.
 
 #include <algorithm>
 #include <cstdio>
 #include <ctime>
+#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "monitor/sharded_monitor.h"
 #include "net/client.h"
 #include "ts/binary_io.h"
 #include "ts/csv.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "wal/env.h"
+#include "wal/wal.h"
 
 namespace {
 
@@ -49,11 +71,15 @@ util::StatusOr<ts::Series> LoadSeries(const std::string& path) {
 
 void PrintMatch(const net::MatchEventPayload& event) {
   std::printf(
-      "MATCH stream=%s query=%s start=%lld end=%lld dist=%.17g report=%lld\n",
+      "MATCH stream=%s query=%s start=%lld end=%lld dist=%.17g report=%lld",
       event.stream_name.c_str(), event.query_name.c_str(),
       static_cast<long long>(event.match.start),
       static_cast<long long>(event.match.end), event.match.distance,
       static_cast<long long>(event.match.report_time));
+  if (event.match_seq >= 0) {
+    std::printf(" seq=%lld", static_cast<long long>(event.match_seq));
+  }
+  std::printf("\n");
   std::fflush(stdout);
 }
 
@@ -62,8 +88,67 @@ int Fail(const char* what, const util::Status& status) {
   return 1;
 }
 
+/// --replay_wal: offline scan of a WAL directory, printed for humans and
+/// for byte-level diffing (--dump) against the originally fed series.
+int ReplayWal(const std::string& dir, bool dump) {
+  wal::Env* const env = wal::Env::Default();
+  uint64_t start_seq = 0;
+  const std::string checkpoint_path = dir + "/checkpoint.ckpt";
+  std::ifstream probe(checkpoint_path, std::ios::binary);
+  if (probe.good()) {
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(probe)),
+                               std::istreambuf_iterator<char>());
+    if (probe.bad()) {
+      return Fail("checkpoint read", util::IoError(checkpoint_path));
+    }
+    // Restore into a throwaway monitor purely to learn where the
+    // checkpoint's coverage ends; checkpoints are reshard-safe, so one
+    // worker always suffices.
+    monitor::ShardedMonitorOptions options;
+    options.num_workers = 1;
+    monitor::ShardedMonitor monitor(options);
+    const util::Status restored = monitor.RestoreState(bytes);
+    if (!restored.ok()) return Fail("checkpoint restore", restored);
+    start_seq = monitor.next_seq();
+  }
+  auto recovered = wal::RecoverWal(env, dir, start_seq);
+  if (!recovered.ok()) return Fail("WAL scan", recovered.status());
+  std::printf(
+      "WAL dir=%s start_seq=%llu chunks=%zu values=%lld "
+      "records_replayed=%lld records_scanned=%lld segments=%lld "
+      "torn_tail=%d",
+      dir.c_str(), static_cast<unsigned long long>(start_seq),
+      recovered->chunks.size(), static_cast<long long>(recovered->values),
+      static_cast<long long>(recovered->records_replayed),
+      static_cast<long long>(recovered->records_scanned),
+      static_cast<long long>(recovered->segments),
+      recovered->torn_tail ? 1 : 0);
+  if (recovered->has_watermark) {
+    std::printf(" watermark_seq=%llu watermark_query=%lld",
+                static_cast<unsigned long long>(recovered->watermark_seq),
+                static_cast<long long>(recovered->watermark_query_id));
+  }
+  std::printf("\n");
+  if (dump) {
+    for (const auto& chunk : recovered->chunks) {
+      uint64_t seq = chunk.seq0;
+      for (const double value : chunk.values) {
+        std::printf("WAL_TICK seq=%llu stream=%lld value=%.17g\n",
+                    static_cast<unsigned long long>(seq++),
+                    static_cast<long long>(chunk.stream_id), value);
+      }
+    }
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  const std::string replay_wal = flags.GetString("replay_wal", "");
+  if (!replay_wal.empty()) {
+    return ReplayWal(replay_wal, flags.GetBool("dump", false));
+  }
   const std::string stream_path = flags.GetString("stream", "");
   if (stream_path.empty()) {
     std::fprintf(stderr, "--stream is required\n");
@@ -121,6 +206,14 @@ int Run(int argc, char** argv) {
   const std::vector<double>& values = series->values();
   const int64_t start_nanos = util::Stopwatch::NowNanos();
   int64_t sent = 0;
+  if (flags.GetBool("resume", false)) {
+    // The server already holds this many ticks of the stream (v3
+    // STREAM_OPENED trailer): skip that prefix so the combined ingest is
+    // the series exactly once.
+    const int64_t held = std::max<int64_t>(0, client.last_stream_ticks());
+    sent = std::min<int64_t>(held, static_cast<int64_t>(values.size()));
+    std::printf("RESUME skipped=%lld\n", static_cast<long long>(sent));
+  }
   while (sent < static_cast<int64_t>(values.size())) {
     const int64_t count = std::min<int64_t>(
         batch, static_cast<int64_t>(values.size()) - sent);

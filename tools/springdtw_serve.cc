@@ -2,6 +2,8 @@
 //
 //   springdtw_serve [--port=0] [--workers=2]
 //       [--checkpoint=FILE] [--checkpoint_period_ms=0]
+//       [--wal_dir=DIR] [--fsync=os|interval|every_record]
+//       [--fsync_interval_ms=50] [--wal_segment_bytes=4194304]
 //       [--introspect_port=-1] [--staleness_ms=1000]
 //       [--span_sample_every=64] [--cost_sample_every=64]
 //       [--max_connections=64] [--max_frame_bytes=1048576]
@@ -16,10 +18,21 @@
 // --checkpoint=FILE makes the daemon durable: if FILE exists at startup
 // the monitor restores from it (resuming mid-stream, pending candidates
 // intact), CHECKPOINT frames and the periodic checkpointer write to it
-// (atomically, via a temp file + rename), and on SIGTERM/SIGINT the daemon
-// drains, writes a final checkpoint, and exits 0. The final checkpoint
-// deliberately does NOT flush pending candidates — a restore continues the
-// stream byte-identically, as if the process had never died.
+// (atomically: temp file + fsync + rename + directory fsync), and on
+// SIGTERM/SIGINT the daemon drains, writes a final checkpoint, and exits
+// 0. The final checkpoint deliberately does NOT flush pending candidates —
+// a restore continues the stream byte-identically, as if the process had
+// never died.
+//
+// --wal_dir=DIR additionally logs every accepted tick to a per-shard
+// write-ahead log before it is acked, making ingest durable between
+// checkpoints (docs/DURABILITY.md). Startup restores the newest checkpoint
+// (defaulting --checkpoint to DIR/checkpoint.ckpt), replays the WAL tail
+// through the monitor, and re-delivers any matches past the logged
+// delivery watermark to the first subscribers; an unclean shutdown is
+// detected and reported on stderr as a "WAL_RECOVERY ..." line carrying
+// the replayed-record count. --fsync picks the durability/throughput
+// trade-off per docs/DURABILITY.md.
 //
 // --introspect_port=N additionally serves /metrics, /healthz, /statusz,
 // /tracez, /spanz, /queryz, /streamz over HTTP (N=0 ephemeral; printed as
@@ -32,14 +45,19 @@
 #include <cstdio>
 #include <ctime>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "monitor/sharded_monitor.h"
+#include "monitor/sink.h"
 #include "net/server.h"
 #include "util/flags.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "wal/env.h"
+#include "wal/wal.h"
 
 namespace {
 
@@ -58,27 +76,15 @@ util::StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   return bytes;
 }
 
-util::Status WriteFileBytesAtomic(const std::string& path,
-                                  const std::vector<uint8_t>& bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return util::IoError("cannot open " + tmp);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out) return util::IoError("write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return util::IoError("rename failed: " + path);
-  }
-  return util::Status::Ok();
-}
-
 int Run(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
   const int64_t port = flags.GetInt64("port", 0);
   const int64_t workers = flags.GetInt64("workers", 2);
-  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+  const std::string wal_dir = flags.GetString("wal_dir", "");
+  std::string checkpoint_path = flags.GetString("checkpoint", "");
+  if (checkpoint_path.empty() && !wal_dir.empty()) {
+    checkpoint_path = wal_dir + "/checkpoint.ckpt";
+  }
   const double checkpoint_period_ms =
       flags.GetDouble("checkpoint_period_ms", 0.0);
   const int64_t introspect_port = flags.GetInt64("introspect_port", -1);
@@ -90,6 +96,20 @@ int Run(int argc, char** argv) {
       flags.GetDouble("staleness_ms", 1000.0);
   monitor_options.span_sample_every = flags.GetInt64("span_sample_every", 64);
   monitor_options.cost_sample_every = flags.GetInt64("cost_sample_every", 64);
+
+  // Registered with the monitor only for WAL replay, but sinks are
+  // never unregistered, so it must outlive the monitor: declared first,
+  // gated by `replay_active` so live serving does not accumulate here.
+  bool replay_active = false;
+  std::vector<monitor::CollectSink::Entry> replay_entries;
+  monitor::CallbackSink replay_sink(
+      [&replay_active, &replay_entries](const monitor::MatchOrigin& origin,
+                                        const core::Match& match) {
+        if (replay_active) {
+          replay_entries.push_back(monitor::CollectSink::Entry{origin, match});
+        }
+      });
+
   monitor::ShardedMonitor monitor(monitor_options);
 
   if (!checkpoint_path.empty()) {
@@ -113,6 +133,104 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Scan the WAL tail before the writer opens fresh segments, so the scan
+  // sees exactly what the previous incarnation left behind.
+  wal::Env* const wal_env = wal::Env::Default();
+  std::unique_ptr<wal::WalWriter> wal;
+  wal::RecoveredWal recovered;
+  if (!wal_dir.empty()) {
+    auto scanned = wal::RecoverWal(wal_env, wal_dir, monitor.next_seq());
+    if (!scanned.ok()) {
+      std::fprintf(stderr, "WAL recovery: %s\n",
+                   scanned.status().ToString().c_str());
+      return 1;
+    }
+    recovered = std::move(*scanned);
+
+    wal::WalOptions wal_options;
+    wal_options.dir = wal_dir;
+    wal_options.num_shards = monitor_options.num_workers;
+    wal_options.fsync_interval_ms = flags.GetInt64("fsync_interval_ms", 50);
+    wal_options.segment_bytes =
+        flags.GetInt64("wal_segment_bytes", 4 << 20);
+    auto policy = wal::ParseFsyncPolicy(flags.GetString("fsync", "os"));
+    if (!policy.ok()) {
+      std::fprintf(stderr, "--fsync: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    wal_options.fsync = *policy;
+    auto opened = wal::WalWriter::Open(wal_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "WAL open: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    wal = std::move(*opened);
+    wal->RecordReplayedRecords(recovered.records_replayed);
+  }
+
+  monitor.Start();
+
+  // Replay the recovered tail through the monitor exactly as the original
+  // ingest ran it, capturing the matches it (re)produces; everything at or
+  // below the delivery watermark already reached every subscriber before
+  // the crash and is filtered out, the rest is buffered for re-delivery to
+  // the first post-restart subscribers. Not checkpointed or truncated
+  // here: the tail stays on disk until a natural checkpoint, so repeated
+  // crashes replay the same tail from the same checkpoint.
+  std::vector<net::RecoveredMatch> recovered_matches;
+  if (!recovered.chunks.empty() || recovered.torn_tail) {
+    monitor.AddSink(&replay_sink);
+    replay_active = true;
+    for (const auto& chunk : recovered.chunks) {
+      if (monitor.next_seq() != chunk.seq0) {
+        std::fprintf(stderr,
+                     "WAL replay: sequence skew (log %llu, monitor %llu)\n",
+                     static_cast<unsigned long long>(chunk.seq0),
+                     static_cast<unsigned long long>(monitor.next_seq()));
+        monitor.Stop();
+        return 1;
+      }
+      const util::Status pushed =
+          monitor.PushBatch(chunk.stream_id, chunk.values);
+      if (!pushed.ok()) {
+        std::fprintf(stderr, "WAL replay: %s\n", pushed.ToString().c_str());
+        monitor.Stop();
+        return 1;
+      }
+    }
+    const util::StatusOr<int64_t> drained = monitor.Drain();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "WAL replay drain: %s\n",
+                   drained.status().ToString().c_str());
+      monitor.Stop();
+      return 1;
+    }
+    replay_active = false;
+    for (const auto& entry : replay_entries) {
+      if (entry.origin.global_seq < 0) continue;
+      if (recovered.has_watermark) {
+        const auto key = std::make_pair(
+            static_cast<uint64_t>(entry.origin.global_seq),
+            entry.origin.query_id);
+        const auto mark = std::make_pair(recovered.watermark_seq,
+                                         recovered.watermark_query_id);
+        if (key <= mark) continue;
+      }
+      recovered_matches.push_back(
+          net::RecoveredMatch{entry.origin, entry.match});
+    }
+    std::fprintf(
+        stderr,
+        "WAL_RECOVERY dir=%s replayed_records=%lld replayed_values=%lld "
+        "segments=%lld torn_tail=%d recovered_matches=%zu\n",
+        wal_dir.c_str(), static_cast<long long>(recovered.records_replayed),
+        static_cast<long long>(recovered.values),
+        static_cast<long long>(recovered.segments),
+        recovered.torn_tail ? 1 : 0, recovered_matches.size());
+  }
+
   net::StreamServerOptions server_options;
   server_options.port = static_cast<int>(port);
   server_options.max_connections = flags.GetInt64("max_connections", 64);
@@ -125,20 +243,33 @@ int Run(int argc, char** argv) {
   if (!checkpoint_path.empty()) {
     // Runs on the server's event-loop thread, which holds the router role.
     server.SetCheckpointFn(
-        [&monitor, checkpoint_path]() -> util::StatusOr<uint64_t> {
+        [&monitor, wal_env, checkpoint_path]() -> util::StatusOr<uint64_t> {
           const std::vector<uint8_t> bytes = monitor.SerializeState();
           SPRINGDTW_RETURN_IF_ERROR(
-              WriteFileBytesAtomic(checkpoint_path, bytes));
+              wal::AtomicWriteFile(wal_env, checkpoint_path, bytes));
           return static_cast<uint64_t>(bytes.size());
         });
   }
+  if (wal != nullptr) {
+    server.SetWal(wal.get());
+    server.SetRecoveredMatches(std::move(recovered_matches));
+  }
 
-  monitor.SetAuxMetricsProvider(
-      [&server] { return server.MetricsSnapshot(); });
-  monitor.Start();
+  monitor.SetAuxMetricsProvider([&server, &wal] {
+    obs::MetricsSnapshot snapshot = server.MetricsSnapshot();
+    if (wal != nullptr) {
+      obs::MetricsSnapshot wal_snapshot = wal->MetricsSnapshot();
+      snapshot.families.insert(
+          snapshot.families.end(),
+          std::make_move_iterator(wal_snapshot.families.begin()),
+          std::make_move_iterator(wal_snapshot.families.end()));
+    }
+    return snapshot;
+  });
   const util::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start: %s\n", started.ToString().c_str());
+    monitor.Stop();
     return 1;
   }
 
@@ -156,14 +287,16 @@ int Run(int argc, char** argv) {
   }
 
   // Graceful shutdown: stop serving (joins the loop thread, handing the
-  // router role back to this thread), apply everything routed, and write a
-  // final checkpoint preserving pending candidates.
+  // router role back to this thread), apply everything routed, write a
+  // final checkpoint preserving pending candidates, and — with that
+  // checkpoint durably covering every logged tick — truncate the WAL so
+  // the next start is clean.
   server.Stop();
   (void)monitor.Drain();
   if (!checkpoint_path.empty()) {
     const std::vector<uint8_t> bytes = monitor.SerializeState();
     const util::Status written =
-        WriteFileBytesAtomic(checkpoint_path, bytes);
+        wal::AtomicWriteFile(wal_env, checkpoint_path, bytes);
     if (!written.ok()) {
       std::fprintf(stderr, "final checkpoint: %s\n",
                    written.ToString().c_str());
@@ -171,6 +304,15 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "final checkpoint: %zu bytes\n", bytes.size());
+    if (wal != nullptr) {
+      const util::Status truncated = wal->Truncate();
+      if (!truncated.ok()) {
+        std::fprintf(stderr, "WAL truncate: %s\n",
+                     truncated.ToString().c_str());
+        monitor.Stop();
+        return 1;
+      }
+    }
   }
   monitor.Stop();
   return 0;
