@@ -11,10 +11,15 @@
 // numbers are hardware-bound; the bench gates (under --smoke, run by
 // scripts/check.sh) on liveness properties — every path moves ticks, every
 // drain barrier accounts for exactly the ticks sent, the server reports no
-// slow-subscriber disconnects for these drain-paced feeders — plus one
-// differential bound: fsync=os write-ahead logging must cost under 10% of
-// single-connection throughput (measured against a pairwise-interleaved
-// no-WAL baseline, so machine drift cancels).
+// slow-subscriber disconnects for these drain-paced feeders — plus two
+// differential bounds: fsync=os write-ahead logging must cost under 10%
+// of single-connection throughput, and the metrics timeline + alert
+// evaluation must cost under 5% of traced throughput (each measured
+// against a pairwise-interleaved baseline, so machine drift cancels).
+// With one hardware thread the pairs time-slice against each other and
+// the differentials are noise: negative overheads clamp to zero, the
+// gauges carry an unreliable="single_thread" label, and the bounds only
+// warn.
 //
 // All measurements are emitted as a BENCH_METRICS_JSON line
 // (bench_net_ingest_ticks_per_sec{path=direct|net, connections=N}).
@@ -36,6 +41,7 @@
 #include "monitor/sink.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/alert.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -126,12 +132,16 @@ double MeasureDirect(const Workload& w, int64_t workers, int64_t chunk) {
 /// confirmed full application. With `traced`, the serving monitor runs the
 /// full observability stack at 1-in-64 sampling (spans + cost accounting),
 /// the deployment default — its cost shows up as tracing_overhead_pct.
+/// With `timeline` (implies traced), the monitor additionally folds every
+/// published snapshot into the metrics timeline and evaluates a
+/// representative alert rule set (one rate rule + the SLO burn-rate pair)
+/// on the publish cadence — its cost shows up as timeline_overhead_pct.
 /// With a non-empty `wal_dir`, every accepted batch is also framed into a
 /// per-shard write-ahead log under fsync=os (the default durability tier,
 /// docs/DURABILITY.md) before it is acked — its cost shows up as
 /// wal_overhead_pct.
 double MeasureNet(const Workload& w, int64_t workers, int64_t chunk,
-                  int64_t connections, bool traced,
+                  int64_t connections, bool traced, bool timeline,
                   const std::string& wal_dir, int64_t* slow_disconnects) {
   monitor::ShardedMonitorOptions monitor_options;
   monitor_options.num_workers = workers;
@@ -139,6 +149,18 @@ double MeasureNet(const Workload& w, int64_t workers, int64_t chunk,
     monitor_options.enable_introspection = true;
     monitor_options.span_sample_every = 64;
     monitor_options.cost_sample_every = 64;
+  }
+  if (timeline) {
+    monitor_options.enable_timeline = true;
+    monitor_options.slo_p99_ms = 50.0;
+    auto rule = obs::ParseAlertRule(
+        "alert ingest_rate warn rate(spring_ticks_total) > 1 for 1s");
+    if (!rule.ok()) {
+      std::fprintf(stderr, "bench alert rule failed to parse: %s\n",
+                   rule.status().ToString().c_str());
+      std::exit(1);
+    }
+    monitor_options.alert_rules.push_back(*std::move(rule));
   }
   monitor::ShardedMonitor monitor(monitor_options);
   BuildTopology(w, &monitor);
@@ -302,10 +324,12 @@ int main(int argc, char** argv) {
   for (int64_t r = 0; r < repeats; ++r) {
     net_1 = std::max(net_1,
                      MeasureNet(w, workers, chunk, /*connections=*/1,
-                                /*traced=*/false, "", &slow_disconnects));
+                                /*traced=*/false, /*timeline=*/false, "",
+                                &slow_disconnects));
     net_traced = std::max(
         net_traced, MeasureNet(w, workers, chunk, /*connections=*/1,
-                               /*traced=*/true, "", &slow_disconnects));
+                               /*traced=*/true, /*timeline=*/false, "",
+                               &slow_disconnects));
   }
   std::printf("%-28s %12.0f ticks/sec  (%.2fx vs direct)\n", "loopback 1 conn",
               net_1, direct > 0.0 ? net_1 / direct : 0.0);
@@ -315,7 +339,7 @@ int main(int argc, char** argv) {
 
   const double net_8 = BestOf(repeats, [&] {
     return MeasureNet(w, workers, chunk, /*connections=*/8, /*traced=*/false,
-                      "", &slow_disconnects);
+                      /*timeline=*/false, "", &slow_disconnects);
   });
   std::printf("%-28s %12.0f ticks/sec  (%.2fx vs direct)\n", "loopback 8 conn",
               net_8, direct > 0.0 ? net_8 / direct : 0.0);
@@ -338,10 +362,12 @@ int main(int argc, char** argv) {
   for (int64_t r = 0; r < repeats; ++r) {
     const double base =
         MeasureNet(w, workers, chunk, /*connections=*/1,
-                   /*traced=*/false, "", &slow_disconnects);
+                   /*traced=*/false, /*timeline=*/false, "",
+                   &slow_disconnects);
     const double with_wal =
         MeasureNet(w, workers, chunk, /*connections=*/1, /*traced=*/false,
-                   wal_root + "/r" + std::to_string(r), &slow_disconnects);
+                   /*timeline=*/false, wal_root + "/r" + std::to_string(r),
+                   &slow_disconnects);
     net_wal = std::max(net_wal, with_wal);
     // The overhead comes from the best adjacent-in-time pairing, not from
     // a ratio of global bests: each pair ran under (nearly) the same
@@ -353,17 +379,34 @@ int main(int argc, char** argv) {
   }
   std::error_code wal_cleanup_ec;
   std::filesystem::remove_all(wal_root, wal_cleanup_ec);
-  const double wal_overhead_pct =
+  // On a single hardware thread the two sides of a differential pair
+  // time-slice against each other and the "overhead" swings tens of
+  // percent either way — a negative number is pure scheduler noise, not a
+  // speedup. Clamp it to zero, tag the gauge unreliable, and downgrade the
+  // smoke gates to warnings below.
+  const bool single_thread = cores <= 1;
+  const double wal_overhead_raw =
       wal_best_ratio > 0.0 ? (1.0 - wal_best_ratio) * 100.0 : 100.0;
-  std::printf("%-28s %12.0f ticks/sec  (%+.2f%% vs no WAL)\n",
-              "loopback 1 conn wal=os", net_wal, -wal_overhead_pct);
+  const double wal_overhead_pct =
+      single_thread ? std::max(0.0, wal_overhead_raw) : wal_overhead_raw;
+  std::printf("%-28s %12.0f ticks/sec  (%+.2f%% vs no WAL)%s\n",
+              "loopback 1 conn wal=os", net_wal, -wal_overhead_pct,
+              single_thread ? "  [unreliable: single thread]" : "");
   emitter.SetGauge(
       "bench_net_ingest_ticks_per_sec", "monitor ingest throughput", net_wal,
       {obs::Label{"path", "net"}, obs::Label{"connections", "1"},
        obs::Label{"wal", "os"}});
-  emitter.SetGauge("bench_net_ingest_wal_overhead_pct",
-                   "throughput lost to fsync=os write-ahead logging, percent",
-                   wal_overhead_pct);
+  if (single_thread) {
+    emitter.SetGauge(
+        "bench_net_ingest_wal_overhead_pct",
+        "throughput lost to fsync=os write-ahead logging, percent",
+        wal_overhead_pct, {obs::Label{"unreliable", "single_thread"}});
+  } else {
+    emitter.SetGauge(
+        "bench_net_ingest_wal_overhead_pct",
+        "throughput lost to fsync=os write-ahead logging, percent",
+        wal_overhead_pct);
+  }
 
   const double tracing_overhead_pct =
       net_1 > 0.0 ? (net_1 - net_traced) / net_1 * 100.0 : 0.0;
@@ -377,6 +420,53 @@ int main(int argc, char** argv) {
   emitter.SetGauge("bench_net_ingest_tracing_overhead_pct",
                    "throughput lost to 1-in-64 span/cost sampling, percent",
                    tracing_overhead_pct);
+
+  // Timeline + alerting on top of tracing (the full observability stack a
+  // dashboarded deployment runs): every published snapshot folds into the
+  // multi-resolution timeline and the alert rules evaluate on the publish
+  // cadence. Pairwise-interleaved against a traced-only baseline, same
+  // drift-cancelling scheme as the WAL pair.
+  double net_timeline = 0.0;
+  double timeline_best_ratio = 0.0;
+  for (int64_t r = 0; r < repeats; ++r) {
+    const double base =
+        MeasureNet(w, workers, chunk, /*connections=*/1,
+                   /*traced=*/true, /*timeline=*/false, "",
+                   &slow_disconnects);
+    const double with_timeline =
+        MeasureNet(w, workers, chunk, /*connections=*/1,
+                   /*traced=*/true, /*timeline=*/true, "",
+                   &slow_disconnects);
+    net_timeline = std::max(net_timeline, with_timeline);
+    if (base > 0.0) {
+      timeline_best_ratio =
+          std::max(timeline_best_ratio, with_timeline / base);
+    }
+  }
+  const double timeline_overhead_raw =
+      timeline_best_ratio > 0.0 ? (1.0 - timeline_best_ratio) * 100.0 : 100.0;
+  const double timeline_overhead_pct =
+      single_thread ? std::max(0.0, timeline_overhead_raw)
+                    : timeline_overhead_raw;
+  std::printf("%-28s %12.0f ticks/sec  (%+.2f%% vs traced)%s\n",
+              "loopback 1 conn timeline", net_timeline, -timeline_overhead_pct,
+              single_thread ? "  [unreliable: single thread]" : "");
+  emitter.SetGauge(
+      "bench_net_ingest_ticks_per_sec", "monitor ingest throughput",
+      net_timeline,
+      {obs::Label{"path", "net"}, obs::Label{"connections", "1"},
+       obs::Label{"timeline", "on"}});
+  if (single_thread) {
+    emitter.SetGauge(
+        "bench_net_ingest_timeline_overhead_pct",
+        "throughput lost to metrics timeline + alert evaluation, percent",
+        timeline_overhead_pct, {obs::Label{"unreliable", "single_thread"}});
+  } else {
+    emitter.SetGauge(
+        "bench_net_ingest_timeline_overhead_pct",
+        "throughput lost to metrics timeline + alert evaluation, percent",
+        timeline_overhead_pct);
+  }
 
   emitter.SetGauge("bench_net_ingest_hardware_threads",
                    "std::thread::hardware_concurrency at bench time",
@@ -405,13 +495,39 @@ int main(int argc, char** argv) {
       std::printf("SMOKE FAIL: WAL path moved no ticks\n");
       return 1;
     }
+    if (net_timeline <= 0.0) {
+      std::printf("SMOKE FAIL: timeline path moved no ticks\n");
+      return 1;
+    }
     // Durability is supposed to be nearly free at the fsync=os tier: the
     // append is a frame encode plus a page-cache write. Best-of repeats on
-    // both sides of the pair damp scheduler noise.
+    // both sides of the pair damp scheduler noise. On a single hardware
+    // thread the differential is dominated by time-slicing, so the bounds
+    // only warn there.
     if (wal_overhead_pct >= 10.0) {
-      std::printf("SMOKE FAIL: fsync=os WAL overhead %.2f%% >= 10%%\n",
-                  wal_overhead_pct);
-      return 1;
+      if (single_thread) {
+        std::printf("SMOKE WARN: fsync=os WAL overhead %.2f%% >= 10%% "
+                    "(single hardware thread, not gated)\n",
+                    wal_overhead_pct);
+      } else {
+        std::printf("SMOKE FAIL: fsync=os WAL overhead %.2f%% >= 10%%\n",
+                    wal_overhead_pct);
+        return 1;
+      }
+    }
+    // The timeline folds ~10 snapshots/sec of pre-aggregated metrics on
+    // the router thread — bounded work regardless of ingest rate, so it
+    // must stay under 5% of traced throughput.
+    if (timeline_overhead_pct >= 5.0) {
+      if (single_thread) {
+        std::printf("SMOKE WARN: timeline overhead %.2f%% >= 5%% "
+                    "(single hardware thread, not gated)\n",
+                    timeline_overhead_pct);
+      } else {
+        std::printf("SMOKE FAIL: timeline overhead %.2f%% >= 5%%\n",
+                    timeline_overhead_pct);
+        return 1;
+      }
     }
   }
   std::printf("\nnote: net/direct is the protocol overhead factor; it is "

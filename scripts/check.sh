@@ -21,7 +21,9 @@
 #               batched single-thread path loses to the scalar path) and a
 #               reduced bench_fig7_walltime; drops BENCH_scaleout.json and
 #               BENCH_fig7.json at the repo root, validated with
-#               springdtw_metrics_check
+#               springdtw_metrics_check, then compares each fresh blob
+#               against the committed baseline with scripts/bench_diff.py
+#               (warn-only: baselines come from other hardware)
 #   introspect-smoke
 #               Starts a 4-worker springdtw_match with --introspect_port=0,
 #               polls /healthz to 200, scrapes /metrics for the
@@ -36,6 +38,14 @@
 #               daemon (must exit 0 and leave a checkpoint), then restarts
 #               from the checkpoint and asserts the restored query keeps
 #               matching (docs/SERVING.md)
+#   alert-smoke Boots springdtw_serve with --timeline and a page-severity
+#               rate rule, drives a paced feed hot enough to trip it, and
+#               walks the rule through its full lifecycle over /alertz:
+#               firing while the feed runs (and /healthz 503, because the
+#               rule pages), resolved after the feed stops (and /healthz
+#               back to 200) — then validates the scraped /timez //alertz
+#               documents with springdtw_metrics_check and renders one
+#               plain springdtw_top frame (docs/OBSERVABILITY.md)
 #   crash-smoke Boots springdtw_serve with --wal_dir, streams a planted
 #               pattern, SIGKILLs the daemon mid-flight (no checkpoint,
 #               no drain), restarts against the same WAL directory, and
@@ -54,7 +64,7 @@ JOBS="${JOBS:-$(nproc)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
   LEGS=(default asan-ubsan tsan lint analyze fuzz-smoke bench-smoke
-    introspect-smoke serve-smoke crash-smoke)
+    introspect-smoke serve-smoke alert-smoke crash-smoke)
 fi
 
 NAMES=()
@@ -173,6 +183,14 @@ leg_fuzz_smoke() {
 }
 
 leg_bench_smoke() {
+  # Snapshot the committed baselines before the benches overwrite them;
+  # bench_diff compares fresh numbers against them warn-only (hardware
+  # varies between the machine that committed a baseline and this one, so
+  # regressions print but never fail the leg).
+  local diff_dir
+  diff_dir="$(mktemp -d)" || return 1
+  cp BENCH_scaleout.json BENCH_fig7.json BENCH_net.json "$diff_dir/" \
+    2>/dev/null
   cmake --preset default &&
     cmake --build --preset default -j"$JOBS" \
       --target bench_scaleout bench_fig7_walltime springdtw_metrics_check &&
@@ -186,7 +204,17 @@ leg_bench_smoke() {
     cmake --build --preset default -j"$JOBS" --target bench_net_ingest &&
     ./build/bench/bench_net_ingest --smoke --json_out=BENCH_net.json &&
     ./build/tools/springdtw_metrics_check --in=BENCH_net.json \
-      --require=bench_net_ingest_ticks_per_sec,bench_net_ingest_wire_overhead,bench_net_ingest_tracing_overhead_pct,bench_net_ingest_wal_overhead_pct
+      --require=bench_net_ingest_ticks_per_sec,bench_net_ingest_wire_overhead,bench_net_ingest_tracing_overhead_pct,bench_net_ingest_wal_overhead_pct,bench_net_ingest_timeline_overhead_pct ||
+    { rm -rf "$diff_dir"; return 1; }
+  local bench
+  for bench in BENCH_scaleout.json BENCH_fig7.json BENCH_net.json; do
+    if [ -f "$diff_dir/$bench" ]; then
+      echo "--- bench_diff $bench (vs committed baseline, warn-only) ---"
+      python3 scripts/bench_diff.py --warn-only --quiet \
+        "$diff_dir/$bench" "$bench"
+    fi
+  done
+  rm -rf "$diff_dir"
 }
 
 # One HTTP GET over bash's /dev/tcp (no curl dependency in the container);
@@ -430,6 +458,142 @@ leg_serve_smoke() {
   return "$ok"
 }
 
+# Strips the HTTP status line and headers off an introspect_get capture,
+# leaving the JSON body for springdtw_metrics_check.
+http_body() {
+  sed '1,/^\r\{0,1\}$/d' "$1"
+}
+
+# SLO alerting smoke (docs/OBSERVABILITY.md): drives a rate rule through
+# its complete lifecycle against a live daemon. Severity is `page` so the
+# firing state must also gate /healthz — the staleness budget is set far
+# above the leg's runtime so a 503 can only mean the alert.
+leg_alert_smoke() {
+  cmake --preset default &&
+    cmake --build --preset default -j"$JOBS" \
+      --target springdtw_serve springdtw_feed springdtw_top \
+      springdtw_metrics_check || return 1
+
+  local tmp
+  tmp="$(mktemp -d)" || return 1
+  # 2000 ticks at --rate=400 is five seconds of sustained ingest: well
+  # past the rule's 2s hold at ~8x its 50 ticks/s threshold. A query must
+  # be registered — spring_ticks_total counts query-ticks, so with no
+  # query the counter never exists and a rate rule can never trip.
+  seq 1 2000 | awk '{print $1 % 17}' >"$tmp/stream.csv"
+  printf '1\n2\n3\n2\n1\n' >"$tmp/query.csv"
+  printf 'alert hot_ingest page rate(spring_ticks_total) > 50 for 2s\n' \
+    >"$tmp/rules.txt"
+
+  local serve_pid port iport
+  ./build/tools/springdtw_serve --port=0 --workers=2 --introspect_port=0 \
+    --staleness_ms=120000 --timeline --alert_rules="$tmp/rules.txt" \
+    >"$tmp/serve.out" 2>&1 &
+  serve_pid=$!
+  port="$(wait_for_port_line SERVE_PORT "$tmp/serve.out" "$serve_pid")" &&
+    iport="$(wait_for_port_line INTROSPECT_PORT "$tmp/serve.out" \
+      "$serve_pid")" || {
+    echo "alert-smoke: springdtw_serve did not print its ports"
+    cat "$tmp/serve.out"
+    kill "$serve_pid" 2>/dev/null
+    wait "$serve_pid" 2>/dev/null
+    rm -rf "$tmp"
+    return 1
+  }
+
+  local ok=0
+  ./build/tools/springdtw_feed --port="$port" --stream="$tmp/stream.csv" \
+    --query="$tmp/query.csv" --epsilon=0.25 --rate=400 \
+    >"$tmp/feed.out" 2>&1 &
+  local feed_pid=$!
+
+  # The rule holds 2s before firing; poll rather than sleep.
+  local fired=1 i
+  for i in $(seq 1 120); do
+    introspect_get "$iport" /alertz >"$tmp/alertz.out" 2>/dev/null
+    if grep -q '"state":"firing"' "$tmp/alertz.out"; then
+      fired=0
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$fired" -ne 0 ]; then
+    echo "alert-smoke: rule never reached firing while feeding:"
+    cat "$tmp/alertz.out"
+    ok=1
+  else
+    introspect_get "$iport" /healthz 2>/dev/null | head -1 | grep -q 503 || {
+      echo "alert-smoke: /healthz not 503 while a page rule fires"
+      ok=1
+    }
+  fi
+
+  wait "$feed_pid" 2>/dev/null
+
+  # With the feed gone the 2s rate window drains and the rule must resolve
+  # (and liveness recover) on its own — no restart, no manual reset.
+  if [ "$ok" -eq 0 ]; then
+    local resolved=1
+    for i in $(seq 1 150); do
+      introspect_get "$iport" /alertz >"$tmp/alertz.out" 2>/dev/null
+      if grep -q '"state":"resolved"' "$tmp/alertz.out"; then
+        resolved=0
+        break
+      fi
+      sleep 0.1
+    done
+    if [ "$resolved" -ne 0 ]; then
+      echo "alert-smoke: rule never resolved after the feed stopped:"
+      cat "$tmp/alertz.out"
+      ok=1
+    else
+      introspect_get "$iport" /healthz 2>/dev/null | head -1 |
+        grep -q 200 || {
+        echo "alert-smoke: /healthz did not recover after resolve"
+        ok=1
+      }
+      # One full pending -> firing -> resolved walk leaves the
+      # ever-increasing lifecycle counters non-zero.
+      if grep -q '"firing_count":0' "$tmp/alertz.out"; then
+        echo "alert-smoke: firing_count still 0 after a full lifecycle:"
+        cat "$tmp/alertz.out"
+        ok=1
+      fi
+    fi
+  fi
+
+  # The scraped documents validate structurally, and the dashboard can
+  # render one plain frame from the same endpoints.
+  if [ "$ok" -eq 0 ]; then
+    introspect_get "$iport" \
+      "/timez?metric=spring_ticks_total&window=120" \
+      >"$tmp/timez.raw" 2>/dev/null
+    http_body "$tmp/timez.raw" >"$tmp/timez.json"
+    http_body "$tmp/alertz.out" >"$tmp/alertz.json"
+    ./build/tools/springdtw_metrics_check --timez="$tmp/timez.json" \
+      --alertz="$tmp/alertz.json" || {
+      echo "alert-smoke: scraped /timez //alertz failed metrics_check"
+      ok=1
+    }
+    ./build/tools/springdtw_top --port="$iport" --frames=1 --plain \
+      >"$tmp/top.out" 2>&1 || {
+      echo "alert-smoke: springdtw_top exited non-zero"
+      cat "$tmp/top.out"
+      ok=1
+    }
+    grep -q 'hot_ingest' "$tmp/top.out" || {
+      echo "alert-smoke: dashboard frame does not list the rule:"
+      cat "$tmp/top.out"
+      ok=1
+    }
+  fi
+
+  kill -TERM "$serve_pid" 2>/dev/null
+  wait "$serve_pid" 2>/dev/null
+  rm -rf "$tmp"
+  return "$ok"
+}
+
 # Crash-injection smoke (docs/DURABILITY.md): SIGKILL — not SIGTERM — so
 # nothing shuts down cleanly; durability must come from the WAL alone.
 # fsync=os survives kill -9 because the page cache belongs to the kernel,
@@ -549,11 +713,12 @@ run_leg() {
     bench-smoke) leg_bench_smoke || status=FAIL ;;
     introspect-smoke) leg_introspect_smoke || status=FAIL ;;
     serve-smoke) leg_serve_smoke || status=FAIL ;;
+    alert-smoke) leg_alert_smoke || status=FAIL ;;
     crash-smoke) leg_crash_smoke || status=FAIL ;;
     *)
       echo "unknown leg: ${leg} (known: default asan-ubsan tsan lint" \
         "analyze fuzz-smoke bench-smoke introspect-smoke serve-smoke" \
-        "crash-smoke)"
+        "alert-smoke crash-smoke)"
       status=FAIL
       ;;
   esac

@@ -77,6 +77,11 @@ bool ReadStats(util::ByteReader* reader, QueryStats* stats) {
 ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
     : options_(options) {
   SPRINGDTW_CHECK_GE(options_.num_workers, 1);
+  if (options_.slo_p99_ms > 0.0) {
+    options_.alert_rules.push_back(obs::MakeSloP99Rule(options_.slo_p99_ms));
+  }
+  if (!options_.alert_rules.empty()) options_.enable_timeline = true;
+  if (options_.enable_timeline) options_.enable_introspection = true;
   if (options_.introspect_port >= 0) options_.enable_introspection = true;
   if (options_.enable_introspection) options_.collect_metrics = true;
   introspect_ = options_.enable_introspection;
@@ -188,6 +193,17 @@ ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
           labels);
     }
   }
+  timeline_ = options_.enable_timeline;
+  if (timeline_) {
+    // Construction is single-threaded; the lock only satisfies the thread-
+    // safety analysis (readers appear once the server starts below).
+    util::MutexLock lock(&timeline_mu_);
+    metrics_timeline_ =
+        std::make_unique<obs::MetricsTimeline>(options_.timeline);
+    alert_engine_ =
+        std::make_unique<obs::AlertEngine>(options_.alert_rules);
+    alert_trace_ = obs::TraceRing(options_.alert_trace_capacity);
+  }
   if (options_.introspect_port >= 0) {
     obs::IntrospectionServerOptions server_options;
     server_options.port = static_cast<int>(options_.introspect_port);
@@ -199,6 +215,10 @@ ShardedMonitor::ShardedMonitor(const ShardedMonitorOptions& options)
     handlers.spans = [this] { return PublishedSpans(); };
     handlers.queryz_json = [this] { return QueryzJson(); };
     handlers.streamz_json = [this] { return StreamzJson(); };
+    handlers.timez_json = [this](const std::string& query) {
+      return TimezJson(query);
+    };
+    handlers.alertz_json = [this] { return AlertzJson(); };
     server_ = std::make_unique<obs::IntrospectionServer>(server_options,
                                                          std::move(handlers));
     const util::Status started = server_->Start();
@@ -613,6 +633,32 @@ void ShardedMonitor::PublishRouter(uint64_t now_nanos) {
     }
   }
   router_last_publish_nanos_ = now_nanos;
+  // Timeline recording + alert evaluation ride the same publish cadence
+  // (throttled internally, so barrier-heavy callers don't re-fold the
+  // fleet snapshot on every Drain).
+  PollTimeline();
+}
+
+void ShardedMonitor::PollTimeline(bool force) {
+  if (!timeline_) return;
+  const uint64_t now = NowNanos();
+  if (!force && publish_interval_nanos_ > 0 &&
+      timeline_last_poll_nanos_ != 0 &&
+      now - timeline_last_poll_nanos_ < publish_interval_nanos_) {
+    return;
+  }
+  timeline_last_poll_nanos_ = now;
+  const obs::MetricsSnapshot merged = PublishedMetricsSnapshot();
+  bool page = false;
+  {
+    util::MutexLock lock(&timeline_mu_);
+    metrics_timeline_->Record(now, merged);
+    alert_engine_->Evaluate(now, merged, *metrics_timeline_, &alert_trace_);
+    page = alert_engine_->AnyFiringPage();
+  }
+  // order: relaxed — advisory verdict for /healthz scrapes; the scrape
+  // needs no happens-before with the evaluation pass.
+  alert_page_firing_.store(page, std::memory_order_relaxed);
 }
 
 void ShardedMonitor::AwaitQuiescent() {
@@ -985,6 +1031,14 @@ obs::HealthReport ShardedMonitor::HealthSnapshot() const {
     report.healthy = report.healthy && report.workers.back().healthy;
   }
   report.state = !started() ? "stopped" : (report.healthy ? "ok" : "stale");
+  // order: relaxed — advisory verdict; see PollTimeline().
+  if (report.healthy &&
+      alert_page_firing_.load(std::memory_order_relaxed)) {
+    // A firing page-severity alert is an operator-facing "take me out of
+    // rotation" verdict, same as a stale worker.
+    report.healthy = false;
+    report.state = "alerting";
+  }
   return report;
 }
 
@@ -1070,6 +1124,14 @@ obs::TracezReport ShardedMonitor::PublishedTraces() const {
                          shard->published_traces.end());
     report.dropped += shard->published_trace_dropped;
   }
+  if (timeline_) {
+    // Alert transitions live in a router-side ring; splice them in so
+    // /tracez shows rule state changes alongside match-lifecycle events.
+    util::MutexLock lock(&timeline_mu_);
+    const std::vector<obs::TraceEvent> events = alert_trace_.Events();
+    report.events.insert(report.events.end(), events.begin(), events.end());
+    report.dropped += alert_trace_.dropped();
+  }
   return report;
 }
 
@@ -1087,6 +1149,29 @@ std::string ShardedMonitor::QueryzJson() const {
 std::string ShardedMonitor::StreamzJson() const {
   util::MutexLock lock(&router_publish_mu_);
   return RenderStreamzJson(published_costs_, kCostTopK);
+}
+
+std::string ShardedMonitor::TimezJson(const std::string& query) const {
+  util::MutexLock lock(&timeline_mu_);
+  if (metrics_timeline_ == nullptr) {
+    return "{\"tiers\":[],\"records\":0,\"dropped_channels\":0,"
+           "\"channels\":[]}";
+  }
+  return obs::RenderTimezJson(*metrics_timeline_, query);
+}
+
+std::string ShardedMonitor::AlertzJson() const {
+  util::MutexLock lock(&timeline_mu_);
+  if (alert_engine_ == nullptr) {
+    return "{\"rules\":[],\"firing\":0,\"firing_page\":0}";
+  }
+  return obs::RenderAlertzJson(alert_engine_->Statuses(), NowNanos());
+}
+
+std::vector<obs::AlertStatus> ShardedMonitor::AlertStatuses() const {
+  util::MutexLock lock(&timeline_mu_);
+  if (alert_engine_ == nullptr) return {};
+  return alert_engine_->Statuses();
 }
 
 void ShardedMonitor::SetSpanFinalizer(SpanFinalizer finalizer) {

@@ -16,10 +16,12 @@
 #include "monitor/engine.h"
 #include "monitor/sink.h"
 #include "monitor/spsc_queue.h"
+#include "obs/alert.h"
 #include "obs/introspection_server.h"
 #include "obs/span.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
+#include "obs/timeline.h"
 #include "ts/repair.h"
 #include "util/memory.h"
 #include "util/mutex.h"
@@ -86,6 +88,26 @@ struct ShardedMonitorOptions {
   /// of /queryz and LIST_QUERIES stats. Used only when collect_metrics is
   /// on; 0 disables CPU sampling (cells/ticks/matches accounting stays).
   int64_t cost_sample_every = 64;
+
+  /// Metrics timeline + alerting (docs/OBSERVABILITY.md): when on, the
+  /// router folds each published fleet snapshot into a multi-resolution
+  /// obs::MetricsTimeline (served as /timez) and evaluates `alert_rules`
+  /// against it (served as /alertz; a firing page-severity rule flips
+  /// /healthz to 503). Implied by non-empty alert_rules or slo_p99_ms > 0;
+  /// implies enable_introspection. Recording and evaluation ride the
+  /// publish cadence (publish_interval_ms), never the ingest hot path, and
+  /// cost nothing — no allocations, no atomics — when disabled.
+  bool enable_timeline = false;
+  /// Timeline tiers + channel cap; defaults per obs::TimelineOptions.
+  obs::TimelineOptions timeline;
+  /// Parsed alert rules (obs::ParseAlertRules for the text form).
+  std::vector<obs::AlertRule> alert_rules;
+  /// > 0 appends the conventional two-window SLO page rule on p99
+  /// spring_e2e_latency_nanos{stage=total} with this budget, in
+  /// milliseconds (obs::MakeSloP99Rule).
+  double slo_p99_ms = 0.0;
+  /// Capacity of the alert-transition trace ring merged into /tracez.
+  int64_t alert_trace_capacity = 256;
 };
 
 /// Scale-out shell around MonitorEngine: hash-partitions scalar streams
@@ -296,6 +318,28 @@ class ShardedMonitor {
   /// /streamz document: per-stream cost aggregation, same snapshot
   /// discipline as QueryzJson.
   std::string StreamzJson() const;
+
+  /// Router thread only: folds the current published fleet snapshot into
+  /// the metrics timeline and runs one alert-evaluation pass. Called
+  /// automatically at router publish points; embedders whose router thread
+  /// idles (the net server's event loop) call it periodically so absence
+  /// rules and resolve transitions happen without traffic. Throttled to
+  /// publish_interval_ms unless `force`; no-op (and allocation-free)
+  /// unless the timeline is enabled.
+  void PollTimeline(bool force = false);
+  bool timeline_enabled() const { return timeline_; }
+
+  /// /timez document for a raw URL query string ("metric=...&window=..."),
+  /// or the channel catalog when the query names no metric. Thread-safe;
+  /// "{}"-shaped empty document when the timeline is disabled.
+  std::string TimezJson(const std::string& query) const;
+
+  /// /alertz document: every rule's state, observation, and transition
+  /// counters. Thread-safe; empty rule list when alerting is disabled.
+  std::string AlertzJson() const;
+
+  /// Current rule statuses, for embedders and tests.
+  std::vector<obs::AlertStatus> AlertStatuses() const;
 
   /// Installs a hook invoked on the router thread for every completed span
   /// just before it is recorded, so an embedding layer (the net server)
@@ -556,6 +600,20 @@ class ShardedMonitor {
   CostSnapshot published_costs_ SPRINGDTW_GUARDED_BY(router_publish_mu_);
   std::function<obs::MetricsSnapshot()> aux_metrics_provider_;
   std::unique_ptr<obs::IntrospectionServer> server_;
+
+  /// Timeline + alerting (iff timeline_). Fed on the router thread at
+  /// publish points, read by the server thread; both sides take
+  /// timeline_mu_. The throttle clock is router-thread-only.
+  bool timeline_ = false;
+  uint64_t timeline_last_poll_nanos_ = 0;
+  mutable util::Mutex timeline_mu_;
+  std::unique_ptr<obs::MetricsTimeline> metrics_timeline_
+      SPRINGDTW_GUARDED_BY(timeline_mu_);
+  std::unique_ptr<obs::AlertEngine> alert_engine_
+      SPRINGDTW_GUARDED_BY(timeline_mu_);
+  obs::TraceRing alert_trace_ SPRINGDTW_GUARDED_BY(timeline_mu_);
+  /// Latest AnyFiringPage() verdict, read lock-free by health scrapes.
+  std::atomic<bool> alert_page_firing_{false};
 };
 
 }  // namespace monitor

@@ -256,6 +256,11 @@ void StreamServer::LoopThread() {
 
     MaybePeriodicCheckpoint(now);
     PublishMetrics(now, /*force=*/false);
+    // Keep the metrics timeline and alert state machine advancing through
+    // idle stretches (absence rules and firing->resolved transitions need
+    // evaluation passes, not traffic). No-op when the timeline is off;
+    // throttled to the monitor's publish interval.
+    monitor_->PollTimeline();
   }
 
   for (const auto& conn : connections_) {

@@ -1,0 +1,188 @@
+#ifndef SPRINGDTW_OBS_ALERT_H_
+#define SPRINGDTW_OBS_ALERT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace springdtw {
+namespace obs {
+
+enum class AlertSeverity : uint8_t { kWarn, kPage };
+std::string_view AlertSeverityName(AlertSeverity severity);
+
+/// Rule lifecycle (docs/OBSERVABILITY.md): inactive -> pending (condition
+/// true, hold running) -> firing (held for the rule's `for` duration) ->
+/// resolved (condition cleared while firing; sticky display state that
+/// re-arms like inactive). A pending rule whose condition clears before
+/// the hold expires returns to inactive without ever firing.
+enum class AlertState : uint8_t { kInactive, kPending, kFiring, kResolved };
+std::string_view AlertStateName(AlertState state);
+
+enum class AlertExprKind : uint8_t {
+  /// value(metric[:field]) CMP threshold — instantaneous, straight off the
+  /// published snapshot (summed across labeled series).
+  kValue,
+  /// ratio(metric_a, metric_b) CMP threshold — instantaneous quotient,
+  /// e.g. spring_ring_occupancy / spring_ring_capacity.
+  kRatio,
+  /// rate(counter[:field]) CMP threshold — per-second increase over the
+  /// rule's window (max(for, finest tier width)), from the timeline.
+  kRate,
+  /// absent(metric[:field]) — no sample recorded within the `for` window;
+  /// the staleness rule for dead feeds and silent exporters.
+  kAbsent,
+  /// burn(metric:field, budget, fast, slow) CMP threshold — two-window SLO
+  /// burn rate: fraction of timeline buckets whose value exceeds `budget`
+  /// must satisfy CMP in BOTH windows to trip (fast window catches the
+  /// spike, slow window filters noise).
+  kBurnRate,
+};
+std::string_view AlertExprKindName(AlertExprKind kind);
+
+enum class AlertCmp : uint8_t { kGt, kGe, kLt, kLe };
+std::string_view AlertCmpName(AlertCmp cmp);
+
+/// One parsed alert rule. Text form (one rule per line, '#' comments):
+///
+///   alert <name> <severity> <expr> [for <N>s]
+///
+/// with <severity> in {warn, page} and <expr> one of
+///
+///   value(metric[:field]) <cmp> <num>
+///   ratio(metric_a, metric_b) <cmp> <num>
+///   rate(metric[:field]) <cmp> <num>
+///   absent(metric[:field])
+///   burn(metric:field, <budget>, <fast>s, <slow>s) <cmp> <num>
+///
+/// where <cmp> is one of > >= < <=. Metric references accept an optional
+/// single-label filter: metric{key=value}.
+struct AlertRule {
+  std::string name;
+  AlertSeverity severity = AlertSeverity::kWarn;
+  AlertExprKind kind = AlertExprKind::kValue;
+  AlertCmp cmp = AlertCmp::kGt;
+  double threshold = 0.0;
+  /// Seconds the condition must hold before pending becomes firing.
+  double for_seconds = 0.0;
+
+  std::string metric;
+  std::string field;
+  /// Optional {key=value} series filter on `metric`.
+  std::string label_key;
+  std::string label_value;
+  /// kRatio denominator.
+  std::string metric_b;
+  std::string field_b;
+  std::string label_key_b;
+  std::string label_value_b;
+  /// kBurnRate parameters.
+  double budget = 0.0;
+  double fast_window_seconds = 60.0;
+  double slow_window_seconds = 300.0;
+};
+
+/// Parses one rule line. Returns kInvalidArgument with a pointed message
+/// on malformed input; blank/comment lines are the caller's concern.
+util::StatusOr<AlertRule> ParseAlertRule(std::string_view line);
+
+/// Parses a whole rules file (blank lines and '#' comments skipped).
+/// Fails on the first malformed rule, naming its line number.
+util::StatusOr<std::vector<AlertRule>> ParseAlertRules(std::string_view text);
+
+/// Synthesizes the conventional SLO page rule for a p99 end-to-end latency
+/// budget of `p99_ms` milliseconds: a two-window burn-rate rule over
+/// spring_e2e_latency_nanos{stage=total}:p99 that pages when more than
+/// half the timeline buckets blow the budget in both the fast (60s) and
+/// slow (300s) windows.
+AlertRule MakeSloP99Rule(double p99_ms);
+
+/// Point-in-time status of one rule, for /alertz.
+struct AlertStatus {
+  std::string name;
+  AlertSeverity severity = AlertSeverity::kWarn;
+  AlertExprKind kind = AlertExprKind::kValue;
+  AlertState state = AlertState::kInactive;
+  /// Expression text reconstructed from the parse, for display.
+  std::string expr;
+  /// Last evaluated observation (rate, value, ratio, or burn fraction;
+  /// NaN before the first evaluation or when inputs are absent).
+  double value = 0.0;
+  double threshold = 0.0;
+  double for_seconds = 0.0;
+  /// Monotonic stamp of the last state transition; 0 = never moved.
+  uint64_t since_nanos = 0;
+  /// Times the rule entered each state, ever — lets a poller prove a
+  /// pending -> firing -> resolved walk happened without catching each
+  /// phase in the act.
+  int64_t pending_count = 0;
+  int64_t firing_count = 0;
+  int64_t resolved_count = 0;
+};
+
+/// Evaluates parsed rules against each published snapshot + the timeline,
+/// runs the per-rule state machine, and records every transition as a
+/// kAlertTransition trace event. Not thread-safe: single evaluator,
+/// readers serialize externally (the ShardedMonitor's timeline mutex).
+class AlertEngine {
+ public:
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  int64_t num_rules() const { return static_cast<int64_t>(rules_.size()); }
+
+  /// One evaluation pass. `timeline` must already have Record()ed
+  /// `snapshot` for rate/absent/burn rules to see it. Transitions are
+  /// appended to `trace` when non-null.
+  void Evaluate(uint64_t now_nanos, const MetricsSnapshot& snapshot,
+                const MetricsTimeline& timeline, TraceRing* trace);
+
+  /// True while any page-severity rule is firing — the /healthz 503 hook.
+  bool AnyFiringPage() const { return any_firing_page_; }
+
+  std::vector<AlertStatus> Statuses() const;
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    std::string expr;
+    AlertState state = AlertState::kInactive;
+    double last_value = 0.0;
+    uint64_t since_nanos = 0;
+    /// Stamp when the condition first went true for the current pending
+    /// stretch.
+    uint64_t pending_since_nanos = 0;
+    int64_t pending_count = 0;
+    int64_t firing_count = 0;
+    int64_t resolved_count = 0;
+  };
+
+  /// Evaluates the rule's condition; false when inputs are missing
+  /// (except kAbsent, where missing *is* the condition). Writes the
+  /// observation to `value` (NaN when unavailable).
+  bool ConditionHolds(const RuleState& rs, uint64_t now_nanos,
+                      const MetricsSnapshot& snapshot,
+                      const MetricsTimeline& timeline, double* value) const;
+
+  void Transition(RuleState* rs, AlertState next, uint64_t now_nanos,
+                  TraceRing* trace);
+
+  std::vector<RuleState> rules_;
+  bool any_firing_page_ = false;
+};
+
+/// Renders the /alertz document: every rule's status, state counters, and
+/// last transition stamp. Shape is validated by springdtw_metrics_check
+/// --alertz.
+std::string RenderAlertzJson(const std::vector<AlertStatus>& statuses,
+                             uint64_t now_nanos);
+
+}  // namespace obs
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_OBS_ALERT_H_

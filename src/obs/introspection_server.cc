@@ -235,9 +235,13 @@ void IntrospectionServer::HandleConnection(int client_fd) {
     std::string path = request_line.substr(4);
     const size_t path_end = path.find(' ');
     if (path_end != std::string::npos) path.resize(path_end);
+    std::string query;
     const size_t query_start = path.find('?');
-    if (query_start != std::string::npos) path.resize(query_start);
-    response = Dispatch(path);
+    if (query_start != std::string::npos) {
+      query = path.substr(query_start + 1);
+      path.resize(query_start);
+    }
+    response = Dispatch(path, query);
   }
 
   const char* reason = "OK";
@@ -277,7 +281,7 @@ void IntrospectionServer::HandleConnection(int client_fd) {
 }
 
 IntrospectionServer::Response IntrospectionServer::Dispatch(
-    const std::string& path) const {
+    const std::string& path, const std::string& query) const {
   Response response;
   if (path == "/metrics" && handlers_.metrics) {
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -328,6 +332,18 @@ IntrospectionServer::Response IntrospectionServer::Dispatch(
     response.body.push_back('\n');
     return response;
   }
+  if (path == "/timez" && handlers_.timez_json) {
+    response.content_type = "application/json";
+    response.body = handlers_.timez_json(query);
+    response.body.push_back('\n');
+    return response;
+  }
+  if (path == "/alertz" && handlers_.alertz_json) {
+    response.content_type = "application/json";
+    response.body = handlers_.alertz_json();
+    response.body.push_back('\n');
+    return response;
+  }
   if (path == "/" || path == "/index.html") {
     response.content_type = "text/plain; charset=utf-8";
     response.body =
@@ -339,7 +355,10 @@ IntrospectionServer::Response IntrospectionServer::Dispatch(
         "  /tracez        recent match-lifecycle traces\n"
         "  /spanz         recent end-to-end tick spans\n"
         "  /queryz        per-query cost accounting (top-K)\n"
-        "  /streamz       per-stream cost accounting (top-K)\n";
+        "  /streamz       per-stream cost accounting (top-K)\n"
+        "  /timez         metrics timeline series "
+        "(?metric=...&window=...&field=...)\n"
+        "  /alertz        alert rule states + transition counters\n";
     return response;
   }
   response.code = 404;

@@ -103,6 +103,12 @@ struct IntrospectionHandlers {
   /// and renders; see monitor/cost_accounting.h).
   std::function<std::string()> queryz_json;
   std::function<std::string()> streamz_json;
+  /// /timez: metrics-timeline series, pre-rendered (see obs/timeline.h's
+  /// RenderTimezJson). Receives the raw URL query string after '?'
+  /// ("metric=...&window=...&field=..."), empty for the catalog document.
+  std::function<std::string(const std::string& query)> timez_json;
+  /// /alertz: alert rule states, pre-rendered (obs/alert.h).
+  std::function<std::string()> alertz_json;
 };
 
 struct IntrospectionServerOptions {
@@ -126,6 +132,8 @@ struct IntrospectionServerOptions {
 ///   /spanz         recent end-to-end tick spans (sampled ingest tracing)
 ///   /queryz        per-query cost accounting, ranked top-K by cost
 ///   /streamz       per-stream cost accounting, ranked top-K by cost
+///   /timez         metrics-timeline series (?metric=&window=&field=)
+///   /alertz        alert rule states + transition counters
 ///
 /// Requests are served serially; handlers produce small bounded payloads,
 /// so a slow scraper can delay the next scrape but never the pipeline.
@@ -169,7 +177,7 @@ class IntrospectionServer {
 
   void ServeLoop();
   void HandleConnection(int client_fd);
-  Response Dispatch(const std::string& path) const;
+  Response Dispatch(const std::string& path, const std::string& query) const;
 
   IntrospectionServerOptions options_;
   IntrospectionHandlers handlers_;

@@ -1,0 +1,218 @@
+#ifndef SPRINGDTW_OBS_TIMELINE_H_
+#define SPRINGDTW_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace springdtw {
+namespace obs {
+
+/// One resolution tier of the timeline wheel: `slots` buckets of
+/// `width_seconds` each, covering the most recent width*slots seconds.
+struct TimelineTier {
+  double width_seconds = 1.0;
+  int64_t slots = 120;
+};
+
+struct TimelineOptions {
+  /// Finest tier first. Every coarser tier's width must be an integer
+  /// multiple of the finest tier's width so bucket boundaries nest and the
+  /// downsampling fold is exact (validated at construction; offending
+  /// tiers are dropped). Defaults: 1s x 120, 10s x 90, 60s x 120 — two
+  /// minutes at 1s, fifteen at 10s, two hours at 1m, in fixed memory.
+  std::vector<TimelineTier> tiers;
+  /// Hard cap on tracked channels (a labeled series contributes 1 channel
+  /// per scalar field: counters 1, gauges 1, histograms 5). Channels past
+  /// the cap are counted in dropped_channels() and ignored — memory stays
+  /// fixed no matter what the registry grows.
+  int64_t max_channels = 512;
+};
+
+/// How samples of a channel fold into buckets (and buckets into coarser
+/// buckets): counters accumulate deltas (sum-exact across tiers), gauges
+/// keep last/min/max (the envelope nests exactly across tiers).
+enum class ChannelAgg : uint8_t { kDelta, kGauge };
+
+/// "delta" / "gauge".
+std::string_view ChannelAggName(ChannelAgg agg);
+
+/// One filled bucket of one channel in one tier, oldest first in queries.
+struct TimelinePoint {
+  /// Bucket start, in seconds on the recording clock (start = epoch *
+  /// width; monotone increasing within a series).
+  double start_seconds = 0.0;
+  /// kDelta: counter increase inside the bucket. kGauge: last sample.
+  double value = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// kDelta only: value / bucket width, per second.
+  double rate = 0.0;
+  /// Snapshots folded into this bucket.
+  int64_t samples = 0;
+};
+
+/// One channel's series for a query response.
+struct TimelineSeries {
+  std::string metric;
+  /// Scalar field within the metric: "" for counter/gauge values,
+  /// "count"/"sum"/"p50"/"p90"/"p99" for histogram channels.
+  std::string field;
+  Labels labels;
+  ChannelAgg agg = ChannelAgg::kDelta;
+  std::vector<TimelinePoint> points;
+};
+
+/// Result of MetricsTimeline::Query: the chosen tier plus every matching
+/// channel's points within the window.
+struct TimelineWindow {
+  TimelineTier tier;
+  double window_seconds = 0.0;
+  std::vector<TimelineSeries> series;
+};
+
+/// Fixed-memory multi-resolution metrics history — the recording-rule layer
+/// between the publish-snapshot protocol and /timez (docs/OBSERVABILITY.md).
+///
+/// Record() consumes a published MetricsSnapshot and folds every series
+/// into per-tier ring buffers ("wheel" of rings): counter families record
+/// the delta versus the previous snapshot (sums are exact at every
+/// resolution: a 10s bucket equals the sum of its ten 1s constituents),
+/// gauge families record last/min/max (the min/max envelope nests exactly
+/// across tiers), histogram families decompose into count/sum delta
+/// channels plus p50/p90/p99 gauge channels (the registry quantiles are
+/// cumulative-since-start, so quantile points are instantaneous readings,
+/// aggregated as gauges).
+///
+/// Not thread-safe: single writer, readers must serialize externally (the
+/// ShardedMonitor guards it with its timeline mutex). Record() allocates
+/// only when a new channel or its rings are first created; steady-state
+/// recording is allocation-free.
+class MetricsTimeline {
+ public:
+  explicit MetricsTimeline(TimelineOptions options = {});
+
+  const std::vector<TimelineTier>& tiers() const { return tiers_; }
+  int64_t num_channels() const {
+    return static_cast<int64_t>(channels_.size());
+  }
+  /// Channels ignored because max_channels was reached.
+  int64_t dropped_channels() const { return dropped_channels_; }
+  /// Snapshots recorded so far.
+  int64_t records() const { return records_; }
+  uint64_t last_record_nanos() const { return last_record_nanos_; }
+
+  void Record(uint64_t now_nanos, const MetricsSnapshot& snapshot);
+
+  /// Channel points for `metric` (and `field`; empty matches the value
+  /// channel of counters/gauges) over the trailing `window_seconds`,
+  /// served from the finest tier whose span covers the window (the
+  /// coarsest tier serves anything beyond its span). Empty metric matches
+  /// nothing. Points are oldest-first with strictly increasing
+  /// start_seconds.
+  TimelineWindow Query(std::string_view metric, std::string_view field,
+                       double window_seconds) const;
+
+  /// Sum of kDelta-channel values for `metric`+`field` over the trailing
+  /// `window_seconds` (finest tier), across all labeled series. The alert
+  /// engine's rate() input.
+  double DeltaOver(std::string_view metric, std::string_view field,
+                   double window_seconds) const;
+
+  /// Most recent recorded value of the gauge channel `metric`+`field`
+  /// summed across labeled series; false when the channel has never
+  /// recorded.
+  bool LatestGauge(std::string_view metric, std::string_view field,
+                   double* out) const;
+
+  /// Fraction of filled finest-tier buckets in the trailing
+  /// `window_seconds` whose gauge `value` satisfies `above_threshold`
+  /// (value > threshold). -1 when no bucket in the window has data — the
+  /// alert engine's burn-rate input.
+  double BadBucketFraction(std::string_view metric, std::string_view field,
+                           double window_seconds, double threshold) const;
+
+  /// Sorted unique metric names with their channel fields, for the /timez
+  /// index document.
+  struct CatalogEntry {
+    std::string metric;
+    std::string field;
+    ChannelAgg agg = ChannelAgg::kDelta;
+    int64_t series = 0;
+  };
+  std::vector<CatalogEntry> Catalog() const;
+
+ private:
+  struct Bucket {
+    /// Absolute bucket index (floor(now / width)); -1 = never filled. The
+    /// ring slot is epoch % slots, so a stale epoch marks a wrapped slot.
+    int64_t epoch = -1;
+    double value = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int64_t samples = 0;
+  };
+
+  struct Channel {
+    int64_t family = 0;  // Index into families_ (name/kind registry).
+    std::string field;
+    Labels labels;
+    ChannelAgg agg = ChannelAgg::kDelta;
+    /// Previous cumulative sample for kDelta channels.
+    double prev = 0.0;
+    bool has_prev = false;
+    /// tiers_.size() rings of tiers_[i].slots buckets each.
+    std::vector<std::vector<Bucket>> rings;
+  };
+
+  struct FamilyEntry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+  };
+
+  void RecordSample(uint64_t now_nanos, Channel* channel, double cumulative_or_value);
+  Channel* FindOrCreateChannel(int64_t family, std::string_view field,
+                               const Labels& labels, ChannelAgg agg);
+  int64_t FindOrCreateFamily(std::string_view name, MetricKind kind);
+
+  /// Channels matching metric+field; empty field also matches the ""
+  /// channel.
+  std::vector<const Channel*> MatchChannels(std::string_view metric,
+                                            std::string_view field) const;
+
+  std::vector<TimelineTier> tiers_;
+  int64_t max_channels_ = 0;
+  std::vector<FamilyEntry> families_;
+  std::vector<Channel> channels_;
+  /// (family, field, labels) -> channels_ index, so Record() resolves each
+  /// snapshot series in O(1). The key string is rebuilt into key_scratch_
+  /// (capacity retained), keeping steady-state recording allocation-free.
+  std::unordered_map<std::string, size_t> channel_index_;
+  std::string key_scratch_;
+  int64_t dropped_channels_ = 0;
+  int64_t records_ = 0;
+  uint64_t last_record_nanos_ = 0;
+};
+
+/// Parses an URL query string ("metric=a&window=30&field=p99") into
+/// key=value pairs, in order. No %-decoding (metric names and fields are
+/// plain identifiers); a key without '=' gets an empty value.
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    std::string_view query);
+
+/// Renders the /timez response for `query` ("metric=...&window=...
+/// [&field=...]"): with a metric, a TimelineWindow document; without, the
+/// catalog of recorded channels. Shape is validated by
+/// springdtw_metrics_check --timez.
+std::string RenderTimezJson(const MetricsTimeline& timeline,
+                            std::string_view query);
+
+}  // namespace obs
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_OBS_TIMELINE_H_

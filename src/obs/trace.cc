@@ -22,6 +22,8 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "checkpoint_save";
     case TraceEventKind::kCheckpointRestore:
       return "checkpoint_restore";
+    case TraceEventKind::kAlertTransition:
+      return "alert_transition";
   }
   return "unknown";
 }

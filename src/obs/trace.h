@@ -27,6 +27,10 @@ enum class TraceEventKind : uint8_t {
   kCheckpointSave,
   /// The engine restored from a checkpoint.
   kCheckpointRestore,
+  /// An alert rule changed state (obs::AlertEngine); query_id carries the
+  /// rule index, start/end the old/new obs::AlertState, distance the
+  /// observed value at the transition.
+  kAlertTransition,
 };
 
 /// Stable lowercase name, e.g. "match_reported".

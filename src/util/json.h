@@ -1,0 +1,80 @@
+#ifndef SPRINGDTW_UTIL_JSON_H_
+#define SPRINGDTW_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace springdtw {
+namespace util {
+
+/// Minimal parse-only JSON document model for the introspection tooling
+/// (springdtw_top, springdtw_metrics_check): the repo's exposition layers
+/// *render* JSON by hand, but the consumers need a DOM to navigate /timez,
+/// /alertz, /statusz and friends. Parsing is strict RFC-8259 except that
+/// the exposition layer's `null` stands in for non-finite doubles, so
+/// numeric accessors treat null as "absent", not an error.
+///
+/// Values are immutable after ParseJson; object keys keep document order
+/// (duplicate keys keep the last occurrence on lookup, like most parsers).
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key; nullptr when absent or not an object. Duplicate
+  /// keys resolve to the last occurrence.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience typed lookups returning `fallback` when the member is
+  /// absent, null, or of the wrong kind.
+  double NumberOr(std::string_view key, double fallback) const;
+  int64_t IntOr(std::string_view key, int64_t fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+  bool BoolOr(std::string_view key, bool fallback) const;
+
+  size_t size() const {
+    return is_array() ? array_.size() : is_object() ? members_.size() : 0;
+  }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Errors carry a byte offset in the message.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace util
+}  // namespace springdtw
+
+#endif  // SPRINGDTW_UTIL_JSON_H_

@@ -32,6 +32,7 @@
 #include "monitor/engine.h"
 #include "monitor/sharded_monitor.h"
 #include "monitor/sink.h"
+#include "obs/alert.h"
 #include "obs/introspection_server.h"
 #include "obs/observability.h"
 #include "obs/span.h"
@@ -509,6 +510,91 @@ TEST(MonitorConcurrencyTest, SpanStagesStayMonotoneUnderStress) {
   }
 
   monitor.Stop();
+}
+
+TEST(MonitorConcurrencyTest, TimelineAndAlertScrapesRaceFreeWhileIngesting) {
+  // The timeline + alerting layer under TSan: the router thread (this
+  // thread) folds published snapshots into the timeline and runs alert
+  // evaluation on every Drain (publish_interval_ms = 0 defeats the poll
+  // throttle), while a scraper thread hammers /timez and /alertz render
+  // paths plus the health verdict. Timeline and engine live behind the
+  // monitor's timeline mutex and the page verdict rides an atomic — any
+  // race TSan finds is a protocol bug.
+  constexpr int kStreams = 4;
+  constexpr int64_t kTicks = 1500;
+
+  int64_t expected_total = 0;
+  for (int i = 0; i < kStreams; ++i) {
+    expected_total += ReferenceMatchCount(i, kTicks);
+  }
+
+  ShardedMonitorOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 8;
+  options.publish_interval_ms = 0.0;
+  options.staleness_budget_ms = 60000.0;  // never flips during the test
+  options.enable_timeline = true;
+  options.slo_p99_ms = 1e9;  // Burn rule present, never trips.
+  for (const char* line :
+       {"alert hot warn rate(spring_ticks_total) > 1e15",
+        "alert rings page ratio(spring_ring_occupancy, spring_ring_capacity)"
+        " > 2"}) {
+    auto rule = obs::ParseAlertRule(line);
+    ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+    options.alert_rules.push_back(*std::move(rule));
+  }
+  ShardedMonitor monitor(options);
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  std::vector<int64_t> stream_ids;
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < kStreams; ++i) {
+    stream_ids.push_back(monitor.AddStream("s" + std::to_string(i)));
+    ASSERT_TRUE(monitor
+                    .AddQuery(stream_ids.back(), "q", {1.0, 2.0, 3.0},
+                              TestOptions())
+                    .ok());
+    inputs.push_back(ShardStream(i, kTicks));
+  }
+
+  monitor.Start();
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)monitor.TimezJson("");
+      (void)monitor.TimezJson("metric=spring_ticks_total&window=60");
+      const std::string alertz = monitor.AlertzJson();
+      EXPECT_NE(alertz.find("\"rules\":["), std::string::npos);
+      const obs::HealthReport health = monitor.HealthSnapshot();
+      EXPECT_TRUE(health.healthy) << health.state;
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  int64_t delivered = 0;
+  for (int64_t t = 0; t < kTicks; ++t) {
+    for (int i = 0; i < kStreams; ++i) {
+      ASSERT_TRUE(monitor
+                      .Push(stream_ids[static_cast<size_t>(i)],
+                            inputs[static_cast<size_t>(i)]
+                                  [static_cast<size_t>(t)])
+                      .ok());
+    }
+    if (t % 97 == 0) delivered += monitor.Drain();
+  }
+  delivered += monitor.FlushAll();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  monitor.Stop();
+
+  EXPECT_GT(scrapes.load(), 0);
+  EXPECT_EQ(delivered, expected_total);
+  // The barriers drove real evaluation passes over real records.
+  EXPECT_NE(monitor.TimezJson("").find("spring_ticks_total"),
+            std::string::npos);
+  EXPECT_NE(monitor.AlertzJson().find("\"name\":\"hot\""), std::string::npos);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "monitor/engine.h"
 #include "monitor/sharded_monitor.h"
 #include "monitor/sink.h"
+#include "obs/alert.h"
 #include "obs/introspection_server.h"
 #include "obs/metrics.h"
 #include "util/memory.h"
@@ -415,6 +416,106 @@ TEST(MonitorIntrospectTest, DisabledProfilerAddsNoAllocationsToIngest) {
   }
   EXPECT_EQ(check.Allocations(), 0);
   EXPECT_EQ(check.Bytes(), 0);
+}
+
+TEST(MonitorIntrospectTest, TimezAlertzEndpointsServeJsonAndGateHealthz) {
+  ShardedMonitorOptions options;
+  options.num_workers = 2;
+  options.introspect_port = 0;
+  options.publish_interval_ms = 0.0;  // every barrier folds the timeline
+  options.enable_timeline = true;
+  // A 503 in this test can only mean "alerting" — staleness never trips.
+  options.staleness_budget_ms = 60000.0;
+  auto rule =
+      obs::ParseAlertRule("alert fed page value(spring_ticks_total) > 100");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  options.alert_rules.push_back(*std::move(rule));
+  ShardedMonitor monitor(options);
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  const int64_t stream_id = monitor.AddStream("s0");
+  ASSERT_TRUE(
+      monitor.AddQuery(stream_id, "q0", {1.0, 2.0, 3.0}, NonMatchingOptions())
+          .ok());
+  monitor.Start();
+  const int port = monitor.introspection_port();
+  ASSERT_GT(port, 0);
+
+  for (int t = 0; t < 50; ++t) {
+    ASSERT_TRUE(monitor.Push(stream_id, 9.0).ok());
+  }
+  monitor.FlushAll();
+  // 50 ticks < 100: the rule is armed but inactive, health is green.
+  EXPECT_NE(HttpGet(port, "/healthz").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  std::string alertz = HttpGet(port, "/alertz");
+  EXPECT_NE(alertz.find("HTTP/1.1 200 OK"), std::string::npos) << alertz;
+  EXPECT_NE(alertz.find("\"name\":\"fed\""), std::string::npos) << alertz;
+  EXPECT_NE(alertz.find("\"state\":\"inactive\""), std::string::npos)
+      << alertz;
+  EXPECT_NE(alertz.find("\"firing\":0"), std::string::npos) << alertz;
+
+  for (int t = 0; t < 200; ++t) {
+    ASSERT_TRUE(monitor.Push(stream_id, 9.0).ok());
+  }
+  monitor.FlushAll();
+  // 250 ticks > 100 with no hold: the page rule fires on the barrier's
+  // evaluation pass and must gate /healthz as "alerting" (not "stale").
+  alertz = HttpGet(port, "/alertz");
+  EXPECT_NE(alertz.find("\"state\":\"firing\""), std::string::npos) << alertz;
+  EXPECT_NE(alertz.find("\"firing_page\":1"), std::string::npos) << alertz;
+  const std::string healthz = HttpGet(port, "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.1 503"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"state\":\"alerting\""), std::string::npos)
+      << healthz;
+
+  // /timez serves the channel catalog and per-metric series documents.
+  const std::string catalog = HttpGet(port, "/timez");
+  EXPECT_NE(catalog.find("HTTP/1.1 200 OK"), std::string::npos) << catalog;
+  EXPECT_NE(catalog.find("\"tiers\":["), std::string::npos) << catalog;
+  EXPECT_NE(catalog.find("spring_ticks_total"), std::string::npos) << catalog;
+  const std::string series =
+      HttpGet(port, "/timez?metric=spring_ticks_total&window=120");
+  EXPECT_NE(series.find("\"metric\":\"spring_ticks_total\""),
+            std::string::npos)
+      << series;
+  EXPECT_NE(series.find("\"series\":["), std::string::npos) << series;
+
+  monitor.Stop();
+}
+
+TEST(MonitorIntrospectTest, DisabledTimelineIsZeroCostAndServesEmptyDocs) {
+  // Timeline + alerting off (the default, even with introspection on): the
+  // publish-cadence hook must be an allocation-free no-op and the
+  // endpoints must degrade to empty documents rather than 404.
+  ShardedMonitorOptions options;
+  options.num_workers = 2;
+  options.enable_introspection = true;
+  ShardedMonitor monitor(options);
+  EXPECT_FALSE(monitor.timeline_enabled());
+  CollectSink sink;
+  monitor.AddSink(&sink);
+  const int64_t stream_id = monitor.AddStream("s");
+  ASSERT_TRUE(
+      monitor.AddQuery(stream_id, "q", {1.0, 2.0, 3.0}, NonMatchingOptions())
+          .ok());
+  monitor.Start();
+  for (int64_t t = 0; t < 512; ++t) {
+    ASSERT_TRUE(monitor.Push(stream_id, 9.0).ok());
+  }
+  monitor.Drain();
+  {
+    util::ScopedAllocationCheck check;
+    monitor.PollTimeline(/*force=*/true);
+    EXPECT_EQ(check.Allocations(), 0);
+    EXPECT_EQ(check.Bytes(), 0);
+  }
+  EXPECT_EQ(monitor.TimezJson(""),
+            "{\"tiers\":[],\"records\":0,\"dropped_channels\":0,"
+            "\"channels\":[]}");
+  EXPECT_EQ(monitor.AlertzJson(),
+            "{\"rules\":[],\"firing\":0,\"firing_page\":0}");
+  monitor.Stop();
 }
 
 TEST(MonitorIntrospectTest, PendingCandidateCountSeesOpenCandidates) {

@@ -1,0 +1,257 @@
+#include "obs/timeline.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace springdtw {
+namespace obs {
+namespace {
+
+constexpr uint64_t kNanos = 1000000000ull;
+
+uint64_t Seconds(double t) { return static_cast<uint64_t>(t * 1e9); }
+
+/// Records one snapshot of `registry` at t seconds.
+void RecordAt(MetricsTimeline* timeline, MetricsRegistry* registry,
+              double t) {
+  timeline->Record(Seconds(t), registry->Snapshot());
+}
+
+double SumPoints(const TimelineWindow& window) {
+  double sum = 0.0;
+  for (const TimelineSeries& series : window.series) {
+    for (const TimelinePoint& point : series.points) sum += point.value;
+  }
+  return sum;
+}
+
+// The downsampling fold is exact for counters: the total increase seen by
+// any tier over the whole run equals the counter's final value, because a
+// coarse bucket is the sum of its nested fine buckets, never a resample.
+TEST(MetricsTimelineTest, TierFoldCounterSumExact) {
+  MetricsTimeline timeline;  // Defaults: 1s x 120, 10s x 90, 60s x 120.
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c", "");
+  int64_t total = 0;
+  RecordAt(&timeline, &registry, 0.0);  // Baseline: delta starts here.
+  for (int t = 1; t <= 90; ++t) {
+    const int64_t inc = t % 7 + 1;
+    c->Increment(inc);
+    total += inc;
+    RecordAt(&timeline, &registry, static_cast<double>(t));
+  }
+
+  // 90s of data fits inside every tier's span, so each tier must account
+  // for every increment exactly.
+  const TimelineWindow fine = timeline.Query("c", "", 120.0);
+  ASSERT_EQ(fine.series.size(), 1u);
+  EXPECT_EQ(fine.tier.width_seconds, 1.0);
+  EXPECT_EQ(SumPoints(fine), static_cast<double>(total));
+
+  const TimelineWindow mid = timeline.Query("c", "", 900.0);
+  EXPECT_EQ(mid.tier.width_seconds, 10.0);
+  EXPECT_EQ(SumPoints(mid), static_cast<double>(total));
+
+  const TimelineWindow coarse = timeline.Query("c", "", 7200.0);
+  EXPECT_EQ(coarse.tier.width_seconds, 60.0);
+  EXPECT_EQ(SumPoints(coarse), static_cast<double>(total));
+
+  // rate is value per bucket-width second.
+  for (const TimelinePoint& point : mid.series[0].points) {
+    EXPECT_DOUBLE_EQ(point.rate, point.value / 10.0);
+  }
+}
+
+TEST(MetricsTimelineTest, GaugeMinMaxEnvelopeNestsAcrossTiers) {
+  MetricsTimeline timeline;
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("g", "");
+  std::vector<double> samples;
+  for (int t = 0; t < 60; ++t) {
+    const double v = (t * 37) % 23 - 11.0;  // Deterministic zig-zag.
+    g->Set(v);
+    samples.push_back(v);
+    RecordAt(&timeline, &registry, static_cast<double>(t));
+  }
+
+  const TimelineWindow fine = timeline.Query("g", "", 120.0);
+  ASSERT_EQ(fine.series.size(), 1u);
+  EXPECT_EQ(fine.series[0].agg, ChannelAgg::kGauge);
+  ASSERT_EQ(fine.series[0].points.size(), 60u);
+  for (size_t i = 0; i < 60; ++i) {
+    const TimelinePoint& point = fine.series[0].points[i];
+    EXPECT_DOUBLE_EQ(point.value, samples[i]);
+    EXPECT_DOUBLE_EQ(point.min, samples[i]);
+    EXPECT_DOUBLE_EQ(point.max, samples[i]);
+  }
+
+  // Each 10s bucket keeps last/min/max of its ten 1s samples exactly.
+  const TimelineWindow mid = timeline.Query("g", "", 900.0);
+  ASSERT_EQ(mid.series.size(), 1u);
+  ASSERT_EQ(mid.series[0].points.size(), 6u);
+  for (size_t b = 0; b < 6; ++b) {
+    const TimelinePoint& point = mid.series[0].points[b];
+    double lo = samples[b * 10];
+    double hi = samples[b * 10];
+    for (size_t i = b * 10; i < b * 10 + 10; ++i) {
+      lo = std::min(lo, samples[i]);
+      hi = std::max(hi, samples[i]);
+    }
+    EXPECT_DOUBLE_EQ(point.value, samples[b * 10 + 9]);  // Last in bucket.
+    EXPECT_DOUBLE_EQ(point.min, lo);
+    EXPECT_DOUBLE_EQ(point.max, hi);
+  }
+
+  double latest = 0.0;
+  ASSERT_TRUE(timeline.LatestGauge("g", "", &latest));
+  EXPECT_DOUBLE_EQ(latest, samples.back());
+  EXPECT_FALSE(timeline.LatestGauge("nope", "", &latest));
+}
+
+TEST(MetricsTimelineTest, FinestTierWrapsCoarserTierRemembers) {
+  MetricsTimeline timeline;
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c", "");
+  RecordAt(&timeline, &registry, 0.0);
+  for (int t = 1; t <= 299; ++t) {
+    c->Increment();
+    RecordAt(&timeline, &registry, static_cast<double>(t));
+  }
+
+  // 299 one-per-second deltas: the 1s ring (120 slots) only retains the
+  // trailing 120, the 10s ring (900s span) still holds all of them.
+  const TimelineWindow fine = timeline.Query("c", "", 120.0);
+  ASSERT_EQ(fine.series.size(), 1u);
+  EXPECT_LE(fine.series[0].points.size(), 120u);
+  EXPECT_EQ(SumPoints(fine), 120.0);
+  double prev = -1.0;
+  for (const TimelinePoint& point : fine.series[0].points) {
+    EXPECT_GT(point.start_seconds, prev);  // Oldest first, strictly rising.
+    EXPECT_GE(point.start_seconds, 180.0);
+    prev = point.start_seconds;
+  }
+  EXPECT_EQ(SumPoints(timeline.Query("c", "", 900.0)), 299.0);
+}
+
+TEST(MetricsTimelineTest, ChannelCapDropsNotGrows) {
+  TimelineOptions options;
+  options.max_channels = 2;
+  MetricsTimeline timeline(options);
+  MetricsRegistry registry;
+  for (int i = 0; i < 5; ++i) {
+    registry.GetGauge("g" + std::to_string(i), "")->Set(1.0);
+  }
+  RecordAt(&timeline, &registry, 0.0);
+  RecordAt(&timeline, &registry, 1.0);
+  EXPECT_EQ(timeline.num_channels(), 2);
+  EXPECT_GT(timeline.dropped_channels(), 0);
+  EXPECT_EQ(timeline.records(), 2);
+}
+
+TEST(MetricsTimelineTest, NonNestingTierIsDropped) {
+  TimelineOptions options;
+  options.tiers = {TimelineTier{2.0, 10}, TimelineTier{5.0, 10},
+                   TimelineTier{6.0, 10}};
+  MetricsTimeline timeline(options);
+  // 5s is not an integer multiple of the 2s finest width: buckets would
+  // straddle, the fold could not be exact, so the tier must be dropped.
+  ASSERT_EQ(timeline.tiers().size(), 2u);
+  EXPECT_EQ(timeline.tiers()[0].width_seconds, 2.0);
+  EXPECT_EQ(timeline.tiers()[1].width_seconds, 6.0);
+}
+
+TEST(MetricsTimelineTest, HistogramDecomposesIntoDeltaAndQuantileChannels) {
+  MetricsTimeline timeline;
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", "");
+  RecordAt(&timeline, &registry, 0.0);
+  for (int t = 1; t <= 5; ++t) {
+    for (int i = 0; i < 10; ++i) h->Observe(100.0 * t);
+    RecordAt(&timeline, &registry, static_cast<double>(t));
+  }
+
+  bool saw_count = false;
+  bool saw_p99 = false;
+  for (const auto& entry : timeline.Catalog()) {
+    if (entry.metric != "lat") continue;
+    if (entry.field == "count") {
+      saw_count = true;
+      EXPECT_EQ(entry.agg, ChannelAgg::kDelta);
+    }
+    if (entry.field == "p99") {
+      saw_p99 = true;
+      EXPECT_EQ(entry.agg, ChannelAgg::kGauge);
+    }
+  }
+  EXPECT_TRUE(saw_count);
+  EXPECT_TRUE(saw_p99);
+
+  // count is a delta channel: 10 observations per second.
+  EXPECT_EQ(timeline.DeltaOver("lat", "count", 120.0), 50.0);
+  // p99 rides as a gauge; the fraction of buckets whose p99 exceeds a
+  // threshold is the burn-rate input.
+  EXPECT_GT(timeline.BadBucketFraction("lat", "p99", 120.0, 150.0), 0.0);
+  EXPECT_EQ(timeline.BadBucketFraction("lat", "p99", 120.0, 1e12), 0.0);
+  EXPECT_EQ(timeline.BadBucketFraction("never", "", 120.0, 0.0), -1.0);
+}
+
+TEST(MetricsTimelineTest, ParseQueryParamsSplitsInOrder) {
+  const auto params = ParseQueryParams("metric=a&window=30&field=p99&flag");
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].first, "metric");
+  EXPECT_EQ(params[0].second, "a");
+  EXPECT_EQ(params[2].second, "p99");
+  EXPECT_EQ(params[3].first, "flag");
+  EXPECT_EQ(params[3].second, "");
+}
+
+TEST(MetricsTimelineTest, RenderTimezJsonCatalogAndSeriesShapes) {
+  MetricsTimeline timeline;
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c", "");
+  RecordAt(&timeline, &registry, 0.0);
+  for (int t = 1; t <= 30; ++t) {
+    c->Increment(3);
+    RecordAt(&timeline, &registry, static_cast<double>(t));
+  }
+
+  auto catalog = util::ParseJson(RenderTimezJson(timeline, ""));
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  const util::JsonValue* tiers = catalog->Find("tiers");
+  ASSERT_NE(tiers, nullptr);
+  EXPECT_EQ(tiers->array().size(), 3u);
+  EXPECT_EQ(catalog->NumberOr("records", 0), 31.0);
+  bool listed = false;
+  for (const util::JsonValue& channel : catalog->Find("channels")->array()) {
+    if (channel.StringOr("metric", "") == "c") listed = true;
+  }
+  EXPECT_TRUE(listed);
+
+  auto doc = util::ParseJson(RenderTimezJson(timeline, "metric=c&window=60"));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->StringOr("metric", ""), "c");
+  const util::JsonValue* series = doc->Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->array().size(), 1u);
+  double prev_t = -1.0;
+  double sum = 0.0;
+  for (const util::JsonValue& point :
+       series->array()[0].Find("points")->array()) {
+    const double t = point.NumberOr("t", -1);
+    EXPECT_GT(t, prev_t);
+    prev_t = t;
+    sum += point.NumberOr("value", 0);
+    EXPECT_GE(point.NumberOr("samples", 0), 1.0);
+  }
+  EXPECT_EQ(sum, 90.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace springdtw

@@ -1,0 +1,82 @@
+#include "util/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace springdtw {
+namespace util {
+namespace {
+
+TEST(JsonTest, ParsesScalarsArraysAndObjects) {
+  auto doc = ParseJson(
+      "{\"n\":-12.5e1,\"i\":42,\"s\":\"a\\\"b\\\\c\\n\",\"t\":true,"
+      "\"f\":false,\"z\":null,\"arr\":[1,2,3],\"obj\":{\"k\":\"v\"}}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->size(), 8u);
+  EXPECT_DOUBLE_EQ(doc->NumberOr("n", 0), -125.0);
+  EXPECT_EQ(doc->IntOr("i", 0), 42);
+  EXPECT_EQ(doc->StringOr("s", ""), "a\"b\\c\n");
+  EXPECT_TRUE(doc->BoolOr("t", false));
+  EXPECT_FALSE(doc->BoolOr("f", true));
+  ASSERT_NE(doc->Find("arr"), nullptr);
+  ASSERT_EQ(doc->Find("arr")->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc->Find("arr")->array()[2].number_value(), 3.0);
+  EXPECT_EQ(doc->Find("obj")->StringOr("k", ""), "v");
+}
+
+TEST(JsonTest, NullAndMissingFallBack) {
+  auto doc = ParseJson("{\"z\":null}");
+  ASSERT_TRUE(doc.ok());
+  // The exposition layer writes `null` for non-finite doubles, so numeric
+  // lookups treat it as absent, not as an error or zero.
+  EXPECT_DOUBLE_EQ(doc->NumberOr("z", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc->NumberOr("missing", -2.0), -2.0);
+  EXPECT_EQ(doc->StringOr("z", "fb"), "fb");
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+  // Wrong-kind lookups also fall back.
+  auto s = ParseJson("{\"s\":\"text\"}");
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->NumberOr("s", 7.0), 7.0);
+}
+
+TEST(JsonTest, DuplicateKeysResolveToLast) {
+  auto doc = ParseJson("{\"k\":1,\"k\":2}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->IntOr("k", 0), 2);
+  EXPECT_EQ(doc->members().size(), 2u);  // Document order retained.
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto doc = ParseJson("{\"s\":\"\\u0041\\u00e9\"}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->StringOr("s", ""), "A\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",            // Empty input.
+      "{",           // Unterminated object.
+      "[1,2",        // Unterminated array.
+      "{\"k\":}",    // Missing value.
+      "{k:1}",       // Unquoted key.
+      "[1,]",        // Trailing comma.
+      "\"\\x\"",     // Bad escape.
+      "{} trailing"  // Garbage after the document.
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << text;
+  }
+}
+
+TEST(JsonTest, ErrorCarriesByteOffset) {
+  auto doc = ParseJson("[1, !]");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("4"), std::string::npos)
+      << doc.status().ToString();
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace springdtw

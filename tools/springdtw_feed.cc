@@ -224,6 +224,12 @@ int Run(int argc, char** argv) {
     if (!status.ok()) return Fail("tick", status);
     sent += count;
     if (rate > 0) {
+      // Paced feeding is about what the SERVER sees per second, so force
+      // the client's pipelining buffer (tick_flush_bytes) onto the wire
+      // each batch — otherwise a sub-64KB replay arrives as one burst at
+      // the final drain and the server's rate metrics read zero all feed.
+      status = client.Flush();
+      if (!status.ok()) return Fail("flush", status);
       // Pace against the wall clock: sleep until `sent` ticks worth of
       // time has elapsed.
       const double due_nanos = static_cast<double>(sent) / rate * 1e9;

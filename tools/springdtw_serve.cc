@@ -8,6 +8,7 @@
 //       [--span_sample_every=64] [--cost_sample_every=64]
 //       [--max_connections=64] [--max_frame_bytes=1048576]
 //       [--idle_timeout_ms=0]
+//       [--alert_rules=FILE] [--slo_p99_ms=0] [--timeline]
 //
 // Speaks the net/protocol.h wire format (docs/SERVING.md): clients open
 // streams, register/remove queries, push ticks, subscribe to match
@@ -40,6 +41,14 @@
 // spliced into /metrics. --span_sample_every=N samples 1-in-N ticks for
 // end-to-end spans and --cost_sample_every=N samples per-query CPU cost
 // (0 disables either; both are no-ops without --introspect_port).
+//
+// --timeline additionally records every published snapshot into the
+// fixed-memory metrics timeline served as /timez. --alert_rules=FILE loads
+// alert rules (syntax: docs/OBSERVABILITY.md) evaluated on the publish
+// cadence and served as /alertz; a firing page-severity rule flips
+// /healthz to 503. --slo_p99_ms=N adds the conventional two-window
+// burn-rate page rule over the p99 end-to-end latency budget of N ms.
+// Rules imply the timeline; either implies introspection.
 
 #include <csignal>
 #include <cstdio>
@@ -96,6 +105,29 @@ int Run(int argc, char** argv) {
       flags.GetDouble("staleness_ms", 1000.0);
   monitor_options.span_sample_every = flags.GetInt64("span_sample_every", 64);
   monitor_options.cost_sample_every = flags.GetInt64("cost_sample_every", 64);
+  monitor_options.enable_timeline = flags.GetBool("timeline", false);
+  monitor_options.slo_p99_ms = flags.GetDouble("slo_p99_ms", 0.0);
+  const std::string alert_rules_path = flags.GetString("alert_rules", "");
+  if (!alert_rules_path.empty()) {
+    std::ifstream rules_in(alert_rules_path);
+    if (!rules_in) {
+      std::fprintf(stderr, "cannot open --alert_rules=%s\n",
+                   alert_rules_path.c_str());
+      return 1;
+    }
+    std::string rules_text((std::istreambuf_iterator<char>(rules_in)),
+                           std::istreambuf_iterator<char>());
+    auto rules = obs::ParseAlertRules(rules_text);
+    if (!rules.ok()) {
+      std::fprintf(stderr, "--alert_rules=%s: %s\n", alert_rules_path.c_str(),
+                   rules.status().ToString().c_str());
+      return 1;
+    }
+    monitor_options.alert_rules = *std::move(rules);
+    std::fprintf(stderr, "loaded %zu alert rules from %s\n",
+                 monitor_options.alert_rules.size(),
+                 alert_rules_path.c_str());
+  }
 
   // Registered with the monitor only for WAL replay, but sinks are
   // never unregistered, so it must outlive the monitor: declared first,
